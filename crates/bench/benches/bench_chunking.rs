@@ -1,0 +1,44 @@
+//! Chunking ablation: dice over a grid-stored array (box pruning) vs a
+//! monolithic dense box, as the diced fraction of the array shrinks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bda_array::ArrayEngine;
+use bda_core::{Plan, Provider};
+use bda_workloads::random_matrix;
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_chunk_pruning");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let n = 256usize;
+    let m = random_matrix(n, n, 5);
+    let chunked = ArrayEngine::with_chunking("chunked", 32);
+    chunked.store("m", m.clone()).unwrap();
+    let mono = ArrayEngine::new("mono");
+    mono.store("m", m.clone()).unwrap();
+
+    for target in [8i64, 32, 128] {
+        let plan = Plan::Dice {
+            input: Plan::scan("m", m.schema().clone()).boxed(),
+            ranges: vec![("row".into(), 0, target), ("col".into(), 0, target)],
+        };
+        group.bench_with_input(
+            BenchmarkId::new("grid_pruned", target),
+            &target,
+            |b, _| b.iter(|| chunked.execute(&plan).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("monolithic", target),
+            &target,
+            |b, _| b.iter(|| mono.execute(&plan).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! T3-adjacent microbenchmarks: the same operators on different engines
+//! (hash vs merge join, dense vs lowered window, engine vs reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use bda_core::infer::infer_schema;
+use bda_core::lower::lower_all;
+use bda_core::reference::evaluate;
+use bda_core::{col, AggExpr, AggFunc, JoinType, Plan, Provider};
+use bda_relational::join::{hash_join, merge_join};
+use bda_relational::RelationalEngine;
+use bda_workloads::{sensor_array, star_schema, SensorSpec, StarSpec};
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [1_000usize, 10_000] {
+        let (sales, customers, ..) = star_schema(StarSpec {
+            sales: n,
+            customers: n / 10,
+            ..StarSpec::default()
+        });
+        let plan = Plan::scan("s", sales.schema().clone()).join(
+            Plan::scan("c", customers.schema().clone()),
+            vec![("customer_id", "customer_id")],
+        );
+        let out_schema = infer_schema(&plan).unwrap();
+        let on = [("customer_id".to_string(), "customer_id".to_string())];
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |b, _| {
+            b.iter(|| {
+                hash_join(&sales, &customers, &on, JoinType::Inner, out_schema.clone()).unwrap()
+            })
+        });
+        let single = on[0].clone();
+        group.bench_with_input(BenchmarkId::new("merge_join", n), &n, |b, _| {
+            b.iter(|| merge_join(&sales, &customers, &single, out_schema.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_dense_vs_lowered");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for ticks in [64usize, 256] {
+        let ds = sensor_array(SensorSpec {
+            sensors: 8,
+            ticks,
+            missing: 0.0,
+            seed: 42,
+        });
+        let arr = bda_array::ArrayEngine::new("arr");
+        arr.store("sensors", ds.clone()).unwrap();
+        let rel = RelationalEngine::new("rel");
+        rel.store("sensors", ds.clone()).unwrap();
+        let plan = Plan::Window {
+            input: Plan::scan("sensors", ds.schema().clone()).boxed(),
+            radii: vec![("sensor".into(), 0), ("t".into(), 2)],
+            aggs: vec![AggExpr::new(AggFunc::Avg, col("reading"), "smooth")],
+        };
+        let lowered = lower_all(&plan).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("array_engine_dense", ticks),
+            &ticks,
+            |b, _| b.iter(|| arr.execute(&plan).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("relational_lowered", ticks),
+            &ticks,
+            |b, _| b.iter(|| rel.execute(&lowered).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_reference_oracle");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (sales, ..) = star_schema(StarSpec {
+        sales: 5_000,
+        ..StarSpec::default()
+    });
+    let rel = RelationalEngine::new("rel");
+    rel.store("sales", sales.clone()).unwrap();
+    let plan = Plan::scan("sales", sales.schema().clone()).aggregate(
+        vec!["store_id"],
+        vec![
+            AggExpr::new(AggFunc::Sum, col("amount"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+    group.bench_function("relational_engine", |b| {
+        b.iter(|| rel.execute(&plan).unwrap())
+    });
+    let mut src = std::collections::HashMap::new();
+    src.insert("sales".to_string(), sales);
+    group.bench_function("reference_oracle", |b| {
+        b.iter(|| evaluate(&plan, &src).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_window, bench_engine_vs_reference);
+criterion_main!(benches);

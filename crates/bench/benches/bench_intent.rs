@@ -1,0 +1,76 @@
+//! F1 bench: native intent matmul vs lowered join/aggregate execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda_core::lower::lower_all;
+use bda_core::{Plan, Provider};
+use bda_federation::{ExecOptions, Federation, OptimizerConfig};
+use bda_linalg::LinAlgEngine;
+use bda_relational::RelationalEngine;
+use bda_workloads::random_matrix;
+
+fn build(n: usize) -> (Federation, Plan, Plan) {
+    let la = LinAlgEngine::new("la");
+    la.store("a", random_matrix(n, n, 7)).unwrap();
+    la.store("b", random_matrix(n, n, 8)).unwrap();
+    let rel = RelationalEngine::new("rel");
+    rel.store("a", random_matrix(n, n, 7).normalized_rows().unwrap())
+        .unwrap();
+    rel.store("b", random_matrix(n, n, 8).normalized_rows().unwrap())
+        .unwrap();
+    let mut fed = Federation::new();
+    fed.register(Arc::new(la));
+    fed.register(Arc::new(rel));
+    let schema_a = fed
+        .registry()
+        .provider("la")
+        .unwrap()
+        .schema_of("a")
+        .unwrap();
+    let schema_b = fed
+        .registry()
+        .provider("la")
+        .unwrap()
+        .schema_of("b")
+        .unwrap();
+    let intent = Plan::scan("a", schema_a).matmul(Plan::scan("b", schema_b));
+    let lowered = lower_all(&intent).unwrap();
+    (fed, intent, lowered)
+}
+
+fn bench_intent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_intent_preservation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [16usize, 32, 64] {
+        let (fed, intent, lowered) = build(n);
+        group.bench_with_input(BenchmarkId::new("native_intent_la", n), &n, |b, _| {
+            b.iter(|| fed.run(&intent).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lowered_recognized_la", n),
+            &n,
+            |b, _| b.iter(|| fed.run(&lowered).unwrap()),
+        );
+        let no_recog = ExecOptions {
+            optimizer: OptimizerConfig {
+                recognize_intents: false,
+                ..OptimizerConfig::default()
+            },
+            ..ExecOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("lowered_join_agg_rel", n),
+            &n,
+            |b, _| b.iter(|| fed.run_with(&lowered, &no_recog).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intent);
+criterion_main!(benches);

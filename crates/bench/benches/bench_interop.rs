@@ -1,0 +1,58 @@
+//! F2 bench: direct server-to-server transfer vs app-routed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda_core::{Plan, Provider};
+use bda_federation::{ExecOptions, Federation, TransferMode};
+use bda_linalg::LinAlgEngine;
+use bda_relational::RelationalEngine;
+use bda_workloads::random_matrix;
+
+fn build(n: usize) -> (Federation, Plan) {
+    let rel = RelationalEngine::new("rel");
+    rel.store("a_rows", random_matrix(n, n, 7).normalized_rows().unwrap())
+        .unwrap();
+    let la = LinAlgEngine::new("la");
+    la.store("b", random_matrix(n, n, 8)).unwrap();
+    let mut fed = Federation::new();
+    fed.register(Arc::new(rel));
+    fed.register(Arc::new(la));
+    let plan = Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(
+        Plan::scan(
+            "b",
+            fed.registry()
+                .provider("la")
+                .unwrap()
+                .schema_of("b")
+                .unwrap(),
+        ),
+    );
+    (fed, plan)
+}
+
+fn bench_interop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_server_interoperation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [16usize, 48] {
+        let (fed, plan) = build(n);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| fed.run(&plan).unwrap())
+        });
+        let routed = ExecOptions {
+            transfer: TransferMode::AppRouted,
+            ..ExecOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new("app_routed", n), &n, |b, _| {
+            b.iter(|| fed.run_with(&plan, &routed).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interop);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! F5 bench: optimizer on vs off on a selective cross-server join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda_core::{col, lit, AggExpr, AggFunc, Plan, Provider};
+use bda_federation::{ExecOptions, Federation, OptimizerConfig};
+use bda_relational::RelationalEngine;
+use bda_workloads::{star_schema, StarSpec};
+
+fn build() -> (Federation, Plan) {
+    let spec = StarSpec {
+        sales: 10_000,
+        customers: 2_000,
+        ..StarSpec::default()
+    };
+    let (sales, customers, ..) = star_schema(spec);
+    let rel1 = RelationalEngine::new("rel1");
+    rel1.store("sales", sales).unwrap();
+    let rel2 = RelationalEngine::new("rel2");
+    rel2.store("customers", customers).unwrap();
+    let mut fed = Federation::new();
+    fed.register(Arc::new(rel1));
+    fed.register(Arc::new(rel2));
+    let plan = Plan::scan("sales", fed.registry().schema_of("sales").unwrap())
+        .join(
+            Plan::scan(
+                "customers",
+                fed.registry().schema_of("customers").unwrap(),
+            ),
+            vec![("customer_id", "customer_id")],
+        )
+        .select(col("customer_id_r").lt(lit(200i64)))
+        .aggregate(
+            vec!["region"],
+            vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+        );
+    (fed, plan)
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_pushdown_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (fed, plan) = build();
+    group.bench_with_input(BenchmarkId::new("optimizer", "on"), &(), |b, _| {
+        b.iter(|| fed.run(&plan).unwrap())
+    });
+    let naive = ExecOptions {
+        optimizer: OptimizerConfig::disabled(),
+        ..ExecOptions::default()
+    };
+    group.bench_with_input(BenchmarkId::new("optimizer", "off"), &(), |b, _| {
+        b.iter(|| fed.run_with(&plan, &naive).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

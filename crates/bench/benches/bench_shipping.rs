@@ -1,0 +1,54 @@
+//! F3 bench: one shipped expression tree vs one RPC per operator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda_core::{col, lit, Plan, Provider};
+use bda_federation::{Cluster, NetConfig};
+use bda_relational::RelationalEngine;
+use bda_workloads::{star_schema, StarSpec};
+
+fn cluster() -> (Cluster, bda_storage::Schema) {
+    let rel = RelationalEngine::new("rel");
+    let (sales, ..) = star_schema(StarSpec {
+        sales: 2_000,
+        ..StarSpec::default()
+    });
+    let schema = sales.schema().clone();
+    rel.store("sales", sales).unwrap();
+    (
+        Cluster::spawn(vec![Arc::new(rel)], NetConfig::default()),
+        schema,
+    )
+}
+
+fn pipeline(schema: &bda_storage::Schema, k: usize) -> Plan {
+    let mut p = Plan::scan("sales", schema.clone());
+    for i in 0..k.saturating_sub(1) {
+        p = p.select(col("amount").gt(lit(-(i as f64))));
+    }
+    p
+}
+
+fn bench_shipping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_expression_shipping");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (cluster, schema) = cluster();
+    for k in [2usize, 8, 16] {
+        let plan = pipeline(&schema, k);
+        group.bench_with_input(BenchmarkId::new("ship_tree", k), &k, |b, _| {
+            b.iter(|| cluster.ship_tree("rel", &plan).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("per_operator", k), &k, |b, _| {
+            b.iter(|| cluster.per_operator("rel", &plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shipping);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! # `bda-bench`: the experiment harness
+//!
+//! Reproduces every table/figure defined in DESIGN.md. The paper (a CIDR
+//! vision paper) has no evaluation section of its own; the experiment set
+//! operationalizes each desideratum and each claimed LINQ property. See
+//! EXPERIMENTS.md for recorded results.
+//!
+//! Every experiment is a plain function returning a printable
+//! [`table::Table`], shared between the `experiments` binary (full sizes)
+//! and the unit/criterion suites (reduced sizes).
+
+pub mod experiments;
+pub mod setup;
+pub mod table;
+
+pub use setup::{standard_federation, FederationSpec};
+pub use table::Table;

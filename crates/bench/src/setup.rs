@@ -1,0 +1,157 @@
+//! Standard federation setups shared by experiments, benches and tests.
+
+use std::sync::Arc;
+
+use bda_array::ArrayEngine;
+use bda_core::Provider;
+use bda_federation::{Federation, MaskedProvider, Registry};
+use bda_graph::GraphEngine;
+use bda_linalg::LinAlgEngine;
+use bda_relational::RelationalEngine;
+use bda_workloads::{random_graph, random_matrix, sensor_array, star_schema, GraphSpec, SensorSpec, StarSpec};
+
+/// Sizing knobs for the standard federation.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationSpec {
+    /// Star-schema sizing.
+    pub star: StarSpec,
+    /// Sensor-array sizing.
+    pub sensors: SensorSpec,
+    /// Random-graph sizing.
+    pub graph: GraphSpec,
+    /// Square matrix side for `a`/`b` on the linalg engine.
+    pub matrix_n: usize,
+}
+
+impl Default for FederationSpec {
+    fn default() -> Self {
+        FederationSpec {
+            star: StarSpec::default(),
+            sensors: SensorSpec::default(),
+            graph: GraphSpec::default(),
+            matrix_n: 64,
+        }
+    }
+}
+
+impl FederationSpec {
+    /// Small sizes for unit tests.
+    pub fn tiny() -> FederationSpec {
+        FederationSpec {
+            star: StarSpec {
+                sales: 200,
+                customers: 20,
+                products: 10,
+                stores: 4,
+                seed: 42,
+            },
+            sensors: SensorSpec {
+                sensors: 4,
+                ticks: 32,
+                missing: 0.1,
+                seed: 42,
+            },
+            graph: GraphSpec {
+                vertices: 40,
+                edges: 160,
+                seed: 42,
+            },
+            matrix_n: 8,
+        }
+    }
+}
+
+/// Build the standard 4-engine federation:
+///
+/// * `rel` (relational): the star schema (`sales`, `customers`,
+///   `products`, `stores`) and a row-form copy of matrix `a` (`a_rows`).
+/// * `arr` (array): the sensor array (`sensors`).
+/// * `la` (linear algebra): dense matrices `a` and `b`.
+/// * `graph`: the random graph's `edges`.
+pub fn standard_federation(spec: FederationSpec) -> Federation {
+    let rel = RelationalEngine::new("rel");
+    let (sales, customers, products, stores) = star_schema(spec.star);
+    rel.store("sales", sales).unwrap();
+    rel.store("customers", customers).unwrap();
+    rel.store("products", products).unwrap();
+    rel.store("stores", stores).unwrap();
+    let a = random_matrix(spec.matrix_n, spec.matrix_n, 7);
+    rel.store("a_rows", a.normalized_rows().unwrap()).unwrap();
+
+    let arr = ArrayEngine::new("arr");
+    arr.store("sensors", sensor_array(spec.sensors)).unwrap();
+
+    let la = LinAlgEngine::new("la");
+    la.store("a", a).unwrap();
+    la.store("b", random_matrix(spec.matrix_n, spec.matrix_n, 8))
+        .unwrap();
+
+    let graph = GraphEngine::new("graph");
+    let (_, edges) = random_graph(spec.graph);
+    graph.store("edges", edges.clone()).unwrap();
+    // The relational engine also keeps the edges so lowered graph queries
+    // have a home (used by F4's ablations).
+    rel.store("edges", edges).unwrap();
+
+    let mut fed = Federation::new();
+    fed.register(Arc::new(rel));
+    fed.register(Arc::new(arr));
+    fed.register(Arc::new(la));
+    fed.register(Arc::new(graph));
+    fed
+}
+
+/// A registry identical to `fed`'s but with capabilities masked off a
+/// named provider (ablation helper).
+pub fn masked_registry(
+    fed: &Federation,
+    provider: &str,
+    removed: Vec<bda_core::OpKind>,
+) -> Registry {
+    let mut out = Registry::new();
+    for p in fed.registry().providers() {
+        if p.name() == provider {
+            out.register(Arc::new(MaskedProvider::new(p.clone(), removed.clone())));
+        } else {
+            out.register(p.clone());
+        }
+    }
+    out
+}
+
+/// A registry containing only the named providers of `fed`.
+pub fn subset_registry(fed: &Federation, names: &[&str]) -> Registry {
+    let mut out = Registry::new();
+    for p in fed.registry().providers() {
+        if names.contains(&p.name()) {
+            out.register(p.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_federation_has_expected_catalogs() {
+        let fed = standard_federation(FederationSpec::tiny());
+        let r = fed.registry();
+        assert_eq!(r.providers().len(), 4);
+        assert_eq!(r.locations_of("sales"), vec!["rel"]);
+        assert_eq!(r.locations_of("sensors"), vec!["arr"]);
+        assert_eq!(r.locations_of("a"), vec!["la"]);
+        assert_eq!(r.locations_of("edges"), vec!["rel", "graph"]);
+    }
+
+    #[test]
+    fn subset_and_mask_helpers() {
+        let fed = standard_federation(FederationSpec::tiny());
+        let sub = subset_registry(&fed, &["rel"]);
+        assert_eq!(sub.providers().len(), 1);
+        let masked = masked_registry(&fed, "rel", vec![bda_core::OpKind::Iterate]);
+        let rel = masked.provider("rel").unwrap();
+        assert!(!rel.capabilities().supports(bda_core::OpKind::Iterate));
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal ASCII table rendering for experiment output.
+
+use std::fmt;
+
+/// A printable table with a title, column headers and string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (e.g. `"T1 — operator coverage"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; ragged rows are padded when rendered.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, "| {cell:w$} ", w = w)?;
+            }
+            writeln!(f, "|")
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", vec!["a", "long_header"]);
+        t.row(vec!["xx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22222222222222".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="), "{s}");
+        assert!(s.lines().count() >= 5);
+        // All data lines have the same width.
+        let widths: Vec<usize> = s
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.len())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1.5), "1.5000");
+        assert!(fmt_f64(123456.0).contains('e'));
+        assert!(fmt_secs(0.002).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+        assert!(fmt_secs(2e-6).ends_with("us"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Aggregate functions and their accumulators.
+//!
+//! Shared by the reference evaluator, the relational engine's hash
+//! aggregation, and the array engine's window/dimension reductions, so
+//! every back end agrees on null handling and overflow behaviour.
+
+use bda_storage::{DataType, Value};
+
+use crate::error::CoreError;
+use crate::expr::Expr;
+
+/// The aggregate functions of the algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row / non-null count (see [`AggExpr::arg`]).
+    Count,
+    /// Sum (ints stay ints, null on overflow; floats sum in IEEE order).
+    Sum,
+    /// Minimum under [`Value::total_cmp`], skipping nulls.
+    Min,
+    /// Maximum under [`Value::total_cmp`], skipping nulls.
+    Max,
+    /// Arithmetic mean as `f64`, skipping nulls; null on empty input.
+    Avg,
+}
+
+impl AggFunc {
+    /// All functions, in codec-tag order.
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Min,
+        AggFunc::Max,
+        AggFunc::Avg,
+    ];
+
+    /// Surface-language name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Result type given the argument type (`None` = `count(*)`).
+    pub fn output_type(self, arg: Option<DataType>) -> Result<DataType, CoreError> {
+        match self {
+            AggFunc::Count => Ok(DataType::Int64),
+            AggFunc::Avg => match arg {
+                Some(t) if t.is_numeric() => Ok(DataType::Float64),
+                other => Err(CoreError::Expr(format!("avg needs numeric arg, got {other:?}"))),
+            },
+            AggFunc::Sum => match arg {
+                Some(t) if t.is_numeric() => Ok(t),
+                // sum of untyped nulls: pick i64.
+                None => Ok(DataType::Int64),
+                other => Err(CoreError::Expr(format!("sum needs numeric arg, got {other:?}"))),
+            },
+            AggFunc::Min | AggFunc::Max => {
+                arg.ok_or_else(|| CoreError::Expr(format!("{} needs an argument", self.name())))
+            }
+        }
+    }
+}
+
+/// A named aggregate computation: `func(arg) as name`.
+///
+/// `arg == None` is `count(*)` — it counts rows including all-null ones;
+/// with an argument, `count` counts non-null values only (SQL semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument expression, or `None` for `count(*)`.
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// `count(*) as name`.
+    pub fn count_star(name: impl Into<String>) -> AggExpr {
+        AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+            name: name.into(),
+        }
+    }
+
+    /// `func(arg) as name`.
+    pub fn new(func: AggFunc, arg: Expr, name: impl Into<String>) -> AggExpr {
+        AggExpr {
+            func,
+            arg: Some(arg),
+            name: name.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.arg {
+            Some(e) => write!(f, "{}({e}) as {}", self.func.name(), self.name),
+            None => write!(f, "{}(*) as {}", self.func.name(), self.name),
+        }
+    }
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// Count of accepted values.
+    Count(i64),
+    /// Integer sum (None once overflowed or before first value).
+    SumInt {
+        /// Running total.
+        acc: Option<i64>,
+        /// Whether any value has been accepted.
+        seen: bool,
+    },
+    /// Float sum.
+    SumFloat {
+        /// Running total.
+        acc: f64,
+        /// Whether any value has been accepted.
+        seen: bool,
+    },
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+    /// Running mean state.
+    Avg {
+        /// Sum of accepted values.
+        sum: f64,
+        /// Count of accepted values.
+        count: i64,
+    },
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func` over an argument of type `arg`.
+    pub fn new(func: AggFunc, arg: Option<DataType>) -> Accumulator {
+        match func {
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Sum => match arg {
+                Some(DataType::Float64) => Accumulator::SumFloat {
+                    acc: 0.0,
+                    seen: false,
+                },
+                _ => Accumulator::SumInt {
+                    acc: Some(0),
+                    seen: false,
+                },
+            },
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Fold in one value. For `count(*)` pass the row marker
+    /// `Value::Bool(true)`; nulls are skipped by every function except
+    /// that marker-based count.
+    pub fn update(&mut self, v: &Value) -> Result<(), CoreError> {
+        match self {
+            Accumulator::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::SumInt { acc, seen } => {
+                if !v.is_null() {
+                    let x = v.as_int().map_err(|e| CoreError::Expr(e.to_string()))?;
+                    *acc = acc.and_then(|a| a.checked_add(x));
+                    *seen = true;
+                }
+            }
+            Accumulator::SumFloat { acc, seen } => {
+                if !v.is_null() {
+                    *acc += v.as_float().map_err(|e| CoreError::Expr(e.to_string()))?;
+                    *seen = true;
+                }
+            }
+            Accumulator::Min(m) => {
+                if !v.is_null() {
+                    let better = match m {
+                        Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Less,
+                        None => true,
+                    };
+                    if better {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            Accumulator::Max(m) => {
+                if !v.is_null() {
+                    let better = match m {
+                        Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Greater,
+                        None => true,
+                    };
+                    if better {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                if !v.is_null() {
+                    *sum += v.as_float().map_err(|e| CoreError::Expr(e.to_string()))?;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final value.
+    pub fn finish(&self) -> Value {
+        match self {
+            Accumulator::Count(n) => Value::Int(*n),
+            Accumulator::SumInt { acc, seen } => {
+                if !seen {
+                    Value::Null
+                } else {
+                    acc.map(Value::Int).unwrap_or(Value::Null)
+                }
+            }
+            Accumulator::SumFloat { acc, seen } => {
+                if *seen {
+                    Value::Float(*acc)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Min(m) | Accumulator::Max(m) => {
+                m.clone().unwrap_or(Value::Null)
+            }
+            Accumulator::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, arg: Option<DataType>, vals: &[Value]) -> Value {
+        let mut acc = Accumulator::new(func, arg);
+        for v in vals {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        let vals = [Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(AggFunc::Count, Some(DataType::Int64), &vals), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_int_and_overflow() {
+        let vals = [Value::Int(2), Value::Int(3), Value::Null];
+        assert_eq!(run(AggFunc::Sum, Some(DataType::Int64), &vals), Value::Int(5));
+        let vals = [Value::Int(i64::MAX), Value::Int(1)];
+        assert_eq!(run(AggFunc::Sum, Some(DataType::Int64), &vals), Value::Null);
+    }
+
+    #[test]
+    fn sum_of_empty_is_null() {
+        assert_eq!(run(AggFunc::Sum, Some(DataType::Int64), &[]), Value::Null);
+        assert_eq!(run(AggFunc::Sum, Some(DataType::Float64), &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_total_order() {
+        let vals = [Value::Int(3), Value::Null, Value::Int(-1), Value::Int(7)];
+        assert_eq!(run(AggFunc::Min, Some(DataType::Int64), &vals), Value::Int(-1));
+        assert_eq!(run(AggFunc::Max, Some(DataType::Int64), &vals), Value::Int(7));
+        let strs = [Value::from("b"), Value::from("a")];
+        assert_eq!(run(AggFunc::Min, Some(DataType::Utf8), &strs), Value::from("a"));
+    }
+
+    #[test]
+    fn avg_and_empty_avg() {
+        let vals = [Value::Float(1.0), Value::Float(2.0), Value::Null];
+        assert_eq!(run(AggFunc::Avg, Some(DataType::Float64), &vals), Value::Float(1.5));
+        assert_eq!(run(AggFunc::Avg, Some(DataType::Float64), &[]), Value::Null);
+    }
+
+    #[test]
+    fn output_types() {
+        assert_eq!(
+            AggFunc::Sum.output_type(Some(DataType::Int64)).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggFunc::Avg.output_type(Some(DataType::Int64)).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(AggFunc::Count.output_type(None).unwrap(), DataType::Int64);
+        assert_eq!(
+            AggFunc::Min.output_type(Some(DataType::Utf8)).unwrap(),
+            DataType::Utf8
+        );
+        assert!(AggFunc::Sum.output_type(Some(DataType::Utf8)).is_err());
+        assert!(AggFunc::Min.output_type(None).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let a = AggExpr::new(AggFunc::Sum, crate::expr::col("v"), "total");
+        assert_eq!(a.to_string(), "sum(v) as total");
+        assert_eq!(AggExpr::count_star("n").to_string(), "count(*) as n");
+    }
+}

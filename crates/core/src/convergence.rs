@@ -1,0 +1,141 @@
+//! The convergence criterion for control iteration.
+//!
+//! The paper asks for "repeated execution of an expression until some
+//! convergence criterion is met". Every executor of [`crate::plan::Plan::Iterate`]
+//! — the reference evaluator, the graph engine, the federation driver —
+//! calls into this module, so "converged" means the same thing everywhere.
+
+use bda_storage::{DataSet, DataType, Row, Value};
+
+use crate::error::CoreError;
+
+/// Decide whether an iteration has converged between two successive states.
+///
+/// * `epsilon = None`: exact fixpoint — the states must be bag-equal.
+/// * `epsilon = Some(e)`: the [`l1_distance`] between the states must be
+///   defined and `< e`.
+pub fn converged(
+    prev: &DataSet,
+    next: &DataSet,
+    epsilon: Option<f64>,
+) -> Result<bool, CoreError> {
+    if prev.schema() != next.schema() {
+        return Err(CoreError::Plan(format!(
+            "iteration state schema changed: {} vs {}",
+            prev.schema(),
+            next.schema()
+        )));
+    }
+    match epsilon {
+        None => prev.same_bag(next).map_err(Into::into),
+        Some(e) => Ok(matches!(l1_distance(prev, next)?, Some(d) if d < e)),
+    }
+}
+
+/// L1 distance between two states with identical schemas.
+///
+/// Rows are keyed by the non-`f64` columns (sorted order); the distance is
+/// the sum of absolute differences of the `f64` columns, with nulls reading
+/// as 0. Returns `None` when the key sequences differ (different row sets
+/// can never count as converged).
+pub fn l1_distance(prev: &DataSet, next: &DataSet) -> Result<Option<f64>, CoreError> {
+    if prev.schema() != next.schema() {
+        return Err(CoreError::Plan("l1_distance: schema mismatch".into()));
+    }
+    let schema = prev.schema();
+    let float_cols: Vec<usize> = (0..schema.len())
+        .filter(|&i| schema.field_at(i).dtype == DataType::Float64)
+        .collect();
+    let key_cols: Vec<usize> = (0..schema.len())
+        .filter(|&i| schema.field_at(i).dtype != DataType::Float64)
+        .collect();
+    let sort_key = |r: &Row| -> Row { r.project(&key_cols) };
+
+    let mut a = prev.rows()?;
+    let mut b = next.rows()?;
+    if a.len() != b.len() {
+        return Ok(None);
+    }
+    a.sort_by(|x, y| sort_key(x).total_cmp(&sort_key(y)));
+    b.sort_by(|x, y| sort_key(x).total_cmp(&sort_key(y)));
+    let mut dist = 0.0f64;
+    for (x, y) in a.iter().zip(&b) {
+        if sort_key(x) != sort_key(y) {
+            return Ok(None);
+        }
+        for &c in &float_cols {
+            let xv = float_or_zero(x.get(c));
+            let yv = float_or_zero(y.get(c));
+            dist += (xv - yv).abs();
+        }
+    }
+    Ok(Some(dist))
+}
+
+fn float_or_zero(v: &Value) -> f64 {
+    match v {
+        Value::Float(x) => *x,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_storage::Column;
+
+    fn ranks(pairs: &[(i64, f64)]) -> DataSet {
+        DataSet::from_columns(vec![
+            (
+                "vertex",
+                Column::from(pairs.iter().map(|(v, _)| *v).collect::<Vec<i64>>()),
+            ),
+            (
+                "rank",
+                Column::from(pairs.iter().map(|(_, r)| *r).collect::<Vec<f64>>()),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn l1_on_matching_keys() {
+        let a = ranks(&[(1, 0.5), (2, 0.5)]);
+        let b = ranks(&[(2, 0.4), (1, 0.55)]); // order must not matter
+        let d = l1_distance(&a, &b).unwrap().unwrap();
+        assert!((d - 0.15).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn l1_undefined_on_different_keys() {
+        let a = ranks(&[(1, 0.5)]);
+        let b = ranks(&[(2, 0.5)]);
+        assert_eq!(l1_distance(&a, &b).unwrap(), None);
+        let c = ranks(&[(1, 0.5), (2, 0.1)]);
+        assert_eq!(l1_distance(&a, &c).unwrap(), None);
+    }
+
+    #[test]
+    fn converged_with_epsilon() {
+        let a = ranks(&[(1, 0.5), (2, 0.5)]);
+        let b = ranks(&[(1, 0.5000001), (2, 0.4999999)]);
+        assert!(converged(&a, &b, Some(1e-3)).unwrap());
+        assert!(!converged(&a, &b, Some(1e-9)).unwrap());
+    }
+
+    #[test]
+    fn exact_fixpoint_is_bag_equality() {
+        let a = ranks(&[(1, 0.5), (2, 0.5)]);
+        let b = ranks(&[(2, 0.5), (1, 0.5)]);
+        assert!(converged(&a, &b, None).unwrap());
+        let c = ranks(&[(1, 0.5), (2, 0.6)]);
+        assert!(!converged(&a, &c, None).unwrap());
+    }
+
+    #[test]
+    fn schema_change_is_an_error() {
+        let a = ranks(&[(1, 0.5)]);
+        let b = DataSet::from_columns(vec![("x", Column::from(vec![1i64]))]).unwrap();
+        assert!(converged(&a, &b, None).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the algebra layer.
+
+use std::fmt;
+
+use bda_storage::StorageError;
+
+/// Errors raised while type-checking, lowering, or evaluating algebra plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// A plan failed schema inference / type checking.
+    Plan(String),
+    /// A scalar expression was ill-typed.
+    Expr(String),
+    /// A named dataset was not found in the catalog in scope.
+    UnknownDataset(String),
+    /// An intent operator could not be lowered (shape prerequisites unmet).
+    Lower(String),
+    /// A provider was asked to execute an operator outside its capabilities.
+    Unsupported {
+        /// Provider name.
+        provider: String,
+        /// Description of the rejected operator.
+        op: String,
+    },
+    /// Control iteration exceeded its iteration bound without converging.
+    NoConvergence {
+        /// The bound that was exceeded.
+        max_iters: usize,
+    },
+    /// Malformed bytes while decoding a shipped plan.
+    Corrupt(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Plan(msg) => write!(f, "plan error: {msg}"),
+            CoreError::Expr(msg) => write!(f, "expression error: {msg}"),
+            CoreError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            CoreError::Lower(msg) => write!(f, "lowering error: {msg}"),
+            CoreError::Unsupported { provider, op } => {
+                write!(f, "provider `{provider}` does not support {op}")
+            }
+            CoreError::NoConvergence { max_iters } => {
+                write!(f, "iteration did not converge within {max_iters} iterations")
+            }
+            CoreError::Corrupt(msg) => write!(f, "corrupt plan bytes: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: CoreError = StorageError::UnknownField("x".into()).into();
+        assert!(matches!(e, CoreError::Storage(_)));
+        assert!(e.to_string().contains("unknown field"));
+    }
+
+    #[test]
+    fn unsupported_names_provider() {
+        let e = CoreError::Unsupported {
+            provider: "relstore".into(),
+            op: "MatMul".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("relstore") && s.contains("MatMul"), "{s}");
+    }
+}

@@ -1,0 +1,482 @@
+//! The scalar expression language.
+//!
+//! Expressions appear inside `Select` predicates, `Project` lists and
+//! aggregate arguments. They follow SQL three-valued-logic semantics for
+//! nulls (see [`crate::eval`]) and are shipped to back ends as part of plan
+//! trees — never evaluated via per-call remote invocation, per the paper's
+//! LINQ analysis.
+
+use std::fmt;
+
+use bda_storage::{DataType, Value};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division on two ints; null on division by zero).
+    Div,
+    /// Remainder (null on zero divisor).
+    Mod,
+    /// Equality (three-valued).
+    Eq,
+    /// Inequality (three-valued).
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Kleene AND.
+    And,
+    /// Kleene OR.
+    Or,
+}
+
+impl BinOp {
+    /// All operators, in codec-tag order.
+    pub const ALL: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::And,
+        BinOp::Or,
+    ];
+
+    /// True for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for `AND` / `OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// The SQL-ish symbol used by the pretty printer and surface language.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// Unary operators and scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation (Kleene).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// Null test — total: never returns null.
+    IsNull,
+    /// Absolute value.
+    Abs,
+    /// Square root (null for negative input).
+    Sqrt,
+    /// Floor (returns Int64).
+    Floor,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm (null for non-positive input).
+    Ln,
+}
+
+impl UnOp {
+    /// All operators, in codec-tag order.
+    pub const ALL: [UnOp; 8] = [
+        UnOp::Not,
+        UnOp::Neg,
+        UnOp::IsNull,
+        UnOp::Abs,
+        UnOp::Sqrt,
+        UnOp::Floor,
+        UnOp::Exp,
+        UnOp::Ln,
+    ];
+
+    /// Name used by the pretty printer and surface language.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Not => "not",
+            UnOp::Neg => "-",
+            UnOp::IsNull => "isnull",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Floor => "floor",
+            UnOp::Exp => "exp",
+            UnOp::Ln => "ln",
+        }
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a named input column.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation / function.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        input: Box<Expr>,
+    },
+    /// Cast to a type ([`Value::cast`] semantics: total, null on failure).
+    Cast {
+        /// Operand.
+        input: Box<Expr>,
+        /// Target type.
+        to: DataType,
+    },
+    /// First non-null argument, or null.
+    Coalesce(Vec<Expr>),
+    /// Searched CASE: first `when` that evaluates to TRUE yields its
+    /// `then`; otherwise the `otherwise` branch (or null).
+    Case {
+        /// (condition, result) pairs, tested in order.
+        branches: Vec<(Expr, Expr)>,
+        /// Fallback result.
+        otherwise: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Collect the column names this expression references, in first-use
+    /// order without duplicates. Used by projection pruning.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |name| {
+            if !out.iter().any(|n| n == name) {
+                out.push(name.to_string());
+            }
+        });
+        out
+    }
+
+    /// Visit every column reference.
+    pub fn visit_columns(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            Expr::Column(name) => f(name),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Unary { input, .. } => input.visit_columns(f),
+            Expr::Cast { input, .. } => input.visit_columns(f),
+            Expr::Coalesce(args) => {
+                for a in args {
+                    a.visit_columns(f);
+                }
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
+                for (w, t) in branches {
+                    w.visit_columns(f);
+                    t.visit_columns(f);
+                }
+                if let Some(e) = otherwise {
+                    e.visit_columns(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrite column references through `f` (used when pushing
+    /// expressions through renames).
+    pub fn rename_columns(&self, f: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Column(name) => Expr::Column(f(name)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.rename_columns(f)),
+                right: Box::new(right.rename_columns(f)),
+            },
+            Expr::Unary { op, input } => Expr::Unary {
+                op: *op,
+                input: Box::new(input.rename_columns(f)),
+            },
+            Expr::Cast { input, to } => Expr::Cast {
+                input: Box::new(input.rename_columns(f)),
+                to: *to,
+            },
+            Expr::Coalesce(args) => {
+                Expr::Coalesce(args.iter().map(|a| a.rename_columns(f)).collect())
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| (w.rename_columns(f), t.rename_columns(f)))
+                    .collect(),
+                otherwise: otherwise
+                    .as_ref()
+                    .map(|e| Box::new(e.rename_columns(f))),
+            },
+        }
+    }
+
+    /// Split a predicate into its top-level AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// AND together a list of predicates (empty list ⇒ `true`).
+    pub fn and_all(preds: Vec<Expr>) -> Expr {
+        preds
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .unwrap_or_else(|| lit(true))
+    }
+}
+
+// --- fluent constructors ----------------------------------------------------
+
+/// A column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// A literal.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+/// The null literal.
+pub fn null() -> Expr {
+    Expr::Literal(Value::Null)
+}
+
+macro_rules! binop_method {
+    ($fn_name:ident, $op:expr) => {
+        /// Build a binary expression.
+        pub fn $fn_name(self, rhs: Expr) -> Expr {
+            Expr::Binary {
+                op: $op,
+                left: Box::new(self),
+                right: Box::new(rhs),
+            }
+        }
+    };
+}
+
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    binop_method!(add, BinOp::Add);
+    binop_method!(sub, BinOp::Sub);
+    binop_method!(mul, BinOp::Mul);
+    binop_method!(div, BinOp::Div);
+    binop_method!(modulo, BinOp::Mod);
+    binop_method!(eq, BinOp::Eq);
+    binop_method!(ne, BinOp::Ne);
+    binop_method!(lt, BinOp::Lt);
+    binop_method!(le, BinOp::Le);
+    binop_method!(gt, BinOp::Gt);
+    binop_method!(ge, BinOp::Ge);
+    binop_method!(and, BinOp::And);
+    binop_method!(or, BinOp::Or);
+
+    /// Logical NOT.
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            input: Box::new(self),
+        }
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Neg,
+            input: Box::new(self),
+        }
+    }
+
+    /// Null test.
+    pub fn is_null(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::IsNull,
+            input: Box::new(self),
+        }
+    }
+
+    /// Apply a unary function.
+    pub fn unary(self, op: UnOp) -> Expr {
+        Expr::Unary {
+            op,
+            input: Box::new(self),
+        }
+    }
+
+    /// Cast.
+    pub fn cast(self, to: DataType) -> Expr {
+        Expr::Cast {
+            input: Box::new(self),
+            to,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => f.write_str(name),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Unary { op, input } => write!(f, "{}({input})", op.name()),
+            Expr::Cast { input, to } => write!(f, "cast({input} as {to})"),
+            Expr::Coalesce(args) => {
+                write!(f, "coalesce(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
+                write!(f, "case")?;
+                for (w, t) in branches {
+                    write!(f, " when {w} then {t}")?;
+                }
+                if let Some(e) = otherwise {
+                    write!(f, " else {e}")?;
+                }
+                write!(f, " end")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_building() {
+        let e = col("a").add(lit(1i64)).gt(col("b"));
+        assert_eq!(e.to_string(), "((a + 1) > b)");
+    }
+
+    #[test]
+    fn referenced_columns_deduped_in_order() {
+        let e = col("b").add(col("a")).mul(col("b"));
+        assert_eq!(e.referenced_columns(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = col("a").gt(lit(1i64)).and(col("b").lt(lit(2i64)).and(col("c").eq(lit(3i64))));
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 3);
+        // OR does not split.
+        let e = col("a").gt(lit(1i64)).or(col("b").lt(lit(2i64)));
+        assert_eq!(e.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn and_all_of_empty_is_true() {
+        assert_eq!(Expr::and_all(vec![]), lit(true));
+        let one = col("x").is_null();
+        assert_eq!(Expr::and_all(vec![one.clone()]), one);
+    }
+
+    #[test]
+    fn rename_columns_rewrites_everywhere() {
+        let e = Expr::Case {
+            branches: vec![(col("x").gt(lit(0i64)), col("y"))],
+            otherwise: Some(Box::new(Expr::Coalesce(vec![col("x"), null()]))),
+        };
+        let r = e.rename_columns(&|n| format!("t.{n}"));
+        let refs = r.referenced_columns();
+        assert!(refs.contains(&"t.x".to_string()) && refs.contains(&"t.y".to_string()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(lit("hi").to_string(), "'hi'");
+        assert_eq!(col("v").cast(DataType::Float64).to_string(), "cast(v as f64)");
+        assert_eq!(col("v").is_null().to_string(), "isnull(v)");
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinOp::Add.is_arithmetic() && !BinOp::Add.is_comparison());
+        assert!(BinOp::Eq.is_comparison() && !BinOp::Eq.is_logical());
+        assert!(BinOp::And.is_logical());
+    }
+}

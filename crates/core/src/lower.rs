@@ -1,0 +1,938 @@
+//! Lowering: rewriting intent operators into the base algebra.
+//!
+//! Desideratum 2 (*translatability*) demands that "every algebra operator
+//! should be translatable to a back-end system (or a combination of such
+//! systems)". Intent operators (`MatMul`, `ElemWise`, `Window`, `Fill`,
+//! `SliceAt`, graph analytics) have native implementations only on
+//! specialized providers; this module gives each of them a semantics-
+//! preserving rewrite into `Select`/`Project`/`Join`/`Aggregate`/
+//! `Union`/`Distinct`/`Iterate` + retagging, which *every* provider (and
+//! the reference evaluator) can run.
+//!
+//! Naming: intermediate columns are prefixed `__` (reserved); lowered
+//! plans restore the original output names with final `Rename`/`TagDims`
+//! steps so lowering is transparent to the rest of the plan.
+//!
+//! Precondition for `Fill` and `ElemWise`: array inputs hold at most one
+//! row per coordinate (the array invariant). With duplicate coordinates
+//! the lowered and native forms may disagree.
+
+use bda_storage::Value;
+
+use crate::agg::{AggExpr, AggFunc};
+use crate::error::CoreError;
+use crate::expr::{col, lit, BinOp, Expr};
+use crate::infer::{bfs_schema, infer_schema, pagerank_schema};
+use crate::plan::{GraphOp, JoinType, Plan};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Lower a single node if it is an intent operator; `Ok(None)` means the
+/// node is already base algebra.
+pub fn lower_node(plan: &Plan) -> Result<Option<Plan>> {
+    match plan {
+        Plan::MatMul { left, right } => Ok(Some(lower_matmul(left, right)?)),
+        Plan::ElemWise { op, left, right } => Ok(Some(lower_elemwise(*op, left, right)?)),
+        Plan::Window {
+            input,
+            radii,
+            aggs,
+        } => Ok(Some(lower_window(input, radii, aggs)?)),
+        Plan::Fill { input, fill } => Ok(Some(lower_fill(input, fill)?)),
+        Plan::SliceAt { input, dim, index } => Ok(Some(lower_slice(input, dim, *index)?)),
+        Plan::Permute { input, order } => Ok(Some(lower_permute(input, order)?)),
+        Plan::Graph(g) => Ok(Some(lower_graph(g)?)),
+        _ => Ok(None),
+    }
+}
+
+/// Recursively lower every intent operator in the tree to base algebra.
+/// The result contains no intent nodes (verified by a debug assertion).
+pub fn lower_all(plan: &Plan) -> Result<Plan> {
+    let children: Vec<Plan> = plan
+        .children()
+        .iter()
+        .map(|c| lower_all(c))
+        .collect::<Result<_>>()?;
+    let rebuilt = plan.with_children(children);
+    let out = match lower_node(&rebuilt)? {
+        // A lowering may itself contain intent ops (e.g. graph lowerings
+        // do not, but be safe): lower again.
+        Some(lowered) => lower_all(&lowered)?,
+        None => rebuilt,
+    };
+    debug_assert!(
+        out.op_kinds().iter().all(|k| k.is_base()),
+        "lower_all left intent ops in {out}"
+    );
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Array intent lowerings
+// ---------------------------------------------------------------------------
+
+/// `(name, optional extent)` per dimension.
+type DimSpecs = Vec<(String, Option<(i64, i64)>)>;
+
+/// Canonical names for an array's dimensions and single value attribute.
+fn array_parts(plan: &Plan, what: &str) -> Result<(DimSpecs, String)> {
+    let schema = infer_schema(plan)?;
+    let dims: Vec<(String, Option<(i64, i64)>)> = schema
+        .dimensions()
+        .iter()
+        .map(|f| (f.name.clone(), f.extent()))
+        .collect();
+    let vals = schema.values();
+    if vals.len() != 1 {
+        return Err(CoreError::Lower(format!(
+            "{what}: lowering requires exactly one value attribute"
+        )));
+    }
+    Ok((dims, vals[0].name.clone()))
+}
+
+fn lower_matmul(left: &Plan, right: &Plan) -> Result<Plan> {
+    let out_schema = infer_schema(&Plan::MatMul {
+        left: left.clone().boxed(),
+        right: right.clone().boxed(),
+    })?;
+    let (l_dims, l_val) = array_parts(left, "matmul left")?;
+    let (r_dims, r_val) = array_parts(right, "matmul right")?;
+    let out_dims: Vec<&bda_storage::Field> = out_schema.dimensions();
+
+    // Flatten both sides to relations with canonical column names.
+    let l_flat = Plan::UntagDims {
+        input: left.clone().boxed(),
+    }
+    .project(vec![
+        ("__i", col(&l_dims[0].0)),
+        ("__k", col(&l_dims[1].0)),
+        ("__lv", col(&l_val).cast(bda_storage::DataType::Float64)),
+    ]);
+    let r_flat = Plan::UntagDims {
+        input: right.clone().boxed(),
+    }
+    .project(vec![
+        ("__k2", col(&r_dims[0].0)),
+        ("__j", col(&r_dims[1].0)),
+        ("__rv", col(&r_val).cast(bda_storage::DataType::Float64)),
+    ]);
+
+    // join on the contraction dimension, multiply, sum per output cell.
+    let joined = l_flat.join(r_flat, vec![("__k", "__k2")]);
+    let products = joined.project(vec![
+        ("__i", col("__i")),
+        ("__j", col("__j")),
+        ("__p", col("__lv").mul(col("__rv"))),
+    ]);
+    let summed = products.aggregate(
+        vec!["__i", "__j"],
+        vec![AggExpr::new(AggFunc::Sum, col("__p"), "v")],
+    );
+    // Groups whose products were all null would surface as null cells that
+    // the native operator never emits; drop them.
+    let non_null = summed.select(col("v").is_null().not());
+    let renamed = non_null.rename(vec![
+        ("__i", out_dims[0].name.as_str()),
+        ("__j", out_dims[1].name.as_str()),
+    ]);
+    Ok(Plan::TagDims {
+        input: renamed.boxed(),
+        dims: out_dims
+            .iter()
+            .map(|f| (f.name.clone(), f.extent()))
+            .collect(),
+    })
+}
+
+fn lower_elemwise(op: BinOp, left: &Plan, right: &Plan) -> Result<Plan> {
+    let out_schema = infer_schema(&Plan::ElemWise {
+        op,
+        left: left.clone().boxed(),
+        right: right.clone().boxed(),
+    })?;
+    let (dims, l_val) = array_parts(left, "elemwise left")?;
+    let (_, r_val) = array_parts(right, "elemwise right")?;
+
+    let mut l_proj: Vec<(String, Expr)> = Vec::new();
+    let mut r_proj: Vec<(String, Expr)> = Vec::new();
+    let mut on: Vec<(String, String)> = Vec::new();
+    for (idx, (d, _)) in dims.iter().enumerate() {
+        l_proj.push((format!("__l{idx}"), col(d)));
+        r_proj.push((format!("__r{idx}"), col(d)));
+        on.push((format!("__l{idx}"), format!("__r{idx}")));
+    }
+    l_proj.push(("__lv".into(), col(&l_val)));
+    r_proj.push(("__rv".into(), col(&r_val)));
+
+    let l_flat = Plan::Project {
+        input: Plan::UntagDims {
+            input: left.clone().boxed(),
+        }
+        .boxed(),
+        exprs: l_proj,
+    };
+    let r_flat = Plan::Project {
+        input: Plan::UntagDims {
+            input: right.clone().boxed(),
+        }
+        .boxed(),
+        exprs: r_proj,
+    };
+    let joined = Plan::Join {
+        left: l_flat.boxed(),
+        right: r_flat.boxed(),
+        on,
+        join_type: JoinType::Inner,
+        suffix: "_r".into(),
+    };
+    let mut out_exprs: Vec<(String, Expr)> = dims
+        .iter()
+        .enumerate()
+        .map(|(idx, (d, _))| (d.clone(), col(format!("__l{idx}"))))
+        .collect();
+    out_exprs.push((
+        "v".into(),
+        Expr::Binary {
+            op,
+            left: col("__lv").boxed_expr(),
+            right: col("__rv").boxed_expr(),
+        },
+    ));
+    let projected = Plan::Project {
+        input: joined.boxed(),
+        exprs: out_exprs,
+    };
+    Ok(Plan::TagDims {
+        input: projected.boxed(),
+        dims: out_schema
+            .dimensions()
+            .iter()
+            .map(|f| (f.name.clone(), f.extent()))
+            .collect(),
+    })
+}
+
+fn lower_window(input: &Plan, radii: &[(String, i64)], aggs: &[AggExpr]) -> Result<Plan> {
+    let in_schema = infer_schema(input)?;
+    let dims: Vec<(String, Option<(i64, i64)>)> = in_schema
+        .dimensions()
+        .iter()
+        .map(|f| (f.name.clone(), f.extent()))
+        .collect();
+    let radius_of = |d: &str| -> i64 {
+        radii
+            .iter()
+            .find(|(n, _)| n == d)
+            .map(|(_, r)| *r)
+            .expect("validated by infer")
+    };
+
+    // Offsets: the cross product of per-dimension ranges [-r, r].
+    let mut offsets: Option<Plan> = None;
+    for (idx, (d, _)) in dims.iter().enumerate() {
+        let r = radius_of(d);
+        let range = Plan::Range {
+            name: format!("__o{idx}"),
+            lo: -r,
+            hi: r + 1,
+        };
+        // Offsets are plain values, not dimensions of the result.
+        let range = Plan::UntagDims {
+            input: range.boxed(),
+        };
+        offsets = Some(match offsets {
+            None => range,
+            Some(acc) => Plan::Join {
+                left: acc.boxed(),
+                right: range.boxed(),
+                on: vec![],
+                join_type: JoinType::Inner,
+                suffix: "_r".into(),
+            },
+        });
+    }
+    let offsets = offsets.expect("window has at least one dimension");
+
+    // Every cell × every offset: the cell contributes to the window
+    // centred at coord + offset.
+    let cells = Plan::UntagDims {
+        input: input.clone().boxed(),
+    };
+    let spread = Plan::Join {
+        left: cells.clone().boxed(),
+        right: offsets.boxed(),
+        on: vec![],
+        join_type: JoinType::Inner,
+        suffix: "_o".into(),
+    };
+    // Keep neighbour attribute values under their original names for the
+    // aggregate arguments; add shifted centre coordinates.
+    let mut exprs: Vec<(String, Expr)> = in_schema
+        .fields()
+        .iter()
+        .map(|f| (f.name.clone(), col(&f.name)))
+        .collect();
+    for (idx, (d, _)) in dims.iter().enumerate() {
+        exprs.push((format!("__c{idx}"), col(d).add(col(format!("__o{idx}")))));
+    }
+    let shifted = Plan::Project {
+        input: spread.boxed(),
+        exprs,
+    };
+    let group: Vec<String> = (0..dims.len()).map(|i| format!("__c{i}")).collect();
+    let grouped = Plan::Aggregate {
+        input: shifted.boxed(),
+        group_by: group.clone(),
+        aggs: aggs.to_vec(),
+    };
+    // Only centres that are present cells of the input survive.
+    let centre_coords = Plan::Project {
+        input: Plan::UntagDims {
+            input: input.clone().boxed(),
+        }
+        .boxed(),
+        exprs: dims
+            .iter()
+            .map(|(d, _)| (d.clone(), col(d)))
+            .collect(),
+    };
+    let on: Vec<(String, String)> = group
+        .iter()
+        .zip(&dims)
+        .map(|(c, (d, _))| (c.clone(), d.clone()))
+        .collect();
+    let present_only = Plan::Join {
+        left: grouped.boxed(),
+        right: centre_coords.boxed(),
+        on,
+        join_type: JoinType::Semi,
+        suffix: "_s".into(),
+    };
+    let renamed = Plan::Rename {
+        input: present_only.boxed(),
+        mapping: group
+            .iter()
+            .zip(&dims)
+            .map(|(c, (d, _))| (c.clone(), d.clone()))
+            .collect(),
+    };
+    Ok(Plan::TagDims {
+        input: renamed.boxed(),
+        dims,
+    })
+}
+
+fn lower_fill(input: &Plan, fill: &Value) -> Result<Plan> {
+    let in_schema = infer_schema(input)?;
+    let dims: Vec<(String, i64, i64)> = in_schema
+        .dimensions()
+        .iter()
+        .map(|f| {
+            let (lo, hi) = f.extent().expect("fill requires bounded dims (infer)");
+            (f.name.clone(), lo, hi)
+        })
+        .collect();
+    // The full coordinate domain: cross product of dimension ranges
+    // (Range leaves are dimension-tagged, and inner join preserves tags).
+    let mut domain: Option<Plan> = None;
+    for (d, lo, hi) in &dims {
+        let r = Plan::Range {
+            name: d.clone(),
+            lo: *lo,
+            hi: *hi,
+        };
+        domain = Some(match domain {
+            None => r,
+            Some(acc) => Plan::Join {
+                left: acc.boxed(),
+                right: r.boxed(),
+                on: vec![],
+                join_type: JoinType::Inner,
+                suffix: "_r".into(),
+            },
+        });
+    }
+    let domain = domain.ok_or_else(|| CoreError::Lower("fill: no dimensions".into()))?;
+
+    // Mark present cells, left-join the domain against them.
+    let mut cell_exprs: Vec<(String, Expr)> = Vec::new();
+    for (d, _, _) in &dims {
+        cell_exprs.push((format!("__c_{d}"), col(d)));
+    }
+    for f in in_schema.values() {
+        cell_exprs.push((format!("__v_{}", f.name), col(&f.name)));
+    }
+    cell_exprs.push(("__present".into(), lit(true)));
+    let cells = Plan::Project {
+        input: Plan::UntagDims {
+            input: input.clone().boxed(),
+        }
+        .boxed(),
+        exprs: cell_exprs,
+    };
+    let on: Vec<(String, String)> = dims
+        .iter()
+        .map(|(d, _, _)| (d.clone(), format!("__c_{d}")))
+        .collect();
+    let joined = Plan::Join {
+        left: domain.boxed(),
+        right: cells.boxed(),
+        on,
+        join_type: JoinType::Left,
+        suffix: "_r".into(),
+    };
+    // Rebuild the original schema: dims pass through (keeping their tags),
+    // values take the stored value when present, else the fill constant.
+    let mut out_exprs: Vec<(String, Expr)> = Vec::new();
+    for f in in_schema.fields() {
+        if f.is_dimension() {
+            out_exprs.push((f.name.clone(), col(&f.name)));
+        } else {
+            let stored = col(format!("__v_{}", f.name));
+            let filler = Expr::Literal(fill.cast(f.dtype));
+            out_exprs.push((
+                f.name.clone(),
+                Expr::Case {
+                    branches: vec![(col("__present").eq(lit(true)), stored)],
+                    otherwise: Some(filler.boxed_expr()),
+                },
+            ));
+        }
+    }
+    Ok(Plan::Project {
+        input: joined.boxed(),
+        exprs: out_exprs,
+    })
+}
+
+/// Permute lowers to a projection listing the fields in the permuted
+/// order: bare dimension references keep their tags, so the projection's
+/// output schema is exactly the permuted schema.
+fn lower_permute(input: &Plan, order: &[String]) -> Result<Plan> {
+    let in_schema = infer_schema(input)?;
+    let mut exprs: Vec<(String, Expr)> = Vec::with_capacity(in_schema.len());
+    for d in order {
+        exprs.push((d.clone(), col(d)));
+    }
+    for f in in_schema.values() {
+        exprs.push((f.name.clone(), col(&f.name)));
+    }
+    // Validate against the intent's own schema rules.
+    infer_schema(&Plan::Permute {
+        input: input.clone().boxed(),
+        order: order.to_vec(),
+    })?;
+    Ok(Plan::Project {
+        input: input.clone().boxed(),
+        exprs,
+    })
+}
+
+fn lower_slice(input: &Plan, dim: &str, index: i64) -> Result<Plan> {
+    let in_schema = infer_schema(input)?;
+    let diced = Plan::Dice {
+        input: input.clone().boxed(),
+        ranges: vec![(dim.to_string(), index, index + 1)],
+    };
+    let exprs: Vec<(String, Expr)> = in_schema
+        .fields()
+        .iter()
+        .filter(|f| f.name != dim)
+        .map(|f| (f.name.clone(), col(&f.name)))
+        .collect();
+    Ok(Plan::Project {
+        input: diced.boxed(),
+        exprs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Graph intent lowerings
+// ---------------------------------------------------------------------------
+
+/// The canonical (distinct) edge set of a graph input.
+fn canonical_edges(edges: &Plan) -> Plan {
+    edges
+        .clone()
+        .project(vec![("src", col("src")), ("dst", col("dst"))])
+        .select(col("src").is_null().not().and(col("dst").is_null().not()))
+        .distinct()
+}
+
+/// The vertex set `(vertex: i64)` of a graph input.
+fn vertices(edges: &Plan) -> Plan {
+    let e = canonical_edges(edges);
+    e.clone()
+        .project(vec![("vertex", col("src"))])
+        .union(e.project(vec![("vertex", col("dst"))]))
+        .distinct()
+}
+
+fn lower_graph(g: &GraphOp) -> Result<Plan> {
+    // Graph inputs are validated by infer before lowering.
+    infer_schema(&Plan::Graph(g.clone()))?;
+    match g {
+        GraphOp::Degrees { edges } => Ok(lower_degrees(edges)),
+        GraphOp::TriangleCount { edges } => Ok(lower_triangles(edges)),
+        GraphOp::ConnectedComponents { edges, max_iters } => {
+            Ok(lower_components(edges, *max_iters))
+        }
+        GraphOp::PageRank {
+            edges,
+            damping,
+            max_iters,
+            epsilon,
+        } => Ok(lower_pagerank(edges, *damping, *max_iters, *epsilon)),
+        GraphOp::BfsLevels { edges, source } => Ok(lower_bfs(edges, *source)),
+    }
+}
+
+/// BFS levels as a fixpoint: the reached set grows by one hop per
+/// iteration, each vertex keeping its minimum level. The bound is the
+/// vertex count (the longest possible shortest path), discovered with a
+/// static bound of usize::MAX truncated by fixpoint detection — we use a
+/// generous constant because the fixpoint always fires first on finite
+/// graphs.
+fn lower_bfs(edges: &Plan, source: i64) -> Plan {
+    let e = canonical_edges(edges);
+    // The source, if present in the graph, at level 0.
+    let init = vertices(edges)
+        .select(col("vertex").eq(lit(source)))
+        .project(vec![("vertex", col("vertex")), ("level", lit(0i64))]);
+    let state = Plan::IterState {
+        schema: bfs_schema(),
+    };
+    // One-hop expansion: neighbours of reached vertices at level+1.
+    let expanded = e
+        .join(state.clone(), vec![("src", "vertex")])
+        .project(vec![
+            ("vertex", col("dst")),
+            ("level", col("level").add(lit(1i64))),
+        ]);
+    let body = state
+        .union(expanded)
+        .aggregate(
+            vec!["vertex"],
+            vec![AggExpr::new(AggFunc::Min, col("level"), "level")],
+        );
+    Plan::Iterate {
+        init: init.boxed(),
+        body: body.boxed(),
+        max_iters: 1_000_000,
+        epsilon: None,
+    }
+}
+
+fn lower_degrees(edges: &Plan) -> Plan {
+    let out_counts = canonical_edges(edges)
+        .aggregate(vec!["src"], vec![AggExpr::count_star("__n")])
+        .rename(vec![("src", "__v")]);
+    vertices(edges)
+        .join_as(out_counts, vec![("vertex", "__v")], JoinType::Left)
+        .project(vec![
+            ("vertex", col("vertex")),
+            ("degree", Expr::Coalesce(vec![col("__n"), lit(0i64)])),
+        ])
+}
+
+fn lower_triangles(edges: &Plan) -> Plan {
+    let e = canonical_edges(edges);
+    let e1 = e.clone().rename(vec![("src", "__a"), ("dst", "__b")]);
+    let e2 = e.clone().rename(vec![("src", "__b2"), ("dst", "__c")]);
+    let e3 = e.rename(vec![("src", "__c2"), ("dst", "__a2")]);
+    // a → b → c → a; each cycle appears once per rotation, so divide by 3.
+    e1.join(e2, vec![("__b", "__b2")])
+        .join(e3, vec![("__c", "__c2"), ("__a", "__a2")])
+        .aggregate(vec![], vec![AggExpr::count_star("__cnt")])
+        .project(vec![("triangles", col("__cnt").div(lit(3i64)))])
+}
+
+fn lower_components(edges: &Plan, max_iters: usize) -> Plan {
+    let e = canonical_edges(edges);
+    // Undirected view.
+    let und = e
+        .clone()
+        .project(vec![("__s", col("src")), ("__d", col("dst"))])
+        .union(e.project(vec![("__s", col("dst")), ("__d", col("src"))]))
+        .distinct();
+    let schema = crate::infer::components_schema();
+    let init = vertices(edges).project(vec![
+        ("vertex", col("vertex")),
+        ("component", col("vertex")),
+    ]);
+    let state = Plan::IterState {
+        schema: schema.clone(),
+    };
+    // Minimum neighbour label per vertex.
+    let neighbour_min = und
+        .join(state.clone(), vec![("__s", "vertex")])
+        .aggregate(
+            vec!["__d"],
+            vec![AggExpr::new(AggFunc::Min, col("component"), "__nm")],
+        );
+    let body = state
+        .join_as(neighbour_min, vec![("vertex", "__d")], JoinType::Left)
+        .project(vec![
+            ("vertex", col("vertex")),
+            (
+                "component",
+                Expr::Case {
+                    branches: vec![(
+                        col("__nm").is_null().not().and(col("__nm").lt(col("component"))),
+                        col("__nm"),
+                    )],
+                    otherwise: Some(col("component").boxed_expr()),
+                },
+            ),
+        ]);
+    Plan::Iterate {
+        init: init.boxed(),
+        body: body.boxed(),
+        max_iters,
+        epsilon: None,
+    }
+}
+
+fn lower_pagerank(edges: &Plan, damping: f64, max_iters: usize, epsilon: f64) -> Plan {
+    let e = canonical_edges(edges);
+    let verts = vertices(edges);
+    // 1/N, attached to every vertex by a cross join with the global count.
+    let verts_with_invn = verts
+        .clone()
+        .join_as(
+            verts
+                .clone()
+                .aggregate(vec![], vec![AggExpr::count_star("__n")]),
+            vec![],
+            JoinType::Inner,
+        )
+        .project(vec![
+            ("vertex", col("vertex")),
+            (
+                "__invn",
+                lit(1.0).div(col("__n").cast(bda_storage::DataType::Float64)),
+            ),
+        ]);
+    let init = verts_with_invn.clone().project(vec![
+        ("vertex", col("vertex")),
+        ("rank", col("__invn")),
+    ]);
+    // Edges with the source's out-degree.
+    let outdeg = e
+        .clone()
+        .aggregate(vec!["src"], vec![AggExpr::count_star("__od")])
+        .rename(vec![("src", "__s")]);
+    let e_od = e.join(outdeg, vec![("src", "__s")]);
+    let state = Plan::IterState {
+        schema: pagerank_schema(),
+    };
+    // Contribution flowing along each edge, summed per destination.
+    let sums = e_od
+        .join(state, vec![("src", "vertex")])
+        .project(vec![
+            ("__dst", col("dst")),
+            (
+                "__c",
+                col("rank").div(col("__od").cast(bda_storage::DataType::Float64)),
+            ),
+        ])
+        .aggregate(
+            vec!["__dst"],
+            vec![AggExpr::new(AggFunc::Sum, col("__c"), "__s")],
+        );
+    let body = verts_with_invn
+        .join_as(sums, vec![("vertex", "__dst")], JoinType::Left)
+        .project(vec![
+            ("vertex", col("vertex")),
+            (
+                "rank",
+                lit(1.0 - damping)
+                    .mul(col("__invn"))
+                    .add(lit(damping).mul(Expr::Coalesce(vec![col("__s"), lit(0.0)]))),
+            ),
+        ]);
+    Plan::Iterate {
+        init: init.boxed(),
+        body: body.boxed(),
+        max_iters,
+        epsilon: Some(epsilon),
+    }
+}
+
+// Small helper so expression construction reads naturally above.
+trait BoxedExpr {
+    fn boxed_expr(self) -> Box<Expr>;
+}
+
+impl BoxedExpr for Expr {
+    fn boxed_expr(self) -> Box<Expr> {
+        Box::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::OpKind;
+    use crate::infer::edge_schema;
+    use crate::reference::{evaluate, DataSource};
+    use bda_storage::dataset::matrix_dataset;
+    use bda_storage::{DataSet, DataType, Field, Row, Schema};
+    use std::collections::HashMap;
+
+    fn assert_equiv(plan: &Plan, src: &dyn DataSource) {
+        let native = evaluate(plan, src).expect("native evaluation");
+        let lowered_plan = lower_all(plan).expect("lowering");
+        assert!(
+            lowered_plan.op_kinds().iter().all(|k| k.is_base()),
+            "lowering left intent ops"
+        );
+        let lowered = evaluate(&lowered_plan, src).expect("lowered evaluation");
+        assert_eq!(native.schema(), lowered.schema(), "schemas must agree");
+        // Compare with float tolerance.
+        let a = native.sorted_rows().unwrap();
+        let b = lowered.sorted_rows().unwrap();
+        assert_eq!(a.len(), b.len(), "row counts differ");
+        for (x, y) in a.iter().zip(&b) {
+            for (vx, vy) in x.0.iter().zip(&y.0) {
+                match (vx, vy) {
+                    (Value::Float(fx), Value::Float(fy)) => {
+                        assert!(
+                            (fx - fy).abs() <= 1e-9 * (1.0 + fx.abs()),
+                            "float mismatch {fx} vs {fy} in {x} vs {y}"
+                        )
+                    }
+                    _ => assert_eq!(vx, vy, "row mismatch {x} vs {y}"),
+                }
+            }
+        }
+    }
+
+    fn matrices() -> (HashMap<String, DataSet>, Plan, Plan) {
+        let a = matrix_dataset(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = matrix_dataset(2, 4, (0..8).map(|i| i as f64 - 3.0).collect()).unwrap();
+        let mut src = HashMap::new();
+        src.insert("a".into(), a.clone());
+        src.insert("b".into(), b.clone());
+        let pa = Plan::scan("a", a.schema().clone());
+        let pb = Plan::scan("b", b.schema().clone()).rename(vec![("row", "k"), ("col", "j")]);
+        (src, pa, pb)
+    }
+
+    #[test]
+    fn matmul_lowering_equivalent() {
+        let (src, a, b) = matrices();
+        assert_equiv(&a.matmul(b), &src);
+    }
+
+    #[test]
+    fn matmul_lowering_is_base_only() {
+        let (_, a, b) = matrices();
+        let lowered = lower_all(&a.matmul(b)).unwrap();
+        let kinds = lowered.op_kinds();
+        assert!(kinds.contains(&OpKind::Join) && kinds.contains(&OpKind::Aggregate));
+        assert!(!kinds.contains(&OpKind::MatMul));
+    }
+
+    #[test]
+    fn elemwise_lowering_equivalent() {
+        let (src, a, _) = matrices();
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Sub, BinOp::Lt] {
+            assert_equiv(&a.clone().elemwise(op, a.clone()), &src);
+        }
+    }
+
+    #[test]
+    fn window_lowering_equivalent() {
+        let schema = Schema::new(vec![
+            Field::dimension_bounded("i", 0, 5),
+            Field::value("v", DataType::Float64),
+        ])
+        .unwrap();
+        // Sparse: cells 0, 1, 3.
+        let ds = DataSet::from_rows(
+            schema.clone(),
+            &[
+                Row(vec![Value::Int(0), Value::Float(1.0)]),
+                Row(vec![Value::Int(1), Value::Float(10.0)]),
+                Row(vec![Value::Int(3), Value::Float(100.0)]),
+            ],
+        )
+        .unwrap();
+        let mut src = HashMap::new();
+        src.insert("x".to_string(), ds);
+        let p = Plan::Window {
+            input: Plan::scan("x", schema).boxed(),
+            radii: vec![("i".into(), 1)],
+            aggs: vec![
+                AggExpr::new(AggFunc::Sum, col("v"), "s"),
+                AggExpr::count_star("n"),
+            ],
+        };
+        assert_equiv(&p, &src);
+    }
+
+    #[test]
+    fn window_2d_lowering_equivalent() {
+        let ds = matrix_dataset(3, 3, (0..9).map(|i| i as f64).collect()).unwrap();
+        let mut src = HashMap::new();
+        src.insert("m".to_string(), ds.clone());
+        let p = Plan::Window {
+            input: Plan::scan("m", ds.schema().clone()).boxed(),
+            radii: vec![("row".into(), 1), ("col".into(), 0)],
+            aggs: vec![AggExpr::new(AggFunc::Avg, col("v"), "m")],
+        };
+        assert_equiv(&p, &src);
+    }
+
+    #[test]
+    fn fill_lowering_equivalent() {
+        let schema = Schema::new(vec![
+            Field::dimension_bounded("i", 0, 4),
+            Field::value("v", DataType::Int64),
+            Field::value("w", DataType::Float64),
+        ])
+        .unwrap();
+        let ds = DataSet::from_rows(
+            schema.clone(),
+            &[
+                Row(vec![Value::Int(2), Value::Int(5), Value::Null]),
+                Row(vec![Value::Int(0), Value::Null, Value::Float(1.5)]),
+            ],
+        )
+        .unwrap();
+        let mut src = HashMap::new();
+        src.insert("x".to_string(), ds);
+        let p = Plan::Fill {
+            input: Plan::scan("x", schema).boxed(),
+            fill: Value::Int(0),
+        };
+        assert_equiv(&p, &src);
+    }
+
+    #[test]
+    fn slice_lowering_equivalent() {
+        let (src, a, _) = matrices();
+        let p = Plan::SliceAt {
+            input: a.boxed(),
+            dim: "row".into(),
+            index: 1,
+        };
+        assert_equiv(&p, &src);
+    }
+
+    fn graph_src() -> (HashMap<String, DataSet>, Plan) {
+        let edges = DataSet::from_rows(
+            edge_schema(),
+            &[
+                Row(vec![Value::Int(0), Value::Int(1)]),
+                Row(vec![Value::Int(1), Value::Int(2)]),
+                Row(vec![Value::Int(2), Value::Int(0)]),
+                Row(vec![Value::Int(2), Value::Int(3)]),
+                Row(vec![Value::Int(3), Value::Int(2)]),
+                Row(vec![Value::Int(0), Value::Int(1)]), // duplicate edge
+                Row(vec![Value::Int(5), Value::Int(6)]),
+                Row(vec![Value::Int(6), Value::Int(5)]),
+            ],
+        )
+        .unwrap();
+        let mut src = HashMap::new();
+        src.insert("edges".to_string(), edges);
+        (src, Plan::scan("edges", edge_schema()))
+    }
+
+    #[test]
+    fn degrees_lowering_equivalent() {
+        let (src, e) = graph_src();
+        assert_equiv(&Plan::Graph(GraphOp::Degrees { edges: e.boxed() }), &src);
+    }
+
+    #[test]
+    fn triangles_lowering_equivalent() {
+        let (src, e) = graph_src();
+        assert_equiv(
+            &Plan::Graph(GraphOp::TriangleCount { edges: e.boxed() }),
+            &src,
+        );
+    }
+
+    #[test]
+    fn components_lowering_equivalent() {
+        let (src, e) = graph_src();
+        assert_equiv(
+            &Plan::Graph(GraphOp::ConnectedComponents {
+                edges: e.boxed(),
+                max_iters: 20,
+            }),
+            &src,
+        );
+    }
+
+    #[test]
+    fn bfs_lowering_equivalent() {
+        let (src, e) = graph_src();
+        assert_equiv(
+            &Plan::Graph(GraphOp::BfsLevels {
+                edges: e.clone().boxed(),
+                source: 0,
+            }),
+            &src,
+        );
+        // A source outside the graph reaches nothing.
+        assert_equiv(
+            &Plan::Graph(GraphOp::BfsLevels {
+                edges: e.boxed(),
+                source: 999,
+            }),
+            &src,
+        );
+    }
+
+    #[test]
+    fn pagerank_lowering_equivalent() {
+        let (src, e) = graph_src();
+        assert_equiv(
+            &Plan::Graph(GraphOp::PageRank {
+                edges: e.boxed(),
+                damping: 0.85,
+                max_iters: 60,
+                epsilon: 1e-10,
+            }),
+            &src,
+        );
+    }
+
+    #[test]
+    fn lower_is_idempotent_on_base_plans() {
+        let schema = Schema::new(vec![Field::value("k", DataType::Int64)]).unwrap();
+        let p = Plan::scan("t", schema).select(col("k").gt(lit(0i64)));
+        assert_eq!(lower_all(&p).unwrap(), p);
+        assert!(lower_node(&p).unwrap().is_none());
+    }
+
+    #[test]
+    fn nested_intents_fully_lowered() {
+        // A matmul whose input is an elemwise sum: both must lower.
+        let (src, a, b) = matrices();
+        let p = a.clone().elemwise(BinOp::Add, a).matmul(b);
+        let lowered = lower_all(&p).unwrap();
+        assert!(lowered.op_kinds().iter().all(|k| k.is_base()));
+        assert_equiv(&p, &src);
+    }
+
+    #[test]
+    fn matmul_with_multiple_values_rejected() {
+        let schema = Schema::new(vec![
+            Field::dimension_bounded("i", 0, 2),
+            Field::dimension_bounded("j", 0, 2),
+            Field::value("v", DataType::Float64),
+            Field::value("w", DataType::Float64),
+        ])
+        .unwrap();
+        let p = Plan::scan("m", schema.clone()).matmul(Plan::scan("m", schema));
+        assert!(lower_all(&p).is_err());
+    }
+}

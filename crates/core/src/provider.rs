@@ -1,0 +1,291 @@
+//! The provider model: what it means to be a back-end server.
+//!
+//! A [`Provider`] is the paper's "LINQ Provider" analogue: it advertises a
+//! catalog of datasets and a [`CapabilitySet`] of algebra operators it can
+//! execute natively, accepts whole plan trees, and returns materialized
+//! collections. The federation layer composes providers; nothing in this
+//! trait assumes a particular engine technology.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bda_storage::{DataSet, Schema};
+
+use crate::error::CoreError;
+use crate::plan::{OpKind, Plan};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// The set of operator kinds a provider executes natively.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CapabilitySet {
+    ops: BTreeSet<OpKind>,
+}
+
+impl CapabilitySet {
+    /// The empty capability set.
+    pub fn new() -> CapabilitySet {
+        CapabilitySet::default()
+    }
+
+    /// Build from a list of kinds.
+    pub fn from_ops(ops: &[OpKind]) -> CapabilitySet {
+        CapabilitySet {
+            ops: ops.iter().copied().collect(),
+        }
+    }
+
+    /// Every base (non-intent) operator — the common relational/array core.
+    pub fn all_base() -> CapabilitySet {
+        CapabilitySet {
+            ops: OpKind::ALL.iter().copied().filter(|k| k.is_base()).collect(),
+        }
+    }
+
+    /// Every operator, intent included.
+    pub fn all() -> CapabilitySet {
+        CapabilitySet {
+            ops: OpKind::ALL.iter().copied().collect(),
+        }
+    }
+
+    /// Add a capability.
+    pub fn with(mut self, op: OpKind) -> CapabilitySet {
+        self.ops.insert(op);
+        self
+    }
+
+    /// Remove a capability.
+    pub fn without(mut self, op: OpKind) -> CapabilitySet {
+        self.ops.remove(&op);
+        self
+    }
+
+    /// Does this set include `op`?
+    pub fn supports(&self, op: OpKind) -> bool {
+        self.ops.contains(&op)
+    }
+
+    /// Does this set cover every node of `plan`?
+    pub fn supports_plan(&self, plan: &Plan) -> bool {
+        plan.op_kinds().iter().all(|k| self.supports(*k))
+    }
+
+    /// The operator kinds in `plan` that this set does *not* cover.
+    pub fn unsupported_in(&self, plan: &Plan) -> Vec<OpKind> {
+        let mut out: Vec<OpKind> = plan
+            .op_kinds()
+            .into_iter()
+            .filter(|k| !self.supports(*k))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Iterate over the kinds.
+    pub fn iter(&self) -> impl Iterator<Item = OpKind> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// Number of supported kinds.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no kinds are supported.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl fmt::Display for CapabilitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.ops.iter().map(|k| k.name()).collect();
+        write!(f, "{{{}}}", names.join(", "))
+    }
+}
+
+/// A back-end server: catalog + capabilities + plan execution.
+///
+/// `execute` and `store` take `&self`: providers are shared across threads
+/// by the simulated cluster, so implementations use interior mutability
+/// for their catalogs.
+pub trait Provider: Send + Sync {
+    /// Stable provider name (used for site annotations and metrics).
+    fn name(&self) -> &str;
+
+    /// Operators this provider executes natively.
+    fn capabilities(&self) -> CapabilitySet;
+
+    /// The datasets this provider holds, with their schemas.
+    fn catalog(&self) -> Vec<(String, Schema)>;
+
+    /// Execute a plan tree whose scans all resolve in this provider's
+    /// catalog, returning a materialized collection (no cursors).
+    fn execute(&self, plan: &Plan) -> Result<DataSet>;
+
+    /// Ingest a dataset (used for loading and for direct server-to-server
+    /// transfer of intermediate results — desideratum 4).
+    fn store(&self, name: &str, data: DataSet) -> Result<()>;
+
+    /// Drop a dataset if present (cleanup of shipped intermediates).
+    fn remove(&self, name: &str);
+
+    /// Schema of a named dataset, if present.
+    fn schema_of(&self, name: &str) -> Option<Schema> {
+        self.catalog()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Row count of a named dataset, if known. Drives the federation's
+    /// data-locality heuristic; `None` means "no statistics".
+    fn row_count_of(&self, name: &str) -> Option<usize> {
+        let _ = name;
+        None
+    }
+}
+
+/// A provider backed by the reference evaluator: supports the entire
+/// algebra (intent operators included) at oracle speed. Useful in tests,
+/// as the portability baseline, and as the federation's fallback site.
+pub struct ReferenceProvider {
+    name: String,
+    data: parking_lot_free_lock::Lock<std::collections::HashMap<String, DataSet>>,
+}
+
+/// Minimal internal RwLock wrapper so `bda-core` does not need a lock
+/// dependency (engine crates use `parking_lot`; the reference provider is
+/// cold-path only).
+mod parking_lot_free_lock {
+    use std::sync::RwLock;
+
+    #[derive(Default)]
+    pub struct Lock<T>(RwLock<T>);
+
+    impl<T> Lock<T> {
+        pub fn new(v: T) -> Lock<T> {
+            Lock(RwLock::new(v))
+        }
+
+        pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+            f(&self.0.read().expect("reference provider lock poisoned"))
+        }
+
+        pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+            f(&mut self.0.write().expect("reference provider lock poisoned"))
+        }
+    }
+}
+
+impl ReferenceProvider {
+    /// An empty reference provider with the given name.
+    pub fn new(name: impl Into<String>) -> ReferenceProvider {
+        ReferenceProvider {
+            name: name.into(),
+            data: parking_lot_free_lock::Lock::new(Default::default()),
+        }
+    }
+}
+
+impl Provider for ReferenceProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        CapabilitySet::all()
+    }
+
+    fn catalog(&self) -> Vec<(String, Schema)> {
+        self.data.read(|m| {
+            let mut out: Vec<(String, Schema)> = m
+                .iter()
+                .map(|(n, ds)| (n.clone(), ds.schema().clone()))
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        })
+    }
+
+    fn execute(&self, plan: &Plan) -> Result<DataSet> {
+        self.data.read(|m| crate::reference::evaluate(plan, m))
+    }
+
+    fn store(&self, name: &str, data: DataSet) -> Result<()> {
+        self.data.write(|m| {
+            m.insert(name.to_string(), data);
+        });
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) {
+        self.data.write(|m| {
+            m.remove(name);
+        });
+    }
+
+    fn row_count_of(&self, name: &str) -> Option<usize> {
+        self.data.read(|m| m.get(name).map(|ds| ds.num_rows()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use bda_storage::Column;
+
+    #[test]
+    fn capability_set_operations() {
+        let base = CapabilitySet::all_base();
+        assert!(base.supports(OpKind::Join));
+        assert!(!base.supports(OpKind::MatMul));
+        let with_mm = base.clone().with(OpKind::MatMul);
+        assert!(with_mm.supports(OpKind::MatMul));
+        let without_join = with_mm.without(OpKind::Join);
+        assert!(!without_join.supports(OpKind::Join));
+        assert!(CapabilitySet::all().len() == OpKind::ALL.len());
+        assert!(CapabilitySet::new().is_empty());
+    }
+
+    #[test]
+    fn supports_plan_and_unsupported_in() {
+        let schema = bda_storage::Schema::new(vec![bda_storage::Field::value(
+            "k",
+            bda_storage::DataType::Int64,
+        )])
+        .unwrap();
+        let plan = Plan::scan("t", schema.clone()).select(col("k").gt(lit(0i64)));
+        let caps = CapabilitySet::from_ops(&[OpKind::Scan, OpKind::Select]);
+        assert!(caps.supports_plan(&plan));
+        let bigger = plan.distinct();
+        assert!(!caps.supports_plan(&bigger));
+        assert_eq!(caps.unsupported_in(&bigger), vec![OpKind::Distinct]);
+    }
+
+    #[test]
+    fn reference_provider_end_to_end() {
+        let p = ReferenceProvider::new("ref");
+        let ds = DataSet::from_columns(vec![("k", Column::from(vec![1i64, 2, 3]))]).unwrap();
+        p.store("t", ds.clone()).unwrap();
+        assert_eq!(p.catalog().len(), 1);
+        assert_eq!(p.schema_of("t"), Some(ds.schema().clone()));
+        let plan = Plan::scan("t", ds.schema().clone()).select(col("k").gt(lit(1i64)));
+        let out = p.execute(&plan).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        p.remove("t");
+        assert!(p.catalog().is_empty());
+        assert!(p.execute(&plan).is_err());
+    }
+
+    #[test]
+    fn display_capabilities() {
+        let caps = CapabilitySet::from_ops(&[OpKind::MatMul, OpKind::Scan]);
+        let s = caps.to_string();
+        assert!(s.contains("matmul") && s.contains("scan"), "{s}");
+    }
+}

@@ -1,0 +1,410 @@
+//! Intent recognition: recovering intent operators from lowered plans.
+//!
+//! Desideratum 3 (*intent preservation*): "if the original function is
+//! matrix multiply, it should be recognizable as such at a server that has
+//! a direct implementation of matrix multiply". A client (or a naive
+//! middle tier) may hand us the *lowered* join/aggregate form; this module
+//! pattern-matches that shape and rebuilds the intent node, so the
+//! federation planner can route it to a linear-algebra provider.
+//!
+//! Scope: the recognizers match the canonical shapes produced by
+//! [`crate::lower`] (modulo column names, which are matched positionally).
+//! Recognizing arbitrary semantically-equivalent plans is undecidable in
+//! general; the experiment F1 quantifies what canonical-shape recognition
+//! buys.
+
+use crate::agg::AggFunc;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::plan::{JoinType, Plan};
+
+/// Recursively apply intent recognition at every node, bottom-up.
+pub fn recognize_all(plan: &Plan) -> Plan {
+    plan.transform_up(&|node| {
+        if let Some(m) = recognize_matmul(&node) {
+            return m;
+        }
+        if let Some(e) = recognize_elemwise(&node) {
+            return e;
+        }
+        node
+    })
+}
+
+/// Try to recognize the canonical lowered matrix-multiply shape rooted at
+/// `plan`, returning the equivalent [`Plan::MatMul`].
+pub fn recognize_matmul(plan: &Plan) -> Option<Plan> {
+    // TagDims([i, j]) over ...
+    let Plan::TagDims { input, dims } = plan else {
+        return None;
+    };
+    if dims.len() != 2 {
+        return None;
+    }
+    // ... Rename over ...
+    let Plan::Rename { input, .. } = input.as_ref() else {
+        return None;
+    };
+    // ... Select(not isnull(v)) over ...
+    let Plan::Select { input, predicate } = input.as_ref() else {
+        return None;
+    };
+    let Expr::Unary {
+        op: UnOp::Not,
+        input: not_arg,
+    } = predicate
+    else {
+        return None;
+    };
+    let Expr::Unary {
+        op: UnOp::IsNull, ..
+    } = not_arg.as_ref()
+    else {
+        return None;
+    };
+    // ... Aggregate(group [gi, gj], [sum(p)]) over ...
+    let Plan::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = input.as_ref()
+    else {
+        return None;
+    };
+    if group_by.len() != 2 || aggs.len() != 1 || aggs[0].func != AggFunc::Sum {
+        return None;
+    }
+    let Some(Expr::Column(sum_col)) = &aggs[0].arg else {
+        return None;
+    };
+    // ... Project([i, j, p = lv * rv]) over ...
+    let Plan::Project { input, exprs } = input.as_ref() else {
+        return None;
+    };
+    if exprs.len() != 3 {
+        return None;
+    }
+    // The two group columns must be passthroughs; the summed column a product.
+    let passthrough = |name: &str| -> Option<String> {
+        exprs.iter().find_map(|(n, e)| {
+            if n == name {
+                if let Expr::Column(c) = e {
+                    return Some(c.clone());
+                }
+            }
+            None
+        })
+    };
+    let i_src = passthrough(&group_by[0])?;
+    let j_src = passthrough(&group_by[1])?;
+    let (_, product) = exprs.iter().find(|(n, _)| n == sum_col)?;
+    let Expr::Binary {
+        op: BinOp::Mul,
+        left: p_l,
+        right: p_r,
+    } = product
+    else {
+        return None;
+    };
+    let Expr::Column(lv_col) = p_l.as_ref() else {
+        return None;
+    };
+    let Expr::Column(rv_col) = p_r.as_ref() else {
+        return None;
+    };
+    // ... Join(inner, single key) over two flattened sides.
+    let Plan::Join {
+        left,
+        right,
+        on,
+        join_type: JoinType::Inner,
+        ..
+    } = input.as_ref()
+    else {
+        return None;
+    };
+    if on.len() != 1 {
+        return None;
+    }
+    let (k_l, k_r) = &on[0];
+
+    // Each side: Project([dim0, dim1/k, value (possibly cast)]) over UntagDims(original).
+    let left_parts = flat_side(left)?;
+    let right_parts = flat_side(right)?;
+
+    // Left must expose (i, k, lv): i_src and k_l are its dim outputs, lv its value.
+    let l_ok = left_parts.outputs.contains(&i_src)
+        && left_parts.outputs.contains(k_l)
+        && left_parts.value_output == *lv_col;
+    let r_ok = right_parts.outputs.contains(&j_src)
+        && right_parts.outputs.contains(k_r)
+        && right_parts.value_output == *rv_col;
+    // Sides may be swapped in the product (rv * lv): accept the mirror.
+    let mirrored = left_parts.outputs.contains(&i_src)
+        && left_parts.outputs.contains(k_l)
+        && left_parts.value_output == *rv_col
+        && right_parts.value_output == *lv_col
+        && right_parts.outputs.contains(&j_src)
+        && right_parts.outputs.contains(k_r);
+    if (l_ok && r_ok) || mirrored {
+        Some(Plan::MatMul {
+            left: left_parts.original.clone().boxed(),
+            right: right_parts.original.clone().boxed(),
+        })
+    } else {
+        None
+    }
+}
+
+struct FlatSide<'a> {
+    /// The original (still dimension-tagged) subplan under `UntagDims`.
+    original: &'a Plan,
+    /// Output names of the two dimension passthroughs.
+    outputs: Vec<String>,
+    /// Output name of the value column.
+    value_output: String,
+}
+
+/// Match `Project([d0, d1, v(±cast)]) over UntagDims(original)` where the
+/// original is 2-dimensional with a single value attribute.
+fn flat_side(plan: &Plan) -> Option<FlatSide<'_>> {
+    let Plan::Project { input, exprs } = plan else {
+        return None;
+    };
+    let Plan::UntagDims { input: original } = input.as_ref() else {
+        return None;
+    };
+    let schema = crate::infer::infer_schema(original).ok()?;
+    if schema.ndims() != 2 || schema.values().len() != 1 {
+        return None;
+    }
+    let dim_names: Vec<&str> = schema.dimensions().iter().map(|f| f.name.as_str()).collect();
+    let val_name = schema.values()[0].name.clone();
+    if exprs.len() != 3 {
+        return None;
+    }
+    let mut outputs = Vec::new();
+    let mut value_output = None;
+    for (out, e) in exprs {
+        let base = match e {
+            Expr::Column(c) => c.clone(),
+            Expr::Cast { input, .. } => {
+                if let Expr::Column(c) = input.as_ref() {
+                    c.clone()
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        };
+        if dim_names.contains(&base.as_str()) {
+            outputs.push(out.clone());
+        } else if base == val_name {
+            value_output = Some(out.clone());
+        } else {
+            return None;
+        }
+    }
+    if outputs.len() != 2 {
+        return None;
+    }
+    Some(FlatSide {
+        original,
+        outputs,
+        value_output: value_output?,
+    })
+}
+
+/// Try to recognize the canonical lowered elemwise shape, returning the
+/// equivalent [`Plan::ElemWise`].
+pub fn recognize_elemwise(plan: &Plan) -> Option<Plan> {
+    let Plan::TagDims { input, dims } = plan else {
+        return None;
+    };
+    let Plan::Project { input, exprs } = input.as_ref() else {
+        return None;
+    };
+    let Plan::Join {
+        left,
+        right,
+        on,
+        join_type: JoinType::Inner,
+        ..
+    } = input.as_ref()
+    else {
+        return None;
+    };
+    if on.is_empty() || on.len() != dims.len() {
+        return None;
+    }
+    // Last projected expr must be a binary op over the two value columns.
+    let (_, op_expr) = exprs.last()?;
+    let Expr::Binary { op, left: el, right: er } = op_expr else {
+        return None;
+    };
+    if !op.is_arithmetic() && !op.is_comparison() {
+        return None;
+    }
+    let (Expr::Column(lv), Expr::Column(rv)) = (el.as_ref(), er.as_ref()) else {
+        return None;
+    };
+    let l_side = elem_side(left, on.iter().map(|(a, _)| a.as_str()), lv)?;
+    let r_side = elem_side(right, on.iter().map(|(_, b)| b.as_str()), rv)?;
+    // All other projected exprs must be passthroughs of left join keys.
+    for (_, e) in &exprs[..exprs.len() - 1] {
+        let Expr::Column(c) = e else { return None };
+        if !on.iter().any(|(a, _)| a == c) {
+            return None;
+        }
+    }
+    Some(Plan::ElemWise {
+        op: *op,
+        left: l_side.clone().boxed(),
+        right: r_side.clone().boxed(),
+    })
+}
+
+/// Match `Project([coords..., value]) over UntagDims(original)` for the
+/// elemwise pattern; returns the original subplan.
+fn elem_side<'a, 'b>(
+    plan: &'a Plan,
+    keys: impl Iterator<Item = &'b str>,
+    value_out: &str,
+) -> Option<&'a Plan> {
+    let Plan::Project { input, exprs } = plan else {
+        return None;
+    };
+    let Plan::UntagDims { input: original } = input.as_ref() else {
+        return None;
+    };
+    let schema = crate::infer::infer_schema(original).ok()?;
+    if schema.values().len() != 1 {
+        return None;
+    }
+    let val_name = &schema.values()[0].name;
+    // The value output must map to the single value attribute.
+    let value_maps = exprs.iter().any(|(n, e)| {
+        n == value_out && matches!(e, Expr::Column(c) if c == val_name)
+    });
+    if !value_maps {
+        return None;
+    }
+    // Every key output must be a dimension passthrough.
+    for k in keys {
+        let ok = exprs.iter().any(|(n, e)| {
+            n == k
+                && matches!(e, Expr::Column(c)
+                    if schema.field(c).map(|f| f.is_dimension()).unwrap_or(false))
+        });
+        if !ok {
+            return None;
+        }
+    }
+    Some(original)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+    use crate::lower::lower_all;
+    use crate::plan::OpKind;
+    use bda_storage::{DataType, Field, Schema};
+
+    fn matrix(name: &str, n: i64, m: i64, dim0: &str, dim1: &str) -> Plan {
+        Plan::scan(
+            name,
+            Schema::new(vec![
+                Field::dimension_bounded(dim0, 0, n),
+                Field::dimension_bounded(dim1, 0, m),
+                Field::value("v", DataType::Float64),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn matmul_roundtrips_through_lowering() {
+        let p = matrix("a", 4, 3, "i", "k").matmul(matrix("b", 3, 5, "k2", "j"));
+        let lowered = lower_all(&p).unwrap();
+        assert!(!lowered.op_kinds().contains(&OpKind::MatMul));
+        let recognized = recognize_all(&lowered);
+        assert!(
+            recognized.op_kinds().contains(&OpKind::MatMul),
+            "recognition failed on:\n{lowered}"
+        );
+        // The recovered operands are the original scans.
+        if let Plan::MatMul { left, right } = &recognized {
+            assert!(matches!(left.as_ref(), Plan::Scan { dataset, .. } if dataset == "a"));
+            assert!(matches!(right.as_ref(), Plan::Scan { dataset, .. } if dataset == "b"));
+        } else {
+            panic!("root is not MatMul: {recognized}");
+        }
+    }
+
+    #[test]
+    fn elemwise_roundtrips_through_lowering() {
+        let a = matrix("a", 4, 4, "i", "j");
+        for op in [BinOp::Add, BinOp::Mul] {
+            let p = a.clone().elemwise(op, a.clone());
+            let lowered = lower_all(&p).unwrap();
+            let recognized = recognize_all(&lowered);
+            assert!(
+                recognized.op_kinds().contains(&OpKind::ElemWise),
+                "elemwise {op:?} not recognized in:\n{lowered}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrelated_plans_unchanged() {
+        let p = matrix("a", 4, 3, "i", "k")
+            .select(col("v").gt(crate::expr::lit(0.0)))
+            .aggregate(
+                vec!["i"],
+                vec![crate::agg::AggExpr::new(crate::agg::AggFunc::Sum, col("v"), "s")],
+            );
+        assert_eq!(recognize_all(&p), p);
+    }
+
+    #[test]
+    fn near_miss_is_not_recognized() {
+        // Same shape as lowered matmul but aggregating with MAX, not SUM.
+        let p = matrix("a", 3, 3, "i", "k").matmul(matrix("b", 3, 3, "k2", "j"));
+        let lowered = lower_all(&p).unwrap();
+        let sabotaged = lowered.transform_up(&|n| match n {
+            Plan::Aggregate {
+                input,
+                group_by,
+                mut aggs,
+            } => {
+                for a in &mut aggs {
+                    if a.func == AggFunc::Sum {
+                        a.func = AggFunc::Max;
+                    }
+                }
+                Plan::Aggregate {
+                    input,
+                    group_by,
+                    aggs,
+                }
+            }
+            other => other,
+        });
+        assert!(!recognize_all(&sabotaged)
+            .op_kinds()
+            .contains(&OpKind::MatMul));
+    }
+
+    #[test]
+    fn nested_recognition() {
+        // matmul(elemwise(a, a), b): both intents recovered bottom-up.
+        let a = matrix("a", 3, 3, "i", "k");
+        let b = matrix("b", 3, 3, "k2", "j");
+        let p = a.clone().elemwise(BinOp::Add, a).matmul(b);
+        let lowered = lower_all(&p).unwrap();
+        let recognized = recognize_all(&lowered);
+        let kinds = recognized.op_kinds();
+        assert!(kinds.contains(&OpKind::MatMul), "{recognized}");
+        assert!(kinds.contains(&OpKind::ElemWise), "{recognized}");
+    }
+}

@@ -1,0 +1,401 @@
+//! The simulated cluster: one OS thread per provider, message-passing via
+//! channels, every payload wire-encoded.
+//!
+//! This module exists to measure the paper's *expression-tree shipping*
+//! claim (experiment F3): a LINQ-style framework sends a whole plan tree
+//! in **one** request, whereas an RPC-per-operator API pays one round trip
+//! per operator. Both styles are implemented against the same provider
+//! threads; only the protocol differs.
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bda_core::codec::{decode_plan, encode_plan};
+use bda_core::infer::infer_schema;
+use bda_core::{CoreError, Plan, Provider};
+use bda_storage::wire::{decode_dataset, encode_dataset};
+use bda_storage::DataSet;
+
+use crate::metrics::NetConfig;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+enum Request {
+    /// Execute a shipped plan tree, reply with the encoded result.
+    Execute {
+        plan_bytes: Vec<u8>,
+        reply: Sender<std::result::Result<Vec<u8>, String>>,
+    },
+    /// Execute a shipped plan tree and keep the result server-side under
+    /// `name` (the RPC-per-operator style's intermediate handling).
+    ExecuteStore {
+        plan_bytes: Vec<u8>,
+        name: String,
+        reply: Sender<std::result::Result<usize, String>>,
+    },
+    /// Ingest a dataset.
+    Store {
+        name: String,
+        data_bytes: Vec<u8>,
+        reply: Sender<std::result::Result<(), String>>,
+    },
+    /// Drop a dataset.
+    Remove { name: String },
+    /// Terminate the node thread.
+    Shutdown,
+}
+
+struct Node {
+    tx: Sender<Request>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Accounting for one protocol interaction sequence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireStats {
+    /// Request/response round trips performed.
+    pub round_trips: usize,
+    /// Bytes sent to the server (plans, datasets).
+    pub bytes_sent: usize,
+    /// Bytes received from the server (results, acks are free).
+    pub bytes_received: usize,
+    /// Simulated seconds (latency per round trip + transmission).
+    pub sim_seconds: f64,
+}
+
+impl WireStats {
+    fn charge(&mut self, net: &NetConfig, sent: usize, received: usize) {
+        self.round_trips += 1;
+        self.bytes_sent += sent;
+        self.bytes_received += received;
+        // One request and one response, each with latency + transmission.
+        self.sim_seconds += net.message_time(sent) + net.message_time(received);
+    }
+}
+
+/// A running cluster of provider threads.
+pub struct Cluster {
+    nodes: HashMap<String, Node>,
+    net: NetConfig,
+}
+
+impl Cluster {
+    /// Spawn one thread per provider.
+    pub fn spawn(providers: Vec<Arc<dyn Provider>>, net: NetConfig) -> Cluster {
+        let mut nodes = HashMap::new();
+        for provider in providers {
+            let (tx, rx) = unbounded::<Request>();
+            let name = provider.name().to_string();
+            let handle = std::thread::Builder::new()
+                .name(format!("bda-node-{name}"))
+                .spawn(move || {
+                    while let Ok(req) = rx.recv() {
+                        match req {
+                            Request::Execute { plan_bytes, reply } => {
+                                let result = decode_plan(&plan_bytes)
+                                    .and_then(|p| provider.execute(&p))
+                                    .map(|ds| encode_dataset(&ds))
+                                    .map_err(|e| e.to_string());
+                                let _ = reply.send(result);
+                            }
+                            Request::ExecuteStore {
+                                plan_bytes,
+                                name,
+                                reply,
+                            } => {
+                                let result = decode_plan(&plan_bytes)
+                                    .and_then(|p| provider.execute(&p))
+                                    .and_then(|ds| {
+                                        let n = ds.num_rows();
+                                        provider.store(&name, ds)?;
+                                        Ok(n)
+                                    })
+                                    .map_err(|e| e.to_string());
+                                let _ = reply.send(result);
+                            }
+                            Request::Store {
+                                name,
+                                data_bytes,
+                                reply,
+                            } => {
+                                let result = decode_dataset(&data_bytes)
+                                    .map_err(CoreError::from)
+                                    .and_then(|ds| provider.store(&name, ds))
+                                    .map_err(|e| e.to_string());
+                                let _ = reply.send(result);
+                            }
+                            Request::Remove { name } => provider.remove(&name),
+                            Request::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn node thread");
+            nodes.insert(
+                name,
+                Node {
+                    tx,
+                    handle: Some(handle),
+                },
+            );
+        }
+        Cluster { nodes, net }
+    }
+
+    fn node(&self, site: &str) -> Result<&Node> {
+        self.nodes
+            .get(site)
+            .ok_or_else(|| CoreError::Plan(format!("unknown cluster site `{site}`")))
+    }
+
+    /// Ship a whole plan tree to `site` in one request (the LINQ style).
+    pub fn ship_tree(&self, site: &str, plan: &Plan) -> Result<(DataSet, WireStats)> {
+        let mut stats = WireStats::default();
+        let plan_bytes = encode_plan(plan);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.node(site)?
+            .tx
+            .send(Request::Execute {
+                plan_bytes: plan_bytes.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?;
+        let result_bytes = reply_rx
+            .recv()
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?
+            .map_err(CoreError::Plan)?;
+        stats.charge(&self.net, plan_bytes.len(), result_bytes.len());
+        let ds = decode_dataset(&result_bytes)?;
+        Ok((ds, stats))
+    }
+
+    /// Execute the same plan as one remote call **per operator** (the
+    /// cursor/RPC style the paper contrasts with expression shipping).
+    /// Intermediates stay server-side under temporary names; the final
+    /// operator's result comes back to the client.
+    pub fn per_operator(&self, site: &str, plan: &Plan) -> Result<(DataSet, WireStats)> {
+        let mut stats = WireStats::default();
+        let mut counter = 0usize;
+        let result =
+            self.per_operator_rec(site, plan, &mut stats, &mut counter)?;
+        // Fetch the final temp with one more call.
+        let schema = infer_schema(plan)?;
+        let final_plan = Plan::Scan {
+            dataset: result.clone(),
+            schema,
+        };
+        let plan_bytes = encode_plan(&final_plan);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.node(site)?
+            .tx
+            .send(Request::Execute {
+                plan_bytes: plan_bytes.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?;
+        let result_bytes = reply_rx
+            .recv()
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?
+            .map_err(CoreError::Plan)?;
+        stats.charge(&self.net, plan_bytes.len(), result_bytes.len());
+        let ds = decode_dataset(&result_bytes)?;
+        // Clean up temps.
+        for i in 0..counter {
+            let _ = self.node(site)?.tx.send(Request::Remove {
+                name: temp_name(i),
+            });
+        }
+        Ok((ds, stats))
+    }
+
+    fn per_operator_rec(
+        &self,
+        site: &str,
+        plan: &Plan,
+        stats: &mut WireStats,
+        counter: &mut usize,
+    ) -> Result<String> {
+        // Leaves that are plain scans need no call: the data is already
+        // on the server.
+        if let Plan::Scan { dataset, .. } = plan {
+            return Ok(dataset.clone());
+        }
+        // Recurse: children become server-side temps.
+        let mut new_children = Vec::new();
+        for c in plan.children() {
+            let name = self.per_operator_rec(site, c, stats, counter)?;
+            let schema = infer_schema(c)?;
+            new_children.push(Plan::Scan {
+                dataset: name,
+                schema,
+            });
+        }
+        let single = plan.with_children(new_children);
+        let name = temp_name(*counter);
+        *counter += 1;
+        let plan_bytes = encode_plan(&single);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.node(site)?
+            .tx
+            .send(Request::ExecuteStore {
+                plan_bytes: plan_bytes.clone(),
+                name: name.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?
+            .map_err(CoreError::Plan)?;
+        // The ack is small; model it as 16 bytes.
+        stats.charge(&self.net, plan_bytes.len(), 16);
+        Ok(name)
+    }
+
+    /// Store a dataset on a site (one round trip).
+    pub fn store(&self, site: &str, name: &str, ds: &DataSet) -> Result<WireStats> {
+        let mut stats = WireStats::default();
+        let data_bytes = encode_dataset(ds);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.node(site)?
+            .tx
+            .send(Request::Store {
+                name: name.to_string(),
+                data_bytes: data_bytes.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| CoreError::Plan("cluster node hung up".into()))?
+            .map_err(CoreError::Plan)?;
+        stats.charge(&self.net, data_bytes.len(), 16);
+        Ok(stats)
+    }
+
+    /// Sites in this cluster.
+    pub fn sites(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.nodes.keys().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for node in self.nodes.values_mut() {
+            let _ = node.tx.send(Request::Shutdown);
+            if let Some(h) = node.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn temp_name(i: usize) -> String {
+    format!("__bda_tmp_{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{col, lit, AggExpr, AggFunc};
+    use bda_relational::RelationalEngine;
+    use bda_storage::Column;
+
+    fn cluster() -> Cluster {
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "t",
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![1i64, 2, 3, 4, 5])),
+                ("v", Column::from(vec![1.0f64, 2.0, 3.0, 4.0, 5.0])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        Cluster::spawn(vec![Arc::new(rel)], NetConfig::default())
+    }
+
+    fn pipeline(k: usize, schema: bda_storage::Schema) -> Plan {
+        // k stacked filters, each keeping everything.
+        let mut p = Plan::scan("t", schema);
+        for i in 0..k {
+            p = p.select(col("v").gt(lit(-(i as f64) - 1.0)));
+        }
+        p
+    }
+
+    #[test]
+    fn tree_shipping_is_one_round_trip() {
+        let c = cluster();
+        let schema = bda_storage::Schema::new(vec![
+            bda_storage::Field::value("k", bda_storage::DataType::Int64),
+            bda_storage::Field::value("v", bda_storage::DataType::Float64),
+        ])
+        .unwrap();
+        let plan = pipeline(6, schema).aggregate(
+            vec![],
+            vec![AggExpr::new(AggFunc::Sum, col("v"), "s")],
+        );
+        let (out, stats) = c.ship_tree("rel", &plan).unwrap();
+        assert_eq!(stats.round_trips, 1);
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn per_operator_pays_one_round_trip_per_op() {
+        let c = cluster();
+        let schema = bda_storage::Schema::new(vec![
+            bda_storage::Field::value("k", bda_storage::DataType::Int64),
+            bda_storage::Field::value("v", bda_storage::DataType::Float64),
+        ])
+        .unwrap();
+        let k = 5;
+        let plan = pipeline(k, schema);
+        let (tree_out, tree_stats) = c.ship_tree("rel", &plan).unwrap();
+        let (op_out, op_stats) = c.per_operator("rel", &plan).unwrap();
+        assert!(tree_out.same_bag(&op_out).unwrap());
+        assert_eq!(tree_stats.round_trips, 1);
+        // k operator calls + 1 fetch.
+        assert_eq!(op_stats.round_trips, k + 1);
+        assert!(op_stats.sim_seconds > tree_stats.sim_seconds);
+    }
+
+    #[test]
+    fn store_and_execute_round_trip() {
+        let c = cluster();
+        let extra = DataSet::from_columns(vec![("x", Column::from(vec![9i64]))]).unwrap();
+        let stats = c.store("rel", "extra", &extra).unwrap();
+        assert_eq!(stats.round_trips, 1);
+        let (out, _) = c
+            .ship_tree("rel", &Plan::scan("extra", extra.schema().clone()))
+            .unwrap();
+        assert!(out.same_bag(&extra).unwrap());
+    }
+
+    #[test]
+    fn unknown_site_errors() {
+        let c = cluster();
+        let schema = bda_storage::Schema::new(vec![bda_storage::Field::value(
+            "k",
+            bda_storage::DataType::Int64,
+        )])
+        .unwrap();
+        assert!(c.ship_tree("nope", &Plan::scan("t", schema)).is_err());
+    }
+
+    #[test]
+    fn server_errors_propagate() {
+        let c = cluster();
+        let schema = bda_storage::Schema::new(vec![bda_storage::Field::value(
+            "zz",
+            bda_storage::DataType::Int64,
+        )])
+        .unwrap();
+        let err = c.ship_tree("rel", &Plan::scan("missing", schema)).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The simulated network and the execution metrics the experiments report.
+//!
+//! All transfers serialize through the real wire codec, so `bytes` fields
+//! are actual message sizes, not estimates. Time is **simulated**: a
+//! virtual clock charged `latency + bytes / bandwidth` per message, which
+//! makes latency sweeps deterministic and platform-independent.
+
+use std::fmt;
+
+/// Network parameters of the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Per-message latency in (simulated) seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes per (simulated) second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // A 0.5 ms datacenter RTT-ish latency and ~1 GB/s links.
+        NetConfig {
+            latency_s: 5e-4,
+            bandwidth_bytes_per_s: 1e9,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Simulated wall time to move one `bytes`-sized message.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+}
+
+/// One recorded transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Sending site ("app" for the application tier).
+    pub from: String,
+    /// Receiving site.
+    pub to: String,
+    /// Payload size in (wire-encoded) bytes.
+    pub bytes: usize,
+    /// True when this hop passed through the application tier.
+    pub via_app: bool,
+}
+
+/// Aggregated metrics for one federated execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Every transfer, in order.
+    pub transfers: Vec<TransferRecord>,
+    /// Total messages exchanged (transfers + plan shipments).
+    pub messages: usize,
+    /// Bytes of plan trees shipped to providers.
+    pub plan_bytes: usize,
+    /// Simulated seconds spent on the network.
+    pub sim_network_s: f64,
+    /// Number of plan fragments executed.
+    pub fragments: usize,
+    /// Number of iterations driven by the client/app tier (0 when
+    /// iteration ran server-side).
+    pub client_driven_iterations: usize,
+}
+
+impl Metrics {
+    /// Total data bytes moved between sites (all hops).
+    pub fn data_bytes(&self) -> usize {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Data bytes that traversed the application tier.
+    pub fn app_tier_bytes(&self) -> usize {
+        self.transfers
+            .iter()
+            .filter(|t| t.via_app)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Record a transfer and charge the virtual clock.
+    pub fn record_transfer(
+        &mut self,
+        net: &NetConfig,
+        from: &str,
+        to: &str,
+        bytes: usize,
+        via_app: bool,
+    ) {
+        // A hop through the app tier is two messages (server→app, app→server).
+        let hops = if via_app { 2 } else { 1 };
+        self.messages += hops;
+        self.sim_network_s += hops as f64 * net.message_time(bytes);
+        self.transfers.push(TransferRecord {
+            from: from.to_string(),
+            to: to.to_string(),
+            bytes,
+            via_app,
+        });
+    }
+
+    /// Record shipping a plan tree to a provider.
+    pub fn record_plan_shipment(&mut self, net: &NetConfig, bytes: usize) {
+        self.messages += 1;
+        self.plan_bytes += bytes;
+        self.sim_network_s += net.message_time(bytes);
+    }
+
+    /// Merge another metrics record into this one.
+    pub fn absorb(&mut self, other: Metrics) {
+        self.transfers.extend(other.transfers);
+        self.messages += other.messages;
+        self.plan_bytes += other.plan_bytes;
+        self.sim_network_s += other.sim_network_s;
+        self.fragments += other.fragments;
+        self.client_driven_iterations += other.client_driven_iterations;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fragments: {}, messages: {}, plan bytes: {}",
+            self.fragments, self.messages, self.plan_bytes
+        )?;
+        writeln!(
+            f,
+            "data bytes: {} (through app tier: {})",
+            self.data_bytes(),
+            self.app_tier_bytes()
+        )?;
+        write!(f, "simulated network time: {:.6}s", self.sim_network_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_model() {
+        let net = NetConfig {
+            latency_s: 0.001,
+            bandwidth_bytes_per_s: 1000.0,
+        };
+        assert!((net.message_time(500) - 0.501).abs() < 1e-12);
+    }
+
+    #[test]
+    fn app_routed_costs_double() {
+        let net = NetConfig {
+            latency_s: 0.001,
+            bandwidth_bytes_per_s: 1e6,
+        };
+        let mut direct = Metrics::default();
+        direct.record_transfer(&net, "a", "b", 1000, false);
+        let mut routed = Metrics::default();
+        routed.record_transfer(&net, "a", "b", 1000, true);
+        assert_eq!(direct.messages, 1);
+        assert_eq!(routed.messages, 2);
+        assert!(routed.sim_network_s > direct.sim_network_s * 1.99);
+        assert_eq!(direct.app_tier_bytes(), 0);
+        assert_eq!(routed.app_tier_bytes(), 1000);
+        assert_eq!(direct.data_bytes(), routed.data_bytes());
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let net = NetConfig::default();
+        let mut a = Metrics::default();
+        a.record_plan_shipment(&net, 100);
+        let mut b = Metrics::default();
+        b.record_transfer(&net, "x", "y", 50, false);
+        b.fragments = 2;
+        a.absorb(b);
+        assert_eq!(a.messages, 2);
+        assert_eq!(a.plan_bytes, 100);
+        assert_eq!(a.data_bytes(), 50);
+        assert_eq!(a.fragments, 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! Site assignment and plan fragmentation.
+//!
+//! The planner turns one logical plan into a DAG of **fragments**, each
+//! pinned to a provider that can execute its whole subtree natively. A
+//! fragment boundary is exactly a server-to-server transfer; desideratum 4
+//! says those transfers should flow directly between servers rather than
+//! through the application tier, and the executor honours (or, for the
+//! baseline, deliberately violates) that.
+//!
+//! Algorithm:
+//!
+//! 1. **Pre-lowering**: any intent operator with no native provider in the
+//!    registry is rewritten by its canonical lowering (desideratum 2 —
+//!    translatability as a planning fallback).
+//! 2. **Candidate analysis** (bottom-up): the set of providers able to run
+//!    each subtree in one piece, considering capabilities and data
+//!    locality.
+//! 3. **Assignment & cutting** (top-down): where a subtree has candidates
+//!    it stays whole at the preferred/cheapest site; where it has none,
+//!    the node executes at a site chosen from its operator's supporters
+//!    and each child becomes its own fragment, shipped in.
+//!
+//! `Iterate` nodes that no single provider can host become **app-driven**
+//! fragments (site [`APP_SITE`]): the executor itself drives the loop,
+//! shipping loop state every iteration — the expensive baseline that
+//! experiment F4 compares against server-side iteration.
+
+use bda_core::infer::infer_schema;
+use bda_core::lower::lower_node;
+use bda_core::{CoreError, Plan};
+use bda_storage::Schema;
+
+use crate::registry::Registry;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// The pseudo-site representing the application tier.
+pub const APP_SITE: &str = "__app";
+
+/// Prefix of staged intermediate dataset names.
+pub const FRAG_PREFIX: &str = "__bda_frag_";
+
+/// One executable fragment.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Fragment id; also names its staged output (`__bda_frag_{id}`).
+    pub id: usize,
+    /// Provider that executes it, or [`APP_SITE`] for app-driven loops.
+    pub site: String,
+    /// The plan; its scans may reference staged outputs of earlier
+    /// fragments.
+    pub plan: Plan,
+    /// Output schema.
+    pub schema: Schema,
+    /// Site that consumes the output ("app" for the root fragment).
+    pub dest_site: String,
+    /// Ids of fragments whose outputs this fragment scans.
+    pub inputs: Vec<usize>,
+}
+
+/// A fragmented plan: `fragments` is in dependency order; the last entry
+/// is the root whose output goes back to the application.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// All fragments, dependencies before dependents.
+    pub fragments: Vec<Fragment>,
+}
+
+impl Placement {
+    /// The root fragment (executes last).
+    pub fn root(&self) -> &Fragment {
+        self.fragments.last().expect("placement has a root")
+    }
+
+    /// Names of the distinct sites involved.
+    pub fn sites(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.fragments.iter().map(|f| f.site.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// The planner.
+pub struct Planner<'a> {
+    registry: &'a Registry,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over the given registry.
+    pub fn new(registry: &'a Registry) -> Planner<'a> {
+        Planner { registry }
+    }
+
+    /// Fragment a plan.
+    pub fn place(&self, plan: &Plan) -> Result<Placement> {
+        let prepared = self.pre_lower(plan)?;
+        let mut fragments = Vec::new();
+        let mut counter = 0usize;
+        let (root_plan, root_site) =
+            self.assign(&prepared, None, &mut fragments, &mut counter)?;
+        let schema = infer_schema(&root_plan)?;
+        let inputs = staged_inputs(&root_plan);
+        fragments.push(Fragment {
+            id: counter,
+            site: root_site,
+            plan: root_plan,
+            schema,
+            dest_site: "app".to_string(),
+            inputs,
+        });
+        // Fix dest sites: each fragment's destination is the site of the
+        // fragment that consumes it.
+        let consumers: Vec<(usize, String)> = fragments
+            .iter()
+            .flat_map(|f| f.inputs.iter().map(|&i| (i, f.site.clone())).collect::<Vec<_>>())
+            .collect();
+        for (input_id, consumer_site) in consumers {
+            if let Some(f) = fragments.iter_mut().find(|f| f.id == input_id) {
+                f.dest_site = consumer_site;
+            }
+        }
+        Ok(Placement { fragments })
+    }
+
+    /// Rewrite intent operators that no registered provider supports.
+    fn pre_lower(&self, plan: &Plan) -> Result<Plan> {
+        let children: Vec<Plan> = plan
+            .children()
+            .iter()
+            .map(|c| self.pre_lower(c))
+            .collect::<Result<_>>()?;
+        let rebuilt = plan.with_children(children);
+        let kind = rebuilt.op_kind();
+        if kind.is_intent() && self.registry.supporters_of(kind).is_empty() {
+            let lowered = lower_node(&rebuilt)?.ok_or_else(|| CoreError::Lower(format!(
+                "intent op {} has no provider and no lowering",
+                kind.name()
+            )))?;
+            // The lowering may itself contain intent ops (it does not
+            // today, but be safe) — recurse.
+            return self.pre_lower(&lowered);
+        }
+        Ok(rebuilt)
+    }
+
+    /// Candidate sites able to run the whole subtree in one fragment.
+    fn candidates(&self, plan: &Plan) -> Vec<String> {
+        match plan {
+            Plan::Scan { dataset, .. } => self.registry.locations_of(dataset),
+            _ => {
+                let mut cands = self.registry.supporters_of(plan.op_kind());
+                for c in plan.children() {
+                    let child = self.candidates(c);
+                    cands.retain(|s| child.contains(s));
+                }
+                cands
+            }
+        }
+    }
+
+    /// Pick an execution site, preferring `preferred`, then the site
+    /// holding the most scanned rows, then registration order.
+    fn pick(&self, cands: &[String], preferred: Option<&str>, plan: &Plan) -> String {
+        if let Some(p) = preferred {
+            if cands.iter().any(|c| c == p) {
+                return p.to_string();
+            }
+        }
+        let scanned = plan.scanned_datasets();
+        let mut best: Option<(usize, &String)> = None;
+        for c in cands {
+            let rows: usize = self
+                .registry
+                .provider(c)
+                .ok()
+                .map(|p| {
+                    scanned
+                        .iter()
+                        .filter_map(|d| p.row_count_of(d))
+                        .sum::<usize>()
+                })
+                .unwrap_or(0);
+            let better = match best {
+                Some((r, _)) => rows > r,
+                None => true,
+            };
+            if better {
+                best = Some((rows, c));
+            }
+        }
+        best.map(|(_, c)| c.clone())
+            .unwrap_or_else(|| cands[0].clone())
+    }
+
+    fn assign(
+        &self,
+        plan: &Plan,
+        preferred: Option<&str>,
+        fragments: &mut Vec<Fragment>,
+        counter: &mut usize,
+    ) -> Result<(Plan, String)> {
+        let cands = self.candidates(plan);
+        if !cands.is_empty() {
+            let site = self.pick(&cands, preferred, plan);
+            return Ok((plan.clone(), site));
+        }
+        // No single site can host the subtree: handle the node itself.
+        if let Plan::Scan { dataset, .. } = plan {
+            // A scan with no candidates means the dataset exists nowhere.
+            return Err(CoreError::UnknownDataset(dataset.clone()));
+        }
+        if let Plan::Iterate { .. } = plan {
+            // Cutting through a loop body is unsound (the state is
+            // loop-carried); fall back to app-driven iteration.
+            return Ok((plan.clone(), APP_SITE.to_string()));
+        }
+        let supporters = self.registry.supporters_of(plan.op_kind());
+        if supporters.is_empty() {
+            return Err(CoreError::Unsupported {
+                provider: "<federation>".into(),
+                op: format!(
+                    "{} (no provider supports it and it has no lowering)",
+                    plan.op_kind().name()
+                ),
+            });
+        }
+        let site = self.pick(&supporters, preferred, plan);
+        let mut new_children = Vec::new();
+        for child in plan.children() {
+            let (child_plan, child_site) =
+                self.assign(child, Some(&site), fragments, counter)?;
+            if child_site == site {
+                new_children.push(child_plan);
+            } else {
+                // Cut: the child becomes its own fragment; the parent
+                // scans its staged output.
+                let schema = infer_schema(&child_plan)?;
+                let id = *counter;
+                *counter += 1;
+                let inputs = staged_inputs(&child_plan);
+                fragments.push(Fragment {
+                    id,
+                    site: child_site,
+                    plan: child_plan,
+                    schema: schema.clone(),
+                    dest_site: site.clone(), // refined in `place`
+                    inputs,
+                });
+                new_children.push(Plan::Scan {
+                    dataset: format!("{FRAG_PREFIX}{id}"),
+                    schema,
+                });
+            }
+        }
+        Ok((plan.with_children(new_children), site))
+    }
+}
+
+/// Fragment ids referenced by staged scans in a plan.
+fn staged_inputs(plan: &Plan) -> Vec<usize> {
+    plan.scanned_datasets()
+        .iter()
+        .filter_map(|d| d.strip_prefix(FRAG_PREFIX).and_then(|s| s.parse().ok()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{col, lit, Provider};
+    use bda_relational::RelationalEngine;
+    use bda_linalg::LinAlgEngine;
+    use bda_storage::dataset::matrix_dataset;
+    use bda_storage::{Column, DataSet};
+    use std::sync::Arc;
+
+    fn registry() -> Registry {
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "sales",
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![1i64, 2])),
+                ("v", Column::from(vec![1.0f64, 2.0])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        rel.store(
+            "m_rows",
+            matrix_dataset(2, 2, vec![1., 2., 3., 4.]).unwrap(),
+        )
+        .unwrap();
+        let la = LinAlgEngine::new("la");
+        la.store("m", matrix_dataset(2, 2, vec![1., 0., 0., 1.]).unwrap())
+            .unwrap();
+        let mut r = Registry::new();
+        r.register(Arc::new(rel));
+        r.register(Arc::new(la));
+        r
+    }
+
+    #[test]
+    fn single_site_plan_is_one_fragment() {
+        let r = registry();
+        let plan = Plan::scan("sales", r.schema_of("sales").unwrap())
+            .select(col("v").gt(lit(1.0)));
+        let placement = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(placement.fragments.len(), 1);
+        assert_eq!(placement.root().site, "rel");
+        assert_eq!(placement.root().dest_site, "app");
+    }
+
+    #[test]
+    fn cross_engine_matmul_fragments() {
+        let r = registry();
+        // Left matrix lives (as rows) on the relational engine; right on
+        // the linalg engine; matmul is only native on linalg.
+        let plan = Plan::scan("m_rows", r.schema_of("m_rows").unwrap())
+            .matmul(Plan::scan("m", r.provider("la").unwrap().schema_of("m").unwrap()));
+        let placement = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(placement.fragments.len(), 2, "{placement:?}");
+        let shipped = &placement.fragments[0];
+        assert_eq!(shipped.site, "rel");
+        assert_eq!(shipped.dest_site, "la");
+        assert_eq!(placement.root().site, "la");
+        // The root scans the staged fragment.
+        assert!(placement
+            .root()
+            .plan
+            .scanned_datasets()
+            .iter()
+            .any(|d| d.starts_with(FRAG_PREFIX)));
+    }
+
+    #[test]
+    fn unplaceable_iterate_goes_to_app() {
+        // Registry with only linalg: no Iterate support anywhere.
+        let mut r = Registry::new();
+        let la = LinAlgEngine::new("la");
+        la.store("m", matrix_dataset(2, 2, vec![1., 0., 0., 1.]).unwrap())
+            .unwrap();
+        r.register(Arc::new(la));
+        let schema = r.provider("la").unwrap().schema_of("m").unwrap();
+        let plan = Plan::Iterate {
+            init: Plan::scan("m", schema.clone()).boxed(),
+            body: Plan::IterState { schema: schema.clone() }
+                .matmul(Plan::scan("m", schema))
+                .boxed(),
+            max_iters: 3,
+            epsilon: None,
+        };
+        let placement = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(placement.root().site, APP_SITE);
+    }
+
+    #[test]
+    fn pre_lowering_kicks_in_without_specialists() {
+        // Only the relational engine: matmul must be pre-lowered.
+        let mut r = Registry::new();
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "m_rows",
+            matrix_dataset(2, 2, vec![1., 2., 3., 4.]).unwrap(),
+        )
+        .unwrap();
+        r.register(Arc::new(rel));
+        let schema = r.schema_of("m_rows").unwrap();
+        let plan = Plan::scan("m_rows", schema.clone())
+            .matmul(Plan::scan("m_rows", schema));
+        let placement = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(placement.fragments.len(), 1);
+        assert!(placement
+            .root()
+            .plan
+            .op_kinds()
+            .iter()
+            .all(|k| k.is_base()));
+    }
+
+    #[test]
+    fn missing_dataset_is_an_error() {
+        let r = registry();
+        let plan = Plan::scan(
+            "nope",
+            bda_storage::Schema::new(vec![bda_storage::Field::value(
+                "x",
+                bda_storage::DataType::Int64,
+            )])
+            .unwrap(),
+        );
+        // A scan with no location has no candidates and Scan has
+        // supporters, but its children (none) — scanning proceeds to cut
+        // with zero candidates at the leaf...
+        let res = Planner::new(&r).place(&plan);
+        assert!(res.is_err(), "{res:?}");
+    }
+}

@@ -1,0 +1,351 @@
+//! The provider registry: who exists, what they can do, where data lives.
+
+use std::sync::Arc;
+
+use bda_core::{CapabilitySet, CoreError, OpKind, Plan, Provider};
+use bda_storage::Schema;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// A shared, ordered collection of providers.
+#[derive(Clone, Default)]
+pub struct Registry {
+    providers: Vec<Arc<dyn Provider>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a provider (order matters only for tie-breaking).
+    pub fn register(&mut self, p: Arc<dyn Provider>) {
+        self.providers.push(p);
+    }
+
+    /// All providers, in registration order.
+    pub fn providers(&self) -> &[Arc<dyn Provider>] {
+        &self.providers
+    }
+
+    /// Provider by name.
+    pub fn provider(&self, name: &str) -> Result<Arc<dyn Provider>> {
+        self.providers
+            .iter()
+            .find(|p| p.name() == name)
+            .cloned()
+            .ok_or_else(|| CoreError::Plan(format!("unknown provider `{name}`")))
+    }
+
+    /// Names of providers holding the named dataset.
+    pub fn locations_of(&self, dataset: &str) -> Vec<String> {
+        self.providers
+            .iter()
+            .filter(|p| p.schema_of(dataset).is_some())
+            .map(|p| p.name().to_string())
+            .collect()
+    }
+
+    /// Schema of a dataset wherever it lives first.
+    pub fn schema_of(&self, dataset: &str) -> Result<Schema> {
+        self.providers
+            .iter()
+            .find_map(|p| p.schema_of(dataset))
+            .ok_or_else(|| CoreError::UnknownDataset(dataset.to_string()))
+    }
+
+    /// Names of providers that support an operator kind natively.
+    pub fn supporters_of(&self, op: OpKind) -> Vec<String> {
+        self.providers
+            .iter()
+            .filter(|p| p.capabilities().supports(op))
+            .map(|p| p.name().to_string())
+            .collect()
+    }
+
+    /// The union of all capability sets.
+    pub fn combined_capabilities(&self) -> CapabilitySet {
+        let mut set = CapabilitySet::new();
+        for p in &self.providers {
+            for op in p.capabilities().iter() {
+                set = set.with(op);
+            }
+        }
+        set
+    }
+}
+
+/// How an operator can reach a back end (the T1/T2 coverage report entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Translation {
+    /// At least one provider executes it natively.
+    Native(Vec<String>),
+    /// No native provider, but lowering rewrites it into operators that
+    /// are (recursively) all translatable.
+    ViaLowering(Vec<OpKind>),
+    /// Untranslatable in this federation.
+    No,
+}
+
+/// Classify how each operator kind reaches the registered back ends.
+///
+/// This is experiment T1/T2: desideratum 2 requires that no operator maps
+/// to [`Translation::No`] in a complete federation.
+pub fn translatability(registry: &Registry) -> Vec<(OpKind, Translation)> {
+    OpKind::ALL
+        .iter()
+        .map(|&op| (op, classify(registry, op)))
+        .collect()
+}
+
+fn classify(registry: &Registry, op: OpKind) -> Translation {
+    let native = registry.supporters_of(op);
+    if !native.is_empty() {
+        return Translation::Native(native);
+    }
+    if let Some(target_ops) = lowering_target_ops(op) {
+        // Lowering succeeds if every operator it produces is translatable
+        // (all lowering targets are base ops, so one level suffices).
+        if target_ops
+            .iter()
+            .all(|k| !registry.supporters_of(*k).is_empty())
+        {
+            return Translation::ViaLowering(target_ops);
+        }
+    }
+    Translation::No
+}
+
+/// The set of base operator kinds a canonical lowering of `op` produces
+/// (`None` when `op` is base and has no lowering).
+pub fn lowering_target_ops(op: OpKind) -> Option<Vec<OpKind>> {
+    use bda_core::lower::lower_node;
+    let probe = probe_plan(op)?;
+    let lowered = lower_node(&probe).ok()??;
+    let mut kinds: Vec<OpKind> = lowered
+        .op_kinds()
+        .into_iter()
+        .filter(|k| *k != OpKind::Scan && *k != OpKind::Values)
+        .collect();
+    kinds.sort();
+    kinds.dedup();
+    Some(kinds)
+}
+
+/// A minimal well-typed plan with `op` at the root, used to probe the
+/// lowering rules.
+fn probe_plan(op: OpKind) -> Option<Plan> {
+    use bda_core::infer::edge_schema;
+    use bda_core::{AggExpr, AggFunc, GraphOp};
+    use bda_storage::{DataType, Field};
+
+    let matrix = || {
+        Plan::scan(
+            "__probe_m",
+            Schema::new(vec![
+                Field::dimension_bounded("i", 0, 2),
+                Field::dimension_bounded("j", 0, 2),
+                Field::value("v", DataType::Float64),
+            ])
+            .expect("static schema"),
+        )
+    };
+    let edges = || Plan::scan("__probe_e", edge_schema());
+    Some(match op {
+        OpKind::MatMul => matrix().matmul(matrix()),
+        OpKind::ElemWise => matrix().elemwise(bda_core::BinOp::Add, matrix()),
+        OpKind::Window => Plan::Window {
+            input: matrix().boxed(),
+            radii: vec![("i".into(), 1), ("j".into(), 1)],
+            aggs: vec![AggExpr::new(AggFunc::Sum, bda_core::col("v"), "s")],
+        },
+        OpKind::Fill => Plan::Fill {
+            input: matrix().boxed(),
+            fill: bda_storage::Value::Float(0.0),
+        },
+        OpKind::SliceAt => Plan::SliceAt {
+            input: matrix().boxed(),
+            dim: "i".into(),
+            index: 0,
+        },
+        OpKind::Permute => Plan::Permute {
+            input: matrix().boxed(),
+            order: vec!["j".into(), "i".into()],
+        },
+        OpKind::PageRank => Plan::Graph(GraphOp::PageRank {
+            edges: edges().boxed(),
+            damping: 0.85,
+            max_iters: 10,
+            epsilon: 1e-6,
+        }),
+        OpKind::ConnectedComponents => Plan::Graph(GraphOp::ConnectedComponents {
+            edges: edges().boxed(),
+            max_iters: 10,
+        }),
+        OpKind::TriangleCount => Plan::Graph(GraphOp::TriangleCount {
+            edges: edges().boxed(),
+        }),
+        OpKind::Degrees => Plan::Graph(GraphOp::Degrees {
+            edges: edges().boxed(),
+        }),
+        OpKind::BfsLevels => Plan::Graph(GraphOp::BfsLevels {
+            edges: edges().boxed(),
+            source: 0,
+        }),
+        _ => return None,
+    })
+}
+
+/// A provider wrapper that hides some of the inner provider's
+/// capabilities. Used by the ablation experiments (e.g. masking `Iterate`
+/// forces the federation into client-driven loops) and by tests that need
+/// a weaker back end than any real engine.
+pub struct MaskedProvider {
+    inner: Arc<dyn Provider>,
+    removed: Vec<OpKind>,
+}
+
+impl MaskedProvider {
+    /// Wrap `inner`, hiding the `removed` capabilities.
+    pub fn new(inner: Arc<dyn Provider>, removed: Vec<OpKind>) -> MaskedProvider {
+        MaskedProvider { inner, removed }
+    }
+}
+
+impl Provider for MaskedProvider {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        let mut caps = self.inner.capabilities();
+        for op in &self.removed {
+            caps = caps.without(*op);
+        }
+        caps
+    }
+
+    fn catalog(&self) -> Vec<(String, Schema)> {
+        self.inner.catalog()
+    }
+
+    fn execute(&self, plan: &Plan) -> Result<bda_storage::DataSet> {
+        let unsupported = self.capabilities().unsupported_in(plan);
+        if !unsupported.is_empty() {
+            return Err(CoreError::Unsupported {
+                provider: self.name().to_string(),
+                op: unsupported
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
+        }
+        self.inner.execute(plan)
+    }
+
+    fn store(&self, name: &str, data: bda_storage::DataSet) -> Result<()> {
+        self.inner.store(name, data)
+    }
+
+    fn remove(&self, name: &str) {
+        self.inner.remove(name)
+    }
+
+    fn row_count_of(&self, name: &str) -> Option<usize> {
+        self.inner.row_count_of(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::ReferenceProvider;
+    use bda_storage::Column;
+    use bda_storage::DataSet;
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        let p = ReferenceProvider::new("ref");
+        p.store(
+            "t",
+            DataSet::from_columns(vec![("k", Column::from(vec![1i64]))]).unwrap(),
+        )
+        .unwrap();
+        r.register(Arc::new(p));
+        r
+    }
+
+    #[test]
+    fn lookup_and_locations() {
+        let r = registry();
+        assert!(r.provider("ref").is_ok());
+        assert!(r.provider("nope").is_err());
+        assert_eq!(r.locations_of("t"), vec!["ref"]);
+        assert!(r.locations_of("absent").is_empty());
+        assert!(r.schema_of("t").is_ok());
+        assert!(r.schema_of("absent").is_err());
+    }
+
+    #[test]
+    fn reference_provider_covers_everything() {
+        let r = registry();
+        for (op, t) in translatability(&r) {
+            assert!(
+                matches!(t, Translation::Native(_)),
+                "{op:?} should be native on the reference provider"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_registry_translates_nothing() {
+        let r = Registry::new();
+        for (op, t) in translatability(&r) {
+            assert_eq!(t, Translation::No, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn masked_provider_hides_capabilities() {
+        let inner = Arc::new(ReferenceProvider::new("ref"));
+        inner
+            .store(
+                "t",
+                DataSet::from_columns(vec![("k", Column::from(vec![1i64]))]).unwrap(),
+            )
+            .unwrap();
+        let masked = MaskedProvider::new(inner, vec![OpKind::Iterate, OpKind::Distinct]);
+        assert!(!masked.capabilities().supports(OpKind::Iterate));
+        assert!(masked.capabilities().supports(OpKind::Select));
+        let plan = Plan::scan("t", masked.schema_of("t").unwrap()).distinct();
+        assert!(matches!(
+            masked.execute(&plan),
+            Err(CoreError::Unsupported { .. })
+        ));
+        let ok = Plan::scan("t", masked.schema_of("t").unwrap());
+        assert_eq!(masked.execute(&ok).unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn lowering_targets_are_base_ops() {
+        for op in OpKind::ALL {
+            if let Some(targets) = lowering_target_ops(op) {
+                assert!(op.is_intent(), "{op:?} lowered but is not intent");
+                assert!(
+                    targets.iter().all(|k| k.is_base()),
+                    "{op:?} lowering targets contain intent ops: {targets:?}"
+                );
+            }
+        }
+        // Every intent op must have a lowering (translatability!).
+        for op in OpKind::ALL.iter().filter(|k| k.is_intent()) {
+            assert!(
+                lowering_target_ops(*op).is_some(),
+                "{op:?} has no lowering"
+            );
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Compressed-sparse-row graphs and the native graph algorithms.
+//!
+//! Semantics match `bda_core::reference`'s defining implementations
+//! exactly (same formulas, same distinct-edge canonicalization); only the
+//! data structures differ — CSR adjacency instead of row scans.
+
+use std::collections::HashMap;
+
+/// A directed graph in CSR form over a compacted vertex id space.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Sorted original vertex ids; position = compact id.
+    verts: Vec<i64>,
+    /// Out-edge offsets, length `verts.len() + 1`.
+    offsets: Vec<usize>,
+    /// Out-edge targets (compact ids), sorted within each vertex's range.
+    targets: Vec<u32>,
+    /// In-edge offsets (reverse graph).
+    rev_offsets: Vec<usize>,
+    /// In-edge sources (compact ids).
+    rev_sources: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list. Edges are deduplicated (the canonical
+    /// distinct-edge set every graph operator is defined on).
+    pub fn from_edges(edges: &[(i64, i64)]) -> CsrGraph {
+        let mut es: Vec<(i64, i64)> = edges.to_vec();
+        es.sort_unstable();
+        es.dedup();
+        let mut verts: Vec<i64> = es.iter().flat_map(|&(s, d)| [s, d]).collect();
+        verts.sort_unstable();
+        verts.dedup();
+        let idx: HashMap<i64, u32> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let n = verts.len();
+
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for &(s, d) in &es {
+            out_deg[idx[&s] as usize] += 1;
+            in_deg[idx[&d] as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        let mut rev_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + out_deg[i];
+            rev_offsets[i + 1] = rev_offsets[i] + in_deg[i];
+        }
+        let mut targets = vec![0u32; es.len()];
+        let mut rev_sources = vec![0u32; es.len()];
+        let mut cur = offsets.clone();
+        let mut rev_cur = rev_offsets.clone();
+        for &(s, d) in &es {
+            let (si, di) = (idx[&s] as usize, idx[&d] as usize);
+            targets[cur[si]] = di as u32;
+            cur[si] += 1;
+            rev_sources[rev_cur[di]] = si as u32;
+            rev_cur[di] += 1;
+        }
+        // `es` is sorted, so each vertex's targets are already sorted.
+        CsrGraph {
+            verts,
+            offsets,
+            targets,
+            rev_offsets,
+            rev_sources,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of (distinct) edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The original vertex ids, sorted (compact id = position).
+    pub fn vertices(&self) -> &[i64] {
+        &self.verts
+    }
+
+    /// Out-neighbours of compact vertex `v` (sorted compact ids).
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// In-neighbours of compact vertex `v` (compact ids).
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.rev_sources[self.rev_offsets[v]..self.rev_offsets[v + 1]]
+    }
+
+    /// Out-degree of compact vertex `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// True when the directed edge `u -> v` (compact ids) exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out_neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// PageRank over the distinct edge set; identical semantics to
+    /// `bda_core::reference::pagerank_semantics` (no dangling
+    /// redistribution, L1 convergence, last iterate at the bound).
+    /// Returns `(ranks, iterations_run)` aligned with [`CsrGraph::vertices`].
+    #[allow(clippy::needless_range_loop)] // CSR walk indexes several arrays
+    pub fn pagerank(&self, damping: f64, max_iters: usize, epsilon: f64) -> (Vec<f64>, usize) {
+        let n = self.num_vertices();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let mut rank = vec![1.0 / n as f64; n];
+        let mut iters = 0;
+        for it in 0..max_iters {
+            iters = it + 1;
+            let base = (1.0 - damping) / n as f64;
+            let mut next = vec![base; n];
+            // Push contributions along out-edges (cache-friendly CSR walk).
+            for u in 0..n {
+                let deg = self.out_degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                let share = damping * rank[u] / deg as f64;
+                for &v in self.out_neighbors(u) {
+                    next[v as usize] += share;
+                }
+            }
+            let delta: f64 = rank
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            rank = next;
+            if delta < epsilon {
+                break;
+            }
+        }
+        (rank, iters)
+    }
+
+    /// Connected components of the undirected view via union-find with
+    /// min-id roots; always exact (equivalent to the reference's label
+    /// propagation run to fixpoint). Returns the component label (minimum
+    /// original vertex id in the component) per vertex.
+    pub fn connected_components(&self) -> Vec<i64> {
+        let n = self.num_vertices();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for u in 0..n {
+            for &v in self.out_neighbors(u) {
+                let (ru, rv) = (find(&mut parent, u), find(&mut parent, v as usize));
+                if ru != rv {
+                    // Smaller compact id (= smaller original id, since
+                    // verts are sorted) becomes the root.
+                    let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                    parent[hi] = lo;
+                }
+            }
+        }
+        (0..n).map(|v| self.verts[find(&mut parent, v)]).collect()
+    }
+
+    /// Directed 3-cycle count (each cycle counted once); identical to
+    /// `bda_core::reference::triangles_semantics`.
+    pub fn triangle_count(&self) -> i64 {
+        let mut count = 0i64;
+        for a in 0..self.num_vertices() {
+            for &b in self.out_neighbors(a) {
+                for &c in self.out_neighbors(b as usize) {
+                    if self.has_edge(c as usize, a) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count / 3
+    }
+
+    /// Breadth-first levels from an original vertex id; `None` per vertex
+    /// when unreachable. Returns pairs `(vertex, Option<level>)`.
+    pub fn bfs_levels(&self, source: i64) -> Vec<(i64, Option<u32>)> {
+        let n = self.num_vertices();
+        let src = match self.verts.binary_search(&source) {
+            Ok(i) => i,
+            Err(_) => return self.verts.iter().map(|&v| (v, None)).collect(),
+        };
+        let mut level: Vec<Option<u32>> = vec![None; n];
+        level[src] = Some(0);
+        let mut frontier = vec![src];
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.out_neighbors(u) {
+                    let v = v as usize;
+                    if level[v].is_none() {
+                        level[v] = Some(depth);
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        self.verts
+            .iter()
+            .zip(level)
+            .map(|(&v, l)| (v, l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::reference::{components_semantics, pagerank_semantics, triangles_semantics};
+
+    fn sample_edges() -> Vec<(i64, i64)> {
+        vec![
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 2),
+            (0, 1), // duplicate
+            (10, 11),
+            (11, 10),
+        ]
+    }
+
+    #[test]
+    fn construction_dedups_and_compacts() {
+        let g = CsrGraph::from_edges(&sample_edges());
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.vertices(), &[0, 1, 2, 3, 10, 11]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.in_neighbors(0), &[2]);
+    }
+
+    #[test]
+    fn pagerank_matches_reference_semantics() {
+        let edges = sample_edges();
+        let g = CsrGraph::from_edges(&edges);
+        let (ours, _) = g.pagerank(0.85, 100, 1e-12);
+        let mut es = edges.clone();
+        es.sort_unstable();
+        es.dedup();
+        let oracle = pagerank_semantics(&es, g.vertices(), 0.85, 100, 1e-12);
+        for (a, b) in ours.iter().zip(&oracle) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        let total: f64 = ours.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_match_reference_semantics() {
+        let edges = sample_edges();
+        let g = CsrGraph::from_edges(&edges);
+        let ours = g.connected_components();
+        let mut es = edges.clone();
+        es.sort_unstable();
+        es.dedup();
+        let oracle = components_semantics(&es, g.vertices(), 100);
+        assert_eq!(ours, oracle);
+        assert_eq!(ours, vec![0, 0, 0, 0, 10, 10]);
+    }
+
+    #[test]
+    fn triangles_match_reference_semantics() {
+        let edges = sample_edges();
+        let g = CsrGraph::from_edges(&edges);
+        let mut es = edges.clone();
+        es.sort_unstable();
+        es.dedup();
+        assert_eq!(g.triangle_count(), triangles_semantics(&es));
+        assert_eq!(g.triangle_count(), 1);
+    }
+
+    #[test]
+    fn bfs_levels_and_unreachable() {
+        let g = CsrGraph::from_edges(&sample_edges());
+        let levels: HashMap<i64, Option<u32>> = g.bfs_levels(0).into_iter().collect();
+        assert_eq!(levels[&0], Some(0));
+        assert_eq!(levels[&1], Some(1));
+        assert_eq!(levels[&2], Some(2));
+        assert_eq!(levels[&3], Some(3));
+        assert_eq!(levels[&10], None);
+        // Unknown source: everything unreachable.
+        assert!(g.bfs_levels(999).iter().all(|(_, l)| l.is_none()));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(&[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.pagerank(0.85, 10, 1e-6).0, Vec::<f64>::new());
+        assert_eq!(g.connected_components(), Vec::<i64>::new());
+        assert_eq!(g.triangle_count(), 0);
+    }
+
+    #[test]
+    fn self_loops_and_negative_ids() {
+        let g = CsrGraph::from_edges(&[(-5, -5), (-5, 3)]);
+        assert_eq!(g.vertices(), &[-5, 3]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.connected_components(), vec![-5, -5]);
+    }
+}

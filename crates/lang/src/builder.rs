@@ -1,0 +1,418 @@
+//! The LINQ-flavoured fluent query builder.
+
+use bda_core::infer::infer_schema;
+use bda_core::{AggExpr, BinOp, CoreError, Expr, GraphOp, JoinType, Plan};
+use bda_storage::{Schema, Value};
+
+/// A fluent wrapper around a [`Plan`] under construction.
+///
+/// Method names follow LINQ's Standard Query Operators where a direct
+/// analogue exists (`select`, `where_`, `order_by`, `take`, `skip`,
+/// `distinct`, `union`), with the paper's extensions (dimension-aware
+/// array operators, intent operators, control iteration) alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    plan: Plan,
+}
+
+impl Query {
+    /// Start from a named dataset with a known schema.
+    pub fn scan(dataset: impl Into<String>, schema: Schema) -> Query {
+        Query {
+            plan: Plan::scan(dataset, schema),
+        }
+    }
+
+    /// Start from an existing plan.
+    pub fn from_plan(plan: Plan) -> Query {
+        Query { plan }
+    }
+
+    /// Start from the integers `[lo, hi)` as a 1-D array named `dim`.
+    pub fn range(dim: impl Into<String>, lo: i64, hi: i64) -> Query {
+        Query {
+            plan: Plan::Range {
+                name: dim.into(),
+                lo,
+                hi,
+            },
+        }
+    }
+
+    /// The built plan (borrow).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The built plan (consume).
+    pub fn into_plan(self) -> Plan {
+        self.plan
+    }
+
+    /// The query's output schema (type checks the whole plan).
+    pub fn schema(&self) -> Result<Schema, CoreError> {
+        infer_schema(&self.plan)
+    }
+
+    // --- relational SQO core ------------------------------------------------
+
+    /// LINQ `Where`: keep rows satisfying the predicate.
+    pub fn where_(self, predicate: Expr) -> Query {
+        Query {
+            plan: self.plan.select(predicate),
+        }
+    }
+
+    /// Alias for [`Query::where_`].
+    pub fn filter(self, predicate: Expr) -> Query {
+        self.where_(predicate)
+    }
+
+    /// LINQ `Select`: map each row to named expressions.
+    pub fn select(self, exprs: Vec<(&str, Expr)>) -> Query {
+        Query {
+            plan: self.plan.project(exprs),
+        }
+    }
+
+    /// Inner equi-join.
+    pub fn join(self, right: Query, on: Vec<(&str, &str)>) -> Query {
+        Query {
+            plan: self.plan.join(right.plan, on),
+        }
+    }
+
+    /// Join with an explicit type.
+    pub fn join_as(self, right: Query, on: Vec<(&str, &str)>, jt: JoinType) -> Query {
+        Query {
+            plan: self.plan.join_as(right.plan, on, jt),
+        }
+    }
+
+    /// LINQ `GroupBy` + aggregation in one step.
+    pub fn group_by(self, keys: Vec<&str>, aggs: Vec<AggExpr>) -> Query {
+        Query {
+            plan: self.plan.aggregate(keys, aggs),
+        }
+    }
+
+    /// LINQ `OrderBy` (ascending).
+    pub fn order_by(self, keys: Vec<&str>) -> Query {
+        Query {
+            plan: self.plan.sort_by(keys),
+        }
+    }
+
+    /// Order by a single key, descending.
+    pub fn order_by_desc(self, key: &str) -> Query {
+        Query {
+            plan: Plan::Sort {
+                input: self.plan.boxed(),
+                keys: vec![(key.to_string(), true)],
+            },
+        }
+    }
+
+    /// LINQ `Take`.
+    pub fn take(self, n: usize) -> Query {
+        Query {
+            plan: self.plan.limit(n),
+        }
+    }
+
+    /// LINQ `Skip`.
+    pub fn skip(self, n: usize) -> Query {
+        Query {
+            plan: Plan::Limit {
+                input: self.plan.boxed(),
+                skip: n,
+                fetch: None,
+            },
+        }
+    }
+
+    /// LINQ `Distinct`.
+    pub fn distinct(self) -> Query {
+        Query {
+            plan: self.plan.distinct(),
+        }
+    }
+
+    /// LINQ `Union` (bag union; use `.distinct()` for set union).
+    pub fn union(self, other: Query) -> Query {
+        Query {
+            plan: self.plan.union(other.plan),
+        }
+    }
+
+    /// Rename columns.
+    pub fn rename(self, mapping: Vec<(&str, &str)>) -> Query {
+        Query {
+            plan: self.plan.rename(mapping),
+        }
+    }
+
+    // --- dimension-aware array operators ------------------------------------
+
+    /// Restrict dimensions to coordinate ranges `[lo, hi)`.
+    pub fn dice(self, ranges: Vec<(&str, i64, i64)>) -> Query {
+        Query {
+            plan: Plan::Dice {
+                input: self.plan.boxed(),
+                ranges: ranges
+                    .into_iter()
+                    .map(|(d, lo, hi)| (d.to_string(), lo, hi))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Fix a dimension at a coordinate and drop it.
+    pub fn slice_at(self, dim: &str, index: i64) -> Query {
+        Query {
+            plan: Plan::SliceAt {
+                input: self.plan.boxed(),
+                dim: dim.to_string(),
+                index,
+            },
+        }
+    }
+
+    /// Reorder dimensions.
+    pub fn permute(self, order: Vec<&str>) -> Query {
+        Query {
+            plan: Plan::Permute {
+                input: self.plan.boxed(),
+                order: order.into_iter().map(str::to_string).collect(),
+            },
+        }
+    }
+
+    /// Moving-window (stencil) aggregate.
+    pub fn window(self, radii: Vec<(&str, i64)>, aggs: Vec<AggExpr>) -> Query {
+        Query {
+            plan: Plan::Window {
+                input: self.plan.boxed(),
+                radii: radii
+                    .into_iter()
+                    .map(|(d, r)| (d.to_string(), r))
+                    .collect(),
+                aggs,
+            },
+        }
+    }
+
+    /// Densify absent cells with a fill value.
+    pub fn fill(self, value: impl Into<Value>) -> Query {
+        Query {
+            plan: Plan::Fill {
+                input: self.plan.boxed(),
+                fill: value.into(),
+            },
+        }
+    }
+
+    /// Tag `i64` value columns as dimensions (table → array).
+    pub fn tag_dims(self, dims: Vec<(&str, Option<(i64, i64)>)>) -> Query {
+        Query {
+            plan: Plan::TagDims {
+                input: self.plan.boxed(),
+                dims: dims
+                    .into_iter()
+                    .map(|(d, e)| (d.to_string(), e))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Demote all dimensions to value columns (array → table).
+    pub fn untag_dims(self) -> Query {
+        Query {
+            plan: Plan::UntagDims {
+                input: self.plan.boxed(),
+            },
+        }
+    }
+
+    // --- intent operators ----------------------------------------------------
+
+    /// Matrix multiply.
+    pub fn matmul(self, right: Query) -> Query {
+        Query {
+            plan: self.plan.matmul(right.plan),
+        }
+    }
+
+    /// Cell-wise binary operation.
+    pub fn elemwise(self, op: BinOp, right: Query) -> Query {
+        Query {
+            plan: self.plan.elemwise(op, right.plan),
+        }
+    }
+
+    /// PageRank over this query's edge list.
+    pub fn page_rank(self, damping: f64, max_iters: usize, epsilon: f64) -> Query {
+        Query {
+            plan: Plan::Graph(GraphOp::PageRank {
+                edges: self.plan.boxed(),
+                damping,
+                max_iters,
+                epsilon,
+            }),
+        }
+    }
+
+    /// Connected components over this query's edge list.
+    pub fn connected_components(self, max_iters: usize) -> Query {
+        Query {
+            plan: Plan::Graph(GraphOp::ConnectedComponents {
+                edges: self.plan.boxed(),
+                max_iters,
+            }),
+        }
+    }
+
+    /// Triangle count over this query's edge list.
+    pub fn triangle_count(self) -> Query {
+        Query {
+            plan: Plan::Graph(GraphOp::TriangleCount {
+                edges: self.plan.boxed(),
+            }),
+        }
+    }
+
+    /// Out-degrees over this query's edge list.
+    pub fn degrees(self) -> Query {
+        Query {
+            plan: Plan::Graph(GraphOp::Degrees {
+                edges: self.plan.boxed(),
+            }),
+        }
+    }
+
+    /// BFS levels from `source` over this query's edge list.
+    pub fn bfs_levels(self, source: i64) -> Query {
+        Query {
+            plan: Plan::Graph(GraphOp::BfsLevels {
+                edges: self.plan.boxed(),
+                source,
+            }),
+        }
+    }
+
+    // --- control iteration -----------------------------------------------
+
+    /// Control iteration: repeatedly apply `body` (which receives the
+    /// loop-state query) until the state converges (`epsilon`, or exact
+    /// fixpoint with `None`) or `max_iters` is reached.
+    pub fn iterate(
+        self,
+        max_iters: usize,
+        epsilon: Option<f64>,
+        body: impl FnOnce(Query) -> Query,
+    ) -> Result<Query, CoreError> {
+        let state_schema = infer_schema(&self.plan)?;
+        let state = Query {
+            plan: Plan::IterState {
+                schema: state_schema,
+            },
+        };
+        let body_plan = body(state).into_plan();
+        Ok(Query {
+            plan: Plan::Iterate {
+                init: self.plan.boxed(),
+                body: body_plan.boxed(),
+                max_iters,
+                epsilon,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::reference::{evaluate, EmptySource};
+    use bda_core::{col, lit, AggFunc};
+    use bda_storage::{Column, DataSet, DataType};
+    use std::collections::HashMap;
+
+    fn sales() -> DataSet {
+        DataSet::from_columns(vec![
+            ("region", Column::from(vec!["w", "e", "w"])),
+            ("amount", Column::from(vec![10i64, 25, 30])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn linq_pipeline_builds_expected_plan() {
+        let q = Query::scan("sales", sales().schema().clone())
+            .where_(col("amount").gt(lit(15i64)))
+            .group_by(
+                vec!["region"],
+                vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+            )
+            .order_by(vec!["region"])
+            .take(10);
+        let schema = q.schema().unwrap();
+        assert_eq!(schema.names(), vec!["region", "total"]);
+        let mut src = HashMap::new();
+        src.insert("sales".to_string(), sales());
+        let out = evaluate(q.plan(), &src).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn skip_take_distinct_union() {
+        let q = Query::scan("sales", sales().schema().clone())
+            .union(Query::scan("sales", sales().schema().clone()))
+            .select(vec![("region", col("region"))])
+            .distinct()
+            .order_by_desc("region")
+            .skip(1)
+            .take(1);
+        let mut src = HashMap::new();
+        src.insert("sales".to_string(), sales());
+        let out = evaluate(q.plan(), &src).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.rows().unwrap()[0].get(0), &Value::from("e"));
+    }
+
+    #[test]
+    fn array_methods_typecheck() {
+        let m = bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect())
+            .unwrap();
+        let q = Query::scan("m", m.schema().clone())
+            .dice(vec![("row", 0, 3)])
+            .window(
+                vec![("row", 1), ("col", 1)],
+                vec![AggExpr::new(AggFunc::Avg, col("v"), "mean")],
+            );
+        let schema = q.schema().unwrap();
+        assert_eq!(schema.ndims(), 2);
+        let mm = Query::scan("m", m.schema().clone()).matmul(Query::scan("m", m.schema().clone()));
+        assert_eq!(mm.schema().unwrap().ndims(), 2);
+    }
+
+    #[test]
+    fn iterate_builder() {
+        let q = Query::range("i", 0, 4)
+            .untag_dims()
+            .select(vec![("x", col("i").cast(DataType::Float64))])
+            .iterate(10, Some(1e-3), |state| {
+                state.select(vec![("x", col("x").mul(lit(0.5)))])
+            })
+            .unwrap();
+        let out = evaluate(q.plan(), &EmptySource).unwrap();
+        assert_eq!(out.num_rows(), 4);
+    }
+
+    #[test]
+    fn graph_methods() {
+        let q = Query::scan("e", bda_core::infer::edge_schema()).page_rank(0.85, 50, 1e-8);
+        assert_eq!(q.schema().unwrap().names(), vec!["vertex", "rank"]);
+        let q = Query::scan("e", bda_core::infer::edge_schema()).triangle_count();
+        assert_eq!(q.schema().unwrap().names(), vec!["triangles"]);
+    }
+}

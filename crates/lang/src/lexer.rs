@@ -1,0 +1,381 @@
+//! The BDL lexer.
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (contents unescaped).
+    Str(String),
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::Comma => f.write_str(","),
+            Tok::Colon => f.write_str(":"),
+            Tok::Star => f.write_str("*"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::Eq => f.write_str("="),
+            Tok::Ne => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::Eof => f.write_str("<end of input>"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+}
+
+/// Lexing failure: message plus byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+/// Tokenize a BDL source string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '|' => {
+                out.push(Token { tok: Tok::Pipe, pos: i });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, pos: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, pos: i });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { tok: Tok::Colon, pos: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { tok: Tok::Star, pos: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { tok: Tok::Plus, pos: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { tok: Tok::Minus, pos: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { tok: Tok::Slash, pos: i });
+                i += 1;
+            }
+            '%' => {
+                out.push(Token { tok: Tok::Percent, pos: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { tok: Tok::Eq, pos: i });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Ne, pos: i });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected `!=`".into(),
+                        pos: i,
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Le, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Lt, pos: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { tok: Tok::Ge, pos: i });
+                    i += 2;
+                } else {
+                    out.push(Token { tok: Tok::Gt, pos: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') => {
+                            // Doubled quote escapes a quote.
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                pos: start,
+                            })
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal `{text}`"),
+                        pos: start,
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LexError {
+                        message: format!("integer literal `{text}` out of range"),
+                        pos: start,
+                    })?)
+                };
+                out.push(Token { tok, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    pos: i,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("scan sales | where amount >= 10.5"),
+            vec![
+                Tok::Ident("scan".into()),
+                Tok::Ident("sales".into()),
+                Tok::Pipe,
+                Tok::Ident("where".into()),
+                Tok::Ident("amount".into()),
+                Tok::Ge,
+                Tok::Float(10.5),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![Tok::Str("it's".into()), Tok::Eof]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("3"), vec![Tok::Int(3), Tok::Eof]);
+        assert_eq!(kinds("3.25"), vec![Tok::Float(3.25), Tok::Eof]);
+        assert_eq!(kinds("1e-6"), vec![Tok::Float(1e-6), Tok::Eof]);
+        // `3.` is Int 3 followed by... nothing parseable; dot alone errors.
+        assert!(tokenize("3.x").is_err() || kinds("3.x").len() > 1);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("scan t # the table\n| distinct"),
+            vec![
+                Tok::Ident("scan".into()),
+                Tok::Ident("t".into()),
+                Tok::Pipe,
+                Tok::Ident("distinct".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != < <= > >= + - * / %"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+    }
+
+    #[test]
+    fn bad_chars_error_with_position() {
+        let err = tokenize("a ^ b").unwrap_err();
+        assert_eq!(err.pos, 2);
+        assert!(err.message.contains('^'));
+    }
+}

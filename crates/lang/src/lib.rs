@@ -1,0 +1,24 @@
+//! # `bda-lang`: the client language layer
+//!
+//! The paper notes that with an algebra at the core, "client languages are
+//! free to provide syntactic sugar to provide a more declarative
+//! specification of queries". This crate provides two such surfaces over
+//! the Big Data Algebra:
+//!
+//! * [`builder`] — a LINQ-flavoured fluent API ([`Query`]) whose method
+//!   names deliberately echo the Standard Query Operators (`select`,
+//!   `where_`, `order_by`, `take`, ...), extended with the dimension-aware
+//!   and intent operators.
+//! * [`lexer`] / [`parser`] — **BDL**, a small pipe-syntax text language
+//!   (`scan sales | where amount > 10 | groupby region: sum(amount) as t`)
+//!   compiled straight into algebra plans, with position-carrying errors.
+//!
+//! Both produce plain [`bda_core::Plan`] values; nothing downstream knows
+//! or cares which surface a plan came from.
+
+pub mod builder;
+pub mod lexer;
+pub mod parser;
+
+pub use builder::Query;
+pub use parser::{parse_query, LangError, SchemaSource};

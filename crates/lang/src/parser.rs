@@ -1,0 +1,1064 @@
+//! The BDL parser: pipe-syntax text → algebra plans.
+//!
+//! ```text
+//! scan sales
+//! | where amount > 10 and region = 'west'
+//! | join (scan customers) on customer_id = customer_id
+//! | groupby region: sum(amount) as total, count(*) as n
+//! | select region, total / cast(n as f64) as mean
+//! | orderby total desc
+//! | limit 5
+//! ```
+//!
+//! Stages: `where`, `select`, `join`/`leftjoin`/`semijoin`/`antijoin` ... `on`,
+//! `groupby ... : aggs`, `agg` (global aggregates), `orderby`, `limit`,
+//! `skip`, `distinct`, `union`, `rename`, `dice`, `slice`, `permute`,
+//! `window ... : aggs`, `fill`, `tag`, `untag`, `matmul`, `elemwise`,
+//! `pagerank`, `components`, `triangles`, `degrees`, `bfs SOURCE`.
+//! Sources: `scan NAME`,
+//! `range NAME lo hi`, or a parenthesized query.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bda_core::{AggExpr, AggFunc, BinOp, Expr, GraphOp, JoinType, Plan, UnOp};
+use bda_storage::{DataType, Schema, Value};
+
+use crate::lexer::{tokenize, Tok, Token};
+
+/// Where the parser resolves `scan` schemas.
+pub trait SchemaSource {
+    /// Schema of the named dataset, if known.
+    fn schema_of(&self, name: &str) -> Option<Schema>;
+}
+
+impl SchemaSource for HashMap<String, Schema> {
+    fn schema_of(&self, name: &str) -> Option<Schema> {
+        self.get(name).cloned()
+    }
+}
+
+impl<F: Fn(&str) -> Option<Schema>> SchemaSource for F {
+    fn schema_of(&self, name: &str) -> Option<Schema> {
+        self(name)
+    }
+}
+
+/// A parse/bind failure with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub pos: usize,
+}
+
+impl LangError {
+    /// Render the error with a caret under the offending position.
+    pub fn render(&self, src: &str) -> String {
+        let mut line_start = 0usize;
+        let mut line_no = 1usize;
+        for (i, c) in src.char_indices() {
+            if i >= self.pos {
+                break;
+            }
+            if c == '\n' {
+                line_start = i + 1;
+                line_no += 1;
+            }
+        }
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|o| line_start + o)
+            .unwrap_or(src.len());
+        let col = self.pos.saturating_sub(line_start);
+        format!(
+            "error: {}\n  --> line {line_no}, column {}\n   | {}\n   | {}^",
+            self.message,
+            col + 1,
+            &src[line_start..line_end],
+            " ".repeat(col)
+        )
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Parse a BDL query into an algebra plan, resolving scans against
+/// `schemas` and type-checking the result.
+pub fn parse_query(src: &str, schemas: &dyn SchemaSource) -> Result<Plan, LangError> {
+    let tokens = tokenize(src).map_err(|e| LangError {
+        message: e.message,
+        pos: e.pos,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        schemas,
+    };
+    let plan = p.query()?;
+    p.expect_eof()?;
+    // Bind-time type check with a source-level error.
+    bda_core::infer_schema(&plan).map_err(|e| LangError {
+        message: e.to_string(),
+        pos: 0,
+    })?;
+    Ok(plan)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    schemas: &'a dyn SchemaSource,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, LangError> {
+        Err(LangError {
+            message: message.into(),
+            pos: self.peek().pos,
+        })
+    }
+
+    fn eat(&mut self, tok: &Tok) -> Result<(), LangError> {
+        if &self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek().tok))
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = &self.peek().tok {
+            if s.eq_ignore_ascii_case(kw) {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), LangError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek().tok))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match &self.peek().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected {what}, found {other}")),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64, LangError> {
+        match self.peek().tok {
+            Tok::Int(v) => {
+                self.next();
+                Ok(v)
+            }
+            Tok::Minus => {
+                self.next();
+                match self.peek().tok {
+                    Tok::Int(v) => {
+                        self.next();
+                        Ok(-v)
+                    }
+                    _ => self.err(format!("expected {what}")),
+                }
+            }
+            _ => self.err(format!("expected {what}, found {}", self.peek().tok)),
+        }
+    }
+
+    fn float(&mut self, what: &str) -> Result<f64, LangError> {
+        match self.peek().tok {
+            Tok::Float(v) => {
+                self.next();
+                Ok(v)
+            }
+            Tok::Int(v) => {
+                self.next();
+                Ok(v as f64)
+            }
+            _ => self.err(format!("expected {what}, found {}", self.peek().tok)),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), LangError> {
+        if self.peek().tok == Tok::Eof {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input {}", self.peek().tok))
+        }
+    }
+
+    // --- grammar ------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Plan, LangError> {
+        let mut plan = self.source()?;
+        while self.peek().tok == Tok::Pipe {
+            self.next();
+            plan = self.stage(plan)?;
+        }
+        Ok(plan)
+    }
+
+    fn source(&mut self) -> Result<Plan, LangError> {
+        if self.peek().tok == Tok::LParen {
+            self.next();
+            let q = self.query()?;
+            self.eat(&Tok::RParen)?;
+            return Ok(q);
+        }
+        if self.eat_kw("scan") {
+            let at = self.peek().pos;
+            let name = self.ident("dataset name")?;
+            let schema = self.schemas.schema_of(&name).ok_or(LangError {
+                message: format!("unknown dataset `{name}`"),
+                pos: at,
+            })?;
+            return Ok(Plan::scan(name, schema));
+        }
+        if self.eat_kw("range") {
+            let name = self.ident("dimension name")?;
+            let lo = self.int("range start")?;
+            let hi = self.int("range end")?;
+            return Ok(Plan::Range { name, lo, hi });
+        }
+        self.err("expected a source: `scan NAME`, `range NAME lo hi`, or `(query)`")
+    }
+
+    fn stage(&mut self, input: Plan) -> Result<Plan, LangError> {
+        let at = self.peek().pos;
+        let kw = self.ident("pipeline stage")?;
+        match kw.to_ascii_lowercase().as_str() {
+            "where" => Ok(input.select(self.expr()?)),
+            "select" => {
+                let exprs = self.select_items()?;
+                Ok(Plan::Project {
+                    input: input.boxed(),
+                    exprs,
+                })
+            }
+            "join" | "leftjoin" | "semijoin" | "antijoin" => {
+                let jt = match kw.to_ascii_lowercase().as_str() {
+                    "join" => JoinType::Inner,
+                    "leftjoin" => JoinType::Left,
+                    "semijoin" => JoinType::Semi,
+                    _ => JoinType::Anti,
+                };
+                let right = self.source()?;
+                self.expect_kw("on")?;
+                let mut on = Vec::new();
+                loop {
+                    let l = self.ident("left join column")?;
+                    self.eat(&Tok::Eq)?;
+                    let r = self.ident("right join column")?;
+                    on.push((l, r));
+                    if self.peek().tok != Tok::Comma {
+                        break;
+                    }
+                    self.next();
+                }
+                Ok(Plan::Join {
+                    left: input.boxed(),
+                    right: right.boxed(),
+                    on,
+                    join_type: jt,
+                    suffix: "_r".into(),
+                })
+            }
+            "groupby" => {
+                let mut keys = Vec::new();
+                loop {
+                    keys.push(self.ident("grouping column")?);
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(&Tok::Colon)?;
+                let aggs = self.agg_items()?;
+                Ok(Plan::Aggregate {
+                    input: input.boxed(),
+                    group_by: keys,
+                    aggs,
+                })
+            }
+            "agg" => {
+                let aggs = self.agg_items()?;
+                Ok(Plan::Aggregate {
+                    input: input.boxed(),
+                    group_by: vec![],
+                    aggs,
+                })
+            }
+            "orderby" => {
+                let mut keys = Vec::new();
+                loop {
+                    let k = self.ident("sort column")?;
+                    let desc = if self.eat_kw("desc") {
+                        true
+                    } else {
+                        self.eat_kw("asc");
+                        false
+                    };
+                    keys.push((k, desc));
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Plan::Sort {
+                    input: input.boxed(),
+                    keys,
+                })
+            }
+            "limit" => {
+                let n = self.int("row count")?;
+                if n < 0 {
+                    return Err(LangError {
+                        message: "limit must be non-negative".into(),
+                        pos: at,
+                    });
+                }
+                Ok(input.limit(n as usize))
+            }
+            "skip" => {
+                let n = self.int("row count")?;
+                if n < 0 {
+                    return Err(LangError {
+                        message: "skip must be non-negative".into(),
+                        pos: at,
+                    });
+                }
+                Ok(Plan::Limit {
+                    input: input.boxed(),
+                    skip: n as usize,
+                    fetch: None,
+                })
+            }
+            "distinct" => Ok(input.distinct()),
+            "union" => {
+                let right = self.source()?;
+                Ok(input.union(right))
+            }
+            "rename" => {
+                let mut mapping = Vec::new();
+                loop {
+                    let old = self.ident("column name")?;
+                    self.expect_kw("as")?;
+                    let new = self.ident("new column name")?;
+                    mapping.push((old, new));
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Plan::Rename {
+                    input: input.boxed(),
+                    mapping,
+                })
+            }
+            "dice" => {
+                let mut ranges = Vec::new();
+                loop {
+                    let d = self.ident("dimension")?;
+                    let lo = self.int("range start")?;
+                    let hi = self.int("range end")?;
+                    ranges.push((d, lo, hi));
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Plan::Dice {
+                    input: input.boxed(),
+                    ranges,
+                })
+            }
+            "slice" => {
+                let dim = self.ident("dimension")?;
+                let index = self.int("coordinate")?;
+                Ok(Plan::SliceAt {
+                    input: input.boxed(),
+                    dim,
+                    index,
+                })
+            }
+            "permute" => {
+                let mut order = Vec::new();
+                loop {
+                    order.push(self.ident("dimension")?);
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Plan::Permute {
+                    input: input.boxed(),
+                    order,
+                })
+            }
+            "window" => {
+                let mut radii = Vec::new();
+                loop {
+                    let d = self.ident("dimension")?;
+                    let r = self.int("radius")?;
+                    radii.push((d, r));
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(&Tok::Colon)?;
+                let aggs = self.agg_items()?;
+                Ok(Plan::Window {
+                    input: input.boxed(),
+                    radii,
+                    aggs,
+                })
+            }
+            "fill" => {
+                let v = self.literal()?;
+                Ok(Plan::Fill {
+                    input: input.boxed(),
+                    fill: v,
+                })
+            }
+            "tag" => {
+                let mut dims = Vec::new();
+                loop {
+                    let d = self.ident("column")?;
+                    let extent = if matches!(self.peek().tok, Tok::Int(_) | Tok::Minus) {
+                        let lo = self.int("extent start")?;
+                        let hi = self.int("extent end")?;
+                        Some((lo, hi))
+                    } else {
+                        None
+                    };
+                    dims.push((d, extent));
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Plan::TagDims {
+                    input: input.boxed(),
+                    dims,
+                })
+            }
+            "untag" => Ok(Plan::UntagDims {
+                input: input.boxed(),
+            }),
+            "matmul" => {
+                let right = self.source()?;
+                Ok(input.matmul(right))
+            }
+            "elemwise" => {
+                let op = match self.next().tok {
+                    Tok::Plus => BinOp::Add,
+                    Tok::Minus => BinOp::Sub,
+                    Tok::Star => BinOp::Mul,
+                    Tok::Slash => BinOp::Div,
+                    other => {
+                        return Err(LangError {
+                            message: format!("expected an elemwise operator, found {other}"),
+                            pos: at,
+                        })
+                    }
+                };
+                let right = self.source()?;
+                Ok(input.elemwise(op, right))
+            }
+            "pagerank" => {
+                let damping = self.float("damping factor")?;
+                let max_iters = self.int("max iterations")? as usize;
+                let epsilon = self.float("epsilon")?;
+                Ok(Plan::Graph(GraphOp::PageRank {
+                    edges: input.boxed(),
+                    damping,
+                    max_iters,
+                    epsilon,
+                }))
+            }
+            "components" => {
+                let max_iters = self.int("max iterations")? as usize;
+                Ok(Plan::Graph(GraphOp::ConnectedComponents {
+                    edges: input.boxed(),
+                    max_iters,
+                }))
+            }
+            "triangles" => Ok(Plan::Graph(GraphOp::TriangleCount {
+                edges: input.boxed(),
+            })),
+            "degrees" => Ok(Plan::Graph(GraphOp::Degrees {
+                edges: input.boxed(),
+            })),
+            "bfs" => {
+                let source = self.int("source vertex")?;
+                Ok(Plan::Graph(GraphOp::BfsLevels {
+                    edges: input.boxed(),
+                    source,
+                }))
+            }
+            other => Err(LangError {
+                message: format!("unknown pipeline stage `{other}`"),
+                pos: at,
+            }),
+        }
+    }
+
+    fn select_items(&mut self) -> Result<Vec<(String, Expr)>, LangError> {
+        let mut items = Vec::new();
+        loop {
+            let at = self.peek().pos;
+            let e = self.expr()?;
+            let name = if self.eat_kw("as") {
+                self.ident("output name")?
+            } else if let Expr::Column(c) = &e {
+                c.clone()
+            } else {
+                return Err(LangError {
+                    message: "computed select item needs `as NAME`".into(),
+                    pos: at,
+                });
+            };
+            items.push((name, e));
+            if self.peek().tok == Tok::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn agg_items(&mut self) -> Result<Vec<AggExpr>, LangError> {
+        let mut items = Vec::new();
+        loop {
+            let at = self.peek().pos;
+            let func_name = self.ident("aggregate function")?;
+            let func = match func_name.to_ascii_lowercase().as_str() {
+                "count" => AggFunc::Count,
+                "sum" => AggFunc::Sum,
+                "min" => AggFunc::Min,
+                "max" => AggFunc::Max,
+                "avg" => AggFunc::Avg,
+                other => {
+                    return Err(LangError {
+                        message: format!("unknown aggregate function `{other}`"),
+                        pos: at,
+                    })
+                }
+            };
+            self.eat(&Tok::LParen)?;
+            let arg = if func == AggFunc::Count && self.peek().tok == Tok::Star {
+                self.next();
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.eat(&Tok::RParen)?;
+            self.expect_kw("as")?;
+            let name = self.ident("aggregate output name")?;
+            items.push(AggExpr { func, arg, name });
+            if self.peek().tok == Tok::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // --- expressions (precedence climbing) -----------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            let r = self.and_expr()?;
+            e = e.or(r);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("and") {
+            let r = self.not_expr()?;
+            e = e.and(r);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, LangError> {
+        if self.eat_kw("not") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let e = self.add_expr()?;
+        let op = match self.peek().tok {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let r = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                left: Box::new(e),
+                right: Box::new(r),
+            })
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let r = self.mul_expr()?;
+            e = Expr::Binary {
+                op,
+                left: Box::new(e),
+                right: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let r = self.unary_expr()?;
+            e = Expr::Binary {
+                op,
+                left: Box::new(e),
+                right: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        if self.peek().tok == Tok::Minus {
+            self.next();
+            return Ok(self.unary_expr()?.neg());
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let at = self.peek().pos;
+        match self.peek().tok.clone() {
+            Tok::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Int(v) => {
+                self.next();
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Tok::Float(v) => {
+                self.next();
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Tok::Ident(name) => {
+                self.next();
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => return Ok(Expr::Literal(Value::Bool(true))),
+                    "false" => return Ok(Expr::Literal(Value::Bool(false))),
+                    "null" => return Ok(Expr::Literal(Value::Null)),
+                    "cast" => {
+                        self.eat(&Tok::LParen)?;
+                        let e = self.expr()?;
+                        self.expect_kw("as")?;
+                        let ty = self.type_name()?;
+                        self.eat(&Tok::RParen)?;
+                        return Ok(e.cast(ty));
+                    }
+                    "coalesce" => {
+                        self.eat(&Tok::LParen)?;
+                        let mut args = vec![self.expr()?];
+                        while self.peek().tok == Tok::Comma {
+                            self.next();
+                            args.push(self.expr()?);
+                        }
+                        self.eat(&Tok::RParen)?;
+                        return Ok(Expr::Coalesce(args));
+                    }
+                    "case" => {
+                        // case when C then R [when ...] [else E] end
+                        let mut branches = Vec::new();
+                        while self.eat_kw("when") {
+                            let w = self.expr()?;
+                            self.expect_kw("then")?;
+                            let t = self.expr()?;
+                            branches.push((w, t));
+                        }
+                        if branches.is_empty() {
+                            return Err(LangError {
+                                message: "case needs at least one `when`".into(),
+                                pos: at,
+                            });
+                        }
+                        let otherwise = if self.eat_kw("else") {
+                            Some(Box::new(self.expr()?))
+                        } else {
+                            None
+                        };
+                        self.expect_kw("end")?;
+                        return Ok(Expr::Case {
+                            branches,
+                            otherwise,
+                        });
+                    }
+                    _ => {}
+                }
+                // Unary function call?
+                if self.peek().tok == Tok::LParen {
+                    let op = match lower.as_str() {
+                        "abs" => Some(UnOp::Abs),
+                        "sqrt" => Some(UnOp::Sqrt),
+                        "floor" => Some(UnOp::Floor),
+                        "exp" => Some(UnOp::Exp),
+                        "ln" => Some(UnOp::Ln),
+                        "isnull" => Some(UnOp::IsNull),
+                        _ => None,
+                    };
+                    match op {
+                        Some(op) => {
+                            self.next(); // (
+                            let e = self.expr()?;
+                            self.eat(&Tok::RParen)?;
+                            return Ok(e.unary(op));
+                        }
+                        None => {
+                            return Err(LangError {
+                                message: format!("unknown function `{name}`"),
+                                pos: at,
+                            })
+                        }
+                    }
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(LangError {
+                message: format!("expected an expression, found {other}"),
+                pos: at,
+            }),
+        }
+    }
+
+    /// A literal scalar (for `fill`).
+    fn literal(&mut self) -> Result<Value, LangError> {
+        let at = self.peek().pos;
+        let negate = if self.peek().tok == Tok::Minus {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let v = match self.next().tok {
+            Tok::Int(v) => Value::Int(if negate { -v } else { v }),
+            Tok::Float(v) => Value::Float(if negate { -v } else { v }),
+            Tok::Str(s) if !negate => Value::Str(s),
+            Tok::Ident(s) if !negate && s.eq_ignore_ascii_case("true") => Value::Bool(true),
+            Tok::Ident(s) if !negate && s.eq_ignore_ascii_case("false") => Value::Bool(false),
+            Tok::Ident(s) if !negate && s.eq_ignore_ascii_case("null") => Value::Null,
+            other => {
+                return Err(LangError {
+                    message: format!("expected a literal, found {other}"),
+                    pos: at,
+                })
+            }
+        };
+        Ok(v)
+    }
+
+    fn type_name(&mut self) -> Result<DataType, LangError> {
+        let at = self.peek().pos;
+        let name = self.ident("type name")?;
+        match name.to_ascii_lowercase().as_str() {
+            "i64" | "int" => Ok(DataType::Int64),
+            "f64" | "float" => Ok(DataType::Float64),
+            "bool" => Ok(DataType::Bool),
+            "utf8" | "string" | "str" => Ok(DataType::Utf8),
+            other => Err(LangError {
+                message: format!("unknown type `{other}`"),
+                pos: at,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::reference::evaluate;
+    use bda_core::OpKind;
+    use bda_storage::{Column, DataSet};
+    use std::collections::HashMap as Map;
+
+    fn schemas() -> Map<String, Schema> {
+        let mut m = Map::new();
+        m.insert("sales".to_string(), sales().schema().clone());
+        m.insert(
+            "customers".to_string(),
+            customers().schema().clone(),
+        );
+        m.insert("edges".to_string(), bda_core::infer::edge_schema());
+        m.insert(
+            "m".to_string(),
+            bda_storage::dataset::matrix_dataset(3, 3, vec![0.0; 9])
+                .unwrap()
+                .schema()
+                .clone(),
+        );
+        m
+    }
+
+    fn sales() -> DataSet {
+        DataSet::from_columns(vec![
+            ("customer_id", Column::from(vec![0i64, 1, 0, 1])),
+            ("amount", Column::from(vec![10.0f64, 20.0, 30.0, 40.0])),
+        ])
+        .unwrap()
+    }
+
+    fn customers() -> DataSet {
+        DataSet::from_columns(vec![
+            ("customer_id", Column::from(vec![0i64, 1])),
+            ("region", Column::from(vec!["west", "east"])),
+        ])
+        .unwrap()
+    }
+
+    fn run(src: &str) -> DataSet {
+        let plan = parse_query(src, &schemas()).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let mut data = Map::new();
+        data.insert("sales".to_string(), sales());
+        data.insert("customers".to_string(), customers());
+        evaluate(&plan, &data).unwrap()
+    }
+
+    #[test]
+    fn full_relational_pipeline() {
+        let out = run("scan sales \
+             | where amount > 15 \
+             | join (scan customers) on customer_id = customer_id \
+             | groupby region: sum(amount) as total, count(*) as n \
+             | select region, total / cast(n as f64) as mean \
+             | orderby mean desc \
+             | limit 1");
+        let rows = out.rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::from("east"));
+        assert_eq!(rows[0].get(1), &Value::Float(30.0));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let plan = parse_query(
+            "scan sales | where amount + 1.0 * 2.0 > 11.0 and not isnull(amount)",
+            &schemas(),
+        )
+        .unwrap();
+        // 1*2 binds tighter than +.
+        let txt = plan.to_string();
+        assert!(txt.contains("(amount + (1.0 * 2.0))"), "{txt}");
+    }
+
+    #[test]
+    fn array_stages_parse() {
+        let plan = parse_query(
+            "scan m | dice row 0 2, col 0 2 | window row 1, col 1: avg(v) as s",
+            &schemas(),
+        )
+        .unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::Window));
+        let plan = parse_query("scan m | slice row 1 | untag", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::SliceAt));
+        let plan = parse_query("scan m | matmul (scan m)", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::MatMul));
+        let plan = parse_query("scan m | elemwise * (scan m)", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::ElemWise));
+        let plan = parse_query("range i 0 5 | untag | tag i 0 5", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::TagDims));
+    }
+
+    #[test]
+    fn graph_stages_parse() {
+        let plan = parse_query("scan edges | pagerank 0.85 100 1e-6", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::PageRank));
+        let plan = parse_query("scan edges | components 50", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::ConnectedComponents));
+        let plan = parse_query("scan edges | triangles", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::TriangleCount));
+    }
+
+    #[test]
+    fn bfs_stage_parses() {
+        let plan = parse_query("scan edges | bfs 3 | orderby level", &schemas()).unwrap();
+        assert!(plan.op_kinds().contains(&OpKind::BfsLevels));
+        assert!(parse_query("scan edges | bfs", &schemas()).is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_error_has_position() {
+        let src = "scan nope | distinct";
+        let err = parse_query(src, &schemas()).unwrap_err();
+        assert!(err.message.contains("nope"));
+        assert_eq!(err.pos, 5);
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 1"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        // region is utf8; arithmetic on it must fail at bind time.
+        let err = parse_query(
+            "scan customers | where region + 1 > 2",
+            &schemas(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("numeric"), "{err}");
+    }
+
+    #[test]
+    fn computed_select_requires_as() {
+        let err = parse_query("scan sales | select amount * 2", &schemas()).unwrap_err();
+        assert!(err.message.contains("as"), "{err}");
+    }
+
+    #[test]
+    fn semijoin_and_union_and_rename() {
+        let out = run(
+            "scan sales | semijoin (scan customers | where region = 'west') \
+             on customer_id = customer_id",
+        );
+        assert_eq!(out.num_rows(), 2);
+        let out = run("scan sales | union (scan sales) | rename amount as amt");
+        assert_eq!(out.num_rows(), 8);
+        assert!(out.schema().field("amt").is_ok());
+    }
+
+    #[test]
+    fn global_agg_stage() {
+        let out = run("scan sales | agg sum(amount) as s, max(amount) as m");
+        let rows = out.rows().unwrap();
+        assert_eq!(rows[0].get(0), &Value::Float(100.0));
+        assert_eq!(rows[0].get(1), &Value::Float(40.0));
+    }
+
+    #[test]
+    fn parenthesized_subquery_source() {
+        let out = run("(scan sales | where amount > 25) | distinct");
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn case_when_expression() {
+        let out = run(
+            "scan sales \
+             | select customer_id, \
+                      case when amount >= 30.0 then 'big' \
+                           when amount >= 20.0 then 'mid' \
+                           else 'small' end as bucket",
+        );
+        let buckets: Vec<Value> = out
+            .sorted_rows()
+            .unwrap()
+            .iter()
+            .map(|r| r.get(1).clone())
+            .collect();
+        assert!(buckets.contains(&Value::from("big")));
+        assert!(buckets.contains(&Value::from("small")));
+        // A case without `when` is rejected with a position.
+        assert!(parse_query("scan sales | select case end as x", &schemas()).is_err());
+        // Missing `end` is rejected.
+        assert!(parse_query(
+            "scan sales | select case when amount > 1.0 then 1 as x",
+            &schemas()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn schema_source_closure() {
+        let lookup = |name: &str| -> Option<Schema> {
+            (name == "sales").then(|| sales().schema().clone())
+        };
+        assert!(parse_query("scan sales", &lookup).is_ok());
+        assert!(parse_query("scan other", &lookup).is_err());
+    }
+}

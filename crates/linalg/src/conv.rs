@@ -1,0 +1,290 @@
+//! Dataset ↔ matrix conversion and plan execution for the linear-algebra
+//! engine.
+//!
+//! Conventions (the linear-algebra view of the fused model):
+//!
+//! * A "matrix" dataset has exactly two bounded dimensions and one `f64`
+//!   value attribute.
+//! * Absent cells and null values read as `0.0`; results are fully dense.
+//!   (A sparse algebraic result that *omits* zero cells and a dense one
+//!   that *stores* them are `Fill(0.0)`-equivalent; the experiments
+//!   normalize with `Fill` before comparing.)
+
+use std::collections::BTreeMap;
+
+use bda_core::infer::infer_schema;
+use bda_core::{BinOp, CoreError, Plan};
+use bda_storage::{Chunk, Column, DataSet, DenseChunk, DimBox, Schema};
+
+use crate::matrix::Matrix;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Validate the matrix shape: two bounded dims, one `f64` value.
+pub fn check_matrix_schema(schema: &Schema) -> Result<()> {
+    let dims = schema.dimensions();
+    if dims.len() != 2 {
+        return Err(CoreError::Plan(format!(
+            "linalg engine requires 2-D arrays, got {} dims in {schema}",
+            dims.len()
+        )));
+    }
+    if !schema.is_bounded() {
+        return Err(CoreError::Plan(format!(
+            "linalg engine requires bounded extents in {schema}"
+        )));
+    }
+    let vals = schema.values();
+    if vals.len() != 1 || vals[0].dtype != bda_storage::DataType::Float64 {
+        return Err(CoreError::Plan(format!(
+            "linalg engine requires exactly one f64 value attribute in {schema}"
+        )));
+    }
+    Ok(())
+}
+
+/// Convert a matrix dataset into a dense [`Matrix`] plus the box origin
+/// (`lo` per axis). Absent/null cells become `0.0`.
+pub fn to_matrix(ds: &DataSet) -> Result<(Matrix, [i64; 2])> {
+    check_matrix_schema(ds.schema())?;
+    let dense = ds.to_dense()?;
+    let chunk = match dense.chunks() {
+        [Chunk::Dense(d)] => d,
+        _ => return Err(CoreError::Plan("expected one dense chunk".into())),
+    };
+    let b = chunk.bounds();
+    let (rows, cols) = (b.extent(0), b.extent(1));
+    let col = &chunk.columns()[0];
+    let raw = col.f64_data().map_err(CoreError::from)?;
+    let mut data = vec![0.0f64; rows * cols];
+    for (idx, slot) in data.iter_mut().enumerate() {
+        if chunk.is_present(idx) && col.is_valid(idx) {
+            *slot = raw[idx];
+        }
+    }
+    Ok((
+        Matrix::from_vec(rows, cols, data),
+        [b.lo[0], b.lo[1]],
+    ))
+}
+
+/// Wrap a [`Matrix`] into a dataset under the given (2-D, bounded) schema.
+pub fn from_matrix(m: Matrix, out_schema: Schema) -> Result<DataSet> {
+    check_matrix_schema(&out_schema)?;
+    let dims = out_schema.dimensions();
+    let (r0, r1) = dims[0].extent().expect("bounded");
+    let (c0, c1) = dims[1].extent().expect("bounded");
+    if (r1 - r0) as usize != m.rows() || (c1 - c0) as usize != m.cols() {
+        return Err(CoreError::Plan(format!(
+            "matrix {}x{} does not fit schema {out_schema}",
+            m.rows(),
+            m.cols()
+        )));
+    }
+    let bounds = DimBox::new(vec![r0, c0], vec![r1, c1])?;
+    let chunk = DenseChunk::new(bounds, vec![Column::from(m.into_data())], None)?;
+    Ok(DataSet::new(out_schema, vec![Chunk::Dense(chunk)]))
+}
+
+/// Execute a plan against the engine's matrix map.
+pub fn execute(plan: &Plan, matrices: &BTreeMap<String, DataSet>) -> Result<DataSet> {
+    let out_schema = infer_schema(plan)?;
+    match plan {
+        Plan::Scan { dataset, schema } => {
+            let ds = matrices
+                .get(dataset)
+                .ok_or_else(|| CoreError::UnknownDataset(dataset.clone()))?;
+            if ds.schema() != schema {
+                return Err(CoreError::Plan(format!(
+                    "scan `{dataset}`: bound schema {} does not match stored schema {}",
+                    schema,
+                    ds.schema()
+                )));
+            }
+            Ok(ds.clone())
+        }
+        Plan::Values { schema, rows } => {
+            bda_storage::DataSet::from_rows(schema.clone(), rows).map_err(Into::into)
+        }
+        Plan::MatMul { left, right } => {
+            let (a, _) = to_matrix(&execute(left, matrices)?)?;
+            let (b, _) = to_matrix(&execute(right, matrices)?)?;
+            if a.cols() != b.rows() {
+                return Err(CoreError::Plan(format!(
+                    "matmul inner dimension mismatch: {} vs {}",
+                    a.cols(),
+                    b.rows()
+                )));
+            }
+            from_matrix(a.matmul(&b), out_schema)
+        }
+        Plan::ElemWise { op, left, right } => {
+            let f: fn(f64, f64) -> f64 = match op {
+                BinOp::Add => |x, y| x + y,
+                BinOp::Sub => |x, y| x - y,
+                BinOp::Mul => |x, y| x * y,
+                BinOp::Div => |x, y| x / y,
+                other => {
+                    return Err(CoreError::Unsupported {
+                        provider: "linalg".into(),
+                        op: format!("elemwise {}", other.symbol()),
+                    })
+                }
+            };
+            let (a, _) = to_matrix(&execute(left, matrices)?)?;
+            let (b, _) = to_matrix(&execute(right, matrices)?)?;
+            if (a.rows(), a.cols()) != (b.rows(), b.cols()) {
+                return Err(CoreError::Plan("elemwise shape mismatch".into()));
+            }
+            from_matrix(a.zip_with(&b, f), out_schema)
+        }
+        Plan::Permute { input, .. } => {
+            // 2-D permutation is either identity or transpose; the output
+            // schema's dimension order tells us which.
+            let in_ds = execute(input, matrices)?;
+            let in_dims: Vec<String> = in_ds
+                .schema()
+                .dimensions()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
+            let out_dims: Vec<String> = out_schema
+                .dimensions()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
+            let (m, _) = to_matrix(&in_ds)?;
+            if in_dims == out_dims {
+                from_matrix(m, out_schema)
+            } else {
+                from_matrix(m.transpose(), out_schema)
+            }
+        }
+        Plan::Dice { input, .. } => {
+            let in_ds = execute(input, matrices)?;
+            let (m, lo) = to_matrix(&in_ds)?;
+            let dims = out_schema.dimensions();
+            let (r0, r1) = dims[0].extent().expect("bounded by infer");
+            let (c0, c1) = dims[1].extent().expect("bounded by infer");
+            let mut out = Matrix::zeros((r1 - r0) as usize, (c1 - c0) as usize);
+            for i in r0..r1 {
+                for j in c0..c1 {
+                    out.set(
+                        (i - r0) as usize,
+                        (j - c0) as usize,
+                        m.get((i - lo[0]) as usize, (j - lo[1]) as usize),
+                    );
+                }
+            }
+            from_matrix(out, out_schema)
+        }
+        other => Err(CoreError::Unsupported {
+            provider: "linalg".into(),
+            op: other.op_kind().name().into(),
+        }),
+    }
+}
+
+/// Convenience: read a matrix dataset's cell (used in tests/examples).
+pub fn cell(ds: &DataSet, i: i64, j: i64) -> Result<f64> {
+    let (m, lo) = to_matrix(ds)?;
+    Ok(m.get((i - lo[0]) as usize, (j - lo[1]) as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::reference::evaluate;
+    use bda_storage::dataset::matrix_dataset;
+    use std::collections::HashMap;
+
+    fn mats() -> BTreeMap<String, DataSet> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "a".to_string(),
+            matrix_dataset(3, 2, vec![1., 2., 3., 4., 5., 6.]).unwrap(),
+        );
+        m.insert(
+            "b".to_string(),
+            matrix_dataset(2, 3, vec![1., 0., -1., 2., 1., 0.]).unwrap(),
+        );
+        m
+    }
+
+    fn as_hash(m: &BTreeMap<String, DataSet>) -> HashMap<String, DataSet> {
+        m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    #[test]
+    fn matrix_conversion_roundtrip() {
+        let ds = matrix_dataset(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let (m, lo) = to_matrix(&ds).unwrap();
+        assert_eq!(lo, [0, 0]);
+        assert_eq!(m.get(1, 2), 6.0);
+        let back = from_matrix(m, ds.schema().clone()).unwrap();
+        assert!(back.same_bag(&ds).unwrap());
+    }
+
+    #[test]
+    fn matmul_matches_reference_on_dense_input() {
+        let m = mats();
+        let plan = Plan::scan("a", m["a"].schema().clone())
+            .matmul(Plan::scan("b", m["b"].schema().clone()));
+        let ours = execute(&plan, &m).unwrap();
+        let oracle = evaluate(&plan, &as_hash(&m)).unwrap();
+        // Dense inputs: every output cell exists on both sides.
+        assert!(ours.same_bag(&oracle).unwrap());
+    }
+
+    #[test]
+    fn elemwise_and_dice_and_permute() {
+        let m = mats();
+        let scan_a = Plan::scan("a", m["a"].schema().clone());
+        let ew = scan_a.clone().elemwise(BinOp::Mul, scan_a.clone());
+        let ours = execute(&ew, &m).unwrap();
+        let oracle = evaluate(&ew, &as_hash(&m)).unwrap();
+        assert!(ours.same_bag(&oracle).unwrap());
+
+        let dice = Plan::Dice {
+            input: scan_a.clone().boxed(),
+            ranges: vec![("row".into(), 1, 3)],
+        };
+        let ours = execute(&dice, &m).unwrap();
+        let oracle = evaluate(&dice, &as_hash(&m)).unwrap();
+        assert!(ours.same_bag(&oracle).unwrap());
+
+        let tr = Plan::Permute {
+            input: scan_a.boxed(),
+            order: vec!["col".into(), "row".into()],
+        };
+        let ours = execute(&tr, &m).unwrap();
+        let oracle = evaluate(&tr, &as_hash(&m)).unwrap();
+        assert!(ours.same_bag(&oracle).unwrap());
+    }
+
+    #[test]
+    fn comparison_elemwise_unsupported() {
+        let m = mats();
+        let scan_a = Plan::scan("a", m["a"].schema().clone());
+        let e = scan_a.clone().elemwise(BinOp::Lt, scan_a);
+        assert!(matches!(
+            execute(&e, &m),
+            Err(CoreError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_checks() {
+        assert!(check_matrix_schema(
+            matrix_dataset(1, 1, vec![0.0]).unwrap().schema()
+        )
+        .is_ok());
+        let rel = DataSet::from_columns(vec![(
+            "x",
+            bda_storage::Column::from(vec![1.0f64]),
+        )])
+        .unwrap();
+        assert!(check_matrix_schema(rel.schema()).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Hash aggregation with vectorized argument evaluation.
+
+use std::collections::HashMap;
+
+use bda_core::agg::{Accumulator, AggExpr};
+use bda_core::eval::{eval_chunk, infer_expr};
+use bda_core::CoreError;
+use bda_storage::{Chunk, Column, DataSet, Row, RowsChunk, Schema, Value};
+
+use crate::exec::Result;
+
+/// Grouped aggregation: group keys are hashed whole-row; aggregate
+/// arguments are evaluated column-at-a-time before grouping.
+pub fn aggregate_exec(
+    input: &DataSet,
+    group_by: &[String],
+    aggs: &[AggExpr],
+    out_schema: Schema,
+) -> Result<DataSet> {
+    let in_schema = input.schema().clone();
+    let chunk = input.to_rows_chunk()?;
+    let n = chunk.len();
+
+    let key_cols: Vec<&Column> = group_by
+        .iter()
+        .map(|g| Ok(chunk.column(in_schema.index_of(g)?)))
+        .collect::<std::result::Result<_, bda_storage::StorageError>>()?;
+
+    // Evaluate aggregate arguments once, vectorized.
+    let mut arg_cols: Vec<Option<Column>> = Vec::with_capacity(aggs.len());
+    let mut arg_types = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        match &a.arg {
+            Some(e) => {
+                arg_types.push(infer_expr(e, &in_schema)?);
+                arg_cols.push(Some(eval_chunk(e, &in_schema, &chunk)?));
+            }
+            None => {
+                arg_types.push(None);
+                arg_cols.push(None);
+            }
+        }
+    }
+
+    let mut groups: HashMap<Row, Vec<Accumulator>> = HashMap::new();
+    let mut order: Vec<Row> = Vec::new();
+    for i in 0..n {
+        let key = Row(key_cols.iter().map(|c| c.get(i)).collect());
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter()
+                .zip(&arg_types)
+                .map(|(a, t)| Accumulator::new(a.func, *t))
+                .collect()
+        });
+        for (acc, arg) in accs.iter_mut().zip(&arg_cols) {
+            let v = match arg {
+                Some(c) => c.get(i),
+                None => Value::Bool(true), // count(*) marker
+            };
+            acc.update(&v)?;
+        }
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        let accs: Vec<Accumulator> = aggs
+            .iter()
+            .zip(&arg_types)
+            .map(|(a, t)| Accumulator::new(a.func, *t))
+            .collect();
+        groups.insert(Row::new(), accs);
+        order.push(Row::new());
+    }
+
+    // Emit columns directly in output order.
+    let mut cols: Vec<Column> = out_schema
+        .fields()
+        .iter()
+        .map(|f| Column::new_empty(f.dtype))
+        .collect();
+    for key in &order {
+        let accs = &groups[key];
+        for (ci, v) in key.0.iter().enumerate() {
+            cols[ci].push(v).map_err(CoreError::from)?;
+        }
+        for (ai, acc) in accs.iter().enumerate() {
+            let ci = group_by.len() + ai;
+            let v = widen(acc.finish(), out_schema.field_at(ci).dtype);
+            cols[ci].push(&v).map_err(CoreError::from)?;
+        }
+    }
+    let chunk = RowsChunk::new(cols).map_err(CoreError::from)?;
+    Ok(DataSet::new(out_schema, vec![Chunk::Rows(chunk)]))
+}
+
+fn widen(v: Value, to: bda_storage::DataType) -> Value {
+    match (&v, to) {
+        (Value::Int(x), bda_storage::DataType::Float64) => Value::Float(*x as f64),
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::infer_schema;
+    use bda_core::{col, AggExpr, AggFunc, Plan};
+
+    fn input() -> DataSet {
+        DataSet::from_columns(vec![
+            ("g", Column::from(vec!["a", "b", "a", "a"])),
+            ("x", Column::from(vec![1i64, 2, 3, 4])),
+        ])
+        .unwrap()
+    }
+
+    fn run(group_by: &[&str], aggs: Vec<AggExpr>) -> DataSet {
+        let ds = input();
+        let plan = Plan::scan("t", ds.schema().clone())
+            .aggregate(group_by.to_vec(), aggs.clone());
+        let schema = infer_schema(&plan).unwrap();
+        aggregate_exec(
+            &ds,
+            &group_by.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &aggs,
+            schema,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grouped_sums() {
+        let out = run(
+            &["g"],
+            vec![AggExpr::new(AggFunc::Sum, col("x"), "s")],
+        );
+        let rows = out.sorted_rows().unwrap();
+        assert_eq!(rows[0], Row(vec![Value::from("a"), Value::Int(8)]));
+        assert_eq!(rows[1], Row(vec![Value::from("b"), Value::Int(2)]));
+    }
+
+    #[test]
+    fn expression_arguments() {
+        let out = run(
+            &[],
+            vec![AggExpr::new(
+                AggFunc::Max,
+                col("x").mul(col("x")),
+                "maxsq",
+            )],
+        );
+        assert_eq!(out.rows().unwrap(), vec![Row(vec![Value::Int(16)])]);
+    }
+
+    #[test]
+    fn avg_widens_to_float() {
+        let out = run(&["g"], vec![AggExpr::new(AggFunc::Avg, col("x"), "a")]);
+        let rows = out.sorted_rows().unwrap();
+        assert_eq!(rows[0].get(1), &Value::Float(8.0 / 3.0));
+    }
+
+    #[test]
+    fn null_group_keys_form_a_group() {
+        let ds = DataSet::from_rows(
+            input().schema().clone(),
+            &[
+                Row(vec![Value::Null, Value::Int(1)]),
+                Row(vec![Value::Null, Value::Int(2)]),
+                Row(vec![Value::from("a"), Value::Int(3)]),
+            ],
+        )
+        .unwrap();
+        let plan = Plan::scan("t", ds.schema().clone())
+            .aggregate(vec!["g"], vec![AggExpr::count_star("n")]);
+        let schema = infer_schema(&plan).unwrap();
+        let out = aggregate_exec(
+            &ds,
+            &["g".to_string()],
+            &[AggExpr::count_star("n")],
+            schema,
+        )
+        .unwrap();
+        let rows = out.sorted_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], Row(vec![Value::Null, Value::Int(2)]));
+    }
+}

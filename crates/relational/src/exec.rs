@@ -1,0 +1,371 @@
+//! Plan execution: dispatch and the simple columnar operators.
+//!
+//! Inputs are normalized to a single coordinate-list chunk, then each
+//! operator works on columns (masks, gathers, vectorized expression
+//! evaluation) rather than materialized rows.
+
+use std::collections::BTreeMap;
+
+use bda_core::convergence::converged;
+use bda_core::eval::eval_chunk;
+use bda_core::infer::infer_schema;
+use bda_core::{CoreError, Plan};
+use bda_storage::{Chunk, Column, DataSet, RowsChunk, Schema, Value};
+
+use crate::aggregate::aggregate_exec;
+use crate::join::hash_join;
+use crate::sort::{distinct_exec, sort_exec};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Execute a plan against the engine's table map.
+pub fn execute(
+    plan: &Plan,
+    tables: &BTreeMap<String, DataSet>,
+    state: Option<&DataSet>,
+) -> Result<DataSet> {
+    let out_schema = infer_schema(plan)?;
+    match plan {
+        Plan::Scan { dataset, schema } => {
+            let ds = tables
+                .get(dataset)
+                .ok_or_else(|| CoreError::UnknownDataset(dataset.clone()))?;
+            if ds.schema() != schema {
+                return Err(CoreError::Plan(format!(
+                    "scan `{dataset}`: bound schema {} does not match stored schema {}",
+                    schema,
+                    ds.schema()
+                )));
+            }
+            Ok(ds.clone())
+        }
+        Plan::Values { schema, rows } => {
+            DataSet::from_rows(schema.clone(), rows).map_err(Into::into)
+        }
+        Plan::Range { lo, hi, .. } => {
+            let col = Column::from((*lo..*hi).collect::<Vec<i64>>());
+            let chunk = RowsChunk::new(vec![col])?;
+            Ok(DataSet::new(out_schema, vec![Chunk::Rows(chunk)]))
+        }
+        Plan::IterState { .. } => state
+            .cloned()
+            .ok_or_else(|| CoreError::Plan("iter_state outside of iterate".into())),
+        Plan::Select { input, predicate } => {
+            let in_ds = execute(input, tables, state)?;
+            let in_schema = in_ds.schema().clone();
+            let chunk = in_ds.to_rows_chunk()?;
+            let mask_col = eval_chunk(predicate, &in_schema, &chunk)?;
+            let mask = truth_mask(&mask_col)?;
+            let filtered = chunk.filter(&mask);
+            Ok(DataSet::new(out_schema, vec![Chunk::Rows(filtered)]))
+        }
+        Plan::Project { input, exprs } => {
+            let in_ds = execute(input, tables, state)?;
+            let in_schema = in_ds.schema().clone();
+            let chunk = in_ds.to_rows_chunk()?;
+            let mut cols = Vec::with_capacity(exprs.len());
+            for (i, (_, e)) in exprs.iter().enumerate() {
+                let c = eval_chunk(e, &in_schema, &chunk)?;
+                cols.push(cast_to(c, out_schema.field_at(i).dtype));
+            }
+            Ok(DataSet::new(
+                out_schema,
+                vec![Chunk::Rows(RowsChunk::new(cols)?)],
+            ))
+        }
+        Plan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            ..
+        } => {
+            let l = execute(left, tables, state)?;
+            let r = execute(right, tables, state)?;
+            hash_join(&l, &r, on, *join_type, out_schema)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let in_ds = execute(input, tables, state)?;
+            aggregate_exec(&in_ds, group_by, aggs, out_schema)
+        }
+        Plan::Union { left, right } => {
+            let l = execute(left, tables, state)?;
+            let r = execute(right, tables, state)?;
+            let mut chunk = l.to_rows_chunk()?;
+            chunk.extend(&r.to_rows_chunk()?)?;
+            Ok(DataSet::new(out_schema, vec![Chunk::Rows(chunk)]))
+        }
+        Plan::Distinct { input } => {
+            let in_ds = execute(input, tables, state)?;
+            distinct_exec(&in_ds, out_schema)
+        }
+        Plan::Sort { input, keys } => {
+            let in_ds = execute(input, tables, state)?;
+            sort_exec(&in_ds, keys, out_schema)
+        }
+        Plan::Limit { input, skip, fetch } => {
+            let in_ds = execute(input, tables, state)?;
+            let chunk = in_ds.to_rows_chunk()?;
+            let n = chunk.len();
+            let start = (*skip).min(n);
+            let end = match fetch {
+                Some(f) => (start + f).min(n),
+                None => n,
+            };
+            let indices: Vec<usize> = (start..end).collect();
+            Ok(DataSet::new(
+                out_schema,
+                vec![Chunk::Rows(chunk.take(&indices))],
+            ))
+        }
+        Plan::Rename { input, .. } | Plan::UntagDims { input } => {
+            let in_ds = execute(input, tables, state)?;
+            let chunk = in_ds.to_rows_chunk()?;
+            Ok(DataSet::new(out_schema, vec![Chunk::Rows(chunk)]))
+        }
+        Plan::TagDims { input, .. } => {
+            let in_ds = execute(input, tables, state)?;
+            let chunk = in_ds.to_rows_chunk()?;
+            validate_dims(&out_schema, &chunk)?;
+            Ok(DataSet::new(out_schema, vec![Chunk::Rows(chunk)]))
+        }
+        Plan::Dice { input, ranges } => {
+            let in_ds = execute(input, tables, state)?;
+            let in_schema = in_ds.schema().clone();
+            let chunk = in_ds.to_rows_chunk()?;
+            let mut mask = vec![true; chunk.len()];
+            for (d, lo, hi) in ranges {
+                let idx = in_schema.index_of(d)?;
+                let col = chunk.column(idx);
+                for (i, keep) in mask.iter_mut().enumerate() {
+                    if *keep {
+                        *keep = match col.get(i) {
+                            Value::Int(c) => c >= *lo && c < *hi,
+                            _ => false,
+                        };
+                    }
+                }
+            }
+            Ok(DataSet::new(
+                out_schema,
+                vec![Chunk::Rows(chunk.filter(&mask))],
+            ))
+        }
+        Plan::Iterate {
+            init,
+            body,
+            max_iters,
+            epsilon,
+        } => {
+            let mut cur = execute(init, tables, state)?;
+            for _ in 0..*max_iters {
+                let next = execute(body, tables, Some(&cur))?;
+                let done = converged(&cur, &next, *epsilon)?;
+                cur = next;
+                if done {
+                    break;
+                }
+            }
+            Ok(cur)
+        }
+        other => Err(CoreError::Unsupported {
+            provider: "relational".into(),
+            op: other.op_kind().name().into(),
+        }),
+    }
+}
+
+/// A boolean column interpreted as a filter mask: `true` where the slot is
+/// a valid `true`.
+pub fn truth_mask(col: &Column) -> Result<Vec<bool>> {
+    let data = col
+        .bool_data()
+        .map_err(|e| CoreError::Plan(format!("predicate did not yield bool: {e}")))?;
+    Ok(match col.validity() {
+        None => data.to_vec(),
+        Some(bm) => data
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b && bm.get(i))
+            .collect(),
+    })
+}
+
+/// Cast a column when projection inference widened the type (e.g. int
+/// expression stored into a float column); identity otherwise.
+fn cast_to(c: Column, to: bda_storage::DataType) -> Column {
+    if c.dtype() == to {
+        c
+    } else {
+        c.cast(to)
+    }
+}
+
+/// Validate dimension columns against the schema's declared roles/extents.
+fn validate_dims(schema: &Schema, chunk: &RowsChunk) -> Result<()> {
+    for (i, f) in schema.fields().iter().enumerate() {
+        if !f.is_dimension() {
+            continue;
+        }
+        let col = chunk.column(i);
+        if col.null_count() > 0 {
+            return Err(CoreError::Plan(format!(
+                "null coordinate in dimension `{}`",
+                f.name
+            )));
+        }
+        let data = col
+            .i64_data()
+            .map_err(|_| CoreError::Plan(format!("dimension `{}` is not i64", f.name)))?;
+        if let Some((lo, hi)) = f.extent() {
+            if let Some(&bad) = data.iter().find(|&&c| c < lo || c >= hi) {
+                return Err(CoreError::Plan(format!(
+                    "coordinate {bad} of dimension `{}` outside extent [{lo}, {hi})",
+                    f.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Materialized-row helper shared by the equivalence tests in this crate.
+#[cfg(test)]
+pub(crate) fn rows_of(ds: &DataSet) -> Vec<bda_storage::Row> {
+    ds.sorted_rows().expect("materialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::reference::evaluate;
+    use bda_core::{col, lit, AggExpr, AggFunc};
+    use bda_storage::Row;
+    use std::collections::HashMap;
+
+    fn tables() -> BTreeMap<String, DataSet> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "t".to_string(),
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![3i64, 1, 2, 1])),
+                ("v", Column::from(vec![1.5f64, -2.0, 0.0, 8.0])),
+                ("s", Column::from(vec!["c", "a", "b", "a"])),
+            ])
+            .unwrap(),
+        );
+        m
+    }
+
+    fn as_hashmap(t: &BTreeMap<String, DataSet>) -> HashMap<String, DataSet> {
+        t.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    fn check_against_reference(plan: &Plan) {
+        let t = tables();
+        let ours = execute(plan, &t, None).expect("engine execution");
+        let oracle = evaluate(plan, &as_hashmap(&t)).expect("reference execution");
+        assert_eq!(ours.schema(), oracle.schema());
+        assert_eq!(rows_of(&ours), rows_of(&oracle), "plan:\n{plan}");
+    }
+
+    fn scan_t() -> Plan {
+        Plan::scan("t", tables()["t"].schema().clone())
+    }
+
+    #[test]
+    fn select_matches_reference() {
+        check_against_reference(&scan_t().select(col("v").gt(lit(0.0))));
+        check_against_reference(&scan_t().select(col("s").eq(lit("a")).or(col("k").eq(lit(3i64)))));
+    }
+
+    #[test]
+    fn project_matches_reference() {
+        check_against_reference(
+            &scan_t().project(vec![("kk", col("k").mul(lit(2i64))), ("vv", col("v").add(col("k")))]),
+        );
+    }
+
+    #[test]
+    fn aggregate_matches_reference() {
+        check_against_reference(&scan_t().aggregate(
+            vec!["s"],
+            vec![
+                AggExpr::new(AggFunc::Sum, col("v"), "sv"),
+                AggExpr::new(AggFunc::Min, col("k"), "mn"),
+                AggExpr::new(AggFunc::Avg, col("k"), "av"),
+                AggExpr::count_star("n"),
+            ],
+        ));
+        check_against_reference(&scan_t().aggregate(vec![], vec![AggExpr::count_star("n")]));
+    }
+
+    #[test]
+    fn sort_distinct_limit_match_reference() {
+        check_against_reference(&scan_t().sort_by(vec!["k", "s"]).limit(3));
+        check_against_reference(&scan_t().project(vec![("s", col("s"))]).distinct());
+        check_against_reference(&Plan::Limit {
+            input: scan_t().sort_by(vec!["k"]).boxed(),
+            skip: 1,
+            fetch: Some(2),
+        });
+    }
+
+    #[test]
+    fn union_and_rename_match_reference() {
+        check_against_reference(&scan_t().union(scan_t()).rename(vec![("v", "val")]));
+    }
+
+    #[test]
+    fn iterate_runs() {
+        let schema = Schema::new(vec![bda_storage::Field::value(
+            "x",
+            bda_storage::DataType::Float64,
+        )])
+        .unwrap();
+        let p = Plan::Iterate {
+            init: Plan::Values {
+                schema: schema.clone(),
+                rows: vec![Row(vec![Value::Float(8.0)])],
+            }
+            .boxed(),
+            body: Plan::IterState { schema }
+                .project(vec![("x", col("x").div(lit(2.0)))])
+                .boxed(),
+            max_iters: 3,
+            epsilon: None,
+        };
+        let out = execute(&p, &BTreeMap::new(), None).unwrap();
+        let x = out.rows().unwrap()[0].get(0).as_float().unwrap();
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn truth_mask_handles_nulls() {
+        let c = Column::from_values(
+            bda_storage::DataType::Bool,
+            &[Value::Bool(true), Value::Null, Value::Bool(false)],
+        )
+        .unwrap();
+        assert_eq!(truth_mask(&c).unwrap(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn dice_filters_coordinates() {
+        let m = bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect())
+            .unwrap();
+        let mut t = BTreeMap::new();
+        t.insert("m".to_string(), m.clone());
+        let p = Plan::Dice {
+            input: Plan::scan("m", m.schema().clone()).boxed(),
+            ranges: vec![("row".into(), 1, 3), ("col".into(), 0, 2)],
+        };
+        let out = execute(&p, &t, None).unwrap();
+        assert_eq!(out.num_rows(), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! # `bda-relational`: "RelStore", the relational back-end Provider
+//!
+//! A columnar relational engine playing the role of the SQL-server-class
+//! LINQ Provider from the paper. It executes the base relational algebra
+//! (scan/filter/project/join/aggregate/set ops/sort/limit) plus generic
+//! control iteration, with vectorized expression evaluation, hash joins
+//! and hash aggregation. It has **no** native array or graph intent
+//! operators — those reach it only in lowered form, which is exactly what
+//! experiments F1/F4 exercise.
+
+pub mod aggregate;
+pub mod exec;
+pub mod join;
+pub mod sort;
+
+use bda_core::{CapabilitySet, CoreError, OpKind, Plan, Provider};
+use bda_storage::{DataSet, Schema};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// The relational engine.
+pub struct RelationalEngine {
+    name: String,
+    tables: RwLock<BTreeMap<String, DataSet>>,
+}
+
+impl RelationalEngine {
+    /// An empty engine named `name`.
+    pub fn new(name: impl Into<String>) -> RelationalEngine {
+        RelationalEngine {
+            name: name.into(),
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The capability set of every relational engine instance.
+    pub fn static_capabilities() -> CapabilitySet {
+        CapabilitySet::from_ops(&[
+            OpKind::Scan,
+            OpKind::Values,
+            OpKind::Range,
+            OpKind::IterState,
+            OpKind::Select,
+            OpKind::Project,
+            OpKind::Join,
+            OpKind::Aggregate,
+            OpKind::Union,
+            OpKind::Distinct,
+            OpKind::Sort,
+            OpKind::Limit,
+            OpKind::Rename,
+            OpKind::Dice,
+            OpKind::TagDims,
+            OpKind::UntagDims,
+            OpKind::Iterate,
+        ])
+    }
+
+    /// Look up a table (cloned snapshot).
+    pub fn table(&self, name: &str) -> Option<DataSet> {
+        self.tables.read().get(name).cloned()
+    }
+}
+
+impl Provider for RelationalEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        Self::static_capabilities()
+    }
+
+    fn catalog(&self) -> Vec<(String, Schema)> {
+        self.tables
+            .read()
+            .iter()
+            .map(|(n, ds)| (n.clone(), ds.schema().clone()))
+            .collect()
+    }
+
+    fn execute(&self, plan: &Plan) -> Result<DataSet, CoreError> {
+        let unsupported = self.capabilities().unsupported_in(plan);
+        if !unsupported.is_empty() {
+            return Err(CoreError::Unsupported {
+                provider: self.name.clone(),
+                op: unsupported
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
+        }
+        let tables = self.tables.read();
+        exec::execute(plan, &tables, None)
+    }
+
+    fn store(&self, name: &str, data: DataSet) -> Result<(), CoreError> {
+        self.tables.write().insert(name.to_string(), data);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) {
+        self.tables.write().remove(name);
+    }
+
+    fn row_count_of(&self, name: &str) -> Option<usize> {
+        self.tables.read().get(name).map(|ds| ds.num_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{col, lit};
+    use bda_storage::Column;
+
+    fn engine_with_sales() -> RelationalEngine {
+        let e = RelationalEngine::new("rel");
+        let ds = DataSet::from_columns(vec![
+            ("region", Column::from(vec!["w", "e", "w"])),
+            ("amount", Column::from(vec![10i64, 20, 30])),
+        ])
+        .unwrap();
+        e.store("sales", ds).unwrap();
+        e
+    }
+
+    #[test]
+    fn provider_basics() {
+        let e = engine_with_sales();
+        assert_eq!(e.name(), "rel");
+        assert_eq!(e.catalog().len(), 1);
+        assert!(e.capabilities().supports(OpKind::Join));
+        assert!(!e.capabilities().supports(OpKind::MatMul));
+    }
+
+    #[test]
+    fn executes_supported_plans() {
+        let e = engine_with_sales();
+        let schema = e.schema_of("sales").unwrap();
+        let plan = Plan::scan("sales", schema).select(col("amount").gt(lit(15i64)));
+        let out = e.execute(&plan).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn rejects_intent_ops() {
+        let e = engine_with_sales();
+        let m = bda_storage::dataset::matrix_dataset(2, 2, vec![1., 2., 3., 4.]).unwrap();
+        e.store("m", m.clone()).unwrap();
+        let plan = Plan::scan("m", m.schema().clone()).matmul(Plan::scan("m", m.schema().clone()));
+        let err = e.execute(&plan).unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn store_overwrites_and_remove_drops() {
+        let e = engine_with_sales();
+        let small = DataSet::from_columns(vec![("region", Column::from(vec!["x"]))]).unwrap();
+        e.store("sales", small.clone()).unwrap();
+        assert_eq!(e.table("sales").unwrap().num_rows(), 1);
+        e.remove("sales");
+        assert!(e.table("sales").is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Sort, distinct: permutation-based columnar implementations.
+
+use std::collections::HashSet;
+
+use bda_storage::{Chunk, DataSet, Row, Schema};
+
+use crate::exec::Result;
+
+/// Stable multi-key sort via an index permutation + gather.
+pub fn sort_exec(input: &DataSet, keys: &[(String, bool)], out_schema: Schema) -> Result<DataSet> {
+    let schema = input.schema().clone();
+    let chunk = input.to_rows_chunk()?;
+    let key_idx: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|(k, d)| Ok((schema.index_of(k)?, *d)))
+        .collect::<std::result::Result<_, bda_storage::StorageError>>()?;
+    let mut perm: Vec<usize> = (0..chunk.len()).collect();
+    perm.sort_by(|&a, &b| {
+        for &(i, desc) in &key_idx {
+            let ord = chunk.column(i).get(a).total_cmp(&chunk.column(i).get(b));
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(DataSet::new(
+        out_schema,
+        vec![Chunk::Rows(chunk.take(&perm))],
+    ))
+}
+
+/// Duplicate elimination preserving first-occurrence order.
+pub fn distinct_exec(input: &DataSet, out_schema: Schema) -> Result<DataSet> {
+    let chunk = input.to_rows_chunk()?;
+    let mut seen: HashSet<Row> = HashSet::with_capacity(chunk.len());
+    let mut keep: Vec<usize> = Vec::new();
+    for i in 0..chunk.len() {
+        if seen.insert(chunk.row(i)) {
+            keep.push(i);
+        }
+    }
+    let out = chunk.take(&keep);
+    Ok(DataSet::new(out_schema, vec![Chunk::Rows(out)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_storage::{Column, Value};
+
+    fn data() -> DataSet {
+        DataSet::from_columns(vec![
+            ("k", Column::from(vec![2i64, 1, 2, 1])),
+            ("s", Column::from(vec!["b", "z", "a", "z"])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_key_sort_with_directions() {
+        let ds = data();
+        let out = sort_exec(
+            &ds,
+            &[("k".into(), false), ("s".into(), true)],
+            ds.schema().clone(),
+        )
+        .unwrap();
+        let rows = out.rows().unwrap();
+        assert_eq!(rows[0], Row(vec![Value::Int(1), Value::from("z")]));
+        assert_eq!(rows[2], Row(vec![Value::Int(2), Value::from("b")]));
+        assert_eq!(rows[3], Row(vec![Value::Int(2), Value::from("a")]));
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let ds = DataSet::from_columns(vec![
+            ("k", Column::from(vec![1i64, 1, 1])),
+            ("tag", Column::from(vec!["first", "second", "third"])),
+        ])
+        .unwrap();
+        let out = sort_exec(&ds, &[("k".into(), false)], ds.schema().clone()).unwrap();
+        let tags: Vec<Value> = out.rows().unwrap().iter().map(|r| r.get(1).clone()).collect();
+        assert_eq!(
+            tags,
+            vec![Value::from("first"), Value::from("second"), Value::from("third")]
+        );
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence() {
+        let ds = DataSet::from_columns(vec![("k", Column::from(vec![3i64, 1, 3, 1, 2]))]).unwrap();
+        let out = distinct_exec(&ds, ds.schema().clone()).unwrap();
+        let ks: Vec<Value> = out.rows().unwrap().iter().map(|r| r.get(0).clone()).collect();
+        assert_eq!(ks, vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn distinct_handles_nulls_and_floats() {
+        let ds = DataSet::from_rows(
+            bda_storage::Schema::new(vec![bda_storage::Field::value(
+                "x",
+                bda_storage::DataType::Float64,
+            )])
+            .unwrap(),
+            &[
+                Row(vec![Value::Null]),
+                Row(vec![Value::Float(1.0)]),
+                Row(vec![Value::Null]),
+                Row(vec![Value::Float(1.0)]),
+            ],
+        )
+        .unwrap();
+        let out = distinct_exec(&ds, ds.schema().clone()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! A packed validity bitmap.
+
+/// A fixed-meaning bit vector: bit `i` is `true` when slot `i` holds a
+/// valid (non-null) value.
+///
+/// Stored as 64-bit words, LSB-first within a word, so `count_ones` and
+/// word-wise AND/OR are cheap. Trailing bits beyond `len` are kept zero as
+/// an invariant so popcounts never need masking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Bitmap {
+        Bitmap {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn filled(len: usize, value: bool) -> Bitmap {
+        let nwords = len.div_ceil(64);
+        let mut words = vec![if value { u64::MAX } else { 0 }; nwords];
+        if value {
+            Self::mask_tail(&mut words, len);
+        }
+        Bitmap { words, len }
+    }
+
+    fn mask_tail(words: &mut [u64], len: usize) {
+        let rem = len % 64;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Build from a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Bitmap {
+        let mut bm = Bitmap::filled(bits.len(), false);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Get bit `i`. Panics if out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i`. Panics if out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Bitwise AND of two equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Keep only the bits where `mask[i]` is true, preserving order.
+    pub fn filter(&self, mask: &[bool]) -> Bitmap {
+        assert_eq!(self.len, mask.len(), "mask length mismatch");
+        let mut out = Bitmap::new();
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                out.push(self.get(i));
+            }
+        }
+        out
+    }
+
+    /// Gather bits at `indices` (indices may repeat or reorder).
+    pub fn take(&self, indices: &[usize]) -> Bitmap {
+        let mut out = Bitmap::new();
+        for &i in indices {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Concatenate another bitmap onto this one.
+    pub fn extend(&mut self, other: &Bitmap) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Iterate over bits as bools.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl Default for Bitmap {
+    fn default() -> Self {
+        Bitmap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_counts() {
+        let bm = Bitmap::filled(70, true);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.count_ones(), 70);
+        assert!(bm.all_set());
+        let bm = Bitmap::filled(70, false);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn tail_bits_stay_zero() {
+        let bm = Bitmap::filled(65, true);
+        // Word 1 must only have 1 bit set even though it was filled.
+        assert_eq!(bm.words[1].count_ones(), 1);
+    }
+
+    #[test]
+    fn set_get_push_roundtrip() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        bm.set(1, true);
+        assert!(bm.get(1));
+        bm.set(0, false);
+        assert!(!bm.get(0));
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        assert_eq!(a.and(&b), Bitmap::from_bools(&[true, false, false, false]));
+    }
+
+    #[test]
+    fn filter_take_extend() {
+        let bm = Bitmap::from_bools(&[true, false, true, true]);
+        let f = bm.filter(&[true, false, false, true]);
+        assert_eq!(f, Bitmap::from_bools(&[true, true]));
+        let t = bm.take(&[3, 3, 1]);
+        assert_eq!(t, Bitmap::from_bools(&[true, true, false]));
+        let mut e = Bitmap::from_bools(&[false]);
+        e.extend(&bm);
+        assert_eq!(e.len(), 5);
+        assert_eq!(e.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::filled(3, true).get(3);
+    }
+}

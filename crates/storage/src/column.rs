@@ -1,0 +1,452 @@
+//! Typed columns: the unit of vectorized execution.
+
+use crate::bitmap::Bitmap;
+use crate::error::StorageError;
+use crate::types::DataType;
+use crate::value::Value;
+use crate::Result;
+
+/// A typed column of values with an optional validity bitmap.
+///
+/// `validity == None` means every slot is valid — the common case, kept
+/// allocation-free. Data slots under a null bit hold an arbitrary (but
+/// deterministic: zero/empty) payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>, Option<Bitmap>),
+    /// 64-bit floats.
+    Float64(Vec<f64>, Option<Bitmap>),
+    /// Booleans.
+    Bool(Vec<bool>, Option<Bitmap>),
+    /// UTF-8 strings.
+    Utf8(Vec<String>, Option<Bitmap>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new_empty(dtype: DataType) -> Column {
+        match dtype {
+            DataType::Int64 => Column::Int64(Vec::new(), None),
+            DataType::Float64 => Column::Float64(Vec::new(), None),
+            DataType::Bool => Column::Bool(Vec::new(), None),
+            DataType::Utf8 => Column::Utf8(Vec::new(), None),
+        }
+    }
+
+    /// A column of `len` nulls of the given type.
+    pub fn nulls(dtype: DataType, len: usize) -> Column {
+        let validity = Some(Bitmap::filled(len, false));
+        match dtype {
+            DataType::Int64 => Column::Int64(vec![0; len], validity),
+            DataType::Float64 => Column::Float64(vec![0.0; len], validity),
+            DataType::Bool => Column::Bool(vec![false; len], validity),
+            DataType::Utf8 => Column::Utf8(vec![String::new(); len], validity),
+        }
+    }
+
+    /// Build a column of `dtype` from scalar values, which must each be
+    /// null or of `dtype` exactly (no implicit coercion at this layer).
+    pub fn from_values(dtype: DataType, values: &[Value]) -> Result<Column> {
+        let mut col = Column::new_empty(dtype);
+        for v in values {
+            col.push(v)?;
+        }
+        Ok(col)
+    }
+
+    /// Length in slots.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(d, _) => d.len(),
+            Column::Float64(d, _) => d.len(),
+            Column::Bool(d, _) => d.len(),
+            Column::Utf8(d, _) => d.len(),
+        }
+    }
+
+    /// True when the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int64(..) => DataType::Int64,
+            Column::Float64(..) => DataType::Float64,
+            Column::Bool(..) => DataType::Bool,
+            Column::Utf8(..) => DataType::Utf8,
+        }
+    }
+
+    /// The validity bitmap, if any slot may be null.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Int64(_, v)
+            | Column::Float64(_, v)
+            | Column::Bool(_, v)
+            | Column::Utf8(_, v) => v.as_ref(),
+        }
+    }
+
+    fn validity_mut(&mut self) -> &mut Option<Bitmap> {
+        match self {
+            Column::Int64(_, v)
+            | Column::Float64(_, v)
+            | Column::Bool(_, v)
+            | Column::Utf8(_, v) => v,
+        }
+    }
+
+    /// True if slot `i` is valid (non-null).
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self.validity() {
+            Some(bm) => bm.get(i),
+            None => {
+                assert!(i < self.len(), "slot {i} out of range {}", self.len());
+                true
+            }
+        }
+    }
+
+    /// Number of null slots.
+    pub fn null_count(&self) -> usize {
+        match self.validity() {
+            Some(bm) => bm.len() - bm.count_ones(),
+            None => 0,
+        }
+    }
+
+    /// Read slot `i` as a scalar.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64(d, _) => Value::Int(d[i]),
+            Column::Float64(d, _) => Value::Float(d[i]),
+            Column::Bool(d, _) => Value::Bool(d[i]),
+            Column::Utf8(d, _) => Value::Str(d[i].clone()),
+        }
+    }
+
+    /// Append a scalar, which must be null or match the column's type.
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        let len = self.len();
+        if v.is_null() {
+            let validity = self.validity_mut();
+            let bm = validity.get_or_insert_with(|| Bitmap::filled(len, true));
+            bm.push(false);
+            match self {
+                Column::Int64(d, _) => d.push(0),
+                Column::Float64(d, _) => d.push(0.0),
+                Column::Bool(d, _) => d.push(false),
+                Column::Utf8(d, _) => d.push(String::new()),
+            }
+            return Ok(());
+        }
+        match (&mut *self, v) {
+            (Column::Int64(d, _), Value::Int(x)) => d.push(*x),
+            (Column::Float64(d, _), Value::Float(x)) => d.push(*x),
+            (Column::Bool(d, _), Value::Bool(x)) => d.push(*x),
+            (Column::Utf8(d, _), Value::Str(x)) => d.push(x.clone()),
+            (col, v) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: col.dtype(),
+                    actual: v.dtype().unwrap_or(DataType::Utf8),
+                    context: "Column::push".into(),
+                })
+            }
+        }
+        if let Some(bm) = self.validity_mut() {
+            bm.push(true);
+        }
+        Ok(())
+    }
+
+    /// Keep only the slots where `mask[i]` is true, preserving order.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        assert_eq!(self.len(), mask.len(), "mask length mismatch");
+        fn keep<T: Clone>(data: &[T], mask: &[bool]) -> Vec<T> {
+            data.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+        let validity = self.validity().map(|bm| bm.filter(mask));
+        match self {
+            Column::Int64(d, _) => Column::Int64(keep(d, mask), validity),
+            Column::Float64(d, _) => Column::Float64(keep(d, mask), validity),
+            Column::Bool(d, _) => Column::Bool(keep(d, mask), validity),
+            Column::Utf8(d, _) => Column::Utf8(keep(d, mask), validity),
+        }
+    }
+
+    /// Gather slots at `indices` (may repeat or reorder).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(data: &[T], indices: &[usize]) -> Vec<T> {
+            indices.iter().map(|&i| data[i].clone()).collect()
+        }
+        let validity = self.validity().map(|bm| bm.take(indices));
+        match self {
+            Column::Int64(d, _) => Column::Int64(gather(d, indices), validity),
+            Column::Float64(d, _) => Column::Float64(gather(d, indices), validity),
+            Column::Bool(d, _) => Column::Bool(gather(d, indices), validity),
+            Column::Utf8(d, _) => Column::Utf8(gather(d, indices), validity),
+        }
+    }
+
+    /// Concatenate another column of the same type onto this one.
+    pub fn extend(&mut self, other: &Column) -> Result<()> {
+        if self.dtype() != other.dtype() {
+            return Err(StorageError::TypeMismatch {
+                expected: self.dtype(),
+                actual: other.dtype(),
+                context: "Column::extend".into(),
+            });
+        }
+        // Normalize validity: if either side tracks nulls, both must.
+        let (self_len, other_len) = (self.len(), other.len());
+        let merged_validity = match (self.validity(), other.validity()) {
+            (None, None) => None,
+            (a, b) => {
+                let mut bm = a
+                    .cloned()
+                    .unwrap_or_else(|| Bitmap::filled(self_len, true));
+                match b {
+                    Some(other_bm) => bm.extend(other_bm),
+                    None => bm.extend(&Bitmap::filled(other_len, true)),
+                }
+                Some(bm)
+            }
+        };
+        match (&mut *self, other) {
+            (Column::Int64(d, _), Column::Int64(o, _)) => d.extend_from_slice(o),
+            (Column::Float64(d, _), Column::Float64(o, _)) => d.extend_from_slice(o),
+            (Column::Bool(d, _), Column::Bool(o, _)) => d.extend_from_slice(o),
+            (Column::Utf8(d, _), Column::Utf8(o, _)) => d.extend_from_slice(o),
+            _ => unreachable!("dtype checked above"),
+        }
+        *self.validity_mut() = merged_validity;
+        Ok(())
+    }
+
+    /// Borrow the raw `i64` data (ignores validity). Errors on other types.
+    pub fn i64_data(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(d, _) => Ok(d),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::Int64,
+                actual: other.dtype(),
+                context: "i64_data".into(),
+            }),
+        }
+    }
+
+    /// Borrow the raw `f64` data (ignores validity). Errors on other types.
+    pub fn f64_data(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64(d, _) => Ok(d),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::Float64,
+                actual: other.dtype(),
+                context: "f64_data".into(),
+            }),
+        }
+    }
+
+    /// Borrow the raw bool data (ignores validity). Errors on other types.
+    pub fn bool_data(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(d, _) => Ok(d),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::Bool,
+                actual: other.dtype(),
+                context: "bool_data".into(),
+            }),
+        }
+    }
+
+    /// Borrow the raw string data (ignores validity). Errors on other types.
+    pub fn utf8_data(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(d, _) => Ok(d),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::Utf8,
+                actual: other.dtype(),
+                context: "utf8_data".into(),
+            }),
+        }
+    }
+
+    /// Iterate over all slots as scalars.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Cast every slot to `to`, following [`Value::cast`] semantics.
+    pub fn cast(&self, to: DataType) -> Column {
+        if self.dtype() == to {
+            return self.clone();
+        }
+        let mut out = Column::new_empty(to);
+        for v in self.iter() {
+            out.push(&v.cast(to)).expect("cast yields target type or null");
+        }
+        out
+    }
+
+    /// Drop the validity bitmap if it is all-valid (normalization used
+    /// before equality checks and wire encoding).
+    pub fn normalize(&mut self) {
+        let drop_it = matches!(self.validity(), Some(bm) if bm.all_set());
+        if drop_it {
+            *self.validity_mut() = None;
+        }
+    }
+}
+
+/// Convenience constructors from plain vectors (all-valid).
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::Int64(v, None)
+    }
+}
+
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::Float64(v, None)
+    }
+}
+
+impl From<Vec<bool>> for Column {
+    fn from(v: Vec<bool>) -> Self {
+        Column::Bool(v, None)
+    }
+}
+
+impl From<Vec<String>> for Column {
+    fn from(v: Vec<String>) -> Self {
+        Column::Utf8(v, None)
+    }
+}
+
+impl From<Vec<&str>> for Column {
+    fn from(v: Vec<&str>) -> Self {
+        Column::Utf8(v.into_iter().map(str::to_string).collect(), None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::new_empty(DataType::Int64);
+        c.push(&Value::Int(1)).unwrap();
+        c.push(&Value::Null).unwrap();
+        c.push(&Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(3));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn push_type_mismatch() {
+        let mut c = Column::new_empty(DataType::Bool);
+        assert!(c.push(&Value::Int(1)).is_err());
+        assert_eq!(c.len(), 0, "failed push must not mutate");
+    }
+
+    #[test]
+    fn from_values_and_iter() {
+        let vals = vec![Value::Float(1.0), Value::Null, Value::Float(2.0)];
+        let c = Column::from_values(DataType::Float64, &vals).unwrap();
+        let back: Vec<Value> = c.iter().collect();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn filter_preserves_validity() {
+        let c = Column::from_values(
+            DataType::Utf8,
+            &[Value::from("a"), Value::Null, Value::from("c"), Value::from("d")],
+        )
+        .unwrap();
+        let f = c.filter(&[true, true, false, true]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get(0), Value::from("a"));
+        assert_eq!(f.get(1), Value::Null);
+        assert_eq!(f.get(2), Value::from("d"));
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = Column::from(vec![10i64, 20, 30]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.get(0), Value::Int(30));
+        assert_eq!(t.get(1), Value::Int(10));
+        assert_eq!(t.get(2), Value::Int(10));
+    }
+
+    #[test]
+    fn extend_merges_validity() {
+        let mut a = Column::from(vec![1i64, 2]);
+        let b = Column::from_values(DataType::Int64, &[Value::Null, Value::Int(4)]).unwrap();
+        a.extend(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert!(a.is_valid(0) && a.is_valid(1) && !a.is_valid(2) && a.is_valid(3));
+        // And the symmetric case: nullable extended by all-valid.
+        let mut c = Column::from_values(DataType::Int64, &[Value::Null]).unwrap();
+        c.extend(&Column::from(vec![9i64])).unwrap();
+        assert!(!c.is_valid(0) && c.is_valid(1));
+    }
+
+    #[test]
+    fn extend_type_mismatch() {
+        let mut a = Column::from(vec![1i64]);
+        assert!(a.extend(&Column::from(vec![1.0f64])).is_err());
+    }
+
+    #[test]
+    fn nulls_constructor() {
+        let c = Column::nulls(DataType::Float64, 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.null_count(), 5);
+    }
+
+    #[test]
+    fn cast_column() {
+        let c = Column::from(vec![1i64, 2]);
+        let f = c.cast(DataType::Float64);
+        assert_eq!(f.f64_data().unwrap(), &[1.0, 2.0]);
+        let s = c.cast(DataType::Utf8);
+        assert_eq!(s.get(0), Value::from("1"));
+    }
+
+    #[test]
+    fn normalize_drops_full_validity() {
+        let mut c = Column::from_values(DataType::Int64, &[Value::Int(1)]).unwrap();
+        // Push a null then filter it out; validity bitmap remains but is all-set.
+        c.push(&Value::Null).unwrap();
+        let mut f = c.filter(&[true, false]);
+        assert!(f.validity().is_some());
+        f.normalize();
+        assert!(f.validity().is_none());
+    }
+
+    #[test]
+    fn raw_accessors() {
+        assert!(Column::from(vec![1i64]).f64_data().is_err());
+        assert_eq!(Column::from(vec![true]).bool_data().unwrap(), &[true]);
+        assert_eq!(
+            Column::from(vec!["x"]).utf8_data().unwrap(),
+            &["x".to_string()]
+        );
+    }
+}

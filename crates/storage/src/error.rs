@@ -1,0 +1,107 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+use crate::types::DataType;
+
+/// Errors raised by storage operations.
+///
+/// The variants are deliberately specific: the federation layer surfaces
+/// them to users when a back end rejects a shipped chunk, so the messages
+/// must stand on their own.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A value of one type was supplied where another was required.
+    TypeMismatch {
+        /// The type the operation required.
+        expected: DataType,
+        /// The type that was actually supplied.
+        actual: DataType,
+        /// Human-readable context (column name, operation, ...).
+        context: String,
+    },
+    /// Two columns or chunks that must have equal length did not.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+        /// Human-readable context.
+        context: String,
+    },
+    /// A named field was not found in a schema.
+    UnknownField(String),
+    /// A field name occurs more than once in a schema.
+    DuplicateField(String),
+    /// An operation required a dimension field but got a value field
+    /// (or vice versa), or the dataset had the wrong dimensionality.
+    DimensionError(String),
+    /// A dense layout was requested but the data cannot be densified
+    /// (unbounded extents, non-integer dimensions, out-of-box coordinates).
+    NotDense(String),
+    /// The wire codec encountered malformed bytes.
+    Corrupt(String),
+    /// Catch-all for invalid arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TypeMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            StorageError::LengthMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "length mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            StorageError::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            StorageError::DuplicateField(name) => write!(f, "duplicate field `{name}`"),
+            StorageError::DimensionError(msg) => write!(f, "dimension error: {msg}"),
+            StorageError::NotDense(msg) => write!(f, "cannot densify: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt wire data: {msg}"),
+            StorageError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::TypeMismatch {
+            expected: DataType::Int64,
+            actual: DataType::Utf8,
+            context: "column `price`".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("price"), "{s}");
+        assert!(s.contains("i64"), "{s}");
+        assert!(s.contains("utf8"), "{s}");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::UnknownField("x".into()),
+            StorageError::UnknownField("x".into())
+        );
+        assert_ne!(
+            StorageError::UnknownField("x".into()),
+            StorageError::UnknownField("y".into())
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Row: a materialized tuple, used by the reference evaluator and tests.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// A single tuple of scalar values, positionally aligned with a schema.
+///
+/// Rows are the lingua franca of the *reference* evaluator (which defines
+/// the algebra's semantics) and of test assertions; the engines themselves
+/// stay columnar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Row {
+        Row(Vec::new())
+    }
+
+    /// The number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the row has no values.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value at position `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Concatenate two rows (join output construction).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut vals = Vec::with_capacity(self.0.len() + other.0.len());
+        vals.extend_from_slice(&self.0);
+        vals.extend_from_slice(&other.0);
+        Row(vals)
+    }
+
+    /// Project positions `indices` into a new row.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Lexicographic comparison using [`Value::total_cmp`].
+    pub fn total_cmp(&self, other: &Row) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            let ord = a.total_cmp(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Row::new()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row(vec![Value::Int(1), Value::from("x")]);
+        let b = Row(vec![Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p, Row(vec![Value::Bool(true), Value::Int(1)]));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let a = Row(vec![Value::Int(1), Value::Int(2)]);
+        let b = Row(vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Less);
+        let shorter = Row(vec![Value::Int(1)]);
+        assert_eq!(shorter.total_cmp(&a), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn display() {
+        let r = Row(vec![Value::Int(1), Value::Null]);
+        assert_eq!(r.to_string(), "(1, null)");
+    }
+}

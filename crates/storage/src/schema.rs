@@ -1,0 +1,398 @@
+//! Dimension-tagged schemas — the heart of the fused tabular/array model.
+//!
+//! The paper proposes "a fusion of tabular and array models, with 0 or more
+//! attributes in a table structure being tagged as dimensions, and operators
+//! being dimension-aware". [`Schema`] realizes exactly that: an ordered list
+//! of [`Field`]s, each carrying a [`Role`].
+
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::types::DataType;
+use crate::Result;
+
+/// The role a field plays in the fused model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// An array dimension: an `Int64` coordinate axis. The optional extent
+    /// `[lo, hi)` bounds the coordinates; a bounded extent is required to
+    /// densify the dataset.
+    Dimension {
+        /// Inclusive lower bound of the axis, if known.
+        lo: Option<i64>,
+        /// Exclusive upper bound of the axis, if known.
+        hi: Option<i64>,
+    },
+    /// An ordinary value attribute.
+    Value,
+}
+
+impl Role {
+    /// Unbounded dimension role.
+    pub fn dim() -> Role {
+        Role::Dimension { lo: None, hi: None }
+    }
+
+    /// Bounded dimension role over `[lo, hi)`.
+    pub fn dim_bounded(lo: i64, hi: i64) -> Role {
+        Role::Dimension {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// True for either dimension variant.
+    pub fn is_dimension(&self) -> bool {
+        matches!(self, Role::Dimension { .. })
+    }
+}
+
+/// A named, typed, role-tagged schema field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name; unique within a schema.
+    pub name: String,
+    /// Scalar type. Dimensions are always `Int64`.
+    pub dtype: DataType,
+    /// Dimension or value role.
+    pub role: Role,
+}
+
+impl Field {
+    /// A value attribute.
+    pub fn value(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+            role: Role::Value,
+        }
+    }
+
+    /// An unbounded dimension (always `Int64`).
+    pub fn dimension(name: impl Into<String>) -> Field {
+        Field {
+            name: name.into(),
+            dtype: DataType::Int64,
+            role: Role::dim(),
+        }
+    }
+
+    /// A bounded dimension over `[lo, hi)`.
+    pub fn dimension_bounded(name: impl Into<String>, lo: i64, hi: i64) -> Field {
+        Field {
+            name: name.into(),
+            dtype: DataType::Int64,
+            role: Role::dim_bounded(lo, hi),
+        }
+    }
+
+    /// True if this field is a dimension.
+    pub fn is_dimension(&self) -> bool {
+        self.role.is_dimension()
+    }
+
+    /// The dimension extent `[lo, hi)`, if this is a bounded dimension.
+    pub fn extent(&self) -> Option<(i64, i64)> {
+        match self.role {
+            Role::Dimension {
+                lo: Some(lo),
+                hi: Some(hi),
+            } => Some((lo, hi)),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered collection of fields with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, validating name uniqueness and that dimensions are
+    /// `Int64` with well-formed extents.
+    pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(StorageError::DuplicateField(f.name.clone()));
+            }
+            if f.is_dimension() {
+                if f.dtype != DataType::Int64 {
+                    return Err(StorageError::DimensionError(format!(
+                        "dimension `{}` must be i64, got {}",
+                        f.name, f.dtype
+                    )));
+                }
+                if let Role::Dimension {
+                    lo: Some(lo),
+                    hi: Some(hi),
+                } = f.role
+                {
+                    if lo >= hi {
+                        return Err(StorageError::DimensionError(format!(
+                            "dimension `{}` has empty extent [{lo}, {hi})",
+                            f.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// An empty schema (zero fields).
+    pub fn empty() -> Schema {
+        Schema { fields: Vec::new() }
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the named field.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::UnknownField(name.to_string()))
+    }
+
+    /// The named field.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Field at position `i`.
+    pub fn field_at(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// The dimension fields, in schema order.
+    pub fn dimensions(&self) -> Vec<&Field> {
+        self.fields.iter().filter(|f| f.is_dimension()).collect()
+    }
+
+    /// The value (non-dimension) fields, in schema order.
+    pub fn values(&self) -> Vec<&Field> {
+        self.fields.iter().filter(|f| !f.is_dimension()).collect()
+    }
+
+    /// Number of dimension fields (the dataset's dimensionality).
+    pub fn ndims(&self) -> usize {
+        self.fields.iter().filter(|f| f.is_dimension()).count()
+    }
+
+    /// True when this is a plain relation (no dimension fields).
+    pub fn is_relation(&self) -> bool {
+        self.ndims() == 0
+    }
+
+    /// True when every dimension has a bounded extent (densifiable).
+    pub fn is_bounded(&self) -> bool {
+        self.fields
+            .iter()
+            .filter(|f| f.is_dimension())
+            .all(|f| f.extent().is_some())
+    }
+
+    /// Names of all fields, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema with every field demoted to a value attribute
+    /// (the `ArrayToTable` retagging operator).
+    pub fn untagged(&self) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field::value(f.name.clone(), f.dtype))
+                .collect(),
+        }
+    }
+
+    /// A new schema in which the named fields become (possibly bounded)
+    /// dimensions and all others become values (the `TableToArray`
+    /// retagging operator). Fields must exist and be `Int64`.
+    pub fn tagged(&self, dims: &[(&str, Option<(i64, i64)>)]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(self.fields.len());
+        for f in &self.fields {
+            let tag = dims.iter().find(|(n, _)| *n == f.name);
+            match tag {
+                Some((_, extent)) => {
+                    if f.dtype != DataType::Int64 {
+                        return Err(StorageError::DimensionError(format!(
+                            "cannot tag `{}` as dimension: type is {}",
+                            f.name, f.dtype
+                        )));
+                    }
+                    let role = match extent {
+                        Some((lo, hi)) => Role::dim_bounded(*lo, *hi),
+                        None => Role::dim(),
+                    };
+                    fields.push(Field {
+                        name: f.name.clone(),
+                        dtype: DataType::Int64,
+                        role,
+                    });
+                }
+                None => fields.push(Field::value(f.name.clone(), f.dtype)),
+            }
+        }
+        for (n, _) in dims {
+            if !self.fields.iter().any(|f| f.name == *n) {
+                return Err(StorageError::UnknownField(n.to_string()));
+            }
+        }
+        Schema::new(fields)
+    }
+
+    /// Concatenate two schemas (used by joins); duplicate names on the
+    /// right are disambiguated with a suffix.
+    pub fn join(&self, right: &Schema, suffix: &str) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let mut f = f.clone();
+            if fields.iter().any(|g| g.name == f.name) {
+                f.name = format!("{}{}", f.name, suffix);
+            }
+            fields.push(f);
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if fd.is_dimension() {
+                write!(f, "[{}]", fd.name)?;
+                if let Some((lo, hi)) = fd.extent() {
+                    write!(f, "={lo}..{hi}")?;
+                }
+            } else {
+                write!(f, "{}: {}", fd.name, fd.dtype)?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::dimension_bounded("i", 0, 4),
+            Field::dimension("j"),
+            Field::value("v", DataType::Float64),
+            Field::value("tag", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_duplicates() {
+        let err = Schema::new(vec![
+            Field::value("x", DataType::Int64),
+            Field::value("x", DataType::Utf8),
+        ])
+        .unwrap_err();
+        assert_eq!(err, StorageError::DuplicateField("x".into()));
+    }
+
+    #[test]
+    fn construction_validates_dimension_type() {
+        let bad = Field {
+            name: "d".into(),
+            dtype: DataType::Utf8,
+            role: Role::dim(),
+        };
+        assert!(matches!(
+            Schema::new(vec![bad]),
+            Err(StorageError::DimensionError(_))
+        ));
+    }
+
+    #[test]
+    fn construction_validates_extent() {
+        assert!(Schema::new(vec![Field::dimension_bounded("d", 5, 5)]).is_err());
+        assert!(Schema::new(vec![Field::dimension_bounded("d", 0, 1)]).is_ok());
+    }
+
+    #[test]
+    fn dimension_accessors() {
+        let s = sample();
+        assert_eq!(s.ndims(), 2);
+        assert!(!s.is_relation());
+        assert!(!s.is_bounded(), "j is unbounded");
+        assert_eq!(s.dimensions().len(), 2);
+        assert_eq!(s.values().len(), 2);
+        assert_eq!(s.field("i").unwrap().extent(), Some((0, 4)));
+    }
+
+    #[test]
+    fn lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("v").unwrap(), 2);
+        assert_eq!(
+            s.index_of("zz").unwrap_err(),
+            StorageError::UnknownField("zz".into())
+        );
+    }
+
+    #[test]
+    fn retagging_roundtrip() {
+        let s = sample();
+        let flat = s.untagged();
+        assert!(flat.is_relation());
+        let back = flat
+            .tagged(&[("i", Some((0, 4))), ("j", None)])
+            .unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn tagging_rejects_non_int_and_unknown() {
+        let s = sample();
+        assert!(s.untagged().tagged(&[("tag", None)]).is_err());
+        assert!(s.untagged().tagged(&[("nope", None)]).is_err());
+    }
+
+    #[test]
+    fn join_disambiguates() {
+        let a = Schema::new(vec![Field::value("k", DataType::Int64)]).unwrap();
+        let b = Schema::new(vec![
+            Field::value("k", DataType::Int64),
+            Field::value("v", DataType::Utf8),
+        ])
+        .unwrap();
+        let j = a.join(&b, "_r").unwrap();
+        assert_eq!(j.names(), vec!["k", "k_r", "v"]);
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        let s = sample().to_string();
+        assert!(s.contains("[i]=0..4"), "{s}");
+        assert!(s.contains("v: f64"), "{s}");
+    }
+}

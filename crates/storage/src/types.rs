@@ -1,0 +1,122 @@
+//! Logical data types of the fused tabular/array model.
+
+use std::fmt;
+
+/// The scalar types the algebra operates on.
+///
+/// The set is intentionally small — the paper's point is the *algebra*, not
+/// a rich type system — but it covers the classes that matter for the
+/// desiderata: integers (dimension coordinates and keys), floats (array and
+/// linear-algebra payloads), booleans (predicates) and strings (relational
+/// attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer. The only type permitted for dimension fields.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Utf8,
+}
+
+impl DataType {
+    /// All data types, in codec-tag order.
+    pub const ALL: [DataType; 4] = [
+        DataType::Int64,
+        DataType::Float64,
+        DataType::Bool,
+        DataType::Utf8,
+    ];
+
+    /// True for types on which arithmetic (`+ - * /`) is defined.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+
+    /// True if a value of `self` can be implicitly widened to `other`
+    /// (identity, or `Int64 -> Float64`).
+    pub fn coerces_to(self, other: DataType) -> bool {
+        self == other || (self == DataType::Int64 && other == DataType::Float64)
+    }
+
+    /// The common numeric supertype of two types, if one exists.
+    ///
+    /// `Int64 ⊔ Int64 = Int64`, any mix involving `Float64` yields
+    /// `Float64`; non-numeric operands have no numeric supertype.
+    pub fn numeric_join(self, other: DataType) -> Option<DataType> {
+        match (self, other) {
+            (DataType::Int64, DataType::Int64) => Some(DataType::Int64),
+            (a, b) if a.is_numeric() && b.is_numeric() => Some(DataType::Float64),
+            _ => None,
+        }
+    }
+
+    /// Stable single-byte tag used by the wire codec.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            DataType::Int64 => 0,
+            DataType::Float64 => 1,
+            DataType::Bool => 2,
+            DataType::Utf8 => 3,
+        }
+    }
+
+    /// Inverse of [`DataType::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<DataType> {
+        DataType::ALL.get(tag as usize).copied()
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "i64",
+            DataType::Float64 => "f64",
+            DataType::Bool => "bool",
+            DataType::Utf8 => "utf8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_tags_roundtrip() {
+        for dt in DataType::ALL {
+            assert_eq!(DataType::from_wire_tag(dt.wire_tag()), Some(dt));
+        }
+        assert_eq!(DataType::from_wire_tag(200), None);
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert!(DataType::Int64.coerces_to(DataType::Float64));
+        assert!(!DataType::Float64.coerces_to(DataType::Int64));
+        assert!(DataType::Utf8.coerces_to(DataType::Utf8));
+        assert!(!DataType::Bool.coerces_to(DataType::Int64));
+    }
+
+    #[test]
+    fn numeric_join_table() {
+        use DataType::*;
+        assert_eq!(Int64.numeric_join(Int64), Some(Int64));
+        assert_eq!(Int64.numeric_join(Float64), Some(Float64));
+        assert_eq!(Float64.numeric_join(Int64), Some(Float64));
+        assert_eq!(Float64.numeric_join(Float64), Some(Float64));
+        assert_eq!(Utf8.numeric_join(Int64), None);
+        assert_eq!(Bool.numeric_join(Bool), None);
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Bool.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+    }
+}

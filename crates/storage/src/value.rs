@@ -1,0 +1,345 @@
+//! Scalar values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::StorageError;
+use crate::types::DataType;
+use crate::Result;
+
+/// A single scalar value, possibly null.
+///
+/// `Value` is the exchange currency between the row-oriented reference
+/// evaluator, the expression engine and the columnar kernels. Hot loops
+/// avoid it by operating on [`crate::Column`]s directly, but semantics are
+/// defined in terms of `Value`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style null: unknown value of unknown type.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The value's data type, or `None` for null.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int64),
+            Value::Float(_) => Some(DataType::Float64),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Str(_) => Some(DataType::Utf8),
+        }
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an `i64`, widening never, erroring on anything else.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(type_err(DataType::Int64, other, "as_int")),
+        }
+    }
+
+    /// Extract an `f64`, implicitly widening integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(type_err(DataType::Float64, other, "as_float")),
+        }
+    }
+
+    /// Extract a bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(type_err(DataType::Bool, other, "as_bool")),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(type_err(DataType::Utf8, other, "as_str")),
+        }
+    }
+
+    /// Cast to the given type following the algebra's cast rules.
+    ///
+    /// Null casts to null; numeric casts truncate toward zero; anything
+    /// casts to `Utf8` via its display form; `Utf8` parses into numerics
+    /// and bools, yielding null on parse failure (SQL `TRY_CAST` flavour,
+    /// which keeps cast total and lets property tests compose it freely).
+    pub fn cast(&self, to: DataType) -> Value {
+        match (self, to) {
+            (Value::Null, _) => Value::Null,
+            (v, t) if v.dtype() == Some(t) => v.clone(),
+            (Value::Int(v), DataType::Float64) => Value::Float(*v as f64),
+            (Value::Float(v), DataType::Int64) => {
+                if v.is_finite() && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                    Value::Int(*v as i64)
+                } else {
+                    Value::Null
+                }
+            }
+            (Value::Bool(v), DataType::Int64) => Value::Int(*v as i64),
+            (Value::Bool(v), DataType::Float64) => Value::Float(*v as i64 as f64),
+            (v, DataType::Utf8) => Value::Str(v.to_string()),
+            (Value::Str(s), DataType::Int64) => {
+                s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
+            }
+            (Value::Str(s), DataType::Float64) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            (Value::Str(s), DataType::Bool) => match s.trim() {
+                "true" | "TRUE" | "t" | "1" => Value::Bool(true),
+                "false" | "FALSE" | "f" | "0" => Value::Bool(false),
+                _ => Value::Null,
+            },
+            (Value::Int(_) | Value::Float(_), DataType::Bool) => Value::Null,
+            // Identity casts are caught by the guard above; this arm is
+            // unreachable but required for exhaustiveness.
+            (v, _) => v.clone(),
+        }
+    }
+
+    /// Total ordering used for sorting and merge joins.
+    ///
+    /// Nulls sort first; numeric values compare by numeric value across
+    /// `Int`/`Float`; NaN sorts after all other floats; cross-type
+    /// comparisons fall back to a type-rank order so the relation is total.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// Equality with SQL flavour lifted to a total function: null equals
+    /// null here (needed for grouping and distinct); use predicates in the
+    /// expression engine for three-valued SQL equality.
+    pub fn grouping_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Float(_) => 1,
+        Value::Bool(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+fn type_err(expected: DataType, actual: &Value, context: &str) -> StorageError {
+    match actual.dtype() {
+        Some(dt) => StorageError::TypeMismatch {
+            expected,
+            actual: dt,
+            context: context.to_string(),
+        },
+        None => StorageError::Invalid(format!("{context}: unexpected null")),
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.grouping_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash ints and floats identically when they compare equal,
+            // so `grouping_eq`-equal values land in the same hash bucket.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                // Normalize -0.0 to 0.0; total_cmp distinguishes them but
+                // grouping treats them via total_cmp, which also
+                // distinguishes them, so keep bits — except we must match
+                // Int hashing for integral floats.
+                v.to_bits().hash(state);
+            }
+            Value::Bool(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Str(v) => {
+                3u8.hash(state);
+                v.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_of_values() {
+        assert_eq!(Value::Null.dtype(), None);
+        assert_eq!(Value::Int(1).dtype(), Some(DataType::Int64));
+        assert_eq!(Value::Float(1.0).dtype(), Some(DataType::Float64));
+        assert_eq!(Value::Bool(true).dtype(), Some(DataType::Bool));
+        assert_eq!(Value::from("x").dtype(), Some(DataType::Utf8));
+    }
+
+    #[test]
+    fn extraction_and_widening() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert_eq!(Value::Int(7).as_float().unwrap(), 7.0);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert!(Value::Float(2.5).as_int().is_err());
+        assert!(Value::Null.as_int().is_err());
+    }
+
+    #[test]
+    fn cast_numeric() {
+        assert_eq!(Value::Int(3).cast(DataType::Float64), Value::Float(3.0));
+        assert_eq!(Value::Float(3.9).cast(DataType::Int64), Value::Int(3));
+        assert_eq!(Value::Float(-3.9).cast(DataType::Int64), Value::Int(-3));
+        assert_eq!(Value::Float(f64::NAN).cast(DataType::Int64), Value::Null);
+        assert_eq!(Value::Float(1e300).cast(DataType::Int64), Value::Null);
+    }
+
+    #[test]
+    fn cast_string_parsing() {
+        assert_eq!(Value::from(" 42 ").cast(DataType::Int64), Value::Int(42));
+        assert_eq!(Value::from("2.5").cast(DataType::Float64), Value::Float(2.5));
+        assert_eq!(Value::from("true").cast(DataType::Bool), Value::Bool(true));
+        assert_eq!(Value::from("nope").cast(DataType::Int64), Value::Null);
+    }
+
+    #[test]
+    fn cast_to_string_matches_display() {
+        for v in [Value::Int(5), Value::Float(2.5), Value::Bool(false)] {
+            assert_eq!(v.cast(DataType::Utf8), Value::Str(v.to_string()));
+        }
+    }
+
+    #[test]
+    fn total_ordering_null_first_nan_last() {
+        let mut vs = [
+            Value::Float(f64::NAN),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+        ];
+        vs.sort_by(|a, b| a.total_cmp(b));
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Float(1.5));
+        assert_eq!(vs[2], Value::Int(2));
+        assert!(matches!(vs[3], Value::Float(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert!(Value::Int(2).grouping_eq(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn grouping_equality_hash_consistency() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        // Values that are grouping-equal must hash equally.
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert_eq!(h(&Value::Null), h(&Value::Null));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+    }
+}

@@ -1,0 +1,637 @@
+//! The wire codec: a compact hand-rolled binary encoding for every storage
+//! type.
+//!
+//! Every inter-server transfer in the federation layer serializes through
+//! this module, so the byte counts the experiments report (desideratum 4,
+//! "Server Interoperation") are the bytes this codec actually produces —
+//! not estimates.
+//!
+//! Format notes: little-endian fixed-width integers, `u32` length prefixes,
+//! one-byte type tags. Decoding is fully checked and returns
+//! [`StorageError::Corrupt`] on malformed input, never panics.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::bitmap::Bitmap;
+use crate::chunk::{Chunk, RowsChunk};
+use crate::column::Column;
+use crate::dataset::DataSet;
+use crate::dense::{DenseChunk, DimBox};
+use crate::error::StorageError;
+use crate::schema::{Field, Role, Schema};
+use crate::types::DataType;
+use crate::value::Value;
+use crate::Result;
+
+/// A checked, position-tracking reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.remaining() < n {
+            Err(StorageError::Corrupt(format!(
+                "unexpected end of input reading {what}: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8> {
+        self.need(1, what)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self, what: &str) -> Result<u32> {
+        self.need(4, what)?;
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self, what: &str) -> Result<u64> {
+        self.need(8, what)?;
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        Ok(v)
+    }
+
+    /// Read a little-endian i64.
+    pub fn i64(&mut self, what: &str) -> Result<i64> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    /// Read a little-endian f64.
+    pub fn f64(&mut self, what: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        self.need(n, what)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &str) -> Result<String> {
+        let n = self.u32(what)? as usize;
+        let raw = self.bytes(n, what)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StorageError::Corrupt(format!("invalid UTF-8 in {what}")))
+    }
+
+    /// A sanity bound on decoded collection lengths: no single collection
+    /// may claim more elements than there are remaining bytes (every
+    /// element costs at least one byte in this format). Guards against
+    /// allocation bombs from corrupt length prefixes.
+    pub fn checked_len(&self, n: u32, what: &str) -> Result<usize> {
+        let n = n as usize;
+        // Bools are the densest element at 1 byte each; bitmap words are 8.
+        if n > self.remaining().saturating_mul(64).saturating_add(64) {
+            return Err(StorageError::Corrupt(format!(
+                "implausible length {n} for {what} with {} bytes remaining",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// Encode a scalar value.
+pub fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Int(x) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*x);
+        }
+        Value::Float(x) => {
+            buf.put_u8(2);
+            buf.put_u64_le(x.to_bits());
+        }
+        Value::Bool(x) => {
+            buf.put_u8(3);
+            buf.put_u8(*x as u8);
+        }
+        Value::Str(x) => {
+            buf.put_u8(4);
+            put_string(buf, x);
+        }
+    }
+}
+
+/// Decode a scalar value.
+pub fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    match r.u8("value tag")? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int(r.i64("int value")?)),
+        2 => Ok(Value::Float(r.f64("float value")?)),
+        3 => Ok(Value::Bool(r.u8("bool value")? != 0)),
+        4 => Ok(Value::Str(r.string("string value")?)),
+        t => Err(StorageError::Corrupt(format!("bad value tag {t}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+fn encode_opt_i64(v: Option<i64>, buf: &mut BytesMut) {
+    match v {
+        Some(x) => {
+            buf.put_u8(1);
+            buf.put_i64_le(x);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn decode_opt_i64(r: &mut Reader<'_>, what: &str) -> Result<Option<i64>> {
+    match r.u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.i64(what)?)),
+        t => Err(StorageError::Corrupt(format!("bad option tag {t} in {what}"))),
+    }
+}
+
+/// Encode a schema.
+pub fn encode_schema(s: &Schema, buf: &mut BytesMut) {
+    buf.put_u32_le(s.len() as u32);
+    for f in s.fields() {
+        put_string(buf, &f.name);
+        buf.put_u8(f.dtype.wire_tag());
+        match f.role {
+            Role::Value => buf.put_u8(0),
+            Role::Dimension { lo, hi } => {
+                buf.put_u8(1);
+                encode_opt_i64(lo, buf);
+                encode_opt_i64(hi, buf);
+            }
+        }
+    }
+}
+
+/// Decode a schema.
+pub fn decode_schema(r: &mut Reader<'_>) -> Result<Schema> {
+    let raw = r.u32("schema field count")?;
+    let n = r.checked_len(raw, "schema fields")?;
+    let mut fields = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = r.string("field name")?;
+        let dtype = DataType::from_wire_tag(r.u8("field dtype")?)
+            .ok_or_else(|| StorageError::Corrupt("bad dtype tag".into()))?;
+        let role = match r.u8("field role")? {
+            0 => Role::Value,
+            1 => Role::Dimension {
+                lo: decode_opt_i64(r, "dim lo")?,
+                hi: decode_opt_i64(r, "dim hi")?,
+            },
+            t => return Err(StorageError::Corrupt(format!("bad role tag {t}"))),
+        };
+        fields.push(Field { name, dtype, role });
+    }
+    Schema::new(fields).map_err(|e| StorageError::Corrupt(format!("invalid schema on wire: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap & Column
+// ---------------------------------------------------------------------------
+
+/// Encode a bitmap.
+pub fn encode_bitmap(bm: &Bitmap, buf: &mut BytesMut) {
+    buf.put_u32_le(bm.len() as u32);
+    // Re-pack via push to avoid exposing the word representation.
+    let mut word = 0u64;
+    let mut nbits = 0;
+    for b in bm.iter() {
+        if b {
+            word |= 1 << nbits;
+        }
+        nbits += 1;
+        if nbits == 64 {
+            buf.put_u64_le(word);
+            word = 0;
+            nbits = 0;
+        }
+    }
+    if nbits > 0 {
+        buf.put_u64_le(word);
+    }
+}
+
+/// Decode a bitmap.
+pub fn decode_bitmap(r: &mut Reader<'_>) -> Result<Bitmap> {
+    let raw = r.u32("bitmap length")?;
+    let len = r.checked_len(raw, "bitmap")?;
+    let nwords = len.div_ceil(64);
+    let mut bm = Bitmap::filled(len, false);
+    let mut i = 0usize;
+    for _ in 0..nwords {
+        let word = r.u64("bitmap word")?;
+        for b in 0..64 {
+            if i >= len {
+                break;
+            }
+            if word >> b & 1 == 1 {
+                bm.set(i, true);
+            }
+            i += 1;
+        }
+    }
+    Ok(bm)
+}
+
+/// Encode a column.
+pub fn encode_column(c: &Column, buf: &mut BytesMut) {
+    buf.put_u8(c.dtype().wire_tag());
+    buf.put_u32_le(c.len() as u32);
+    match c.validity() {
+        Some(bm) => {
+            buf.put_u8(1);
+            encode_bitmap(bm, buf);
+        }
+        None => buf.put_u8(0),
+    }
+    match c {
+        Column::Int64(d, _) => {
+            for &v in d {
+                buf.put_i64_le(v);
+            }
+        }
+        Column::Float64(d, _) => {
+            for &v in d {
+                buf.put_u64_le(v.to_bits());
+            }
+        }
+        Column::Bool(d, _) => {
+            for &v in d {
+                buf.put_u8(v as u8);
+            }
+        }
+        Column::Utf8(d, _) => {
+            for v in d {
+                put_string(buf, v);
+            }
+        }
+    }
+}
+
+/// Decode a column.
+pub fn decode_column(r: &mut Reader<'_>) -> Result<Column> {
+    let dtype = DataType::from_wire_tag(r.u8("column dtype")?)
+        .ok_or_else(|| StorageError::Corrupt("bad column dtype tag".into()))?;
+    let raw = r.u32("column length")?;
+    let len = r.checked_len(raw, "column")?;
+    let validity = match r.u8("validity flag")? {
+        0 => None,
+        1 => {
+            let bm = decode_bitmap(r)?;
+            if bm.len() != len {
+                return Err(StorageError::Corrupt(format!(
+                    "validity length {} != column length {len}",
+                    bm.len()
+                )));
+            }
+            Some(bm)
+        }
+        t => return Err(StorageError::Corrupt(format!("bad validity flag {t}"))),
+    };
+    Ok(match dtype {
+        DataType::Int64 => {
+            let mut d = Vec::with_capacity(len);
+            for _ in 0..len {
+                d.push(r.i64("i64 slot")?);
+            }
+            Column::Int64(d, validity)
+        }
+        DataType::Float64 => {
+            let mut d = Vec::with_capacity(len);
+            for _ in 0..len {
+                d.push(r.f64("f64 slot")?);
+            }
+            Column::Float64(d, validity)
+        }
+        DataType::Bool => {
+            let mut d = Vec::with_capacity(len);
+            for _ in 0..len {
+                d.push(r.u8("bool slot")? != 0);
+            }
+            Column::Bool(d, validity)
+        }
+        DataType::Utf8 => {
+            let mut d = Vec::with_capacity(len.min(u16::MAX as usize));
+            for _ in 0..len {
+                d.push(r.string("utf8 slot")?);
+            }
+            Column::Utf8(d, validity)
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Chunks & DataSet
+// ---------------------------------------------------------------------------
+
+/// Encode a coordinate-list chunk.
+pub fn encode_rows_chunk(c: &RowsChunk, buf: &mut BytesMut) {
+    buf.put_u32_le(c.columns().len() as u32);
+    for col in c.columns() {
+        encode_column(col, buf);
+    }
+}
+
+/// Decode a coordinate-list chunk.
+pub fn decode_rows_chunk(r: &mut Reader<'_>) -> Result<RowsChunk> {
+    let raw = r.u32("column count")?;
+    let n = r.checked_len(raw, "rows chunk columns")?;
+    let mut cols = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        cols.push(decode_column(r)?);
+    }
+    RowsChunk::new(cols).map_err(|e| StorageError::Corrupt(format!("bad rows chunk: {e}")))
+}
+
+/// Encode a box.
+pub fn encode_box(b: &DimBox, buf: &mut BytesMut) {
+    buf.put_u32_le(b.ndims() as u32);
+    for d in 0..b.ndims() {
+        buf.put_i64_le(b.lo[d]);
+        buf.put_i64_le(b.hi[d]);
+    }
+}
+
+/// Decode a box.
+pub fn decode_box(r: &mut Reader<'_>) -> Result<DimBox> {
+    let raw = r.u32("box rank")?;
+    let n = r.checked_len(raw, "box")?;
+    let mut lo = Vec::with_capacity(n.min(64));
+    let mut hi = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        lo.push(r.i64("box lo")?);
+        hi.push(r.i64("box hi")?);
+    }
+    DimBox::new(lo, hi).map_err(|e| StorageError::Corrupt(format!("bad box: {e}")))
+}
+
+/// Encode a dense chunk.
+pub fn encode_dense_chunk(c: &DenseChunk, buf: &mut BytesMut) {
+    encode_box(c.bounds(), buf);
+    buf.put_u32_le(c.columns().len() as u32);
+    for col in c.columns() {
+        encode_column(col, buf);
+    }
+    match c.present() {
+        Some(bm) => {
+            buf.put_u8(1);
+            encode_bitmap(bm, buf);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Decode a dense chunk.
+pub fn decode_dense_chunk(r: &mut Reader<'_>) -> Result<DenseChunk> {
+    let bounds = decode_box(r)?;
+    let raw = r.u32("dense column count")?;
+    let n = r.checked_len(raw, "dense columns")?;
+    let mut cols = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        cols.push(decode_column(r)?);
+    }
+    let present = match r.u8("present flag")? {
+        0 => None,
+        1 => Some(decode_bitmap(r)?),
+        t => return Err(StorageError::Corrupt(format!("bad present flag {t}"))),
+    };
+    DenseChunk::new(bounds, cols, present)
+        .map_err(|e| StorageError::Corrupt(format!("bad dense chunk: {e}")))
+}
+
+/// Encode a chunk.
+pub fn encode_chunk(c: &Chunk, buf: &mut BytesMut) {
+    match c {
+        Chunk::Rows(rc) => {
+            buf.put_u8(0);
+            encode_rows_chunk(rc, buf);
+        }
+        Chunk::Dense(dc) => {
+            buf.put_u8(1);
+            encode_dense_chunk(dc, buf);
+        }
+    }
+}
+
+/// Decode a chunk.
+pub fn decode_chunk(r: &mut Reader<'_>) -> Result<Chunk> {
+    match r.u8("chunk tag")? {
+        0 => Ok(Chunk::Rows(decode_rows_chunk(r)?)),
+        1 => Ok(Chunk::Dense(decode_dense_chunk(r)?)),
+        t => Err(StorageError::Corrupt(format!("bad chunk tag {t}"))),
+    }
+}
+
+/// Magic prefix on dataset messages (detects cross-protocol confusion).
+const DATASET_MAGIC: &[u8; 4] = b"BDA1";
+
+/// Encode a whole dataset into a fresh buffer.
+pub fn encode_dataset(ds: &DataSet) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(64 + ds.estimated_bytes());
+    buf.put_slice(DATASET_MAGIC);
+    encode_schema(ds.schema(), &mut buf);
+    buf.put_u32_le(ds.chunks().len() as u32);
+    for c in ds.chunks() {
+        encode_chunk(c, &mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Decode a dataset; the entire input must be consumed.
+pub fn decode_dataset(bytes: &[u8]) -> Result<DataSet> {
+    let mut r = Reader::new(bytes);
+    let magic = r.bytes(4, "magic")?;
+    if magic != DATASET_MAGIC {
+        return Err(StorageError::Corrupt("bad dataset magic".into()));
+    }
+    let schema = decode_schema(&mut r)?;
+    let raw = r.u32("chunk count")?;
+    let n = r.checked_len(raw, "chunks")?;
+    let mut chunks = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        chunks.push(decode_chunk(&mut r)?);
+    }
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after dataset",
+            r.remaining()
+        )));
+    }
+    Ok(DataSet::new(schema, chunks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::matrix_dataset;
+
+    fn sample_relation() -> DataSet {
+        DataSet::from_columns(vec![
+            ("k", Column::from(vec![1i64, 2, 3])),
+            ("name", Column::from(vec!["alpha", "", "γβ"])),
+            ("score", Column::from(vec![1.5f64, f64::NAN, -0.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let vals = [
+            Value::Null,
+            Value::Int(-5),
+            Value::Float(2.5),
+            Value::Float(f64::INFINITY),
+            Value::Bool(true),
+            Value::from("héllo"),
+        ];
+        for v in &vals {
+            let mut buf = BytesMut::new();
+            encode_value(v, &mut buf);
+            let mut r = Reader::new(&buf);
+            let back = decode_value(&mut r).unwrap();
+            assert_eq!(&back, v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = Schema::new(vec![
+            Field::dimension_bounded("i", -2, 7),
+            Field::dimension("j"),
+            Field::value("v", DataType::Float64),
+        ])
+        .unwrap();
+        let mut buf = BytesMut::new();
+        encode_schema(&s, &mut buf);
+        let back = decode_schema(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn column_with_nulls_roundtrip() {
+        let c = Column::from_values(
+            DataType::Utf8,
+            &[Value::from("a"), Value::Null, Value::from("c")],
+        )
+        .unwrap();
+        let mut buf = BytesMut::new();
+        encode_column(&c, &mut buf);
+        let back = decode_column(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn dataset_roundtrip_rows() {
+        let ds = sample_relation();
+        let bytes = encode_dataset(&ds);
+        let back = decode_dataset(&bytes).unwrap();
+        // NaN-containing columns: compare via sorted rows (total order).
+        assert_eq!(back.schema(), ds.schema());
+        assert_eq!(
+            back.sorted_rows().unwrap().len(),
+            ds.sorted_rows().unwrap().len()
+        );
+        assert!(back.same_bag(&ds).unwrap());
+    }
+
+    #[test]
+    fn dataset_roundtrip_dense() {
+        let ds = matrix_dataset(3, 4, (0..12).map(|i| i as f64).collect()).unwrap();
+        let bytes = encode_dataset(&ds);
+        let back = decode_dataset(&bytes).unwrap();
+        assert!(back.same_bag(&ds).unwrap());
+        // Layout must be preserved, not just the bag.
+        assert!(matches!(back.chunks()[0], Chunk::Dense(_)));
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut bytes = encode_dataset(&sample_relation());
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_dataset(&bytes),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = encode_dataset(&sample_relation());
+        for cut in [3, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_dataset(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_dataset(&sample_relation());
+        bytes.push(0);
+        assert!(matches!(
+            decode_dataset(&bytes),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn implausible_length_rejected_without_allocation() {
+        // A column claiming u32::MAX slots in a tiny buffer must fail fast.
+        let mut buf = BytesMut::new();
+        buf.put_u8(DataType::Int64.wire_tag());
+        buf.put_u32_le(u32::MAX);
+        buf.put_u8(0);
+        assert!(decode_column(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn bitmap_roundtrip_cross_word() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 7 == 0).collect();
+        let bm = Bitmap::from_bools(&bits);
+        let mut buf = BytesMut::new();
+        encode_bitmap(&bm, &mut buf);
+        let back = decode_bitmap(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, bm);
+    }
+}

@@ -1,0 +1,17 @@
+//! # `bda-workloads`: seeded synthetic workload generators
+//!
+//! The paper's evaluation setting assumes production-scale datasets we do
+//! not have; these generators produce the synthetic equivalents the
+//! experiments run on. Every generator takes an explicit seed and is
+//! fully deterministic, so experiment outputs are reproducible
+//! bit-for-bit (modulo floating-point summation order inside engines).
+
+pub mod graphs;
+pub mod matrices;
+pub mod sensors;
+pub mod star;
+
+pub use graphs::{random_graph, GraphSpec};
+pub use matrices::{band_matrix, random_matrix};
+pub use sensors::{sensor_array, SensorSpec};
+pub use star::{star_schema, StarSpec};

@@ -1,0 +1,60 @@
+//! Random and structured matrices for the linear-algebra experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bda_storage::dataset::matrix_dataset;
+use bda_storage::DataSet;
+
+/// A dense `rows × cols` matrix dataset with entries uniform in
+/// `[-1, 1)`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> DataSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    matrix_dataset(rows, cols, data).expect("matrix dataset")
+}
+
+/// A banded `n × n` matrix: entry `(i, j)` is nonzero iff
+/// `|i - j| <= bandwidth`, with value `1 / (1 + |i - j|)`.
+/// Diagonally dominant enough for stable power iteration.
+pub fn band_matrix(n: usize, bandwidth: usize) -> DataSet {
+    let mut data = vec![0.0f64; n * n];
+    for i in 0..n {
+        let lo = i.saturating_sub(bandwidth);
+        let hi = (i + bandwidth + 1).min(n);
+        for j in lo..hi {
+            let d = i.abs_diff(j);
+            data[i * n + j] = 1.0 / (1.0 + d as f64);
+        }
+    }
+    matrix_dataset(n, n, data).expect("matrix dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_storage::dataset::dataset_matrix;
+
+    #[test]
+    fn random_matrix_shape_and_range() {
+        let ds = random_matrix(3, 5, 11);
+        let (r, c, data) = dataset_matrix(&ds).unwrap();
+        assert_eq!((r, c), (3, 5));
+        assert!(data.iter().all(|v| (-1.0..1.0).contains(v)));
+        // Deterministic per seed.
+        let (_, _, again) = dataset_matrix(&random_matrix(3, 5, 11)).unwrap();
+        assert_eq!(data, again);
+    }
+
+    #[test]
+    fn band_matrix_structure() {
+        let ds = band_matrix(5, 1);
+        let (_, _, data) = dataset_matrix(&ds).unwrap();
+        assert_eq!(data[0], 1.0); // diagonal
+        assert_eq!(data[1], 0.5); // first off-diagonal
+        assert_eq!(data[2], 0.0); // outside the band
+        assert_eq!(data[5], 0.5); // symmetric
+    }
+}

@@ -1,0 +1,204 @@
+//! A retail star schema: one fact table, three dimension tables.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bda_storage::{Column, DataSet};
+
+/// Parameters for the star-schema generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StarSpec {
+    /// Fact rows.
+    pub sales: usize,
+    /// Customer dimension rows.
+    pub customers: usize,
+    /// Product dimension rows.
+    pub products: usize,
+    /// Store dimension rows.
+    pub stores: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StarSpec {
+    fn default() -> Self {
+        StarSpec {
+            sales: 10_000,
+            customers: 500,
+            products: 100,
+            stores: 20,
+            seed: 42,
+        }
+    }
+}
+
+const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
+const SEGMENTS: [&str; 3] = ["consumer", "corporate", "home"];
+const CATEGORIES: [&str; 5] = ["grocery", "tools", "toys", "media", "apparel"];
+
+/// Generate `(sales, customers, products, stores)`.
+///
+/// Schemas:
+/// * `sales(customer_id: i64, product_id: i64, store_id: i64, amount: f64, quantity: i64)`
+/// * `customers(customer_id: i64, region: utf8, segment: utf8)`
+/// * `products(product_id: i64, category: utf8, price: f64)`
+/// * `stores(store_id: i64, region: utf8)`
+pub fn star_schema(spec: StarSpec) -> (DataSet, DataSet, DataSet, DataSet) {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let customers = DataSet::from_columns(vec![
+        (
+            "customer_id",
+            Column::from((0..spec.customers as i64).collect::<Vec<i64>>()),
+        ),
+        (
+            "region",
+            Column::from(
+                (0..spec.customers)
+                    .map(|_| REGIONS[rng.gen_range(0..REGIONS.len())])
+                    .collect::<Vec<&str>>(),
+            ),
+        ),
+        (
+            "segment",
+            Column::from(
+                (0..spec.customers)
+                    .map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())])
+                    .collect::<Vec<&str>>(),
+            ),
+        ),
+    ])
+    .expect("customers schema");
+
+    let products = DataSet::from_columns(vec![
+        (
+            "product_id",
+            Column::from((0..spec.products as i64).collect::<Vec<i64>>()),
+        ),
+        (
+            "category",
+            Column::from(
+                (0..spec.products)
+                    .map(|_| CATEGORIES[rng.gen_range(0..CATEGORIES.len())])
+                    .collect::<Vec<&str>>(),
+            ),
+        ),
+        (
+            "price",
+            Column::from(
+                (0..spec.products)
+                    .map(|_| (rng.gen_range(100..20_000) as f64) / 100.0)
+                    .collect::<Vec<f64>>(),
+            ),
+        ),
+    ])
+    .expect("products schema");
+
+    let stores = DataSet::from_columns(vec![
+        (
+            "store_id",
+            Column::from((0..spec.stores as i64).collect::<Vec<i64>>()),
+        ),
+        (
+            "region",
+            Column::from(
+                (0..spec.stores)
+                    .map(|_| REGIONS[rng.gen_range(0..REGIONS.len())])
+                    .collect::<Vec<&str>>(),
+            ),
+        ),
+    ])
+    .expect("stores schema");
+
+    let sales = DataSet::from_columns(vec![
+        (
+            "customer_id",
+            Column::from(
+                (0..spec.sales)
+                    .map(|_| rng.gen_range(0..spec.customers as i64))
+                    .collect::<Vec<i64>>(),
+            ),
+        ),
+        (
+            "product_id",
+            Column::from(
+                (0..spec.sales)
+                    .map(|_| rng.gen_range(0..spec.products as i64))
+                    .collect::<Vec<i64>>(),
+            ),
+        ),
+        (
+            "store_id",
+            Column::from(
+                (0..spec.sales)
+                    .map(|_| rng.gen_range(0..spec.stores as i64))
+                    .collect::<Vec<i64>>(),
+            ),
+        ),
+        (
+            "amount",
+            Column::from(
+                (0..spec.sales)
+                    .map(|_| (rng.gen_range(50..50_000) as f64) / 100.0)
+                    .collect::<Vec<f64>>(),
+            ),
+        ),
+        (
+            "quantity",
+            Column::from(
+                (0..spec.sales)
+                    .map(|_| rng.gen_range(1..10i64))
+                    .collect::<Vec<i64>>(),
+            ),
+        ),
+    ])
+    .expect("sales schema");
+
+    (sales, customers, products, stores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let spec = StarSpec {
+            sales: 100,
+            customers: 10,
+            products: 5,
+            stores: 2,
+            seed: 7,
+        };
+        let (s1, c1, p1, t1) = star_schema(spec);
+        assert_eq!(s1.num_rows(), 100);
+        assert_eq!(c1.num_rows(), 10);
+        assert_eq!(p1.num_rows(), 5);
+        assert_eq!(t1.num_rows(), 2);
+        let (s2, ..) = star_schema(spec);
+        assert!(s1.same_bag(&s2).unwrap(), "same seed, same data");
+        let (s3, ..) = star_schema(StarSpec { seed: 8, ..spec });
+        assert!(!s1.same_bag(&s3).unwrap(), "different seed, different data");
+    }
+
+    #[test]
+    fn foreign_keys_in_range() {
+        let spec = StarSpec {
+            sales: 500,
+            customers: 10,
+            products: 5,
+            stores: 2,
+            seed: 1,
+        };
+        let (sales, ..) = star_schema(spec);
+        for r in sales.rows().unwrap() {
+            let c = r.get(0).as_int().unwrap();
+            let p = r.get(1).as_int().unwrap();
+            let s = r.get(2).as_int().unwrap();
+            assert!((0..10).contains(&c));
+            assert!((0..5).contains(&p));
+            assert!((0..2).contains(&s));
+            assert!(r.get(3).as_float().unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A tiny interactive BDL shell over the standard federation: type
+//! pipe-syntax queries, get tables back — plus `\explain Q`, `\catalog`
+//! and `\help` meta-commands.
+//!
+//! ```text
+//! cargo run --example bdl_shell
+//! echo 'scan sales | groupby region: sum(amount) as t' | cargo run --example bdl_shell
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+/// Print, exiting quietly if stdout is a closed pipe (`... | head`).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+use std::sync::Arc;
+
+use bda::array::ArrayEngine;
+use bda::core::Provider;
+use bda::federation::Federation;
+use bda::graph::GraphEngine;
+use bda::lang::parse_query;
+use bda::linalg::LinAlgEngine;
+use bda::relational::RelationalEngine;
+use bda::workloads::{
+    random_graph, random_matrix, sensor_array, star_schema, GraphSpec, SensorSpec, StarSpec,
+};
+
+fn build_federation() -> Federation {
+    let rel = RelationalEngine::new("rel");
+    let (sales, customers, products, stores) = star_schema(StarSpec::default());
+    rel.store("sales", sales).expect("store");
+    rel.store("customers", customers).expect("store");
+    rel.store("products", products).expect("store");
+    rel.store("stores", stores).expect("store");
+
+    let arr = ArrayEngine::with_chunking("arr", 64);
+    arr.store("sensors", sensor_array(SensorSpec::default()))
+        .expect("store");
+
+    let la = LinAlgEngine::new("la");
+    la.store("a", random_matrix(32, 32, 7)).expect("store");
+    la.store("b", random_matrix(32, 32, 8)).expect("store");
+
+    let graph = GraphEngine::new("graph");
+    let (_, edges) = random_graph(GraphSpec::default());
+    graph.store("edges", edges).expect("store");
+
+    let mut fed = Federation::new();
+    fed.register(Arc::new(rel));
+    fed.register(Arc::new(arr));
+    fed.register(Arc::new(la));
+    fed.register(Arc::new(graph));
+    fed
+}
+
+fn print_catalog(fed: &Federation) {
+    for p in fed.registry().providers() {
+        out!("provider `{}` — capabilities {}", p.name(), p.capabilities());
+        for (name, schema) in p.catalog() {
+            let rows = p
+                .row_count_of(&name)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "?".to_string());
+            out!("  {name} {schema} [{rows} rows]");
+        }
+    }
+}
+
+const HELP: &str = "\
+BDL shell. Enter a pipe-syntax query, e.g.:
+  scan sales | where amount > 100.0 | groupby region: sum(amount) as t
+  scan sensors | dice t 0 64 | groupby sensor: avg(reading) as m
+  scan edges | pagerank 0.85 50 1e-8 | orderby rank desc | limit 5
+  scan a | matmul (scan b)
+Meta commands:
+  \\catalog     list providers and datasets
+  \\explain Q   show the optimized plan and placement for query Q
+  \\help        this text
+  \\quit        exit";
+
+fn main() {
+    let fed = build_federation();
+    let lookup = |name: &str| fed.registry().schema_of(name).ok();
+    let stdin = io::stdin();
+    let interactive = atty_like();
+    if interactive {
+        out!("{HELP}\n");
+    }
+    let mut out = io::stdout();
+    loop {
+        if interactive {
+            print!("bdl> ");
+            out.flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "\\quit" | "\\q" => break,
+            "\\help" => {
+                out!("{HELP}");
+                continue;
+            }
+            "\\catalog" => {
+                print_catalog(&fed);
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(q) = line.strip_prefix("\\explain ") {
+            match parse_query(q, &lookup) {
+                Ok(plan) => match fed.explain(&plan) {
+                    Ok(s) => out!("{s}"),
+                    Err(e) => out!("plan error: {e}"),
+                },
+                Err(e) => out!("{}", e.render(q)),
+            }
+            continue;
+        }
+        match parse_query(line, &lookup) {
+            Ok(plan) => match fed.run(&plan) {
+                Ok((result, metrics)) => {
+                    out!("{}-- {metrics}", result.show(20));
+                }
+                Err(e) => out!("execution error: {e}"),
+            },
+            Err(e) => out!("{}", e.render(line)),
+        }
+    }
+}
+
+/// Crude interactivity check without extra dependencies: treat the session
+/// as interactive unless stdin looks piped (heuristic via env var set by
+/// CI/test invocations is overkill; we simply always print the prompt to
+/// stderr-free stdout only when TERM is set).
+fn atty_like() -> bool {
+    std::env::var("TERM").is_ok() && std::env::var("BDL_NONINTERACTIVE").is_err()
+}

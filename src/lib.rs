@@ -1,0 +1,60 @@
+//! # `bda` — the Big Data Algebra facade crate
+//!
+//! One dependency for the whole framework: the fused tabular/array data
+//! model ([`storage`]), the algebra and provider model ([`core`]), four
+//! back-end engines ([`relational`], [`mod@array`], [`linalg`], [`graph`]),
+//! the multi-server federation ([`federation`]), the client language
+//! surfaces ([`lang`]) and the synthetic workload generators
+//! ([`workloads`]).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bda::core::{col, lit, AggExpr, AggFunc, Provider};
+//! use bda::federation::Federation;
+//! use bda::lang::{parse_query, Query};
+//! use bda::relational::RelationalEngine;
+//! use bda::storage::{Column, DataSet};
+//!
+//! // A back-end server with a table.
+//! let rel = RelationalEngine::new("rel");
+//! rel.store("sales", DataSet::from_columns(vec![
+//!     ("region", Column::from(vec!["west", "east", "west"])),
+//!     ("amount", Column::from(vec![120.0f64, 80.0, 45.0])),
+//! ]).unwrap()).unwrap();
+//!
+//! // The federation is the paper's "organizing framework".
+//! let mut fed = Federation::new();
+//! fed.register(Arc::new(rel));
+//!
+//! // Build the query with the LINQ-style API ...
+//! let q = Query::scan("sales", fed.registry().schema_of("sales").unwrap())
+//!     .where_(col("amount").gt(lit(50.0)))
+//!     .group_by(vec!["region"],
+//!               vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")]);
+//! let (result, metrics) = fed.run(q.plan()).unwrap();
+//! assert_eq!(result.num_rows(), 2);
+//! assert_eq!(metrics.app_tier_bytes(), 0);
+//!
+//! // ... or as BDL text; both compile to the same algebra.
+//! let lookup = |name: &str| fed.registry().schema_of(name).ok();
+//! let plan = parse_query(
+//!     "scan sales | where amount > 50.0 \
+//!      | groupby region: sum(amount) as total",
+//!     &lookup,
+//! ).unwrap();
+//! let (same, _) = fed.run(&plan).unwrap();
+//! assert!(result.same_bag(&same).unwrap());
+//! ```
+//!
+//! See `README.md` for the architecture tour, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the measured desiderata results.
+
+pub use bda_array as array;
+pub use bda_core as core;
+pub use bda_federation as federation;
+pub use bda_graph as graph;
+pub use bda_lang as lang;
+pub use bda_linalg as linalg;
+pub use bda_relational as relational;
+pub use bda_storage as storage;
+pub use bda_workloads as workloads;

@@ -1,0 +1,164 @@
+//! Failure injection: when a provider fails mid-plan, the federation must
+//! surface the error and leave no staged intermediates behind.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use bda::core::{CapabilitySet, CoreError, Plan, Provider};
+use bda::federation::Federation;
+use bda::linalg::LinAlgEngine;
+use bda::relational::RelationalEngine;
+use bda::storage::{DataSet, Schema};
+use bda::workloads::random_matrix;
+
+/// Wraps a provider and fails the `fail_on`-th execute call.
+struct FlakyProvider {
+    inner: Arc<dyn Provider>,
+    calls: AtomicUsize,
+    fail_on: usize,
+}
+
+impl FlakyProvider {
+    fn new(inner: Arc<dyn Provider>, fail_on: usize) -> FlakyProvider {
+        FlakyProvider {
+            inner,
+            calls: AtomicUsize::new(0),
+            fail_on,
+        }
+    }
+}
+
+impl Provider for FlakyProvider {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> CapabilitySet {
+        self.inner.capabilities()
+    }
+
+    fn catalog(&self) -> Vec<(String, Schema)> {
+        self.inner.catalog()
+    }
+
+    fn execute(&self, plan: &Plan) -> Result<DataSet, CoreError> {
+        let n = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.fail_on {
+            return Err(CoreError::Plan(format!(
+                "injected failure on call {n} at `{}`",
+                self.name()
+            )));
+        }
+        self.inner.execute(plan)
+    }
+
+    fn store(&self, name: &str, data: DataSet) -> Result<(), CoreError> {
+        self.inner.store(name, data)
+    }
+
+    fn remove(&self, name: &str) {
+        self.inner.remove(name)
+    }
+
+    fn row_count_of(&self, name: &str) -> Option<usize> {
+        self.inner.row_count_of(name)
+    }
+}
+
+fn cross_engine_setup(fail_site: &str, fail_on: usize) -> (Federation, Plan) {
+    let n = 8;
+    let rel = RelationalEngine::new("rel");
+    rel.store("a_rows", random_matrix(n, n, 7).normalized_rows().unwrap())
+        .unwrap();
+    let la = LinAlgEngine::new("la");
+    la.store("b", random_matrix(n, n, 8)).unwrap();
+    let rel: Arc<dyn Provider> = Arc::new(rel);
+    let la: Arc<dyn Provider> = Arc::new(la);
+    let mut fed = Federation::new();
+    for p in [rel, la] {
+        if p.name() == fail_site {
+            fed.register(Arc::new(FlakyProvider::new(p, fail_on)));
+        } else {
+            fed.register(p);
+        }
+    }
+    let plan = Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(
+        Plan::scan(
+            "b",
+            fed.registry()
+                .provider("la")
+                .unwrap()
+                .schema_of("b")
+                .unwrap(),
+        ),
+    );
+    (fed, plan)
+}
+
+fn no_staged_leftovers(fed: &Federation) {
+    for p in fed.registry().providers() {
+        for (name, _) in p.catalog() {
+            assert!(
+                !name.starts_with("__bda_frag_"),
+                "staged intermediate `{name}` leaked on `{}`",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn producer_failure_surfaces_and_cleans_up() {
+    // The first fragment (on rel) fails immediately.
+    let (fed, plan) = cross_engine_setup("rel", 1);
+    let err = fed.run(&plan).unwrap_err();
+    assert!(err.to_string().contains("injected failure"), "{err}");
+    no_staged_leftovers(&fed);
+}
+
+#[test]
+fn consumer_failure_surfaces_and_cleans_up() {
+    // The producer fragment succeeds (and stages its output at la);
+    // the consuming matmul fragment then fails.
+    let (fed, plan) = cross_engine_setup("la", 1);
+    let err = fed.run(&plan).unwrap_err();
+    assert!(err.to_string().contains("injected failure"), "{err}");
+    // The staged input shipped to `la` must have been removed.
+    no_staged_leftovers(&fed);
+}
+
+#[test]
+fn recovery_after_transient_failure() {
+    // Fail once, then the same federation object succeeds on retry.
+    let (fed, plan) = cross_engine_setup("la", 1);
+    assert!(fed.run(&plan).is_err());
+    let (out, _) = fed.run(&plan).expect("second attempt succeeds");
+    assert_eq!(out.num_rows(), 64);
+    no_staged_leftovers(&fed);
+}
+
+#[test]
+fn app_driven_loop_failure_propagates() {
+    // Client-driven iteration where the body's provider fails part-way:
+    // the loop must abort with the provider's error, not hang or corrupt.
+    let la = LinAlgEngine::new("la");
+    la.store("m", random_matrix(4, 4, 3)).unwrap();
+    la.store("x", random_matrix(4, 4, 4)).unwrap();
+    let la: Arc<dyn Provider> = Arc::new(la);
+    let mut fed = Federation::new();
+    // Fail on the 3rd execute: init (1), body iter 1 (2), body iter 2 (3).
+    fed.register(Arc::new(FlakyProvider::new(la, 3)));
+    let m_schema = fed.registry().provider("la").unwrap().schema_of("m").unwrap();
+    let x_schema = fed.registry().provider("la").unwrap().schema_of("x").unwrap();
+    let plan = Plan::Iterate {
+        init: Plan::scan("x", x_schema.clone()).boxed(),
+        body: Plan::scan("m", m_schema)
+            .matmul(Plan::IterState { schema: x_schema })
+            .boxed(),
+        max_iters: 10,
+        epsilon: None,
+    };
+    let err = fed.run(&plan).unwrap_err();
+    assert!(err.to_string().contains("injected failure"), "{err}");
+    no_staged_leftovers(&fed);
+}

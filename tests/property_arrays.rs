@@ -1,0 +1,216 @@
+//! Property-based tests on the array algebra: lowering equivalence,
+//! algebraic identities, and engine-vs-oracle agreement on random sparse
+//! arrays.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use bda::array::ArrayEngine;
+use bda::core::lower::lower_all;
+use bda::core::reference::evaluate;
+use bda::core::{col, AggExpr, AggFunc, BinOp, Plan, Provider};
+use bda::storage::{DataSet, DataType, Field, Row, Schema, Value};
+
+const N: i64 = 4;
+
+fn array_schema() -> Schema {
+    Schema::new(vec![
+        Field::dimension_bounded("i", 0, N),
+        Field::dimension_bounded("j", 0, N),
+        Field::value("v", DataType::Float64),
+    ])
+    .unwrap()
+}
+
+prop_compose! {
+    /// A sparse 2-D array with unique coordinates (the array invariant).
+    fn arb_array()(cells in prop::collection::btree_map(
+        (0..N, 0..N),
+        prop_oneof![4 => (-8i32..8).prop_map(|x| Some(x as f64 / 2.0)), 1 => Just(None)],
+        0..(N * N) as usize,
+    )) -> DataSet {
+        let rows: Vec<Row> = cells
+            .into_iter()
+            .map(|((i, j), v)| Row(vec![
+                Value::Int(i),
+                Value::Int(j),
+                v.map(Value::Float).unwrap_or(Value::Null),
+            ]))
+            .collect();
+        DataSet::from_rows(array_schema(), &rows).unwrap()
+    }
+}
+
+fn src(pairs: &[(&str, &DataSet)]) -> HashMap<String, DataSet> {
+    pairs
+        .iter()
+        .map(|(n, d)| (n.to_string(), (*d).clone()))
+        .collect()
+}
+
+fn approx_same(a: &DataSet, b: &DataSet) -> bool {
+    let x = a.sorted_rows().unwrap();
+    let y = b.sorted_rows().unwrap();
+    x.len() == y.len()
+        && x.iter().zip(&y).all(|(rx, ry)| {
+            rx.0.iter().zip(&ry.0).all(|(vx, vy)| match (vx, vy) {
+                (Value::Float(fx), Value::Float(fy)) => (fx - fy).abs() < 1e-9,
+                _ => vx == vy,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_lowering_equivalent_on_random_arrays(a in arb_array(), b in arb_array()) {
+        let plan = Plan::scan("a", array_schema())
+            .matmul(Plan::scan("b", array_schema()));
+        let data = src(&[("a", &a), ("b", &b)]);
+        let native = evaluate(&plan, &data).unwrap();
+        let lowered = evaluate(&lower_all(&plan).unwrap(), &data).unwrap();
+        prop_assert!(approx_same(&native, &lowered));
+    }
+
+    #[test]
+    fn elemwise_lowering_equivalent(a in arb_array(), b in arb_array()) {
+        for op in [BinOp::Add, BinOp::Mul] {
+            let plan = Plan::scan("a", array_schema())
+                .elemwise(op, Plan::scan("b", array_schema()));
+            let data = src(&[("a", &a), ("b", &b)]);
+            let native = evaluate(&plan, &data).unwrap();
+            let lowered = evaluate(&lower_all(&plan).unwrap(), &data).unwrap();
+            prop_assert!(approx_same(&native, &lowered), "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn window_lowering_equivalent(a in arb_array(), r in 0i64..2) {
+        let plan = Plan::Window {
+            input: Plan::scan("a", array_schema()).boxed(),
+            radii: vec![("i".into(), r), ("j".into(), 1)],
+            aggs: vec![
+                AggExpr::new(AggFunc::Sum, col("v"), "s"),
+                AggExpr::count_star("n"),
+            ],
+        };
+        let data = src(&[("a", &a)]);
+        let native = evaluate(&plan, &data).unwrap();
+        let lowered = evaluate(&lower_all(&plan).unwrap(), &data).unwrap();
+        prop_assert!(approx_same(&native, &lowered));
+    }
+
+    #[test]
+    fn array_engine_matches_oracle(a in arb_array(), r in 0i64..2) {
+        let engine = ArrayEngine::new("arr");
+        engine.store("a", a.clone()).unwrap();
+        let schema = engine.schema_of("a").unwrap();
+        let plans = vec![
+            Plan::Dice {
+                input: Plan::scan("a", schema.clone()).boxed(),
+                ranges: vec![("i".into(), 0, 2)],
+            },
+            Plan::SliceAt {
+                input: Plan::scan("a", schema.clone()).boxed(),
+                dim: "i".into(),
+                index: 1,
+            },
+            Plan::Permute {
+                input: Plan::scan("a", schema.clone()).boxed(),
+                order: vec!["j".into(), "i".into()],
+            },
+            Plan::Window {
+                input: Plan::scan("a", schema.clone()).boxed(),
+                radii: vec![("i".into(), r), ("j".into(), 0)],
+                aggs: vec![AggExpr::new(AggFunc::Max, col("v"), "m")],
+            },
+            Plan::Fill {
+                input: Plan::scan("a", schema.clone()).boxed(),
+                fill: Value::Float(0.0),
+            },
+        ];
+        let data = src(&[("a", &a)]);
+        for plan in plans {
+            let ours = engine.execute(&plan).unwrap();
+            let oracle = evaluate(&plan, &data).unwrap();
+            prop_assert!(
+                approx_same(&ours.normalized_rows().unwrap(), &oracle.normalized_rows().unwrap()),
+                "plan:\n{}", plan
+            );
+        }
+    }
+
+    #[test]
+    fn permute_is_an_involution(a in arb_array()) {
+        let once = Plan::Permute {
+            input: Plan::scan("a", array_schema()).boxed(),
+            order: vec!["j".into(), "i".into()],
+        };
+        let twice = Plan::Permute {
+            input: once.clone().boxed(),
+            order: vec!["i".into(), "j".into()],
+        };
+        let data = src(&[("a", &a)]);
+        let back = evaluate(&twice, &data).unwrap();
+        prop_assert!(back.same_bag(&a).unwrap());
+    }
+
+    #[test]
+    fn dice_then_fill_has_exact_volume(a in arb_array(), lo in 0i64..3) {
+        let hi = (lo + 2).min(N);
+        let plan = Plan::Fill {
+            input: Plan::Dice {
+                input: Plan::scan("a", array_schema()).boxed(),
+                ranges: vec![("i".into(), lo, hi)],
+            }
+            .boxed(),
+            fill: Value::Float(0.0),
+        };
+        let data = src(&[("a", &a)]);
+        let out = evaluate(&plan, &data).unwrap();
+        prop_assert_eq!(out.num_rows() as i64, (hi - lo) * N);
+    }
+
+    #[test]
+    fn tag_untag_roundtrip(a in arb_array()) {
+        let plan = Plan::TagDims {
+            input: Plan::UntagDims {
+                input: Plan::scan("a", array_schema()).boxed(),
+            }
+            .boxed(),
+            dims: vec![("i".into(), Some((0, N))), ("j".into(), Some((0, N)))],
+        };
+        let data = src(&[("a", &a)]);
+        let out = evaluate(&plan, &data).unwrap();
+        prop_assert!(out.same_bag(&a).unwrap());
+        prop_assert_eq!(out.schema(), a.schema());
+    }
+
+    #[test]
+    fn matmul_identity_law(a in arb_array()) {
+        // A × I = Fill₀(A) on the dense view (absent cells read as 0).
+        let identity_rows: Vec<Row> = (0..N)
+            .map(|i| Row(vec![Value::Int(i), Value::Int(i), Value::Float(1.0)]))
+            .collect();
+        let identity = DataSet::from_rows(array_schema(), &identity_rows).unwrap();
+        let plan = Plan::scan("a", array_schema())
+            .matmul(Plan::scan("id", array_schema()));
+        let data = src(&[("a", &a), ("id", &identity)]);
+        let out = evaluate(&plan, &data).unwrap();
+        // Every present, non-null cell of `a` must appear unchanged.
+        for row in a.rows().unwrap() {
+            if row.get(2).is_null() {
+                continue;
+            }
+            let expect = row.get(2).as_float().unwrap();
+            let found = out.rows().unwrap().iter().any(|r| {
+                r.get(0) == row.get(0)
+                    && r.get(1) == row.get(1)
+                    && (r.get(2).as_float().unwrap() - expect).abs() < 1e-12
+            });
+            prop_assert!(found || expect == 0.0, "cell {} lost", row);
+        }
+    }
+}
