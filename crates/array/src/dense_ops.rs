@@ -8,9 +8,7 @@
 use bda_core::agg::{Accumulator, AggExpr};
 use bda_core::eval::{binary_scalar, eval_chunk, infer_expr};
 use bda_core::{BinOp, CoreError};
-use bda_storage::{
-    Bitmap, Chunk, Column, DataSet, DenseChunk, DimBox, Schema, Value,
-};
+use bda_storage::{Bitmap, Chunk, Column, DataSet, DenseChunk, DimBox, Schema, Value};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
@@ -27,7 +25,11 @@ fn dense_of(ds: &DataSet) -> Result<(DenseChunk, Schema)> {
 
 /// Dice: restrict to coordinate ranges. Pure box arithmetic — cells are
 /// copied from the intersected sub-box, absent chunks pruned for free.
-pub fn dice_dense(input: &DataSet, ranges: &[(String, i64, i64)], out_schema: Schema) -> Result<DataSet> {
+pub fn dice_dense(
+    input: &DataSet,
+    ranges: &[(String, i64, i64)],
+    out_schema: Schema,
+) -> Result<DataSet> {
     let (chunk, in_schema) = dense_of(input)?;
     let in_bounds = chunk.bounds().clone();
     // Target box: the output schema's extents.
@@ -63,7 +65,11 @@ pub fn dice_dense(input: &DataSet, ranges: &[(String, i64, i64)], out_schema: Sc
             set_dense_slot(col, out_idx, &chunk.columns()[c].get(in_idx))?;
         }
     }
-    let present = if present.all_set() { None } else { Some(present) };
+    let present = if present.all_set() {
+        None
+    } else {
+        Some(present)
+    };
     let out_chunk = DenseChunk::new(sub, cols, present)?;
     Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]))
 }
@@ -72,10 +78,7 @@ pub fn dice_dense(input: &DataSet, ranges: &[(String, i64, i64)], out_schema: Sc
 /// boxes miss the target range are skipped without touching their cells.
 /// Returns `(result, tiles_visited, tiles_total)` so callers and tests can
 /// observe the pruning rate.
-pub fn dice_pruned(
-    input: &DataSet,
-    out_schema: &Schema,
-) -> Result<(DataSet, usize, usize)> {
+pub fn dice_pruned(input: &DataSet, out_schema: &Schema) -> Result<(DataSet, usize, usize)> {
     // Target box from the output schema's (already tightened) extents.
     let mut lo = Vec::new();
     let mut hi = Vec::new();
@@ -116,21 +119,21 @@ pub fn dice_pruned(
                 continue;
             }
             present.set(out_idx, true);
-            for c in 0..nvals {
-                set_dense_slot(&mut cols[c], out_idx, &d.columns()[c].get(in_idx))?;
+            for (col, src) in cols.iter_mut().zip(d.columns()).take(nvals) {
+                set_dense_slot(col, out_idx, &src.get(in_idx))?;
             }
         }
         if present.count_ones() == 0 {
             continue; // intersected but empty tile
         }
-        let present = if present.all_set() { None } else { Some(present) };
+        let present = if present.all_set() {
+            None
+        } else {
+            Some(present)
+        };
         out_chunks.push(Chunk::Dense(DenseChunk::new(sub, cols, present)?));
     }
-    Ok((
-        DataSet::new(out_schema.clone(), out_chunks),
-        visited,
-        total,
-    ))
+    Ok((DataSet::new(out_schema.clone(), out_chunks), visited, total))
 }
 
 /// Slice: fix one dimension, dropping it.
@@ -160,7 +163,8 @@ pub fn slice_dense(input: &DataSet, dim: &str, index: i64, out_schema: Schema) -
             .iter()
             .map(|f| Column::nulls(f.dtype, sub.volume()))
             .collect();
-        let out_chunk = DenseChunk::new(sub.clone(), cols, Some(Bitmap::filled(sub.volume(), false)))?;
+        let out_chunk =
+            DenseChunk::new(sub.clone(), cols, Some(Bitmap::filled(sub.volume(), false)))?;
         return Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]));
     }
     let (sub, _) = drop_axis(&bounds, dim_pos);
@@ -183,7 +187,11 @@ pub fn slice_dense(input: &DataSet, dim: &str, index: i64, out_schema: Schema) -
             set_dense_slot(col, out_idx, &chunk.columns()[c].get(in_idx))?;
         }
     }
-    let present = if present.all_set() { None } else { Some(present) };
+    let present = if present.all_set() {
+        None
+    } else {
+        Some(present)
+    };
     let out_chunk = DenseChunk::new(sub, cols, present)?;
     Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]))
 }
@@ -239,7 +247,11 @@ pub fn permute_dense(input: &DataSet, order: &[String], out_schema: Schema) -> R
             set_dense_slot(col, out_idx, &chunk.columns()[c].get(in_idx))?;
         }
     }
-    let present = if present.all_set() { None } else { Some(present) };
+    let present = if present.all_set() {
+        None
+    } else {
+        Some(present)
+    };
     let out_chunk = DenseChunk::new(new_bounds, cols, present)?;
     Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]))
 }
@@ -320,7 +332,11 @@ pub fn elemwise_dense(
         };
         set_dense_slot(&mut col, idx, &v)?;
     }
-    let present = if present.all_set() { None } else { Some(present) };
+    let present = if present.all_set() {
+        None
+    } else {
+        Some(present)
+    };
     let out_chunk = DenseChunk::new(l.bounds().clone(), vec![col], present)?;
     Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]))
 }

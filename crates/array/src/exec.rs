@@ -66,11 +66,7 @@ pub fn execute(plan: &Plan, arrays: &BTreeMap<String, DataSet>) -> Result<DataSe
             let in_ds = execute(input, arrays)?;
             dense_ops::permute_dense(&in_ds, order, out_schema)
         }
-        Plan::Window {
-            input,
-            radii,
-            aggs,
-        } => {
+        Plan::Window { input, radii, aggs } => {
             let in_ds = execute(input, arrays)?;
             dense_ops::window_dense(&in_ds, radii, aggs, out_schema)
         }
@@ -338,10 +334,7 @@ mod tests {
                 input: scan_m().boxed(),
             }
             .boxed(),
-            dims: vec![
-                ("row".into(), Some((0, 4))),
-                ("col".into(), Some((0, 4))),
-            ],
+            dims: vec![("row".into(), Some((0, 4))), ("col".into(), Some((0, 4)))],
         };
         let out = execute(&plan, &a).unwrap();
         assert!(matches!(out.chunks()[0], Chunk::Dense(_)));

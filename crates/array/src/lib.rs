@@ -185,7 +185,10 @@ mod tests {
         let out_schema = bda_core::infer_schema(&plan).unwrap();
         let (_, visited, total) = crate::dense_ops::dice_pruned(&grid, &out_schema).unwrap();
         assert_eq!(total, 16, "4x4 tile grid");
-        assert!(visited <= 2, "target box touches at most 2 tiles, visited {visited}");
+        assert!(
+            visited <= 2,
+            "target box touches at most 2 tiles, visited {visited}"
+        );
     }
 
     #[test]

@@ -26,16 +26,12 @@ fn bench_chunking(c: &mut Criterion) {
             input: Plan::scan("m", m.schema().clone()).boxed(),
             ranges: vec![("row".into(), 0, target), ("col".into(), 0, target)],
         };
-        group.bench_with_input(
-            BenchmarkId::new("grid_pruned", target),
-            &target,
-            |b, _| b.iter(|| chunked.execute(&plan).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("monolithic", target),
-            &target,
-            |b, _| b.iter(|| mono.execute(&plan).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("grid_pruned", target), &target, |b, _| {
+            b.iter(|| chunked.execute(&plan).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("monolithic", target), &target, |b, _| {
+            b.iter(|| mono.execute(&plan).unwrap())
+        });
     }
     group.finish();
 }

@@ -110,5 +110,10 @@ fn bench_engine_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_joins, bench_window, bench_engine_vs_reference);
+criterion_group!(
+    benches,
+    bench_joins,
+    bench_window,
+    bench_engine_vs_reference
+);
 criterion_main!(benches);

@@ -51,11 +51,9 @@ fn bench_intent(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("native_intent_la", n), &n, |b, _| {
             b.iter(|| fed.run(&intent).unwrap())
         });
-        group.bench_with_input(
-            BenchmarkId::new("lowered_recognized_la", n),
-            &n,
-            |b, _| b.iter(|| fed.run(&lowered).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("lowered_recognized_la", n), &n, |b, _| {
+            b.iter(|| fed.run(&lowered).unwrap())
+        });
         let no_recog = ExecOptions {
             optimizer: OptimizerConfig {
                 recognize_intents: false,
@@ -63,11 +61,9 @@ fn bench_intent(c: &mut Criterion) {
             },
             ..ExecOptions::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("lowered_join_agg_rel", n),
-            &n,
-            |b, _| b.iter(|| fed.run_with(&lowered, &no_recog).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("lowered_join_agg_rel", n), &n, |b, _| {
+            b.iter(|| fed.run_with(&lowered, &no_recog).unwrap())
+        });
     }
     group.finish();
 }

@@ -19,16 +19,15 @@ fn build(n: usize) -> (Federation, Plan) {
     let mut fed = Federation::new();
     fed.register(Arc::new(rel));
     fed.register(Arc::new(la));
-    let plan = Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(
-        Plan::scan(
+    let plan =
+        Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(Plan::scan(
             "b",
             fed.registry()
                 .provider("la")
                 .unwrap()
                 .schema_of("b")
                 .unwrap(),
-        ),
-    );
+        ));
     (fed, plan)
 }
 

@@ -25,10 +25,7 @@ fn build() -> (Federation, Plan) {
     fed.register(Arc::new(rel2));
     let plan = Plan::scan("sales", fed.registry().schema_of("sales").unwrap())
         .join(
-            Plan::scan(
-                "customers",
-                fed.registry().schema_of("customers").unwrap(),
-            ),
+            Plan::scan("customers", fed.registry().schema_of("customers").unwrap()),
             vec![("customer_id", "customer_id")],
         )
         .select(col("customer_id_r").lt(lit(200i64)))

@@ -1,0 +1,97 @@
+//! Expression-tree shipping vs per-operator round trips over **real
+//! loopback TCP** — the wall-clock companion to the simulated F3
+//! experiment in `bench_shipping`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda_core::infer::infer_schema;
+use bda_core::{col, lit, Plan, Provider};
+use bda_net::{serve, RemoteProvider, Request, ServerHandle};
+use bda_relational::RelationalEngine;
+use bda_workloads::{star_schema, StarSpec};
+
+fn server() -> (ServerHandle, RemoteProvider, bda_storage::Schema) {
+    let rel = RelationalEngine::new("rel");
+    let (sales, ..) = star_schema(StarSpec {
+        sales: 2_000,
+        ..StarSpec::default()
+    });
+    let schema = sales.schema().clone();
+    rel.store("sales", sales).unwrap();
+    let handle = serve(Arc::new(rel), "127.0.0.1:0").unwrap();
+    let remote = RemoteProvider::connect(handle.addr().to_string()).unwrap();
+    (handle, remote, schema)
+}
+
+fn pipeline(schema: &bda_storage::Schema, k: usize) -> Plan {
+    let mut p = Plan::scan("sales", schema.clone());
+    for i in 0..k.saturating_sub(1) {
+        p = p.select(col("amount").gt(lit(-(i as f64))));
+    }
+    p
+}
+
+/// One TCP request per operator: children materialize server-side under
+/// temp names, then one final fetch — the cursor/RPC style.
+fn per_operator(remote: &RemoteProvider, plan: &Plan) -> bda_storage::DataSet {
+    fn rec(remote: &RemoteProvider, plan: &Plan, counter: &mut usize) -> String {
+        if let Plan::Scan { dataset, .. } = plan {
+            return dataset.clone();
+        }
+        let mut children = Vec::new();
+        for c in plan.children() {
+            let name = rec(remote, c, counter);
+            let schema = infer_schema(c).unwrap();
+            children.push(Plan::Scan {
+                dataset: name,
+                schema,
+            });
+        }
+        let single = plan.with_children(children);
+        let name = format!("__bda_tmp_{counter}");
+        *counter += 1;
+        remote
+            .request(&Request::ExecuteStore {
+                name: name.clone(),
+                plan: single,
+            })
+            .unwrap();
+        name
+    }
+    let mut counter = 0;
+    let final_name = rec(remote, plan, &mut counter);
+    let out = remote
+        .execute(&Plan::Scan {
+            dataset: final_name,
+            schema: infer_schema(plan).unwrap(),
+        })
+        .unwrap();
+    for i in 0..counter {
+        remote.remove(&format!("__bda_tmp_{i}"));
+    }
+    out
+}
+
+fn bench_remote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_tcp_shipping");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let (_handle, remote, schema) = server();
+    for k in [2usize, 8, 16] {
+        let plan = pipeline(&schema, k);
+        group.bench_with_input(BenchmarkId::new("ship_tree_tcp", k), &k, |b, _| {
+            b.iter(|| remote.execute(&plan).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("per_operator_tcp", k), &k, |b, _| {
+            b.iter(|| per_operator(&remote, &plan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote);
+criterion_main!(benches);

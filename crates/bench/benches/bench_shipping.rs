@@ -18,7 +18,7 @@ fn cluster() -> (Cluster, bda_storage::Schema) {
     let schema = sales.schema().clone();
     rel.store("sales", sales).unwrap();
     (
-        Cluster::spawn(vec![Arc::new(rel)], NetConfig::default()),
+        Cluster::spawn(vec![Arc::new(rel)], NetConfig::default()).unwrap(),
         schema,
     )
 }

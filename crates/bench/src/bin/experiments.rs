@@ -58,11 +58,7 @@ fn main() {
     }
     if want("f3") {
         let ks: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
-        let lats: &[f64] = if quick {
-            &[1e-3]
-        } else {
-            &[1e-4, 1e-3, 1e-2]
-        };
+        let lats: &[f64] = if quick { &[1e-3] } else { &[1e-4, 1e-3, 1e-2] };
         println!("{}", f3_shipping(ks, lats));
     }
     if want("f4") {

@@ -5,8 +5,8 @@ use std::time::Instant;
 use bda_core::lower::lower_all;
 use bda_core::{col, lit, AggExpr, AggFunc, GraphOp, OpKind, Plan, Provider};
 use bda_federation::{
-    translatability, ExecOptions, Federation, NetConfig, OptimizerConfig, Registry,
-    TransferMode, Translation,
+    translatability, ExecOptions, Federation, NetConfig, OptimizerConfig, Registry, TransferMode,
+    Translation,
 };
 use bda_lang::parse_query;
 use bda_relational::RelationalEngine;
@@ -142,7 +142,13 @@ pub fn t3_portability(spec: FederationSpec) -> Table {
 
     let mut t = Table::new(
         "T3 — portability: identical program, swapped back ends",
-        vec!["stack", "provider", "rows", "wall time", "result equal to A"],
+        vec![
+            "stack",
+            "provider",
+            "rows",
+            "wall time",
+            "result equal to A",
+        ],
     );
     let mut first: Option<bda_storage::DataSet> = None;
     for (label, fed) in [("A", &fed_a), ("B", &fed_b), ("C", &fed_c)] {
@@ -210,15 +216,16 @@ pub fn t4_dimension_awareness(spec: FederationSpec) -> Table {
     let ((b_out, _), b_secs) = time(|| fed.run(&table_form).unwrap());
     // Array output keeps `sensor` dimension-tagged; the table form does
     // not. The *data* must agree; compare after untagging.
-    let a_flat = bda_storage::DataSet::new(
-        a_out.schema().untagged(),
-        a_out.chunks().to_vec(),
-    )
-    .normalized_rows()
-    .unwrap();
+    let a_flat = bda_storage::DataSet::new(a_out.schema().untagged(), a_out.chunks().to_vec())
+        .normalized_rows()
+        .unwrap();
     let b_flat = b_out.normalized_rows().unwrap();
-    let placement_a = bda_federation::Planner::new(reg).place(&array_form).unwrap();
-    let placement_b = bda_federation::Planner::new(reg).place(&table_form).unwrap();
+    let placement_a = bda_federation::Planner::new(reg)
+        .place(&array_form)
+        .unwrap();
+    let placement_b = bda_federation::Planner::new(reg)
+        .place(&table_form)
+        .unwrap();
     let equal = a_flat.same_bag(&b_flat).unwrap();
     t.row(vec![
         "array (dice + dim-reduce)".into(),
@@ -276,8 +283,7 @@ pub fn f1_intent(sizes: &[usize]) -> Table {
         let lowered = lower_all(&intent).unwrap();
 
         // Native: intent plan, standard options.
-        let ((out_native, m_native), s_native) =
-            time(|| fed.run(&intent).expect("native matmul"));
+        let ((out_native, m_native), s_native) = time(|| fed.run(&intent).expect("native matmul"));
         assert_eq!(m_native.fragments, 1);
         // Lowered but recognized: optimizer restores the MatMul node.
         let ((out_rec, _), s_rec) = time(|| fed.run(&lowered).expect("recognized matmul"));
@@ -358,8 +364,10 @@ pub fn f2_interop(sizes: &[usize]) -> Table {
         fed.register(std::sync::Arc::new(rel));
         fed.register(std::sync::Arc::new(la));
         let reg = fed.registry();
-        let plan = Plan::scan("a_rows", reg.schema_of("a_rows").unwrap())
-            .matmul(Plan::scan("b", reg.provider("la").unwrap().schema_of("b").unwrap()));
+        let plan = Plan::scan("a_rows", reg.schema_of("a_rows").unwrap()).matmul(Plan::scan(
+            "b",
+            reg.provider("la").unwrap().schema_of("b").unwrap(),
+        ));
         let (_, m_direct) = fed.run(&plan).unwrap();
         let opts = ExecOptions {
             transfer: TransferMode::AppRouted,
@@ -419,7 +427,8 @@ pub fn f3_shipping(ks: &[usize], latencies_s: &[f64]) -> Table {
                 latency_s: latency,
                 ..NetConfig::default()
             },
-        );
+        )
+        .expect("spawn cluster");
         for &k in ks {
             let mut plan = Plan::scan("sales", schema.clone());
             for i in 0..k.saturating_sub(1) {
@@ -612,10 +621,7 @@ mod tests {
         let fed = standard_federation(FederationSpec::tiny());
         let t1 = t1_coverage(&fed);
         assert_eq!(t1.len(), OpKind::ALL.len());
-        assert!(
-            !t1.to_string().contains("UNTRANSLATABLE"),
-            "{t1}"
-        );
+        assert!(!t1.to_string().contains("UNTRANSLATABLE"), "{t1}");
         let t2 = t2_translatability(&fed);
         assert!(t2.to_string().contains("desideratum met"), "{t2}");
     }

@@ -8,7 +8,9 @@ use bda_federation::{Federation, MaskedProvider, Registry};
 use bda_graph::GraphEngine;
 use bda_linalg::LinAlgEngine;
 use bda_relational::RelationalEngine;
-use bda_workloads::{random_graph, random_matrix, sensor_array, star_schema, GraphSpec, SensorSpec, StarSpec};
+use bda_workloads::{
+    random_graph, random_matrix, sensor_array, star_schema, GraphSpec, SensorSpec, StarSpec,
+};
 
 /// Sizing knobs for the standard federation.
 #[derive(Debug, Clone, Copy)]

@@ -51,13 +51,17 @@ impl AggFunc {
             AggFunc::Count => Ok(DataType::Int64),
             AggFunc::Avg => match arg {
                 Some(t) if t.is_numeric() => Ok(DataType::Float64),
-                other => Err(CoreError::Expr(format!("avg needs numeric arg, got {other:?}"))),
+                other => Err(CoreError::Expr(format!(
+                    "avg needs numeric arg, got {other:?}"
+                ))),
             },
             AggFunc::Sum => match arg {
                 Some(t) if t.is_numeric() => Ok(t),
                 // sum of untyped nulls: pick i64.
                 None => Ok(DataType::Int64),
-                other => Err(CoreError::Expr(format!("sum needs numeric arg, got {other:?}"))),
+                other => Err(CoreError::Expr(format!(
+                    "sum needs numeric arg, got {other:?}"
+                ))),
             },
             AggFunc::Min | AggFunc::Max => {
                 arg.ok_or_else(|| CoreError::Expr(format!("{} needs an argument", self.name())))
@@ -235,9 +239,7 @@ impl Accumulator {
                     Value::Null
                 }
             }
-            Accumulator::Min(m) | Accumulator::Max(m) => {
-                m.clone().unwrap_or(Value::Null)
-            }
+            Accumulator::Min(m) | Accumulator::Max(m) => m.clone().unwrap_or(Value::Null),
             Accumulator::Avg { sum, count } => {
                 if *count == 0 {
                     Value::Null
@@ -264,13 +266,19 @@ mod tests {
     #[test]
     fn count_skips_nulls() {
         let vals = [Value::Int(1), Value::Null, Value::Int(3)];
-        assert_eq!(run(AggFunc::Count, Some(DataType::Int64), &vals), Value::Int(2));
+        assert_eq!(
+            run(AggFunc::Count, Some(DataType::Int64), &vals),
+            Value::Int(2)
+        );
     }
 
     #[test]
     fn sum_int_and_overflow() {
         let vals = [Value::Int(2), Value::Int(3), Value::Null];
-        assert_eq!(run(AggFunc::Sum, Some(DataType::Int64), &vals), Value::Int(5));
+        assert_eq!(
+            run(AggFunc::Sum, Some(DataType::Int64), &vals),
+            Value::Int(5)
+        );
         let vals = [Value::Int(i64::MAX), Value::Int(1)];
         assert_eq!(run(AggFunc::Sum, Some(DataType::Int64), &vals), Value::Null);
     }
@@ -278,22 +286,37 @@ mod tests {
     #[test]
     fn sum_of_empty_is_null() {
         assert_eq!(run(AggFunc::Sum, Some(DataType::Int64), &[]), Value::Null);
-        assert_eq!(run(AggFunc::Sum, Some(DataType::Float64), &[Value::Null]), Value::Null);
+        assert_eq!(
+            run(AggFunc::Sum, Some(DataType::Float64), &[Value::Null]),
+            Value::Null
+        );
     }
 
     #[test]
     fn min_max_total_order() {
         let vals = [Value::Int(3), Value::Null, Value::Int(-1), Value::Int(7)];
-        assert_eq!(run(AggFunc::Min, Some(DataType::Int64), &vals), Value::Int(-1));
-        assert_eq!(run(AggFunc::Max, Some(DataType::Int64), &vals), Value::Int(7));
+        assert_eq!(
+            run(AggFunc::Min, Some(DataType::Int64), &vals),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            run(AggFunc::Max, Some(DataType::Int64), &vals),
+            Value::Int(7)
+        );
         let strs = [Value::from("b"), Value::from("a")];
-        assert_eq!(run(AggFunc::Min, Some(DataType::Utf8), &strs), Value::from("a"));
+        assert_eq!(
+            run(AggFunc::Min, Some(DataType::Utf8), &strs),
+            Value::from("a")
+        );
     }
 
     #[test]
     fn avg_and_empty_avg() {
         let vals = [Value::Float(1.0), Value::Float(2.0), Value::Null];
-        assert_eq!(run(AggFunc::Avg, Some(DataType::Float64), &vals), Value::Float(1.5));
+        assert_eq!(
+            run(AggFunc::Avg, Some(DataType::Float64), &vals),
+            Value::Float(1.5)
+        );
         assert_eq!(run(AggFunc::Avg, Some(DataType::Float64), &[]), Value::Null);
     }
 

@@ -8,9 +8,7 @@
 
 use bytes::{BufMut, BytesMut};
 
-use bda_storage::wire::{
-    decode_schema, decode_value, encode_schema, encode_value, Reader,
-};
+use bda_storage::wire::{decode_schema, decode_value, encode_schema, encode_value, Reader};
 use bda_storage::{Row, StorageError};
 
 use crate::agg::{AggExpr, AggFunc};
@@ -439,11 +437,7 @@ fn encode_plan_node(plan: &Plan, buf: &mut BytesMut) {
             }
             encode_plan_node(input, buf);
         }
-        Plan::Window {
-            input,
-            radii,
-            aggs,
-        } => {
+        Plan::Window { input, radii, aggs } => {
             buf.put_u8(16);
             buf.put_u32_le(radii.len() as u32);
             for (d, rad) in radii {
@@ -705,11 +699,7 @@ fn decode_plan_node(r: &mut Reader<'_>) -> Result<Plan> {
                 aggs.push(decode_agg(r)?);
             }
             let input = Box::new(decode_plan_node(r)?);
-            Plan::Window {
-                input,
-                radii,
-                aggs,
-            }
+            Plan::Window { input, radii, aggs }
         }
         17 => {
             let fill = decode_value(r).map_err(wire_err)?;
@@ -824,7 +814,9 @@ mod tests {
     #[test]
     fn expr_roundtrip() {
         let exprs = [
-            col("a").add(lit(1i64)).mul(col("b").cast(DataType::Float64)),
+            col("a")
+                .add(lit(1i64))
+                .mul(col("b").cast(DataType::Float64)),
             Expr::Coalesce(vec![col("x"), null(), lit("d")]),
             Expr::Case {
                 branches: vec![(col("p").and(col("q").not()), lit(1i64))],
@@ -844,11 +836,7 @@ mod tests {
     fn relational_plan_roundtrip() {
         let p = Plan::scan("t", schema())
             .select(col("v").gt(lit(1.5)))
-            .join_as(
-                Plan::scan("u", schema()),
-                vec![("i", "i")],
-                JoinType::Left,
-            )
+            .join_as(Plan::scan("u", schema()), vec![("i", "i")], JoinType::Left)
             .aggregate(
                 vec!["s"],
                 vec![

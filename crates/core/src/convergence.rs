@@ -14,11 +14,7 @@ use crate::error::CoreError;
 /// * `epsilon = None`: exact fixpoint — the states must be bag-equal.
 /// * `epsilon = Some(e)`: the [`l1_distance`] between the states must be
 ///   defined and `< e`.
-pub fn converged(
-    prev: &DataSet,
-    next: &DataSet,
-    epsilon: Option<f64>,
-) -> Result<bool, CoreError> {
+pub fn converged(prev: &DataSet, next: &DataSet, epsilon: Option<f64>) -> Result<bool, CoreError> {
     if prev.schema() != next.schema() {
         return Err(CoreError::Plan(format!(
             "iteration state schema changed: {} vs {}",

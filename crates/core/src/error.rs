@@ -31,6 +31,9 @@ pub enum CoreError {
     },
     /// Malformed bytes while decoding a shipped plan.
     Corrupt(String),
+    /// A network transport failed (connection, timeout, framing, or a
+    /// remote peer reported an error).
+    Net(String),
 }
 
 impl fmt::Display for CoreError {
@@ -45,9 +48,13 @@ impl fmt::Display for CoreError {
                 write!(f, "provider `{provider}` does not support {op}")
             }
             CoreError::NoConvergence { max_iters } => {
-                write!(f, "iteration did not converge within {max_iters} iterations")
+                write!(
+                    f,
+                    "iteration did not converge within {max_iters} iterations"
+                )
             }
             CoreError::Corrupt(msg) => write!(f, "corrupt plan bytes: {msg}"),
+            CoreError::Net(msg) => write!(f, "network error: {msg}"),
         }
     }
 }

@@ -329,7 +329,9 @@ fn infer_unary(op: UnOp, t: Option<DataType>) -> Result<Option<DataType>> {
     let require_numeric = |t: Option<DataType>| -> Result<()> {
         if let Some(t) = t {
             if !t.is_numeric() {
-                return Err(CoreError::Expr(format!("expected numeric operand, got {t}")));
+                return Err(CoreError::Expr(format!(
+                    "expected numeric operand, got {t}"
+                )));
             }
         }
         Ok(())
@@ -526,7 +528,8 @@ pub fn binary_columns(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     let mut out = Column::new_empty(typed_or_int(out_t));
     for i in 0..l.len() {
         let v = binary_scalar(op, &l.get(i), &r.get(i))?;
-        out.push(&coerce(&v, typed_or_int(out_t))).map_err(expr_err)?;
+        out.push(&coerce(&v, typed_or_int(out_t)))
+            .map_err(expr_err)?;
     }
     Ok(out)
 }
@@ -611,9 +614,20 @@ mod tests {
     #[test]
     fn null_propagation_and_kleene() {
         let s = schema();
-        let r = row(Value::Null, Value::Float(1.0), Value::Null, Value::Bool(true));
-        assert_eq!(eval_row(&col("a").add(lit(1i64)), &s, &r).unwrap(), Value::Null);
-        assert_eq!(eval_row(&col("a").eq(lit(1i64)), &s, &r).unwrap(), Value::Null);
+        let r = row(
+            Value::Null,
+            Value::Float(1.0),
+            Value::Null,
+            Value::Bool(true),
+        );
+        assert_eq!(
+            eval_row(&col("a").add(lit(1i64)), &s, &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_row(&col("a").eq(lit(1i64)), &s, &r).unwrap(),
+            Value::Null
+        );
         // true OR null = true; false AND null = false.
         assert_eq!(
             eval_row(&col("p").or(null()), &s, &r).unwrap(),
@@ -624,7 +638,10 @@ mod tests {
             Value::Bool(false)
         );
         // true AND null = null.
-        assert_eq!(eval_row(&col("p").and(null()), &s, &r).unwrap(), Value::Null);
+        assert_eq!(
+            eval_row(&col("p").and(null()), &s, &r).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -656,17 +673,26 @@ mod tests {
 
     #[test]
     fn unary_functions() {
-        assert_eq!(unary_scalar(UnOp::Abs, &Value::Int(-3)).unwrap(), Value::Int(3));
+        assert_eq!(
+            unary_scalar(UnOp::Abs, &Value::Int(-3)).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(
             unary_scalar(UnOp::Sqrt, &Value::Float(9.0)).unwrap(),
             Value::Float(3.0)
         );
-        assert_eq!(unary_scalar(UnOp::Sqrt, &Value::Float(-1.0)).unwrap(), Value::Null);
+        assert_eq!(
+            unary_scalar(UnOp::Sqrt, &Value::Float(-1.0)).unwrap(),
+            Value::Null
+        );
         assert_eq!(
             unary_scalar(UnOp::Floor, &Value::Float(2.7)).unwrap(),
             Value::Int(2)
         );
-        assert_eq!(unary_scalar(UnOp::Ln, &Value::Float(0.0)).unwrap(), Value::Null);
+        assert_eq!(
+            unary_scalar(UnOp::Ln, &Value::Float(0.0)).unwrap(),
+            Value::Null
+        );
         assert_eq!(
             unary_scalar(UnOp::IsNull, &Value::Null).unwrap(),
             Value::Bool(true)
@@ -722,8 +748,18 @@ mod tests {
         let chunk = rows_chunk_of(
             &s,
             &[
-                vec![Value::Int(1), Value::Float(0.5), Value::from("x"), Value::Bool(true)],
-                vec![Value::Null, Value::Float(2.0), Value::Null, Value::Bool(false)],
+                vec![
+                    Value::Int(1),
+                    Value::Float(0.5),
+                    Value::from("x"),
+                    Value::Bool(true),
+                ],
+                vec![
+                    Value::Null,
+                    Value::Float(2.0),
+                    Value::Null,
+                    Value::Bool(false),
+                ],
                 vec![Value::Int(-3), Value::Null, Value::from("y"), Value::Null],
             ],
         )
@@ -812,7 +848,12 @@ mod tests {
         let s = schema();
         let chunk = rows_chunk_of(
             &s,
-            &[vec![Value::Int(1), Value::Null, Value::from("2.5"), Value::Bool(true)]],
+            &[vec![
+                Value::Int(1),
+                Value::Null,
+                Value::from("2.5"),
+                Value::Bool(true),
+            ]],
         )
         .unwrap();
         let parsed = eval_chunk(&col("s").cast(DataType::Float64), &s, &chunk).unwrap();

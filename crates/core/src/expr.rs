@@ -265,9 +265,7 @@ impl Expr {
                     .iter()
                     .map(|(w, t)| (w.rename_columns(f), t.rename_columns(f)))
                     .collect(),
-                otherwise: otherwise
-                    .as_ref()
-                    .map(|e| Box::new(e.rename_columns(f))),
+                otherwise: otherwise.as_ref().map(|e| Box::new(e.rename_columns(f))),
             },
         }
     }
@@ -440,7 +438,9 @@ mod tests {
 
     #[test]
     fn conjunct_splitting() {
-        let e = col("a").gt(lit(1i64)).and(col("b").lt(lit(2i64)).and(col("c").eq(lit(3i64))));
+        let e = col("a")
+            .gt(lit(1i64))
+            .and(col("b").lt(lit(2i64)).and(col("c").eq(lit(3i64))));
         let cs = e.conjuncts();
         assert_eq!(cs.len(), 3);
         // OR does not split.
@@ -469,7 +469,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(lit("hi").to_string(), "'hi'");
-        assert_eq!(col("v").cast(DataType::Float64).to_string(), "cast(v as f64)");
+        assert_eq!(
+            col("v").cast(DataType::Float64).to_string(),
+            "cast(v as f64)"
+        );
         assert_eq!(col("v").is_null().to_string(), "isnull(v)");
     }
 

@@ -96,8 +96,7 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
             if lo >= hi {
                 return Err(CoreError::Plan(format!("empty range [{lo}, {hi})")));
             }
-            Schema::new(vec![Field::dimension_bounded(name.clone(), *lo, *hi)])
-                .map_err(Into::into)
+            Schema::new(vec![Field::dimension_bounded(name.clone(), *lo, *hi)]).map_err(Into::into)
         }
         Plan::Select { input, predicate } => {
             let schema = infer_schema(input)?;
@@ -152,8 +151,8 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
                 let rf = rs
                     .field(rc)
                     .map_err(|_| CoreError::Plan(format!("join: unknown right column `{rc}`")))?;
-                let compatible = lf.dtype == rf.dtype
-                    || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
+                let compatible =
+                    lf.dtype == rf.dtype || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
                 if !compatible {
                     return Err(CoreError::Plan(format!(
                         "join key type mismatch: {lc}: {} vs {rc}: {}",
@@ -276,11 +275,7 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
         }
         Plan::Permute { input, order } => {
             let schema = infer_schema(input)?;
-            let dims: Vec<String> = schema
-                .dimensions()
-                .iter()
-                .map(|f| f.name.clone())
-                .collect();
+            let dims: Vec<String> = schema.dimensions().iter().map(|f| f.name.clone()).collect();
             let mut sorted_order = order.clone();
             sorted_order.sort();
             let mut sorted_dims = dims.clone();
@@ -301,19 +296,13 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
             }
             Schema::new(fields).map_err(Into::into)
         }
-        Plan::Window {
-            input,
-            radii,
-            aggs,
-        } => {
+        Plan::Window { input, radii, aggs } => {
             let schema = infer_schema(input)?;
-            let dims: Vec<String> = schema
-                .dimensions()
-                .iter()
-                .map(|f| f.name.clone())
-                .collect();
+            let dims: Vec<String> = schema.dimensions().iter().map(|f| f.name.clone()).collect();
             if dims.is_empty() {
-                return Err(CoreError::Plan("window over a dataset with no dimensions".into()));
+                return Err(CoreError::Plan(
+                    "window over a dataset with no dimensions".into(),
+                ));
             }
             let mut listed: Vec<&String> = radii.iter().map(|(d, _)| d).collect();
             listed.sort();
@@ -327,7 +316,9 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
             }
             for (d, r) in radii {
                 if *r < 0 {
-                    return Err(CoreError::Plan(format!("window radius on `{d}` is negative")));
+                    return Err(CoreError::Plan(format!(
+                        "window radius on `{d}` is negative"
+                    )));
                 }
             }
             let mut fields: Vec<Field> = schema
@@ -369,10 +360,8 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
                     )));
                 }
             }
-            let spec: Vec<(&str, Option<(i64, i64)>)> = dims
-                .iter()
-                .map(|(d, e)| (d.as_str(), *e))
-                .collect();
+            let spec: Vec<(&str, Option<(i64, i64)>)> =
+                dims.iter().map(|(d, e)| (d.as_str(), *e)).collect();
             // Existing dimensions keep their tags.
             let mut fields = Vec::with_capacity(schema.len());
             for f in schema.fields() {
@@ -431,10 +420,7 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
             let l_dims: Vec<&Field> = ls.dimensions();
             let r_dims: Vec<&Field> = rs.dimensions();
             if l_dims.len() != r_dims.len()
-                || l_dims
-                    .iter()
-                    .zip(&r_dims)
-                    .any(|(a, b)| a.name != b.name)
+                || l_dims.iter().zip(&r_dims).any(|(a, b)| a.name != b.name)
             {
                 return Err(CoreError::Plan(format!(
                     "elemwise dimension mismatch: {:?} vs {:?}",
@@ -454,9 +440,9 @@ pub fn infer_schema(plan: &Plan) -> Result<Schema> {
         Plan::Graph(g) => {
             let es = infer_schema(g.edges())?;
             for c in ["src", "dst"] {
-                let f = es.field(c).map_err(|_| {
-                    CoreError::Plan(format!("graph op input needs column `{c}`"))
-                })?;
+                let f = es
+                    .field(c)
+                    .map_err(|_| CoreError::Plan(format!("graph op input needs column `{c}`")))?;
                 if f.dtype != DataType::Int64 {
                     return Err(CoreError::Plan(format!(
                         "graph op column `{c}` must be i64, got {}",
@@ -642,10 +628,7 @@ mod tests {
     fn join_schemas() {
         let j = rel().join(rel(), vec![("k", "k")]);
         let s = infer_schema(&j).unwrap();
-        assert_eq!(
-            s.names(),
-            vec!["k", "v", "tag", "k_r", "v_r", "tag_r"]
-        );
+        assert_eq!(s.names(), vec!["k", "v", "tag", "k_r", "v_r", "tag_r"]);
         let semi = rel().join_as(rel(), vec![("k", "k")], JoinType::Semi);
         assert_eq!(infer_schema(&semi).unwrap().names(), vec!["k", "v", "tag"]);
     }
@@ -730,8 +713,7 @@ mod tests {
 
     #[test]
     fn matmul_schema_and_shape_checks() {
-        let p = matrix("a", 2, 3)
-            .matmul(matrix("b", 3, 4).rename(vec![("i", "j0"), ("j", "jj")]));
+        let p = matrix("a", 2, 3).matmul(matrix("b", 3, 4).rename(vec![("i", "j0"), ("j", "jj")]));
         let s = infer_schema(&p).unwrap();
         assert_eq!(s.ndims(), 2);
         assert_eq!(s.field("i").unwrap().extent(), Some((0, 2)));
@@ -741,7 +723,9 @@ mod tests {
         assert!(infer_schema(&bad).is_err());
         // Name collision on output dims gets suffixed.
         let square = matrix("a", 3, 3);
-        let collide = square.clone().matmul(square.rename(vec![("i", "j"), ("j", "i")]));
+        let collide = square
+            .clone()
+            .matmul(square.rename(vec![("i", "j"), ("j", "i")]));
         let s = infer_schema(&collide).unwrap();
         assert_eq!(s.names(), vec!["i", "i_r", "v"]);
     }

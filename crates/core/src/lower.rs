@@ -34,11 +34,7 @@ pub fn lower_node(plan: &Plan) -> Result<Option<Plan>> {
     match plan {
         Plan::MatMul { left, right } => Ok(Some(lower_matmul(left, right)?)),
         Plan::ElemWise { op, left, right } => Ok(Some(lower_elemwise(*op, left, right)?)),
-        Plan::Window {
-            input,
-            radii,
-            aggs,
-        } => Ok(Some(lower_window(input, radii, aggs)?)),
+        Plan::Window { input, radii, aggs } => Ok(Some(lower_window(input, radii, aggs)?)),
         Plan::Fill { input, fill } => Ok(Some(lower_fill(input, fill)?)),
         Plan::SliceAt { input, dim, index } => Ok(Some(lower_slice(input, dim, *index)?)),
         Plan::Permute { input, order } => Ok(Some(lower_permute(input, order)?)),
@@ -294,10 +290,7 @@ fn lower_window(input: &Plan, radii: &[(String, i64)], aggs: &[AggExpr]) -> Resu
             input: input.clone().boxed(),
         }
         .boxed(),
-        exprs: dims
-            .iter()
-            .map(|(d, _)| (d.clone(), col(d)))
-            .collect(),
+        exprs: dims.iter().map(|(d, _)| (d.clone(), col(d))).collect(),
     };
     let on: Vec<(String, String)> = group
         .iter()
@@ -506,18 +499,14 @@ fn lower_bfs(edges: &Plan, source: i64) -> Plan {
         schema: bfs_schema(),
     };
     // One-hop expansion: neighbours of reached vertices at level+1.
-    let expanded = e
-        .join(state.clone(), vec![("src", "vertex")])
-        .project(vec![
-            ("vertex", col("dst")),
-            ("level", col("level").add(lit(1i64))),
-        ]);
-    let body = state
-        .union(expanded)
-        .aggregate(
-            vec!["vertex"],
-            vec![AggExpr::new(AggFunc::Min, col("level"), "level")],
-        );
+    let expanded = e.join(state.clone(), vec![("src", "vertex")]).project(vec![
+        ("vertex", col("dst")),
+        ("level", col("level").add(lit(1i64))),
+    ]);
+    let body = state.union(expanded).aggregate(
+        vec!["vertex"],
+        vec![AggExpr::new(AggFunc::Min, col("level"), "level")],
+    );
     Plan::Iterate {
         init: init.boxed(),
         body: body.boxed(),
@@ -567,12 +556,10 @@ fn lower_components(edges: &Plan, max_iters: usize) -> Plan {
         schema: schema.clone(),
     };
     // Minimum neighbour label per vertex.
-    let neighbour_min = und
-        .join(state.clone(), vec![("__s", "vertex")])
-        .aggregate(
-            vec!["__d"],
-            vec![AggExpr::new(AggFunc::Min, col("component"), "__nm")],
-        );
+    let neighbour_min = und.join(state.clone(), vec![("__s", "vertex")]).aggregate(
+        vec!["__d"],
+        vec![AggExpr::new(AggFunc::Min, col("component"), "__nm")],
+    );
     let body = state
         .join_as(neighbour_min, vec![("vertex", "__d")], JoinType::Left)
         .project(vec![
@@ -581,7 +568,10 @@ fn lower_components(edges: &Plan, max_iters: usize) -> Plan {
                 "component",
                 Expr::Case {
                     branches: vec![(
-                        col("__nm").is_null().not().and(col("__nm").lt(col("component"))),
+                        col("__nm")
+                            .is_null()
+                            .not()
+                            .and(col("__nm").lt(col("component"))),
                         col("__nm"),
                     )],
                     otherwise: Some(col("component").boxed_expr()),
@@ -616,10 +606,9 @@ fn lower_pagerank(edges: &Plan, damping: f64, max_iters: usize, epsilon: f64) ->
                 lit(1.0).div(col("__n").cast(bda_storage::DataType::Float64)),
             ),
         ]);
-    let init = verts_with_invn.clone().project(vec![
-        ("vertex", col("vertex")),
-        ("rank", col("__invn")),
-    ]);
+    let init = verts_with_invn
+        .clone()
+        .project(vec![("vertex", col("vertex")), ("rank", col("__invn"))]);
     // Edges with the source's out-degree.
     let outdeg = e
         .clone()
@@ -676,8 +665,8 @@ impl BoxedExpr for Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::OpKind;
     use crate::infer::edge_schema;
+    use crate::plan::OpKind;
     use crate::reference::{evaluate, DataSource};
     use bda_storage::dataset::matrix_dataset;
     use bda_storage::{DataSet, DataType, Field, Row, Schema};

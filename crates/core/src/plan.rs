@@ -582,9 +582,7 @@ impl Plan {
                 input: next(),
                 exprs: exprs.clone(),
             },
-            Plan::Aggregate {
-                group_by, aggs, ..
-            } => Plan::Aggregate {
+            Plan::Aggregate { group_by, aggs, .. } => Plan::Aggregate {
                 input: next(),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
@@ -667,12 +665,10 @@ impl Plan {
                     max_iters: *max_iters,
                     epsilon: *epsilon,
                 },
-                GraphOp::ConnectedComponents { max_iters, .. } => {
-                    GraphOp::ConnectedComponents {
-                        edges: next(),
-                        max_iters: *max_iters,
-                    }
-                }
+                GraphOp::ConnectedComponents { max_iters, .. } => GraphOp::ConnectedComponents {
+                    edges: next(),
+                    max_iters: *max_iters,
+                },
                 GraphOp::TriangleCount { .. } => GraphOp::TriangleCount { edges: next() },
                 GraphOp::Degrees { .. } => GraphOp::Degrees { edges: next() },
                 GraphOp::BfsLevels { source, .. } => GraphOp::BfsLevels {
@@ -704,7 +700,11 @@ impl Plan {
 
     /// Count of nodes in the tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// All operator kinds appearing in the tree.
@@ -767,10 +767,7 @@ impl Plan {
     pub fn project(self, exprs: Vec<(&str, Expr)>) -> Plan {
         Plan::Project {
             input: self.boxed(),
-            exprs: exprs
-                .into_iter()
-                .map(|(n, e)| (n.to_string(), e))
-                .collect(),
+            exprs: exprs.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
         }
     }
 
@@ -821,7 +818,9 @@ impl Plan {
 
     /// Deduplicate.
     pub fn distinct(self) -> Plan {
-        Plan::Distinct { input: self.boxed() }
+        Plan::Distinct {
+            input: self.boxed(),
+        }
     }
 
     /// Bag union.
@@ -885,22 +884,23 @@ impl Plan {
                 format!("project {}", items.join(", "))
             }
             Plan::Join { on, join_type, .. } => {
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 if conds.is_empty() {
                     format!("{} cross join", join_type.name())
                 } else {
                     format!("{} join on {}", join_type.name(), conds.join(" and "))
                 }
             }
-            Plan::Aggregate {
-                group_by, aggs, ..
-            } => {
+            Plan::Aggregate { group_by, aggs, .. } => {
                 let aggs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
                 if group_by.is_empty() {
                     format!("aggregate {}", aggs.join(", "))
                 } else {
-                    format!("aggregate by {} -> {}", group_by.join(", "), aggs.join(", "))
+                    format!(
+                        "aggregate by {} -> {}",
+                        group_by.join(", "),
+                        aggs.join(", ")
+                    )
                 }
             }
             Plan::Union { .. } => "union".to_string(),
@@ -917,10 +917,7 @@ impl Plan {
                 None => format!("skip {skip}"),
             },
             Plan::Rename { mapping, .. } => {
-                let ms: Vec<String> = mapping
-                    .iter()
-                    .map(|(a, b)| format!("{a} -> {b}"))
-                    .collect();
+                let ms: Vec<String> = mapping.iter().map(|(a, b)| format!("{a} -> {b}")).collect();
                 format!("rename {}", ms.join(", "))
             }
             Plan::Dice { ranges, .. } => {
@@ -933,10 +930,7 @@ impl Plan {
             Plan::SliceAt { dim, index, .. } => format!("slice {dim} = {index}"),
             Plan::Permute { order, .. } => format!("permute [{}]", order.join(", ")),
             Plan::Window { radii, aggs, .. } => {
-                let rs: Vec<String> = radii
-                    .iter()
-                    .map(|(d, r)| format!("{d}±{r}"))
-                    .collect();
+                let rs: Vec<String> = radii.iter().map(|(d, r)| format!("{d}±{r}")).collect();
                 let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
                 format!("window {} -> {}", rs.join(", "), as_.join(", "))
             }
@@ -1010,7 +1004,10 @@ mod tests {
     fn sample() -> Plan {
         Plan::scan("t", s())
             .select(col("k").gt(lit(1i64)))
-            .aggregate(vec!["k"], vec![AggExpr::new(AggFunc::Sum, col("v"), "total")])
+            .aggregate(
+                vec!["k"],
+                vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            )
             .sort_by(vec!["k"])
             .limit(10)
     }
@@ -1046,7 +1043,10 @@ mod tests {
 
     #[test]
     fn scanned_datasets_deduped() {
-        let p = Plan::scan("a", s()).join(Plan::scan("a", s()).union(Plan::scan("b", s())), vec![("k", "k")]);
+        let p = Plan::scan("a", s()).join(
+            Plan::scan("a", s()).union(Plan::scan("b", s())),
+            vec![("k", "k")],
+        );
         assert_eq!(p.scanned_datasets(), vec!["a".to_string(), "b".to_string()]);
     }
 

@@ -39,7 +39,11 @@ impl CapabilitySet {
     /// Every base (non-intent) operator — the common relational/array core.
     pub fn all_base() -> CapabilitySet {
         CapabilitySet {
-            ops: OpKind::ALL.iter().copied().filter(|k| k.is_base()).collect(),
+            ops: OpKind::ALL
+                .iter()
+                .copied()
+                .filter(|k| k.is_base())
+                .collect(),
         }
     }
 
@@ -146,6 +150,31 @@ pub trait Provider: Send + Sync {
     fn row_count_of(&self, name: &str) -> Option<usize> {
         let _ = name;
         None
+    }
+
+    /// Network address (`host:port`) at which this provider's server can
+    /// be reached by *other providers*, or `None` for in-process
+    /// providers. A `Some` endpoint enables direct server-to-server
+    /// intermediate transfer (desideratum 4) over a real transport.
+    fn endpoint(&self) -> Option<String> {
+        None
+    }
+
+    /// Execute `plan` and push the result directly to the peer provider
+    /// listening at `peer_addr`, storing it there under `dest_name` —
+    /// without the bytes ever touching the application tier. Returns
+    /// `None` when this provider has no transport (in-process providers);
+    /// `Some(Ok(bytes))` with the pushed payload size on success.
+    fn execute_push(&self, plan: &Plan, peer_addr: &str, dest_name: &str) -> Option<Result<u64>> {
+        let _ = (plan, peer_addr, dest_name);
+        None
+    }
+
+    /// Cumulative real transport traffic `(sent, received)` in bytes for
+    /// requests issued through this provider. Zero for in-process
+    /// providers; remote providers count actual framed wire bytes.
+    fn wire_bytes(&self) -> (u64, u64) {
+        (0, 0)
     }
 }
 

@@ -177,7 +177,11 @@ fn flat_side(plan: &Plan) -> Option<FlatSide<'_>> {
     if schema.ndims() != 2 || schema.values().len() != 1 {
         return None;
     }
-    let dim_names: Vec<&str> = schema.dimensions().iter().map(|f| f.name.as_str()).collect();
+    let dim_names: Vec<&str> = schema
+        .dimensions()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     let val_name = schema.values()[0].name.clone();
     if exprs.len() != 3 {
         return None;
@@ -238,7 +242,12 @@ pub fn recognize_elemwise(plan: &Plan) -> Option<Plan> {
     }
     // Last projected expr must be a binary op over the two value columns.
     let (_, op_expr) = exprs.last()?;
-    let Expr::Binary { op, left: el, right: er } = op_expr else {
+    let Expr::Binary {
+        op,
+        left: el,
+        right: er,
+    } = op_expr
+    else {
         return None;
     };
     if !op.is_arithmetic() && !op.is_comparison() {
@@ -282,9 +291,9 @@ fn elem_side<'a, 'b>(
     }
     let val_name = &schema.values()[0].name;
     // The value output must map to the single value attribute.
-    let value_maps = exprs.iter().any(|(n, e)| {
-        n == value_out && matches!(e, Expr::Column(c) if c == val_name)
-    });
+    let value_maps = exprs
+        .iter()
+        .any(|(n, e)| n == value_out && matches!(e, Expr::Column(c) if c == val_name));
     if !value_maps {
         return None;
     }
@@ -361,7 +370,11 @@ mod tests {
             .select(col("v").gt(crate::expr::lit(0.0)))
             .aggregate(
                 vec!["i"],
-                vec![crate::agg::AggExpr::new(crate::agg::AggFunc::Sum, col("v"), "s")],
+                vec![crate::agg::AggExpr::new(
+                    crate::agg::AggFunc::Sum,
+                    col("v"),
+                    "s",
+                )],
             );
         assert_eq!(recognize_all(&p), p);
     }

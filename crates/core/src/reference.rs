@@ -61,7 +61,9 @@ fn eval_plan(plan: &Plan, src: &dyn DataSource, state: Option<&DataSet>) -> Resu
             }
             Ok(ds)
         }
-        Plan::Values { schema, rows } => DataSet::from_rows(schema.clone(), rows).map_err(Into::into),
+        Plan::Values { schema, rows } => {
+            DataSet::from_rows(schema.clone(), rows).map_err(Into::into)
+        }
         Plan::Range { lo, hi, .. } => {
             let rows: Vec<Row> = (*lo..*hi).map(|i| Row(vec![Value::Int(i)])).collect();
             DataSet::from_rows(out_schema, &rows).map_err(Into::into)
@@ -210,11 +212,7 @@ fn eval_plan(plan: &Plan, src: &dyn DataSource, state: Option<&DataSet>) -> Resu
             let rows: Vec<Row> = in_ds.rows()?.iter().map(|r| r.project(&order)).collect();
             DataSet::from_rows(out_schema, &rows).map_err(Into::into)
         }
-        Plan::Window {
-            input,
-            radii,
-            aggs,
-        } => {
+        Plan::Window { input, radii, aggs } => {
             let in_ds = eval_plan(input, src, state)?;
             window_rows(&in_ds, radii, aggs, out_schema)
         }
@@ -626,7 +624,13 @@ fn matmul_rows(l: &DataSet, r: &DataSet, out_schema: Schema) -> Result<DataSet> 
     keys.sort_unstable();
     let rows: Vec<Row> = keys
         .into_iter()
-        .map(|(i, j)| Row(vec![Value::Int(i), Value::Int(j), Value::Float(acc[&(i, j)])]))
+        .map(|(i, j)| {
+            Row(vec![
+                Value::Int(i),
+                Value::Int(j),
+                Value::Float(acc[&(i, j)]),
+            ])
+        })
         .collect();
     DataSet::from_rows(out_schema, &rows).map_err(Into::into)
 }
@@ -779,11 +783,7 @@ pub fn pagerank_semantics(
             let si = vidx[&s];
             next[vidx[&d]] += damping * rank[si] / outdeg[si] as f64;
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         rank = next;
         if delta < epsilon {
             break;
@@ -908,7 +908,10 @@ mod tests {
     fn select_project_pipeline() {
         let plan = scan_sales()
             .select(col("amount").gt(lit(15i64)))
-            .project(vec![("r", col("region")), ("double", col("amount").mul(lit(2i64)))]);
+            .project(vec![
+                ("r", col("region")),
+                ("double", col("amount").mul(lit(2i64))),
+            ]);
         let out = evaluate(&plan, &src_with("sales", sales())).unwrap();
         assert_eq!(out.num_rows(), 4);
         let rows = out.sorted_rows().unwrap();
@@ -927,8 +930,14 @@ mod tests {
         let out = evaluate(&plan, &src_with("sales", sales())).unwrap();
         let rows = out.sorted_rows().unwrap();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], Row(vec![Value::from("e"), Value::Int(60), Value::Int(2)]));
-        assert_eq!(rows[1], Row(vec![Value::from("w"), Value::Int(90), Value::Int(3)]));
+        assert_eq!(
+            rows[0],
+            Row(vec![Value::from("e"), Value::Int(60), Value::Int(2)])
+        );
+        assert_eq!(
+            rows[1],
+            Row(vec![Value::from("w"), Value::Int(90), Value::Int(3)])
+        );
     }
 
     #[test]
@@ -956,7 +965,9 @@ mod tests {
         let inner = scan_l.clone().join(scan_r.clone(), vec![("k", "k")]);
         assert_eq!(evaluate(&inner, &src).unwrap().num_rows(), 3);
 
-        let left_j = scan_l.clone().join_as(scan_r.clone(), vec![("k", "k")], JoinType::Left);
+        let left_j = scan_l
+            .clone()
+            .join_as(scan_r.clone(), vec![("k", "k")], JoinType::Left);
         let out = evaluate(&left_j, &src).unwrap();
         assert_eq!(out.num_rows(), 4);
         assert!(out
@@ -965,7 +976,9 @@ mod tests {
             .iter()
             .any(|r| r.get(0) == &Value::Int(1) && r.get(1).is_null()));
 
-        let semi = scan_l.clone().join_as(scan_r.clone(), vec![("k", "k")], JoinType::Semi);
+        let semi = scan_l
+            .clone()
+            .join_as(scan_r.clone(), vec![("k", "k")], JoinType::Semi);
         assert_eq!(evaluate(&semi, &src).unwrap().num_rows(), 2);
 
         let anti = scan_l.join_as(scan_r, vec![("k", "k")], JoinType::Anti);
@@ -1000,7 +1013,9 @@ mod tests {
 
     #[test]
     fn union_and_rename() {
-        let plan = scan_sales().union(scan_sales()).rename(vec![("amount", "amt")]);
+        let plan = scan_sales()
+            .union(scan_sales())
+            .rename(vec![("amount", "amt")]);
         let out = evaluate(&plan, &src_with("sales", sales())).unwrap();
         assert_eq!(out.num_rows(), 10);
         assert!(out.schema().field("amt").is_ok());
@@ -1020,7 +1035,8 @@ mod tests {
 
     fn matrix_src() -> (HashMap<String, DataSet>, Plan, Plan) {
         let a = bda_storage::dataset::matrix_dataset(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
-        let b = bda_storage::dataset::matrix_dataset(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let b =
+            bda_storage::dataset::matrix_dataset(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
         // Rename b's dims to avoid join ambiguity at the schema level:
         // matmul itself keys on dimension order, not names.
         let mut src = HashMap::new();
@@ -1112,11 +1128,8 @@ mod tests {
             Field::value("v", DataType::Int64),
         ])
         .unwrap();
-        let ds = DataSet::from_rows(
-            schema.clone(),
-            &[Row(vec![Value::Int(1), Value::Int(9)])],
-        )
-        .unwrap();
+        let ds =
+            DataSet::from_rows(schema.clone(), &[Row(vec![Value::Int(1), Value::Int(9)])]).unwrap();
         let p = Plan::Fill {
             input: Plan::scan("x", schema).boxed(),
             fill: Value::Int(0),

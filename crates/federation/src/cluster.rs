@@ -83,9 +83,14 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Spawn one thread per provider.
-    pub fn spawn(providers: Vec<Arc<dyn Provider>>, net: NetConfig) -> Cluster {
-        let mut nodes = HashMap::new();
+    /// Spawn one thread per provider. Fails with [`CoreError::Net`] when
+    /// the OS refuses a node thread (already-spawned nodes are shut down
+    /// cleanly by `Cluster`'s `Drop`).
+    pub fn spawn(providers: Vec<Arc<dyn Provider>>, net: NetConfig) -> Result<Cluster> {
+        let mut cluster = Cluster {
+            nodes: HashMap::new(),
+            net,
+        };
         for provider in providers {
             let (tx, rx) = unbounded::<Request>();
             let name = provider.name().to_string();
@@ -132,8 +137,8 @@ impl Cluster {
                         }
                     }
                 })
-                .expect("spawn node thread");
-            nodes.insert(
+                .map_err(|e| CoreError::Net(format!("spawn node thread for `{name}`: {e}")))?;
+            cluster.nodes.insert(
                 name,
                 Node {
                     tx,
@@ -141,7 +146,7 @@ impl Cluster {
                 },
             );
         }
-        Cluster { nodes, net }
+        Ok(cluster)
     }
 
     fn node(&self, site: &str) -> Result<&Node> {
@@ -178,8 +183,7 @@ impl Cluster {
     pub fn per_operator(&self, site: &str, plan: &Plan) -> Result<(DataSet, WireStats)> {
         let mut stats = WireStats::default();
         let mut counter = 0usize;
-        let result =
-            self.per_operator_rec(site, plan, &mut stats, &mut counter)?;
+        let result = self.per_operator_rec(site, plan, &mut stats, &mut counter)?;
         // Fetch the final temp with one more call.
         let schema = infer_schema(plan)?;
         let final_plan = Plan::Scan {
@@ -203,9 +207,10 @@ impl Cluster {
         let ds = decode_dataset(&result_bytes)?;
         // Clean up temps.
         for i in 0..counter {
-            let _ = self.node(site)?.tx.send(Request::Remove {
-                name: temp_name(i),
-            });
+            let _ = self
+                .node(site)?
+                .tx
+                .send(Request::Remove { name: temp_name(i) });
         }
         Ok((ds, stats))
     }
@@ -316,7 +321,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        Cluster::spawn(vec![Arc::new(rel)], NetConfig::default())
+        Cluster::spawn(vec![Arc::new(rel)], NetConfig::default()).unwrap()
     }
 
     fn pipeline(k: usize, schema: bda_storage::Schema) -> Plan {
@@ -336,10 +341,8 @@ mod tests {
             bda_storage::Field::value("v", bda_storage::DataType::Float64),
         ])
         .unwrap();
-        let plan = pipeline(6, schema).aggregate(
-            vec![],
-            vec![AggExpr::new(AggFunc::Sum, col("v"), "s")],
-        );
+        let plan =
+            pipeline(6, schema).aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("v"), "s")]);
         let (out, stats) = c.ship_tree("rel", &plan).unwrap();
         assert_eq!(stats.round_trips, 1);
         assert_eq!(out.num_rows(), 1);
@@ -395,7 +398,9 @@ mod tests {
             bda_storage::DataType::Int64,
         )])
         .unwrap();
-        let err = c.ship_tree("rel", &Plan::scan("missing", schema)).unwrap_err();
+        let err = c
+            .ship_tree("rel", &Plan::scan("missing", schema))
+            .unwrap_err();
         assert!(err.to_string().contains("missing"), "{err}");
     }
 }

@@ -24,6 +24,12 @@ pub enum TransferMode {
     /// Server → application tier → server, two hops (the baseline the
     /// paper argues against).
     AppRouted,
+    /// Server → server over a real TCP transport: the executing provider
+    /// pushes its result straight to the consuming provider's endpoint
+    /// (`Provider::execute_push`), so the intermediate bytes never reach
+    /// the application tier even physically. Falls back to [`Direct`]
+    /// hop-by-hop when a provider has no network endpoint.
+    RemoteTcp,
 }
 
 /// Execution options.
@@ -71,6 +77,40 @@ pub fn execute_placement(
         let last = placement.fragments.len() - 1;
         for (pos, frag) in placement.fragments.iter().enumerate() {
             metrics.fragments += 1;
+            if frag.site != APP_SITE && pos != last && opts.transfer == TransferMode::RemoteTcp {
+                // Try a real direct push: the executing server sends its
+                // result straight to the consuming server's endpoint.
+                let provider = registry.provider(&frag.site)?;
+                let dest = registry.provider(&frag.dest_site)?;
+                if let Some(dest_ep) = dest.endpoint() {
+                    let name = format!("{FRAG_PREFIX}{}", frag.id);
+                    let plan_bytes = encode_plan(&frag.plan);
+                    metrics.record_plan_shipment(&opts.net, plan_bytes.len());
+                    let before = wire_total(provider.as_ref());
+                    if let Some(pushed) = provider.execute_push(&frag.plan, &dest_ep, &name) {
+                        let pushed = pushed?;
+                        // Client-side traffic (request + ack) plus the
+                        // server-to-server payload are all real bytes.
+                        metrics.real_wire_bytes +=
+                            pushed + (wire_total(provider.as_ref()) - before);
+                        metrics.record_transfer(
+                            &opts.net,
+                            &frag.site,
+                            &frag.dest_site,
+                            pushed as usize,
+                            false,
+                        );
+                        staged.push((frag.dest_site.clone(), name));
+                        continue;
+                    }
+                    // Provider has no transport: un-count the shipment we
+                    // charged optimistically and fall through below.
+                    metrics.messages -= 1;
+                    metrics.plan_bytes -= plan_bytes.len();
+                    metrics.sim_network_s -= opts.net.message_time(plan_bytes.len());
+                }
+            }
+
             let out = if frag.site == APP_SITE {
                 // App-driven control iteration (see planner docs).
                 run_app_iterate(registry, &frag.plan, opts, &mut metrics)?
@@ -79,7 +119,10 @@ pub fn execute_placement(
                 // The plan ships to the provider as one expression tree.
                 let plan_bytes = encode_plan(&frag.plan);
                 metrics.record_plan_shipment(&opts.net, plan_bytes.len());
-                provider.execute(&frag.plan)?
+                let before = wire_total(provider.as_ref());
+                let out = provider.execute(&frag.plan)?;
+                metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
+                out
             };
 
             if pos == last {
@@ -94,7 +137,9 @@ pub fn execute_placement(
             let bytes = encode_dataset(&out).len();
             let via_app = opts.transfer == TransferMode::AppRouted;
             metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, via_app);
+            let before = wire_total(dest.as_ref());
             dest.store(&name, out)?;
+            metrics.real_wire_bytes += wire_total(dest.as_ref()) - before;
             staged.push((frag.dest_site.clone(), name));
         }
         unreachable!("placement always has a root fragment")
@@ -107,6 +152,12 @@ pub fn execute_placement(
         }
     }
     outcome.map(|ds| (ds, metrics))
+}
+
+/// Total real transport traffic of a provider (sent + received).
+fn wire_total(p: &dyn bda_core::Provider) -> u64 {
+    let (sent, received) = p.wire_bytes();
+    sent + received
 }
 
 /// Client/app-driven iteration: the fallback when no provider can host an
@@ -229,8 +280,10 @@ mod tests {
     #[test]
     fn cross_engine_matmul_direct_vs_routed() {
         let r = registry();
-        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap())
-            .matmul(Plan::scan("b", r.provider("la").unwrap().schema_of("b").unwrap()));
+        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap()).matmul(Plan::scan(
+            "b",
+            r.provider("la").unwrap().schema_of("b").unwrap(),
+        ));
         let direct = run_plan(&r, &plan, &ExecOptions::default()).unwrap();
         let routed = run_plan(
             &r,
@@ -264,8 +317,10 @@ mod tests {
     #[test]
     fn federated_result_matches_reference() {
         let r = registry();
-        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap())
-            .matmul(Plan::scan("b", r.provider("la").unwrap().schema_of("b").unwrap()));
+        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap()).matmul(Plan::scan(
+            "b",
+            r.provider("la").unwrap().schema_of("b").unwrap(),
+        ));
         let (out, _) = run_plan(&r, &plan, &ExecOptions::default()).unwrap();
         // Oracle over a merged source.
         let mut src = HashMap::new();
@@ -279,10 +334,7 @@ mod tests {
         );
         let oracle = evaluate(&plan, &src).unwrap();
         // linalg result is dense; compare after normalizing layout.
-        assert_eq!(
-            out.sorted_rows().unwrap(),
-            oracle.sorted_rows().unwrap()
-        );
+        assert_eq!(out.sorted_rows().unwrap(), oracle.sorted_rows().unwrap());
     }
 
     #[test]

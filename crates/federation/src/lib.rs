@@ -152,12 +152,15 @@ mod tests {
         let mut fed = Federation::new();
         fed.register(Arc::new(rel));
         fed.register(Arc::new(la));
-        let plan = Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(
-            Plan::scan(
+        let plan =
+            Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(Plan::scan(
                 "b",
-                fed.registry().provider("la").unwrap().schema_of("b").unwrap(),
-            ),
-        );
+                fed.registry()
+                    .provider("la")
+                    .unwrap()
+                    .schema_of("b")
+                    .unwrap(),
+            ));
         let s = fed.explain(&plan).unwrap();
         assert!(s.contains("optimized plan"), "{s}");
         assert!(s.contains("@ rel -> la"), "{s}");

@@ -62,6 +62,11 @@ pub struct Metrics {
     /// Number of iterations driven by the client/app tier (0 when
     /// iteration ran server-side).
     pub client_driven_iterations: usize,
+    /// Actual bytes observed on real transport connections (framed TCP
+    /// traffic of remote providers, including direct server-to-server
+    /// pushes). Zero when every provider is in-process; the simulated
+    /// model above is charged either way.
+    pub real_wire_bytes: u64,
 }
 
 impl Metrics {
@@ -115,6 +120,7 @@ impl Metrics {
         self.sim_network_s += other.sim_network_s;
         self.fragments += other.fragments;
         self.client_driven_iterations += other.client_driven_iterations;
+        self.real_wire_bytes += other.real_wire_bytes;
     }
 }
 
@@ -131,7 +137,8 @@ impl fmt::Display for Metrics {
             self.data_bytes(),
             self.app_tier_bytes()
         )?;
-        write!(f, "simulated network time: {:.6}s", self.sim_network_s)
+        writeln!(f, "simulated network time: {:.6}s", self.sim_network_s)?;
+        write!(f, "real wire bytes: {}", self.real_wire_bytes)
     }
 }
 

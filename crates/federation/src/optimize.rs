@@ -189,11 +189,12 @@ fn pushdown_step(node: Plan) -> Plan {
             predicate: p.and(predicate),
         },
         // select(project(x, es), p) => project(select(x, p[es]), es)
-        Plan::Project { input: inner, exprs } => {
-            let map: HashMap<String, Expr> = exprs
-                .iter()
-                .map(|(n, e)| (n.clone(), e.clone()))
-                .collect();
+        Plan::Project {
+            input: inner,
+            exprs,
+        } => {
+            let map: HashMap<String, Expr> =
+                exprs.iter().map(|(n, e)| (n.clone(), e.clone())).collect();
             let pushed = subst(&predicate, &map);
             Plan::Project {
                 input: Plan::Select {
@@ -205,7 +206,10 @@ fn pushdown_step(node: Plan) -> Plan {
             }
         }
         // select(rename(x, m), p) => rename(select(x, p[m⁻¹]), m)
-        Plan::Rename { input: inner, mapping } => {
+        Plan::Rename {
+            input: inner,
+            mapping,
+        } => {
             let map: HashMap<String, Expr> = mapping
                 .iter()
                 .map(|(old, new)| (new.clone(), Expr::Column(old.clone())))
@@ -399,9 +403,10 @@ fn prune_project_step(node: Plan) -> Plan {
     if exprs.len() != in_schema.len() {
         return node;
     }
-    let identity = exprs.iter().zip(in_schema.fields()).all(|((n, e), f)| {
-        n == &f.name && matches!(e, Expr::Column(c) if c == &f.name)
-    });
+    let identity = exprs
+        .iter()
+        .zip(in_schema.fields())
+        .all(|((n, e), f)| n == &f.name && matches!(e, Expr::Column(c) if c == &f.name));
     if identity {
         (**input).clone()
     } else {
@@ -527,13 +532,11 @@ mod tests {
 
     #[test]
     fn identity_project_pruned() {
-        let p = Plan::scan("t", t_schema())
-            .project(vec![("k", col("k")), ("v", col("v"))]);
+        let p = Plan::scan("t", t_schema()).project(vec![("k", col("k")), ("v", col("v"))]);
         let o = optimize(&p, OptimizerConfig::default());
         assert_eq!(o, Plan::scan("t", t_schema()));
         // A reordering projection is NOT an identity.
-        let p = Plan::scan("t", t_schema())
-            .project(vec![("v", col("v")), ("k", col("k"))]);
+        let p = Plan::scan("t", t_schema()).project(vec![("v", col("v")), ("k", col("k"))]);
         let o = optimize(&p, OptimizerConfig::default());
         assert_eq!(o.op_kind(), OpKind::Project);
     }
@@ -541,8 +544,7 @@ mod tests {
     #[test]
     fn recognition_restores_matmul() {
         let m = bda_storage::dataset::matrix_dataset(2, 2, vec![1., 2., 3., 4.]).unwrap();
-        let plan = Plan::scan("m", m.schema().clone())
-            .matmul(Plan::scan("m", m.schema().clone()));
+        let plan = Plan::scan("m", m.schema().clone()).matmul(Plan::scan("m", m.schema().clone()));
         let lowered = bda_core::lower::lower_all(&plan).unwrap();
         let o = optimize(&lowered, OptimizerConfig::default());
         assert!(o.op_kinds().contains(&OpKind::MatMul), "{o}");
@@ -566,8 +568,8 @@ mod tests {
 
     #[test]
     fn pushdown_through_retagging_and_dice() {
-        let m = bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect())
-            .unwrap();
+        let m =
+            bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect()).unwrap();
         let mut src = StdHashMap::new();
         src.insert("m".to_string(), m.clone());
         let p = Plan::Dice {
@@ -617,7 +619,9 @@ mod tests {
         let o = optimize(&p, OptimizerConfig::default());
         // Predicate references left columns only: pushed into the left.
         match &o {
-            Plan::Join { left, join_type, .. } => {
+            Plan::Join {
+                left, join_type, ..
+            } => {
                 assert_eq!(*join_type, JoinType::Semi);
                 assert!(matches!(left.as_ref(), Plan::Select { .. }), "{o}");
             }
@@ -642,11 +646,8 @@ mod tests {
                 .select(col("k").gt(lit(1i64).add(lit(1i64)))),
             t().join_as(t(), vec![("k", "k")], JoinType::Semi)
                 .select(col("v").gt(lit(-10.0))),
-            t().aggregate(
-                vec!["k"],
-                vec![AggExpr::new(AggFunc::Avg, col("v"), "m")],
-            )
-            .select(col("m").is_null().not()),
+            t().aggregate(vec!["k"], vec![AggExpr::new(AggFunc::Avg, col("v"), "m")])
+                .select(col("m").is_null().not()),
         ];
         for p in &plans {
             assert_equivalent(p);

@@ -98,8 +98,7 @@ impl<'a> Planner<'a> {
         let prepared = self.pre_lower(plan)?;
         let mut fragments = Vec::new();
         let mut counter = 0usize;
-        let (root_plan, root_site) =
-            self.assign(&prepared, None, &mut fragments, &mut counter)?;
+        let (root_plan, root_site) = self.assign(&prepared, None, &mut fragments, &mut counter)?;
         let schema = infer_schema(&root_plan)?;
         let inputs = staged_inputs(&root_plan);
         fragments.push(Fragment {
@@ -114,7 +113,12 @@ impl<'a> Planner<'a> {
         // fragment that consumes it.
         let consumers: Vec<(usize, String)> = fragments
             .iter()
-            .flat_map(|f| f.inputs.iter().map(|&i| (i, f.site.clone())).collect::<Vec<_>>())
+            .flat_map(|f| {
+                f.inputs
+                    .iter()
+                    .map(|&i| (i, f.site.clone()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         for (input_id, consumer_site) in consumers {
             if let Some(f) = fragments.iter_mut().find(|f| f.id == input_id) {
@@ -134,10 +138,12 @@ impl<'a> Planner<'a> {
         let rebuilt = plan.with_children(children);
         let kind = rebuilt.op_kind();
         if kind.is_intent() && self.registry.supporters_of(kind).is_empty() {
-            let lowered = lower_node(&rebuilt)?.ok_or_else(|| CoreError::Lower(format!(
-                "intent op {} has no provider and no lowering",
-                kind.name()
-            )))?;
+            let lowered = lower_node(&rebuilt)?.ok_or_else(|| {
+                CoreError::Lower(format!(
+                    "intent op {} has no provider and no lowering",
+                    kind.name()
+                ))
+            })?;
             // The lowering may itself contain intent ops (it does not
             // today, but be safe) — recurse.
             return self.pre_lower(&lowered);
@@ -229,8 +235,7 @@ impl<'a> Planner<'a> {
         let site = self.pick(&supporters, preferred, plan);
         let mut new_children = Vec::new();
         for child in plan.children() {
-            let (child_plan, child_site) =
-                self.assign(child, Some(&site), fragments, counter)?;
+            let (child_plan, child_site) = self.assign(child, Some(&site), fragments, counter)?;
             if child_site == site {
                 new_children.push(child_plan);
             } else {
@@ -270,8 +275,8 @@ fn staged_inputs(plan: &Plan) -> Vec<usize> {
 mod tests {
     use super::*;
     use bda_core::{col, lit, Provider};
-    use bda_relational::RelationalEngine;
     use bda_linalg::LinAlgEngine;
+    use bda_relational::RelationalEngine;
     use bda_storage::dataset::matrix_dataset;
     use bda_storage::{Column, DataSet};
     use std::sync::Arc;
@@ -304,8 +309,7 @@ mod tests {
     #[test]
     fn single_site_plan_is_one_fragment() {
         let r = registry();
-        let plan = Plan::scan("sales", r.schema_of("sales").unwrap())
-            .select(col("v").gt(lit(1.0)));
+        let plan = Plan::scan("sales", r.schema_of("sales").unwrap()).select(col("v").gt(lit(1.0)));
         let placement = Planner::new(&r).place(&plan).unwrap();
         assert_eq!(placement.fragments.len(), 1);
         assert_eq!(placement.root().site, "rel");
@@ -317,8 +321,10 @@ mod tests {
         let r = registry();
         // Left matrix lives (as rows) on the relational engine; right on
         // the linalg engine; matmul is only native on linalg.
-        let plan = Plan::scan("m_rows", r.schema_of("m_rows").unwrap())
-            .matmul(Plan::scan("m", r.provider("la").unwrap().schema_of("m").unwrap()));
+        let plan = Plan::scan("m_rows", r.schema_of("m_rows").unwrap()).matmul(Plan::scan(
+            "m",
+            r.provider("la").unwrap().schema_of("m").unwrap(),
+        ));
         let placement = Planner::new(&r).place(&plan).unwrap();
         assert_eq!(placement.fragments.len(), 2, "{placement:?}");
         let shipped = &placement.fragments[0];
@@ -345,9 +351,11 @@ mod tests {
         let schema = r.provider("la").unwrap().schema_of("m").unwrap();
         let plan = Plan::Iterate {
             init: Plan::scan("m", schema.clone()).boxed(),
-            body: Plan::IterState { schema: schema.clone() }
-                .matmul(Plan::scan("m", schema))
-                .boxed(),
+            body: Plan::IterState {
+                schema: schema.clone(),
+            }
+            .matmul(Plan::scan("m", schema))
+            .boxed(),
             max_iters: 3,
             epsilon: None,
         };
@@ -367,16 +375,10 @@ mod tests {
         .unwrap();
         r.register(Arc::new(rel));
         let schema = r.schema_of("m_rows").unwrap();
-        let plan = Plan::scan("m_rows", schema.clone())
-            .matmul(Plan::scan("m_rows", schema));
+        let plan = Plan::scan("m_rows", schema.clone()).matmul(Plan::scan("m_rows", schema));
         let placement = Planner::new(&r).place(&plan).unwrap();
         assert_eq!(placement.fragments.len(), 1);
-        assert!(placement
-            .root()
-            .plan
-            .op_kinds()
-            .iter()
-            .all(|k| k.is_base()));
+        assert!(placement.root().plan.op_kinds().iter().all(|k| k.is_base()));
     }
 
     #[test]

@@ -342,10 +342,7 @@ mod tests {
         }
         // Every intent op must have a lowering (translatability!).
         for op in OpKind::ALL.iter().filter(|k| k.is_intent()) {
-            assert!(
-                lowering_target_ops(*op).is_some(),
-                "{op:?} has no lowering"
-            );
+            assert!(lowering_target_ops(*op).is_some(), "{op:?} has no lowering");
         }
     }
 }

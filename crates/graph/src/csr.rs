@@ -133,11 +133,7 @@ impl CsrGraph {
                     next[v as usize] += share;
                 }
             }
-            let delta: f64 = rank
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             rank = next;
             if delta < epsilon {
                 break;
@@ -223,11 +219,7 @@ impl CsrGraph {
             }
             frontier = next;
         }
-        self.verts
-            .iter()
-            .zip(level)
-            .map(|(&v, l)| (v, l))
-            .collect()
+        self.verts.iter().zip(level).map(|(&v, l)| (v, l)).collect()
     }
 }
 

@@ -132,9 +132,7 @@ impl GraphEngine {
                 let rows: Vec<Row> = graph
                     .bfs_levels(*source)
                     .into_iter()
-                    .filter_map(|(v, l)| {
-                        l.map(|l| Row(vec![Value::Int(v), Value::Int(l as i64)]))
-                    })
+                    .filter_map(|(v, l)| l.map(|l| Row(vec![Value::Int(v), Value::Int(l as i64)])))
                     .collect();
                 DataSet::from_rows(bfs_schema(), &rows).map_err(Into::into)
             }
@@ -196,18 +194,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn edges() -> DataSet {
-        let rows: Vec<Row> = [
-            (0, 1),
-            (1, 2),
-            (2, 0),
-            (2, 3),
-            (3, 2),
-            (4, 0),
-            (0, 4),
-        ]
-        .iter()
-        .map(|&(s, d)| Row(vec![Value::Int(s), Value::Int(d)]))
-        .collect();
+        let rows: Vec<Row> = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 2), (4, 0), (0, 4)]
+            .iter()
+            .map(|&(s, d)| Row(vec![Value::Int(s), Value::Int(d)]))
+            .collect();
         DataSet::from_rows(edge_schema(), &rows).unwrap()
     }
 
@@ -285,8 +275,8 @@ mod tests {
     #[test]
     fn rejects_relational_plans() {
         let e = engine();
-        let plan = Plan::scan("edges", edge_schema())
-            .select(bda_core::col("src").gt(bda_core::lit(0i64)));
+        let plan =
+            Plan::scan("edges", edge_schema()).select(bda_core::col("src").gt(bda_core::lit(0i64)));
         assert!(matches!(
             e.execute(&plan),
             Err(CoreError::Unsupported { .. })

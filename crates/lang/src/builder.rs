@@ -193,10 +193,7 @@ impl Query {
         Query {
             plan: Plan::Window {
                 input: self.plan.boxed(),
-                radii: radii
-                    .into_iter()
-                    .map(|(d, r)| (d.to_string(), r))
-                    .collect(),
+                radii: radii.into_iter().map(|(d, r)| (d.to_string(), r)).collect(),
                 aggs,
             },
         }
@@ -217,10 +214,7 @@ impl Query {
         Query {
             plan: Plan::TagDims {
                 input: self.plan.boxed(),
-                dims: dims
-                    .into_iter()
-                    .map(|(d, e)| (d.to_string(), e))
-                    .collect(),
+                dims: dims.into_iter().map(|(d, e)| (d.to_string(), e)).collect(),
             },
         }
     }
@@ -381,8 +375,8 @@ mod tests {
 
     #[test]
     fn array_methods_typecheck() {
-        let m = bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect())
-            .unwrap();
+        let m =
+            bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect()).unwrap();
         let q = Query::scan("m", m.schema().clone())
             .dice(vec![("row", 0, 3)])
             .window(

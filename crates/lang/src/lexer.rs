@@ -114,52 +114,88 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '|' => {
-                out.push(Token { tok: Tok::Pipe, pos: i });
+                out.push(Token {
+                    tok: Tok::Pipe,
+                    pos: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, pos: i });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, pos: i });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, pos: i });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    pos: i,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { tok: Tok::Colon, pos: i });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    pos: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { tok: Tok::Star, pos: i });
+                out.push(Token {
+                    tok: Tok::Star,
+                    pos: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { tok: Tok::Plus, pos: i });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    pos: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { tok: Tok::Minus, pos: i });
+                out.push(Token {
+                    tok: Tok::Minus,
+                    pos: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { tok: Tok::Slash, pos: i });
+                out.push(Token {
+                    tok: Tok::Slash,
+                    pos: i,
+                });
                 i += 1;
             }
             '%' => {
-                out.push(Token { tok: Tok::Percent, pos: i });
+                out.push(Token {
+                    tok: Tok::Percent,
+                    pos: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { tok: Tok::Eq, pos: i });
+                out.push(Token {
+                    tok: Tok::Eq,
+                    pos: i,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Ne, pos: i });
+                    out.push(Token {
+                        tok: Tok::Ne,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -170,19 +206,31 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Le, pos: i });
+                    out.push(Token {
+                        tok: Tok::Le,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Lt, pos: i });
+                    out.push(Token {
+                        tok: Tok::Lt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Ge, pos: i });
+                    out.push(Token {
+                        tok: Tok::Ge,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Gt, pos: i });
+                    out.push(Token {
+                        tok: Tok::Gt,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
@@ -225,7 +273,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)
                 {
                     is_float = true;
                     i += 1;
@@ -314,10 +367,7 @@ mod tests {
 
     #[test]
     fn strings_and_escapes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![Tok::Str("it's".into()), Tok::Eof]
-        );
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
         assert!(tokenize("'oops").is_err());
     }
 

@@ -871,10 +871,7 @@ mod tests {
     fn schemas() -> Map<String, Schema> {
         let mut m = Map::new();
         m.insert("sales".to_string(), sales().schema().clone());
-        m.insert(
-            "customers".to_string(),
-            customers().schema().clone(),
-        );
+        m.insert("customers".to_string(), customers().schema().clone());
         m.insert("edges".to_string(), bda_core::infer::edge_schema());
         m.insert(
             "m".to_string(),
@@ -986,11 +983,7 @@ mod tests {
     #[test]
     fn type_errors_surface() {
         // region is utf8; arithmetic on it must fail at bind time.
-        let err = parse_query(
-            "scan customers | where region + 1 > 2",
-            &schemas(),
-        )
-        .unwrap_err();
+        let err = parse_query("scan customers | where region + 1 > 2", &schemas()).unwrap_err();
         assert!(err.message.contains("numeric"), "{err}");
     }
 
@@ -1028,13 +1021,11 @@ mod tests {
 
     #[test]
     fn case_when_expression() {
-        let out = run(
-            "scan sales \
+        let out = run("scan sales \
              | select customer_id, \
                       case when amount >= 30.0 then 'big' \
                            when amount >= 20.0 then 'mid' \
-                           else 'small' end as bucket",
-        );
+                           else 'small' end as bucket");
         let buckets: Vec<Value> = out
             .sorted_rows()
             .unwrap()
@@ -1055,9 +1046,8 @@ mod tests {
 
     #[test]
     fn schema_source_closure() {
-        let lookup = |name: &str| -> Option<Schema> {
-            (name == "sales").then(|| sales().schema().clone())
-        };
+        let lookup =
+            |name: &str| -> Option<Schema> { (name == "sales").then(|| sales().schema().clone()) };
         assert!(parse_query("scan sales", &lookup).is_ok());
         assert!(parse_query("scan other", &lookup).is_err());
     }

@@ -63,10 +63,7 @@ pub fn to_matrix(ds: &DataSet) -> Result<(Matrix, [i64; 2])> {
             *slot = raw[idx];
         }
     }
-    Ok((
-        Matrix::from_vec(rows, cols, data),
-        [b.lo[0], b.lo[1]],
-    ))
+    Ok((Matrix::from_vec(rows, cols, data), [b.lo[0], b.lo[1]]))
 }
 
 /// Wrap a [`Matrix`] into a dataset under the given (2-D, bounded) schema.
@@ -276,15 +273,9 @@ mod tests {
 
     #[test]
     fn schema_checks() {
-        assert!(check_matrix_schema(
-            matrix_dataset(1, 1, vec![0.0]).unwrap().schema()
-        )
-        .is_ok());
-        let rel = DataSet::from_columns(vec![(
-            "x",
-            bda_storage::Column::from(vec![1.0f64]),
-        )])
-        .unwrap();
+        assert!(check_matrix_schema(matrix_dataset(1, 1, vec![0.0]).unwrap().schema()).is_ok());
+        let rel =
+            DataSet::from_columns(vec![("x", bda_storage::Column::from(vec![1.0f64]))]).unwrap();
         assert!(check_matrix_schema(rel.schema()).is_err());
     }
 }

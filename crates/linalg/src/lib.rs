@@ -121,8 +121,8 @@ mod tests {
         let e = engine();
         let a = e.schema_of("a").unwrap();
         let b = e.schema_of("b").unwrap();
-        let plan = Plan::scan("a", a)
-            .matmul(Plan::scan("b", b).rename(vec![("row", "k"), ("col", "j")]));
+        let plan =
+            Plan::scan("a", a).matmul(Plan::scan("b", b).rename(vec![("row", "k"), ("col", "j")]));
         // Rename is not in the capability set...
         assert!(e.execute(&plan).is_err());
         // ...but matmul over plain scans works (dimension names differ per

@@ -288,7 +288,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive() {
         // Sizes chosen to cover partial blocks.
-        for (n, m, p) in [(1, 1, 1), (3, 4, 5), (64, 64, 64), (65, 70, 33), (128, 17, 129)] {
+        for (n, m, p) in [
+            (1, 1, 1),
+            (3, 4, 5),
+            (64, 64, 64),
+            (65, 70, 33),
+            (128, 17, 129),
+        ] {
             let a = Matrix::from_vec(
                 n,
                 m,
@@ -297,7 +303,9 @@ mod tests {
             let b = Matrix::from_vec(
                 m,
                 p,
-                (0..m * p).map(|i| ((i * 104729) % 17) as f64 / 3.0).collect(),
+                (0..m * p)
+                    .map(|i| ((i * 104729) % 17) as f64 / 3.0)
+                    .collect(),
             );
             let fast = a.matmul(&b);
             let slow = a.matmul_naive(&b);

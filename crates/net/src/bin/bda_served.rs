@@ -1,0 +1,138 @@
+//! `bda-served`: serve one BDA engine over TCP.
+//!
+//! ```text
+//! bda-served --engine relational --name rel --listen 127.0.0.1:7401
+//! ```
+//!
+//! Engines: `relational`, `array`, `linalg`, `graph`, `reference`.
+//! Data arrives over the wire: the application (or a peer server
+//! executing a push) issues `Store` requests, exactly like any other
+//! provider interaction. `--demo` preloads a small sales table and a
+//! 2x3 matrix so the README quick-start has something to query.
+
+use std::sync::Arc;
+
+use bda_array::ArrayEngine;
+use bda_core::{Provider, ReferenceProvider};
+use bda_graph::GraphEngine;
+use bda_linalg::LinAlgEngine;
+use bda_relational::RelationalEngine;
+use bda_storage::dataset::matrix_dataset;
+use bda_storage::{Column, DataSet};
+
+struct Args {
+    engine: String,
+    name: String,
+    listen: String,
+    demo: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut engine = String::from("reference");
+    let mut name = None;
+    let mut listen = String::from("127.0.0.1:7401");
+    let mut demo = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value after {what}"))
+        };
+        match arg.as_str() {
+            "--engine" => engine = value("--engine")?,
+            "--name" => name = Some(value("--name")?),
+            "--listen" => listen = value("--listen")?,
+            "--demo" => demo = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bda-served [--engine relational|array|linalg|graph|reference]\n\
+                     \x20                 [--name NAME] [--listen HOST:PORT] [--demo]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let name = name.unwrap_or_else(|| engine.clone());
+    Ok(Args {
+        engine,
+        name,
+        listen,
+        demo,
+    })
+}
+
+fn build_engine(kind: &str, name: &str) -> Result<Arc<dyn Provider>, String> {
+    Ok(match kind {
+        "relational" => Arc::new(RelationalEngine::new(name)),
+        "array" => Arc::new(ArrayEngine::new(name)),
+        "linalg" => Arc::new(LinAlgEngine::new(name)),
+        "graph" => Arc::new(GraphEngine::new(name)),
+        "reference" => Arc::new(ReferenceProvider::new(name)),
+        other => return Err(format!("unknown engine `{other}`")),
+    })
+}
+
+/// Preload demo datasets. Engines are picky about shapes (the linalg
+/// engine only stores 2-D arrays), so each dataset is offered
+/// best-effort and skipped where the engine declines it.
+fn demo_data(engine: &dyn Provider) -> Result<(), bda_core::CoreError> {
+    let table = DataSet::from_columns(vec![
+        ("k", Column::from(vec![1i64, 2, 3, 4])),
+        ("v", Column::from(vec![10.0f64, 20.0, 30.0, 40.0])),
+    ])?;
+    let matrix = matrix_dataset(2, 3, vec![1., 2., 3., 4., 5., 6.])?;
+    let mut stored = 0;
+    for (name, ds) in [("sales", table), ("m", matrix)] {
+        match engine.store(name, ds) {
+            Ok(()) => stored += 1,
+            Err(e) => eprintln!("bda-served: demo dataset `{name}` skipped: {e}"),
+        }
+    }
+    if stored == 0 {
+        return Err(bda_core::CoreError::Plan(
+            "no demo dataset fits this engine".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bda-served: {e}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match build_engine(&args.engine, &args.name) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bda-served: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.demo {
+        if let Err(e) = demo_data(engine.as_ref()) {
+            eprintln!("bda-served: demo data: {e}");
+            std::process::exit(1);
+        }
+    }
+    let server = match bda_net::serve(Arc::clone(&engine), &args.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bda-served: bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "bda-served: `{}` ({}) listening on {}",
+        args.name,
+        args.engine,
+        server.addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

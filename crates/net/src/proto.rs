@@ -1,0 +1,418 @@
+//! The request/response protocol carried inside frames.
+//!
+//! Payloads reuse the existing wire codecs end to end: plans travel as
+//! `bda_core::codec` expression trees (`BDAP` magic) and datasets as
+//! `bda_storage::wire` blocks (`BDA1` magic), each embedded with a `u32`
+//! length prefix. Strings are `u32` length + UTF-8, matching
+//! [`bda_storage::wire::Reader::string`]. Decoding is fully checked and
+//! returns [`CoreError`] on malformed input — these bytes arrive off a
+//! socket.
+
+use bytes::{BufMut, BytesMut};
+
+use bda_core::codec::{decode_plan, encode_plan};
+use bda_core::{CapabilitySet, CoreError, OpKind, Plan};
+use bda_storage::wire::{decode_dataset, encode_dataset, Reader};
+use bda_storage::{DataSet, Schema};
+
+use crate::Result;
+
+/// One entry of a remote catalog listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Dataset name.
+    pub name: String,
+    /// Dataset schema.
+    pub schema: Schema,
+    /// Row count, when the engine tracks statistics.
+    pub rows: Option<u64>,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Identify the server: reply with name and capabilities.
+    Hello,
+    /// Execute a shipped plan tree; reply with the result dataset.
+    Execute {
+        /// The plan, whose scans resolve in the server's catalog.
+        plan: Plan,
+    },
+    /// Execute a plan and keep the result server-side under `name`.
+    ExecuteStore {
+        /// Name to store the result under.
+        name: String,
+        /// The plan to execute.
+        plan: Plan,
+    },
+    /// Execute a plan and push the result to a *peer* server, storing it
+    /// there under `dest_name` — the direct server-to-server transfer of
+    /// desideratum 4. The reply reports the pushed payload size.
+    ExecutePush {
+        /// `host:port` of the peer server to push to.
+        dest_addr: String,
+        /// Name the peer stores the result under.
+        dest_name: String,
+        /// The plan to execute.
+        plan: Plan,
+    },
+    /// Ingest a dataset.
+    Store {
+        /// Name to store under.
+        name: String,
+        /// The dataset.
+        data: DataSet,
+    },
+    /// Drop a dataset if present.
+    Remove {
+        /// Name to drop.
+        name: String,
+    },
+    /// List the server's datasets with schemas and row counts.
+    Catalog,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Server identity: name plus natively supported operators.
+    Hello {
+        /// Provider name.
+        name: String,
+        /// Operator capability set.
+        capabilities: CapabilitySet,
+    },
+    /// A result dataset.
+    DataSet(DataSet),
+    /// Success without a payload.
+    Ack,
+    /// A push completed; `bytes` is the framed payload size that went to
+    /// the peer.
+    Pushed {
+        /// Wire bytes sent server-to-server.
+        bytes: u64,
+    },
+    /// Catalog listing.
+    Catalog(Vec<CatalogEntry>),
+    /// The request failed server-side; the display string of the error.
+    Error(String),
+}
+
+// Message kinds (the frame `kind` byte). Requests are < 0x80.
+const K_HELLO: u8 = 0x01;
+const K_EXECUTE: u8 = 0x02;
+const K_EXECUTE_STORE: u8 = 0x03;
+const K_EXECUTE_PUSH: u8 = 0x04;
+const K_STORE: u8 = 0x05;
+const K_REMOVE: u8 = 0x06;
+const K_CATALOG: u8 = 0x07;
+const K_R_HELLO: u8 = 0x81;
+const K_R_DATASET: u8 = 0x82;
+const K_R_ACK: u8 = 0x83;
+const K_R_PUSHED: u8 = 0x84;
+const K_R_CATALOG: u8 = 0x85;
+const K_R_ERROR: u8 = 0xFF;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_block(buf: &mut BytesMut, block: &[u8]) {
+    buf.put_u32_le(block.len() as u32);
+    buf.put_slice(block);
+}
+
+fn read_block<'a>(r: &mut Reader<'a>, what: &str) -> Result<&'a [u8]> {
+    let n = r.u32(what)?;
+    let n = r.checked_len(n, what)?;
+    Ok(r.bytes(n, what)?)
+}
+
+fn read_plan(r: &mut Reader<'_>, what: &str) -> Result<Plan> {
+    decode_plan(read_block(r, what)?)
+}
+
+fn read_dataset(r: &mut Reader<'_>, what: &str) -> Result<DataSet> {
+    Ok(decode_dataset(read_block(r, what)?)?)
+}
+
+fn corrupt(msg: impl Into<String>) -> CoreError {
+    CoreError::Corrupt(msg.into())
+}
+
+/// Reject trailing garbage so framing bugs surface as errors.
+fn finish(r: &Reader<'_>, what: &str) -> Result<()> {
+    if r.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} trailing bytes after {what} payload",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Encode a request as `(frame kind, payload)`.
+pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
+    let mut buf = BytesMut::new();
+    let kind = match req {
+        Request::Hello => K_HELLO,
+        Request::Execute { plan } => {
+            put_block(&mut buf, &encode_plan(plan));
+            K_EXECUTE
+        }
+        Request::ExecuteStore { name, plan } => {
+            put_string(&mut buf, name);
+            put_block(&mut buf, &encode_plan(plan));
+            K_EXECUTE_STORE
+        }
+        Request::ExecutePush {
+            dest_addr,
+            dest_name,
+            plan,
+        } => {
+            put_string(&mut buf, dest_addr);
+            put_string(&mut buf, dest_name);
+            put_block(&mut buf, &encode_plan(plan));
+            K_EXECUTE_PUSH
+        }
+        Request::Store { name, data } => {
+            put_string(&mut buf, name);
+            put_block(&mut buf, &encode_dataset(data));
+            K_STORE
+        }
+        Request::Remove { name } => {
+            put_string(&mut buf, name);
+            K_REMOVE
+        }
+        Request::Catalog => K_CATALOG,
+    };
+    (kind, buf.to_vec())
+}
+
+/// Decode a request from a frame kind and payload.
+pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
+    let mut r = Reader::new(payload);
+    let req = match kind {
+        K_HELLO => Request::Hello,
+        K_EXECUTE => Request::Execute {
+            plan: read_plan(&mut r, "execute plan")?,
+        },
+        K_EXECUTE_STORE => Request::ExecuteStore {
+            name: r.string("execute-store name")?,
+            plan: read_plan(&mut r, "execute-store plan")?,
+        },
+        K_EXECUTE_PUSH => Request::ExecutePush {
+            dest_addr: r.string("push dest addr")?,
+            dest_name: r.string("push dest name")?,
+            plan: read_plan(&mut r, "push plan")?,
+        },
+        K_STORE => Request::Store {
+            name: r.string("store name")?,
+            data: read_dataset(&mut r, "store dataset")?,
+        },
+        K_REMOVE => Request::Remove {
+            name: r.string("remove name")?,
+        },
+        K_CATALOG => Request::Catalog,
+        other => return Err(corrupt(format!("unknown request kind {other:#04x}"))),
+    };
+    finish(&r, "request")?;
+    Ok(req)
+}
+
+/// Encode a response as `(frame kind, payload)`.
+pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
+    let mut buf = BytesMut::new();
+    let kind = match resp {
+        Response::Hello { name, capabilities } => {
+            put_string(&mut buf, name);
+            let ops: Vec<OpKind> = capabilities.iter().collect();
+            buf.put_u32_le(ops.len() as u32);
+            for op in ops {
+                put_string(&mut buf, op.name());
+            }
+            K_R_HELLO
+        }
+        Response::DataSet(ds) => {
+            put_block(&mut buf, &encode_dataset(ds));
+            K_R_DATASET
+        }
+        Response::Ack => K_R_ACK,
+        Response::Pushed { bytes } => {
+            buf.put_u64_le(*bytes);
+            K_R_PUSHED
+        }
+        Response::Catalog(entries) => {
+            buf.put_u32_le(entries.len() as u32);
+            for e in entries {
+                put_string(&mut buf, &e.name);
+                let mut sbuf = BytesMut::new();
+                bda_storage::wire::encode_schema(&e.schema, &mut sbuf);
+                put_block(&mut buf, &sbuf);
+                match e.rows {
+                    Some(n) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(n);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            K_R_CATALOG
+        }
+        Response::Error(msg) => {
+            put_string(&mut buf, msg);
+            K_R_ERROR
+        }
+    };
+    (kind, buf.to_vec())
+}
+
+/// Decode a response from a frame kind and payload.
+pub fn decode_response(kind: u8, payload: &[u8]) -> Result<Response> {
+    let mut r = Reader::new(payload);
+    let resp = match kind {
+        K_R_HELLO => {
+            let name = r.string("hello name")?;
+            let n = r.u32("hello op count")?;
+            let n = r.checked_len(n, "hello op count")?;
+            let mut ops = Vec::with_capacity(n);
+            for _ in 0..n {
+                let op_name = r.string("hello op")?;
+                let op = OpKind::ALL
+                    .iter()
+                    .copied()
+                    .find(|k| k.name() == op_name)
+                    .ok_or_else(|| corrupt(format!("unknown operator `{op_name}`")))?;
+                ops.push(op);
+            }
+            Response::Hello {
+                name,
+                capabilities: CapabilitySet::from_ops(&ops),
+            }
+        }
+        K_R_DATASET => Response::DataSet(read_dataset(&mut r, "result dataset")?),
+        K_R_ACK => Response::Ack,
+        K_R_PUSHED => Response::Pushed {
+            bytes: r.u64("pushed bytes")?,
+        },
+        K_R_CATALOG => {
+            let n = r.u32("catalog count")?;
+            let n = r.checked_len(n, "catalog count")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.string("catalog name")?;
+                let sblock = read_block(&mut r, "catalog schema")?;
+                let mut sr = Reader::new(sblock);
+                let schema = bda_storage::wire::decode_schema(&mut sr)?;
+                let rows = match r.u8("catalog rows flag")? {
+                    0 => None,
+                    1 => Some(r.u64("catalog rows")?),
+                    other => return Err(corrupt(format!("bad rows flag {other}"))),
+                };
+                entries.push(CatalogEntry { name, schema, rows });
+            }
+            Response::Catalog(entries)
+        }
+        K_R_ERROR => Response::Error(r.string("error message")?),
+        other => return Err(corrupt(format!("unknown response kind {other:#04x}"))),
+    };
+    finish(&r, "response")?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_storage::Column;
+
+    fn sample_dataset() -> DataSet {
+        DataSet::from_columns(vec![
+            ("k", Column::from(vec![1i64, 2, 3])),
+            ("v", Column::from(vec![0.5f64, 1.5, 2.5])),
+        ])
+        .unwrap()
+    }
+
+    fn request_round_trip(req: Request) {
+        let (kind, payload) = encode_request(&req);
+        assert_eq!(decode_request(kind, &payload).unwrap(), req);
+    }
+
+    fn response_round_trip(resp: Response) {
+        let (kind, payload) = encode_response(&resp);
+        assert_eq!(decode_response(kind, &payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let ds = sample_dataset();
+        let plan = Plan::scan("t", ds.schema().clone()).limit(2);
+        request_round_trip(Request::Hello);
+        request_round_trip(Request::Execute { plan: plan.clone() });
+        request_round_trip(Request::ExecuteStore {
+            name: "tmp".into(),
+            plan: plan.clone(),
+        });
+        request_round_trip(Request::ExecutePush {
+            dest_addr: "127.0.0.1:7401".into(),
+            dest_name: "__bda_frag_0".into(),
+            plan,
+        });
+        request_round_trip(Request::Store {
+            name: "t".into(),
+            data: ds,
+        });
+        request_round_trip(Request::Remove { name: "t".into() });
+        request_round_trip(Request::Catalog);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ds = sample_dataset();
+        response_round_trip(Response::Hello {
+            name: "rel".into(),
+            capabilities: CapabilitySet::all_base(),
+        });
+        response_round_trip(Response::DataSet(ds.clone()));
+        response_round_trip(Response::Ack);
+        response_round_trip(Response::Pushed { bytes: 1234 });
+        response_round_trip(Response::Catalog(vec![
+            CatalogEntry {
+                name: "t".into(),
+                schema: ds.schema().clone(),
+                rows: Some(3),
+            },
+            CatalogEntry {
+                name: "u".into(),
+                schema: ds.schema().clone(),
+                rows: None,
+            },
+        ]));
+        response_round_trip(Response::Error("boom".into()));
+    }
+
+    #[test]
+    fn unknown_kinds_are_errors() {
+        assert!(decode_request(0x7E, &[]).is_err());
+        assert!(decode_response(0x20, &[]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let (kind, mut payload) = encode_request(&Request::Remove { name: "t".into() });
+        payload.push(0);
+        assert!(decode_request(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let (kind, payload) = encode_request(&Request::Store {
+            name: "t".into(),
+            data: sample_dataset(),
+        });
+        for cut in 0..payload.len() {
+            assert!(decode_request(kind, &payload[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The server side: wrap any `Provider` behind a TCP listener speaking
+//! the framed protocol. One OS thread accepts; one thread per
+//! connection serves requests until the peer hangs up or the server
+//! shuts down.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bda_core::Provider;
+
+use crate::frame::{read_message, write_message};
+use crate::proto::{
+    decode_request, encode_request, encode_response, CatalogEntry, Request, Response,
+};
+use crate::Result;
+
+/// How long a connection handler blocks in a read before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Timeout for the outbound connection a push opens to a peer.
+const PUSH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running provider server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Serve `engine` on `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
+/// port). Returns once the listener is bound; requests are handled on
+/// background threads.
+pub fn serve(engine: Arc<dyn Provider>, bind: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name(format!("bda-served-{}", engine.name()))
+        .spawn(move || accept_loop(listener, engine, accept_shutdown))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept thread, and join it. Connection
+    /// handlers notice the flag within [`POLL_INTERVAL`] and exit.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Self-connect to unblock the accept() call.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<dyn Provider>, shutdown: Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        let conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let engine = Arc::clone(&engine);
+        let conn_shutdown = Arc::clone(&shutdown);
+        if let Ok(h) = std::thread::Builder::new()
+            .name("bda-served-conn".to_string())
+            .spawn(move || handle_connection(conn, engine, conn_shutdown))
+        {
+            handlers.push(h);
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut conn: TcpStream, engine: Arc<dyn Provider>, shutdown: Arc<AtomicBool>) {
+    let _ = conn.set_nodelay(true);
+    while !shutdown.load(Ordering::SeqCst) {
+        // Idle phase: peek (non-consuming) with a short timeout so the
+        // shutdown flag is observed promptly and a timeout can never
+        // desynchronize a half-read message.
+        if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        match conn.peek(&mut [0u8; 1]) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        // Data ready: read the whole message with the generous timeout.
+        if conn.set_read_timeout(Some(PUSH_TIMEOUT)).is_err() {
+            return;
+        }
+        let (kind, payload) = match read_message(&mut conn) {
+            Ok((kind, payload, _)) => (kind, payload),
+            // Peer hung up, stalled, or sent garbage: close.
+            Err(_) => return,
+        };
+        let response = match decode_request(kind, &payload) {
+            Ok(req) => handle_request(engine.as_ref(), &req)
+                .unwrap_or_else(|e| Response::Error(e.to_string())),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        let (rkind, rpayload) = encode_response(&response);
+        if write_message(&mut conn, rkind, &rpayload)
+            .and_then(|_| conn.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn handle_request(engine: &dyn Provider, req: &Request) -> Result<Response> {
+    Ok(match req {
+        Request::Hello => Response::Hello {
+            name: engine.name().to_string(),
+            capabilities: engine.capabilities(),
+        },
+        Request::Execute { plan } => Response::DataSet(engine.execute(plan)?),
+        Request::ExecuteStore { name, plan } => {
+            let out = engine.execute(plan)?;
+            engine.store(name, out)?;
+            Response::Ack
+        }
+        Request::ExecutePush {
+            dest_addr,
+            dest_name,
+            plan,
+        } => {
+            let out = engine.execute(plan)?;
+            let bytes = push_to_peer(dest_addr, dest_name, out)?;
+            Response::Pushed { bytes }
+        }
+        Request::Store { name, data } => {
+            engine.store(name, data.clone())?;
+            Response::Ack
+        }
+        Request::Remove { name } => {
+            engine.remove(name);
+            Response::Ack
+        }
+        Request::Catalog => Response::Catalog(
+            engine
+                .catalog()
+                .into_iter()
+                .map(|(name, schema)| CatalogEntry {
+                    rows: engine.row_count_of(&name).map(|n| n as u64),
+                    name,
+                    schema,
+                })
+                .collect(),
+        ),
+    })
+}
+
+/// The direct server-to-server hop: open a connection to the peer and
+/// store the dataset there, bypassing the application tier entirely.
+/// Returns the framed bytes sent to the peer.
+fn push_to_peer(dest_addr: &str, dest_name: &str, data: bda_storage::DataSet) -> Result<u64> {
+    use bda_core::CoreError;
+    let net = |e: std::io::Error| CoreError::Net(format!("push to {dest_addr}: {e}"));
+    let addrs: Vec<SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(dest_addr)
+        .map_err(net)?
+        .collect();
+    let addr = addrs
+        .first()
+        .ok_or_else(|| CoreError::Net(format!("no address for peer {dest_addr}")))?;
+    let mut conn = TcpStream::connect_timeout(addr, PUSH_TIMEOUT).map_err(net)?;
+    conn.set_read_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
+    conn.set_write_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
+    let (kind, payload) = encode_request(&Request::Store {
+        name: dest_name.to_string(),
+        data,
+    });
+    let sent = write_message(&mut conn, kind, &payload).map_err(net)?;
+    conn.flush().map_err(net)?;
+    let (rkind, rpayload, _) =
+        read_message(&mut conn).map_err(|e| CoreError::Net(format!("push to {dest_addr}: {e}")))?;
+    match crate::proto::decode_response(rkind, &rpayload)? {
+        Response::Ack => Ok(sent),
+        Response::Error(msg) => Err(CoreError::Net(format!("peer {dest_addr}: {msg}"))),
+        other => Err(CoreError::Net(format!(
+            "unexpected push response: {other:?}"
+        ))),
+    }
+}

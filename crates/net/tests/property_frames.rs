@@ -1,0 +1,116 @@
+//! Property tests for the `bda-net` frame codec: network bytes are
+//! adversarial input, so decoding must round-trip faithfully and must
+//! fail *as an error* — never a panic — on anything malformed.
+
+use bda_net::frame::{read_message, write_message, FrameError, FLAG_MORE, HEADER_LEN};
+use proptest::prelude::*;
+
+/// Hand-encode one frame so tests can build wire images `write_message`
+/// itself would never produce (bad flags, tiny continuation chains, …).
+fn raw_frame(kind: u8, flags: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![kind, flags];
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any `(kind, payload)` survives the wire byte-identically, and both
+    /// sides agree on how many bytes it occupied.
+    #[test]
+    fn round_trips_arbitrary_payloads(
+        kind in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let mut wire = Vec::new();
+        let written = write_message(&mut wire, kind, &payload).unwrap();
+        prop_assert_eq!(written as usize, wire.len());
+        let (k, p, consumed) = read_message(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(p, payload);
+        prop_assert_eq!(consumed as usize, wire.len());
+    }
+
+    /// A message split across many continuation frames reassembles
+    /// byte-identically — the multi-frame dataset path in miniature.
+    #[test]
+    fn multi_frame_message_reassembles_byte_identically(
+        kind in any::<u8>(),
+        chunks in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..64),
+            1..12,
+        ),
+    ) {
+        let mut wire = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let flags = if i + 1 < chunks.len() { FLAG_MORE } else { 0 };
+            wire.extend_from_slice(&raw_frame(kind, flags, chunk));
+        }
+        let (k, p, consumed) = read_message(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(p, chunks.concat());
+        prop_assert_eq!(consumed as usize, wire.len());
+    }
+
+    /// Cutting a valid wire image anywhere before its end is an I/O
+    /// error (truncation), never a panic and never a bogus success.
+    #[test]
+    fn truncated_wire_is_an_error_at_every_cut(
+        kind in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        write_message(&mut wire, kind, &payload).unwrap();
+        let cut = ((wire.len() as f64) * frac) as usize; // always < len
+        let err = read_message(&mut &wire[..cut]).unwrap_err();
+        prop_assert!(matches!(err, FrameError::Io(_)), "cut {}: {}", cut, err);
+    }
+
+    /// A header that declares an over-limit payload is rejected before
+    /// any allocation of that size.
+    #[test]
+    fn oversized_declared_length_is_an_error(
+        kind in any::<u8>(),
+        excess in 1u32..1025,
+    ) {
+        let len = bda_net::MAX_FRAME_PAYLOAD as u32 + excess;
+        let mut wire = vec![kind, 0];
+        wire.extend_from_slice(&len.to_le_bytes());
+        prop_assert!(matches!(
+            read_message(&mut wire.as_slice()),
+            Err(FrameError::OversizedFrame { .. })
+        ));
+    }
+
+    /// Arbitrary garbage never panics the decoder: it either parses as
+    /// some message or returns an error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_message(&mut bytes.as_slice());
+    }
+
+    /// Flipping one byte of a valid image never panics, and header
+    /// corruption in the flag byte is flagged explicitly.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..255,
+    ) {
+        let mut wire = Vec::new();
+        write_message(&mut wire, 2, &payload).unwrap();
+        let pos = ((wire.len() as f64) * pos_frac) as usize;
+        wire[pos] ^= xor;
+        if let Ok((k, p, _)) = read_message(&mut wire.as_slice()) {
+            // Only payload or kind corruption can still parse.
+            prop_assert!(pos == 0 || pos >= HEADER_LEN);
+            if pos >= HEADER_LEN {
+                prop_assert_eq!(k, 2);
+                prop_assert_eq!(p.len(), payload.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end test of the `bda-served` **binary**: two genuinely
+//! separate OS processes serve engines over loopback TCP, and a client
+//! in this process queries them and triggers a direct process-to-process
+//! transfer. This is the README quick-start, automated.
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+
+use bda_core::{col, lit, Plan, Provider};
+use bda_net::RemoteProvider;
+
+struct Served(Child);
+
+impl Served {
+    /// Launch `bda-served` on an OS-assigned port and wait for its
+    /// "listening on" line to learn the address.
+    fn launch(engine: &str, name: &str) -> (Served, String) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_bda-served"))
+            .args([
+                "--engine",
+                engine,
+                "--name",
+                name,
+                "--listen",
+                "127.0.0.1:0",
+                "--demo",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn bda-served");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let banner = lines
+            .next()
+            .expect("server prints a banner")
+            .expect("readable banner");
+        let addr = banner
+            .rsplit("listening on ")
+            .next()
+            .expect("banner names the address")
+            .trim()
+            .to_string();
+        (Served(child), addr)
+    }
+}
+
+impl Drop for Served {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn two_server_processes_answer_queries_and_push_directly() {
+    let (_rel_proc, rel_addr) = Served::launch("relational", "rel");
+    let (_la_proc, la_addr) = Served::launch("linalg", "la");
+
+    let rel = RemoteProvider::connect(rel_addr).expect("connect to rel process");
+    let la = RemoteProvider::connect(la_addr).expect("connect to la process");
+    assert_eq!(rel.name(), "rel");
+    assert_eq!(la.name(), "la");
+
+    // Query the relational process's demo table.
+    let sales_schema = rel.schema_of("sales").expect("demo table present");
+    let out = rel
+        .execute(&Plan::scan("sales", sales_schema).select(col("v").gt(lit(15.0))))
+        .expect("remote filter");
+    assert_eq!(out.num_rows(), 3);
+
+    // Query the linalg process's demo matrix.
+    let m_schema = la.schema_of("m").expect("demo matrix present");
+    let m = la.execute(&Plan::scan("m", m_schema.clone())).unwrap();
+    assert_eq!(m.num_rows(), 6);
+
+    // Direct process-to-process transfer: la pushes its matrix to rel
+    // without the bytes passing through this (client) process.
+    let pushed = la
+        .execute_push(&Plan::scan("m", m_schema), rel.addr(), "m_copy")
+        .expect("remote providers support push")
+        .expect("push succeeds");
+    assert!(pushed > 0, "push reports wire bytes");
+    let copied = rel
+        .execute(&Plan::scan("m_copy", rel.schema_of("m_copy").unwrap()))
+        .unwrap();
+    assert_eq!(copied.num_rows(), 6);
+}

@@ -115,8 +115,7 @@ mod tests {
 
     fn run(group_by: &[&str], aggs: Vec<AggExpr>) -> DataSet {
         let ds = input();
-        let plan = Plan::scan("t", ds.schema().clone())
-            .aggregate(group_by.to_vec(), aggs.clone());
+        let plan = Plan::scan("t", ds.schema().clone()).aggregate(group_by.to_vec(), aggs.clone());
         let schema = infer_schema(&plan).unwrap();
         aggregate_exec(
             &ds,
@@ -129,10 +128,7 @@ mod tests {
 
     #[test]
     fn grouped_sums() {
-        let out = run(
-            &["g"],
-            vec![AggExpr::new(AggFunc::Sum, col("x"), "s")],
-        );
+        let out = run(&["g"], vec![AggExpr::new(AggFunc::Sum, col("x"), "s")]);
         let rows = out.sorted_rows().unwrap();
         assert_eq!(rows[0], Row(vec![Value::from("a"), Value::Int(8)]));
         assert_eq!(rows[1], Row(vec![Value::from("b"), Value::Int(2)]));
@@ -142,11 +138,7 @@ mod tests {
     fn expression_arguments() {
         let out = run(
             &[],
-            vec![AggExpr::new(
-                AggFunc::Max,
-                col("x").mul(col("x")),
-                "maxsq",
-            )],
+            vec![AggExpr::new(AggFunc::Max, col("x").mul(col("x")), "maxsq")],
         );
         assert_eq!(out.rows().unwrap(), vec![Row(vec![Value::Int(16)])]);
     }
@@ -172,13 +164,8 @@ mod tests {
         let plan = Plan::scan("t", ds.schema().clone())
             .aggregate(vec!["g"], vec![AggExpr::count_star("n")]);
         let schema = infer_schema(&plan).unwrap();
-        let out = aggregate_exec(
-            &ds,
-            &["g".to_string()],
-            &[AggExpr::count_star("n")],
-            schema,
-        )
-        .unwrap();
+        let out =
+            aggregate_exec(&ds, &["g".to_string()], &[AggExpr::count_star("n")], schema).unwrap();
         let rows = out.sorted_rows().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0], Row(vec![Value::Null, Value::Int(2)]));

@@ -286,9 +286,10 @@ mod tests {
 
     #[test]
     fn project_matches_reference() {
-        check_against_reference(
-            &scan_t().project(vec![("kk", col("k").mul(lit(2i64))), ("vv", col("v").add(col("k")))]),
-        );
+        check_against_reference(&scan_t().project(vec![
+            ("kk", col("k").mul(lit(2i64))),
+            ("vv", col("v").add(col("k"))),
+        ]));
     }
 
     #[test]
@@ -357,8 +358,8 @@ mod tests {
 
     #[test]
     fn dice_filters_coordinates() {
-        let m = bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect())
-            .unwrap();
+        let m =
+            bda_storage::dataset::matrix_dataset(4, 4, (0..16).map(f64::from).collect()).unwrap();
         let mut t = BTreeMap::new();
         t.insert("m".to_string(), m.clone());
         let p = Plan::Dice {

@@ -4,9 +4,9 @@
 use std::collections::HashMap;
 
 use bda_core::{CoreError, JoinType};
-use bda_storage::{Chunk, Column, DataSet, Row, RowsChunk, Schema};
 #[cfg(test)]
 use bda_storage::Value;
+use bda_storage::{Chunk, Column, DataSet, Row, RowsChunk, Schema};
 
 use crate::exec::Result;
 
@@ -100,7 +100,14 @@ pub fn hash_join(
     }
 
     assemble(
-        &l_chunk, &r_chunk, &rs, join_type, out_schema, l_take, r_take, l_unmatched,
+        &l_chunk,
+        &r_chunk,
+        &rs,
+        join_type,
+        out_schema,
+        l_take,
+        r_take,
+        l_unmatched,
     )
 }
 
@@ -197,8 +204,7 @@ fn assemble(
             // Matched pairs first, then unmatched left rows null-padded.
             for c in l_chunk.columns() {
                 let mut out = c.take(&l_take);
-                out.extend(&c.take(&l_unmatched))
-                    .map_err(CoreError::from)?;
+                out.extend(&c.take(&l_unmatched)).map_err(CoreError::from)?;
                 cols.push(out);
             }
             for (fi, c) in r_chunk.columns().iter().enumerate() {

@@ -10,10 +10,10 @@ use crate::exec::Result;
 pub fn sort_exec(input: &DataSet, keys: &[(String, bool)], out_schema: Schema) -> Result<DataSet> {
     let schema = input.schema().clone();
     let chunk = input.to_rows_chunk()?;
-    let key_idx: Vec<(usize, bool)> = keys
-        .iter()
-        .map(|(k, d)| Ok((schema.index_of(k)?, *d)))
-        .collect::<std::result::Result<_, bda_storage::StorageError>>()?;
+    let key_idx: Vec<(usize, bool)> =
+        keys.iter()
+            .map(|(k, d)| Ok((schema.index_of(k)?, *d)))
+            .collect::<std::result::Result<_, bda_storage::StorageError>>()?;
     let mut perm: Vec<usize> = (0..chunk.len()).collect();
     perm.sort_by(|&a, &b| {
         for &(i, desc) in &key_idx {
@@ -81,10 +81,19 @@ mod tests {
         ])
         .unwrap();
         let out = sort_exec(&ds, &[("k".into(), false)], ds.schema().clone()).unwrap();
-        let tags: Vec<Value> = out.rows().unwrap().iter().map(|r| r.get(1).clone()).collect();
+        let tags: Vec<Value> = out
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|r| r.get(1).clone())
+            .collect();
         assert_eq!(
             tags,
-            vec![Value::from("first"), Value::from("second"), Value::from("third")]
+            vec![
+                Value::from("first"),
+                Value::from("second"),
+                Value::from("third")
+            ]
         );
     }
 
@@ -92,7 +101,12 @@ mod tests {
     fn distinct_keeps_first_occurrence() {
         let ds = DataSet::from_columns(vec![("k", Column::from(vec![3i64, 1, 3, 1, 2]))]).unwrap();
         let out = distinct_exec(&ds, ds.schema().clone()).unwrap();
-        let ks: Vec<Value> = out.rows().unwrap().iter().map(|r| r.get(0).clone()).collect();
+        let ks: Vec<Value> = out
+            .rows()
+            .unwrap()
+            .iter()
+            .map(|r| r.get(0).clone())
+            .collect();
         assert_eq!(ks, vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
     }
 

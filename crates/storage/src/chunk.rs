@@ -199,11 +199,8 @@ mod tests {
 
     #[test]
     fn new_validates_lengths() {
-        let err = RowsChunk::new(vec![
-            Column::from(vec![1i64, 2]),
-            Column::from(vec!["a"]),
-        ])
-        .unwrap_err();
+        let err =
+            RowsChunk::new(vec![Column::from(vec![1i64, 2]), Column::from(vec!["a"])]).unwrap_err();
         assert!(matches!(err, StorageError::LengthMismatch { .. }));
     }
 

@@ -212,9 +212,7 @@ impl Column {
         let merged_validity = match (self.validity(), other.validity()) {
             (None, None) => None,
             (a, b) => {
-                let mut bm = a
-                    .cloned()
-                    .unwrap_or_else(|| Bitmap::filled(self_len, true));
+                let mut bm = a.cloned().unwrap_or_else(|| Bitmap::filled(self_len, true));
                 match b {
                     Some(other_bm) => bm.extend(other_bm),
                     None => bm.extend(&Bitmap::filled(other_len, true)),
@@ -293,7 +291,8 @@ impl Column {
         }
         let mut out = Column::new_empty(to);
         for v in self.iter() {
-            out.push(&v.cast(to)).expect("cast yields target type or null");
+            out.push(&v.cast(to))
+                .expect("cast yields target type or null");
         }
         out
     }
@@ -375,7 +374,12 @@ mod tests {
     fn filter_preserves_validity() {
         let c = Column::from_values(
             DataType::Utf8,
-            &[Value::from("a"), Value::Null, Value::from("c"), Value::from("d")],
+            &[
+                Value::from("a"),
+                Value::Null,
+                Value::from("c"),
+                Value::from("d"),
+            ],
         )
         .unwrap();
         let f = c.filter(&[true, true, false, true]);

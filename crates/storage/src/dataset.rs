@@ -428,10 +428,7 @@ mod tests {
         ])
         .unwrap();
         let ds = DataSet::empty(schema);
-        assert!(matches!(
-            ds.bounding_box(),
-            Err(StorageError::NotDense(_))
-        ));
+        assert!(matches!(ds.bounding_box(), Err(StorageError::NotDense(_))));
         assert!(rel().bounding_box().is_err());
     }
 

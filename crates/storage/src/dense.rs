@@ -129,7 +129,11 @@ pub struct DenseChunk {
 
 impl DenseChunk {
     /// Build and validate a dense chunk.
-    pub fn new(bounds: DimBox, columns: Vec<Column>, present: Option<Bitmap>) -> Result<DenseChunk> {
+    pub fn new(
+        bounds: DimBox,
+        columns: Vec<Column>,
+        present: Option<Bitmap>,
+    ) -> Result<DenseChunk> {
         let vol = bounds.volume();
         for (i, c) in columns.iter().enumerate() {
             if c.len() != vol {
@@ -299,7 +303,11 @@ impl DenseChunk {
                 set_slot(&mut columns[v], idx, &rows.column(p).get(r))?;
             }
         }
-        let present = if present.all_set() { None } else { Some(present) };
+        let present = if present.all_set() {
+            None
+        } else {
+            Some(present)
+        };
         DenseChunk::new(bounds, columns, present)
     }
 
@@ -408,7 +416,10 @@ mod tests {
     fn intersect_boxes() {
         let a = DimBox::new(vec![0], vec![10]).unwrap();
         let b = DimBox::new(vec![5], vec![15]).unwrap();
-        assert_eq!(a.intersect(&b), Some(DimBox::new(vec![5], vec![10]).unwrap()));
+        assert_eq!(
+            a.intersect(&b),
+            Some(DimBox::new(vec![5], vec![10]).unwrap())
+        );
         let c = DimBox::new(vec![10], vec![12]).unwrap();
         assert_eq!(a.intersect(&c), None);
     }
@@ -441,10 +452,7 @@ mod tests {
         .unwrap();
         let dense = DenseChunk::from_rows(&s, &rows, box2()).unwrap();
         assert_eq!(dense.present_count(), 2);
-        assert_eq!(
-            dense.cell(&[1, 12]),
-            Some(Row(vec![Value::Float(2.0)]))
-        );
+        assert_eq!(dense.cell(&[1, 12]), Some(Row(vec![Value::Float(2.0)])));
         assert_eq!(dense.cell(&[0, 11]), None);
         let back = dense.to_rows(&s).unwrap();
         let mut got: Vec<Row> = back.rows().collect();

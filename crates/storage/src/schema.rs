@@ -364,9 +364,7 @@ mod tests {
         let s = sample();
         let flat = s.untagged();
         assert!(flat.is_relation());
-        let back = flat
-            .tagged(&[("i", Some((0, 4))), ("j", None)])
-            .unwrap();
+        let back = flat.tagged(&[("i", Some((0, 4))), ("j", None)]).unwrap();
         assert_eq!(back, s);
     }
 

@@ -99,9 +99,11 @@ impl Value {
             (Value::Bool(v), DataType::Int64) => Value::Int(*v as i64),
             (Value::Bool(v), DataType::Float64) => Value::Float(*v as i64 as f64),
             (v, DataType::Utf8) => Value::Str(v.to_string()),
-            (Value::Str(s), DataType::Int64) => {
-                s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
-            }
+            (Value::Str(s), DataType::Int64) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
             (Value::Str(s), DataType::Float64) => s
                 .trim()
                 .parse::<f64>()
@@ -288,7 +290,10 @@ mod tests {
     #[test]
     fn cast_string_parsing() {
         assert_eq!(Value::from(" 42 ").cast(DataType::Int64), Value::Int(42));
-        assert_eq!(Value::from("2.5").cast(DataType::Float64), Value::Float(2.5));
+        assert_eq!(
+            Value::from("2.5").cast(DataType::Float64),
+            Value::Float(2.5)
+        );
         assert_eq!(Value::from("true").cast(DataType::Bool), Value::Bool(true));
         assert_eq!(Value::from("nope").cast(DataType::Int64), Value::Null);
     }

@@ -181,7 +181,9 @@ fn decode_opt_i64(r: &mut Reader<'_>, what: &str) -> Result<Option<i64>> {
     match r.u8(what)? {
         0 => Ok(None),
         1 => Ok(Some(r.i64(what)?)),
-        t => Err(StorageError::Corrupt(format!("bad option tag {t} in {what}"))),
+        t => Err(StorageError::Corrupt(format!(
+            "bad option tag {t} in {what}"
+        ))),
     }
 }
 

@@ -10,9 +10,7 @@ use bda_storage::DataSet;
 /// `[-1, 1)`.
 pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> DataSet {
     let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<f64> = (0..rows * cols)
-        .map(|_| rng.gen_range(-1.0..1.0))
-        .collect();
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
     matrix_dataset(rows, cols, data).expect("matrix dataset")
 }
 

@@ -55,8 +55,7 @@ pub fn sensor_array(spec: SensorSpec) -> DataSet {
             if spec.missing > 0.0 && rng.gen_bool(spec.missing) {
                 continue;
             }
-            let season =
-                amplitude * ((t as f64 / 24.0) * std::f64::consts::TAU + phase).sin();
+            let season = amplitude * ((t as f64 / 24.0) * std::f64::consts::TAU + phase).sin();
             let noise = rng.gen_range(-0.5..0.5);
             rows.push(Row(vec![
                 Value::Int(s as i64),

@@ -61,7 +61,11 @@ fn build_federation() -> Federation {
 
 fn print_catalog(fed: &Federation) {
     for p in fed.registry().providers() {
-        out!("provider `{}` — capabilities {}", p.name(), p.capabilities());
+        out!(
+            "provider `{}` — capabilities {}",
+            p.name(),
+            p.capabilities()
+        );
         for (name, schema) in p.catalog() {
             let rows = p
                 .row_count_of(&name)

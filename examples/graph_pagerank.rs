@@ -40,7 +40,10 @@ fn main() {
     // Native: the federation routes the intent to the graph engine and
     // the whole loop runs server-side.
     let (native, m_native) = fed.run(q.plan()).expect("native pagerank");
-    println!("native (graph engine): {} vertices ranked", native.num_rows());
+    println!(
+        "native (graph engine): {} vertices ranked",
+        native.num_rows()
+    );
     println!("  {m_native}\n");
 
     // Lowered: restrict the federation to the relational server only;
@@ -66,9 +69,7 @@ fn main() {
     let max_diff = a
         .iter()
         .zip(&b)
-        .map(|(x, y)| {
-            (x.get(1).as_float().unwrap() - y.get(1).as_float().unwrap()).abs()
-        })
+        .map(|(x, y)| (x.get(1).as_float().unwrap() - y.get(1).as_float().unwrap()).abs())
         .fold(0.0f64, f64::max);
     println!("max rank difference native vs lowered: {max_diff:.2e}");
     assert!(max_diff < 1e-6, "the two executions must agree");

@@ -36,14 +36,17 @@ fn main() {
     // features × weights: the matmul must run on `denselab`, the scan on
     // `warehouse` — a genuinely multi-server plan.
     let reg = fed.registry();
-    let plan = Plan::scan("features_rows", reg.schema_of("features_rows").expect("schema"))
-        .matmul(Plan::scan(
-            "weights",
-            reg.provider("denselab")
-                .expect("provider")
-                .schema_of("weights")
-                .expect("schema"),
-        ));
+    let plan = Plan::scan(
+        "features_rows",
+        reg.schema_of("features_rows").expect("schema"),
+    )
+    .matmul(Plan::scan(
+        "weights",
+        reg.provider("denselab")
+            .expect("provider")
+            .schema_of("weights")
+            .expect("schema"),
+    ));
 
     // Show how the planner fragments the query.
     let placement = Planner::new(reg).place(&plan).expect("placement");

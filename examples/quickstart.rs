@@ -17,8 +17,14 @@ fn main() {
     // 1. Stand up a back-end provider and load a table.
     let rel = RelationalEngine::new("rel");
     let sales = DataSet::from_columns(vec![
-        ("region", Column::from(vec!["west", "east", "west", "north", "east"])),
-        ("amount", Column::from(vec![120.0f64, 80.0, 45.0, 200.0, 130.0])),
+        (
+            "region",
+            Column::from(vec!["west", "east", "west", "north", "east"]),
+        ),
+        (
+            "amount",
+            Column::from(vec![120.0f64, 80.0, 45.0, 200.0, 130.0]),
+        ),
         ("units", Column::from(vec![3i64, 2, 1, 5, 4])),
     ])
     .expect("valid columns");

@@ -87,7 +87,10 @@ fn main() {
         .order_by(vec!["site"]);
 
     let (result, metrics) = fed.run(q.plan()).expect("pipeline runs");
-    println!("per-site summary (first day, smoothed):\n{}", result.show(10));
+    println!(
+        "per-site summary (first day, smoothed):\n{}",
+        result.show(10)
+    );
     println!("{metrics}\n");
 
     // Show where each piece ran.

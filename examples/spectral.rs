@@ -43,12 +43,7 @@ fn main() {
     // run a fixed number of steps of x ← M x · s with s = 0.2 (the band
     // matrix's dominant eigenvalue is ≈ 2–3, so the iterate stays finite).
     let steps = 150;
-    let scale = bda::storage::dataset::matrix_dataset(
-        n,
-        1,
-        vec![0.2; n],
-    )
-    .expect("scale vector");
+    let scale = bda::storage::dataset::matrix_dataset(n, 1, vec![0.2; n]).expect("scale vector");
     la_store(&fed, "s", scale);
 
     let q = Query::scan("x0", x_schema.clone())

@@ -26,7 +26,9 @@ fn standard() -> Federation {
 fn bda_bench_setup() -> Federation {
     use bda::array::ArrayEngine;
     use bda::graph::GraphEngine;
-    use bda::workloads::{random_graph, sensor_array, star_schema, GraphSpec, SensorSpec, StarSpec};
+    use bda::workloads::{
+        random_graph, sensor_array, star_schema, GraphSpec, SensorSpec, StarSpec,
+    };
 
     let rel = RelationalEngine::new("rel");
     let (sales, customers, products, stores) = star_schema(StarSpec {
@@ -151,17 +153,18 @@ fn d3_matmul_survives_lowering_roundtrip() {
     let placement = Planner::new(reg).place(&recognized).unwrap();
     assert_eq!(placement.root().site, "la");
     // The recognized plan computes the same thing as the lowered one.
-    let (out_lowered, _) = fed.run_with(
-        &lowered,
-        &ExecOptions {
-            optimizer: bda::federation::OptimizerConfig {
-                recognize_intents: false,
+    let (out_lowered, _) = fed
+        .run_with(
+            &lowered,
+            &ExecOptions {
+                optimizer: bda::federation::OptimizerConfig {
+                    recognize_intents: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
-            ..Default::default()
-        },
-    )
-    .unwrap();
+        )
+        .unwrap();
     let (out_intent, _) = fed.run(&intent).unwrap();
     let x = out_intent.sorted_rows().unwrap();
     let y = out_lowered.sorted_rows().unwrap();
@@ -189,16 +192,15 @@ fn d4_direct_transfers_bypass_the_app_tier() {
     let mut fed = Federation::new();
     fed.register(Arc::new(rel));
     fed.register(Arc::new(la));
-    let plan = Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(
-        Plan::scan(
+    let plan =
+        Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(Plan::scan(
             "b",
             fed.registry()
                 .provider("la")
                 .unwrap()
                 .schema_of("b")
                 .unwrap(),
-        ),
-    );
+        ));
     let (_, direct) = fed.run(&plan).unwrap();
     let (_, routed) = fed
         .run_with(

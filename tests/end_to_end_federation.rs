@@ -62,8 +62,7 @@ fn federation() -> Federation {
 
 fn bdl(fed: &Federation, program: &str) -> bda::storage::DataSet {
     let lookup = |name: &str| fed.registry().schema_of(name).ok();
-    let plan = parse_query(program, &lookup)
-        .unwrap_or_else(|e| panic!("{}", e.render(program)));
+    let plan = parse_query(program, &lookup).unwrap_or_else(|e| panic!("{}", e.render(program)));
     fed.run(&plan).expect("federated run").0
 }
 
@@ -79,7 +78,10 @@ fn star_schema_rollup_via_bdl() {
          | orderby revenue desc",
     );
     assert!(out.num_rows() > 0);
-    assert_eq!(out.schema().names(), vec!["region", "category", "revenue", "n"]);
+    assert_eq!(
+        out.schema().names(),
+        vec!["region", "category", "revenue", "n"]
+    );
     // Revenue column is sorted descending.
     let revenues: Vec<f64> = out
         .rows()
@@ -150,9 +152,20 @@ fn graph_and_relational_combine() {
 #[test]
 fn matmul_chain_stays_on_linalg() {
     let fed = federation();
-    let a = fed.registry().provider("la").unwrap().schema_of("a").unwrap();
-    let b = fed.registry().provider("la").unwrap().schema_of("b").unwrap();
-    let q = Query::scan("a", a).matmul(Query::scan("b", b.clone()))
+    let a = fed
+        .registry()
+        .provider("la")
+        .unwrap()
+        .schema_of("a")
+        .unwrap();
+    let b = fed
+        .registry()
+        .provider("la")
+        .unwrap()
+        .schema_of("b")
+        .unwrap();
+    let q = Query::scan("a", a)
+        .matmul(Query::scan("b", b.clone()))
         .matmul(Query::scan("b", b));
     let (out, metrics) = fed.run(q.plan()).unwrap();
     assert_eq!(out.num_rows(), 12 * 12);

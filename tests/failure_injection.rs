@@ -82,16 +82,15 @@ fn cross_engine_setup(fail_site: &str, fail_on: usize) -> (Federation, Plan) {
             fed.register(p);
         }
     }
-    let plan = Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(
-        Plan::scan(
+    let plan =
+        Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(Plan::scan(
             "b",
             fed.registry()
                 .provider("la")
                 .unwrap()
                 .schema_of("b")
                 .unwrap(),
-        ),
-    );
+        ));
     (fed, plan)
 }
 
@@ -148,8 +147,18 @@ fn app_driven_loop_failure_propagates() {
     let mut fed = Federation::new();
     // Fail on the 3rd execute: init (1), body iter 1 (2), body iter 2 (3).
     fed.register(Arc::new(FlakyProvider::new(la, 3)));
-    let m_schema = fed.registry().provider("la").unwrap().schema_of("m").unwrap();
-    let x_schema = fed.registry().provider("la").unwrap().schema_of("x").unwrap();
+    let m_schema = fed
+        .registry()
+        .provider("la")
+        .unwrap()
+        .schema_of("m")
+        .unwrap();
+    let x_schema = fed
+        .registry()
+        .provider("la")
+        .unwrap()
+        .schema_of("x")
+        .unwrap();
     let plan = Plan::Iterate {
         init: Plan::scan("x", x_schema.clone()).boxed(),
         body: Plan::scan("m", m_schema)

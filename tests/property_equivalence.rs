@@ -84,9 +84,11 @@ fn arb_pipeline() -> impl Strategy<Value = Plan> {
                 vec![("k", "k")],
                 JoinType::Anti
             )),
-            inner
-                .clone()
-                .prop_map(|p| p.project(vec![("k", col("k")), ("v", col("v")), ("s", col("s"))])),
+            inner.clone().prop_map(|p| p.project(vec![
+                ("k", col("k")),
+                ("v", col("v")),
+                ("s", col("s"))
+            ])),
         ]
     })
 }
@@ -106,9 +108,7 @@ fn oracle_src(ds: &DataSet) -> HashMap<String, DataSet> {
 /// Bag comparison that tolerates Limit's nondeterminism: when the plan
 /// contains a Limit, only row *counts* are compared.
 fn compatible(plan: &Plan, a: &DataSet, b: &DataSet) -> bool {
-    let has_limit = plan
-        .op_kinds()
-        .contains(&bda::core::OpKind::Limit);
+    let has_limit = plan.op_kinds().contains(&bda::core::OpKind::Limit);
     if has_limit {
         a.num_rows() == b.num_rows()
     } else {

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use bda::core::codec::{decode_plan, encode_plan};
 use bda::core::{col, lit, Plan};
-use bda::storage::wire::{decode_dataset, encode_dataset, decode_value, Reader};
+use bda::storage::wire::{decode_dataset, decode_value, encode_dataset, Reader};
 use bda::storage::{Column, DataSet, DataType, Field, Schema};
 
 fn sample_plan() -> Plan {

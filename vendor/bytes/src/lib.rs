@@ -1,0 +1,167 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! handful of external dependencies are vendored as minimal local
+//! implementations with API-compatible signatures. This crate covers the
+//! subset of `bytes` the wire codecs use: [`BytesMut`] as a growable byte
+//! buffer and the [`BufMut`] write methods (little-endian put calls and
+//! slice appends). Semantics match the real crate for this subset.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer, API-compatible with `bytes::BytesMut` for the
+/// operations this workspace performs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// View the contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner
+    }
+
+    /// Drop all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+
+    /// Reserve space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional)
+    }
+
+    /// Consume the buffer, yielding the underlying vector (stands in for
+    /// `freeze()` + `Bytes`; callers here only ever need the raw bytes).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { inner: v }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Write-side buffer operations (the subset of `bytes::BufMut` in use).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i32.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian i64.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f64 (IEEE-754 bits).
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_puts_match_std() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xAB);
+        b.put_u32_le(0x0102_0304);
+        b.put_i64_le(-2);
+        b.put_slice(b"xy");
+        let mut expect = vec![0xAB];
+        expect.extend_from_slice(&0x0102_0304u32.to_le_bytes());
+        expect.extend_from_slice(&(-2i64).to_le_bytes());
+        expect.extend_from_slice(b"xy");
+        assert_eq!(b.to_vec(), expect);
+        assert_eq!(&b[..], &expect[..]);
+        assert_eq!(b.len(), expect.len());
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks keep compiling and running (`cargo bench`) without network
+//! access: each `b.iter(..)` body is timed with `std::time::Instant` over
+//! a fixed number of iterations and the median per-iteration time is
+//! printed. No statistics, plots, or baselines — just enough to keep the
+//! bench targets honest and runnable offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export point used by some codebases (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the body.
+pub struct Bencher {
+    sample_size: usize,
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, recording the median per-call duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then `sample_size` timed calls.
+        black_box(f());
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed());
+        }
+        samples.sort();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// A group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in has a fixed warm-up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; time is bounded by `sample_size`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one case with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!(
+            "bench {}/{}: median {:?} over {} iters",
+            self.name, id, b.last_median, self.sample_size
+        );
+        self
+    }
+
+    /// Run one case without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: median {:?} over {} iters",
+            self.name, id, b.last_median, self.sample_size
+        );
+        self
+    }
+
+    /// End the group (prints nothing extra in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: 10,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {name}: median {:?} over 10 iters", b.last_median);
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("case", 4), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A deterministic mini property-testing framework exposing the subset of
+//! the real API this workspace's tests use: the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!` and `prop_assert_eq!`
+//! macros, the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, range and regex-literal strategies,
+//! tuples, `Just`, `any::<T>()`, and `prop::collection::{vec, btree_map}`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` representation instead of a minimized counterexample.
+//! * **Deterministic streams.** Each test derives its RNG seed from the
+//!   test's module path, name and case index, so failures reproduce
+//!   across runs without a persistence file.
+//! * The regex-string strategy supports the literal/class/quantifier
+//!   subset actually used in patterns like `"[a-c]{1,2}"`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::…` paths as the real crate exposes them.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, vec};
+    }
+    pub mod num {
+        //! Placeholder module for path compatibility.
+    }
+}
+
+/// The strategy for a type's "any value" generator.
+pub trait Arbitrary: Sized {
+    /// Strategy type returned by [`any`].
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::IntAny<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::IntAny::new()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::Map<std::ops::Range<u8>, fn(u8) -> bool>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::Map::new(0u8..2, (|b| b == 1) as fn(u8) -> bool)
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property; panics (no shrinking) with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Build a named strategy function from component strategies.
+///
+/// Supports the `fn name()(x in strat, ..) -> Out { body }` form (empty
+/// outer parameter list), which is the only form this workspace uses.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident()($($pat:pat in $strat:expr),+ $(,)?) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $out> + Clone {
+            $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Run property tests: each `fn name(arg in strategy, ..) { body }` is
+/// expanded into a `#[test]` that samples every strategy `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0i64..10, b in 0i64..10) -> (i64, i64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..5, u in 0usize..3, byte in any::<u8>()) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(u < 3);
+            let _ = byte;
+        }
+
+        #[test]
+        fn composed_pairs(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![2 => (0i64..3).prop_map(|x| x * 2), 1 => Just(-1i64)]) {
+            prop_assert!(v == -1 || (v % 2 == 0 && v < 6));
+        }
+
+        #[test]
+        fn collections(bytes in prop::collection::vec(any::<u8>(), 0..16),
+                       m in prop::collection::btree_map(0i64..4, 0i64..4, 0..8usize)) {
+            prop_assert!(bytes.len() < 16);
+            prop_assert!(m.len() <= 4);
+        }
+
+        #[test]
+        fn regex_subset(s in "[a-c]{1,2}") {
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => usize::from(*v >= 0),
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 12, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::test_runner::TestRng::deterministic("recursive", 0);
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 8, "depth runaway: {t:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = prop::collection::vec(any::<u8>(), 0..32);
+        let mut r1 = crate::test_runner::TestRng::deterministic("det", 7);
+        let mut r2 = crate::test_runner::TestRng::deterministic("det", 7);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+}

@@ -1,0 +1,482 @@
+//! Value-generation strategies: the [`Strategy`] trait and the
+//! combinators the workspace's property tests use.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Object safe: [`BoxedStrategy`] wraps `Rc<dyn Strategy<Value = T>>`, so
+/// heterogeneous strategies (e.g. `prop_oneof!` arms) unify by boxing.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value from the RNG stream.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map::new(self, f)
+    }
+
+    /// Build recursive structures: `self` generates leaves, `recurse`
+    /// wraps an inner strategy into one more layer. `depth` bounds
+    /// nesting; the size/branch hints are accepted for API compatibility
+    /// but the stand-in bounds growth purely by depth and by weighting
+    /// leaves 2:1 over recursion at every layer.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let layered = recurse(current).boxed();
+            current = Union::new(vec![(2, base.clone()), (1, layered)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase into a clonable, shareable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy (clonable regardless of the
+/// underlying combinator).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Applies a function to another strategy's output.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F> Map<S, F> {
+    /// Pair a source strategy with a mapping function.
+    pub fn new(source: S, f: F) -> Map<S, F> {
+        Map { source, f }
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; total weight must be > 0.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "Union needs at least one arm with weight > 0");
+        Union { arms, total }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return strat.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight accounting is exhaustive")
+    }
+}
+
+/// A strategy defined by a generation closure (backs `prop_compose!`).
+pub struct FnStrategy<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> FnStrategy<T> {
+    /// Wrap a generator closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> FnStrategy<T> {
+        FnStrategy { f: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for FnStrategy<T> {
+    fn clone(&self) -> Self {
+        FnStrategy {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Full-range generator for a primitive integer (backs `any::<T>()`).
+pub struct IntAny<T>(PhantomData<T>);
+
+impl<T> IntAny<T> {
+    /// The full-range strategy.
+    pub fn new() -> IntAny<T> {
+        IntAny(PhantomData)
+    }
+}
+
+impl<T> Default for IntAny<T> {
+    fn default() -> Self {
+        IntAny::new()
+    }
+}
+
+impl<T> Clone for IntAny<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for IntAny<T> {}
+
+macro_rules! impl_int_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for IntAny<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_any!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String generation from a regex-subset pattern: literals, `.`, `\d`,
+/// escaped metacharacters, `[a-z0-9_]`-style classes, and the
+/// quantifiers `{n}`, `{n,m}`, `?`, `*` and `+` (`*`/`+` capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// One pattern atom: the characters it may produce.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..count {
+            let i = rng.below(atom.choices.len() as u64) as usize;
+            out.push(atom.choices[i]);
+        }
+    }
+    out
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                let set = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '\\' => {
+                let esc = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("trailing backslash in pattern {pattern:?}"));
+                i += 2;
+                match esc {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(std::iter::once('_'))
+                        .collect(),
+                    other => vec![other],
+                }
+            }
+            c if "(){}?*+|^$".contains(c) => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        body.first() != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            assert!(
+                body[j] <= body[j + 2],
+                "inverted class range in pattern {pattern:?}"
+            );
+            for c in body[j]..=body[j + 2] {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(body[j]);
+            j += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    set
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| *i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier {body:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A 0);
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::{vec, btree_map}`).
+
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A `Vec` whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `BTreeMap` with up to `size` entries; duplicate generated keys
+    /// collapse, so small key spaces yield fewer entries than drawn.
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    /// Strategy produced by [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.new_value(rng);
+            let mut map = BTreeMap::new();
+            // Bounded retries: duplicate keys collapse, so cap the
+            // attempts rather than spin on a saturated key space.
+            let mut attempts = 4 * target + 8;
+            while map.len() < target && attempts > 0 {
+                map.insert(self.keys.new_value(rng), self.values.new_value(rng));
+                attempts -= 1;
+            }
+            map
+        }
+    }
+}

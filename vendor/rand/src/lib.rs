@@ -1,0 +1,142 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic seedable generator ([`rngs::StdRng`], a
+//! splitmix64 core) and the [`Rng`] / [`SeedableRng`] trait surface the
+//! workloads use: `gen_range` over integer and float ranges and
+//! `gen_bool`. The streams differ from the real `rand`, but every caller
+//! in this workspace seeds explicitly and only relies on determinism, not
+//! on a particular stream.
+
+use std::ops::Range;
+
+/// Types that can be drawn uniformly from a `Range<T>`.
+pub trait SampleUniform: Sized {
+    /// Draw a value in `[lo, hi)` using `next` as the entropy source.
+    fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((next() as u128) % span) as i128 + lo as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+        assert!(lo < hi, "gen_range called with empty range");
+        // 53 bits of mantissa → uniform in [0, 1).
+        let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+        f64::sample_range(lo as f64, hi as f64, next) as f32
+    }
+}
+
+/// The random-generator interface.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        let mut next = || self.next_u64();
+        T::sample_range(range.start, range.end, &mut next)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(-5i64..7);
+            assert_eq!(x, b.gen_range(-5i64..7));
+            assert!((-5..7).contains(&x));
+            let f: f64 = a.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            assert_eq!(f.to_bits(), b.gen_range::<f64>(-1.0..1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..64).any(|_| r.gen_bool(0.0)));
+        assert!((0..64).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn usize_range_covers_span() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
