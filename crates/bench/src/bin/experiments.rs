@@ -73,4 +73,8 @@ fn main() {
         };
         println!("{}", f5_pushdown(sels));
     }
+    if want("f6") {
+        let sizes: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
+        println!("{}", f6_fault_recovery(sizes));
+    }
 }

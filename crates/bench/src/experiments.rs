@@ -609,6 +609,116 @@ pub fn f5_pushdown(selectivities: &[f64]) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// F6 — fault recovery (robustness extension)
+// ---------------------------------------------------------------------------
+
+/// F6: the chaos run. A cross-server matmul+join executes while the
+/// planner's first-choice linalg server is crashed outright (recovery
+/// must fail over to a replica) and the relational server fails
+/// transiently at p = 0.3 (recovery must retry). The answer is checked
+/// against the reference evaluator; the same faults with recovery
+/// disabled abort the plan. Seeded via `BDA_FAULT_SEED`.
+pub fn f6_fault_recovery(sizes: &[usize]) -> Table {
+    use bda_core::reference::evaluate;
+    use bda_federation::{fault_seed_from_env, FaultConfig, FaultyProvider, RecoveryPolicy};
+    use bda_storage::{Column, DataSet};
+
+    let seed = fault_seed_from_env(0xBDA);
+    let mut t = Table::new(
+        "F6 — fault recovery: retry + failover under injected faults (seeded)",
+        vec![
+            "n",
+            "seed",
+            "retries",
+            "failovers",
+            "degraded",
+            "breaker trips",
+            "correct",
+            "no-recovery",
+        ],
+    );
+    for &n in sizes {
+        let lookup = DataSet::from_columns(vec![
+            ("row", Column::from((0..n as i64).collect::<Vec<i64>>())),
+            (
+                "weight",
+                Column::from((0..n).map(|i| 1.0 + i as f64).collect::<Vec<f64>>()),
+            ),
+        ])
+        .unwrap();
+        let build = |recover: bool| {
+            let la1 = bda_linalg::LinAlgEngine::new("la1");
+            la1.store("a", random_matrix(n, n, 1)).unwrap();
+            la1.store("b", random_matrix(n, n, 2)).unwrap();
+            let la2 = bda_linalg::LinAlgEngine::new("la2");
+            la2.store("a", random_matrix(n, n, 1)).unwrap();
+            la2.store("b", random_matrix(n, n, 2)).unwrap();
+            let rel = RelationalEngine::new("rel");
+            rel.store("lookup", lookup.clone()).unwrap();
+            let mut fed = Federation::new();
+            fed.register(std::sync::Arc::new(FaultyProvider::new(
+                std::sync::Arc::new(la1),
+                FaultConfig::crash_after(0),
+            )));
+            fed.register(std::sync::Arc::new(la2));
+            fed.register(std::sync::Arc::new(FaultyProvider::new(
+                std::sync::Arc::new(rel),
+                FaultConfig {
+                    seed,
+                    execute_error_rate: 0.3,
+                    store_error_rate: 0.3,
+                    fail_first: 1,
+                    ..FaultConfig::default()
+                },
+            )));
+            fed.options_mut().recovery = if recover {
+                RecoveryPolicy {
+                    max_attempts: 6,
+                    backoff: std::time::Duration::from_millis(1),
+                    ..RecoveryPolicy::default()
+                }
+            } else {
+                RecoveryPolicy::disabled()
+            };
+            fed
+        };
+        let fed = build(true);
+        let reg = fed.registry();
+        let plan = bda_lang::Query::scan("a", reg.schema_of("a").unwrap())
+            .matmul(bda_lang::Query::scan("b", reg.schema_of("b").unwrap()))
+            .untag_dims()
+            .join(
+                bda_lang::Query::scan("lookup", reg.schema_of("lookup").unwrap()),
+                vec![("row", "row")],
+            )
+            .plan()
+            .clone();
+        let (out, m) = fed.run(&plan).expect("recovery completes the plan");
+        let mut src = std::collections::HashMap::new();
+        src.insert("a".to_string(), random_matrix(n, n, 1));
+        src.insert("b".to_string(), random_matrix(n, n, 2));
+        src.insert("lookup".to_string(), lookup.clone());
+        let correct = out.same_bag(&evaluate(&plan, &src).unwrap()).unwrap();
+        let bare = build(false);
+        let no_recovery = match bare.run(&plan) {
+            Ok(_) => "completes".to_string(),
+            Err(_) => "fails".to_string(),
+        };
+        t.row(vec![
+            n.to_string(),
+            seed.to_string(),
+            m.retries.to_string(),
+            m.failovers.to_string(),
+            m.degraded_transfers.to_string(),
+            m.breaker_trips.to_string(),
+            correct.to_string(),
+            no_recovery,
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // tests (tiny sizes)
 // ---------------------------------------------------------------------------
 
@@ -691,5 +801,17 @@ mod tests {
         let opt: usize = row[1].parse().unwrap();
         let naive: usize = row[2].parse().unwrap();
         assert!(opt < naive, "pushdown must ship fewer bytes: {t}");
+    }
+
+    #[test]
+    fn f6_recovers_verifies_and_contrasts() {
+        let t = f6_fault_recovery(&[8]);
+        let row = &t.rows[0];
+        let retries: usize = row[2].parse().unwrap();
+        let failovers: usize = row[3].parse().unwrap();
+        assert!(retries > 0, "transients must force retries: {t}");
+        assert!(failovers > 0, "the crash must force a failover: {t}");
+        assert_eq!(row[6], "true", "recovered answer must verify: {t}");
+        assert_eq!(row[7], "fails", "without recovery the plan aborts: {t}");
     }
 }

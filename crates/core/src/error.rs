@@ -31,9 +31,46 @@ pub enum CoreError {
     },
     /// Malformed bytes while decoding a shipped plan.
     Corrupt(String),
-    /// A network transport failed (connection, timeout, framing, or a
-    /// remote peer reported an error).
+    /// A network transport failed (connection, timeout, framing). These
+    /// are *transient* by definition: the protocol's requests are
+    /// idempotent, so a retry after a transport fault is always safe.
     Net(String),
+    /// A remote peer executed the request and reported a non-transient
+    /// failure (e.g. an unknown dataset or a plan error on the server).
+    /// Unlike [`CoreError::Net`] this is *permanent*: retrying the same
+    /// request against the same server will fail the same way.
+    Remote {
+        /// `host:port` of the server that reported the error.
+        addr: String,
+        /// The server's error message.
+        msg: String,
+    },
+    /// An explicitly transient error: the wrapped failure is expected to
+    /// go away on retry (injected faults, overload, timeouts observed
+    /// above the transport layer). The fault-tolerance machinery retries
+    /// these and treats everything else as permanent.
+    Transient(Box<CoreError>),
+}
+
+impl CoreError {
+    /// Wrap an error as explicitly transient.
+    pub fn transient(e: CoreError) -> CoreError {
+        match e {
+            already @ CoreError::Transient(_) => already,
+            other => CoreError::Transient(Box::new(other)),
+        }
+    }
+
+    /// Is a retry of the failed operation expected to help?
+    ///
+    /// The taxonomy: transport faults ([`CoreError::Net`]) and explicit
+    /// [`CoreError::Transient`] wrappers are transient; everything else —
+    /// type errors, missing datasets, capability mismatches, corrupt
+    /// bytes, server-reported failures ([`CoreError::Remote`]) — is
+    /// permanent and retrying is wasted work.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::Net(_) | CoreError::Transient(_))
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +92,8 @@ impl fmt::Display for CoreError {
             }
             CoreError::Corrupt(msg) => write!(f, "corrupt plan bytes: {msg}"),
             CoreError::Net(msg) => write!(f, "network error: {msg}"),
+            CoreError::Remote { addr, msg } => write!(f, "remote `{addr}`: {msg}"),
+            CoreError::Transient(inner) => write!(f, "transient: {inner}"),
         }
     }
 }
@@ -63,6 +102,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Storage(e) => Some(e),
+            CoreError::Transient(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +123,26 @@ mod tests {
         let e: CoreError = StorageError::UnknownField("x".into()).into();
         assert!(matches!(e, CoreError::Storage(_)));
         assert!(e.to_string().contains("unknown field"));
+    }
+
+    #[test]
+    fn taxonomy_classifies_transience() {
+        // Transport faults and explicit wrappers are transient.
+        assert!(CoreError::Net("connection reset".into()).is_transient());
+        assert!(CoreError::transient(CoreError::Plan("overload".into())).is_transient());
+        // Semantic errors are permanent.
+        assert!(!CoreError::Plan("bad plan".into()).is_transient());
+        assert!(!CoreError::UnknownDataset("t".into()).is_transient());
+        assert!(!CoreError::Corrupt("bytes".into()).is_transient());
+        assert!(!CoreError::Remote {
+            addr: "127.0.0.1:7401".into(),
+            msg: "unknown dataset".into(),
+        }
+        .is_transient());
+        // Wrapping is idempotent and preserves the inner message.
+        let e = CoreError::transient(CoreError::transient(CoreError::Net("x".into())));
+        assert!(matches!(&e, CoreError::Transient(inner) if matches!(**inner, CoreError::Net(_))));
+        assert!(e.to_string().contains("x"), "{e}");
     }
 
     #[test]

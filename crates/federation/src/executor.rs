@@ -1,6 +1,17 @@
 //! The federated executor: runs fragment DAGs across providers, moving
 //! intermediates either **directly between servers** (desideratum 4) or
 //! through the application tier (the baseline it is measured against).
+//!
+//! Execution is fault tolerant (see DESIGN.md, "The failure model"):
+//! transient fragment failures retry with exponential backoff, permanent
+//! failures trigger **failover** onto another provider whose capability
+//! set covers the fragment (staged inputs are re-shipped), and transfer
+//! failures walk a degradation ladder (`RemoteTcp` push → store-based
+//! `Direct` → `AppRouted`). Provider health feeds the registry's circuit
+//! breakers, which the planner consults on the next placement.
+
+use std::collections::HashMap;
+use std::time::Duration;
 
 use bda_core::codec::encode_plan;
 use bda_core::convergence::converged;
@@ -10,7 +21,7 @@ use bda_storage::{DataSet, Row, Value};
 
 use crate::metrics::{Metrics, NetConfig};
 use crate::optimize::{optimize, OptimizerConfig};
-use crate::planner::{Placement, Planner, APP_SITE, FRAG_PREFIX};
+use crate::planner::{Fragment, Placement, Planner, APP_SITE, FRAG_PREFIX};
 use crate::registry::Registry;
 
 /// Result alias.
@@ -32,6 +43,53 @@ pub enum TransferMode {
     RemoteTcp,
 }
 
+/// How the executor reacts to provider failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Master switch; `false` reproduces the pre-fault-tolerance
+    /// behaviour (any failure aborts the plan).
+    pub enabled: bool,
+    /// Execution attempts per provider (first try included) for
+    /// *transient* failures. Permanent failures never retry.
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub backoff: Duration,
+    /// On permanent failure, re-place the fragment on another provider
+    /// whose capabilities cover it (re-shipping staged inputs).
+    pub failover: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            max_attempts: 3,
+            backoff: Duration::from_millis(2),
+            failover: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No retries, no failover: every failure aborts the plan.
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy {
+            enabled: false,
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            failover: false,
+        }
+    }
+
+    fn attempts(&self) -> u32 {
+        if self.enabled {
+            self.max_attempts.max(1)
+        } else {
+            1
+        }
+    }
+}
+
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
@@ -41,6 +99,8 @@ pub struct ExecOptions {
     pub optimizer: OptimizerConfig,
     /// Simulated network parameters.
     pub net: NetConfig,
+    /// Fault-tolerance policy.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ExecOptions {
@@ -49,6 +109,7 @@ impl Default for ExecOptions {
             transfer: TransferMode::Direct,
             optimizer: OptimizerConfig::default(),
             net: NetConfig::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -70,59 +131,42 @@ pub fn execute_placement(
     placement: &Placement,
     opts: &ExecOptions,
 ) -> Result<(DataSet, Metrics)> {
+    if placement.fragments.is_empty() {
+        return Err(CoreError::Plan(
+            "empty placement: no fragments to execute".into(),
+        ));
+    }
     let mut metrics = Metrics::default();
     let mut staged: Vec<(String, String)> = Vec::new(); // (site, name) cleanup list
+                                                        // Fragment outputs the app tier has custody of, keyed by fragment id.
+                                                        // Failover re-ships a failed fragment's inputs from here.
+    let mut cache: HashMap<usize, DataSet> = HashMap::new();
 
     let outcome = (|| -> Result<DataSet> {
         let last = placement.fragments.len() - 1;
         for (pos, frag) in placement.fragments.iter().enumerate() {
             metrics.fragments += 1;
-            if frag.site != APP_SITE && pos != last && opts.transfer == TransferMode::RemoteTcp {
-                // Try a real direct push: the executing server sends its
-                // result straight to the consuming server's endpoint.
-                let provider = registry.provider(&frag.site)?;
-                let dest = registry.provider(&frag.dest_site)?;
-                if let Some(dest_ep) = dest.endpoint() {
-                    let name = format!("{FRAG_PREFIX}{}", frag.id);
-                    let plan_bytes = encode_plan(&frag.plan);
-                    metrics.record_plan_shipment(&opts.net, plan_bytes.len());
-                    let before = wire_total(provider.as_ref());
-                    if let Some(pushed) = provider.execute_push(&frag.plan, &dest_ep, &name) {
-                        let pushed = pushed?;
-                        // Client-side traffic (request + ack) plus the
-                        // server-to-server payload are all real bytes.
-                        metrics.real_wire_bytes +=
-                            pushed + (wire_total(provider.as_ref()) - before);
-                        metrics.record_transfer(
-                            &opts.net,
-                            &frag.site,
-                            &frag.dest_site,
-                            pushed as usize,
-                            false,
-                        );
-                        staged.push((frag.dest_site.clone(), name));
-                        continue;
-                    }
-                    // Provider has no transport: un-count the shipment we
-                    // charged optimistically and fall through below.
-                    metrics.messages -= 1;
-                    metrics.plan_bytes -= plan_bytes.len();
-                    metrics.sim_network_s -= opts.net.message_time(plan_bytes.len());
-                }
+            if frag.site != APP_SITE
+                && pos != last
+                && opts.transfer == TransferMode::RemoteTcp
+                && try_remote_push(registry, frag, opts, &mut metrics, &mut staged)?
+            {
+                continue;
             }
 
             let out = if frag.site == APP_SITE {
                 // App-driven control iteration (see planner docs).
                 run_app_iterate(registry, &frag.plan, opts, &mut metrics)?
             } else {
-                let provider = registry.provider(&frag.site)?;
-                // The plan ships to the provider as one expression tree.
-                let plan_bytes = encode_plan(&frag.plan);
-                metrics.record_plan_shipment(&opts.net, plan_bytes.len());
-                let before = wire_total(provider.as_ref());
-                let out = provider.execute(&frag.plan)?;
-                metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
-                out
+                execute_fragment(
+                    registry,
+                    placement,
+                    frag,
+                    opts,
+                    &mut metrics,
+                    &mut cache,
+                    &mut staged,
+                )?
             };
 
             if pos == last {
@@ -131,16 +175,18 @@ pub fn execute_placement(
                 metrics.record_transfer(&opts.net, &frag.site, "app", bytes, false);
                 return Ok(out);
             }
-            // Stage the output at the consuming site.
-            let name = format!("{FRAG_PREFIX}{}", frag.id);
-            let dest = registry.provider(&frag.dest_site)?;
-            let bytes = encode_dataset(&out).len();
-            let via_app = opts.transfer == TransferMode::AppRouted;
-            metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, via_app);
-            let before = wire_total(dest.as_ref());
-            dest.store(&name, out)?;
-            metrics.real_wire_bytes += wire_total(dest.as_ref()) - before;
-            staged.push((frag.dest_site.clone(), name));
+            if opts.recovery.enabled && opts.recovery.failover {
+                cache.insert(frag.id, out.clone());
+            }
+            if let Err(e) = stage_output(registry, frag, out, opts, &mut metrics, &mut staged) {
+                if !(opts.recovery.enabled && opts.recovery.failover) {
+                    return Err(e);
+                }
+                // The consuming site refused the staged input. Leave
+                // delivery to the consumer's failover path, which re-ships
+                // inputs from the app-tier cache onto whichever provider
+                // ends up running the fragment.
+            }
         }
         unreachable!("placement always has a root fragment")
     })();
@@ -152,6 +198,307 @@ pub fn execute_placement(
         }
     }
     outcome.map(|ds| (ds, metrics))
+}
+
+/// Attempt the real server→server push of a non-root fragment's output
+/// (RemoteTcp mode). Returns `Ok(true)` when the output was delivered,
+/// `Ok(false)` to fall back to the store-based path — either because the
+/// providers have no transport, or because the push failed and the
+/// executor degrades the transfer (counted in `degraded_transfers`).
+fn try_remote_push(
+    registry: &Registry,
+    frag: &Fragment,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+    staged: &mut Vec<(String, String)>,
+) -> Result<bool> {
+    let provider = registry.provider(&frag.site)?;
+    let dest = registry.provider(&frag.dest_site)?;
+    let Some(dest_ep) = dest.endpoint() else {
+        return Ok(false);
+    };
+    let name = format!("{FRAG_PREFIX}{}", frag.id);
+    let plan_bytes = encode_plan(&frag.plan);
+    let attempts = opts.recovery.attempts();
+    let mut backoff = opts.recovery.backoff;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            metrics.retries += 1;
+            sleep_backoff(&mut backoff);
+        }
+        metrics.record_plan_shipment(&opts.net, plan_bytes.len());
+        let before = wire_total(provider.as_ref());
+        match provider.execute_push(&frag.plan, &dest_ep, &name) {
+            None => {
+                // Provider has no transport: un-count the shipment we
+                // charged optimistically and fall back to store-based.
+                metrics.messages -= 1;
+                metrics.plan_bytes -= plan_bytes.len();
+                metrics.sim_network_s -= opts.net.message_time(plan_bytes.len());
+                return Ok(false);
+            }
+            Some(Ok(pushed)) => {
+                // Client-side traffic (request + ack) plus the
+                // server-to-server payload are all real bytes.
+                metrics.real_wire_bytes += pushed + (wire_total(provider.as_ref()) - before);
+                metrics.record_transfer(
+                    &opts.net,
+                    &frag.site,
+                    &frag.dest_site,
+                    pushed as usize,
+                    false,
+                );
+                registry.health().record_success(&frag.site);
+                staged.push((frag.dest_site.clone(), name));
+                return Ok(true);
+            }
+            Some(Err(e)) => {
+                metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
+                if registry.health().record_failure(&frag.site) {
+                    metrics.breaker_trips += 1;
+                }
+                if opts.recovery.enabled && e.is_transient() && attempt + 1 < attempts {
+                    continue;
+                }
+                if !opts.recovery.enabled {
+                    return Err(e);
+                }
+                // Push is unrecoverable here: degrade to the store-based
+                // Direct path (the executor re-runs the fragment below).
+                metrics.degraded_transfers += 1;
+                return Ok(false);
+            }
+        }
+    }
+    unreachable!("push loop returns from its last attempt")
+}
+
+/// Run one non-app fragment with retry and, when that fails for good,
+/// failover onto another capable provider.
+#[allow(clippy::too_many_arguments)]
+fn execute_fragment(
+    registry: &Registry,
+    placement: &Placement,
+    frag: &Fragment,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+    cache: &mut HashMap<usize, DataSet>,
+    staged: &mut Vec<(String, String)>,
+) -> Result<DataSet> {
+    let primary = match execute_at(registry, &frag.site, &frag.plan, opts, metrics) {
+        Ok(out) => return Ok(out),
+        Err(e) => e,
+    };
+    if !(opts.recovery.enabled && opts.recovery.failover) {
+        return Err(primary);
+    }
+    for candidate in failover_candidates(registry, frag) {
+        if reship_inputs(
+            registry, placement, frag, &candidate, opts, metrics, cache, staged,
+        )
+        .is_err()
+        {
+            continue;
+        }
+        if let Ok(out) = execute_at(registry, &candidate, &frag.plan, opts, metrics) {
+            metrics.failovers += 1;
+            return Ok(out);
+        }
+    }
+    // No candidate could take over: surface the original failure.
+    Err(primary)
+}
+
+/// Ship `plan` to the provider at `site` and execute it, retrying
+/// transient failures per the recovery policy. Reports outcomes to the
+/// registry's health board.
+fn execute_at(
+    registry: &Registry,
+    site: &str,
+    plan: &Plan,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+) -> Result<DataSet> {
+    let provider = registry.provider(site)?;
+    let plan_bytes = encode_plan(plan);
+    let attempts = opts.recovery.attempts();
+    let mut backoff = opts.recovery.backoff;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            metrics.retries += 1;
+            sleep_backoff(&mut backoff);
+        }
+        // The plan ships to the provider as one expression tree, once per
+        // attempt — retries are not free.
+        metrics.record_plan_shipment(&opts.net, plan_bytes.len());
+        let before = wire_total(provider.as_ref());
+        let result = provider.execute(plan);
+        metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
+        match result {
+            Ok(out) => {
+                registry.health().record_success(site);
+                return Ok(out);
+            }
+            Err(e) => {
+                if registry.health().record_failure(site) {
+                    metrics.breaker_trips += 1;
+                }
+                let transient = e.is_transient();
+                last_err = Some(e);
+                if !transient {
+                    break;
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+/// Providers able to take over `frag` after its pinned site failed for
+/// good: breaker-available, capability-covering, and already holding every
+/// base dataset the fragment scans (staged inputs are re-shipped, base
+/// data is not).
+fn failover_candidates(registry: &Registry, frag: &Fragment) -> Vec<String> {
+    let base_scans: Vec<String> = frag
+        .plan
+        .scanned_datasets()
+        .into_iter()
+        .filter(|d| !d.starts_with(FRAG_PREFIX))
+        .collect();
+    registry
+        .providers()
+        .iter()
+        .filter(|p| p.name() != frag.site)
+        .filter(|p| registry.health().is_available(p.name()))
+        .filter(|p| p.capabilities().supports_plan(&frag.plan))
+        .filter(|p| base_scans.iter().all(|d| p.schema_of(d).is_some()))
+        .map(|p| p.name().to_string())
+        .collect()
+}
+
+/// Re-ship a failed-over fragment's staged inputs to its new site. Inputs
+/// the app tier never saw (RemoteTcp pushes) are recovered by re-running
+/// their producer fragments.
+#[allow(clippy::too_many_arguments)]
+fn reship_inputs(
+    registry: &Registry,
+    placement: &Placement,
+    frag: &Fragment,
+    new_site: &str,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+    cache: &mut HashMap<usize, DataSet>,
+    staged: &mut Vec<(String, String)>,
+) -> Result<()> {
+    let dest = registry.provider(new_site)?;
+    for &input in &frag.inputs {
+        let data = match cache.get(&input) {
+            Some(d) => d.clone(),
+            None => {
+                let producer = placement
+                    .fragments
+                    .iter()
+                    .find(|f| f.id == input)
+                    .ok_or_else(|| CoreError::Plan(format!("unknown fragment input {input}")))?;
+                let out = execute_at(registry, &producer.site, &producer.plan, opts, metrics)?;
+                cache.insert(input, out.clone());
+                out
+            }
+        };
+        let name = format!("{FRAG_PREFIX}{input}");
+        let bytes = encode_dataset(&data).len();
+        // The recovery hop goes through the app tier by construction.
+        metrics.record_transfer(&opts.net, "app", new_site, bytes, true);
+        let before = wire_total(dest.as_ref());
+        dest.store(&name, data)?;
+        metrics.real_wire_bytes += wire_total(dest.as_ref()) - before;
+        staged.push((new_site.to_string(), name));
+    }
+    Ok(())
+}
+
+/// Stage a fragment's output at the consuming site, retrying transient
+/// store failures; a Direct transfer that keeps failing degrades to the
+/// app-routed path (counted in `degraded_transfers`) before giving up.
+fn stage_output(
+    registry: &Registry,
+    frag: &Fragment,
+    out: DataSet,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+    staged: &mut Vec<(String, String)>,
+) -> Result<()> {
+    let name = format!("{FRAG_PREFIX}{}", frag.id);
+    let bytes = encode_dataset(&out).len();
+    let via_app = opts.transfer == TransferMode::AppRouted;
+    match store_with_retry(registry, &frag.dest_site, &name, &out, opts, metrics) {
+        Ok(()) => {
+            metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, via_app);
+            staged.push((frag.dest_site.clone(), name));
+            Ok(())
+        }
+        Err(e) if !via_app && opts.recovery.enabled => {
+            // Degrade Direct → AppRouted: the app tier takes custody of
+            // the intermediate and re-delivers it on the two-hop path.
+            metrics.degraded_transfers += 1;
+            store_with_retry(registry, &frag.dest_site, &name, &out, opts, metrics)
+                .map_err(|_| e)?;
+            metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, true);
+            staged.push((frag.dest_site.clone(), name));
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// `Provider::store` with transient-failure retry and health reporting.
+fn store_with_retry(
+    registry: &Registry,
+    site: &str,
+    name: &str,
+    data: &DataSet,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+) -> Result<()> {
+    let provider = registry.provider(site)?;
+    let attempts = opts.recovery.attempts();
+    let mut backoff = opts.recovery.backoff;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            metrics.retries += 1;
+            sleep_backoff(&mut backoff);
+        }
+        let before = wire_total(provider.as_ref());
+        let result = provider.store(name, data.clone());
+        metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
+        match result {
+            Ok(()) => {
+                registry.health().record_success(site);
+                return Ok(());
+            }
+            Err(e) => {
+                if registry.health().record_failure(site) {
+                    metrics.breaker_trips += 1;
+                }
+                let transient = e.is_transient();
+                last_err = Some(e);
+                if !transient {
+                    break;
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+/// Sleep the current backoff, then double it for the next retry.
+fn sleep_backoff(backoff: &mut Duration) {
+    if !backoff.is_zero() {
+        std::thread::sleep(*backoff);
+        *backoff = backoff.saturating_mul(2);
+    }
 }
 
 /// Total real transport traffic of a provider (sent + received).
@@ -382,6 +729,116 @@ mod tests {
         // (0.5 I)^4 = 0.0625 I.
         assert!((data[0] - 0.0625).abs() < 1e-12, "{data:?}");
         assert!((data[3] - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_placement_is_an_error() {
+        let r = registry();
+        let err = execute_placement(
+            &r,
+            &Placement { fragments: vec![] },
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("empty placement"), "{err}");
+    }
+
+    #[test]
+    fn transient_failures_retry_to_success() {
+        use crate::fault::{FaultConfig, FaultyProvider};
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "sales",
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![1i64, 2, 3, 4])),
+                ("v", Column::from(vec![1.0f64, 2.0, 3.0, 4.0])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let faulty = FaultyProvider::new(
+            Arc::new(rel),
+            FaultConfig {
+                fail_first: 2,
+                ..FaultConfig::default()
+            },
+        );
+        let mut r = Registry::new();
+        r.register(Arc::new(faulty));
+        let plan = Plan::scan("sales", r.schema_of("sales").unwrap())
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("v"), "s")]);
+        let (out, m) = run_plan(&r, &plan, &ExecOptions::default()).unwrap();
+        assert_eq!(scalar_of(&out).unwrap(), Value::Float(10.0));
+        assert_eq!(m.retries, 2);
+        assert_eq!(m.failovers, 0);
+    }
+
+    #[test]
+    fn recovery_disabled_surfaces_the_failure() {
+        use crate::fault::{FaultConfig, FaultyProvider};
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "sales",
+            DataSet::from_columns(vec![("v", Column::from(vec![1.0f64]))]).unwrap(),
+        )
+        .unwrap();
+        let faulty = FaultyProvider::new(
+            Arc::new(rel),
+            FaultConfig {
+                fail_first: 1,
+                ..FaultConfig::default()
+            },
+        );
+        let mut r = Registry::new();
+        r.register(Arc::new(faulty));
+        let plan = Plan::scan("sales", r.schema_of("sales").unwrap()).limit(1);
+        let opts = ExecOptions {
+            recovery: RecoveryPolicy::disabled(),
+            ..Default::default()
+        };
+        let err = run_plan(&r, &plan, &opts).unwrap_err();
+        assert!(err.to_string().contains("injected transient"), "{err}");
+    }
+
+    #[test]
+    fn crashed_provider_fails_over_to_replica() {
+        use crate::fault::{FaultConfig, FaultyProvider};
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "a_rows",
+            matrix_dataset(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap(),
+        )
+        .unwrap();
+        let b = matrix_dataset(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let la1 = LinAlgEngine::new("la1");
+        la1.store("b", b.clone()).unwrap();
+        let la2 = LinAlgEngine::new("la2");
+        la2.store("b", b).unwrap();
+        let mut r = Registry::new();
+        r.register(Arc::new(rel));
+        // la1 registers first, so the planner pins the matmul there — but
+        // it is dead on arrival. la2 is the identical replica.
+        r.register(Arc::new(FaultyProvider::new(
+            Arc::new(la1),
+            FaultConfig::crash_after(0),
+        )));
+        r.register(Arc::new(la2));
+        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap()).matmul(Plan::scan(
+            "b",
+            r.provider("la2").unwrap().schema_of("b").unwrap(),
+        ));
+        let (out, m) = run_plan(&r, &plan, &ExecOptions::default()).unwrap();
+        let (_, _, data) = dataset_matrix(&out).unwrap();
+        assert_eq!(data, vec![58., 64., 139., 154.]);
+        assert_eq!(m.failovers, 1);
+        assert!(m.degraded_transfers >= 1, "staging at la1 degraded first");
+        // The failover re-ship is cleaned up like any staged intermediate.
+        assert!(r
+            .provider("la2")
+            .unwrap()
+            .catalog()
+            .iter()
+            .all(|(n, _)| !n.starts_with(FRAG_PREFIX)));
     }
 
     #[test]

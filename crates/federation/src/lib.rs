@@ -15,17 +15,22 @@
 
 pub mod cluster;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod optimize;
 pub mod planner;
 pub mod registry;
 
 pub use cluster::{Cluster, WireStats};
-pub use executor::{run_plan, ExecOptions, TransferMode};
+pub use executor::{run_plan, ExecOptions, RecoveryPolicy, TransferMode};
+pub use fault::{fault_seed_from_env, FaultConfig, FaultyProvider, FAULT_SEED_ENV};
 pub use metrics::{Metrics, NetConfig, TransferRecord};
 pub use optimize::{optimize, OptimizerConfig};
 pub use planner::{Fragment, Placement, Planner, APP_SITE};
-pub use registry::{translatability, MaskedProvider, Registry, Translation};
+pub use registry::{
+    translatability, BreakerConfig, BreakerState, HealthBoard, MaskedProvider, Registry,
+    Translation,
+};
 
 use std::sync::Arc;
 

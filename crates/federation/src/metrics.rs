@@ -67,6 +67,17 @@ pub struct Metrics {
     /// pushes). Zero when every provider is in-process; the simulated
     /// model above is charged either way.
     pub real_wire_bytes: u64,
+    /// Fragment execution attempts repeated after a transient failure.
+    pub retries: usize,
+    /// Fragments re-placed on a different provider after their assigned
+    /// provider failed permanently.
+    pub failovers: usize,
+    /// Transfers that fell down the degradation ladder (a direct
+    /// server-to-server push degraded to a store-based transfer, or a
+    /// direct transfer degraded to an app-routed one).
+    pub degraded_transfers: usize,
+    /// Circuit breakers that tripped open during this execution.
+    pub breaker_trips: usize,
 }
 
 impl Metrics {
@@ -121,6 +132,10 @@ impl Metrics {
         self.fragments += other.fragments;
         self.client_driven_iterations += other.client_driven_iterations;
         self.real_wire_bytes += other.real_wire_bytes;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.degraded_transfers += other.degraded_transfers;
+        self.breaker_trips += other.breaker_trips;
     }
 }
 
@@ -138,7 +153,12 @@ impl fmt::Display for Metrics {
             self.app_tier_bytes()
         )?;
         writeln!(f, "simulated network time: {:.6}s", self.sim_network_s)?;
-        write!(f, "real wire bytes: {}", self.real_wire_bytes)
+        writeln!(f, "real wire bytes: {}", self.real_wire_bytes)?;
+        write!(
+            f,
+            "recovery: {} retries, {} failovers, {} degraded transfers, {} breaker trips",
+            self.retries, self.failovers, self.degraded_transfers, self.breaker_trips
+        )
     }
 }
 

@@ -152,17 +152,40 @@ impl<'a> Planner<'a> {
     }
 
     /// Candidate sites able to run the whole subtree in one fragment.
+    ///
+    /// Providers whose circuit breaker is open are skipped, so placement
+    /// routes around sites that recently failed — unless *every* holder
+    /// or supporter is open-circuit, in which case the full set is used
+    /// (placing on a suspect provider doubles as the half-open probe and
+    /// beats failing the query outright).
     fn candidates(&self, plan: &Plan) -> Vec<String> {
         match plan {
-            Plan::Scan { dataset, .. } => self.registry.locations_of(dataset),
+            Plan::Scan { dataset, .. } => {
+                let available = self.registry.available_locations_of(dataset);
+                if available.is_empty() {
+                    self.registry.locations_of(dataset)
+                } else {
+                    available
+                }
+            }
             _ => {
-                let mut cands = self.registry.supporters_of(plan.op_kind());
+                let mut cands = self.healthy_supporters(plan.op_kind());
                 for c in plan.children() {
                     let child = self.candidates(c);
                     cands.retain(|s| child.contains(s));
                 }
                 cands
             }
+        }
+    }
+
+    /// Supporters of `op`, preferring those with a closed breaker.
+    fn healthy_supporters(&self, op: bda_core::OpKind) -> Vec<String> {
+        let available = self.registry.available_supporters_of(op);
+        if available.is_empty() {
+            self.registry.supporters_of(op)
+        } else {
+            available
         }
     }
 
@@ -222,7 +245,7 @@ impl<'a> Planner<'a> {
             // loop-carried); fall back to app-driven iteration.
             return Ok((plan.clone(), APP_SITE.to_string()));
         }
-        let supporters = self.registry.supporters_of(plan.op_kind());
+        let supporters = self.healthy_supporters(plan.op_kind());
         if supporters.is_empty() {
             return Err(CoreError::Unsupported {
                 provider: "<federation>".into(),
@@ -379,6 +402,44 @@ mod tests {
         let placement = Planner::new(&r).place(&plan).unwrap();
         assert_eq!(placement.fragments.len(), 1);
         assert!(placement.root().plan.op_kinds().iter().all(|k| k.is_base()));
+    }
+
+    #[test]
+    fn placement_skips_open_circuit_providers() {
+        // Two linalg replicas both hold `m`; trip one's breaker and the
+        // planner must place on the other.
+        let la1 = LinAlgEngine::new("la1");
+        la1.store("m", matrix_dataset(2, 2, vec![1., 0., 0., 1.]).unwrap())
+            .unwrap();
+        let la2 = LinAlgEngine::new("la2");
+        la2.store("m", matrix_dataset(2, 2, vec![1., 0., 0., 1.]).unwrap())
+            .unwrap();
+        // Long cooldown so an open breaker cannot half-open mid-test.
+        let mut r = Registry::with_breaker_config(crate::registry::BreakerConfig {
+            failure_threshold: 3,
+            cooldown: std::time::Duration::from_secs(3600),
+        });
+        r.register(Arc::new(la1));
+        r.register(Arc::new(la2));
+        let schema = r.schema_of("m").unwrap();
+        let plan = Plan::scan("m", schema.clone()).matmul(Plan::scan("m", schema));
+
+        let before = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(before.root().site, "la1", "registration order wins");
+
+        let threshold = r.health().config().failure_threshold;
+        for _ in 0..threshold {
+            r.health().record_failure("la1");
+        }
+        let after = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(after.root().site, "la2", "open circuit is skipped");
+
+        // With every holder open-circuit, placement still succeeds (the
+        // suspect provider becomes the half-open probe).
+        for _ in 0..threshold {
+            r.health().record_failure("la2");
+        }
+        assert!(Planner::new(&r).place(&plan).is_ok());
     }
 
     #[test]

@@ -1,23 +1,206 @@
-//! The provider registry: who exists, what they can do, where data lives.
+//! The provider registry: who exists, what they can do, where data
+//! lives — and, for fault tolerance, who is currently *healthy*.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bda_core::{CapabilitySet, CoreError, OpKind, Plan, Provider};
 use bda_storage::Schema;
 
+use parking_lot::Mutex;
+
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
+/// Circuit-breaker tuning for the per-provider health tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects traffic before allowing one
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Snapshot of one provider's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Tripped: the provider is skipped during placement and failover.
+    Open,
+    /// Probing: one request is allowed through; its outcome decides
+    /// whether the breaker closes again or re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerEntry {
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Instant,
+}
+
+impl BreakerEntry {
+    fn new() -> BreakerEntry {
+        BreakerEntry {
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: Instant::now(),
+        }
+    }
+}
+
+/// Shared per-provider health: a consecutive-failure circuit breaker with
+/// half-open probing. Cloning a [`Registry`] shares its board, so every
+/// handle to the same federation sees the same health picture.
+#[derive(Debug)]
+pub struct HealthBoard {
+    config: BreakerConfig,
+    entries: Mutex<HashMap<String, BreakerEntry>>,
+    trips: AtomicUsize,
+}
+
+impl Default for HealthBoard {
+    fn default() -> Self {
+        HealthBoard::new(BreakerConfig::default())
+    }
+}
+
+impl HealthBoard {
+    /// An empty board with the given breaker tuning.
+    pub fn new(config: BreakerConfig) -> HealthBoard {
+        HealthBoard {
+            config,
+            entries: Mutex::new(HashMap::new()),
+            trips: AtomicUsize::new(0),
+        }
+    }
+
+    /// The breaker tuning in effect.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Record a successful call to `provider`: resets the failure streak
+    /// and closes a half-open breaker.
+    pub fn record_success(&self, provider: &str) {
+        let mut entries = self.entries.lock();
+        let e = entries
+            .entry(provider.to_string())
+            .or_insert_with(BreakerEntry::new);
+        e.consecutive_failures = 0;
+        e.state = BreakerState::Closed;
+    }
+
+    /// Record a failed call to `provider`. Returns `true` when this
+    /// failure tripped the breaker open (either the failure streak
+    /// reached the threshold, or a half-open probe failed).
+    pub fn record_failure(&self, provider: &str) -> bool {
+        let mut entries = self.entries.lock();
+        let e = entries
+            .entry(provider.to_string())
+            .or_insert_with(BreakerEntry::new);
+        e.consecutive_failures += 1;
+        let trip = match e.state {
+            BreakerState::Closed => e.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::HalfOpen => true, // failed probe re-opens
+            BreakerState::Open => false,
+        };
+        if trip {
+            e.state = BreakerState::Open;
+            e.opened_at = Instant::now();
+            self.trips.fetch_add(1, Ordering::Relaxed);
+        }
+        trip
+    }
+
+    /// May `provider` receive traffic right now? `Closed` and `HalfOpen`
+    /// breakers admit requests; an `Open` breaker rejects them until its
+    /// cooldown elapses, at which point it transitions to `HalfOpen` and
+    /// admits exactly the probing request path.
+    pub fn is_available(&self, provider: &str) -> bool {
+        let mut entries = self.entries.lock();
+        let Some(e) = entries.get_mut(provider) else {
+            return true; // never failed
+        };
+        match e.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if e.opened_at.elapsed() >= self.config.cooldown {
+                    e.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Current breaker state of `provider`.
+    pub fn state(&self, provider: &str) -> BreakerState {
+        self.entries
+            .lock()
+            .get(provider)
+            .map(|e| e.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Total breaker trips since the board was created.
+    pub fn trips(&self) -> usize {
+        self.trips.load(Ordering::Relaxed)
+    }
+}
+
 /// A shared, ordered collection of providers.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Registry {
     providers: Vec<Arc<dyn Provider>>,
+    health: Arc<HealthBoard>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            providers: Vec::new(),
+            health: Arc::new(HealthBoard::default()),
+        }
+    }
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// An empty registry with explicit circuit-breaker tuning.
+    pub fn with_breaker_config(config: BreakerConfig) -> Registry {
+        Registry {
+            providers: Vec::new(),
+            health: Arc::new(HealthBoard::new(config)),
+        }
+    }
+
+    /// The shared per-provider health board.
+    pub fn health(&self) -> &HealthBoard {
+        &self.health
+    }
+
+    /// Replace the breaker tuning (resets all health state).
+    pub fn set_breaker_config(&mut self, config: BreakerConfig) {
+        self.health = Arc::new(HealthBoard::new(config));
     }
 
     /// Register a provider (order matters only for tie-breaking).
@@ -62,6 +245,24 @@ impl Registry {
             .iter()
             .filter(|p| p.capabilities().supports(op))
             .map(|p| p.name().to_string())
+            .collect()
+    }
+
+    /// Like [`Registry::locations_of`], restricted to providers whose
+    /// circuit breaker currently admits traffic.
+    pub fn available_locations_of(&self, dataset: &str) -> Vec<String> {
+        self.locations_of(dataset)
+            .into_iter()
+            .filter(|n| self.health.is_available(n))
+            .collect()
+    }
+
+    /// Like [`Registry::supporters_of`], restricted to providers whose
+    /// circuit breaker currently admits traffic.
+    pub fn available_supporters_of(&self, op: OpKind) -> Vec<String> {
+        self.supporters_of(op)
+            .into_iter()
+            .filter(|n| self.health.is_available(n))
             .collect()
     }
 
@@ -327,6 +528,76 @@ mod tests {
         ));
         let ok = Plan::scan("t", masked.schema_of("t").unwrap());
         assert_eq!(masked.execute(&ok).unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures() {
+        let board = HealthBoard::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(3600),
+        });
+        assert!(board.is_available("p"));
+        assert!(!board.record_failure("p"));
+        assert!(!board.record_failure("p"));
+        assert!(board.is_available("p"), "still closed below threshold");
+        assert!(board.record_failure("p"), "third failure trips");
+        assert_eq!(board.state("p"), BreakerState::Open);
+        assert!(!board.is_available("p"), "open circuit rejects traffic");
+        assert_eq!(board.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let board = HealthBoard::default();
+        board.record_failure("p");
+        board.record_failure("p");
+        board.record_success("p");
+        assert!(!board.record_failure("p"), "streak restarted");
+        assert_eq!(board.state("p"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_breaker_half_opens_after_cooldown() {
+        let board = HealthBoard::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        });
+        assert!(board.record_failure("p"));
+        // Zero cooldown: the very next availability check admits a probe.
+        assert!(board.is_available("p"));
+        assert_eq!(board.state("p"), BreakerState::HalfOpen);
+        // A failed probe re-opens (and counts as a trip) ...
+        assert!(board.record_failure("p"));
+        assert_eq!(board.trips(), 2);
+        // ... and a successful probe closes for good.
+        assert!(board.is_available("p"));
+        board.record_success("p");
+        assert_eq!(board.state("p"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn availability_filters_registry_lookups() {
+        let r = registry(); // holds "ref" with dataset "t"
+        assert_eq!(r.available_locations_of("t"), vec!["ref"]);
+        let threshold = r.health().config().failure_threshold;
+        for _ in 0..threshold {
+            r.health().record_failure("ref");
+        }
+        assert!(r.available_locations_of("t").is_empty());
+        assert!(r.available_supporters_of(OpKind::Select).is_empty());
+        // The raw lookups ignore health (capability truth is static).
+        assert_eq!(r.locations_of("t"), vec!["ref"]);
+    }
+
+    #[test]
+    fn cloned_registries_share_the_health_board() {
+        let r = registry();
+        let clone = r.clone();
+        let threshold = r.health().config().failure_threshold;
+        for _ in 0..threshold {
+            clone.health().record_failure("ref");
+        }
+        assert_eq!(r.health().state("ref"), BreakerState::Open);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //!
 //! Connections are pooled per provider and reused across requests;
 //! every request carries read/write timeouts; transient transport
-//! failures retry with bounded exponential backoff (all requests in the
+//! failures retry with bounded exponential backoff and ±50% jitter so a
+//! burst of clients doesn't retry in lockstep (all requests in the
 //! protocol are idempotent, so a retry after a half-done request is
-//! safe). Real wire traffic is counted on atomic counters, which the
+//! safe). A failure on a *pooled* connection — typically a server-side
+//! idle close — discards it and redials once within the same attempt.
+//! Real wire traffic is counted on atomic counters, which the
 //! federation's metrics read to report actual bytes alongside the
 //! simulated network model.
 
@@ -17,6 +20,9 @@ use std::time::Duration;
 
 use bda_core::{CapabilitySet, CoreError, Plan, Provider};
 use bda_storage::{DataSet, Schema};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::frame::{read_message, write_message, FrameError};
 use crate::proto::{decode_response, encode_request, CatalogEntry, Request, Response};
@@ -49,6 +55,8 @@ pub struct RemoteOptions {
     pub retry: RetryPolicy,
     /// Maximum idle connections kept in the pool.
     pub pool_capacity: usize,
+    /// Seed of the backoff-jitter stream (deterministic per provider).
+    pub jitter_seed: u64,
 }
 
 impl Default for RemoteOptions {
@@ -57,8 +65,15 @@ impl Default for RemoteOptions {
             timeout: Duration::from_secs(10),
             retry: RetryPolicy::default(),
             pool_capacity: 4,
+            jitter_seed: 0xBDA,
         }
     }
+}
+
+/// `backoff` scaled by a uniform factor in `[0.5, 1.5)` — the ±50% jitter
+/// that de-synchronizes concurrent retriers.
+pub fn jittered(backoff: Duration, rng: &mut StdRng) -> Duration {
+    backoff.mul_f64(rng.gen_range(0.5..1.5))
 }
 
 /// A provider whose engine runs in another process, reached over TCP.
@@ -69,6 +84,7 @@ pub struct RemoteProvider {
     addr: String,
     opts: RemoteOptions,
     pool: Mutex<Vec<TcpStream>>,
+    jitter: Mutex<StdRng>,
     sent: AtomicU64,
     received: AtomicU64,
 }
@@ -89,6 +105,7 @@ impl RemoteProvider {
             addr: addr.into(),
             opts,
             pool: Mutex::new(Vec::new()),
+            jitter: Mutex::new(StdRng::seed_from_u64(opts.jitter_seed)),
             sent: AtomicU64::new(0),
             received: AtomicU64::new(0),
         };
@@ -116,7 +133,9 @@ impl RemoteProvider {
     }
 
     /// Issue one request, retrying transient transport failures with
-    /// bounded exponential backoff. Server-reported errors never retry.
+    /// bounded, jittered exponential backoff. Server-reported *transient*
+    /// errors retry too; permanent ones surface immediately as
+    /// [`CoreError::Remote`].
     pub fn request(&self, req: &Request) -> Result<Response> {
         let (kind, payload) = encode_request(req);
         let attempts = self.opts.retry.attempts.max(1);
@@ -124,15 +143,35 @@ impl RemoteProvider {
         let mut last = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(backoff);
+                let delay = {
+                    let mut rng = self.jitter.lock().expect("jitter rng poisoned");
+                    jittered(backoff, &mut rng)
+                };
+                std::thread::sleep(delay);
                 backoff = backoff.saturating_mul(2);
             }
             match self.try_request(kind, &payload) {
-                Ok(Response::Error(msg)) => {
-                    return Err(CoreError::Net(format!("remote `{}`: {msg}", self.addr)))
+                Ok(Response::Error { msg, transient }) => {
+                    let err = if transient {
+                        CoreError::transient(CoreError::Net(format!(
+                            "remote `{}`: {msg}",
+                            self.addr
+                        )))
+                    } else {
+                        return Err(CoreError::Remote {
+                            addr: self.addr.clone(),
+                            msg,
+                        });
+                    };
+                    last = Some(err);
                 }
                 Ok(resp) => return Ok(resp),
-                Err(e) => last = Some(e),
+                Err(e) => {
+                    last = Some(CoreError::Net(format!(
+                        "request to {} failed: {e}",
+                        self.addr
+                    )))
+                }
             }
         }
         let e = last.expect("at least one attempt ran");
@@ -142,13 +181,30 @@ impl RemoteProvider {
         )))
     }
 
-    /// One attempt over one pooled (or fresh) connection. Any failure
-    /// discards the connection; success returns it to the pool.
+    /// One attempt over one pooled (or fresh) connection. A roundtrip
+    /// failure on a pooled connection usually means the server closed it
+    /// while idle — discard it and redial once within the same attempt.
+    /// Any failure discards the connection; success returns it to the
+    /// pool.
     fn try_request(&self, kind: u8, payload: &[u8]) -> std::result::Result<Response, FrameError> {
-        let mut conn = match self.checkout() {
-            Some(c) => c,
-            None => self.dial()?,
+        let (conn, pooled) = match self.checkout() {
+            Some(c) => (c, true),
+            None => (self.dial()?, false),
         };
+        match self.roundtrip(conn, kind, payload) {
+            Err(_) if pooled => self.roundtrip(self.dial()?, kind, payload),
+            outcome => outcome,
+        }
+    }
+
+    /// Send `kind`+`payload` on `conn` and read the response, returning
+    /// `conn` to the pool on success.
+    fn roundtrip(
+        &self,
+        mut conn: TcpStream,
+        kind: u8,
+        payload: &[u8],
+    ) -> std::result::Result<Response, FrameError> {
         let outcome = (|| {
             let sent = write_message(&mut conn, kind, payload)?;
             conn.flush_write()?;
@@ -275,5 +331,30 @@ impl Provider for RemoteProvider {
             self.sent.load(Ordering::Relaxed),
             self.received.load(Ordering::Relaxed),
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_half_to_three_halves() {
+        let base = Duration::from_millis(100);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let d = jittered(base, &mut rng);
+            assert!(d >= base / 2 && d < base * 3 / 2, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let base = Duration::from_millis(80);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(jittered(base, &mut a), jittered(base, &mut b));
+        }
     }
 }

@@ -122,6 +122,16 @@ pub fn write_message<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> io::Resul
 /// Read one message, reassembling continuation frames. Returns the kind,
 /// the payload, and the total bytes consumed off the wire.
 pub fn read_message<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>, u64), FrameError> {
+    read_message_limited(r, MAX_MESSAGE_BYTES)
+}
+
+/// [`read_message`] with an explicit reassembly cap instead of
+/// [`MAX_MESSAGE_BYTES`] — the 512 MiB production limit is untestable
+/// directly, so tests exercise the overflow path through this.
+pub fn read_message_limited<R: Read>(
+    r: &mut R,
+    max_message_bytes: usize,
+) -> Result<(u8, Vec<u8>, u64), FrameError> {
     let mut payload = Vec::new();
     let mut consumed = 0u64;
     let mut first_kind: Option<u8> = None;
@@ -144,7 +154,7 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>, u64), FrameError
             }
             Some(_) => {}
         }
-        if payload.len() + len as usize > MAX_MESSAGE_BYTES {
+        if payload.len() + len as usize > max_message_bytes {
             return Err(FrameError::OversizedMessage {
                 total: payload.len() + len as usize,
             });
@@ -210,6 +220,23 @@ mod tests {
             let err = read_message(&mut &wire[..cut]).unwrap_err();
             assert!(matches!(err, FrameError::Io(_)), "cut {cut}: {err}");
         }
+    }
+
+    #[test]
+    fn oversized_message_is_an_error() {
+        // Two frames of 4 B against a 6 B cap: the second frame tips it.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&[2, FLAG_MORE, 4, 0, 0, 0]);
+        wire.extend_from_slice(b"abcd");
+        wire.extend_from_slice(&[2, 0, 4, 0, 0, 0]);
+        wire.extend_from_slice(b"efgh");
+        assert!(matches!(
+            read_message_limited(&mut wire.as_slice(), 6),
+            Err(FrameError::OversizedMessage { total: 8 })
+        ));
+        // The same bytes are fine under the production limit.
+        let (k, p, _) = read_message(&mut wire.as_slice()).unwrap();
+        assert_eq!((k, p.as_slice()), (2, b"abcdefgh".as_slice()));
     }
 
     #[test]

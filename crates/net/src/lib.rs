@@ -27,10 +27,12 @@ pub mod frame;
 pub mod proto;
 pub mod server;
 
-pub use client::{RemoteOptions, RemoteProvider, RetryPolicy};
-pub use frame::{FrameError, FLAG_MORE, HEADER_LEN, MAX_FRAME_PAYLOAD, MAX_MESSAGE_BYTES};
+pub use client::{jittered, RemoteOptions, RemoteProvider, RetryPolicy};
+pub use frame::{
+    read_message_limited, FrameError, FLAG_MORE, HEADER_LEN, MAX_FRAME_PAYLOAD, MAX_MESSAGE_BYTES,
+};
 pub use proto::{CatalogEntry, Request, Response};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with_faults, NetFaults, ServerHandle};
 
 /// Result alias matching the rest of the workspace.
 pub type Result<T> = std::result::Result<T, bda_core::CoreError>;

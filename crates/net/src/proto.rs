@@ -94,8 +94,24 @@ pub enum Response {
     },
     /// Catalog listing.
     Catalog(Vec<CatalogEntry>),
-    /// The request failed server-side; the display string of the error.
-    Error(String),
+    /// The request failed server-side; the display string of the error
+    /// plus whether the server considers it transient (safe to retry).
+    Error {
+        /// Display string of the server-side error.
+        msg: String,
+        /// `CoreError::is_transient()` as judged server-side.
+        transient: bool,
+    },
+}
+
+impl Response {
+    /// An error response carrying `e`'s display string and transience.
+    pub fn from_error(e: &CoreError) -> Response {
+        Response::Error {
+            msg: e.to_string(),
+            transient: e.is_transient(),
+        }
+    }
 }
 
 // Message kinds (the frame `kind` byte). Requests are < 0x80.
@@ -260,7 +276,8 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             }
             K_R_CATALOG
         }
-        Response::Error(msg) => {
+        Response::Error { msg, transient } => {
+            buf.put_u8(u8::from(*transient));
             put_string(&mut buf, msg);
             K_R_ERROR
         }
@@ -314,7 +331,17 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<Response> {
             }
             Response::Catalog(entries)
         }
-        K_R_ERROR => Response::Error(r.string("error message")?),
+        K_R_ERROR => {
+            let transient = match r.u8("error transient flag")? {
+                0 => false,
+                1 => true,
+                other => return Err(corrupt(format!("bad transient flag {other}"))),
+            };
+            Response::Error {
+                msg: r.string("error message")?,
+                transient,
+            }
+        }
         other => return Err(corrupt(format!("unknown response kind {other:#04x}"))),
     };
     finish(&r, "response")?;
@@ -389,7 +416,14 @@ mod tests {
                 rows: None,
             },
         ]));
-        response_round_trip(Response::Error("boom".into()));
+        response_round_trip(Response::Error {
+            msg: "boom".into(),
+            transient: false,
+        });
+        response_round_trip(Response::Error {
+            msg: "socket hiccup".into(),
+            transient: true,
+        });
     }
 
     #[test]

@@ -2,15 +2,23 @@
 //! the framed protocol. One OS thread accepts; one thread per
 //! connection serves requests until the peer hangs up or the server
 //! shuts down.
+//!
+//! For chaos testing, [`serve_with_faults`] injects seeded transport
+//! faults *below* the protocol: responses are dropped (connection closed
+//! without a reply) or truncated mid-frame, which clients must survive
+//! via their retry-and-redial machinery.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bda_core::Provider;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::frame::{read_message, write_message};
 use crate::proto::{
@@ -32,17 +40,91 @@ pub struct ServerHandle {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// Seeded transport-level fault injection for a server (chaos testing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaults {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability a response is dropped: the connection closes without a
+    /// reply, which the client sees as an EOF / reset.
+    pub drop_rate: f64,
+    /// Probability a response is truncated mid-frame before the
+    /// connection closes — the client's frame reader must error cleanly.
+    pub truncate_rate: f64,
+}
+
+impl NetFaults {
+    /// Drop and truncate responses, each at rate `p`, seeded.
+    pub fn new(seed: u64, p: f64) -> NetFaults {
+        NetFaults {
+            seed,
+            drop_rate: p,
+            truncate_rate: p,
+        }
+    }
+}
+
+/// The shared fault stream: one RNG across all of a server's connections
+/// so the injected sequence is a function of the seed and the global
+/// response order.
+struct FaultState {
+    faults: NetFaults,
+    rng: Mutex<StdRng>,
+}
+
+/// What the fault hook decided for one response.
+enum FaultAction {
+    Deliver,
+    Drop,
+    Truncate,
+}
+
+impl FaultState {
+    fn decide(&self) -> FaultAction {
+        let mut rng = self.rng.lock().expect("fault rng poisoned");
+        if self.faults.drop_rate > 0.0 && rng.gen_bool(self.faults.drop_rate) {
+            return FaultAction::Drop;
+        }
+        if self.faults.truncate_rate > 0.0 && rng.gen_bool(self.faults.truncate_rate) {
+            return FaultAction::Truncate;
+        }
+        FaultAction::Deliver
+    }
+}
+
 /// Serve `engine` on `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
 /// port). Returns once the listener is bound; requests are handled on
 /// background threads.
 pub fn serve(engine: Arc<dyn Provider>, bind: &str) -> std::io::Result<ServerHandle> {
+    serve_inner(engine, bind, None)
+}
+
+/// [`serve`] with transport-level fault injection — responses are
+/// dropped or truncated per the seeded [`NetFaults`] stream.
+pub fn serve_with_faults(
+    engine: Arc<dyn Provider>,
+    bind: &str,
+    faults: NetFaults,
+) -> std::io::Result<ServerHandle> {
+    let state = FaultState {
+        rng: Mutex::new(StdRng::seed_from_u64(faults.seed)),
+        faults,
+    };
+    serve_inner(engine, bind, Some(Arc::new(state)))
+}
+
+fn serve_inner(
+    engine: Arc<dyn Provider>,
+    bind: &str,
+    faults: Option<Arc<FaultState>>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread = std::thread::Builder::new()
         .name(format!("bda-served-{}", engine.name()))
-        .spawn(move || accept_loop(listener, engine, accept_shutdown))?;
+        .spawn(move || accept_loop(listener, engine, accept_shutdown, faults))?;
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -76,7 +158,12 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<dyn Provider>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<dyn Provider>,
+    shutdown: Arc<AtomicBool>,
+    faults: Option<Arc<FaultState>>,
+) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         let conn = match listener.accept() {
@@ -88,9 +175,10 @@ fn accept_loop(listener: TcpListener, engine: Arc<dyn Provider>, shutdown: Arc<A
         }
         let engine = Arc::clone(&engine);
         let conn_shutdown = Arc::clone(&shutdown);
+        let conn_faults = faults.clone();
         if let Ok(h) = std::thread::Builder::new()
             .name("bda-served-conn".to_string())
-            .spawn(move || handle_connection(conn, engine, conn_shutdown))
+            .spawn(move || handle_connection(conn, engine, conn_shutdown, conn_faults))
         {
             handlers.push(h);
         }
@@ -101,7 +189,12 @@ fn accept_loop(listener: TcpListener, engine: Arc<dyn Provider>, shutdown: Arc<A
     }
 }
 
-fn handle_connection(mut conn: TcpStream, engine: Arc<dyn Provider>, shutdown: Arc<AtomicBool>) {
+fn handle_connection(
+    mut conn: TcpStream,
+    engine: Arc<dyn Provider>,
+    shutdown: Arc<AtomicBool>,
+    faults: Option<Arc<FaultState>>,
+) {
     let _ = conn.set_nodelay(true);
     while !shutdown.load(Ordering::SeqCst) {
         // Idle phase: peek (non-consuming) with a short timeout so the
@@ -133,11 +226,27 @@ fn handle_connection(mut conn: TcpStream, engine: Arc<dyn Provider>, shutdown: A
             Err(_) => return,
         };
         let response = match decode_request(kind, &payload) {
-            Ok(req) => handle_request(engine.as_ref(), &req)
-                .unwrap_or_else(|e| Response::Error(e.to_string())),
-            Err(e) => Response::Error(e.to_string()),
+            Ok(req) => {
+                handle_request(engine.as_ref(), &req).unwrap_or_else(|e| Response::from_error(&e))
+            }
+            Err(e) => Response::from_error(&e),
         };
         let (rkind, rpayload) = encode_response(&response);
+        match faults.as_ref().map(|f| f.decide()) {
+            Some(FaultAction::Drop) => return, // close without replying
+            Some(FaultAction::Truncate) => {
+                // Encode the full reply but put only half its bytes on
+                // the wire, then close: a mid-frame disconnect.
+                let mut wire = Vec::new();
+                if write_message(&mut wire, rkind, &rpayload).is_err() {
+                    return;
+                }
+                let half = &wire[..wire.len() / 2];
+                let _ = conn.write_all(half).and_then(|_| conn.flush());
+                return;
+            }
+            Some(FaultAction::Deliver) | None => {}
+        }
         if write_message(&mut conn, rkind, &rpayload)
             .and_then(|_| conn.flush())
             .is_err()
@@ -215,7 +324,13 @@ fn push_to_peer(dest_addr: &str, dest_name: &str, data: bda_storage::DataSet) ->
         read_message(&mut conn).map_err(|e| CoreError::Net(format!("push to {dest_addr}: {e}")))?;
     match crate::proto::decode_response(rkind, &rpayload)? {
         Response::Ack => Ok(sent),
-        Response::Error(msg) => Err(CoreError::Net(format!("peer {dest_addr}: {msg}"))),
+        Response::Error { msg, transient } if transient => Err(CoreError::transient(
+            CoreError::Net(format!("peer {dest_addr}: {msg}")),
+        )),
+        Response::Error { msg, .. } => Err(CoreError::Remote {
+            addr: dest_addr.to_string(),
+            msg,
+        }),
         other => Err(CoreError::Net(format!(
             "unexpected push response: {other:?}"
         ))),

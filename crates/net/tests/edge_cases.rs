@@ -1,0 +1,172 @@
+//! Transport edge cases: half-written messages, hostile frames, faulty
+//! servers, and shutdown races. The invariant under test is always the
+//! same — clean errors (or clean recovery), never a panic or a hang.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda_core::{CapabilitySet, CoreError, Plan, Provider, ReferenceProvider};
+use bda_net::{serve, serve_with_faults, NetFaults, RemoteOptions, RemoteProvider, RetryPolicy};
+use bda_storage::{Column, DataSet, Schema};
+
+fn sample() -> DataSet {
+    DataSet::from_columns(vec![
+        ("k", Column::from(vec![1i64, 2, 3])),
+        ("v", Column::from(vec![1.0f64, 2.0, 3.0])),
+    ])
+    .unwrap()
+}
+
+fn fast_opts() -> RemoteOptions {
+    RemoteOptions {
+        timeout: Duration::from_secs(2),
+        retry: RetryPolicy {
+            attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+        },
+        ..RemoteOptions::default()
+    }
+}
+
+/// A peer that writes part of a request frame and hangs up must not take
+/// the server down: the next well-formed client still gets answers.
+#[test]
+fn half_written_request_leaves_server_healthy() {
+    let engine = Arc::new(ReferenceProvider::new("ref"));
+    engine.store("t", sample()).unwrap();
+    let server = serve(engine, "127.0.0.1:0").unwrap();
+
+    {
+        let mut rude = TcpStream::connect(server.addr()).unwrap();
+        // A header promising 100 payload bytes, then only 3, then EOF.
+        let mut partial = vec![0x02u8, 0x00];
+        partial.extend_from_slice(&100u32.to_le_bytes());
+        partial.extend_from_slice(b"abc");
+        rude.write_all(&partial).unwrap();
+        rude.flush().unwrap();
+    } // dropped: disconnect mid-message
+
+    let remote = RemoteProvider::connect_with(server.addr().to_string(), fast_opts()).unwrap();
+    let out = remote
+        .execute(&Plan::scan("t", remote.schema_of("t").unwrap()))
+        .unwrap();
+    assert_eq!(out.num_rows(), 3);
+}
+
+/// Garbage that parses as a frame but not as a request gets an error
+/// response (not a dropped connection, not a panic).
+#[test]
+fn unknown_request_kind_is_reported_not_fatal() {
+    let engine = Arc::new(ReferenceProvider::new("ref"));
+    let server = serve(engine, "127.0.0.1:0").unwrap();
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    bda_net::frame::write_message(&mut conn, 0x7E, b"junk").unwrap();
+    conn.flush().unwrap();
+    let (kind, payload, _) = bda_net::frame::read_message(&mut conn).unwrap();
+    match bda_net::proto::decode_response(kind, &payload).unwrap() {
+        bda_net::Response::Error { msg, transient } => {
+            assert!(msg.contains("unknown request kind"), "{msg}");
+            assert!(!transient, "a protocol violation never retries");
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+}
+
+/// A server that drops and truncates every response produces clean
+/// errors after the client's retries — never a hang.
+#[test]
+fn always_faulty_server_yields_clean_errors() {
+    let engine = Arc::new(ReferenceProvider::new("ref"));
+    let server = serve_with_faults(engine, "127.0.0.1:0", NetFaults::new(42, 1.0)).unwrap();
+    let err = RemoteProvider::connect_with(server.addr().to_string(), fast_opts()).unwrap_err();
+    assert!(err.is_transient(), "transport faults are transient: {err}");
+    assert!(err.to_string().contains("2 attempts"), "{err}");
+}
+
+/// At a moderate fault rate the client's retry-and-redial machinery
+/// grinds through: every request eventually succeeds.
+#[test]
+fn flaky_server_is_survivable_with_retries() {
+    let engine = Arc::new(ReferenceProvider::new("ref"));
+    engine.store("t", sample()).unwrap();
+    let server = serve_with_faults(engine, "127.0.0.1:0", NetFaults::new(7, 0.3)).unwrap();
+    let opts = RemoteOptions {
+        timeout: Duration::from_secs(2),
+        retry: RetryPolicy {
+            attempts: 10,
+            initial_backoff: Duration::from_millis(1),
+        },
+        ..RemoteOptions::default()
+    };
+    let remote = RemoteProvider::connect_with(server.addr().to_string(), opts).unwrap();
+    for _ in 0..10 {
+        let out = remote
+            .execute(&Plan::scan("t", remote.schema_of("t").unwrap()))
+            .unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+}
+
+/// An engine that takes its time to answer.
+struct SlowProvider {
+    inner: ReferenceProvider,
+    delay: Duration,
+}
+
+impl Provider for SlowProvider {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn capabilities(&self) -> CapabilitySet {
+        self.inner.capabilities()
+    }
+    fn catalog(&self) -> Vec<(String, Schema)> {
+        self.inner.catalog()
+    }
+    fn execute(&self, plan: &Plan) -> Result<DataSet, CoreError> {
+        std::thread::sleep(self.delay);
+        self.inner.execute(plan)
+    }
+    fn store(&self, name: &str, data: DataSet) -> Result<(), CoreError> {
+        self.inner.store(name, data)
+    }
+    fn remove(&self, name: &str) {
+        self.inner.remove(name)
+    }
+}
+
+/// Shutting the server down while a request is executing must neither
+/// hang the shutdown nor strand the client: the in-flight request is
+/// answered, then everything joins.
+#[test]
+fn shutdown_with_request_in_flight_completes_cleanly() {
+    let slow = SlowProvider {
+        inner: ReferenceProvider::new("slow"),
+        delay: Duration::from_millis(400),
+    };
+    slow.inner.store("t", sample()).unwrap();
+    let mut server = serve(Arc::new(slow), "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let remote = RemoteProvider::connect_with(addr, fast_opts()).unwrap();
+        let result = remote.execute(&Plan::scan("t", remote.schema_of("t").unwrap()));
+        tx.send(result).unwrap();
+    });
+
+    // Let the request get in flight, then pull the plug.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown();
+
+    let result = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("client neither hung nor was stranded");
+    let out = result.expect("in-flight request is answered before shutdown");
+    assert_eq!(out.num_rows(), 3);
+    worker.join().unwrap();
+}

@@ -1,0 +1,168 @@
+//! Acceptance test for fault-tolerant federated execution (ROADMAP:
+//! robustness): a cross-server join+matmul plan completes *correctly* —
+//! verified against the reference evaluator — while one provider fails
+//! transiently at p = 0.3 and another is crashed outright, exercising
+//! per-fragment retry and failover onto a replica. The same plan with
+//! recovery disabled fails.
+//!
+//! Fault injection is seeded: set `BDA_FAULT_SEED` (the chaos CI job
+//! sweeps a seed matrix) to replay a specific fault stream; the default
+//! seed is used otherwise.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bda::core::reference::evaluate;
+use bda::core::{Plan, Provider};
+use bda::federation::{
+    fault_seed_from_env, ExecOptions, FaultConfig, FaultyProvider, Federation, RecoveryPolicy,
+};
+use bda::lang::Query;
+use bda::linalg::LinAlgEngine;
+use bda::relational::RelationalEngine;
+use bda::storage::{Column, DataSet};
+use bda::workloads::random_matrix;
+
+const DEFAULT_SEED: u64 = 0xBDA;
+
+fn lookup_table() -> DataSet {
+    DataSet::from_columns(vec![
+        ("row", Column::from((0i64..8).collect::<Vec<i64>>())),
+        (
+            "weight",
+            Column::from((0..8).map(|i| 1.0 + i as f64).collect::<Vec<f64>>()),
+        ),
+    ])
+    .unwrap()
+}
+
+/// The chaos federation: `la1` (first registered, so the planner pins the
+/// matmul there) is crashed from the start; `la2` is its healthy replica;
+/// `rel` fails transiently at p = 0.3 (with one guaranteed failure so
+/// every seed exercises a retry). `with_replica: false` drops `la2`,
+/// leaving failover nowhere to go.
+fn chaos_federation(with_replica: bool) -> Federation {
+    let seed = fault_seed_from_env(DEFAULT_SEED);
+    let la1 = LinAlgEngine::new("la1");
+    la1.store("a", random_matrix(8, 8, 1)).unwrap();
+    la1.store("b", random_matrix(8, 8, 2)).unwrap();
+    let la2 = LinAlgEngine::new("la2");
+    la2.store("a", random_matrix(8, 8, 1)).unwrap();
+    la2.store("b", random_matrix(8, 8, 2)).unwrap();
+    let rel = RelationalEngine::new("rel");
+    rel.store("lookup", lookup_table()).unwrap();
+
+    let mut fed = Federation::new();
+    fed.register(Arc::new(FaultyProvider::new(
+        Arc::new(la1),
+        FaultConfig::crash_after(0),
+    )));
+    if with_replica {
+        fed.register(Arc::new(la2));
+    }
+    fed.register(Arc::new(FaultyProvider::new(
+        Arc::new(rel),
+        FaultConfig {
+            seed,
+            execute_error_rate: 0.3,
+            store_error_rate: 0.3,
+            fail_first: 1,
+            ..FaultConfig::default()
+        },
+    )));
+    fed
+}
+
+/// Matmul on a linalg server, join on the relational server.
+fn join_matmul_plan(fed: &Federation) -> Plan {
+    let a = fed.registry().schema_of("a").unwrap();
+    let b = fed.registry().schema_of("b").unwrap();
+    let lookup = fed.registry().schema_of("lookup").unwrap();
+    Query::scan("a", a)
+        .matmul(Query::scan("b", b))
+        .untag_dims()
+        .join(Query::scan("lookup", lookup), vec![("row", "row")])
+        .plan()
+        .clone()
+}
+
+fn oracle() -> HashMap<String, DataSet> {
+    let mut src = HashMap::new();
+    src.insert("a".to_string(), random_matrix(8, 8, 1));
+    src.insert("b".to_string(), random_matrix(8, 8, 2));
+    src.insert("lookup".to_string(), lookup_table());
+    src
+}
+
+/// Generous retry budget: at p = 0.3 per call, six attempts make an
+/// unrecovered stage vanishingly unlikely for any seed in the CI matrix.
+fn recovering_options() -> ExecOptions {
+    ExecOptions {
+        recovery: RecoveryPolicy {
+            enabled: true,
+            max_attempts: 6,
+            backoff: Duration::from_millis(1),
+            failover: true,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn plan_completes_correctly_under_faults_via_retry_and_failover() {
+    let fed = chaos_federation(true);
+    let plan = join_matmul_plan(&fed);
+    let (out, metrics) = fed
+        .run_with(&plan, &recovering_options())
+        .expect("recovery completes the plan despite a crash and p=0.3 transients");
+
+    let expected = evaluate(&plan, &oracle()).expect("reference evaluation");
+    assert!(
+        out.same_bag(&expected).unwrap(),
+        "recovered result disagrees with the reference evaluator"
+    );
+    assert!(
+        metrics.retries > 0,
+        "rel's transients force retries: {metrics}"
+    );
+    assert!(
+        metrics.failovers > 0,
+        "la1's crash forces failover: {metrics}"
+    );
+
+    // Nothing staged survives the run, on any provider.
+    for p in fed.registry().providers() {
+        for (name, _) in p.catalog() {
+            assert!(
+                !name.starts_with("__bda_frag_"),
+                "staged intermediate `{name}` leaked on `{}`",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn same_faults_without_recovery_fail() {
+    let fed = chaos_federation(true);
+    let plan = join_matmul_plan(&fed);
+    let opts = ExecOptions {
+        recovery: RecoveryPolicy::disabled(),
+        ..Default::default()
+    };
+    let err = fed.run_with(&plan, &opts).unwrap_err();
+    // The crash is deterministic and seed-independent, so the failure is
+    // too; without retry/failover it aborts the plan.
+    assert!(err.to_string().contains("injected"), "{err}");
+}
+
+#[test]
+fn failover_needs_somewhere_to_go() {
+    // Without the replica, retry still works but the crashed matmul site
+    // has no stand-in: the plan fails even with recovery on.
+    let fed = chaos_federation(false);
+    let plan = join_matmul_plan(&fed);
+    let err = fed.run_with(&plan, &recovering_options()).unwrap_err();
+    assert!(err.to_string().contains("injected crash"), "{err}");
+}
