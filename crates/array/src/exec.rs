@@ -21,6 +21,17 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 
 /// Execute a plan against the engine's array map.
 pub fn execute(plan: &Plan, arrays: &BTreeMap<String, DataSet>) -> Result<DataSet> {
+    // Per-operator tracing when a scope is installed (`execute_traced`);
+    // one inert thread-local check otherwise.
+    let mut node = bda_obs::scope::enter(|| format!("op:{}", plan.op_kind().name()));
+    let out = execute_node(plan, arrays);
+    if let (Some(n), Ok(ds)) = (node.as_mut(), &out) {
+        n.rows(ds.num_rows());
+    }
+    out
+}
+
+fn execute_node(plan: &Plan, arrays: &BTreeMap<String, DataSet>) -> Result<DataSet> {
     let out_schema = infer_schema(plan)?;
     match plan {
         Plan::Scan { dataset, schema } => {

@@ -77,4 +77,9 @@ fn main() {
         let sizes: &[usize] = if quick { &[8] } else { &[8, 16, 32] };
         println!("{}", f6_fault_recovery(sizes));
     }
+    if want("f7") {
+        let sizes: &[usize] = if quick { &[8, 16] } else { &[16, 64, 128] };
+        let reps = if quick { 3 } else { 11 };
+        println!("{}", f7_observability(sizes, reps));
+    }
 }

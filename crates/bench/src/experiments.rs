@@ -719,6 +719,122 @@ pub fn f6_fault_recovery(sizes: &[usize]) -> Table {
 }
 
 // ---------------------------------------------------------------------------
+// F7 — observability overhead & trace completeness
+// ---------------------------------------------------------------------------
+
+/// The cross-engine join⋈matmul federation used by the observability
+/// measurements: matmul on `la`, join on `rel`, no faults.
+pub fn observed_federation(n: usize) -> (Federation, Plan) {
+    use bda_storage::{Column, DataSet};
+    let la = bda_linalg::LinAlgEngine::new("la");
+    la.store("a", random_matrix(n, n, 1)).unwrap();
+    la.store("b", random_matrix(n, n, 2)).unwrap();
+    let rel = RelationalEngine::new("rel");
+    rel.store(
+        "lookup",
+        DataSet::from_columns(vec![
+            ("row", Column::from((0..n as i64).collect::<Vec<i64>>())),
+            (
+                "weight",
+                Column::from((0..n).map(|i| 1.0 + i as f64).collect::<Vec<f64>>()),
+            ),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let mut fed = Federation::new();
+    fed.register(std::sync::Arc::new(la));
+    fed.register(std::sync::Arc::new(rel));
+    let reg = fed.registry();
+    let plan = bda_lang::Query::scan("a", reg.schema_of("a").unwrap())
+        .matmul(bda_lang::Query::scan("b", reg.schema_of("b").unwrap()))
+        .untag_dims()
+        .join(
+            bda_lang::Query::scan("lookup", reg.schema_of("lookup").unwrap()),
+            vec![("row", "row")],
+        )
+        .plan()
+        .clone();
+    (fed, plan)
+}
+
+/// Median wall time of `reps` runs of `f`.
+pub fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut ts: Vec<f64> = (0..reps.max(1)).map(|_| time(&mut f).1).collect();
+    ts.sort_by(f64::total_cmp);
+    ts[ts.len() / 2]
+}
+
+/// F7: observability overhead & trace completeness. Each size runs the
+/// cross-engine join⋈matmul plan three ways — the untraced entry point,
+/// the traced entry point with a *disabled* tracer (the cost of the
+/// hooks themselves, which must be near zero), and a live tracer — and
+/// reports median wall times. The completeness column asserts that
+/// every transfer counted in [`bda_federation::Metrics`] left a
+/// matching `transfer:`/`reship:` span in the trace, with none dropped.
+pub fn f7_observability(sizes: &[usize], reps: usize) -> Table {
+    use bda_obs::Tracer;
+    let mut t = Table::new(
+        "F7 — observability: tracing overhead & trace completeness",
+        vec![
+            "n",
+            "untraced",
+            "hooks off",
+            "hooks Δ",
+            "traced",
+            "traced Δ",
+            "spans",
+            "transfers",
+            "complete",
+        ],
+    );
+    let pct = |base: f64, x: f64| {
+        if base > 0.0 {
+            format!("{:+.1}%", (x - base) / base * 100.0)
+        } else {
+            "-".to_string()
+        }
+    };
+    for &n in sizes {
+        let (fed, plan) = observed_federation(n);
+        let untraced = median_secs(reps, || {
+            fed.run(&plan).unwrap();
+        });
+        let hooks_off = median_secs(reps, || {
+            fed.run_traced(&plan, &Tracer::disabled()).unwrap();
+        });
+        let traced = median_secs(reps, || {
+            fed.run_traced(&plan, &Tracer::new(7)).unwrap();
+        });
+
+        let tracer = Tracer::new(7);
+        let (_, m) = fed.run_traced(&plan, &tracer).unwrap();
+        let trace = tracer.finish();
+        let moved = trace.spans_named("transfer:").len() + trace.spans_named("reship:").len();
+        let complete = m.transfers.len() == moved && trace.dropped == 0;
+        assert!(
+            complete,
+            "metrics recorded {} transfers but the trace holds {moved} \
+             transfer/reship spans ({} dropped)",
+            m.transfers.len(),
+            trace.dropped
+        );
+        t.row(vec![
+            n.to_string(),
+            fmt_secs(untraced),
+            fmt_secs(hooks_off),
+            pct(untraced, hooks_off),
+            fmt_secs(traced),
+            pct(untraced, traced),
+            trace.spans.len().to_string(),
+            m.transfers.len().to_string(),
+            complete.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
 // tests (tiny sizes)
 // ---------------------------------------------------------------------------
 
@@ -813,5 +929,16 @@ mod tests {
         assert!(failovers > 0, "the crash must force a failover: {t}");
         assert_eq!(row[6], "true", "recovered answer must verify: {t}");
         assert_eq!(row[7], "fails", "without recovery the plan aborts: {t}");
+    }
+
+    #[test]
+    fn f7_trace_is_complete() {
+        // The completeness assertion lives inside f7_observability; a
+        // passing run at tiny size is the test.
+        let t = f7_observability(&[8], 3);
+        let row = &t.rows[0];
+        assert_eq!(row[8], "true", "{t}");
+        let spans: usize = row[6].parse().unwrap();
+        assert!(spans > 0, "traced run must record spans: {t}");
     }
 }

@@ -176,6 +176,35 @@ pub trait Provider: Send + Sync {
     fn wire_bytes(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// [`Provider::execute`] attached to a distributed trace: the
+    /// provider may additionally return spans describing its internal
+    /// work (per-operator timings, server-side handling), expressed in
+    /// the provider's own clock and id space. The caller stitches them
+    /// under `ctx.parent_span` via `Tracer::absorb_remote`. The default
+    /// executes untraced and returns no spans.
+    fn execute_traced(
+        &self,
+        plan: &Plan,
+        ctx: &bda_obs::TraceContext,
+    ) -> Result<(DataSet, Vec<bda_obs::Span>)> {
+        let _ = ctx;
+        Ok((self.execute(plan)?, Vec::new()))
+    }
+
+    /// [`Provider::execute_push`] attached to a distributed trace; the
+    /// returned spans cover this provider's execution and the peer store.
+    fn execute_push_traced(
+        &self,
+        plan: &Plan,
+        peer_addr: &str,
+        dest_name: &str,
+        ctx: &bda_obs::TraceContext,
+    ) -> Option<Result<(u64, Vec<bda_obs::Span>)>> {
+        let _ = ctx;
+        self.execute_push(plan, peer_addr, dest_name)
+            .map(|r| r.map(|bytes| (bytes, Vec::new())))
+    }
 }
 
 /// A provider backed by the reference evaluator: supports the entire
@@ -259,6 +288,18 @@ impl Provider for ReferenceProvider {
 
     fn row_count_of(&self, name: &str) -> Option<usize> {
         self.data.read(|m| m.get(name).map(|ds| ds.num_rows()))
+    }
+
+    fn execute_traced(
+        &self,
+        plan: &Plan,
+        ctx: &bda_obs::TraceContext,
+    ) -> Result<(DataSet, Vec<bda_obs::Span>)> {
+        let tracer = bda_obs::Tracer::with_trace_id(ctx.trace_id);
+        let out = self
+            .data
+            .read(|m| crate::reference::evaluate_traced(plan, m, &tracer, None, &self.name))?;
+        Ok((out, tracer.take_spans()))
     }
 }
 

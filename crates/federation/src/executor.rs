@@ -16,6 +16,7 @@ use std::time::Duration;
 use bda_core::codec::encode_plan;
 use bda_core::convergence::converged;
 use bda_core::{CoreError, Plan};
+use bda_obs::{SpanGuard, TraceContext, Tracer};
 use bda_storage::wire::encode_dataset;
 use bda_storage::{DataSet, Row, Value};
 
@@ -120,9 +121,22 @@ pub fn run_plan(
     plan: &Plan,
     opts: &ExecOptions,
 ) -> Result<(DataSet, Metrics)> {
+    run_plan_traced(registry, plan, opts, &Tracer::disabled(), None)
+}
+
+/// [`run_plan`], recording spans into `tracer`. `parent` is the span the
+/// query hangs under (`None` for a top-level query; app-driven iteration
+/// nests its inner queries under the iterating fragment's span).
+pub fn run_plan_traced(
+    registry: &Registry,
+    plan: &Plan,
+    opts: &ExecOptions,
+    tracer: &Tracer,
+    parent: Option<u64>,
+) -> Result<(DataSet, Metrics)> {
     let optimized = optimize(plan, opts.optimizer);
     let placement = Planner::new(registry).place(&optimized)?;
-    execute_placement(registry, &placement, opts)
+    execute_placement_traced(registry, &placement, opts, tracer, parent)
 }
 
 /// Execute an already-fragmented plan.
@@ -130,6 +144,27 @@ pub fn execute_placement(
     registry: &Registry,
     placement: &Placement,
     opts: &ExecOptions,
+) -> Result<(DataSet, Metrics)> {
+    execute_placement_traced(registry, placement, opts, &Tracer::disabled(), None)
+}
+
+/// [`execute_placement`], recording spans into `tracer`.
+///
+/// Span model (see DESIGN.md, "Observability"): one `query` span per
+/// placement; under it one `fragment:{id}` span per fragment (site =
+/// executing provider, rows = output cardinality) whose events record
+/// retries, breaker trips and failovers; one `transfer:{id}` span per
+/// staged fragment output whose events record every delivery attempt on
+/// the degradation ladder; `reship:{id}` spans for failover re-shipment;
+/// and a `transfer:result` span for the root result's return hop.
+/// Provider-side spans (per-operator timings, server handling) are
+/// absorbed under the owning fragment span.
+pub fn execute_placement_traced(
+    registry: &Registry,
+    placement: &Placement,
+    opts: &ExecOptions,
+    tracer: &Tracer,
+    parent: Option<u64>,
 ) -> Result<(DataSet, Metrics)> {
     if placement.fragments.is_empty() {
         return Err(CoreError::Plan(
@@ -141,22 +176,42 @@ pub fn execute_placement(
                                                         // Fragment outputs the app tier has custody of, keyed by fragment id.
                                                         // Failover re-ships a failed fragment's inputs from here.
     let mut cache: HashMap<usize, DataSet> = HashMap::new();
+    let query_span = tracer.start(parent, || "query".into(), "app");
+    let query_id = query_span.id();
 
     let outcome = (|| -> Result<DataSet> {
         let last = placement.fragments.len() - 1;
         for (pos, frag) in placement.fragments.iter().enumerate() {
             metrics.fragments += 1;
+            let mut fspan = tracer.start(query_id, || format!("fragment:{}", frag.id), &frag.site);
+            // The transfer log accumulates the attempt history of this
+            // fragment's output delivery (push and/or store attempts)
+            // into one `transfer:{id}` span. Root fragments stage
+            // nothing, so they get an inert log.
+            let mut tlog = if pos == last {
+                TransferLog::inert()
+            } else {
+                TransferLog::start(tracer, fspan.id(), frag)
+            };
             if frag.site != APP_SITE
                 && pos != last
                 && opts.transfer == TransferMode::RemoteTcp
-                && try_remote_push(registry, frag, opts, &mut metrics, &mut staged)?
+                && try_remote_push(
+                    registry,
+                    frag,
+                    opts,
+                    &mut metrics,
+                    &mut staged,
+                    tracer,
+                    &mut tlog,
+                )?
             {
                 continue;
             }
 
             let out = if frag.site == APP_SITE {
                 // App-driven control iteration (see planner docs).
-                run_app_iterate(registry, &frag.plan, opts, &mut metrics)?
+                run_app_iterate(registry, &frag.plan, opts, &mut metrics, tracer, fspan.id())?
             } else {
                 execute_fragment(
                     registry,
@@ -166,19 +221,35 @@ pub fn execute_placement(
                     &mut metrics,
                     &mut cache,
                     &mut staged,
+                    tracer,
+                    fspan.id(),
                 )?
             };
+            fspan.set_rows(out.num_rows());
 
             if pos == last {
                 // Root fragment: result returns to the application.
                 let bytes = encode_dataset(&out).len();
                 metrics.record_transfer(&opts.net, &frag.site, "app", bytes, false);
+                let mut rspan = tracer.start(query_id, || "transfer:result".into(), &frag.site);
+                rspan.set_bytes(bytes as u64);
+                rspan.set_rows(out.num_rows());
+                rspan.finish();
                 return Ok(out);
             }
             if opts.recovery.enabled && opts.recovery.failover {
                 cache.insert(frag.id, out.clone());
             }
-            if let Err(e) = stage_output(registry, frag, out, opts, &mut metrics, &mut staged) {
+            if let Err(e) = stage_output(
+                registry,
+                frag,
+                out,
+                opts,
+                &mut metrics,
+                &mut staged,
+                tracer,
+                &mut tlog,
+            ) {
                 if !(opts.recovery.enabled && opts.recovery.failover) {
                     return Err(e);
                 }
@@ -200,17 +271,62 @@ pub fn execute_placement(
     outcome.map(|ds| (ds, metrics))
 }
 
+/// The attempt history of one fragment-output transfer, emitted as a
+/// single `transfer:{id}` span once delivery succeeds (or, on total
+/// failure, when the log drops — the span then ends without a `mode:`
+/// event). Inert when tracing is disabled: every method is a null check.
+struct TransferLog {
+    guard: Option<SpanGuard>,
+}
+
+impl TransferLog {
+    fn start(tracer: &Tracer, parent: Option<u64>, frag: &Fragment) -> TransferLog {
+        TransferLog {
+            guard: Some(tracer.start(parent, || format!("transfer:{}", frag.id), &frag.site)),
+        }
+    }
+
+    /// A log that records nothing (root fragments stage no output).
+    fn inert() -> TransferLog {
+        TransferLog { guard: None }
+    }
+
+    /// The transfer span's id, for parenting retry events onto it.
+    fn span_id(&self) -> Option<u64> {
+        self.guard.as_ref().and_then(|g| g.id())
+    }
+
+    fn event(&mut self, label: impl FnOnce() -> String) {
+        if let Some(g) = &mut self.guard {
+            g.event(label);
+        }
+    }
+
+    /// Delivery succeeded on the given ladder rung: stamp the final mode
+    /// and payload size and close the span.
+    fn delivered(&mut self, mode: &'static str, bytes: usize) {
+        if let Some(mut g) = self.guard.take() {
+            g.event(|| format!("mode:{mode}"));
+            g.set_bytes(bytes as u64);
+            g.finish();
+        }
+    }
+}
+
 /// Attempt the real server→server push of a non-root fragment's output
 /// (RemoteTcp mode). Returns `Ok(true)` when the output was delivered,
 /// `Ok(false)` to fall back to the store-based path — either because the
 /// providers have no transport, or because the push failed and the
 /// executor degrades the transfer (counted in `degraded_transfers`).
+#[allow(clippy::too_many_arguments)]
 fn try_remote_push(
     registry: &Registry,
     frag: &Fragment,
     opts: &ExecOptions,
     metrics: &mut Metrics,
     staged: &mut Vec<(String, String)>,
+    tracer: &Tracer,
+    tlog: &mut TransferLog,
 ) -> Result<bool> {
     let provider = registry.provider(&frag.site)?;
     let dest = registry.provider(&frag.dest_site)?;
@@ -226,9 +342,27 @@ fn try_remote_push(
             metrics.retries += 1;
             sleep_backoff(&mut backoff);
         }
+        tlog.event(|| "attempt:push".into());
         metrics.record_plan_shipment(&opts.net, plan_bytes.len());
         let before = wire_total(provider.as_ref());
-        match provider.execute_push(&frag.plan, &dest_ep, &name) {
+        let pushed = if tracer.is_enabled() {
+            let ctx = TraceContext {
+                trace_id: tracer.trace_id(),
+                parent_span: tlog.span_id().unwrap_or(0),
+            };
+            let anchor = tracer.now_ns();
+            provider
+                .execute_push_traced(&frag.plan, &dest_ep, &name, &ctx)
+                .map(|r| {
+                    r.map(|(bytes, spans)| {
+                        tracer.absorb_remote(spans, tlog.span_id(), anchor);
+                        bytes
+                    })
+                })
+        } else {
+            provider.execute_push(&frag.plan, &dest_ep, &name)
+        };
+        match pushed {
             None => {
                 // Provider has no transport: un-count the shipment we
                 // charged optimistically and fall back to store-based.
@@ -250,12 +384,15 @@ fn try_remote_push(
                 );
                 registry.health().record_success(&frag.site);
                 staged.push((frag.dest_site.clone(), name));
+                tlog.delivered("push", pushed as usize);
                 return Ok(true);
             }
             Some(Err(e)) => {
                 metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
+                tlog.event(|| format!("error:{e}"));
                 if registry.health().record_failure(&frag.site) {
                     metrics.breaker_trips += 1;
+                    tlog.event(|| format!("breaker:trip:{}", frag.site));
                 }
                 if opts.recovery.enabled && e.is_transient() && attempt + 1 < attempts {
                     continue;
@@ -266,6 +403,7 @@ fn try_remote_push(
                 // Push is unrecoverable here: degrade to the store-based
                 // Direct path (the executor re-runs the fragment below).
                 metrics.degraded_transfers += 1;
+                tlog.event(|| "degrade:direct".into());
                 return Ok(false);
             }
         }
@@ -284,24 +422,32 @@ fn execute_fragment(
     metrics: &mut Metrics,
     cache: &mut HashMap<usize, DataSet>,
     staged: &mut Vec<(String, String)>,
+    tracer: &Tracer,
+    span: Option<u64>,
 ) -> Result<DataSet> {
-    let primary = match execute_at(registry, &frag.site, &frag.plan, opts, metrics) {
+    let primary = match execute_at(
+        registry, &frag.site, &frag.plan, opts, metrics, tracer, span,
+    ) {
         Ok(out) => return Ok(out),
         Err(e) => e,
     };
     if !(opts.recovery.enabled && opts.recovery.failover) {
         return Err(primary);
     }
+    tracer.event(span, || format!("failed:{}:{primary}", frag.site));
     for candidate in failover_candidates(registry, frag) {
         if reship_inputs(
-            registry, placement, frag, &candidate, opts, metrics, cache, staged,
+            registry, placement, frag, &candidate, opts, metrics, cache, staged, tracer, span,
         )
         .is_err()
         {
             continue;
         }
-        if let Ok(out) = execute_at(registry, &candidate, &frag.plan, opts, metrics) {
+        if let Ok(out) = execute_at(
+            registry, &candidate, &frag.plan, opts, metrics, tracer, span,
+        ) {
             metrics.failovers += 1;
+            tracer.event(span, || format!("failover:{candidate}"));
             return Ok(out);
         }
     }
@@ -312,12 +458,15 @@ fn execute_fragment(
 /// Ship `plan` to the provider at `site` and execute it, retrying
 /// transient failures per the recovery policy. Reports outcomes to the
 /// registry's health board.
+#[allow(clippy::too_many_arguments)]
 fn execute_at(
     registry: &Registry,
     site: &str,
     plan: &Plan,
     opts: &ExecOptions,
     metrics: &mut Metrics,
+    tracer: &Tracer,
+    span: Option<u64>,
 ) -> Result<DataSet> {
     let provider = registry.provider(site)?;
     let plan_bytes = encode_plan(plan);
@@ -327,13 +476,32 @@ fn execute_at(
     for attempt in 0..attempts {
         if attempt > 0 {
             metrics.retries += 1;
+            tracer.event(span, || {
+                format!("retry:execute@{site} attempt {}", attempt + 1)
+            });
             sleep_backoff(&mut backoff);
         }
         // The plan ships to the provider as one expression tree, once per
         // attempt — retries are not free.
         metrics.record_plan_shipment(&opts.net, plan_bytes.len());
         let before = wire_total(provider.as_ref());
-        let result = provider.execute(plan);
+        // When tracing, the provider call carries the trace context and
+        // returns its internal spans (per-operator timings, server-side
+        // handling), which land under this fragment's span anchored at
+        // the moment the call was issued.
+        let result = if tracer.is_enabled() {
+            let ctx = TraceContext {
+                trace_id: tracer.trace_id(),
+                parent_span: span.unwrap_or(0),
+            };
+            let anchor = tracer.now_ns();
+            provider.execute_traced(plan, &ctx).map(|(ds, spans)| {
+                tracer.absorb_remote(spans, span, anchor);
+                ds
+            })
+        } else {
+            provider.execute(plan)
+        };
         metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
         match result {
             Ok(out) => {
@@ -343,6 +511,7 @@ fn execute_at(
             Err(e) => {
                 if registry.health().record_failure(site) {
                     metrics.breaker_trips += 1;
+                    tracer.event(span, || format!("breaker:trip:{site}"));
                 }
                 let transient = e.is_transient();
                 last_err = Some(e);
@@ -390,6 +559,8 @@ fn reship_inputs(
     metrics: &mut Metrics,
     cache: &mut HashMap<usize, DataSet>,
     staged: &mut Vec<(String, String)>,
+    tracer: &Tracer,
+    span: Option<u64>,
 ) -> Result<()> {
     let dest = registry.provider(new_site)?;
     for &input in &frag.inputs {
@@ -401,7 +572,15 @@ fn reship_inputs(
                     .iter()
                     .find(|f| f.id == input)
                     .ok_or_else(|| CoreError::Plan(format!("unknown fragment input {input}")))?;
-                let out = execute_at(registry, &producer.site, &producer.plan, opts, metrics)?;
+                let out = execute_at(
+                    registry,
+                    &producer.site,
+                    &producer.plan,
+                    opts,
+                    metrics,
+                    tracer,
+                    span,
+                )?;
                 cache.insert(input, out.clone());
                 out
             }
@@ -410,9 +589,12 @@ fn reship_inputs(
         let bytes = encode_dataset(&data).len();
         // The recovery hop goes through the app tier by construction.
         metrics.record_transfer(&opts.net, "app", new_site, bytes, true);
+        let mut rspan = tracer.start(span, || format!("reship:{input}"), "app");
+        rspan.set_bytes(bytes as u64);
         let before = wire_total(dest.as_ref());
         dest.store(&name, data)?;
         metrics.real_wire_bytes += wire_total(dest.as_ref()) - before;
+        rspan.finish();
         staged.push((new_site.to_string(), name));
     }
     Ok(())
@@ -421,6 +603,7 @@ fn reship_inputs(
 /// Stage a fragment's output at the consuming site, retrying transient
 /// store failures; a Direct transfer that keeps failing degrades to the
 /// app-routed path (counted in `degraded_transfers`) before giving up.
+#[allow(clippy::too_many_arguments)]
 fn stage_output(
     registry: &Registry,
     frag: &Fragment,
@@ -428,24 +611,51 @@ fn stage_output(
     opts: &ExecOptions,
     metrics: &mut Metrics,
     staged: &mut Vec<(String, String)>,
+    tracer: &Tracer,
+    tlog: &mut TransferLog,
 ) -> Result<()> {
     let name = format!("{FRAG_PREFIX}{}", frag.id);
     let bytes = encode_dataset(&out).len();
     let via_app = opts.transfer == TransferMode::AppRouted;
-    match store_with_retry(registry, &frag.dest_site, &name, &out, opts, metrics) {
+    let rung = if via_app { "app-routed" } else { "direct" };
+    tlog.event(|| format!("attempt:{rung}"));
+    match store_with_retry(
+        registry,
+        &frag.dest_site,
+        &name,
+        &out,
+        opts,
+        metrics,
+        tracer,
+        tlog.span_id(),
+    ) {
         Ok(()) => {
             metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, via_app);
             staged.push((frag.dest_site.clone(), name));
+            tlog.delivered(rung, bytes);
             Ok(())
         }
         Err(e) if !via_app && opts.recovery.enabled => {
             // Degrade Direct → AppRouted: the app tier takes custody of
             // the intermediate and re-delivers it on the two-hop path.
             metrics.degraded_transfers += 1;
-            store_with_retry(registry, &frag.dest_site, &name, &out, opts, metrics)
-                .map_err(|_| e)?;
+            tlog.event(|| format!("error:{e}"));
+            tlog.event(|| "degrade:app-routed".into());
+            tlog.event(|| "attempt:app-routed".into());
+            store_with_retry(
+                registry,
+                &frag.dest_site,
+                &name,
+                &out,
+                opts,
+                metrics,
+                tracer,
+                tlog.span_id(),
+            )
+            .map_err(|_| e)?;
             metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, true);
             staged.push((frag.dest_site.clone(), name));
+            tlog.delivered("app-routed", bytes);
             Ok(())
         }
         Err(e) => Err(e),
@@ -453,6 +663,7 @@ fn stage_output(
 }
 
 /// `Provider::store` with transient-failure retry and health reporting.
+#[allow(clippy::too_many_arguments)]
 fn store_with_retry(
     registry: &Registry,
     site: &str,
@@ -460,6 +671,8 @@ fn store_with_retry(
     data: &DataSet,
     opts: &ExecOptions,
     metrics: &mut Metrics,
+    tracer: &Tracer,
+    span: Option<u64>,
 ) -> Result<()> {
     let provider = registry.provider(site)?;
     let attempts = opts.recovery.attempts();
@@ -468,6 +681,9 @@ fn store_with_retry(
     for attempt in 0..attempts {
         if attempt > 0 {
             metrics.retries += 1;
+            tracer.event(span, || {
+                format!("retry:store@{site} attempt {}", attempt + 1)
+            });
             sleep_backoff(&mut backoff);
         }
         let before = wire_total(provider.as_ref());
@@ -481,6 +697,7 @@ fn store_with_retry(
             Err(e) => {
                 if registry.health().record_failure(site) {
                     metrics.breaker_trips += 1;
+                    tracer.event(span, || format!("breaker:trip:{site}"));
                 }
                 let transient = e.is_transient();
                 last_err = Some(e);
@@ -517,6 +734,8 @@ fn run_app_iterate(
     plan: &Plan,
     opts: &ExecOptions,
     metrics: &mut Metrics,
+    tracer: &Tracer,
+    span: Option<u64>,
 ) -> Result<DataSet> {
     let Plan::Iterate {
         init,
@@ -530,12 +749,13 @@ fn run_app_iterate(
             plan.op_kind().name()
         )));
     };
-    let (mut cur, m) = run_plan(registry, init, opts)?;
+    let (mut cur, m) = run_plan_traced(registry, init, opts, tracer, span)?;
     metrics.absorb(m);
-    for _ in 0..*max_iters {
+    for round in 0..*max_iters {
+        tracer.event(span, || format!("iteration:{}", round + 1));
         let state_rows: Vec<Row> = cur.rows()?;
         let body_inlined = substitute_state(body, &cur, &state_rows);
-        let (next, m) = run_plan(registry, &body_inlined, opts)?;
+        let (next, m) = run_plan_traced(registry, &body_inlined, opts, tracer, span)?;
         metrics.absorb(m);
         metrics.client_driven_iterations += 1;
         let done = converged(&cur, &next, *epsilon)?;
@@ -839,6 +1059,121 @@ mod tests {
             .catalog()
             .iter()
             .all(|(n, _)| !n.starts_with(FRAG_PREFIX)));
+    }
+
+    #[test]
+    fn degraded_transfer_is_one_span_with_every_attempt() {
+        use crate::fault::{FaultConfig, FaultyProvider};
+
+        /// A provider with a (fake) network endpoint, so the RemoteTcp
+        /// path actually attempts a push at its producer.
+        struct WithEndpoint {
+            inner: LinAlgEngine,
+        }
+        impl Provider for WithEndpoint {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn capabilities(&self) -> bda_core::CapabilitySet {
+                self.inner.capabilities()
+            }
+            fn catalog(&self) -> Vec<(String, bda_storage::Schema)> {
+                self.inner.catalog()
+            }
+            fn execute(&self, plan: &Plan) -> Result<DataSet> {
+                self.inner.execute(plan)
+            }
+            fn store(&self, name: &str, data: DataSet) -> Result<()> {
+                self.inner.store(name, data)
+            }
+            fn remove(&self, name: &str) {
+                self.inner.remove(name)
+            }
+            fn row_count_of(&self, name: &str) -> Option<usize> {
+                self.inner.row_count_of(name)
+            }
+            fn endpoint(&self) -> Option<String> {
+                Some("127.0.0.1:9".into())
+            }
+        }
+
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "a_rows",
+            matrix_dataset(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap(),
+        )
+        .unwrap();
+        let la = LinAlgEngine::new("la");
+        la.store(
+            "b",
+            matrix_dataset(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap(),
+        )
+        .unwrap();
+        // Producer: its first 3 faultable calls (the 3 push attempts)
+        // fail, then the fragment's execute succeeds. Consumer: its
+        // first 3 faultable calls (the 3 direct-store attempts) fail,
+        // then the app-routed store and the matmul succeed. Both
+        // streams are seeded and deterministic.
+        let mut r = Registry::new();
+        r.register(Arc::new(FaultyProvider::new(
+            Arc::new(rel),
+            FaultConfig {
+                seed: 7,
+                fail_first: 3,
+                ..FaultConfig::default()
+            },
+        )));
+        r.register(Arc::new(FaultyProvider::new(
+            Arc::new(WithEndpoint { inner: la }),
+            FaultConfig {
+                seed: 7,
+                fail_first: 3,
+                ..FaultConfig::default()
+            },
+        )));
+        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap()).matmul(Plan::scan(
+            "b",
+            r.provider("la").unwrap().schema_of("b").unwrap(),
+        ));
+        let opts = ExecOptions {
+            transfer: TransferMode::RemoteTcp,
+            ..Default::default()
+        };
+        let tracer = Tracer::new(7);
+        let (out, m) = run_plan_traced(&r, &plan, &opts, &tracer, None).unwrap();
+        let (_, _, data) = dataset_matrix(&out).unwrap();
+        assert_eq!(data, vec![58., 64., 139., 154.]);
+        assert_eq!(m.degraded_transfers, 2, "push→direct and direct→app-routed");
+
+        // The whole ladder is ONE transfer span whose events record
+        // every attempt: 3 pushes, the direct try, the app-routed try.
+        let trace = tracer.finish();
+        let transfers = trace.spans_named("transfer:0");
+        assert_eq!(transfers.len(), 1, "one span per transfer:\n{transfers:#?}");
+        let t = transfers[0];
+        let labels: Vec<&str> = t.events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(
+            labels.iter().filter(|l| **l == "attempt:push").count(),
+            3,
+            "{labels:?}"
+        );
+        for needed in [
+            "degrade:direct",
+            "attempt:direct",
+            "degrade:app-routed",
+            "attempt:app-routed",
+            "mode:app-routed",
+        ] {
+            assert!(labels.contains(&needed), "missing {needed}: {labels:?}");
+        }
+        // Attempts appear in ladder order.
+        let pos = |l: &str| labels.iter().position(|x| *x == l).unwrap();
+        assert!(pos("attempt:push") < pos("attempt:direct"), "{labels:?}");
+        assert!(
+            pos("attempt:direct") < pos("attempt:app-routed"),
+            "{labels:?}"
+        );
+        assert!(t.bytes.is_some(), "delivered payload size recorded");
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! `EXPLAIN ANALYZE`: render a recorded trace as an annotated execution
+//! tree — per-node wall time, row counts, payload bytes, and the
+//! provider that did the work — plus the run's [`Metrics`] summary.
+//!
+//! The tree is the span tree the executor and the providers recorded
+//! ([`crate::executor::execute_placement_traced`]): `query` at the app
+//! tier, one `fragment:{id}` per placed fragment at its site,
+//! `transfer:{id}` spans for inter-site movement (with the degradation
+//! ladder's attempt events inline), and the providers' `op:{kind}` spans
+//! — local or absorbed from the far side of a TCP connection — so every
+//! operator line names the engine that executed it.
+
+use crate::metrics::Metrics;
+use bda_obs::{Span, Trace};
+
+/// Render a finished trace and its metrics as an `EXPLAIN ANALYZE`
+/// report. Deterministic given a deterministic trace shape (children
+/// sort by start time, then span id).
+pub fn render_analyze(trace: &Trace, metrics: &Metrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== EXPLAIN ANALYZE (trace {:#018x}) ==\n",
+        trace.trace_id
+    ));
+    let mut roots: Vec<&Span> = trace.spans.iter().filter(|s| s.parent.is_none()).collect();
+    roots.sort_by_key(|s| (s.start_ns, s.id));
+    for root in roots {
+        render_span(trace, root, 0, &mut out);
+    }
+    if trace.dropped > 0 {
+        out.push_str(&format!(
+            "({} spans dropped at the buffer bound)\n",
+            trace.dropped
+        ));
+    }
+    out.push_str("== metrics ==\n");
+    out.push_str(&metrics.to_string());
+    out.push('\n');
+    out
+}
+
+fn render_span(trace: &Trace, span: &Span, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!(
+        "{pad}{} @ {}  [{:.3} ms",
+        span.name,
+        span.site,
+        span.duration_ns() as f64 / 1e6
+    ));
+    if let Some(rows) = span.rows {
+        out.push_str(&format!(", rows={rows}"));
+    }
+    if let Some(bytes) = span.bytes {
+        out.push_str(&format!(", bytes={bytes}"));
+    }
+    out.push_str("]\n");
+    for e in &span.events {
+        out.push_str(&format!(
+            "{pad}  - {} (+{:.3} ms)\n",
+            e.label,
+            e.at_ns.saturating_sub(span.start_ns) as f64 / 1e6
+        ));
+    }
+    for child in trace.children_of(span.id) {
+        render_span(trace, child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_obs::SpanEvent;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, site: &str, start: u64) -> Span {
+        Span {
+            id,
+            parent,
+            name: name.into(),
+            site: site.into(),
+            start_ns: start,
+            end_ns: start + 1_500_000,
+            rows: Some(4),
+            bytes: None,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn renders_tree_with_sites_and_events() {
+        let mut transfer = span(3, Some(2), "transfer:0", "rel", 40);
+        transfer.bytes = Some(256);
+        transfer.events.push(SpanEvent {
+            at_ns: 140,
+            label: "attempt:push".into(),
+        });
+        transfer.events.push(SpanEvent {
+            at_ns: 340,
+            label: "mode:push".into(),
+        });
+        let trace = Trace {
+            trace_id: 0xBDA,
+            spans: vec![
+                span(1, None, "query", "app", 0),
+                span(2, Some(1), "fragment:0", "rel", 10),
+                span(4, Some(2), "op:select", "rel", 20),
+                transfer,
+            ],
+            dropped: 0,
+        };
+        let s = render_analyze(&trace, &Metrics::default());
+        assert!(
+            s.contains("EXPLAIN ANALYZE (trace 0x0000000000000bda)"),
+            "{s}"
+        );
+        assert!(s.contains("query @ app"), "{s}");
+        assert!(s.contains("  fragment:0 @ rel"), "{s}");
+        assert!(s.contains("    op:select @ rel"), "{s}");
+        assert!(s.contains("rows=4"), "{s}");
+        assert!(s.contains("bytes=256"), "{s}");
+        assert!(s.contains("- attempt:push"), "{s}");
+        assert!(s.contains("- mode:push"), "{s}");
+        // Children indent under parents; op comes before transfer (start order).
+        let op_at = s.find("op:select").unwrap();
+        let tr_at = s.find("transfer:0").unwrap();
+        assert!(op_at < tr_at, "{s}");
+        assert!(s.contains("== metrics =="), "{s}");
+    }
+
+    #[test]
+    fn reports_dropped_spans() {
+        let trace = Trace {
+            trace_id: 1,
+            spans: vec![span(1, None, "query", "app", 0)],
+            dropped: 3,
+        };
+        let s = render_analyze(&trace, &Metrics::default());
+        assert!(s.contains("3 spans dropped"), "{s}");
+    }
+}

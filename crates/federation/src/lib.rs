@@ -15,6 +15,7 @@
 
 pub mod cluster;
 pub mod executor;
+pub mod explain;
 pub mod fault;
 pub mod metrics;
 pub mod optimize;
@@ -22,7 +23,8 @@ pub mod planner;
 pub mod registry;
 
 pub use cluster::{Cluster, WireStats};
-pub use executor::{run_plan, ExecOptions, RecoveryPolicy, TransferMode};
+pub use executor::{run_plan, run_plan_traced, ExecOptions, RecoveryPolicy, TransferMode};
+pub use explain::render_analyze;
 pub use fault::{fault_seed_from_env, FaultConfig, FaultyProvider, FAULT_SEED_ENV};
 pub use metrics::{Metrics, NetConfig, TransferRecord};
 pub use optimize::{optimize, OptimizerConfig};
@@ -103,6 +105,26 @@ impl Federation {
         run_plan(&self.registry, plan, options)
     }
 
+    /// Run a plan recording spans into `tracer` (pass
+    /// [`bda_obs::Tracer::disabled`] for the untraced fast path).
+    pub fn run_traced(
+        &self,
+        plan: &Plan,
+        tracer: &bda_obs::Tracer,
+    ) -> Result<(DataSet, Metrics), CoreError> {
+        run_plan_traced(&self.registry, plan, &self.options, tracer, None)
+    }
+
+    /// `EXPLAIN ANALYZE`: run the plan with tracing enabled and render
+    /// the recorded span tree — per-node wall time, rows, bytes, and the
+    /// provider that executed each operator — plus the run's metrics.
+    /// The trace id comes from `seed` (overridable via `BDA_TRACE_SEED`).
+    pub fn explain_analyze(&self, plan: &Plan, seed: u64) -> Result<String, CoreError> {
+        let tracer = bda_obs::Tracer::new(bda_obs::trace_seed_from_env(seed));
+        let (_, metrics) = self.run_traced(plan, &tracer)?;
+        Ok(render_analyze(&tracer.finish(), &metrics))
+    }
+
     /// Explain how a plan would execute: the optimized plan, the fragment
     /// placement, and per-fragment details — without running anything.
     pub fn explain(&self, plan: &Plan) -> Result<String, CoreError> {
@@ -171,6 +193,44 @@ mod tests {
         assert!(s.contains("@ rel -> la"), "{s}");
         assert!(s.contains("@ la -> app"), "{s}");
         assert!(s.contains("matmul"), "{s}");
+    }
+
+    #[test]
+    fn explain_analyze_names_executing_providers() {
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "a_rows",
+            bda_storage::dataset::matrix_dataset(2, 2, vec![1., 2., 3., 4.])
+                .unwrap()
+                .normalized_rows()
+                .unwrap(),
+        )
+        .unwrap();
+        let la = LinAlgEngine::new("la");
+        la.store(
+            "b",
+            bda_storage::dataset::matrix_dataset(2, 2, vec![1., 0., 0., 1.]).unwrap(),
+        )
+        .unwrap();
+        let mut fed = Federation::new();
+        fed.register(Arc::new(rel));
+        fed.register(Arc::new(la));
+        let plan =
+            Plan::scan("a_rows", fed.registry().schema_of("a_rows").unwrap()).matmul(Plan::scan(
+                "b",
+                fed.registry()
+                    .provider("la")
+                    .unwrap()
+                    .schema_of("b")
+                    .unwrap(),
+            ));
+        let s = fed.explain_analyze(&plan, 42).unwrap();
+        assert!(s.contains("query @ app"), "{s}");
+        assert!(s.contains("fragment:0 @ rel"), "{s}");
+        assert!(s.contains("op:matmul @ la"), "{s}"); // the operator names its engine
+        assert!(s.contains("transfer:"), "{s}");
+        assert!(s.contains("rows="), "{s}");
+        assert!(s.contains("== metrics =="), "{s}");
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub struct Metrics {
     /// traffic of remote providers, including direct server-to-server
     /// pushes). Zero when every provider is in-process; the simulated
     /// model above is charged either way.
+    ///
+    /// **Invariant: each wire byte is counted exactly once.** The
+    /// executor charges this field from *deltas* of each provider's
+    /// cumulative `Provider::wire_bytes()` counter taken around the
+    /// specific call it issued — never from the absolute counter — so a
+    /// byte can only ever land in the one [`Metrics`] that triggered it.
+    /// [`Metrics::absorb`] sums child executions (nested app-driven
+    /// iterations) into the parent; because the children charged deltas
+    /// disjoint from the parent's, the sum stays double-count-free.
     pub real_wire_bytes: u64,
     /// Fragment execution attempts repeated after a transient failure.
     pub retries: usize,
@@ -191,6 +200,28 @@ mod tests {
         assert_eq!(direct.app_tier_bytes(), 0);
         assert_eq!(routed.app_tier_bytes(), 1000);
         assert_eq!(direct.data_bytes(), routed.data_bytes());
+    }
+
+    #[test]
+    fn absorb_sums_wire_bytes_from_disjoint_deltas() {
+        // The executor charges `real_wire_bytes` from per-call counter
+        // deltas, so nested executions hold disjoint byte ranges and
+        // absorb() is a plain sum — never a re-count of the same bytes.
+        let mut parent = Metrics {
+            real_wire_bytes: 100,
+            ..Metrics::default()
+        };
+        let child_a = Metrics {
+            real_wire_bytes: 40,
+            ..Metrics::default()
+        };
+        let child_b = Metrics {
+            real_wire_bytes: 0, // fully in-process child
+            ..Metrics::default()
+        };
+        parent.absorb(child_a);
+        parent.absorb(child_b);
+        assert_eq!(parent.real_wire_bytes, 140);
     }
 
     #[test]

@@ -53,6 +53,17 @@ impl GraphEngine {
     }
 
     fn eval(&self, plan: &Plan) -> Result<DataSet, CoreError> {
+        // Per-operator tracing when a scope is installed
+        // (`execute_traced`); one inert thread-local check otherwise.
+        let mut node = bda_obs::scope::enter(|| format!("op:{}", plan.op_kind().name()));
+        let out = self.eval_node(plan);
+        if let (Some(n), Ok(ds)) = (node.as_mut(), &out) {
+            n.rows(ds.num_rows());
+        }
+        out
+    }
+
+    fn eval_node(&self, plan: &Plan) -> Result<DataSet, CoreError> {
         match plan {
             Plan::Scan { dataset, schema } => {
                 let map = self.datasets.read();
@@ -183,6 +194,17 @@ impl Provider for GraphEngine {
 
     fn row_count_of(&self, name: &str) -> Option<usize> {
         self.datasets.read().get(name).map(|ds| ds.num_rows())
+    }
+
+    fn execute_traced(
+        &self,
+        plan: &Plan,
+        ctx: &bda_obs::TraceContext,
+    ) -> Result<(DataSet, Vec<bda_obs::Span>), CoreError> {
+        let tracer = bda_obs::Tracer::with_trace_id(ctx.trace_id);
+        let _scope = bda_obs::scope::install(&tracer, &self.name, None);
+        let out = self.execute(plan)?;
+        Ok((out, tracer.take_spans()))
     }
 }
 

@@ -9,6 +9,9 @@
 //! executing a push) issues `Store` requests, exactly like any other
 //! provider interaction. `--demo` preloads a small sales table and a
 //! 2x3 matrix so the README quick-start has something to query.
+//! `--log <path|stderr>` emits one structured line per request (kind,
+//! duration, bytes, outcome); a `Metrics` request returns the server's
+//! Prometheus-format registry either way.
 
 use std::sync::Arc;
 
@@ -25,6 +28,7 @@ struct Args {
     name: String,
     listen: String,
     demo: bool,
+    log: Option<bda_net::LogSink>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
     let mut name = None;
     let mut listen = String::from("127.0.0.1:7401");
     let mut demo = false;
+    let mut log = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -43,10 +48,20 @@ fn parse_args() -> Result<Args, String> {
             "--name" => name = Some(value("--name")?),
             "--listen" => listen = value("--listen")?,
             "--demo" => demo = true,
+            "--log" => {
+                log = Some(match value("--log")?.as_str() {
+                    "stderr" | "-" => bda_net::LogSink::Stderr,
+                    path => bda_net::LogSink::File(path.into()),
+                })
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bda-served [--engine relational|array|linalg|graph|reference]\n\
-                     \x20                 [--name NAME] [--listen HOST:PORT] [--demo]"
+                     \x20                 [--name NAME] [--listen HOST:PORT] [--demo]\n\
+                     \x20                 [--log PATH|stderr]\n\
+                     \n\
+                     --log writes one structured line per request (kind, duration,\n\
+                     bytes, outcome) to the given file, or to stderr."
                 );
                 std::process::exit(0);
             }
@@ -59,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         name,
         listen,
         demo,
+        log,
     })
 }
 
@@ -118,7 +134,11 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let server = match bda_net::serve(Arc::clone(&engine), &args.listen) {
+    let opts = bda_net::ServeOptions {
+        faults: None,
+        log: args.log.clone(),
+    };
+    let server = match bda_net::serve_with(Arc::clone(&engine), &args.listen, opts) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bda-served: bind {}: {e}", args.listen);

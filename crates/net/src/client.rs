@@ -19,6 +19,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use bda_core::{CapabilitySet, CoreError, Plan, Provider};
+use bda_obs::{Span, TraceContext};
 use bda_storage::{DataSet, Schema};
 
 use rand::rngs::StdRng;
@@ -129,6 +130,42 @@ impl RemoteProvider {
         match self.request(&Request::Catalog)? {
             Response::Catalog(entries) => Ok(entries),
             other => Err(unexpected("Catalog", &other)),
+        }
+    }
+
+    /// Fetch the server's metrics registry rendered in Prometheus text
+    /// exposition format (one round trip).
+    pub fn metrics_text(&self) -> Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Text(text) => Ok(text),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Issue `inner` wrapped in [`Request::Traced`]: the server handles
+    /// it while recording spans and sends them back. Returns the inner
+    /// response plus those spans, still in the *server's* clock and id
+    /// space — the caller anchors and remaps them (`absorb_remote`).
+    /// A server-side error inside the wrapper converts to the same
+    /// [`CoreError`] shapes [`RemoteProvider::request`] produces.
+    fn request_traced(&self, inner: Request, ctx: &TraceContext) -> Result<(Response, Vec<Span>)> {
+        let resp = self.request(&Request::Traced {
+            trace_id: ctx.trace_id,
+            parent_span: ctx.parent_span,
+            inner: Box::new(inner),
+        })?;
+        match resp {
+            Response::Traced { spans, inner } => match *inner {
+                Response::Error { msg, transient } if transient => Err(CoreError::transient(
+                    CoreError::Net(format!("remote `{}`: {msg}", self.addr)),
+                )),
+                Response::Error { msg, .. } => Err(CoreError::Remote {
+                    addr: self.addr.clone(),
+                    msg,
+                }),
+                resp => Ok((resp, spans)),
+            },
+            other => Err(unexpected("Traced", &other)),
         }
     }
 
@@ -331,6 +368,32 @@ impl Provider for RemoteProvider {
             self.sent.load(Ordering::Relaxed),
             self.received.load(Ordering::Relaxed),
         )
+    }
+
+    fn execute_traced(&self, plan: &Plan, ctx: &TraceContext) -> Result<(DataSet, Vec<Span>)> {
+        match self.request_traced(Request::Execute { plan: plan.clone() }, ctx)? {
+            (Response::DataSet(ds), spans) => Ok((ds, spans)),
+            (other, _) => Err(unexpected("Execute", &other)),
+        }
+    }
+
+    fn execute_push_traced(
+        &self,
+        plan: &Plan,
+        peer_addr: &str,
+        dest_name: &str,
+        ctx: &TraceContext,
+    ) -> Option<Result<(u64, Vec<Span>)>> {
+        let req = Request::ExecutePush {
+            dest_addr: peer_addr.to_string(),
+            dest_name: dest_name.to_string(),
+            plan: plan.clone(),
+        };
+        Some(match self.request_traced(req, ctx) {
+            Ok((Response::Pushed { bytes }, spans)) => Ok((bytes, spans)),
+            Ok((other, _)) => Err(unexpected("ExecutePush", &other)),
+            Err(e) => Err(e),
+        })
     }
 }
 

@@ -32,7 +32,9 @@ pub use frame::{
     read_message_limited, FrameError, FLAG_MORE, HEADER_LEN, MAX_FRAME_PAYLOAD, MAX_MESSAGE_BYTES,
 };
 pub use proto::{CatalogEntry, Request, Response};
-pub use server::{serve, serve_with_faults, NetFaults, ServerHandle};
+pub use server::{
+    serve, serve_with, serve_with_faults, LogSink, NetFaults, ServeOptions, ServerHandle,
+};
 
 /// Result alias matching the rest of the workspace.
 pub type Result<T> = std::result::Result<T, bda_core::CoreError>;
@@ -134,5 +136,136 @@ mod tests {
         let mut server = serve(engine, "127.0.0.1:0").unwrap();
         server.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_prometheus_text() {
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        engine.store("t", sample()).unwrap();
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+        let remote = RemoteProvider::connect(server.addr().to_string()).unwrap();
+        let plan = Plan::scan("t", sample().schema().clone());
+        remote.execute(&plan).unwrap();
+        remote.execute(&plan).unwrap();
+        let text = remote.metrics_text().unwrap();
+        assert!(
+            text.contains("bda_net_requests_total{kind=\"execute\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bda_net_requests_total{kind=\"hello\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE bda_net_requests_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bda_net_request_duration_seconds_count"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bda_net_wire_bytes_total{direction=\"received\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn traced_execute_returns_server_side_spans() {
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        engine.store("t", sample()).unwrap();
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+        let remote = RemoteProvider::connect(server.addr().to_string()).unwrap();
+        let plan = Plan::scan("t", sample().schema().clone()).select(col("v").gt(lit(2.0)));
+        let ctx = bda_obs::TraceContext {
+            trace_id: 0xFEED,
+            parent_span: 7,
+        };
+        let (out, spans) = remote.execute_traced(&plan, &ctx).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let serve_span = spans
+            .iter()
+            .find(|s| s.name == "serve:execute")
+            .expect("serve span present");
+        assert_eq!(serve_span.site, "ref");
+        assert_eq!(serve_span.rows, Some(2));
+        // The engine's per-operator spans came along, parented under it.
+        let ops: Vec<&str> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("op:"))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(ops.contains(&"op:select"), "{ops:?}");
+        assert!(ops.contains(&"op:scan"), "{ops:?}");
+        for s in spans.iter().filter(|s| s.name.starts_with("op:")) {
+            assert!(s.parent.is_some(), "op spans hang off the serve span");
+        }
+    }
+
+    #[test]
+    fn traced_errors_still_surface_as_core_errors() {
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+        let remote = RemoteProvider::connect(server.addr().to_string()).unwrap();
+        let ctx = bda_obs::TraceContext {
+            trace_id: 1,
+            parent_span: 0,
+        };
+        let plan = Plan::scan("missing", sample().schema().clone());
+        let err = remote.execute_traced(&plan, &ctx).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn request_log_writes_one_line_per_request() {
+        let path = std::env::temp_dir().join(format!(
+            "bda-served-log-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let engine = Arc::new(ReferenceProvider::new("ref"));
+            engine.store("t", sample()).unwrap();
+            let server = serve_with(
+                engine,
+                "127.0.0.1:0",
+                ServeOptions {
+                    faults: None,
+                    log: Some(LogSink::File(path.clone())),
+                },
+            )
+            .unwrap();
+            let remote = RemoteProvider::connect(server.addr().to_string()).unwrap();
+            remote
+                .execute(&Plan::scan("t", sample().schema().clone()))
+                .unwrap();
+            let missing = Plan::scan("missing", sample().schema().clone());
+            remote.execute(&missing).unwrap_err();
+        }
+        let log = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = log.lines().collect();
+        // Hello + 1 ok execute + 3 failed execute attempts (client retries).
+        assert!(lines.len() >= 3, "{log}");
+        let ok = lines
+            .iter()
+            .find(|l| l.contains("kind=execute") && l.contains("outcome=ok"))
+            .expect("successful execute logged");
+        for key in [
+            "server=ref",
+            "dur_us=",
+            "req_bytes=",
+            "resp_bytes=",
+            "traced=false",
+        ] {
+            assert!(ok.contains(key), "{ok}");
+        }
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("kind=execute") && l.contains("outcome=error")),
+            "{log}"
+        );
     }
 }

@@ -70,6 +70,21 @@ pub enum Request {
     },
     /// List the server's datasets with schemas and row counts.
     Catalog,
+    /// Fetch the server's metrics registry rendered in Prometheus text
+    /// exposition format (the `GET /metrics` of this protocol).
+    Metrics,
+    /// A request attached to a distributed trace: the server handles
+    /// `inner` while recording spans, and wraps its reply in
+    /// [`Response::Traced`] carrying them back. `Traced` never nests.
+    Traced {
+        /// Trace id every server-side span belongs to.
+        trace_id: u64,
+        /// The client-side span the server's work conceptually hangs
+        /// under (informational; the client does the stitching).
+        parent_span: u64,
+        /// The request to handle.
+        inner: Box<Request>,
+    },
 }
 
 /// A server-to-client message.
@@ -94,6 +109,18 @@ pub enum Response {
     },
     /// Catalog listing.
     Catalog(Vec<CatalogEntry>),
+    /// A plain-text payload (the Prometheus rendering of
+    /// [`Request::Metrics`]).
+    Text(String),
+    /// The reply to a [`Request::Traced`]: the inner response plus the
+    /// spans the server recorded while producing it, in the server's own
+    /// clock and id space (the client remaps and anchors them).
+    Traced {
+        /// Server-side spans.
+        spans: Vec<bda_obs::Span>,
+        /// The wrapped reply.
+        inner: Box<Response>,
+    },
     /// The request failed server-side; the display string of the error
     /// plus whether the server considers it transient (safe to retry).
     Error {
@@ -122,11 +149,15 @@ const K_EXECUTE_PUSH: u8 = 0x04;
 const K_STORE: u8 = 0x05;
 const K_REMOVE: u8 = 0x06;
 const K_CATALOG: u8 = 0x07;
+const K_METRICS: u8 = 0x08;
+const K_TRACED: u8 = 0x10;
 const K_R_HELLO: u8 = 0x81;
 const K_R_DATASET: u8 = 0x82;
 const K_R_ACK: u8 = 0x83;
 const K_R_PUSHED: u8 = 0x84;
 const K_R_CATALOG: u8 = 0x85;
+const K_R_TEXT: u8 = 0x86;
+const K_R_TRACED: u8 = 0x87;
 const K_R_ERROR: u8 = 0xFF;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
@@ -202,6 +233,19 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             K_REMOVE
         }
         Request::Catalog => K_CATALOG,
+        Request::Metrics => K_METRICS,
+        Request::Traced {
+            trace_id,
+            parent_span,
+            inner,
+        } => {
+            buf.put_u64_le(*trace_id);
+            buf.put_u64_le(*parent_span);
+            let (inner_kind, inner_payload) = encode_request(inner);
+            buf.put_u8(inner_kind);
+            put_block(&mut buf, &inner_payload);
+            K_TRACED
+        }
     };
     (kind, buf.to_vec())
 }
@@ -231,6 +275,21 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
             name: r.string("remove name")?,
         },
         K_CATALOG => Request::Catalog,
+        K_METRICS => Request::Metrics,
+        K_TRACED => {
+            let trace_id = r.u64("trace id")?;
+            let parent_span = r.u64("parent span")?;
+            let inner_kind = r.u8("traced inner kind")?;
+            if inner_kind == K_TRACED {
+                return Err(corrupt("traced request must not nest"));
+            }
+            let inner_payload = read_block(&mut r, "traced inner payload")?;
+            Request::Traced {
+                trace_id,
+                parent_span,
+                inner: Box::new(decode_request(inner_kind, inner_payload)?),
+            }
+        }
         other => return Err(corrupt(format!("unknown request kind {other:#04x}"))),
     };
     finish(&r, "request")?;
@@ -275,6 +334,17 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
                 }
             }
             K_R_CATALOG
+        }
+        Response::Text(text) => {
+            put_string(&mut buf, text);
+            K_R_TEXT
+        }
+        Response::Traced { spans, inner } => {
+            put_block(&mut buf, &bda_obs::wire::encode_spans(spans));
+            let (inner_kind, inner_payload) = encode_response(inner);
+            buf.put_u8(inner_kind);
+            put_block(&mut buf, &inner_payload);
+            K_R_TRACED
         }
         Response::Error { msg, transient } => {
             buf.put_u8(u8::from(*transient));
@@ -330,6 +400,21 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<Response> {
                 entries.push(CatalogEntry { name, schema, rows });
             }
             Response::Catalog(entries)
+        }
+        K_R_TEXT => Response::Text(r.string("text payload")?),
+        K_R_TRACED => {
+            let span_block = read_block(&mut r, "traced spans")?;
+            let spans = bda_obs::wire::decode_spans(span_block)
+                .map_err(|e| corrupt(format!("traced spans: {e}")))?;
+            let inner_kind = r.u8("traced inner kind")?;
+            if inner_kind == K_R_TRACED {
+                return Err(corrupt("traced response must not nest"));
+            }
+            let inner_payload = read_block(&mut r, "traced inner payload")?;
+            Response::Traced {
+                spans,
+                inner: Box::new(decode_response(inner_kind, inner_payload)?),
+            }
         }
         K_R_ERROR => {
             let transient = match r.u8("error transient flag")? {
@@ -392,6 +477,59 @@ mod tests {
         });
         request_round_trip(Request::Remove { name: "t".into() });
         request_round_trip(Request::Catalog);
+        request_round_trip(Request::Metrics);
+    }
+
+    #[test]
+    fn traced_messages_round_trip() {
+        let ds = sample_dataset();
+        let plan = Plan::scan("t", ds.schema().clone()).limit(2);
+        request_round_trip(Request::Traced {
+            trace_id: 0xDEAD_BEEF,
+            parent_span: 7,
+            inner: Box::new(Request::Execute { plan }),
+        });
+        response_round_trip(Response::Text("# HELP x y\nx 1\n".into()));
+        response_round_trip(Response::Traced {
+            spans: vec![bda_obs::Span {
+                id: 1,
+                parent: None,
+                name: "serve:execute".into(),
+                site: "rel".into(),
+                start_ns: 10,
+                end_ns: 500,
+                rows: Some(3),
+                bytes: None,
+                events: vec![bda_obs::SpanEvent {
+                    at_ns: 20,
+                    label: "decoded".into(),
+                }],
+            }],
+            inner: Box::new(Response::DataSet(ds)),
+        });
+    }
+
+    #[test]
+    fn traced_never_nests() {
+        let inner = Request::Traced {
+            trace_id: 1,
+            parent_span: 0,
+            inner: Box::new(Request::Catalog),
+        };
+        let (kind, payload) = encode_request(&Request::Traced {
+            trace_id: 2,
+            parent_span: 0,
+            inner: Box::new(inner),
+        });
+        assert!(decode_request(kind, &payload).is_err());
+        let (rkind, rpayload) = encode_response(&Response::Traced {
+            spans: vec![],
+            inner: Box::new(Response::Traced {
+                spans: vec![],
+                inner: Box::new(Response::Ack),
+            }),
+        });
+        assert!(decode_response(rkind, &rpayload).is_err());
     }
 
     #[test]

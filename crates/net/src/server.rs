@@ -3,6 +3,20 @@
 //! connection serves requests until the peer hangs up or the server
 //! shuts down.
 //!
+//! Observability (see DESIGN.md, "Observability"):
+//!
+//! * Every server keeps a [`MetricsHub`] — request counts, errors,
+//!   latency histogram, wire bytes — rendered in Prometheus text format
+//!   by a [`Request::Metrics`] message (the `GET /metrics` of this
+//!   protocol).
+//! * A [`Request::Traced`] wrapper makes the server record spans
+//!   (`serve:<kind>` plus the engine's per-operator spans) and return
+//!   them in [`Response::Traced`], so the client can stitch one
+//!   cross-process timeline. A traced push forwards the trace to the
+//!   peer server, whose spans flow back the same way.
+//! * [`ServeOptions::log`] emits one structured line per request (kind,
+//!   duration, bytes, outcome) to stderr or a file.
+//!
 //! For chaos testing, [`serve_with_faults`] injects seeded transport
 //! faults *below* the protocol: responses are dropped (connection closed
 //! without a reply) or truncated mid-frame, which clients must survive
@@ -10,17 +24,19 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bda_core::Provider;
+use bda_obs::{MetricsHub, TraceContext, Tracer};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::frame::{read_message, write_message};
+use crate::frame::{read_message, write_message, HEADER_LEN, MAX_FRAME_PAYLOAD};
 use crate::proto::{
     decode_request, encode_request, encode_response, CatalogEntry, Request, Response,
 };
@@ -64,6 +80,24 @@ impl NetFaults {
     }
 }
 
+/// Where the per-request log lines go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogSink {
+    /// Write to the server process's stderr.
+    Stderr,
+    /// Append to the file at this path (created if absent).
+    File(PathBuf),
+}
+
+/// Server configuration beyond the bind address.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeOptions {
+    /// Transport-level fault injection (chaos testing).
+    pub faults: Option<NetFaults>,
+    /// Per-request structured logging: one `key=value` line per request.
+    pub log: Option<LogSink>,
+}
+
 /// The shared fault stream: one RNG across all of a server's connections
 /// so the injected sequence is a function of the seed and the global
 /// response order.
@@ -92,11 +126,19 @@ impl FaultState {
     }
 }
 
+/// Everything a connection handler needs: the engine, the metrics
+/// registry, and the optional request log.
+struct ServerState {
+    engine: Arc<dyn Provider>,
+    metrics: MetricsHub,
+    log: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
 /// Serve `engine` on `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
 /// port). Returns once the listener is bound; requests are handled on
 /// background threads.
 pub fn serve(engine: Arc<dyn Provider>, bind: &str) -> std::io::Result<ServerHandle> {
-    serve_inner(engine, bind, None)
+    serve_with(engine, bind, ServeOptions::default())
 }
 
 /// [`serve`] with transport-level fault injection — responses are
@@ -106,25 +148,51 @@ pub fn serve_with_faults(
     bind: &str,
     faults: NetFaults,
 ) -> std::io::Result<ServerHandle> {
-    let state = FaultState {
-        rng: Mutex::new(StdRng::seed_from_u64(faults.seed)),
-        faults,
-    };
-    serve_inner(engine, bind, Some(Arc::new(state)))
+    serve_with(
+        engine,
+        bind,
+        ServeOptions {
+            faults: Some(faults),
+            log: None,
+        },
+    )
 }
 
-fn serve_inner(
+/// [`serve`] with full [`ServeOptions`].
+pub fn serve_with(
     engine: Arc<dyn Provider>,
     bind: &str,
-    faults: Option<Arc<FaultState>>,
+    opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    let faults = opts.faults.map(|faults| {
+        Arc::new(FaultState {
+            rng: Mutex::new(StdRng::seed_from_u64(faults.seed)),
+            faults,
+        })
+    });
+    let log: Option<Mutex<Box<dyn Write + Send>>> = match opts.log {
+        None => None,
+        Some(LogSink::Stderr) => Some(Mutex::new(Box::new(std::io::stderr()))),
+        Some(LogSink::File(path)) => {
+            let f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            Some(Mutex::new(Box::new(f)))
+        }
+    };
+    let state = Arc::new(ServerState {
+        engine,
+        metrics: MetricsHub::default(),
+        log,
+    });
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread = std::thread::Builder::new()
-        .name(format!("bda-served-{}", engine.name()))
-        .spawn(move || accept_loop(listener, engine, accept_shutdown, faults))?;
+        .name(format!("bda-served-{}", state.engine.name()))
+        .spawn(move || accept_loop(listener, state, accept_shutdown, faults))?;
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -160,7 +228,7 @@ impl Drop for ServerHandle {
 
 fn accept_loop(
     listener: TcpListener,
-    engine: Arc<dyn Provider>,
+    state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
     faults: Option<Arc<FaultState>>,
 ) {
@@ -173,12 +241,12 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let engine = Arc::clone(&engine);
+        let conn_state = Arc::clone(&state);
         let conn_shutdown = Arc::clone(&shutdown);
         let conn_faults = faults.clone();
         if let Ok(h) = std::thread::Builder::new()
             .name("bda-served-conn".to_string())
-            .spawn(move || handle_connection(conn, engine, conn_shutdown, conn_faults))
+            .spawn(move || handle_connection(conn, conn_state, conn_shutdown, conn_faults))
         {
             handlers.push(h);
         }
@@ -189,9 +257,101 @@ fn accept_loop(
     }
 }
 
+/// The short request-kind label used in metrics and log lines.
+fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Hello => "hello",
+        Request::Execute { .. } => "execute",
+        Request::ExecuteStore { .. } => "execute-store",
+        Request::ExecutePush { .. } => "execute-push",
+        Request::Store { .. } => "store",
+        Request::Remove { .. } => "remove",
+        Request::Catalog => "catalog",
+        Request::Metrics => "metrics",
+        // A traced wrapper is labelled by the work it carries.
+        Request::Traced { inner, .. } => request_kind(inner),
+    }
+}
+
+/// Wire size of a `len`-byte payload after framing (header per frame).
+fn framed_size(len: usize) -> u64 {
+    let frames = len.div_ceil(MAX_FRAME_PAYLOAD).max(1);
+    (len + frames * HEADER_LEN) as u64
+}
+
+impl ServerState {
+    /// Charge one handled request to the metrics registry and the log.
+    fn observe(&self, kind: &str, traced: bool, dur: Duration, req_bytes: u64, resp: &Response) {
+        let m = &self.metrics;
+        let (outcome, resp_bytes) = {
+            let (_, payload) = encode_response_size(resp);
+            (response_outcome(resp), payload)
+        };
+        m.counter(
+            &format!("bda_net_requests_total{{kind=\"{kind}\"}}"),
+            "Requests handled, by kind.",
+        )
+        .inc();
+        if outcome == "error" {
+            m.counter(
+                &format!("bda_net_request_errors_total{{kind=\"{kind}\"}}"),
+                "Requests answered with an error, by kind.",
+            )
+            .inc();
+        }
+        m.histogram(
+            "bda_net_request_duration_seconds",
+            "Wall time to handle one request.",
+        )
+        .observe_ns(dur.as_nanos() as u64);
+        m.counter(
+            "bda_net_wire_bytes_total{direction=\"received\"}",
+            "Framed bytes moved over this server's connections.",
+        )
+        .add(req_bytes);
+        m.counter(
+            "bda_net_wire_bytes_total{direction=\"sent\"}",
+            "Framed bytes moved over this server's connections.",
+        )
+        .add(resp_bytes);
+        if let Some(log) = &self.log {
+            let mut w = log.lock().expect("request log poisoned");
+            let _ = writeln!(
+                w,
+                "server={} kind={} traced={} dur_us={} req_bytes={} resp_bytes={} outcome={}",
+                self.engine.name(),
+                kind,
+                traced,
+                dur.as_micros(),
+                req_bytes,
+                resp_bytes,
+                outcome,
+            )
+            .and_then(|_| w.flush());
+        }
+    }
+}
+
+/// Encoded-response size without keeping the encoding (the connection
+/// handler re-encodes; responses are encoded at most twice, and the log
+/// and metrics want the size before the fault hook may drop the reply).
+fn encode_response_size(resp: &Response) -> (u8, u64) {
+    let (kind, payload) = encode_response(resp);
+    (kind, framed_size(payload.len()))
+}
+
+/// The log/metrics outcome of a response (looks through `Traced`).
+fn response_outcome(resp: &Response) -> &'static str {
+    match resp {
+        Response::Error { .. } => "error",
+        Response::Traced { inner, .. } => response_outcome(inner),
+        _ => "ok",
+    }
+}
+
 fn handle_connection(
     mut conn: TcpStream,
-    engine: Arc<dyn Provider>,
+    state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
     faults: Option<Arc<FaultState>>,
 ) {
@@ -220,17 +380,25 @@ fn handle_connection(
         if conn.set_read_timeout(Some(PUSH_TIMEOUT)).is_err() {
             return;
         }
-        let (kind, payload) = match read_message(&mut conn) {
-            Ok((kind, payload, _)) => (kind, payload),
+        let (kind, payload, req_bytes) = match read_message(&mut conn) {
+            Ok(got) => got,
             // Peer hung up, stalled, or sent garbage: close.
             Err(_) => return,
         };
-        let response = match decode_request(kind, &payload) {
+        let started = std::time::Instant::now();
+        let (label, traced, response) = match decode_request(kind, &payload) {
             Ok(req) => {
-                handle_request(engine.as_ref(), &req).unwrap_or_else(|e| Response::from_error(&e))
+                let resp =
+                    handle_request(&state, &req).unwrap_or_else(|e| Response::from_error(&e));
+                (
+                    request_kind(&req),
+                    matches!(req, Request::Traced { .. }),
+                    resp,
+                )
             }
-            Err(e) => Response::from_error(&e),
+            Err(e) => ("malformed", false, Response::from_error(&e)),
         };
+        state.observe(label, traced, started.elapsed(), req_bytes, &response);
         let (rkind, rpayload) = encode_response(&response);
         match faults.as_ref().map(|f| f.decide()) {
             Some(FaultAction::Drop) => return, // close without replying
@@ -256,7 +424,8 @@ fn handle_connection(
     }
 }
 
-fn handle_request(engine: &dyn Provider, req: &Request) -> Result<Response> {
+fn handle_request(state: &ServerState, req: &Request) -> Result<Response> {
+    let engine = state.engine.as_ref();
     Ok(match req {
         Request::Hello => Response::Hello {
             name: engine.name().to_string(),
@@ -274,7 +443,7 @@ fn handle_request(engine: &dyn Provider, req: &Request) -> Result<Response> {
             plan,
         } => {
             let out = engine.execute(plan)?;
-            let bytes = push_to_peer(dest_addr, dest_name, out)?;
+            let bytes = push_to_peer(dest_addr, dest_name, out, &Tracer::disabled(), None)?;
             Response::Pushed { bytes }
         }
         Request::Store { name, data } => {
@@ -296,13 +465,87 @@ fn handle_request(engine: &dyn Provider, req: &Request) -> Result<Response> {
                 })
                 .collect(),
         ),
+        Request::Metrics => Response::Text(state.metrics.render()),
+        Request::Traced {
+            trace_id, inner, ..
+        } => {
+            // The client does the stitching: server-side spans go back
+            // rootless (in this server's own id/clock space) and the
+            // client remaps, anchors, and parents them. Errors still
+            // travel inside `Traced` so the spans survive the failure.
+            let tracer = Tracer::with_trace_id(*trace_id);
+            let resp =
+                handle_traced(state, &tracer, inner).unwrap_or_else(|e| Response::from_error(&e));
+            Response::Traced {
+                spans: tracer.take_spans(),
+                inner: Box::new(resp),
+            }
+        }
     })
+}
+
+/// Handle the request inside a [`Request::Traced`] wrapper under a
+/// `serve:<kind>` span, using the engine's traced entry points so its
+/// per-operator spans land in the same trace.
+fn handle_traced(state: &ServerState, tracer: &Tracer, req: &Request) -> Result<Response> {
+    let engine = state.engine.as_ref();
+    let mut serve = tracer.start(
+        None,
+        || format!("serve:{}", request_kind(req)),
+        engine.name(),
+    );
+    let ctx = TraceContext {
+        trace_id: tracer.trace_id(),
+        parent_span: serve.id().unwrap_or(0),
+    };
+    let resp = match req {
+        Request::Execute { plan } => {
+            let anchor = tracer.now_ns();
+            let (out, spans) = engine.execute_traced(plan, &ctx)?;
+            tracer.absorb_remote(spans, serve.id(), anchor);
+            serve.set_rows(out.num_rows());
+            Response::DataSet(out)
+        }
+        Request::ExecuteStore { name, plan } => {
+            let anchor = tracer.now_ns();
+            let (out, spans) = engine.execute_traced(plan, &ctx)?;
+            tracer.absorb_remote(spans, serve.id(), anchor);
+            serve.set_rows(out.num_rows());
+            engine.store(name, out)?;
+            Response::Ack
+        }
+        Request::ExecutePush {
+            dest_addr,
+            dest_name,
+            plan,
+        } => {
+            let anchor = tracer.now_ns();
+            let (out, spans) = engine.execute_traced(plan, &ctx)?;
+            tracer.absorb_remote(spans, serve.id(), anchor);
+            serve.set_rows(out.num_rows());
+            let bytes = push_to_peer(dest_addr, dest_name, out, tracer, serve.id())?;
+            serve.set_bytes(bytes);
+            Response::Pushed { bytes }
+        }
+        // Control-plane work under the serve span, no deeper spans.
+        other => handle_request(state, other)?,
+    };
+    serve.finish();
+    Ok(resp)
 }
 
 /// The direct server-to-server hop: open a connection to the peer and
 /// store the dataset there, bypassing the application tier entirely.
-/// Returns the framed bytes sent to the peer.
-fn push_to_peer(dest_addr: &str, dest_name: &str, data: bda_storage::DataSet) -> Result<u64> {
+/// Returns the framed bytes sent to the peer. With an enabled `tracer`
+/// the store is wrapped in [`Request::Traced`] so the *peer's* spans
+/// come back and land under `parent` in this trace.
+fn push_to_peer(
+    dest_addr: &str,
+    dest_name: &str,
+    data: bda_storage::DataSet,
+    tracer: &Tracer,
+    parent: Option<u64>,
+) -> Result<u64> {
     use bda_core::CoreError;
     let net = |e: std::io::Error| CoreError::Net(format!("push to {dest_addr}: {e}"));
     let addrs: Vec<SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(dest_addr)
@@ -314,15 +557,31 @@ fn push_to_peer(dest_addr: &str, dest_name: &str, data: bda_storage::DataSet) ->
     let mut conn = TcpStream::connect_timeout(addr, PUSH_TIMEOUT).map_err(net)?;
     conn.set_read_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
     conn.set_write_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
-    let (kind, payload) = encode_request(&Request::Store {
+    let store = Request::Store {
         name: dest_name.to_string(),
         data,
-    });
+    };
+    let req = if tracer.is_enabled() {
+        Request::Traced {
+            trace_id: tracer.trace_id(),
+            parent_span: parent.unwrap_or(0),
+            inner: Box::new(store),
+        }
+    } else {
+        store
+    };
+    let anchor = tracer.now_ns();
+    let (kind, payload) = encode_request(&req);
     let sent = write_message(&mut conn, kind, &payload).map_err(net)?;
     conn.flush().map_err(net)?;
     let (rkind, rpayload, _) =
         read_message(&mut conn).map_err(|e| CoreError::Net(format!("push to {dest_addr}: {e}")))?;
-    match crate::proto::decode_response(rkind, &rpayload)? {
+    let mut resp = crate::proto::decode_response(rkind, &rpayload)?;
+    if let Response::Traced { spans, inner } = resp {
+        tracer.absorb_remote(spans, parent, anchor);
+        resp = *inner;
+    }
+    match resp {
         Response::Ack => Ok(sent),
         Response::Error { msg, transient } if transient => Err(CoreError::transient(
             CoreError::Net(format!("peer {dest_addr}: {msg}")),

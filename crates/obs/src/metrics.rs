@@ -1,0 +1,264 @@
+//! A tiny metrics registry with Prometheus text-format export.
+//!
+//! Counters and histograms are lock-free atomics on the hot path;
+//! registration takes a lock but happens once per metric (handles are
+//! cheap `Arc` clones meant to be held, not re-looked-up). [`MetricsHub::render`]
+//! produces the `text/plain; version=0.0.4` exposition format that the
+//! `bda-served` protocol serves for a `Metrics` request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram bucket upper bounds, in seconds (requests range from
+/// sub-millisecond catalog calls to multi-second pushes).
+const BUCKET_BOUNDS_S: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// A latency histogram over fixed buckets ([`BUCKET_BOUNDS_S`]), fed in
+/// nanoseconds. Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Arc<Vec<AtomicU64>>,
+    count: Arc<AtomicU64>,
+    sum_ns: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: Arc::new(
+                (0..BUCKET_BOUNDS_S.len())
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+            ),
+            count: Arc::new(AtomicU64::new(0)),
+            sum_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation, in nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let s = ns as f64 / 1e9;
+        for (i, bound) in BUCKET_BOUNDS_S.iter().enumerate() {
+            if s <= *bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+struct Registered {
+    /// Full series name including labels, e.g. `requests_total{kind="execute"}`.
+    name: String,
+    /// Family name (the part before `{`), for HELP/TYPE headers.
+    family: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A registry of named metrics with Prometheus text export. One hub per
+/// server process; handles are registered once and cached by callers.
+#[derive(Clone, Default)]
+pub struct MetricsHub {
+    metrics: Arc<Mutex<Vec<Registered>>>,
+}
+
+impl MetricsHub {
+    /// A fresh, empty hub.
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// Get or register the counter with this exact series name (labels
+    /// included, e.g. `requests_total{kind="execute"}`).
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
+        for m in metrics.iter() {
+            if m.name == name {
+                if let Metric::Counter(c) = &m.metric {
+                    return c.clone();
+                }
+            }
+        }
+        let c = Counter {
+            value: Arc::new(AtomicU64::new(0)),
+        };
+        metrics.push(Registered {
+            family: family_of(name),
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Get or register the histogram named `name` (unlabeled).
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
+        for m in metrics.iter() {
+            if m.name == name {
+                if let Metric::Histogram(h) = &m.metric {
+                    return h.clone();
+                }
+            }
+        }
+        let h = Histogram::new();
+        metrics.push(Registered {
+            family: family_of(name),
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Render every metric in Prometheus text exposition format, sorted
+    /// by family then series name (HELP/TYPE emitted once per family).
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics lock poisoned");
+        let mut order: Vec<usize> = (0..metrics.len()).collect();
+        order.sort_by(|&a, &b| {
+            (metrics[a].family.as_str(), metrics[a].name.as_str())
+                .cmp(&(metrics[b].family.as_str(), metrics[b].name.as_str()))
+        });
+        let mut out = String::new();
+        let mut last_family = "";
+        for &i in &order {
+            let m = &metrics[i];
+            if m.family != last_family {
+                out.push_str(&format!("# HELP {} {}\n", m.family, m.help));
+                let kind = match m.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {}\n", m.family, kind));
+                last_family = &m.family;
+            }
+            match &m.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{} {}\n", m.name, c.get()));
+                }
+                Metric::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (b, bound) in BUCKET_BOUNDS_S.iter().enumerate() {
+                        cumulative += h.buckets[b].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{}_bucket{{le=\"{}\"}} {}\n",
+                            m.name, bound, cumulative
+                        ));
+                    }
+                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", m.name, h.count()));
+                    out.push_str(&format!(
+                        "{}_sum {}\n",
+                        m.name,
+                        h.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+                    ));
+                    out.push_str(&format!("{}_count {}\n", m.name, h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The metric family: the series name up to the label block.
+fn family_of(name: &str) -> String {
+    match name.find('{') {
+        Some(i) => name[..i].to_string(),
+        None => name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let hub = MetricsHub::new();
+        let a = hub.counter("requests_total{kind=\"execute\"}", "Requests served");
+        let b = hub.counter("requests_total{kind=\"execute\"}", "Requests served");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same series shares one cell");
+        let text = hub.render();
+        assert!(text.contains("# HELP requests_total Requests served"));
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{kind=\"execute\"} 3"));
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_family() {
+        let hub = MetricsHub::new();
+        hub.counter("requests_total{kind=\"a\"}", "Requests served")
+            .inc();
+        hub.counter("requests_total{kind=\"b\"}", "Requests served")
+            .inc();
+        let text = hub.render();
+        assert_eq!(text.matches("# HELP requests_total").count(), 1);
+        assert_eq!(text.matches("# TYPE requests_total").count(), 1);
+        assert!(text.contains("requests_total{kind=\"a\"} 1"));
+        assert!(text.contains("requests_total{kind=\"b\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let hub = MetricsHub::new();
+        let h = hub.histogram("request_duration_seconds", "Request latency");
+        h.observe_ns(50_000); // 50µs  -> first bucket (1e-4)
+        h.observe_ns(2_000_000); // 2ms -> le 0.0025
+        h.observe_ns(20_000_000_000); // 20s -> only +Inf
+        let text = hub.render();
+        assert!(text.contains("# TYPE request_duration_seconds histogram"));
+        assert!(text.contains("request_duration_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("request_duration_seconds_bucket{le=\"0.0025\"} 2"));
+        assert!(text.contains("request_duration_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("request_duration_seconds_count 3"));
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("request_duration_seconds_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((sum - 20.00205).abs() < 1e-6, "{sum}");
+    }
+}

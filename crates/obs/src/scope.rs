@@ -1,0 +1,129 @@
+//! Thread-local span scope: per-operator tracing for recursive
+//! evaluators without touching their signatures.
+//!
+//! An engine's `execute_traced` [`install`]s a scope (tracer + site) for
+//! the current thread; the engine's recursive executor calls [`enter`]
+//! at the top of each plan node. When no scope is installed — the
+//! common, untraced case — `enter` is a single thread-local borrow that
+//! returns `None` and allocates nothing (the name closure never runs).
+//! Nesting comes for free: each [`Node`] pushes itself as the parent for
+//! spans opened deeper in the recursion and pops on drop.
+
+use std::cell::RefCell;
+
+use crate::{SpanGuard, Tracer};
+
+thread_local! {
+    static SCOPE: RefCell<Option<State>> = const { RefCell::new(None) };
+}
+
+struct State {
+    tracer: Tracer,
+    site: String,
+    parents: Vec<u64>,
+}
+
+/// The installed scope; dropping it uninstalls.
+pub struct Installed(());
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        SCOPE.with(|s| *s.borrow_mut() = None);
+    }
+}
+
+/// Install a tracing scope on this thread: spans [`enter`]ed until the
+/// returned guard drops record into `tracer` at `site`, rooted under
+/// `parent`. Returns `None` (and installs nothing) for a disabled
+/// tracer.
+pub fn install(tracer: &Tracer, site: &str, parent: Option<u64>) -> Option<Installed> {
+    if !tracer.is_enabled() {
+        return None;
+    }
+    SCOPE.with(|s| {
+        *s.borrow_mut() = Some(State {
+            tracer: tracer.clone(),
+            site: site.to_string(),
+            parents: parent.into_iter().collect(),
+        })
+    });
+    Some(Installed(()))
+}
+
+/// One traced plan node; finishes its span and pops the parent stack on
+/// drop.
+pub struct Node {
+    guard: SpanGuard,
+}
+
+impl Node {
+    /// Record the node's output cardinality.
+    pub fn rows(&mut self, rows: usize) {
+        self.guard.set_rows(rows);
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            if let Some(st) = s.borrow_mut().as_mut() {
+                st.parents.pop();
+            }
+        });
+        // The span guard closes after the pop, via its own Drop.
+    }
+}
+
+/// Open a span for one plan node under the installed scope. `None` when
+/// no scope is installed (the name closure is not invoked).
+pub fn enter(name: impl FnOnce() -> String) -> Option<Node> {
+    SCOPE.with(|s| {
+        let mut slot = s.borrow_mut();
+        let st = slot.as_mut()?;
+        let guard = st.tracer.start(st.parents.last().copied(), name, &st.site);
+        if let Some(id) = guard.id() {
+            st.parents.push(id);
+        }
+        Some(Node { guard })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scope_is_inert() {
+        assert!(enter(|| unreachable!("must not format")).is_none());
+    }
+
+    #[test]
+    fn disabled_tracer_installs_nothing() {
+        let t = Tracer::disabled();
+        assert!(install(&t, "rel", None).is_none());
+        assert!(enter(|| unreachable!()).is_none());
+    }
+
+    #[test]
+    fn nested_enters_build_a_span_tree() {
+        let t = Tracer::new(3);
+        {
+            let _scope = install(&t, "rel", None);
+            let mut outer = enter(|| "op:join".into()).unwrap();
+            {
+                let _inner = enter(|| "op:scan".into()).unwrap();
+            }
+            outer.rows(5);
+        }
+        // Scope uninstalled: enter is inert again.
+        assert!(enter(|| unreachable!()).is_none());
+        let trace = t.finish();
+        assert_eq!(trace.spans.len(), 2);
+        let join = trace.spans_named("op:join")[0];
+        let scan = trace.spans_named("op:scan")[0];
+        assert_eq!(scan.parent, Some(join.id));
+        assert_eq!(join.parent, None);
+        assert_eq!(join.rows, Some(5));
+        assert_eq!(join.site, "rel");
+    }
+}

@@ -1,0 +1,238 @@
+//! The span codec: a self-contained binary encoding for `Vec<Span>` so
+//! `bda-net` can carry server-side spans back to the client inside its
+//! framed protocol without `bda-obs` depending on any wire crate.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u32 span_count
+//! per span:
+//!   u64 id
+//!   u8  has_parent, [u64 parent]
+//!   u32 name_len,  name bytes (UTF-8)
+//!   u32 site_len,  site bytes (UTF-8)
+//!   u64 start_ns, u64 end_ns
+//!   u8  has_rows,  [u64 rows]
+//!   u8  has_bytes, [u64 bytes]
+//!   u32 event_count
+//!   per event: u64 at_ns, u32 label_len, label bytes
+//! ```
+//!
+//! Decoding is strict: every length is bounds-checked and capped, and a
+//! malformed buffer yields `Err`, never a panic or huge allocation.
+
+use crate::{Span, SpanEvent};
+
+/// Decode-side sanity caps: no legitimate trace has a million spans per
+/// response or megabyte span names.
+const MAX_SPANS: u32 = 1 << 20;
+const MAX_STRING: u32 = 1 << 20;
+const MAX_EVENTS: u32 = 1 << 20;
+
+/// Encode spans into the wire layout above.
+pub fn encode_spans(spans: &[Span]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + spans.len() * 64);
+    put_u32(&mut out, spans.len() as u32);
+    for s in spans {
+        put_u64(&mut out, s.id);
+        put_opt_u64(&mut out, s.parent);
+        put_str(&mut out, &s.name);
+        put_str(&mut out, &s.site);
+        put_u64(&mut out, s.start_ns);
+        put_u64(&mut out, s.end_ns);
+        put_opt_u64(&mut out, s.rows);
+        put_opt_u64(&mut out, s.bytes);
+        put_u32(&mut out, s.events.len() as u32);
+        for e in &s.events {
+            put_u64(&mut out, e.at_ns);
+            put_str(&mut out, &e.label);
+        }
+    }
+    out
+}
+
+/// Decode spans from the wire layout; `Err(reason)` on any malformation.
+pub fn decode_spans(buf: &[u8]) -> Result<Vec<Span>, String> {
+    let mut r = Reader { buf, pos: 0 };
+    let count = r.u32()?;
+    if count > MAX_SPANS {
+        return Err(format!("span count {count} exceeds cap"));
+    }
+    let mut spans = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let id = r.u64()?;
+        let parent = r.opt_u64()?;
+        let name = r.string()?;
+        let site = r.string()?;
+        let start_ns = r.u64()?;
+        let end_ns = r.u64()?;
+        let rows = r.opt_u64()?;
+        let bytes = r.opt_u64()?;
+        let event_count = r.u32()?;
+        if event_count > MAX_EVENTS {
+            return Err(format!("event count {event_count} exceeds cap"));
+        }
+        let mut events = Vec::with_capacity(event_count.min(1024) as usize);
+        for _ in 0..event_count {
+            let at_ns = r.u64()?;
+            let label = r.string()?;
+            events.push(SpanEvent { at_ns, label });
+        }
+        spans.push(Span {
+            id,
+            parent,
+            name,
+            site,
+            start_ns,
+            end_ns,
+            rows,
+            bytes,
+            events,
+        });
+    }
+    if r.pos != buf.len() {
+        return Err(format!("{} trailing bytes after spans", buf.len() - r.pos));
+    }
+    Ok(spans)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("span buffer truncated at {}+{n}", self.pos))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(format!("bad option tag {other}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()?;
+        if len > MAX_STRING {
+            return Err(format!("string length {len} exceeds cap"));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in span string".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Span> {
+        vec![
+            Span {
+                id: 1,
+                parent: None,
+                name: "query".into(),
+                site: "app".into(),
+                start_ns: 0,
+                end_ns: 5_000,
+                rows: Some(12),
+                bytes: None,
+                events: vec![SpanEvent {
+                    at_ns: 100,
+                    label: "retry:1".into(),
+                }],
+            },
+            Span {
+                id: 2,
+                parent: Some(1),
+                name: "op:join".into(),
+                site: "rel".into(),
+                start_ns: 10,
+                end_ns: 4_000,
+                rows: None,
+                bytes: Some(4096),
+                events: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let spans = sample();
+        let buf = encode_spans(&spans);
+        assert_eq!(decode_spans(&buf).unwrap(), spans);
+        assert_eq!(
+            decode_spans(&encode_spans(&[])).unwrap(),
+            Vec::<Span>::new()
+        );
+    }
+
+    #[test]
+    fn truncation_and_garbage_error_cleanly() {
+        let buf = encode_spans(&sample());
+        for cut in 0..buf.len() {
+            assert!(decode_spans(&buf[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut extended = buf.clone();
+        extended.push(0);
+        assert!(decode_spans(&extended).is_err());
+        // A hostile count cannot cause a giant allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_spans(&hostile).is_err());
+    }
+
+    #[test]
+    fn bad_option_tag_rejected() {
+        let spans = sample();
+        let mut buf = encode_spans(&spans);
+        // Byte right after count+id is the parent option tag of span 1.
+        buf[4 + 8] = 7;
+        assert!(decode_spans(&buf).is_err());
+    }
+}

@@ -25,6 +25,21 @@ pub fn execute(
     tables: &BTreeMap<String, DataSet>,
     state: Option<&DataSet>,
 ) -> Result<DataSet> {
+    // Per-operator tracing when a scope is installed (`execute_traced`);
+    // one inert thread-local check otherwise.
+    let mut node = bda_obs::scope::enter(|| format!("op:{}", plan.op_kind().name()));
+    let out = execute_node(plan, tables, state);
+    if let (Some(n), Ok(ds)) = (node.as_mut(), &out) {
+        n.rows(ds.num_rows());
+    }
+    out
+}
+
+fn execute_node(
+    plan: &Plan,
+    tables: &BTreeMap<String, DataSet>,
+    state: Option<&DataSet>,
+) -> Result<DataSet> {
     let out_schema = infer_schema(plan)?;
     match plan {
         Plan::Scan { dataset, schema } => {

@@ -55,6 +55,7 @@ pub use bda_federation as federation;
 pub use bda_graph as graph;
 pub use bda_lang as lang;
 pub use bda_linalg as linalg;
+pub use bda_obs as obs;
 pub use bda_relational as relational;
 pub use bda_storage as storage;
 pub use bda_workloads as workloads;

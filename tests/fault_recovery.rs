@@ -109,12 +109,27 @@ fn recovering_options() -> ExecOptions {
     }
 }
 
+/// Enabled when `BDA_TRACE` is set (the chaos CI job sets it): the same
+/// run then records a full trace, letting the test assert that recovery
+/// shows up as span events, not just counters. `FaultyProvider` draws
+/// its fault stream from a shared counter, so tracing never perturbs
+/// which calls fail.
+fn chaos_tracer() -> bda::obs::Tracer {
+    if std::env::var("BDA_TRACE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        bda::obs::Tracer::new(bda::obs::trace_seed_from_env(DEFAULT_SEED))
+    } else {
+        bda::obs::Tracer::disabled()
+    }
+}
+
 #[test]
 fn plan_completes_correctly_under_faults_via_retry_and_failover() {
-    let fed = chaos_federation(true);
+    let mut fed = chaos_federation(true);
+    *fed.options_mut() = recovering_options();
     let plan = join_matmul_plan(&fed);
+    let tracer = chaos_tracer();
     let (out, metrics) = fed
-        .run_with(&plan, &recovering_options())
+        .run_traced(&plan, &tracer)
         .expect("recovery completes the plan despite a crash and p=0.3 transients");
 
     let expected = evaluate(&plan, &oracle()).expect("reference evaluation");
@@ -140,6 +155,29 @@ fn plan_completes_correctly_under_faults_via_retry_and_failover() {
                 p.name()
             );
         }
+    }
+
+    // Under BDA_TRACE, the recovery story is auditable from the trace
+    // alone: every counted retry/failover left a span event behind.
+    if tracer.is_enabled() {
+        let trace = tracer.finish();
+        let events: Vec<&str> = trace
+            .spans
+            .iter()
+            .flat_map(|s| s.events.iter().map(|e| e.label.as_str()))
+            .collect();
+        assert!(
+            events.iter().any(|l| l.starts_with("retry:")),
+            "retries counted but no retry events recorded: {events:?}"
+        );
+        assert!(
+            events.iter().any(|l| l.starts_with("failover:")),
+            "failovers counted but no failover events recorded: {events:?}"
+        );
+        assert!(
+            !trace.spans_named("fragment:").is_empty(),
+            "traced chaos run recorded no fragment spans"
+        );
     }
 }
 

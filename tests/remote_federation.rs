@@ -183,3 +183,115 @@ fn servers_shut_down_cleanly_after_queries() {
         )
         .is_err());
 }
+
+#[test]
+fn wire_bytes_are_charged_once_per_run() {
+    // Regression guard for the `real_wire_bytes` invariant (see
+    // `bda_federation::metrics`): the executor charges *deltas* of the
+    // providers' cumulative transport counters, never the absolute
+    // values. If that ever regressed to absolute counters, a second run
+    // over the same connections would re-count the first run's bytes.
+    let (fed, _servers) = remote_federation();
+    let plan = join_matmul_plan(&fed);
+    let opts = ExecOptions {
+        transfer: TransferMode::Direct,
+        ..Default::default()
+    };
+
+    let (_, m1) = fed.run_with(&plan, &opts).unwrap();
+
+    let la = fed.registry().provider("la").unwrap();
+    let rel = fed.registry().provider("rel").unwrap();
+    let total = |p: &Arc<dyn Provider>| {
+        let (sent, received) = p.wire_bytes();
+        sent + received
+    };
+    let before = total(&la) + total(&rel);
+    let (_, m2) = fed.run_with(&plan, &opts).unwrap();
+    let delta = total(&la) + total(&rel) - before;
+
+    assert!(m1.real_wire_bytes > 0, "{m1}");
+    // Identical traffic both times: charging absolutes instead of
+    // deltas would roughly double the second figure.
+    assert_eq!(
+        m1.real_wire_bytes, m2.real_wire_bytes,
+        "second run must not re-count the first run's bytes"
+    );
+    // Every charged byte really crossed the app tier's sockets during
+    // *this* run (the counters may additionally move for uncharged
+    // planning traffic, hence <=).
+    assert!(
+        m2.real_wire_bytes <= delta,
+        "charged {} wire bytes but the transports only moved {delta}",
+        m2.real_wire_bytes
+    );
+}
+
+#[test]
+fn traced_tcp_run_reassembles_one_cross_process_trace() {
+    // The acceptance bar for bda-obs: one federated query over real
+    // sockets yields a *single* trace whose spans cover the app tier and
+    // both server processes, stitched into one tree.
+    let (mut fed, _servers) = remote_federation();
+    fed.options_mut().transfer = TransferMode::RemoteTcp;
+    let plan = join_matmul_plan(&fed);
+
+    let tracer = bda::obs::Tracer::new(42);
+    let (out, metrics) = fed.run_traced(&plan, &tracer).unwrap();
+    assert_eq!(out.num_rows(), 8 * 8);
+    assert!(metrics.real_wire_bytes > 0, "{metrics}");
+
+    let trace = tracer.finish();
+    assert_eq!(trace.dropped, 0);
+
+    // All three processes appear in the one trace.
+    let sites = trace.sites();
+    for site in ["app", "la", "rel"] {
+        assert!(sites.iter().any(|s| s == site), "missing {site}: {sites:?}");
+    }
+
+    // Exactly one root: the app-tier query span.
+    let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "{roots:?}");
+    assert_eq!(roots[0].name, "query");
+    assert_eq!(roots[0].site, "app");
+
+    // Server-side spans were absorbed: each remote fragment shows a
+    // `serve:` span, and the operators ran where the planner placed them.
+    assert!(
+        !trace.spans_named("serve:").is_empty(),
+        "no server-side spans absorbed: {:#?}",
+        trace.spans
+    );
+    let matmuls = trace.spans_named("op:matmul");
+    assert!(
+        matmuls.iter().any(|s| s.site == "la"),
+        "matmul should execute on la: {matmuls:?}"
+    );
+    let joins = trace.spans_named("op:join");
+    assert!(
+        joins.iter().any(|s| s.site == "rel"),
+        "join should execute on rel: {joins:?}"
+    );
+
+    // Every non-root span's parent exists: the remote id spaces were
+    // remapped into the client's without dangling references.
+    for s in &trace.spans {
+        if let Some(p) = s.parent {
+            assert!(trace.span(p).is_some(), "dangling parent in {s:?}");
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_works_across_real_sockets() {
+    let (mut fed, _servers) = remote_federation();
+    fed.options_mut().transfer = TransferMode::RemoteTcp;
+    let plan = join_matmul_plan(&fed);
+    let report = fed.explain_analyze(&plan, 7).unwrap();
+    assert!(report.contains("query @ app"), "{report}");
+    assert!(report.contains("op:matmul @ la"), "{report}");
+    assert!(report.contains("op:join @ rel"), "{report}");
+    assert!(report.contains("serve:execute"), "{report}");
+    assert!(report.contains("== metrics =="), "{report}");
+}
