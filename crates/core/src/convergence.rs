@@ -68,6 +68,56 @@ pub fn l1_distance(prev: &DataSet, next: &DataSet) -> Result<Option<f64>, CoreEr
     Ok(Some(dist))
 }
 
+/// What one iteration boundary looked like: the verdict plus the numbers
+/// an operator watches while the loop runs. The federated executor emits
+/// one of these per iteration into its trace span and the `/progress`
+/// endpoint; `EXPLAIN ANALYZE` renders them as a convergence table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// The [`converged`] verdict for this boundary.
+    pub converged: bool,
+    /// The [`l1_distance`] between the states, when defined.
+    pub delta: Option<f64>,
+    /// Rows of `next` not present (as a bag) in `prev` — how much of the
+    /// state this iteration actually moved.
+    pub rows_changed: u64,
+}
+
+/// Evaluate one iteration boundary: the [`converged`] verdict together
+/// with the convergence delta and the number of rows the iteration
+/// changed, computed in one pass over the sorted states.
+pub fn report(
+    prev: &DataSet,
+    next: &DataSet,
+    epsilon: Option<f64>,
+) -> Result<ConvergenceReport, CoreError> {
+    let verdict = converged(prev, next, epsilon)?;
+    let delta = l1_distance(prev, next)?;
+    let mut a = prev.rows()?;
+    let mut b = next.rows()?;
+    a.sort_by(|x, y| x.total_cmp(y));
+    b.sort_by(|x, y| x.total_cmp(y));
+    // Bag intersection by sorted merge; everything in `next` outside the
+    // intersection is a changed row.
+    let (mut i, mut j, mut shared) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].total_cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    Ok(ConvergenceReport {
+        converged: verdict,
+        delta,
+        rows_changed: b.len() as u64 - shared,
+    })
+}
+
 fn float_or_zero(v: &Value) -> f64 {
     match v {
         Value::Float(x) => *x,
@@ -126,6 +176,36 @@ mod tests {
         assert!(converged(&a, &b, None).unwrap());
         let c = ranks(&[(1, 0.5), (2, 0.6)]);
         assert!(!converged(&a, &c, None).unwrap());
+    }
+
+    #[test]
+    fn report_counts_changed_rows_and_delta() {
+        let a = ranks(&[(1, 0.5), (2, 0.5), (3, 0.2)]);
+        let b = ranks(&[(1, 0.5), (2, 0.4), (3, 0.3)]);
+        let r = report(&a, &b, Some(1e-3)).unwrap();
+        assert!(!r.converged);
+        assert!((r.delta.unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(r.rows_changed, 2, "vertex 1 kept its rank");
+    }
+
+    #[test]
+    fn report_at_fixpoint_changes_nothing() {
+        let a = ranks(&[(1, 0.5), (2, 0.5)]);
+        let b = ranks(&[(2, 0.5), (1, 0.5)]);
+        let r = report(&a, &b, None).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.delta, Some(0.0));
+        assert_eq!(r.rows_changed, 0);
+    }
+
+    #[test]
+    fn report_with_disjoint_keys_has_undefined_delta() {
+        let a = ranks(&[(1, 0.5)]);
+        let b = ranks(&[(2, 0.5)]);
+        let r = report(&a, &b, Some(1e-3)).unwrap();
+        assert!(!r.converged);
+        assert_eq!(r.delta, None);
+        assert_eq!(r.rows_changed, 1);
     }
 
     #[test]

@@ -10,13 +10,15 @@
 //! `Direct` → `AppRouted`). Provider health feeds the registry's circuit
 //! breakers, which the planner consults on the next placement.
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bda_core::codec::encode_plan;
-use bda_core::convergence::converged;
+use bda_core::convergence::report;
 use bda_core::{CoreError, Plan};
-use bda_obs::{SpanGuard, TraceContext, Tracer};
+use bda_obs::progress::ProgressHandle;
+use bda_obs::{flight, progress, SpanGuard, TraceContext, Tracer};
 use bda_storage::wire::encode_dataset;
 use bda_storage::{DataSet, Row, Value};
 
@@ -178,11 +180,17 @@ pub fn execute_placement_traced(
     let mut cache: HashMap<usize, DataSet> = HashMap::new();
     let query_span = tracer.start(parent, || "query".into(), "app");
     let query_id = query_span.id();
+    // Only the outermost placement on this thread registers on the
+    // progress board; app-driven iteration re-enters the executor per
+    // round and those inner queries ride the outer query's entry.
+    let progress = enter_query(placement, tracer);
 
     let outcome = (|| -> Result<DataSet> {
         let last = placement.fragments.len() - 1;
+        progress.set_fragments_total(placement.fragments.len());
         for (pos, frag) in placement.fragments.iter().enumerate() {
             metrics.fragments += 1;
+            let frag_started = Instant::now();
             let mut fspan = tracer.start(query_id, || format!("fragment:{}", frag.id), &frag.site);
             // The transfer log accumulates the attempt history of this
             // fragment's output delivery (push and/or store attempts)
@@ -206,12 +214,21 @@ pub fn execute_placement_traced(
                     &mut tlog,
                 )?
             {
+                progress.fragment_done(frag.id, &frag.site, frag_started.elapsed().as_secs_f64());
                 continue;
             }
 
             let out = if frag.site == APP_SITE {
                 // App-driven control iteration (see planner docs).
-                run_app_iterate(registry, &frag.plan, opts, &mut metrics, tracer, fspan.id())?
+                run_app_iterate(
+                    registry,
+                    &frag.plan,
+                    opts,
+                    &mut metrics,
+                    tracer,
+                    fspan.id(),
+                    &progress,
+                )?
             } else {
                 execute_fragment(
                     registry,
@@ -226,6 +243,7 @@ pub fn execute_placement_traced(
                 )?
             };
             fspan.set_rows(out.num_rows());
+            progress.fragment_done(frag.id, &frag.site, frag_started.elapsed().as_secs_f64());
 
             if pos == last {
                 // Root fragment: result returns to the application.
@@ -268,7 +286,101 @@ pub fn execute_placement_traced(
             p.remove(&name);
         }
     }
-    outcome.map(|ds| (ds, metrics))
+    leave_query(progress, tracer, outcome).map(|ds| (ds, metrics))
+}
+
+thread_local! {
+    /// Placement nesting depth on this thread: 0 outside a query, >0
+    /// inside (app-driven iteration re-enters the executor per round).
+    static QUERY_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Register the outermost placement of this thread on the global
+/// progress board; nested placements get an inert handle.
+fn enter_query(placement: &Placement, tracer: &Tracer) -> ProgressHandle {
+    let depth = QUERY_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    if depth > 0 {
+        return progress::ProgressTracker::noop();
+    }
+    let root = placement
+        .fragments
+        .last()
+        .expect("placement checked non-empty");
+    let label = format!("query:{}", root.plan.op_kind().name());
+    flight::global().record("app", || {
+        format!(
+            "query start: {label} ({} fragments)",
+            placement.fragments.len()
+        )
+    });
+    progress::global().start(&label, tracer.trace_id())
+}
+
+/// Counterpart of [`enter_query`]: pop the depth, settle the progress
+/// entry, and — when the outermost query failed permanently — dump the
+/// flight recorder and attach the dump path to the surfaced error.
+fn leave_query(
+    progress: ProgressHandle,
+    tracer: &Tracer,
+    outcome: Result<DataSet>,
+) -> Result<DataSet> {
+    let top_level = progress.is_active();
+    QUERY_DEPTH.with(|d| d.set(d.get() - 1));
+    match outcome {
+        Ok(ds) => {
+            progress.finish();
+            Ok(ds)
+        }
+        Err(e) => {
+            flight::global().record("app", || format!("query failed permanently: {e}"));
+            progress.fail();
+            if !top_level {
+                return Err(e);
+            }
+            let tag = dump_tag(tracer);
+            match flight::global().dump_for_failure(&tag) {
+                Some(path) => Err(attach_note(e, &format!("flight:{}", path.display()))),
+                None => Err(e),
+            }
+        }
+    }
+}
+
+/// A unique-enough dump-file tag: the trace id when tracing, else a
+/// process-wide failure counter.
+fn dump_tag(tracer: &Tracer) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static FAILURES: AtomicU64 = AtomicU64::new(0);
+    let n = FAILURES.fetch_add(1, Ordering::Relaxed);
+    if tracer.is_enabled() {
+        format!("{:016x}", tracer.trace_id())
+    } else {
+        format!("q{n}")
+    }
+}
+
+/// Append an operator-facing note (the flight-dump path) to an error
+/// without changing its variant or transience. Structured variants that
+/// carry no free-form message pass through untouched — the dump file
+/// still exists on disk either way.
+fn attach_note(e: CoreError, note: &str) -> CoreError {
+    match e {
+        CoreError::Plan(m) => CoreError::Plan(format!("{m} [{note}]")),
+        CoreError::Expr(m) => CoreError::Expr(format!("{m} [{note}]")),
+        CoreError::Lower(m) => CoreError::Lower(format!("{m} [{note}]")),
+        CoreError::Corrupt(m) => CoreError::Corrupt(format!("{m} [{note}]")),
+        CoreError::Net(m) => CoreError::Net(format!("{m} [{note}]")),
+        CoreError::Remote { addr, msg } => CoreError::Remote {
+            addr,
+            msg: format!("{msg} [{note}]"),
+        },
+        CoreError::Transient(inner) => CoreError::transient(attach_note(*inner, note)),
+        other => other,
+    }
 }
 
 /// The attempt history of one fragment-output transfer, emitted as a
@@ -390,9 +502,13 @@ fn try_remote_push(
             Some(Err(e)) => {
                 metrics.real_wire_bytes += wire_total(provider.as_ref()) - before;
                 tlog.event(|| format!("error:{e}"));
+                flight::global().record(&frag.site, || {
+                    format!("push fragment:{}@{} failed: {e}", frag.id, frag.site)
+                });
                 if registry.health().record_failure(&frag.site) {
                     metrics.breaker_trips += 1;
                     tlog.event(|| format!("breaker:trip:{}", frag.site));
+                    flight::global().record(&frag.site, || format!("breaker trip: {}", frag.site));
                 }
                 if opts.recovery.enabled && e.is_transient() && attempt + 1 < attempts {
                     continue;
@@ -435,6 +551,12 @@ fn execute_fragment(
         return Err(primary);
     }
     tracer.event(span, || format!("failed:{}:{primary}", frag.site));
+    flight::global().record(&frag.site, || {
+        format!(
+            "fragment:{}@{} failed permanently: {primary}",
+            frag.id, frag.site
+        )
+    });
     for candidate in failover_candidates(registry, frag) {
         if reship_inputs(
             registry, placement, frag, &candidate, opts, metrics, cache, staged, tracer, span,
@@ -448,6 +570,9 @@ fn execute_fragment(
         ) {
             metrics.failovers += 1;
             tracer.event(span, || format!("failover:{candidate}"));
+            flight::global().record(&candidate, || {
+                format!("failover: fragment:{} {}→{candidate}", frag.id, frag.site)
+            });
             return Ok(out);
         }
     }
@@ -509,9 +634,13 @@ fn execute_at(
                 return Ok(out);
             }
             Err(e) => {
+                flight::global().record(site, || {
+                    format!("execute@{site} attempt {} failed: {e}", attempt + 1)
+                });
                 if registry.health().record_failure(site) {
                     metrics.breaker_trips += 1;
                     tracer.event(span, || format!("breaker:trip:{site}"));
+                    flight::global().record(site, || format!("breaker trip: {site}"));
                 }
                 let transient = e.is_transient();
                 last_err = Some(e);
@@ -695,9 +824,13 @@ fn store_with_retry(
                 return Ok(());
             }
             Err(e) => {
+                flight::global().record(site, || {
+                    format!("store {name}@{site} attempt {} failed: {e}", attempt + 1)
+                });
                 if registry.health().record_failure(site) {
                     metrics.breaker_trips += 1;
                     tracer.event(span, || format!("breaker:trip:{site}"));
+                    flight::global().record(site, || format!("breaker trip: {site}"));
                 }
                 let transient = e.is_transient();
                 last_err = Some(e);
@@ -736,6 +869,7 @@ fn run_app_iterate(
     metrics: &mut Metrics,
     tracer: &Tracer,
     span: Option<u64>,
+    progress: &ProgressHandle,
 ) -> Result<DataSet> {
     let Plan::Iterate {
         init,
@@ -753,14 +887,34 @@ fn run_app_iterate(
     metrics.absorb(m);
     for round in 0..*max_iters {
         tracer.event(span, || format!("iteration:{}", round + 1));
+        // One span per iteration: the round's fragments nest under it and
+        // its events carry the convergence numbers the `/progress`
+        // endpoint and `EXPLAIN ANALYZE`'s convergence table render.
+        let mut ispan = tracer.start(span, || format!("iteration:{}", round + 1), APP_SITE);
         let state_rows: Vec<Row> = cur.rows()?;
         let body_inlined = substitute_state(body, &cur, &state_rows);
-        let (next, m) = run_plan_traced(registry, &body_inlined, opts, tracer, span)?;
+        let (next, m) = run_plan_traced(registry, &body_inlined, opts, tracer, ispan.id())?;
         metrics.absorb(m);
         metrics.client_driven_iterations += 1;
-        let done = converged(&cur, &next, *epsilon)?;
+        let rep = report(&cur, &next, *epsilon)?;
+        ispan.set_rows(next.num_rows());
+        ispan.event(|| match rep.delta {
+            Some(d) => format!("delta:{d:.9}"),
+            None => "delta:undefined".into(),
+        });
+        ispan.event(|| format!("rows_changed:{}", rep.rows_changed));
+        ispan.finish();
+        progress.iteration(round + 1, *max_iters, rep.delta, Some(rep.rows_changed));
+        flight::global().record(APP_SITE, || {
+            format!(
+                "iteration:{} delta:{:?} rows_changed:{}",
+                round + 1,
+                rep.delta,
+                rep.rows_changed
+            )
+        });
         cur = next;
-        if done {
+        if rep.converged {
             break;
         }
     }

@@ -33,10 +33,49 @@ pub fn render_analyze(trace: &Trace, metrics: &Metrics) -> String {
             trace.dropped
         ));
     }
+    render_convergence(trace, &mut out);
     out.push_str("== metrics ==\n");
     out.push_str(&metrics.to_string());
     out.push('\n');
     out
+}
+
+/// The per-iteration convergence table: one row per `iteration:{n}` span
+/// (app-driven control iteration), with the wall time, convergence delta
+/// and rows-changed the executor stamped on it. Omitted entirely for
+/// non-iterative queries.
+fn render_convergence(trace: &Trace, out: &mut String) {
+    let mut iterations: Vec<(u64, &Span)> = trace
+        .spans
+        .iter()
+        .filter_map(|s| {
+            s.name
+                .strip_prefix("iteration:")
+                .and_then(|n| n.parse().ok())
+                .map(|n: u64| (n, s))
+        })
+        .collect();
+    if iterations.is_empty() {
+        return;
+    }
+    iterations.sort_by_key(|(n, s)| (*n, s.id));
+    out.push_str("== convergence ==\n");
+    out.push_str("iter     wall_ms      delta                rows_changed\n");
+    for (n, s) in iterations {
+        let field = |prefix: &str| {
+            s.events
+                .iter()
+                .find_map(|e| e.label.strip_prefix(prefix))
+                .unwrap_or("-")
+                .to_string()
+        };
+        out.push_str(&format!(
+            "{n:<8} {:<12.3} {:<20} {}\n",
+            s.duration_ns() as f64 / 1e6,
+            field("delta:"),
+            field("rows_changed:"),
+        ));
+    }
 }
 
 fn render_span(trace: &Trace, span: &Span, depth: usize, out: &mut String) {
@@ -70,6 +109,15 @@ fn render_span(trace: &Trace, span: &Span, depth: usize, out: &mut String) {
 mod tests {
     use super::*;
     use bda_obs::SpanEvent;
+
+    /// `find` with context: a renderer format change fails with the full
+    /// report, not an opaque `unwrap` on `None`.
+    fn position_of(report: &str, needle: &str) -> usize {
+        match report.find(needle) {
+            Some(at) => at,
+            None => panic!("rendered report is missing `{needle}`:\n{report}"),
+        }
+    }
 
     fn span(id: u64, parent: Option<u64>, name: &str, site: &str, start: u64) -> Span {
         Span {
@@ -120,10 +168,52 @@ mod tests {
         assert!(s.contains("- attempt:push"), "{s}");
         assert!(s.contains("- mode:push"), "{s}");
         // Children indent under parents; op comes before transfer (start order).
-        let op_at = s.find("op:select").unwrap();
-        let tr_at = s.find("transfer:0").unwrap();
+        let op_at = position_of(&s, "op:select");
+        let tr_at = position_of(&s, "transfer:0");
         assert!(op_at < tr_at, "{s}");
         assert!(s.contains("== metrics =="), "{s}");
+        assert!(
+            !s.contains("== convergence =="),
+            "non-iterative query must not render a convergence table:\n{s}"
+        );
+    }
+
+    #[test]
+    fn iterative_trace_renders_a_convergence_table() {
+        let mut it1 = span(2, Some(1), "iteration:1", "app", 10);
+        it1.events.push(SpanEvent {
+            at_ns: 100,
+            label: "delta:0.250000000".into(),
+        });
+        it1.events.push(SpanEvent {
+            at_ns: 110,
+            label: "rows_changed:3".into(),
+        });
+        let mut it2 = span(3, Some(1), "iteration:2", "app", 2_000_000);
+        it2.events.push(SpanEvent {
+            at_ns: 2_000_100,
+            label: "delta:0.001000000".into(),
+        });
+        it2.events.push(SpanEvent {
+            at_ns: 2_000_110,
+            label: "rows_changed:1".into(),
+        });
+        let trace = Trace {
+            trace_id: 0xBDA,
+            spans: vec![span(1, None, "query", "app", 0), it1, it2],
+            dropped: 0,
+        };
+        let s = render_analyze(&trace, &Metrics::default());
+        let table_at = position_of(&s, "== convergence ==");
+        let metrics_at = position_of(&s, "== metrics ==");
+        assert!(table_at < metrics_at, "table precedes metrics:\n{s}");
+        let table = &s[table_at..metrics_at];
+        assert!(table.contains("0.250000000"), "{table}");
+        assert!(table.contains("0.001000000"), "{table}");
+        assert!(table.contains("rows_changed"), "{table}");
+        let it1_at = position_of(table, "0.250000000");
+        let it2_at = position_of(table, "0.001000000");
+        assert!(it1_at < it2_at, "iterations in order:\n{table}");
     }
 
     #[test]

@@ -106,15 +106,79 @@ impl Federation {
     }
 
     /// Run a plan recording spans into `tracer` (pass
-    /// [`bda_obs::Tracer::disabled`] for the untraced fast path).
+    /// [`bda_obs::Tracer::disabled`] for the untraced fast path). When
+    /// the tracer is enabled, the finished trace is also published to
+    /// the process-global [`bda_obs::store`] so the HTTP
+    /// `GET /traces/<id>` endpoint can serve it after completion.
     pub fn run_traced(
         &self,
         plan: &Plan,
         tracer: &bda_obs::Tracer,
     ) -> Result<(DataSet, Metrics), CoreError> {
-        run_plan_traced(&self.registry, plan, &self.options, tracer, None)
+        let result = run_plan_traced(&self.registry, plan, &self.options, tracer, None);
+        if tracer.is_enabled() {
+            bda_obs::store::global().publish(tracer.finish());
+        }
+        result
     }
 
+    /// The current [`Health`](bda_obs::Health) of this federation for the
+    /// HTTP `/healthz` and `/readyz` endpoints: ready while no provider's
+    /// circuit breaker is open, with a per-provider detail line.
+    pub fn health(&self) -> bda_obs::Health {
+        health_of(&self.registry)
+    }
+
+    /// Mount the observability HTTP server for this federation's
+    /// registry: `/readyz` follows the registry's circuit breakers,
+    /// `/metrics` serves `hub`. The registry's health board is shared
+    /// via `Arc`, so breaker trips after mounting are visible.
+    pub fn serve_ops(
+        &self,
+        bind: &str,
+        hub: bda_obs::MetricsHub,
+    ) -> std::io::Result<bda_obs::OpsHandle> {
+        let registry = self.registry.clone();
+        bda_obs::serve_ops(
+            bind,
+            bda_obs::OpsOptions {
+                metrics: hub,
+                health: Arc::new(move || health_of(&registry)),
+                ..bda_obs::OpsOptions::default()
+            },
+        )
+    }
+}
+
+/// [`bda_obs::Health`] from a registry's circuit-breaker board: live
+/// always (the process is answering), ready while no breaker is open.
+pub fn health_of(registry: &Registry) -> bda_obs::Health {
+    let snapshot = registry.health().snapshot();
+    let open: Vec<&str> = snapshot
+        .iter()
+        .filter(|(_, s)| *s == BreakerState::Open)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let detail = if snapshot.is_empty() {
+        "breakers: none tracked".to_string()
+    } else {
+        format!(
+            "breakers: {}",
+            snapshot
+                .iter()
+                .map(|(n, s)| format!("{n}={}", s.name()))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    };
+    bda_obs::Health {
+        healthy: true,
+        ready: open.is_empty(),
+        detail,
+    }
+}
+
+impl Federation {
     /// `EXPLAIN ANALYZE`: run the plan with tracing enabled and render
     /// the recorded span tree — per-node wall time, rows, bytes, and the
     /// provider that executed each operator — plus the run's metrics.

@@ -161,6 +161,30 @@ impl HealthBoard {
     pub fn trips(&self) -> usize {
         self.trips.load(Ordering::Relaxed)
     }
+
+    /// Every tracked provider and its breaker state, sorted by name.
+    /// Providers that never failed have no entry (implicitly `Closed`);
+    /// the HTTP `/readyz` endpoint renders this as its detail line.
+    pub fn snapshot(&self) -> Vec<(String, BreakerState)> {
+        let entries = self.entries.lock();
+        let mut out: Vec<(String, BreakerState)> = entries
+            .iter()
+            .map(|(name, e)| (name.clone(), e.state))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl BreakerState {
+    /// Lower-case name for operator-facing rendering (`/readyz`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
 }
 
 /// A shared, ordered collection of providers.
@@ -592,6 +616,25 @@ mod tests {
         assert_eq!(board.state("p"), BreakerState::Open);
         assert!(!board.is_available("p"), "open circuit rejects traffic");
         assert_eq!(board.trips(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_tracked_breakers_sorted() {
+        let board = HealthBoard::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(3600),
+        });
+        assert!(board.snapshot().is_empty(), "no entries before any call");
+        board.record_success("zeta");
+        board.record_failure("alpha");
+        assert_eq!(
+            board.snapshot(),
+            vec![
+                ("alpha".to_string(), BreakerState::Open),
+                ("zeta".to_string(), BreakerState::Closed),
+            ]
+        );
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
     }
 
     #[test]

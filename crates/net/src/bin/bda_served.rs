@@ -12,6 +12,12 @@
 //! `--log <path|stderr>` emits one structured line per request (kind,
 //! duration, bytes, outcome); a `Metrics` request returns the server's
 //! Prometheus-format registry either way.
+//!
+//! `--http <port>` additionally mounts the plain-HTTP observability
+//! endpoint on `127.0.0.1:<port>` (`0` picks an ephemeral port):
+//! `GET /metrics` renders the same registry the protocol serves, plus
+//! `/healthz`, `/readyz`, `/progress`, `/flight`, and `/traces/<id>` —
+//! see README, "Operating bda-served".
 
 use std::sync::Arc;
 
@@ -29,6 +35,7 @@ struct Args {
     listen: String,
     demo: bool,
     log: Option<bda_net::LogSink>,
+    http: Option<u16>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut listen = String::from("127.0.0.1:7401");
     let mut demo = false;
     let mut log = None;
+    let mut http = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -54,14 +62,24 @@ fn parse_args() -> Result<Args, String> {
                     path => bda_net::LogSink::File(path.into()),
                 })
             }
+            "--http" => {
+                let raw = value("--http")?;
+                http = Some(
+                    raw.parse::<u16>()
+                        .map_err(|_| format!("--http wants a port number, got `{raw}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bda-served [--engine relational|array|linalg|graph|reference]\n\
                      \x20                 [--name NAME] [--listen HOST:PORT] [--demo]\n\
-                     \x20                 [--log PATH|stderr]\n\
+                     \x20                 [--log PATH|stderr] [--http PORT]\n\
                      \n\
                      --log writes one structured line per request (kind, duration,\n\
-                     bytes, outcome) to the given file, or to stderr."
+                     bytes, outcome) to the given file, or to stderr.\n\
+                     --http mounts the observability HTTP endpoint (/metrics,\n\
+                     /healthz, /readyz, /progress, /flight, /traces/<id>) on\n\
+                     127.0.0.1:PORT; port 0 picks an ephemeral port."
                 );
                 std::process::exit(0);
             }
@@ -75,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         listen,
         demo,
         log,
+        http,
     })
 }
 
@@ -135,8 +154,8 @@ fn main() {
         }
     }
     let opts = bda_net::ServeOptions {
-        faults: None,
         log: args.log.clone(),
+        ..bda_net::ServeOptions::default()
     };
     let server = match bda_net::serve_with(Arc::clone(&engine), &args.listen, opts) {
         Ok(s) => s,
@@ -151,6 +170,27 @@ fn main() {
         args.engine,
         server.addr()
     );
+    // The ops endpoint shares the server's metrics hub, so `GET /metrics`
+    // scrapes the same request counters the protocol updates. The handle
+    // must outlive the serve loop or the endpoint shuts down on drop.
+    let _ops = args.http.map(|port| {
+        match bda_obs::serve_ops(
+            &format!("127.0.0.1:{port}"),
+            bda_obs::OpsOptions {
+                metrics: server.metrics(),
+                ..bda_obs::OpsOptions::default()
+            },
+        ) {
+            Ok(h) => {
+                println!("bda-served: ops endpoint on {}", h.addr());
+                h
+            }
+            Err(e) => {
+                eprintln!("bda-served: ops bind 127.0.0.1:{port}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     // Serve until killed.
     loop {
         std::thread::park();

@@ -231,8 +231,8 @@ mod tests {
                 engine,
                 "127.0.0.1:0",
                 ServeOptions {
-                    faults: None,
                     log: Some(LogSink::File(path.clone())),
+                    ..ServeOptions::default()
                 },
             )
             .unwrap();

@@ -52,6 +52,7 @@ const PUSH_TIMEOUT: Duration = Duration::from_secs(30);
 /// A running provider server; dropping it shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics: MetricsHub,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -90,12 +91,16 @@ pub enum LogSink {
 }
 
 /// Server configuration beyond the bind address.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Clone, Default)]
 pub struct ServeOptions {
     /// Transport-level fault injection (chaos testing).
     pub faults: Option<NetFaults>,
     /// Per-request structured logging: one `key=value` line per request.
     pub log: Option<LogSink>,
+    /// Share an existing metrics hub instead of creating a fresh one —
+    /// the HTTP ops server (`bda-served --http`) passes the same hub so
+    /// `GET /metrics` scrapes this server's request metrics.
+    pub metrics: Option<MetricsHub>,
 }
 
 /// The shared fault stream: one RNG across all of a server's connections
@@ -153,7 +158,7 @@ pub fn serve_with_faults(
         bind,
         ServeOptions {
             faults: Some(faults),
-            log: None,
+            ..ServeOptions::default()
         },
     )
 }
@@ -183,9 +188,10 @@ pub fn serve_with(
     };
     let state = Arc::new(ServerState {
         engine,
-        metrics: MetricsHub::default(),
+        metrics: opts.metrics.unwrap_or_default(),
         log,
     });
+    let metrics = state.metrics.clone();
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -195,6 +201,7 @@ pub fn serve_with(
         .spawn(move || accept_loop(listener, state, accept_shutdown, faults))?;
     Ok(ServerHandle {
         addr,
+        metrics,
         shutdown,
         accept_thread: Some(accept_thread),
     })
@@ -204,6 +211,12 @@ impl ServerHandle {
     /// The bound address (resolves the port when bound to `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's metrics hub (shared: the same cells the connection
+    /// handlers update). An HTTP ops server can render it directly.
+    pub fn metrics(&self) -> MetricsHub {
+        self.metrics.clone()
     }
 
     /// Stop accepting, wake the accept thread, and join it. Connection
@@ -287,30 +300,37 @@ impl ServerState {
             let (_, payload) = encode_response_size(resp);
             (response_outcome(resp), payload)
         };
-        m.counter(
-            &format!("bda_net_requests_total{{kind=\"{kind}\"}}"),
+        m.counter_labeled(
+            "bda_net_requests_total",
+            &[("kind", kind)],
             "Requests handled, by kind.",
         )
         .inc();
         if outcome == "error" {
-            m.counter(
-                &format!("bda_net_request_errors_total{{kind=\"{kind}\"}}"),
+            m.counter_labeled(
+                "bda_net_request_errors_total",
+                &[("kind", kind)],
                 "Requests answered with an error, by kind.",
             )
             .inc();
+            bda_obs::flight::global().record(self.engine.name(), || {
+                format!("request kind={kind} answered with an error")
+            });
         }
         m.histogram(
             "bda_net_request_duration_seconds",
             "Wall time to handle one request.",
         )
         .observe_ns(dur.as_nanos() as u64);
-        m.counter(
-            "bda_net_wire_bytes_total{direction=\"received\"}",
+        m.counter_labeled(
+            "bda_net_wire_bytes_total",
+            &[("direction", "received")],
             "Framed bytes moved over this server's connections.",
         )
         .add(req_bytes);
-        m.counter(
-            "bda_net_wire_bytes_total{direction=\"sent\"}",
+        m.counter_labeled(
+            "bda_net_wire_bytes_total",
+            &[("direction", "sent")],
             "Framed bytes moved over this server's connections.",
         )
         .add(resp_bytes);

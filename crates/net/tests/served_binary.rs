@@ -15,16 +15,27 @@ impl Served {
     /// Launch `bda-served` on an OS-assigned port and wait for its
     /// "listening on" line to learn the address.
     fn launch(engine: &str, name: &str) -> (Served, String) {
+        let (served, addr, _) = Served::launch_with(engine, name, false);
+        (served, addr)
+    }
+
+    /// [`Served::launch`], optionally with `--http 0`; the third return
+    /// is the ops-endpoint address from the second banner line.
+    fn launch_with(engine: &str, name: &str, http: bool) -> (Served, String, Option<String>) {
+        let mut args = vec![
+            "--engine",
+            engine,
+            "--name",
+            name,
+            "--listen",
+            "127.0.0.1:0",
+            "--demo",
+        ];
+        if http {
+            args.extend(["--http", "0"]);
+        }
         let mut child = Command::new(env!("CARGO_BIN_EXE_bda-served"))
-            .args([
-                "--engine",
-                engine,
-                "--name",
-                name,
-                "--listen",
-                "127.0.0.1:0",
-                "--demo",
-            ])
+            .args(&args)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -41,8 +52,36 @@ impl Served {
             .expect("banner names the address")
             .trim()
             .to_string();
-        (Served(child), addr)
+        let ops_addr = http.then(|| {
+            let ops_banner = lines
+                .next()
+                .expect("--http prints a second banner")
+                .expect("readable ops banner");
+            ops_banner
+                .rsplit("ops endpoint on ")
+                .next()
+                .expect("ops banner names the address")
+                .trim()
+                .to_string()
+        });
+        (Served(child), addr, ops_addr)
     }
+}
+
+/// Minimal HTTP GET over loopback; returns (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to ops endpoint");
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
 }
 
 impl Drop for Served {
@@ -85,4 +124,39 @@ fn two_server_processes_answer_queries_and_push_directly() {
         .execute(&Plan::scan("m_copy", rel.schema_of("m_copy").unwrap()))
         .unwrap();
     assert_eq!(copied.num_rows(), 6);
+}
+
+#[test]
+fn http_flag_serves_live_metrics_and_health() {
+    let (_proc, addr, ops_addr) = Served::launch_with("relational", "rel", true);
+    let ops_addr = ops_addr.expect("--http announces the ops address");
+
+    // Health before any protocol traffic.
+    let (status, body) = http_get(&ops_addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("ok"), "{body}");
+    let (status, _) = http_get(&ops_addr, "/readyz");
+    assert!(status.contains("200"), "{status}");
+
+    // Drive one protocol request, then scrape: the HTTP endpoint shares
+    // the protocol server's hub, so the request must be visible.
+    let rel = RemoteProvider::connect(addr).expect("connect to rel process");
+    let sales_schema = rel.schema_of("sales").expect("demo table present");
+    rel.execute(&Plan::scan("sales", sales_schema)).unwrap();
+    let (status, metrics) = http_get(&ops_addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        metrics.contains("bda_net_requests_total{kind=\"execute\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("bda_net_request_duration_seconds_count"),
+        "{metrics}"
+    );
+
+    // Unknown paths 404; unknown trace ids 404.
+    let (status, _) = http_get(&ops_addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_get(&ops_addr, "/traces/0xdeadbeef");
+    assert!(status.contains("404"), "{status}");
 }

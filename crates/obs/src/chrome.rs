@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 
 use crate::Trace;
 
-/// Minimal JSON string escaping (the only JSON we emit; no serde in-tree).
-fn escape(s: &str) -> String {
+/// Minimal JSON string escaping (the only JSON we emit; no serde
+/// in-tree). Shared with the `/progress` endpoint's renderer.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -1,0 +1,340 @@
+//! A minimal, dependency-free HTTP/1.1 ops server: the surface a stock
+//! Prometheus scraper, a load balancer's health check, or a curious
+//! operator with `curl` talks to. Mounted by `bda-served --http <port>`
+//! (and by the app tier in tests) next to the bda-net protocol port.
+//!
+//! Routes (all `GET`, one response per connection, `Connection: close`):
+//!
+//! | path            | body                                            |
+//! |-----------------|-------------------------------------------------|
+//! | `/metrics`      | Prometheus text format from the [`MetricsHub`]  |
+//! | `/healthz`      | `200 ok` while the process serves                |
+//! | `/readyz`       | `200 ready`, or `503` + detail when the health  |
+//! |                 | source reports tripped circuit breakers          |
+//! | `/progress`     | JSON of in-flight queries ([`progress`] module) |
+//! | `/traces/<id>`  | Chrome-trace JSON of a recent completed trace   |
+//! | `/flight`       | the flight recorder's current ring, as text     |
+//!
+//! This is deliberately *not* a general HTTP server: GET only, no
+//! keep-alive, no TLS, bounded header reads. That keeps `bda-obs` at
+//! zero dependencies while speaking enough HTTP/1.1 for Prometheus and
+//! curl — the same "own the few hundred lines" trade bda-net makes for
+//! its framed protocol.
+//!
+//! Health is a callback ([`HealthSource`]) rather than a registry
+//! reference because obs sits *below* the federation in the crate DAG;
+//! the federation wires its circuit-breaker board in at mount time.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::MetricsHub;
+use crate::progress::ProgressTracker;
+use crate::{flight, store};
+
+/// Point-in-time health as reported by whoever mounted the server
+/// (typically the federation's circuit-breaker board).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// Liveness: the process is up and serving.
+    pub healthy: bool,
+    /// Readiness: dependencies (providers, breakers) are usable.
+    pub ready: bool,
+    /// Human detail, e.g. `breakers: rel=closed la=open`.
+    pub detail: String,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health {
+            healthy: true,
+            ready: true,
+            detail: "ok".to_string(),
+        }
+    }
+}
+
+/// Callback producing the current [`Health`].
+pub type HealthSource = Arc<dyn Fn() -> Health + Send + Sync>;
+
+/// What the ops server serves. `Default` wires the process-global
+/// progress tracker, trace store, and flight recorder with a fresh
+/// metrics hub and an always-healthy source.
+#[derive(Clone)]
+pub struct OpsOptions {
+    /// The hub `/metrics` renders.
+    pub metrics: MetricsHub,
+    /// The health source `/healthz` and `/readyz` consult.
+    pub health: HealthSource,
+    /// The tracker `/progress` renders.
+    pub progress: ProgressTracker,
+}
+
+impl Default for OpsOptions {
+    fn default() -> Self {
+        OpsOptions {
+            metrics: MetricsHub::new(),
+            health: Arc::new(Health::default),
+            progress: crate::progress::global().clone(),
+        }
+    }
+}
+
+/// A running ops server; dropping it (or calling [`OpsHandle::shutdown`])
+/// stops the accept loop.
+pub struct OpsHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OpsHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a self-connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for OpsHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `bind` (e.g. `127.0.0.1:0`) and serve the ops routes until the
+/// returned handle shuts down.
+pub fn serve_ops(bind: &str, options: OpsOptions) -> std::io::Result<OpsHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let options = options.clone();
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &options);
+            });
+        }
+    });
+    Ok(OpsHandle {
+        addr,
+        stop,
+        join: Some(join),
+    })
+}
+
+/// Longest request head (request line + headers) we will read.
+const MAX_HEAD_BYTES: u64 = 8 * 1024;
+
+fn handle_connection(stream: TcpStream, options: &OpsOptions) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD_BYTES);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line; we need none of them.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        route(path, options)
+    };
+    respond(stream, status, content_type, &body)
+}
+
+fn route(path: &str, options: &OpsOptions) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const JSON: &str = "application/json";
+    match path {
+        "/metrics" => ("200 OK", PROM, options.metrics.render()),
+        "/healthz" => {
+            let h = (options.health)();
+            if h.healthy {
+                ("200 OK", TEXT, "ok\n".to_string())
+            } else {
+                ("503 Service Unavailable", TEXT, format!("{}\n", h.detail))
+            }
+        }
+        "/readyz" => {
+            let h = (options.health)();
+            if h.ready {
+                ("200 OK", TEXT, format!("ready: {}\n", h.detail))
+            } else {
+                ("503 Service Unavailable", TEXT, format!("{}\n", h.detail))
+            }
+        }
+        "/progress" => ("200 OK", JSON, options.progress.render_json()),
+        "/flight" => ("200 OK", TEXT, flight::global().render()),
+        _ => match path.strip_prefix("/traces/").and_then(parse_trace_id) {
+            Some(id) => match store::global().chrome_json(id) {
+                Some(json) => ("200 OK", JSON, json),
+                None => (
+                    "404 Not Found",
+                    TEXT,
+                    format!("no retained trace {id:#018x}\n"),
+                ),
+            },
+            None => ("404 Not Found", TEXT, "not found\n".to_string()),
+        },
+    }
+}
+
+/// Trace ids render as `0x…` in `/progress`; accept that form and plain
+/// decimal.
+fn parse_trace_id(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// One GET against a running ops server; returns (status line, body).
+    pub(crate) fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn metrics_health_and_404_routes() {
+        let options = OpsOptions::default();
+        options.metrics.counter("ops_test_total", "test").inc();
+        let h = serve_ops("127.0.0.1:0", options).expect("bind");
+        let (status, body) = http_get(h.addr(), "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("ops_test_total 1"), "{body}");
+        let (status, body) = http_get(h.addr(), "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+        let (status, _) = http_get(h.addr(), "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        h.shutdown();
+    }
+
+    #[test]
+    fn readyz_follows_the_health_source() {
+        let ready = Arc::new(Mutex::new(true));
+        let source = Arc::clone(&ready);
+        let options = OpsOptions {
+            health: Arc::new(move || Health {
+                healthy: true,
+                ready: *source.lock().unwrap(),
+                detail: "breakers: rel=closed".into(),
+            }),
+            ..OpsOptions::default()
+        };
+        let h = serve_ops("127.0.0.1:0", options).expect("bind");
+        let (status, body) = http_get(h.addr(), "/readyz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("breakers: rel=closed"), "{body}");
+        *ready.lock().unwrap() = false;
+        let (status, _) = http_get(h.addr(), "/readyz");
+        assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+        h.shutdown();
+    }
+
+    #[test]
+    fn progress_route_serves_the_mounted_tracker() {
+        let tracker = ProgressTracker::new();
+        let options = OpsOptions {
+            progress: tracker.clone(),
+            ..OpsOptions::default()
+        };
+        let h = serve_ops("127.0.0.1:0", options).expect("bind");
+        let handle = tracker.start("observed", 0x1234);
+        handle.iteration(2, 8, Some(0.25), Some(10));
+        let (status, body) = http_get(h.addr(), "/progress");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"label\":\"observed\""), "{body}");
+        assert!(body.contains("\"iteration\":2"), "{body}");
+        handle.finish();
+        h.shutdown();
+    }
+
+    #[test]
+    fn traces_route_serves_stored_chrome_json() {
+        let t = crate::Tracer::with_trace_id(0xBEEF);
+        t.start(None, || "query".into(), "app").finish();
+        store::global().publish(t.finish());
+        let h = serve_ops("127.0.0.1:0", OpsOptions::default()).expect("bind");
+        let (status, body) = http_get(h.addr(), "/traces/0xbeef");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+        assert!(body.contains("\"query\""), "{body}");
+        // Decimal form of the same id works too.
+        let (status, _) = http_get(h.addr(), &format!("/traces/{}", 0xBEEFu64));
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let (status, _) = http_get(h.addr(), "/traces/999999999");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        h.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let h = serve_ops("127.0.0.1:0", OpsOptions::default()).expect("bind");
+        let mut stream = TcpStream::connect(h.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        h.shutdown();
+    }
+}

@@ -21,13 +21,29 @@
 //! Exports: [`Trace::to_chrome_json`] renders a `chrome://tracing`
 //! timeline; [`MetricsHub::render`] produces Prometheus text format;
 //! [`wire`] is the span codec `bda-net` embeds in its protocol.
+//!
+//! The *live* layer (this crate's newer half) turns those artifacts into
+//! an operator-facing surface: [`http`] is a dependency-free HTTP/1.1
+//! ops server (`/metrics`, `/healthz`, `/readyz`, `/progress`,
+//! `/traces/<id>`, `/flight`), [`progress`] tracks in-flight queries and
+//! flags straggler providers, [`store`] retains recent completed traces
+//! for `/traces/<id>`, and [`flight`] is the always-on crash flight
+//! recorder dumped when a query fails permanently.
 
 pub mod chrome;
+pub mod flight;
+pub mod http;
 pub mod metrics;
+pub mod progress;
 pub mod scope;
+pub mod store;
 pub mod wire;
 
+pub use flight::FlightRecorder;
+pub use http::{serve_ops, Health, OpsHandle, OpsOptions};
 pub use metrics::{Counter, Histogram, MetricsHub};
+pub use progress::{ProgressHandle, ProgressTracker, QueryProgress};
+pub use store::TraceStore;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

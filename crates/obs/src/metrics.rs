@@ -4,7 +4,14 @@
 //! registration takes a lock but happens once per metric (handles are
 //! cheap `Arc` clones meant to be held, not re-looked-up). [`MetricsHub::render`]
 //! produces the `text/plain; version=0.0.4` exposition format that the
-//! `bda-served` protocol serves for a `Metrics` request.
+//! `bda-served` protocol serves for a `Metrics` request and the HTTP
+//! `GET /metrics` endpoint exposes to a stock Prometheus scraper.
+//!
+//! Series names carry their labels inline (`family{k="v"}`). Label
+//! values are escaped per the exposition format (`\\`, `\"`, `\n`) —
+//! both by the [`series`] builder and defensively at registration time
+//! ([`sanitize_series`]), so a hostile dataset name can never smuggle a
+//! newline into the scrape output and corrupt neighbouring series.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -51,7 +58,9 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Histogram {
+    /// A free-standing histogram (not registered in any hub). Used for
+    /// internal estimates like per-query fragment wall times.
+    pub fn new() -> Histogram {
         Histogram {
             buckets: Arc::new(
                 (0..BUCKET_BOUNDS_S.len())
@@ -76,9 +85,46 @@ impl Histogram {
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Record one observation, in seconds.
+    pub fn observe_s(&self, s: f64) {
+        self.observe_ns((s.max(0.0) * 1e9) as u64);
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`), in seconds, by linear
+    /// interpolation inside the containing bucket's bounds (the usual
+    /// Prometheus `histogram_quantile` estimate). `None` when the
+    /// histogram is empty or `q` is out of range. Observations beyond
+    /// the last finite bucket clamp to its bound — the estimator never
+    /// extrapolates past what the buckets can resolve.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * total as f64;
+        let mut cumulative = 0u64;
+        let mut lower = 0.0f64;
+        for (i, bound) in BUCKET_BOUNDS_S.iter().enumerate() {
+            let n = self.buckets[i].load(Ordering::Relaxed);
+            cumulative += n;
+            if n > 0 && cumulative as f64 >= target {
+                let within = (target - (cumulative - n) as f64) / n as f64;
+                return Some(lower + (bound - lower) * within.clamp(0.0, 1.0));
+            }
+            lower = *bound;
+        }
+        Some(*BUCKET_BOUNDS_S.last().expect("bounds are non-empty"))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
     }
 }
 
@@ -110,8 +156,11 @@ impl MetricsHub {
     }
 
     /// Get or register the counter with this exact series name (labels
-    /// included, e.g. `requests_total{kind="execute"}`).
+    /// included, e.g. `requests_total{kind="execute"}`). Label values
+    /// are normalized to exposition-format escaping on the way in.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let name = sanitize_series(name);
+        let name = name.as_str();
         let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
         for m in metrics.iter() {
             if m.name == name {
@@ -132,8 +181,16 @@ impl MetricsHub {
         c
     }
 
+    /// Get or register the counter `family{labels…}`, escaping every
+    /// label value.
+    pub fn counter_labeled(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        self.counter(&series(family, labels), help)
+    }
+
     /// Get or register the histogram named `name` (unlabeled).
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let name = sanitize_series(name);
+        let name = name.as_str();
         let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
         for m in metrics.iter() {
             if m.name == name {
@@ -209,6 +266,141 @@ fn family_of(name: &str) -> String {
     }
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote and newline become `\\`, `\"`, `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_label_value`] (scrape-side decoding; the round-trip
+/// partner the tests exercise).
+pub fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Build the series name `family{k="v",…}` with every label value
+/// escaped. An empty label set yields the bare family name.
+pub fn series(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{family}{{{}}}", body.join(","))
+}
+
+/// Normalize a series name so every label value is exposition-escaped,
+/// whether the caller escaped it or not (idempotent: values are decoded
+/// with [`unescape_label_value`] semantics, then re-escaped). A name the
+/// parser cannot make sense of is returned unchanged — the renderer
+/// must never lose a metric over a malformed name.
+pub fn sanitize_series(name: &str) -> String {
+    let Some(open) = name.find('{') else {
+        return name.to_string();
+    };
+    if !name.ends_with('}') {
+        return name.to_string();
+    }
+    let family = &name[..open];
+    let block = &name[open + 1..name.len() - 1];
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let chars: Vec<char> = block.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // key up to '='
+        let key_start = i;
+        while i < chars.len() && chars[i] != '=' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return name.to_string();
+        }
+        let key: String = chars[key_start..i].iter().collect();
+        i += 1; // '='
+        if i >= chars.len() || chars[i] != '"' {
+            return name.to_string();
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            if i >= chars.len() {
+                return name.to_string(); // unterminated value
+            }
+            match chars[i] {
+                '\\' if i + 1 < chars.len() => {
+                    // Already-escaped sequence: decode it (re-escaped below).
+                    match chars[i + 1] {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => {
+                            value.push('\\');
+                            value.push(other);
+                        }
+                    }
+                    i += 2;
+                }
+                '"' => {
+                    // A quote ends the value only before a separator or
+                    // the end of the block; otherwise it is a raw quote
+                    // the caller failed to escape.
+                    if i + 1 >= chars.len() || chars[i + 1] == ',' {
+                        i += 1;
+                        break;
+                    }
+                    value.push('"');
+                    i += 1;
+                }
+                c => {
+                    value.push(c);
+                    i += 1;
+                }
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+        if i < chars.len() {
+            if chars[i] != ',' {
+                return name.to_string();
+            }
+            i += 1;
+        }
+    }
+    let pairs: Vec<(&str, &str)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    series(family, &pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +452,119 @@ mod tests {
             .unwrap();
         let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
         assert!((sum - 20.00205).abs() < 1e-6, "{sum}");
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        for raw in [
+            "plain",
+            "with \"quotes\"",
+            "line\nbreak",
+            "back\\slash",
+            "\\\"\n",
+        ] {
+            let escaped = escape_label_value(raw);
+            assert!(!escaped.contains('\n'), "escaped value has a raw newline");
+            assert_eq!(unescape_label_value(&escaped), raw, "round trip of {raw:?}");
+        }
+        assert_eq!(
+            series("requests_total", &[("kind", "a\"b\nc\\d")]),
+            "requests_total{kind=\"a\\\"b\\nc\\\\d\"}"
+        );
+    }
+
+    #[test]
+    fn renderer_escapes_raw_label_values() {
+        let hub = MetricsHub::new();
+        // The caller formatted a raw, unescaped value into the series name.
+        hub.counter("requests_total{kind=\"a\"b\nc\\d\"}", "Requests served")
+            .inc();
+        let text = hub.render();
+        // No data line may contain a raw newline: every line is either a
+        // comment or a well-formed `name{...} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.ends_with(" 1"), "malformed exposition line: {line:?}");
+        }
+        assert!(
+            text.contains("requests_total{kind=\"a\\\"b\\nc\\\\d\"} 1"),
+            "{text}"
+        );
+        // Registering the pre-escaped form finds the same series.
+        let again = hub.counter(
+            "requests_total{kind=\"a\\\"b\\nc\\\\d\"}",
+            "Requests served",
+        );
+        again.inc();
+        assert_eq!(again.get(), 2, "sanitization is idempotent");
+    }
+
+    #[test]
+    fn counter_labeled_builds_escaped_series() {
+        let hub = MetricsHub::new();
+        hub.counter_labeled("errs_total", &[("msg", "bad\nthing")], "Errors")
+            .inc();
+        assert!(hub.render().contains("errs_total{msg=\"bad\\nthing\"} 1"));
+    }
+
+    #[test]
+    fn sanitize_leaves_unlabeled_and_malformed_names_alone() {
+        assert_eq!(sanitize_series("plain_total"), "plain_total");
+        assert_eq!(sanitize_series("x{notalabel}"), "x{notalabel}");
+        assert_eq!(
+            sanitize_series("x{k=\"unterminated}"),
+            "x{k=\"unterminated}"
+        );
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        h.observe_ns(1_000);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_within_its_bounds() {
+        let h = Histogram::new();
+        // All observations land in the (0.0001, 0.00025] bucket.
+        for _ in 0..100 {
+            h.observe_ns(200_000); // 200µs
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 > 0.0001 && p50 <= 0.00025, "{p50}");
+        assert!(p99 > p50 && p99 <= 0.00025, "{p99}");
+        // Mid-bucket linear interpolation: p50 sits halfway.
+        let mid = 0.0001 + (0.00025 - 0.0001) * 0.5;
+        assert!((p50 - mid).abs() < 1e-9, "{p50} vs {mid}");
+    }
+
+    #[test]
+    fn quantile_interpolates_across_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe_ns(50_000); // 50µs -> first bucket (le 0.0001)
+        }
+        for _ in 0..10 {
+            h.observe_ns(2_000_000_000); // 2s -> le 2.5 bucket
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 <= 0.0001, "median stays in the fast bucket: {p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!(
+            p95 > 1.0 && p95 <= 2.5,
+            "p95 lands in the slow bucket: {p95}"
+        );
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= p95, "{p99} < {p95}");
+    }
+
+    #[test]
+    fn quantile_clamps_beyond_the_last_bucket() {
+        let h = Histogram::new();
+        h.observe_ns(60_000_000_000); // 60s: beyond every finite bound
+        assert_eq!(h.quantile(0.5), Some(10.0), "clamped to the last bound");
     }
 }

@@ -1,0 +1,468 @@
+//! Live query progress: what is executing *right now*, how far along it
+//! is, and which providers are dragging behind their peers.
+//!
+//! The federated executor registers every top-level query in a
+//! [`ProgressTracker`] and feeds it through a [`ProgressHandle`]:
+//! fragment completions (with per-site wall time), iteration boundaries
+//! (with the convergence delta and rows-changed from
+//! `bda_core::convergence`), and the final outcome. The HTTP `GET
+//! /progress` endpoint renders the tracker as JSON, so an operator —
+//! or a dashboard — can watch an iterative federated query converge
+//! while it runs instead of reading tea leaves from `top`.
+//!
+//! Straggler detection: each query keeps a [`Histogram`] of its
+//! fragment wall times; a fragment is flagged when its wall time
+//! exceeds [`STRAGGLER_FACTOR`] × the histogram's interpolated median
+//! ([`Histogram::quantile`]), the per-operator-feedback loop LaraDB
+//! builds its tuning on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::chrome::escape;
+use crate::metrics::Histogram;
+
+/// A fragment is a straggler when its wall time exceeds this multiple of
+/// the median of its peers within the same query.
+pub const STRAGGLER_FACTOR: f64 = 3.0;
+
+/// Completed queries kept for inspection after they finish.
+const COMPLETED_KEPT: usize = 32;
+
+/// One fragment's execution record inside a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentProgress {
+    /// Fragment id within the placement.
+    pub id: u64,
+    /// Site (provider) that executed it.
+    pub site: String,
+    /// Wall time, seconds.
+    pub wall_s: f64,
+}
+
+/// Point-in-time view of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProgress {
+    /// Tracker-assigned query id (monotonic per process).
+    pub id: u64,
+    /// Trace id when the query is traced (0 otherwise).
+    pub trace_id: u64,
+    /// Human label, e.g. the root operator or `req:execute`.
+    pub label: String,
+    /// Seconds since the query started.
+    pub elapsed_s: f64,
+    /// Completed fragments (site + wall time).
+    pub fragments_done: Vec<FragmentProgress>,
+    /// Total fragments in the placement (0 when unknown).
+    pub fragments_total: u64,
+    /// Current iteration (0 before the first one finishes).
+    pub iteration: u64,
+    /// Iteration bound (0 when the query does not iterate).
+    pub max_iterations: u64,
+    /// Convergence delta of the most recent iteration, when defined.
+    pub last_delta: Option<f64>,
+    /// Rows changed by the most recent iteration.
+    pub rows_changed: Option<u64>,
+    /// Completion fraction in `0.0 ..= 1.0` (best effort).
+    pub fraction: f64,
+    /// Sites currently flagged as stragglers.
+    pub stragglers: Vec<String>,
+    /// Terminal state: `running`, `done`, or `failed`.
+    pub state: &'static str,
+}
+
+struct QueryEntry {
+    id: u64,
+    trace_id: u64,
+    label: String,
+    started: Instant,
+    finished_after_s: Option<f64>,
+    fragments_done: Vec<FragmentProgress>,
+    fragments_total: u64,
+    iteration: u64,
+    max_iterations: u64,
+    last_delta: Option<f64>,
+    rows_changed: Option<u64>,
+    walls: Histogram,
+    state: &'static str,
+}
+
+impl QueryEntry {
+    fn snapshot(&self) -> QueryProgress {
+        let median = self.walls.quantile(0.5);
+        let stragglers = match median {
+            Some(m) if m > 0.0 => {
+                let mut sites: Vec<String> = self
+                    .fragments_done
+                    .iter()
+                    .filter(|f| f.wall_s > STRAGGLER_FACTOR * m)
+                    .map(|f| f.site.clone())
+                    .collect();
+                sites.sort();
+                sites.dedup();
+                sites
+            }
+            _ => Vec::new(),
+        };
+        let fraction = if self.state != "running" {
+            1.0
+        } else if self.max_iterations > 0 {
+            self.iteration as f64 / self.max_iterations as f64
+        } else if self.fragments_total > 0 {
+            self.fragments_done.len() as f64 / self.fragments_total as f64
+        } else {
+            0.0
+        };
+        QueryProgress {
+            id: self.id,
+            trace_id: self.trace_id,
+            label: self.label.clone(),
+            elapsed_s: self
+                .finished_after_s
+                .unwrap_or_else(|| self.started.elapsed().as_secs_f64()),
+            fragments_done: self.fragments_done.clone(),
+            fragments_total: self.fragments_total,
+            iteration: self.iteration,
+            max_iterations: self.max_iterations,
+            last_delta: self.last_delta,
+            rows_changed: self.rows_changed,
+            fraction: fraction.clamp(0.0, 1.0),
+            stragglers,
+            state: self.state,
+        }
+    }
+}
+
+struct TrackerInner {
+    next_id: u64,
+    running: Vec<QueryEntry>,
+    completed: VecDeque<QueryEntry>,
+}
+
+/// Registry of in-flight (and recently completed) queries. Cloning
+/// shares the underlying state; one global instance per process
+/// ([`global`]) backs the HTTP endpoint.
+#[derive(Clone)]
+pub struct ProgressTracker {
+    inner: Arc<Mutex<TrackerInner>>,
+}
+
+impl Default for ProgressTracker {
+    fn default() -> Self {
+        ProgressTracker {
+            inner: Arc::new(Mutex::new(TrackerInner {
+                next_id: 1,
+                running: Vec::new(),
+                completed: VecDeque::new(),
+            })),
+        }
+    }
+}
+
+impl ProgressTracker {
+    /// A fresh, empty tracker.
+    pub fn new() -> ProgressTracker {
+        ProgressTracker::default()
+    }
+
+    /// Register a query; the returned handle feeds its progress. The
+    /// query stays listed until the handle reports `finish`/`fail` (or
+    /// is dropped, which counts as a failure-less finish).
+    pub fn start(&self, label: &str, trace_id: u64) -> ProgressHandle {
+        let mut inner = self.inner.lock().expect("progress lock poisoned");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.running.push(QueryEntry {
+            id,
+            trace_id,
+            label: label.to_string(),
+            started: Instant::now(),
+            finished_after_s: None,
+            fragments_done: Vec::new(),
+            fragments_total: 0,
+            iteration: 0,
+            max_iterations: 0,
+            last_delta: None,
+            rows_changed: None,
+            walls: Histogram::new(),
+            state: "running",
+        });
+        ProgressHandle {
+            tracker: Some(self.clone()),
+            id,
+        }
+    }
+
+    /// A handle that records nothing (nested sub-queries use this so the
+    /// board lists each top-level query once).
+    pub fn noop() -> ProgressHandle {
+        ProgressHandle {
+            tracker: None,
+            id: 0,
+        }
+    }
+
+    fn update(&self, id: u64, f: impl FnOnce(&mut QueryEntry)) {
+        let mut inner = self.inner.lock().expect("progress lock poisoned");
+        if let Some(e) = inner.running.iter_mut().find(|e| e.id == id) {
+            f(e);
+        }
+    }
+
+    fn complete(&self, id: u64, state: &'static str) {
+        let mut inner = self.inner.lock().expect("progress lock poisoned");
+        if let Some(pos) = inner.running.iter().position(|e| e.id == id) {
+            let mut e = inner.running.remove(pos);
+            e.state = state;
+            e.finished_after_s = Some(e.started.elapsed().as_secs_f64());
+            inner.completed.push_back(e);
+            while inner.completed.len() > COMPLETED_KEPT {
+                inner.completed.pop_front();
+            }
+        }
+    }
+
+    /// Snapshot of every tracked query: running first (oldest first),
+    /// then recently completed (newest last).
+    pub fn snapshot(&self) -> Vec<QueryProgress> {
+        let inner = self.inner.lock().expect("progress lock poisoned");
+        inner
+            .running
+            .iter()
+            .map(QueryEntry::snapshot)
+            .chain(inner.completed.iter().map(QueryEntry::snapshot))
+            .collect()
+    }
+
+    /// Render the tracker as the `/progress` JSON document.
+    pub fn render_json(&self) -> String {
+        let queries: Vec<String> = self.snapshot().iter().map(render_query).collect();
+        format!("{{\"queries\":[{}]}}", queries.join(","))
+    }
+}
+
+fn render_query(q: &QueryProgress) -> String {
+    let fragments: Vec<String> = q
+        .fragments_done
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"id\":{},\"site\":\"{}\",\"wall_s\":{:.6}}}",
+                f.id,
+                escape(&f.site),
+                f.wall_s
+            )
+        })
+        .collect();
+    let stragglers: Vec<String> = q
+        .stragglers
+        .iter()
+        .map(|s| format!("\"{}\"", escape(s)))
+        .collect();
+    format!(
+        "{{\"id\":{},\"trace_id\":\"{:#018x}\",\"label\":\"{}\",\"state\":\"{}\",\
+         \"elapsed_s\":{:.6},\"fraction\":{:.4},\"iteration\":{},\"max_iterations\":{},\
+         \"last_delta\":{},\"rows_changed\":{},\"fragments_total\":{},\
+         \"fragments_done\":[{}],\"stragglers\":[{}]}}",
+        q.id,
+        q.trace_id,
+        escape(&q.label),
+        q.state,
+        q.elapsed_s,
+        q.fraction,
+        q.iteration,
+        q.max_iterations,
+        match q.last_delta {
+            Some(d) => format!("{d:.9}"),
+            None => "null".to_string(),
+        },
+        match q.rows_changed {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        },
+        q.fragments_total,
+        fragments.join(","),
+        stragglers.join(","),
+    )
+}
+
+/// Feeds one query's progress into its tracker. All methods are no-ops
+/// on [`ProgressTracker::noop`] handles. Dropping an unfinished handle
+/// marks the query `failed` (a panic or early return is a failure from
+/// the operator's point of view).
+pub struct ProgressHandle {
+    tracker: Option<ProgressTracker>,
+    id: u64,
+}
+
+impl ProgressHandle {
+    /// Is this a recording handle?
+    pub fn is_active(&self) -> bool {
+        self.tracker.is_some()
+    }
+
+    /// Declare how many fragments the placement holds.
+    pub fn set_fragments_total(&self, total: usize) {
+        if let Some(t) = &self.tracker {
+            t.update(self.id, |e| e.fragments_total = total as u64);
+        }
+    }
+
+    /// Record one completed fragment and its wall time at `site`.
+    pub fn fragment_done(&self, id: usize, site: &str, wall_s: f64) {
+        if let Some(t) = &self.tracker {
+            t.update(self.id, |e| {
+                e.walls.observe_s(wall_s);
+                e.fragments_done.push(FragmentProgress {
+                    id: id as u64,
+                    site: site.to_string(),
+                    wall_s,
+                });
+            });
+        }
+    }
+
+    /// Record an iteration boundary: the iteration just finished, the
+    /// loop bound, the convergence delta (when defined) and the number
+    /// of rows the iteration changed.
+    pub fn iteration(&self, n: usize, max: usize, delta: Option<f64>, rows_changed: Option<u64>) {
+        if let Some(t) = &self.tracker {
+            t.update(self.id, |e| {
+                e.iteration = n as u64;
+                e.max_iterations = max as u64;
+                e.last_delta = delta;
+                e.rows_changed = rows_changed;
+            });
+        }
+    }
+
+    /// Mark the query successfully completed.
+    pub fn finish(mut self) {
+        self.complete("done");
+    }
+
+    /// Mark the query permanently failed.
+    pub fn fail(mut self) {
+        self.complete("failed");
+    }
+
+    fn complete(&mut self, state: &'static str) {
+        if let Some(t) = self.tracker.take() {
+            t.complete(self.id, state);
+        }
+    }
+}
+
+impl Drop for ProgressHandle {
+    fn drop(&mut self) {
+        self.complete("failed");
+    }
+}
+
+/// The process-wide tracker the HTTP endpoint serves.
+pub fn global() -> &'static ProgressTracker {
+    static GLOBAL: OnceLock<ProgressTracker> = OnceLock::new();
+    GLOBAL.get_or_init(ProgressTracker::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_running_to_done() {
+        let t = ProgressTracker::new();
+        let h = t.start("query", 0xBDA);
+        h.set_fragments_total(2);
+        h.fragment_done(0, "rel", 0.010);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].state, "running");
+        assert!((snap[0].fraction - 0.5).abs() < 1e-9);
+        h.fragment_done(1, "la", 0.012);
+        h.finish();
+        let snap = t.snapshot();
+        assert_eq!(snap[0].state, "done");
+        assert!((snap[0].fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_progress_drives_the_fraction() {
+        let t = ProgressTracker::new();
+        let h = t.start("pagerank", 1);
+        h.iteration(5, 20, Some(0.125), Some(64));
+        let q = &t.snapshot()[0];
+        assert_eq!(q.iteration, 5);
+        assert_eq!(q.max_iterations, 20);
+        assert_eq!(q.last_delta, Some(0.125));
+        assert_eq!(q.rows_changed, Some(64));
+        assert!((q.fraction - 0.25).abs() < 1e-9);
+        h.finish();
+    }
+
+    #[test]
+    fn straggler_flagged_beyond_factor_times_median() {
+        let t = ProgressTracker::new();
+        let h = t.start("q", 0);
+        // Four peers around 1ms, one site 100× slower.
+        for (i, site) in ["a", "b", "c", "d"].iter().enumerate() {
+            h.fragment_done(i, site, 0.001);
+        }
+        h.fragment_done(4, "slow", 0.1);
+        let q = &t.snapshot()[0];
+        assert_eq!(q.stragglers, vec!["slow".to_string()]);
+        h.finish();
+    }
+
+    #[test]
+    fn uniform_fragments_have_no_stragglers() {
+        let t = ProgressTracker::new();
+        let h = t.start("q", 0);
+        for (i, site) in ["a", "b", "c"].iter().enumerate() {
+            h.fragment_done(i, site, 0.002);
+        }
+        assert!(t.snapshot()[0].stragglers.is_empty());
+        h.finish();
+    }
+
+    #[test]
+    fn dropped_handle_marks_failure_and_noop_records_nothing() {
+        let t = ProgressTracker::new();
+        {
+            let _h = t.start("doomed", 0);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].state, "failed");
+
+        let noop = ProgressTracker::noop();
+        assert!(!noop.is_active());
+        noop.fragment_done(0, "x", 1.0);
+        noop.finish();
+        assert_eq!(t.snapshot().len(), 1, "noop touched nothing");
+    }
+
+    #[test]
+    fn render_json_is_well_formed_enough() {
+        let t = ProgressTracker::new();
+        let h = t.start("q\"uote", 7);
+        h.iteration(1, 4, Some(0.5), Some(2));
+        let json = t.render_json();
+        assert!(json.starts_with("{\"queries\":["), "{json}");
+        assert!(json.contains("\"label\":\"q\\\"uote\""), "{json}");
+        assert!(json.contains("\"iteration\":1"), "{json}");
+        assert!(json.contains("\"last_delta\":0.5"), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+        h.finish();
+    }
+
+    #[test]
+    fn completed_ring_is_bounded() {
+        let t = ProgressTracker::new();
+        for i in 0..COMPLETED_KEPT + 5 {
+            t.start(&format!("q{i}"), 0).finish();
+        }
+        assert_eq!(t.snapshot().len(), COMPLETED_KEPT);
+    }
+}

@@ -1,0 +1,119 @@
+//! A bounded store of recently completed traces, keyed by trace id, so
+//! the HTTP `GET /traces/<id>` endpoint can serve Chrome-trace JSON for
+//! queries that already finished. `Federation::run_traced` publishes
+//! every finished trace into the process-global store ([`global`]).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+use crate::Trace;
+
+/// Traces kept before the oldest is evicted.
+pub const DEFAULT_TRACES_KEPT: usize = 16;
+
+/// Bounded FIFO of completed traces. Publishing the same trace id again
+/// replaces the old copy (a re-run supersedes its predecessor).
+pub struct TraceStore {
+    traces: Mutex<VecDeque<Trace>>,
+    capacity: usize,
+}
+
+impl TraceStore {
+    /// A store that keeps the last `capacity` traces.
+    pub fn with_capacity(capacity: usize) -> TraceStore {
+        TraceStore {
+            traces: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Publish a completed trace. Empty traces (disabled tracer) are
+    /// ignored so the store only ever holds something worth rendering.
+    pub fn publish(&self, trace: Trace) {
+        if trace.spans.is_empty() {
+            return;
+        }
+        let mut traces = self.traces.lock().expect("trace store lock poisoned");
+        traces.retain(|t| t.trace_id != trace.trace_id);
+        traces.push_back(trace);
+        while traces.len() > self.capacity {
+            traces.pop_front();
+        }
+    }
+
+    /// The stored trace with this id, if still retained.
+    pub fn get(&self, trace_id: u64) -> Option<Trace> {
+        self.traces
+            .lock()
+            .expect("trace store lock poisoned")
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Chrome-trace JSON for the stored trace with this id.
+    pub fn chrome_json(&self, trace_id: u64) -> Option<String> {
+        self.get(trace_id).map(|t| t.to_chrome_json())
+    }
+
+    /// Ids currently retained, oldest first.
+    pub fn ids(&self) -> Vec<u64> {
+        self.traces
+            .lock()
+            .expect("trace store lock poisoned")
+            .iter()
+            .map(|t| t.trace_id)
+            .collect()
+    }
+}
+
+/// The process-wide store the HTTP endpoint serves.
+pub fn global() -> &'static TraceStore {
+    static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+    GLOBAL.get_or_init(|| TraceStore::with_capacity(DEFAULT_TRACES_KEPT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn trace_with_id(id: u64) -> Trace {
+        let t = Tracer::with_trace_id(id);
+        t.start(None, || "query".into(), "app").finish();
+        t.finish()
+    }
+
+    #[test]
+    fn publish_get_and_render_round_trip() {
+        let s = TraceStore::with_capacity(4);
+        s.publish(trace_with_id(7));
+        assert_eq!(s.ids(), vec![7]);
+        let json = s.chrome_json(7).expect("stored");
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"query\""));
+        assert!(s.get(8).is_none());
+    }
+
+    #[test]
+    fn empty_traces_are_ignored_and_capacity_bounds() {
+        let s = TraceStore::with_capacity(2);
+        s.publish(Trace::default());
+        assert!(s.ids().is_empty());
+        for id in 1..=3 {
+            s.publish(trace_with_id(id));
+        }
+        assert_eq!(s.ids(), vec![2, 3], "oldest evicted");
+    }
+
+    #[test]
+    fn republishing_replaces_the_old_copy() {
+        let s = TraceStore::with_capacity(4);
+        s.publish(trace_with_id(5));
+        let t = Tracer::with_trace_id(5);
+        t.start(None, || "rerun".into(), "app").finish();
+        s.publish(t.finish());
+        assert_eq!(s.ids(), vec![5]);
+        assert!(s.chrome_json(5).unwrap().contains("rerun"));
+    }
+}

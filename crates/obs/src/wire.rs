@@ -141,11 +141,17 @@ impl Reader<'_> {
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self.take(4)?.try_into();
+        Ok(u32::from_le_bytes(bytes.map_err(|_| {
+            format!("u32 slice missized at {}", self.pos)
+        })?))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self.take(8)?.try_into();
+        Ok(u64::from_le_bytes(bytes.map_err(|_| {
+            format!("u64 slice missized at {}", self.pos)
+        })?))
     }
 
     fn opt_u64(&mut self) -> Result<Option<u64>, String> {

@@ -204,3 +204,51 @@ fn failover_needs_somewhere_to_go() {
     let err = fed.run_with(&plan, &recovering_options()).unwrap_err();
     assert!(err.to_string().contains("injected crash"), "{err}");
 }
+
+#[test]
+fn permanent_failure_leaves_a_flight_recorder_dump() {
+    // The crash flight recorder is always on: when a query fails
+    // permanently, the executor dumps the recent-event ring to
+    // `$BDA_FLIGHT_DIR` and the dump names the fragment and provider
+    // that sank the query — a post-mortem without any tracing enabled.
+    let dir = std::env::temp_dir().join(format!("bda-flight-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::env::set_var("BDA_FLIGHT_DIR", &dir);
+
+    let fed = chaos_federation(false);
+    let plan = join_matmul_plan(&fed);
+    let err = fed.run_with(&plan, &recovering_options()).unwrap_err();
+    assert!(err.to_string().contains("injected crash"), "{err}");
+
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("bda-flight-"))
+        .collect();
+    assert!(!dumps.is_empty(), "no flight dump written to {dir:?}");
+    let text = dumps
+        .iter()
+        .map(|d| std::fs::read_to_string(d.path()).unwrap())
+        .collect::<String>();
+    assert!(
+        text.contains("fragment:") && text.contains("@la1"),
+        "dump does not name the failing fragment and provider:\n{text}"
+    );
+    assert!(
+        text.contains("failed permanently"),
+        "dump does not record the permanent failure:\n{text}"
+    );
+    // The error itself points at the dump when its variant carries a
+    // message; either way the file exists for the operator.
+    if let Some(at) = err.to_string().find("flight:") {
+        let rest = &err.to_string()[at + "flight:".len()..];
+        let path = rest.split(']').next().unwrap().to_string();
+        assert!(
+            std::path::Path::new(&path).exists(),
+            "error references a missing dump: {path}"
+        );
+    }
+
+    std::env::remove_var("BDA_FLIGHT_DIR");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,224 @@
+//! Acceptance test for live operational observability (ISSUE 4): a
+//! three-process federation — the app tier plus two engines behind real
+//! loopback TCP servers, the same wire path the `bda-served` binary
+//! runs — executes an *iterative* federated query while a concurrent
+//! observer watches it over plain HTTP:
+//!
+//! * `/healthz` and `/readyz` answer 200 while the breakers are closed,
+//! * `/metrics` is parseable Prometheus text carrying the protocol
+//!   server's request histograms (the hub is shared, not copied),
+//! * `/progress` shows the query's iterations advancing monotonically
+//!   with convergence deltas while it runs,
+//! * `/traces/<id>` serves the finished query's Chrome-trace JSON.
+
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bda::core::{col, lit, OpKind, Provider};
+use bda::federation::{Federation, MaskedProvider};
+use bda::lang::Query;
+use bda::relational::RelationalEngine;
+use bda::storage::{DataSet, DataType, Field, Row, Schema, Value};
+use bda_net::{serve, RemoteProvider};
+
+/// Minimal HTTP GET over loopback; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to ops endpoint");
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: bda\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The slice of the `/progress` document describing the query with
+/// `trace_id` (fields up to its fragment list), or `None` when the
+/// query is not (yet) listed.
+fn progress_of(doc: &str, trace_id: u64) -> Option<String> {
+    let key = format!("\"trace_id\":\"{trace_id:#018x}\"");
+    let at = doc.find(&key)?;
+    let rest = &doc[at..];
+    let end = rest.find("\"fragments_done\"").unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+/// Parse `"field":<digits>` out of a progress slice.
+fn field_u64(slice: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let at = slice.find(&key).unwrap_or_else(|| {
+        panic!("progress entry is missing `{field}`: {slice}");
+    });
+    slice[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+#[test]
+fn iterative_query_is_observable_over_http_while_it_runs() {
+    // State table: 512 rows decaying toward zero; with epsilon 1e-9 the
+    // client-driven loop runs ~80 rounds, each a real TCP round trip —
+    // long enough for the HTTP observer to catch it in flight.
+    let schema = Schema::new(vec![
+        Field::value("id", DataType::Int64),
+        Field::value("x", DataType::Float64),
+    ])
+    .unwrap();
+    let rows: Vec<Row> = (0..512)
+        .map(|i| Row(vec![Value::Int(i), Value::Float(1e15 + i as f64)]))
+        .collect();
+    let rel = RelationalEngine::new("rel");
+    rel.store("state0", DataSet::from_rows(schema.clone(), &rows).unwrap())
+        .unwrap();
+    let aux = RelationalEngine::new("aux");
+    aux.store(
+        "side",
+        DataSet::from_rows(schema.clone(), &rows[..4]).unwrap(),
+    )
+    .unwrap();
+
+    // Two server "processes" on real sockets plus this app tier = the
+    // three-process topology the bda-served binary deploys.
+    let server_rel = serve(Arc::new(rel), "127.0.0.1:0").unwrap();
+    let _server_aux = serve(Arc::new(aux), "127.0.0.1:0").unwrap();
+
+    let mut fed = Federation::new();
+    // Mask Iterate so the *app tier* drives the loop over the wire —
+    // that is what makes per-iteration progress observable.
+    fed.register(Arc::new(MaskedProvider::new(
+        Arc::new(RemoteProvider::connect(server_rel.addr().to_string()).unwrap()),
+        vec![OpKind::Iterate],
+    )));
+    fed.register(Arc::new(
+        RemoteProvider::connect(_server_aux.addr().to_string()).unwrap(),
+    ));
+
+    // Mount the ops endpoint sharing the rel server's metrics hub: the
+    // scrape must see the same cells the protocol handlers update.
+    let ops = fed
+        .serve_ops("127.0.0.1:0", server_rel.metrics())
+        .expect("ops endpoint binds");
+
+    // Health answers before any query runs.
+    let (status, body) = http_get(ops.addr(), "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(body.trim(), "ok");
+    let (status, body) = http_get(ops.addr(), "/readyz");
+    assert!(status.contains("200"), "{status} {body}");
+
+    let tracer = bda::obs::Tracer::new(0x0B5);
+    let trace_id = tracer.trace_id();
+
+    // The concurrent observer: poll /progress as fast as connections
+    // allow until the query finishes, keeping every snapshot.
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let stop = Arc::clone(&stop);
+        let addr = ops.addr();
+        std::thread::spawn(move || {
+            let mut snapshots = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                let (status, body) = http_get(addr, "/progress");
+                assert!(status.contains("200"), "{status}");
+                snapshots.push(body);
+            }
+            snapshots
+        })
+    };
+
+    let q = Query::scan("state0", schema)
+        .iterate(1_000, Some(1e-9), |state| {
+            state.select(vec![("id", col("id")), ("x", col("x").mul(lit(0.5)))])
+        })
+        .unwrap();
+    let (out, metrics) = fed.run_traced(q.plan(), &tracer).expect("iterative query");
+    stop.store(true, Ordering::SeqCst);
+    let snapshots = observer.join().expect("observer thread");
+
+    assert!(
+        metrics.client_driven_iterations > 10,
+        "the loop must run at the app tier: {metrics}"
+    );
+    for r in out.rows().unwrap() {
+        assert!(r.get(1).as_float().unwrap().abs() < 1e-6);
+    }
+
+    // The observer saw the query: iterations advance monotonically and
+    // carry convergence deltas while running.
+    let observed: Vec<String> = snapshots
+        .iter()
+        .filter_map(|doc| progress_of(doc, trace_id))
+        .collect();
+    assert!(
+        !observed.is_empty(),
+        "observer never saw the query in /progress ({} snapshots)",
+        snapshots.len()
+    );
+    let iterations: Vec<u64> = observed.iter().map(|s| field_u64(s, "iteration")).collect();
+    assert!(
+        iterations.windows(2).all(|w| w[0] <= w[1]),
+        "iterations regressed: {iterations:?}"
+    );
+    assert!(
+        observed
+            .iter()
+            .any(|s| s.contains("\"state\":\"running\"") && s.contains("\"last_delta\":0")),
+        "no running snapshot carried a convergence delta"
+    );
+
+    // The final /progress view shows the finished query.
+    let (_, doc) = http_get(ops.addr(), "/progress");
+    let done = progress_of(&doc, trace_id).expect("completed query stays listed");
+    assert!(done.contains("\"state\":\"done\""), "{done}");
+    assert!(field_u64(&done, "iteration") > 10, "{done}");
+    assert_eq!(field_u64(&done, "max_iterations"), 1_000, "{done}");
+
+    // The scrape is Prometheus text with the protocol server's request
+    // histograms — every iteration crossed that server.
+    let (status, metrics_text) = http_get(ops.addr(), "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        metrics_text.contains("# TYPE bda_net_request_duration_seconds histogram"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("bda_net_request_duration_seconds_bucket{le=\"+Inf\"}"),
+        "{metrics_text}"
+    );
+    assert!(
+        metrics_text.contains("bda_net_requests_total{kind=\"execute\"}"),
+        "{metrics_text}"
+    );
+
+    // The finished trace is served as Chrome-trace JSON under its id.
+    let (status, trace_json) = http_get(ops.addr(), &format!("/traces/{trace_id:#018x}"));
+    assert!(status.contains("200"), "{status}: {trace_json}");
+    assert!(
+        trace_json.starts_with('[') && trace_json.trim_end().ends_with(']'),
+        "not a Chrome trace-event array: {}",
+        &trace_json[..trace_json.len().min(200)]
+    );
+    assert!(trace_json.contains("\"ph\":\"X\""), "no duration events");
+    assert!(
+        trace_json.contains("iteration:1"),
+        "iteration spans missing from the served trace"
+    );
+    assert!(
+        trace_json.contains("delta:"),
+        "convergence deltas missing from the served trace"
+    );
+
+    // Unknown trace ids and paths 404 rather than hang or panic.
+    let (status, _) = http_get(ops.addr(), "/traces/12345651");
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = http_get(ops.addr(), "/definitely-not-a-route");
+    assert!(status.contains("404"), "{status}");
+}
