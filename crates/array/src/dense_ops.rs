@@ -341,6 +341,92 @@ pub fn elemwise_dense(
     Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]))
 }
 
+/// Partition-parallel element-wise combination: band-split the flat
+/// cell index space into `parts` contiguous ranges, compute each band on
+/// the worker pool (recording a `partition:{i}` span each), and
+/// reassemble in band order. The output is bitwise identical to
+/// [`elemwise_dense`] because every cell runs the same scalar code; only
+/// the fully-dense f64 fast path is banded — anything else falls back to
+/// the sequential kernel.
+pub fn elemwise_dense_partitioned(
+    op: BinOp,
+    left: &DataSet,
+    right: &DataSet,
+    parts: usize,
+    out_schema: Schema,
+) -> Result<DataSet> {
+    let (l, _) = dense_of(left)?;
+    let (r, _) = dense_of(right)?;
+    if l.bounds() != r.bounds() {
+        return Err(CoreError::Plan(format!(
+            "elemwise bounds mismatch: {:?} vs {:?}",
+            l.bounds(),
+            r.bounds()
+        )));
+    }
+    let fully_present = l.present().is_none() && r.present().is_none();
+    let fast = fully_present
+        && op.is_arithmetic()
+        && op != BinOp::Mod
+        && l.columns()[0].f64_data().is_ok()
+        && r.columns()[0].f64_data().is_ok()
+        && l.columns()[0].validity().is_none()
+        && r.columns()[0].validity().is_none();
+    if !fast || parts <= 1 {
+        return elemwise_dense(op, left, right, out_schema);
+    }
+
+    let a = l.columns()[0].f64_data().expect("checked above");
+    let b = r.columns()[0].f64_data().expect("checked above");
+    let vol = l.bounds().volume();
+    let parts = parts.clamp(1, vol.max(1));
+    let base = vol / parts;
+    let extra = vol % parts;
+    let mut bands = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        bands.push((start, start + len));
+        start += len;
+    }
+
+    let snap = bda_obs::scope::snapshot();
+    let tasks: Vec<Box<dyn FnOnce() -> Vec<f64> + Send + '_>> = bands
+        .into_iter()
+        .enumerate()
+        .map(|(i, (s, e))| {
+            let snap = snap.clone();
+            Box::new(move || {
+                let mut guard = snap.as_ref().map(|sc| {
+                    sc.tracer
+                        .start(sc.parent, || format!("partition:{i}"), &sc.site)
+                });
+                let band: Vec<f64> = a[s..e]
+                    .iter()
+                    .zip(&b[s..e])
+                    .map(|(x, y)| match op {
+                        BinOp::Add => x + y,
+                        BinOp::Sub => x - y,
+                        BinOp::Mul => x * y,
+                        BinOp::Div => x / y,
+                        _ => unreachable!("gated on arithmetic non-mod op"),
+                    })
+                    .collect();
+                if let Some(g) = guard.as_mut() {
+                    g.set_rows(band.len());
+                }
+                band
+            }) as Box<dyn FnOnce() -> Vec<f64> + Send + '_>
+        })
+        .collect();
+    let mut data = Vec::with_capacity(vol);
+    for band in bda_core::pool::run_with(bda_core::pool::workers(), tasks) {
+        data.extend(band);
+    }
+    let out_chunk = DenseChunk::new(l.bounds().clone(), vec![Column::from(data)], None)?;
+    Ok(DataSet::new(out_schema, vec![Chunk::Dense(out_chunk)]))
+}
+
 /// Moving-window (stencil) aggregation over the dense box.
 pub fn window_dense(
     input: &DataSet,

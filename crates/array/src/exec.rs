@@ -90,6 +90,31 @@ fn execute_node(plan: &Plan, arrays: &BTreeMap<String, DataSet>) -> Result<DataS
             let r = execute(right, arrays)?;
             dense_ops::elemwise_dense(*op, &l, &r, out_schema)
         }
+        // A bare Exchange is a planner marker with bag-identity
+        // semantics; the band split happens in the Merge(op(..)) arm.
+        Plan::Exchange { input, .. } => execute(input, arrays),
+        Plan::Merge { input } => match input.as_ref() {
+            Plan::ElemWise { op, left, right }
+                if matches!(
+                    (left.as_ref(), right.as_ref()),
+                    (Plan::Exchange { .. }, Plan::Exchange { .. })
+                ) =>
+            {
+                let (
+                    Plan::Exchange {
+                        input: li, parts, ..
+                    },
+                    Plan::Exchange { input: ri, .. },
+                ) = (left.as_ref(), right.as_ref())
+                else {
+                    unreachable!("guarded by matches!");
+                };
+                let l = execute(li, arrays)?;
+                let r = execute(ri, arrays)?;
+                dense_ops::elemwise_dense_partitioned(*op, &l, &r, *parts, out_schema)
+            }
+            _ => execute(input, arrays),
+        },
         // --- scalar relational core over the coordinate view --------------
         Plan::Select { input, predicate } => {
             let in_ds = execute(input, arrays)?;

@@ -82,4 +82,9 @@ fn main() {
         let reps = if quick { 3 } else { 11 };
         println!("{}", f7_observability(sizes, reps));
     }
+    if want("f8") {
+        let n = if quick { 16 } else { 48 };
+        let reps = if quick { 3 } else { 7 };
+        println!("{}", f8_scaling(&[1, 2, 4], n, reps));
+    }
 }

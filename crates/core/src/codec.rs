@@ -532,6 +532,22 @@ fn encode_plan_node(plan: &Plan, buf: &mut BytesMut) {
             encode_plan_node(init, buf);
             encode_plan_node(body, buf);
         }
+        Plan::Exchange { input, parts, key } => {
+            buf.put_u8(24);
+            buf.put_u64_le(*parts as u64);
+            match key {
+                Some(k) => {
+                    buf.put_u8(1);
+                    put_string(buf, k);
+                }
+                None => buf.put_u8(0),
+            }
+            encode_plan_node(input, buf);
+        }
+        Plan::Merge { input } => {
+            buf.put_u8(25);
+            encode_plan_node(input, buf);
+        }
     }
 }
 
@@ -784,6 +800,19 @@ fn decode_plan_node(r: &mut Reader<'_>) -> Result<Plan> {
                 epsilon,
             }
         }
+        24 => {
+            let parts = r.u64("exchange parts").map_err(wire_err)? as usize;
+            let key = match r.u8("exchange key flag").map_err(wire_err)? {
+                0 => None,
+                1 => Some(get_string(r, "exchange key")?),
+                t => return Err(corrupt(format!("bad exchange key flag {t}"))),
+            };
+            let input = Box::new(decode_plan_node(r)?);
+            Plan::Exchange { input, parts, key }
+        }
+        25 => Plan::Merge {
+            input: Box::new(decode_plan_node(r)?),
+        },
         t => return Err(corrupt(format!("bad plan tag {t}"))),
     })
 }

@@ -27,6 +27,8 @@
 //!   expression trees, not as sequences of remote calls.
 //! * [`provider`] — the `Provider` trait and capability model that back
 //!   ends implement.
+//! * [`partition`] / [`pool`] — deterministic dataset partitioning and
+//!   the scoped worker pool behind partition-parallel kernels.
 
 pub mod agg;
 pub mod codec;
@@ -36,7 +38,9 @@ pub mod eval;
 pub mod expr;
 pub mod infer;
 pub mod lower;
+pub mod partition;
 pub mod plan;
+pub mod pool;
 pub mod provider;
 pub mod recognize;
 pub mod reference;
@@ -45,6 +49,7 @@ pub use agg::{AggExpr, AggFunc};
 pub use error::CoreError;
 pub use expr::{col, lit, null, BinOp, Expr, UnOp};
 pub use infer::infer_schema;
+pub use partition::Partitioner;
 pub use plan::{GraphOp, JoinType, OpKind, Plan};
 pub use provider::{CapabilitySet, Provider, ReferenceProvider};
 

@@ -1,0 +1,178 @@
+//! A small scoped worker pool for partition-parallel kernels.
+//!
+//! The pool is deliberately minimal: callers hand over a vector of
+//! closures, the pool runs them on `n` scoped threads, and the results
+//! come back **in submission order** regardless of which worker finished
+//! first. That ordering guarantee is what lets partitioned kernels
+//! produce byte-identical output no matter how many workers ran.
+//!
+//! Worker count resolution, in priority order:
+//!
+//! 1. a thread-local override installed with [`with_workers`] (the
+//!    federation executor uses this so every provider call inside a
+//!    query sees the query's `ExecOptions::workers`),
+//! 2. the `BDA_WORKERS` environment variable,
+//! 3. `1` (fully sequential; the pool runs closures inline).
+
+use std::cell::Cell;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+use crossbeam::channel;
+
+thread_local! {
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parse `BDA_WORKERS` once per process. Unset, empty, unparsable, or
+/// zero values all fall back to 1 worker (sequential).
+pub fn workers_from_env() -> usize {
+    static ENV_WORKERS: OnceLock<usize> = OnceLock::new();
+    *ENV_WORKERS.get_or_init(|| {
+        std::env::var("BDA_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count in effect on this thread: the [`with_workers`]
+/// override if one is installed, otherwise the `BDA_WORKERS` default.
+pub fn workers() -> usize {
+    WORKER_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(workers_from_env)
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread.
+///
+/// The override is scoped: it is restored on exit even if `f` panics.
+/// Tests and the executor use this instead of mutating the environment
+/// so concurrently running queries with different worker counts never
+/// race.
+pub fn with_workers<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = WORKER_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Run `tasks` on up to `workers` scoped threads and return the results
+/// in submission order.
+///
+/// With `workers <= 1` (or fewer than two tasks) the closures run inline
+/// on the calling thread — no threads are spawned, so the sequential
+/// path has zero overhead and identical panic behavior.
+pub fn run_with<T: Send>(workers: usize, tasks: Vec<Box<dyn FnOnce() -> T + Send + '_>>) -> Vec<T> {
+    let n = workers.min(tasks.len()).max(1);
+    if n <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+
+    let total = tasks.len();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Box<dyn FnOnce() -> T + Send + '_>)>();
+    for job in tasks.into_iter().enumerate() {
+        if job_tx.send(job).is_err() {
+            unreachable!("pool job channel closed before workers started");
+        }
+    }
+    drop(job_tx);
+    let job_rx = Mutex::new(job_rx);
+
+    let (out_tx, out_rx) = channel::unbounded::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            let out_tx = out_tx.clone();
+            let job_rx = &job_rx;
+            s.spawn(move || loop {
+                let job = { job_rx.lock().expect("pool job lock").try_recv() };
+                match job {
+                    Ok((idx, task)) => {
+                        if out_tx.send((idx, task())).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            });
+        }
+        drop(out_tx);
+    });
+
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    while let Ok((idx, value)) = out_rx.recv() {
+        slots[idx] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("pool worker panicked; result missing"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed_tasks(n: usize) -> Vec<Box<dyn FnOnce() -> usize + Send + 'static>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 4, 7] {
+            let got = run_with(workers, boxed_tasks(13));
+            let want: Vec<usize> = (0..13).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_task_lists() {
+        assert_eq!(run_with(4, boxed_tasks(0)), Vec::<usize>::new());
+        assert_eq!(run_with(4, boxed_tasks(1)), vec![0]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        assert_eq!(run_with(64, boxed_tasks(3)), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn tasks_can_borrow_from_the_caller() {
+        let data: Vec<i64> = (0..100).collect();
+        let chunks: Vec<&[i64]> = data.chunks(17).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> i64 + Send + '_>> = chunks
+            .iter()
+            .map(|c| {
+                let c = *c;
+                Box::new(move || c.iter().sum::<i64>()) as Box<dyn FnOnce() -> i64 + Send + '_>
+            })
+            .collect();
+        let partials = run_with(3, tasks);
+        assert_eq!(partials.iter().sum::<i64>(), data.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn override_is_scoped_and_nested() {
+        assert_eq!(workers(), workers_from_env());
+        with_workers(4, || {
+            assert_eq!(workers(), 4);
+            with_workers(2, || assert_eq!(workers(), 2));
+            assert_eq!(workers(), 4);
+        });
+        assert_eq!(workers(), workers_from_env());
+    }
+
+    #[test]
+    fn override_clamps_zero_to_one() {
+        with_workers(0, || assert_eq!(workers(), 1));
+    }
+}

@@ -12,11 +12,12 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use bda_core::codec::encode_plan;
 use bda_core::convergence::report;
-use bda_core::{CoreError, Plan};
+use bda_core::{pool, CoreError, Plan};
 use bda_obs::progress::ProgressHandle;
 use bda_obs::{flight, progress, SpanGuard, TraceContext, Tracer};
 use bda_storage::wire::encode_dataset;
@@ -104,6 +105,13 @@ pub struct ExecOptions {
     pub net: NetConfig,
     /// Fault-tolerance policy.
     pub recovery: RecoveryPolicy,
+    /// Partition-parallel worker count. With `1` the executor runs its
+    /// fragments sequentially and plans carry no `Exchange`/`Merge`
+    /// markers; with `n > 1` independent fragments dispatch onto a pool
+    /// of `n` threads and capable providers run their hot operators over
+    /// `n` partitions. Defaults to the `BDA_WORKERS` environment
+    /// variable (falling back to 1).
+    pub workers: usize,
 }
 
 impl Default for ExecOptions {
@@ -113,6 +121,7 @@ impl Default for ExecOptions {
             optimizer: OptimizerConfig::default(),
             net: NetConfig::default(),
             recovery: RecoveryPolicy::default(),
+            workers: pool::workers_from_env(),
         }
     }
 }
@@ -137,7 +146,9 @@ pub fn run_plan_traced(
     parent: Option<u64>,
 ) -> Result<(DataSet, Metrics)> {
     let optimized = optimize(plan, opts.optimizer);
-    let placement = Planner::new(registry).place(&optimized)?;
+    let placement = Planner::new(registry)
+        .with_workers(opts.workers)
+        .place(&optimized)?;
     execute_placement_traced(registry, &placement, opts, tracer, parent)
 }
 
@@ -174,10 +185,12 @@ pub fn execute_placement_traced(
         ));
     }
     let mut metrics = Metrics::default();
-    let mut staged: Vec<(String, String)> = Vec::new(); // (site, name) cleanup list
-                                                        // Fragment outputs the app tier has custody of, keyed by fragment id.
-                                                        // Failover re-ships a failed fragment's inputs from here.
-    let mut cache: HashMap<usize, DataSet> = HashMap::new();
+    // (site, name) cleanup list. Fragment outputs the app tier has custody
+    // of live in `cache`, keyed by fragment id; failover re-ships a failed
+    // fragment's inputs from there. Both are shared with the worker pool
+    // when fragments dispatch in parallel.
+    let staged: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    let cache: Mutex<HashMap<usize, DataSet>> = Mutex::new(HashMap::new());
     let query_span = tracer.start(parent, || "query".into(), "app");
     let query_id = query_span.id();
     // Only the outermost placement on this thread registers on the
@@ -185,108 +198,397 @@ pub fn execute_placement_traced(
     // round and those inner queries ride the outer query's entry.
     let progress = enter_query(placement, tracer);
 
-    let outcome = (|| -> Result<DataSet> {
-        let last = placement.fragments.len() - 1;
-        progress.set_fragments_total(placement.fragments.len());
-        for (pos, frag) in placement.fragments.iter().enumerate() {
-            metrics.fragments += 1;
-            let frag_started = Instant::now();
-            let mut fspan = tracer.start(query_id, || format!("fragment:{}", frag.id), &frag.site);
-            // The transfer log accumulates the attempt history of this
-            // fragment's output delivery (push and/or store attempts)
-            // into one `transfer:{id}` span. Root fragments stage
-            // nothing, so they get an inert log.
-            let mut tlog = if pos == last {
-                TransferLog::inert()
-            } else {
-                TransferLog::start(tracer, fspan.id(), frag)
-            };
-            if frag.site != APP_SITE
-                && pos != last
-                && opts.transfer == TransferMode::RemoteTcp
-                && try_remote_push(
+    let outcome = if opts.workers <= 1 {
+        (|| -> Result<DataSet> {
+            let last = placement.fragments.len() - 1;
+            progress.set_fragments_total(placement.fragments.len());
+            for (pos, frag) in placement.fragments.iter().enumerate() {
+                metrics.fragments += 1;
+                let frag_started = Instant::now();
+                let mut fspan =
+                    tracer.start(query_id, || format!("fragment:{}", frag.id), &frag.site);
+                // The transfer log accumulates the attempt history of this
+                // fragment's output delivery (push and/or store attempts)
+                // into one `transfer:{id}` span. Root fragments stage
+                // nothing, so they get an inert log.
+                let mut tlog = if pos == last {
+                    TransferLog::inert()
+                } else {
+                    TransferLog::start(tracer, fspan.id(), frag)
+                };
+                if frag.site != APP_SITE
+                    && pos != last
+                    && opts.transfer == TransferMode::RemoteTcp
+                    && try_remote_push(
+                        registry,
+                        frag,
+                        opts,
+                        &mut metrics,
+                        &staged,
+                        tracer,
+                        &mut tlog,
+                    )?
+                {
+                    progress.fragment_done(
+                        frag.id,
+                        &frag.site,
+                        frag_started.elapsed().as_secs_f64(),
+                    );
+                    continue;
+                }
+
+                let out = if frag.site == APP_SITE {
+                    // App-driven control iteration (see planner docs).
+                    run_app_iterate(
+                        registry,
+                        &frag.plan,
+                        opts,
+                        &mut metrics,
+                        tracer,
+                        fspan.id(),
+                        &progress,
+                    )?
+                } else {
+                    execute_fragment(
+                        registry,
+                        placement,
+                        frag,
+                        opts,
+                        &mut metrics,
+                        &cache,
+                        &staged,
+                        tracer,
+                        fspan.id(),
+                    )?
+                };
+                fspan.set_rows(out.num_rows());
+                progress.fragment_done(frag.id, &frag.site, frag_started.elapsed().as_secs_f64());
+
+                if pos == last {
+                    // Root fragment: result returns to the application.
+                    let bytes = encode_dataset(&out).len();
+                    metrics.record_transfer(&opts.net, &frag.site, "app", bytes, false);
+                    let mut rspan = tracer.start(query_id, || "transfer:result".into(), &frag.site);
+                    rspan.set_bytes(bytes as u64);
+                    rspan.set_rows(out.num_rows());
+                    rspan.finish();
+                    return Ok(out);
+                }
+                if opts.recovery.enabled && opts.recovery.failover {
+                    cache.lock().unwrap().insert(frag.id, out.clone());
+                }
+                if let Err(e) = stage_output(
                     registry,
                     frag,
+                    out,
                     opts,
                     &mut metrics,
-                    &mut staged,
+                    &staged,
                     tracer,
                     &mut tlog,
-                )?
-            {
-                progress.fragment_done(frag.id, &frag.site, frag_started.elapsed().as_secs_f64());
-                continue;
-            }
-
-            let out = if frag.site == APP_SITE {
-                // App-driven control iteration (see planner docs).
-                run_app_iterate(
-                    registry,
-                    &frag.plan,
-                    opts,
-                    &mut metrics,
-                    tracer,
-                    fspan.id(),
-                    &progress,
-                )?
-            } else {
-                execute_fragment(
-                    registry,
-                    placement,
-                    frag,
-                    opts,
-                    &mut metrics,
-                    &mut cache,
-                    &mut staged,
-                    tracer,
-                    fspan.id(),
-                )?
-            };
-            fspan.set_rows(out.num_rows());
-            progress.fragment_done(frag.id, &frag.site, frag_started.elapsed().as_secs_f64());
-
-            if pos == last {
-                // Root fragment: result returns to the application.
-                let bytes = encode_dataset(&out).len();
-                metrics.record_transfer(&opts.net, &frag.site, "app", bytes, false);
-                let mut rspan = tracer.start(query_id, || "transfer:result".into(), &frag.site);
-                rspan.set_bytes(bytes as u64);
-                rspan.set_rows(out.num_rows());
-                rspan.finish();
-                return Ok(out);
-            }
-            if opts.recovery.enabled && opts.recovery.failover {
-                cache.insert(frag.id, out.clone());
-            }
-            if let Err(e) = stage_output(
-                registry,
-                frag,
-                out,
-                opts,
-                &mut metrics,
-                &mut staged,
-                tracer,
-                &mut tlog,
-            ) {
-                if !(opts.recovery.enabled && opts.recovery.failover) {
-                    return Err(e);
+                ) {
+                    if !(opts.recovery.enabled && opts.recovery.failover) {
+                        return Err(e);
+                    }
+                    // The consuming site refused the staged input. Leave
+                    // delivery to the consumer's failover path, which re-ships
+                    // inputs from the app-tier cache onto whichever provider
+                    // ends up running the fragment.
                 }
-                // The consuming site refused the staged input. Leave
-                // delivery to the consumer's failover path, which re-ships
-                // inputs from the app-tier cache onto whichever provider
-                // ends up running the fragment.
             }
-        }
-        unreachable!("placement always has a root fragment")
-    })();
+            unreachable!("placement always has a root fragment")
+        })()
+    } else {
+        run_fragments_parallel(
+            registry,
+            placement,
+            opts,
+            &mut metrics,
+            &cache,
+            &staged,
+            tracer,
+            query_id,
+            &progress,
+        )
+    };
 
     // Clean up staged intermediates regardless of success.
-    for (site, name) in staged {
+    for (site, name) in staged.into_inner().unwrap() {
         if let Ok(p) = registry.provider(&site) {
             p.remove(&name);
         }
     }
     leave_query(progress, tracer, outcome).map(|ds| (ds, metrics))
+}
+
+/// Dispatch a placement's fragments onto a pool of `opts.workers` threads,
+/// honouring the dependency edges recorded in [`Fragment::inputs`]. Root
+/// and app-site fragments run inline on the coordinator thread — the root
+/// so its result transfer stays last, app-driven iteration because it
+/// re-enters the executor and must keep riding this thread's progress
+/// entry. Every fragment body (including inline ones) runs under
+/// [`pool::with_workers`], so capable providers execute their
+/// `Exchange`/`Merge`-marked operators partition-parallel too.
+///
+/// Per-fragment [`Metrics`] accumulate into thread-local instances and are
+/// absorbed in **placement order** once every fragment settles, so counters
+/// and the transfer log are identical run-to-run regardless of completion
+/// order. On failure, dispatch stops, in-flight fragments drain, and the
+/// error of the earliest-placed failed fragment surfaces — mirroring what
+/// the sequential loop would have reported.
+#[allow(clippy::too_many_arguments)]
+fn run_fragments_parallel(
+    registry: &Registry,
+    placement: &Placement,
+    opts: &ExecOptions,
+    metrics: &mut Metrics,
+    cache: &Mutex<HashMap<usize, DataSet>>,
+    staged: &Mutex<Vec<(String, String)>>,
+    tracer: &Tracer,
+    query_id: Option<u64>,
+    progress: &ProgressHandle,
+) -> Result<DataSet> {
+    let frags = &placement.fragments;
+    let n = frags.len();
+    let last = n - 1;
+    progress.set_fragments_total(n);
+    // Fragment ids are planner counters, not positions; map them back.
+    let pos_of: HashMap<usize, usize> = frags.iter().enumerate().map(|(p, f)| (f.id, p)).collect();
+    let deps: Vec<Vec<usize>> = frags
+        .iter()
+        .map(|f| {
+            f.inputs
+                .iter()
+                .filter_map(|id| pos_of.get(id).copied())
+                .collect()
+        })
+        .collect();
+
+    let mut done = vec![false; n];
+    let mut dispatched = vec![false; n];
+    let mut slots: Vec<Option<Metrics>> = (0..n).map(|_| None).collect();
+    let mut failures: Vec<(usize, CoreError)> = Vec::new();
+    let mut root_out: Option<DataSet> = None;
+    let mut in_flight = 0usize;
+
+    let threads = opts.workers.min(n.saturating_sub(1)).max(1);
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<usize>();
+    let job_rx = Mutex::new(job_rx);
+    type Completion = (usize, f64, Metrics, Result<Option<DataSet>>);
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<Completion>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = &job_rx;
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                // The mutex only serializes job pickup; execution runs
+                // unlocked and therefore concurrently across workers.
+                let job = job_rx.lock().unwrap().recv();
+                let Ok(pos) = job else { break };
+                let started = Instant::now();
+                let (m, result) = pool::with_workers(opts.workers, || {
+                    parallel_fragment_body(
+                        registry, placement, pos, opts, cache, staged, tracer, query_id, None,
+                    )
+                });
+                if res_tx
+                    .send((pos, started.elapsed().as_secs_f64(), m, result))
+                    .is_err()
+                {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+
+        loop {
+            if failures.is_empty() {
+                // Launch everything ready, rescanning after each inline
+                // completion (an inline fragment may unblock others).
+                loop {
+                    let mut inline_ran = false;
+                    for pos in 0..n {
+                        if dispatched[pos] || !deps[pos].iter().all(|d| done[*d]) {
+                            continue;
+                        }
+                        dispatched[pos] = true;
+                        if pos == last || frags[pos].site == APP_SITE {
+                            let started = Instant::now();
+                            let (m, result) = pool::with_workers(opts.workers, || {
+                                parallel_fragment_body(
+                                    registry,
+                                    placement,
+                                    pos,
+                                    opts,
+                                    cache,
+                                    staged,
+                                    tracer,
+                                    query_id,
+                                    Some(progress),
+                                )
+                            });
+                            progress.fragment_done(
+                                frags[pos].id,
+                                &frags[pos].site,
+                                started.elapsed().as_secs_f64(),
+                            );
+                            slots[pos] = Some(m);
+                            match result {
+                                Ok(out) => {
+                                    done[pos] = true;
+                                    if pos == last {
+                                        root_out = out;
+                                    }
+                                }
+                                Err(e) => failures.push((pos, e)),
+                            }
+                            inline_ran = true;
+                        } else {
+                            in_flight += 1;
+                            let _ = job_tx.send(pos);
+                        }
+                    }
+                    if !inline_ran || !failures.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if in_flight == 0 {
+                break;
+            }
+            let Ok((pos, secs, m, result)) = res_rx.recv() else {
+                break;
+            };
+            in_flight -= 1;
+            progress.fragment_done(frags[pos].id, &frags[pos].site, secs);
+            slots[pos] = Some(m);
+            match result {
+                Ok(_) => done[pos] = true,
+                Err(e) => failures.push((pos, e)),
+            }
+        }
+        drop(job_tx); // closes the job channel; workers exit their loops
+    });
+
+    for m in slots.into_iter().flatten() {
+        metrics.absorb(m);
+    }
+    if let Some((_, e)) = failures.into_iter().min_by_key(|(p, _)| *p) {
+        return Err(e);
+    }
+    root_out
+        .ok_or_else(|| CoreError::Plan("parallel scheduler finished without a root result".into()))
+}
+
+/// The per-fragment body of the parallel scheduler: the exact sequence the
+/// sequential loop runs for one fragment (fragment span, transfer log,
+/// RemoteTcp push short-circuit, execute/iterate, failover cache, output
+/// staging), against a thread-local [`Metrics`]. Returns `Some(result)`
+/// only for the root fragment. `progress` is `Some` only on the
+/// coordinator thread, where app-driven iteration reports its rounds.
+#[allow(clippy::too_many_arguments)]
+fn parallel_fragment_body(
+    registry: &Registry,
+    placement: &Placement,
+    pos: usize,
+    opts: &ExecOptions,
+    cache: &Mutex<HashMap<usize, DataSet>>,
+    staged: &Mutex<Vec<(String, String)>>,
+    tracer: &Tracer,
+    query_id: Option<u64>,
+    progress: Option<&ProgressHandle>,
+) -> (Metrics, Result<Option<DataSet>>) {
+    let frags = &placement.fragments;
+    let last = frags.len() - 1;
+    let frag = &frags[pos];
+    let mut metrics = Metrics::default();
+    metrics.fragments += 1;
+    let result = (|| -> Result<Option<DataSet>> {
+        let mut fspan = tracer.start(query_id, || format!("fragment:{}", frag.id), &frag.site);
+        let mut tlog = if pos == last {
+            TransferLog::inert()
+        } else {
+            TransferLog::start(tracer, fspan.id(), frag)
+        };
+        if frag.site != APP_SITE
+            && pos != last
+            && opts.transfer == TransferMode::RemoteTcp
+            && try_remote_push(
+                registry,
+                frag,
+                opts,
+                &mut metrics,
+                staged,
+                tracer,
+                &mut tlog,
+            )?
+        {
+            return Ok(None);
+        }
+        let out = if frag.site == APP_SITE {
+            let inert;
+            let handle = match progress {
+                Some(p) => p,
+                None => {
+                    inert = progress::ProgressTracker::noop();
+                    &inert
+                }
+            };
+            run_app_iterate(
+                registry,
+                &frag.plan,
+                opts,
+                &mut metrics,
+                tracer,
+                fspan.id(),
+                handle,
+            )?
+        } else {
+            execute_fragment(
+                registry,
+                placement,
+                frag,
+                opts,
+                &mut metrics,
+                cache,
+                staged,
+                tracer,
+                fspan.id(),
+            )?
+        };
+        fspan.set_rows(out.num_rows());
+        if pos == last {
+            let bytes = encode_dataset(&out).len();
+            metrics.record_transfer(&opts.net, &frag.site, "app", bytes, false);
+            let mut rspan = tracer.start(query_id, || "transfer:result".into(), &frag.site);
+            rspan.set_bytes(bytes as u64);
+            rspan.set_rows(out.num_rows());
+            rspan.finish();
+            return Ok(Some(out));
+        }
+        if opts.recovery.enabled && opts.recovery.failover {
+            cache.lock().unwrap().insert(frag.id, out.clone());
+        }
+        if let Err(e) = stage_output(
+            registry,
+            frag,
+            out,
+            opts,
+            &mut metrics,
+            staged,
+            tracer,
+            &mut tlog,
+        ) {
+            if !(opts.recovery.enabled && opts.recovery.failover) {
+                return Err(e);
+            }
+            // Leave delivery to the consumer's failover path (see the
+            // sequential loop).
+        }
+        Ok(None)
+    })();
+    (metrics, result)
 }
 
 thread_local! {
@@ -436,7 +738,7 @@ fn try_remote_push(
     frag: &Fragment,
     opts: &ExecOptions,
     metrics: &mut Metrics,
-    staged: &mut Vec<(String, String)>,
+    staged: &Mutex<Vec<(String, String)>>,
     tracer: &Tracer,
     tlog: &mut TransferLog,
 ) -> Result<bool> {
@@ -495,7 +797,7 @@ fn try_remote_push(
                     false,
                 );
                 registry.health().record_success(&frag.site);
-                staged.push((frag.dest_site.clone(), name));
+                staged.lock().unwrap().push((frag.dest_site.clone(), name));
                 tlog.delivered("push", pushed as usize);
                 return Ok(true);
             }
@@ -536,8 +838,8 @@ fn execute_fragment(
     frag: &Fragment,
     opts: &ExecOptions,
     metrics: &mut Metrics,
-    cache: &mut HashMap<usize, DataSet>,
-    staged: &mut Vec<(String, String)>,
+    cache: &Mutex<HashMap<usize, DataSet>>,
+    staged: &Mutex<Vec<(String, String)>>,
     tracer: &Tracer,
     span: Option<u64>,
 ) -> Result<DataSet> {
@@ -686,15 +988,19 @@ fn reship_inputs(
     new_site: &str,
     opts: &ExecOptions,
     metrics: &mut Metrics,
-    cache: &mut HashMap<usize, DataSet>,
-    staged: &mut Vec<(String, String)>,
+    cache: &Mutex<HashMap<usize, DataSet>>,
+    staged: &Mutex<Vec<(String, String)>>,
     tracer: &Tracer,
     span: Option<u64>,
 ) -> Result<()> {
     let dest = registry.provider(new_site)?;
     for &input in &frag.inputs {
-        let data = match cache.get(&input) {
-            Some(d) => d.clone(),
+        // Never hold the cache lock across a provider call: on a miss the
+        // producer re-runs (possibly slowly) and other fragments must keep
+        // making progress.
+        let cached = cache.lock().unwrap().get(&input).cloned();
+        let data = match cached {
+            Some(d) => d,
             None => {
                 let producer = placement
                     .fragments
@@ -710,7 +1016,7 @@ fn reship_inputs(
                     tracer,
                     span,
                 )?;
-                cache.insert(input, out.clone());
+                cache.lock().unwrap().insert(input, out.clone());
                 out
             }
         };
@@ -724,7 +1030,7 @@ fn reship_inputs(
         dest.store(&name, data)?;
         metrics.real_wire_bytes += wire_total(dest.as_ref()) - before;
         rspan.finish();
-        staged.push((new_site.to_string(), name));
+        staged.lock().unwrap().push((new_site.to_string(), name));
     }
     Ok(())
 }
@@ -739,7 +1045,7 @@ fn stage_output(
     out: DataSet,
     opts: &ExecOptions,
     metrics: &mut Metrics,
-    staged: &mut Vec<(String, String)>,
+    staged: &Mutex<Vec<(String, String)>>,
     tracer: &Tracer,
     tlog: &mut TransferLog,
 ) -> Result<()> {
@@ -760,7 +1066,7 @@ fn stage_output(
     ) {
         Ok(()) => {
             metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, via_app);
-            staged.push((frag.dest_site.clone(), name));
+            staged.lock().unwrap().push((frag.dest_site.clone(), name));
             tlog.delivered(rung, bytes);
             Ok(())
         }
@@ -783,7 +1089,7 @@ fn stage_output(
             )
             .map_err(|_| e)?;
             metrics.record_transfer(&opts.net, &frag.site, &frag.dest_site, bytes, true);
-            staged.push((frag.dest_site.clone(), name));
+            staged.lock().unwrap().push((frag.dest_site.clone(), name));
             tlog.delivered("app-routed", bytes);
             Ok(())
         }
@@ -1328,6 +1634,137 @@ mod tests {
             "{labels:?}"
         );
         assert!(t.bytes.is_some(), "delivered payload size recorded");
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_and_records_partition_spans() {
+        let r = registry();
+        let schema = r.schema_of("sales").unwrap();
+        let scan = Plan::scan("sales", schema);
+        let plan = scan
+            .clone()
+            .join(scan, vec![("k", "k")])
+            .aggregate(vec!["k"], vec![AggExpr::new(AggFunc::Sum, col("v"), "s")]);
+        let seq = run_plan(
+            &r,
+            &plan,
+            &ExecOptions {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tracer = Tracer::new(11);
+        let opts = ExecOptions {
+            workers: 4,
+            ..Default::default()
+        };
+        let (out, m) = run_plan_traced(&r, &plan, &opts, &tracer, None).unwrap();
+        assert!(out.same_bag(&seq.0).unwrap());
+        assert_eq!(m.fragments, seq.1.fragments);
+        // The engine ran partitioned kernels: per-partition spans land in
+        // the trace (join and aggregate each split into 4).
+        let parts = tracer.finish().spans_named("partition:").len();
+        assert!(parts >= 8, "expected per-partition spans, got {parts}");
+    }
+
+    #[test]
+    fn parallel_execution_preserves_failover() {
+        use crate::fault::{FaultConfig, FaultyProvider};
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "a_rows",
+            matrix_dataset(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap(),
+        )
+        .unwrap();
+        let b = matrix_dataset(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let la1 = LinAlgEngine::new("la1");
+        la1.store("b", b.clone()).unwrap();
+        let la2 = LinAlgEngine::new("la2");
+        la2.store("b", b).unwrap();
+        let mut r = Registry::new();
+        r.register(Arc::new(rel));
+        r.register(Arc::new(FaultyProvider::new(
+            Arc::new(la1),
+            FaultConfig::crash_after(0),
+        )));
+        r.register(Arc::new(la2));
+        let plan = Plan::scan("a_rows", r.schema_of("a_rows").unwrap()).matmul(Plan::scan(
+            "b",
+            r.provider("la2").unwrap().schema_of("b").unwrap(),
+        ));
+        let opts = ExecOptions {
+            workers: 4,
+            ..Default::default()
+        };
+        let (out, m) = run_plan(&r, &plan, &opts).unwrap();
+        let (_, _, data) = dataset_matrix(&out).unwrap();
+        assert_eq!(data, vec![58., 64., 139., 154.]);
+        assert_eq!(m.failovers, 1);
+        assert!(r
+            .provider("la2")
+            .unwrap()
+            .catalog()
+            .iter()
+            .all(|(n, _)| !n.starts_with(FRAG_PREFIX)));
+    }
+
+    #[test]
+    fn parallel_app_driven_iteration_matches_sequential() {
+        let la = LinAlgEngine::new("la");
+        la.store("m", matrix_dataset(2, 2, vec![0.5, 0., 0., 0.5]).unwrap())
+            .unwrap();
+        la.store("x", matrix_dataset(2, 2, vec![1., 0., 0., 1.]).unwrap())
+            .unwrap();
+        let mut r = Registry::new();
+        r.register(Arc::new(la));
+        let m_schema = r.provider("la").unwrap().schema_of("m").unwrap();
+        let x_schema = r.provider("la").unwrap().schema_of("x").unwrap();
+        let plan = Plan::Iterate {
+            init: Plan::scan("x", x_schema.clone()).boxed(),
+            body: Plan::scan("m", m_schema)
+                .matmul(Plan::IterState { schema: x_schema })
+                .boxed(),
+            max_iters: 4,
+            epsilon: None,
+        };
+        let opts = ExecOptions {
+            workers: 4,
+            ..Default::default()
+        };
+        let (out, m) = run_plan(&r, &plan, &opts).unwrap();
+        assert_eq!(m.client_driven_iterations, 4);
+        let (_, _, data) = dataset_matrix(&out).unwrap();
+        assert!((data[0] - 0.0625).abs() < 1e-12, "{data:?}");
+        assert!((data[3] - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_failure_surfaces_earliest_fragment_error() {
+        use crate::fault::{FaultConfig, FaultyProvider};
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "sales",
+            DataSet::from_columns(vec![("v", Column::from(vec![1.0f64]))]).unwrap(),
+        )
+        .unwrap();
+        let faulty = FaultyProvider::new(
+            Arc::new(rel),
+            FaultConfig {
+                fail_first: 10,
+                ..FaultConfig::default()
+            },
+        );
+        let mut r = Registry::new();
+        r.register(Arc::new(faulty));
+        let plan = Plan::scan("sales", r.schema_of("sales").unwrap()).limit(1);
+        let opts = ExecOptions {
+            recovery: RecoveryPolicy::disabled(),
+            workers: 4,
+            ..Default::default()
+        };
+        let err = run_plan(&r, &plan, &opts).unwrap_err();
+        assert!(err.to_string().contains("injected transient"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn render_analyze(trace: &Trace, metrics: &Metrics) -> String {
         ));
     }
     render_convergence(trace, &mut out);
+    render_parallelism(trace, &mut out);
     out.push_str("== metrics ==\n");
     out.push_str(&metrics.to_string());
     out.push('\n');
@@ -74,6 +75,51 @@ fn render_convergence(trace: &Trace, out: &mut String) {
             s.duration_ns() as f64 / 1e6,
             field("delta:"),
             field("rows_changed:"),
+        ));
+    }
+}
+
+/// The partition-parallelism table: one row per operator that ran
+/// partitioned kernels (its `partition:{i}` children), with the partition
+/// count, the summed per-partition work, the operator's wall time, and
+/// the resulting overlap factor (`sum / wall` — 1.0× means the partitions
+/// ran back-to-back, higher means they overlapped). Omitted entirely when
+/// nothing ran partitioned.
+fn render_parallelism(trace: &Trace, out: &mut String) {
+    let mut groups: Vec<(&Span, usize, u64)> = Vec::new();
+    for s in &trace.spans {
+        if !s.name.starts_with("partition:") {
+            continue;
+        }
+        let Some(parent) = s.parent.and_then(|id| trace.span(id)) else {
+            continue;
+        };
+        match groups.iter_mut().find(|(p, _, _)| p.id == parent.id) {
+            Some((_, count, sum)) => {
+                *count += 1;
+                *sum += s.duration_ns();
+            }
+            None => groups.push((parent, 1, s.duration_ns())),
+        }
+    }
+    if groups.is_empty() {
+        return;
+    }
+    groups.sort_by_key(|(p, _, _)| (p.start_ns, p.id));
+    out.push_str("== parallelism ==\n");
+    out.push_str(
+        "operator                  site        parts  sum_ms       wall_ms      overlap\n",
+    );
+    for (parent, count, sum_ns) in groups {
+        let wall_ns = parent.duration_ns().max(1);
+        out.push_str(&format!(
+            "{:<25} {:<11} {:<6} {:<12.3} {:<12.3} {:.2}x\n",
+            parent.name,
+            parent.site,
+            count,
+            sum_ns as f64 / 1e6,
+            parent.duration_ns() as f64 / 1e6,
+            sum_ns as f64 / wall_ns as f64,
         ));
     }
 }
@@ -214,6 +260,49 @@ mod tests {
         let it1_at = position_of(table, "0.250000000");
         let it2_at = position_of(table, "0.001000000");
         assert!(it1_at < it2_at, "iterations in order:\n{table}");
+    }
+
+    #[test]
+    fn partitioned_trace_renders_a_parallelism_table() {
+        // op:join ran 3 partitions whose summed work exceeds the
+        // operator's wall time — that overlap is the speedup story.
+        let mut join = span(2, Some(1), "op:join", "rel", 0);
+        join.end_ns = 2_000_000; // 2 ms wall
+        let mut parts: Vec<Span> = (0..3)
+            .map(|i| {
+                let mut p = span(10 + i, Some(2), &format!("partition:{i}"), "rel", 0);
+                p.end_ns = 1_500_000; // 1.5 ms each, 4.5 ms summed
+                p
+            })
+            .collect();
+        let mut spans = vec![span(1, None, "query", "app", 0), join];
+        spans.append(&mut parts);
+        let trace = Trace {
+            trace_id: 0xBDA,
+            spans,
+            dropped: 0,
+        };
+        let s = render_analyze(&trace, &Metrics::default());
+        let table_at = position_of(&s, "== parallelism ==");
+        let metrics_at = position_of(&s, "== metrics ==");
+        assert!(table_at < metrics_at, "table precedes metrics:\n{s}");
+        let table = &s[table_at..metrics_at];
+        assert!(table.contains("op:join"), "{table}");
+        assert!(table.contains("rel"), "{table}");
+        assert!(table.contains("2.25x"), "4.5ms over 2ms wall:\n{table}");
+        // parts column
+        assert!(table.contains(" 3 "), "{table}");
+    }
+
+    #[test]
+    fn unpartitioned_trace_has_no_parallelism_table() {
+        let trace = Trace {
+            trace_id: 1,
+            spans: vec![span(1, None, "query", "app", 0)],
+            dropped: 0,
+        };
+        let s = render_analyze(&trace, &Metrics::default());
+        assert!(!s.contains("== parallelism =="), "{s}");
     }
 
     #[test]

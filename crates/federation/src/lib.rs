@@ -191,9 +191,13 @@ impl Federation {
 
     /// Explain how a plan would execute: the optimized plan, the fragment
     /// placement, and per-fragment details — without running anything.
+    /// With `options.workers > 1`, the printed fragments carry the
+    /// `exchange`/`merge` markers the parallel executor would run.
     pub fn explain(&self, plan: &Plan) -> Result<String, CoreError> {
         let optimized = optimize(plan, self.options.optimizer);
-        let placement = Planner::new(&self.registry).place(&optimized)?;
+        let placement = Planner::new(&self.registry)
+            .with_workers(self.options.workers)
+            .place(&optimized)?;
         let mut out = String::new();
         out.push_str("== optimized plan ==\n");
         out.push_str(&optimized.to_string());
@@ -295,6 +299,30 @@ mod tests {
         assert!(s.contains("transfer:"), "{s}");
         assert!(s.contains("rows="), "{s}");
         assert!(s.contains("== metrics =="), "{s}");
+    }
+
+    #[test]
+    fn explain_shows_partition_markers_under_parallel_options() {
+        let rel = RelationalEngine::new("rel");
+        rel.store(
+            "t",
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![1i64, 2])),
+                ("v", Column::from(vec![1.0f64, 2.0])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let mut fed = Federation::new();
+        fed.register(Arc::new(rel));
+        let scan = Plan::scan("t", fed.registry().schema_of("t").unwrap());
+        let plan = scan.clone().join(scan, vec![("k", "k")]);
+        let sequential = fed.explain(&plan).unwrap();
+        assert!(!sequential.contains("exchange"), "{sequential}");
+        fed.options_mut().workers = 4;
+        let parallel = fed.explain(&plan).unwrap();
+        assert!(parallel.contains("exchange x4 hash(k)"), "{parallel}");
+        assert!(parallel.contains("merge"), "{parallel}");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use bda_core::infer::infer_schema;
 use bda_core::lower::lower_node;
-use bda_core::{CoreError, Plan};
+use bda_core::{CoreError, OpKind, Plan};
 use bda_storage::Schema;
 
 use crate::registry::Registry;
@@ -85,12 +85,26 @@ impl Placement {
 /// The planner.
 pub struct Planner<'a> {
     registry: &'a Registry,
+    workers: usize,
 }
 
 impl<'a> Planner<'a> {
     /// A planner over the given registry.
     pub fn new(registry: &'a Registry) -> Planner<'a> {
-        Planner { registry }
+        Planner {
+            registry,
+            workers: 1,
+        }
+    }
+
+    /// Plan for `n` partition-parallel workers: with `n > 1`, fragments
+    /// pinned to providers that advertise [`OpKind::Exchange`] and
+    /// [`OpKind::Merge`] get their hot operators wrapped in explicit
+    /// `Merge(op(Exchange(..)))` markers, so repartitioning is visible in
+    /// EXPLAIN output and drives the engines' partitioned kernels.
+    pub fn with_workers(mut self, n: usize) -> Planner<'a> {
+        self.workers = n.max(1);
+        self
     }
 
     /// Fragment a plan.
@@ -125,7 +139,26 @@ impl<'a> Planner<'a> {
                 f.dest_site = consumer_site;
             }
         }
+        if self.workers > 1 {
+            for f in &mut fragments {
+                if f.site != APP_SITE && self.site_runs_partitioned(&f.site) {
+                    f.plan = parallelize_fragment(&f.plan, self.workers);
+                }
+            }
+        }
         Ok(Placement { fragments })
+    }
+
+    /// Does the provider at `site` advertise partition-parallel execution
+    /// (both `Exchange` and `Merge` in its capability set)?
+    fn site_runs_partitioned(&self, site: &str) -> bool {
+        self.registry
+            .provider(site)
+            .map(|p| {
+                let caps = p.capabilities();
+                caps.supports(OpKind::Exchange) && caps.supports(OpKind::Merge)
+            })
+            .unwrap_or(false)
     }
 
     /// Rewrite intent operators that no registered provider supports.
@@ -294,6 +327,89 @@ fn staged_inputs(plan: &Plan) -> Vec<usize> {
         .collect()
 }
 
+/// Wrap the hot operators of a fragment plan in explicit
+/// `Merge(op(Exchange(..)))` markers so engines run their partitioned
+/// kernels with `parts` partitions. Joins and grouped aggregates get hash
+/// partitioning on their keys; matmul and elementwise get contiguous block
+/// splits. Already-marked operators are left alone, so re-planning an
+/// iterating body never double-wraps.
+fn parallelize_fragment(plan: &Plan, parts: usize) -> Plan {
+    let is_exchange = |p: &Plan| matches!(p, Plan::Exchange { .. });
+    plan.transform_up(&|node| match node {
+        Plan::Join {
+            left,
+            right,
+            on,
+            join_type,
+            suffix,
+        } if !is_exchange(&left) && !is_exchange(&right) => {
+            let (lkey, rkey) = match on.first() {
+                Some((l, r)) => (Some(l.clone()), Some(r.clone())),
+                None => (None, None),
+            };
+            Plan::Merge {
+                input: Box::new(Plan::Join {
+                    left: Box::new(Plan::Exchange {
+                        input: left,
+                        parts,
+                        key: lkey,
+                    }),
+                    right: Box::new(Plan::Exchange {
+                        input: right,
+                        parts,
+                        key: rkey,
+                    }),
+                    on,
+                    join_type,
+                    suffix,
+                }),
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } if !group_by.is_empty() && !is_exchange(&input) => {
+            let key = Some(group_by[0].clone());
+            Plan::Merge {
+                input: Box::new(Plan::Aggregate {
+                    input: Box::new(Plan::Exchange { input, parts, key }),
+                    group_by,
+                    aggs,
+                }),
+            }
+        }
+        Plan::MatMul { left, right } if !is_exchange(&left) => Plan::Merge {
+            input: Box::new(Plan::MatMul {
+                left: Box::new(Plan::Exchange {
+                    input: left,
+                    parts,
+                    key: None,
+                }),
+                right,
+            }),
+        },
+        Plan::ElemWise { op, left, right } if !is_exchange(&left) && !is_exchange(&right) => {
+            Plan::Merge {
+                input: Box::new(Plan::ElemWise {
+                    op,
+                    left: Box::new(Plan::Exchange {
+                        input: left,
+                        parts,
+                        key: None,
+                    }),
+                    right: Box::new(Plan::Exchange {
+                        input: right,
+                        parts,
+                        key: None,
+                    }),
+                }),
+            }
+        }
+        other => other,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +556,119 @@ mod tests {
             r.health().record_failure("la2");
         }
         assert!(Planner::new(&r).place(&plan).is_ok());
+    }
+
+    /// Count Exchange and Merge markers in a plan.
+    fn marker_counts(plan: &Plan) -> (usize, usize) {
+        let ops = plan.op_kinds();
+        (
+            ops.iter().filter(|k| **k == OpKind::Exchange).count(),
+            ops.iter().filter(|k| **k == OpKind::Merge).count(),
+        )
+    }
+
+    #[test]
+    fn parallel_planner_adds_markers_for_capable_sites() {
+        let r = registry();
+        let schema = r.schema_of("sales").unwrap();
+        let scan = Plan::scan("sales", schema);
+        let plan = scan
+            .clone()
+            .join(scan, vec![("k", "k")])
+            .aggregate(vec!["k"], vec![bda_core::AggExpr::count_star("n")]);
+
+        let seq = Planner::new(&r).place(&plan).unwrap();
+        assert_eq!(
+            marker_counts(&seq.root().plan),
+            (0, 0),
+            "workers=1: no markers"
+        );
+
+        let par = Planner::new(&r).with_workers(4).place(&plan).unwrap();
+        let (ex, mg) = marker_counts(&par.root().plan);
+        assert_eq!(mg, 2, "join and grouped aggregate each merged");
+        assert_eq!(ex, 3, "two join inputs + one aggregate input exchanged");
+        // Markers carry the worker count as the partition count.
+        let mut seen_parts = Vec::new();
+        fn walk(p: &Plan, out: &mut Vec<usize>) {
+            if let Plan::Exchange { parts, .. } = p {
+                out.push(*parts);
+            }
+            for c in p.children() {
+                walk(c, out);
+            }
+        }
+        walk(&par.root().plan, &mut seen_parts);
+        assert!(seen_parts.iter().all(|p| *p == 4), "{seen_parts:?}");
+    }
+
+    #[test]
+    fn parallel_planner_does_not_double_wrap() {
+        let r = registry();
+        let schema = r.schema_of("sales").unwrap();
+        let scan = Plan::scan("sales", schema);
+        let plan = scan.clone().join(scan, vec![("k", "k")]);
+        let once = Planner::new(&r).with_workers(3).place(&plan).unwrap();
+        // Re-parallelizing an already-marked plan is a no-op (this is what
+        // happens when an iterating body is re-placed every round).
+        let again = parallelize_fragment(&once.root().plan, 3);
+        assert_eq!(
+            marker_counts(&again),
+            marker_counts(&once.root().plan),
+            "idempotent"
+        );
+    }
+
+    #[test]
+    fn parallel_planner_skips_sites_without_markers() {
+        // A provider that runs relational ops but does not advertise
+        // Exchange/Merge keeps its fragments sequential even under a
+        // parallel planner.
+        struct Sequential(RelationalEngine);
+        impl Provider for Sequential {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn capabilities(&self) -> bda_core::CapabilitySet {
+                let caps = self.0.capabilities();
+                let kept: Vec<OpKind> = OpKind::ALL
+                    .iter()
+                    .copied()
+                    .filter(|k| caps.supports(*k) && *k != OpKind::Exchange && *k != OpKind::Merge)
+                    .collect();
+                bda_core::CapabilitySet::from_ops(&kept)
+            }
+            fn catalog(&self) -> Vec<(String, bda_storage::Schema)> {
+                self.0.catalog()
+            }
+            fn execute(&self, plan: &Plan) -> std::result::Result<DataSet, CoreError> {
+                self.0.execute(plan)
+            }
+            fn store(&self, name: &str, data: DataSet) -> std::result::Result<(), CoreError> {
+                self.0.store(name, data)
+            }
+            fn remove(&self, name: &str) {
+                self.0.remove(name)
+            }
+        }
+        let rel = RelationalEngine::new("seq");
+        rel.store(
+            "sales",
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![1i64, 2])),
+                ("v", Column::from(vec![1.0f64, 2.0])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let mut r = Registry::new();
+        r.register(Arc::new(Sequential(rel)));
+        let schema = r.schema_of("sales").unwrap();
+        let scan = Plan::scan("sales", schema);
+        let plan = scan.clone().join(scan, vec![("k", "k")]);
+        let placement = Planner::new(&r).with_workers(4).place(&plan).unwrap();
+        assert_eq!(placement.root().site, "seq");
+        assert_eq!(marker_counts(&placement.root().plan), (0, 0));
     }
 
     #[test]

@@ -187,11 +187,142 @@ fn execute_node(plan: &Plan, matrices: &BTreeMap<String, DataSet>) -> Result<Dat
             }
             from_matrix(out, out_schema)
         }
+        // A bare Exchange is a planner marker with bag-identity
+        // semantics; the block split happens in the Merge(op(..)) arm.
+        Plan::Exchange { input, .. } => execute(input, matrices),
+        Plan::Merge { input } => match input.as_ref() {
+            Plan::MatMul { left, right } if matches!(left.as_ref(), Plan::Exchange { .. }) => {
+                let Plan::Exchange {
+                    input: li, parts, ..
+                } = left.as_ref()
+                else {
+                    unreachable!("guarded by matches!");
+                };
+                let ri = match right.as_ref() {
+                    Plan::Exchange { input, .. } => input.as_ref(),
+                    other => other,
+                };
+                let (a, _) = to_matrix(&execute(li, matrices)?)?;
+                let (b, _) = to_matrix(&execute(ri, matrices)?)?;
+                if a.cols() != b.rows() {
+                    return Err(CoreError::Plan(format!(
+                        "matmul inner dimension mismatch: {} vs {}",
+                        a.cols(),
+                        b.rows()
+                    )));
+                }
+                from_matrix(
+                    block_parallel(&a, *parts, |band| band.matmul(&b)),
+                    out_schema,
+                )
+            }
+            Plan::ElemWise { op, left, right }
+                if matches!(
+                    (left.as_ref(), right.as_ref()),
+                    (Plan::Exchange { .. }, Plan::Exchange { .. })
+                ) =>
+            {
+                let (
+                    Plan::Exchange {
+                        input: li, parts, ..
+                    },
+                    Plan::Exchange { input: ri, .. },
+                ) = (left.as_ref(), right.as_ref())
+                else {
+                    unreachable!("guarded by matches!");
+                };
+                let f: fn(f64, f64) -> f64 = match op {
+                    BinOp::Add => |x, y| x + y,
+                    BinOp::Sub => |x, y| x - y,
+                    BinOp::Mul => |x, y| x * y,
+                    BinOp::Div => |x, y| x / y,
+                    other => {
+                        return Err(CoreError::Unsupported {
+                            provider: "linalg".into(),
+                            op: format!("elemwise {}", other.symbol()),
+                        })
+                    }
+                };
+                let (a, _) = to_matrix(&execute(li, matrices)?)?;
+                let (b, _) = to_matrix(&execute(ri, matrices)?)?;
+                if (a.rows(), a.cols()) != (b.rows(), b.cols()) {
+                    return Err(CoreError::Plan("elemwise shape mismatch".into()));
+                }
+                let offsets = band_offsets(a.rows(), *parts);
+                from_matrix(
+                    block_parallel_with(&a, &offsets, |(s, e)| {
+                        a.row_band(s, e).zip_with(&b.row_band(s, e), f)
+                    }),
+                    out_schema,
+                )
+            }
+            _ => execute(input, matrices),
+        },
         other => Err(CoreError::Unsupported {
             provider: "linalg".into(),
             op: other.op_kind().name().into(),
         }),
     }
+}
+
+/// Near-equal contiguous row bands `[start, end)` covering `rows`.
+fn band_offsets(rows: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, rows.max(1));
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for b in 0..parts {
+        let len = base + usize::from(b < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Row-block a matrix, run `kernel` per band on the worker pool (with a
+/// `partition:{i}` span each), and concatenate the output bands. Because
+/// each output row is produced by the same scalar code on the same
+/// inputs as the sequential kernel, the result is bitwise identical for
+/// any partition/worker count.
+fn block_parallel(a: &Matrix, parts: usize, kernel: impl Fn(Matrix) -> Matrix + Sync) -> Matrix {
+    let offsets = band_offsets(a.rows(), parts);
+    block_parallel_with(a, &offsets, |(s, e)| kernel(a.row_band(s, e)))
+}
+
+fn block_parallel_with(
+    a: &Matrix,
+    offsets: &[(usize, usize)],
+    kernel: impl Fn((usize, usize)) -> Matrix + Sync,
+) -> Matrix {
+    use bda_core::pool;
+    let snap = bda_obs::scope::snapshot();
+    let kernel = &kernel;
+    let tasks: Vec<Box<dyn FnOnce() -> Matrix + Send + '_>> = offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, e))| {
+            let snap = snap.clone();
+            Box::new(move || {
+                let mut guard = snap.as_ref().map(|sc| {
+                    sc.tracer
+                        .start(sc.parent, || format!("partition:{i}"), &sc.site)
+                });
+                let out = kernel((s, e));
+                if let Some(g) = guard.as_mut() {
+                    g.set_rows(out.rows() * out.cols());
+                }
+                out
+            }) as Box<dyn FnOnce() -> Matrix + Send + '_>
+        })
+        .collect();
+    let bands = pool::run_with(pool::workers(), tasks);
+    let cols = bands.first().map(Matrix::cols).unwrap_or(0);
+    let mut data = Vec::with_capacity(a.rows() * cols);
+    for band in bands {
+        data.extend(band.into_data());
+    }
+    Matrix::from_vec(a.rows(), cols, data)
 }
 
 /// Convenience: read a matrix dataset's cell (used in tests/examples).
@@ -280,6 +411,52 @@ mod tests {
             execute(&e, &m),
             Err(CoreError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn partitioned_matmul_is_bitwise_identical_to_sequential() {
+        let m = mats();
+        let scan_a = Plan::scan("a", m["a"].schema().clone());
+        let scan_b = Plan::scan("b", m["b"].schema().clone());
+        let seq = execute(&scan_a.clone().matmul(scan_b.clone()), &m).unwrap();
+        for parts in [1, 2, 3, 7] {
+            let plan = scan_a
+                .clone()
+                .exchange(parts, None)
+                .matmul(scan_b.clone())
+                .merge();
+            for workers in [1, 4] {
+                let par = bda_core::pool::with_workers(workers, || execute(&plan, &m)).unwrap();
+                let (ms, _) = to_matrix(&seq).unwrap();
+                let (mp, _) = to_matrix(&par).unwrap();
+                assert_eq!(ms.data(), mp.data(), "parts={parts} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_elemwise_matches_sequential() {
+        let m = mats();
+        let scan_a = Plan::scan("a", m["a"].schema().clone());
+        let seq = execute(&scan_a.clone().elemwise(BinOp::Mul, scan_a.clone()), &m).unwrap();
+        let plan = scan_a
+            .clone()
+            .exchange(2, None)
+            .elemwise(BinOp::Mul, scan_a.exchange(2, None))
+            .merge();
+        let par = bda_core::pool::with_workers(4, || execute(&plan, &m)).unwrap();
+        let (ms, _) = to_matrix(&seq).unwrap();
+        let (mp, _) = to_matrix(&par).unwrap();
+        assert_eq!(ms.data(), mp.data());
+    }
+
+    #[test]
+    fn bare_markers_are_identity() {
+        let m = mats();
+        let scan_a = Plan::scan("a", m["a"].schema().clone());
+        let plain = execute(&scan_a, &m).unwrap();
+        let marked = execute(&scan_a.clone().exchange(4, None).merge(), &m).unwrap();
+        assert!(plain.same_bag(&marked).unwrap());
     }
 
     #[test]

@@ -46,6 +46,10 @@ impl LinAlgEngine {
             OpKind::ElemWise,
             OpKind::Permute,
             OpKind::Dice,
+            // Partition-parallel execution: advertising Exchange/Merge
+            // tells the planner this engine runs block-split kernels.
+            OpKind::Exchange,
+            OpKind::Merge,
         ])
     }
 }

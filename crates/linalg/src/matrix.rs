@@ -65,6 +65,16 @@ impl Matrix {
         self.data
     }
 
+    /// Rows `[start, end)` as their own matrix. Row-major storage makes
+    /// the band one contiguous slice, so block-split kernels copy once.
+    pub fn row_band(&self, start: usize, end: usize) -> Matrix {
+        Matrix::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
     /// Element (i, j).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {

@@ -133,6 +133,21 @@ impl RemoteProvider {
         }
     }
 
+    /// Ship one partition of a partitioned dataset. The server stores it
+    /// under `{name}.p{partition}`, so concurrent partition producers
+    /// never contend on a single staged name and the pieces stay
+    /// individually addressable for scans and cleanup.
+    pub fn store_partition(&self, name: &str, partition: u32, data: DataSet) -> Result<()> {
+        match self.request(&Request::StorePart {
+            name: name.to_string(),
+            partition,
+            data,
+        })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("StorePart", &other)),
+        }
+    }
+
     /// Fetch the server's metrics registry rendered in Prometheus text
     /// exposition format (one round trip).
     pub fn metrics_text(&self) -> Result<String> {

@@ -112,6 +112,32 @@ mod tests {
     }
 
     #[test]
+    fn store_partition_tags_each_piece_with_its_index() {
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        let server = serve(Arc::clone(&engine) as Arc<dyn Provider>, "127.0.0.1:0").unwrap();
+        let remote = RemoteProvider::connect(server.addr().to_string()).unwrap();
+
+        let all = sample();
+        let rows = all.rows().unwrap();
+        let left = DataSet::from_rows(all.schema().clone(), &rows[..2]).unwrap();
+        let right = DataSet::from_rows(all.schema().clone(), &rows[2..]).unwrap();
+        remote.store_partition("staged", 0, left).unwrap();
+        remote.store_partition("staged", 1, right).unwrap();
+
+        let mut names: Vec<String> = remote.catalog().into_iter().map(|(n, _)| n).collect();
+        names.sort();
+        assert_eq!(names, vec!["staged.p0", "staged.p1"]);
+        // Each tagged partition scans independently on the server.
+        let p1 = engine
+            .execute(&Plan::scan("staged.p1", sample().schema().clone()))
+            .unwrap();
+        assert_eq!(p1.num_rows(), 2);
+        remote.remove("staged.p0");
+        remote.remove("staged.p1");
+        assert!(remote.catalog().is_empty());
+    }
+
+    #[test]
     fn connect_to_dead_server_errors_after_retries() {
         // Bind then drop a listener so the port is (very likely) closed.
         let port = {

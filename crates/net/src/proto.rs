@@ -63,6 +63,18 @@ pub enum Request {
         /// The dataset.
         data: DataSet,
     },
+    /// Ingest one partition of a partitioned dataset. The server stores
+    /// it under `{name}.p{partition}`, so a partition-parallel producer
+    /// can stream its partitions independently (and a consumer or the
+    /// cleanup path can address them individually).
+    StorePart {
+        /// Logical dataset name the partition belongs to.
+        name: String,
+        /// Zero-based partition index.
+        partition: u32,
+        /// The partition's rows.
+        data: DataSet,
+    },
     /// Drop a dataset if present.
     Remove {
         /// Name to drop.
@@ -148,6 +160,7 @@ const K_EXECUTE_STORE: u8 = 0x03;
 const K_EXECUTE_PUSH: u8 = 0x04;
 const K_STORE: u8 = 0x05;
 const K_REMOVE: u8 = 0x06;
+const K_STORE_PART: u8 = 0x09;
 const K_CATALOG: u8 = 0x07;
 const K_METRICS: u8 = 0x08;
 const K_TRACED: u8 = 0x10;
@@ -228,6 +241,16 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             put_block(&mut buf, &encode_dataset(data));
             K_STORE
         }
+        Request::StorePart {
+            name,
+            partition,
+            data,
+        } => {
+            put_string(&mut buf, name);
+            buf.put_u32_le(*partition);
+            put_block(&mut buf, &encode_dataset(data));
+            K_STORE_PART
+        }
         Request::Remove { name } => {
             put_string(&mut buf, name);
             K_REMOVE
@@ -270,6 +293,11 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
         K_STORE => Request::Store {
             name: r.string("store name")?,
             data: read_dataset(&mut r, "store dataset")?,
+        },
+        K_STORE_PART => Request::StorePart {
+            name: r.string("store-part name")?,
+            partition: r.u32("store-part partition")?,
+            data: read_dataset(&mut r, "store-part dataset")?,
         },
         K_REMOVE => Request::Remove {
             name: r.string("remove name")?,
@@ -473,6 +501,11 @@ mod tests {
         });
         request_round_trip(Request::Store {
             name: "t".into(),
+            data: ds.clone(),
+        });
+        request_round_trip(Request::StorePart {
+            name: "__bda_frag_0".into(),
+            partition: 3,
             data: ds,
         });
         request_round_trip(Request::Remove { name: "t".into() });

@@ -278,6 +278,7 @@ fn request_kind(req: &Request) -> &'static str {
         Request::ExecuteStore { .. } => "execute-store",
         Request::ExecutePush { .. } => "execute-push",
         Request::Store { .. } => "store",
+        Request::StorePart { .. } => "store-part",
         Request::Remove { .. } => "remove",
         Request::Catalog => "catalog",
         Request::Metrics => "metrics",
@@ -468,6 +469,16 @@ fn handle_request(state: &ServerState, req: &Request) -> Result<Response> {
         }
         Request::Store { name, data } => {
             engine.store(name, data.clone())?;
+            Response::Ack
+        }
+        Request::StorePart {
+            name,
+            partition,
+            data,
+        } => {
+            // Partition-tagged staging: each partition is addressable on
+            // its own, so parallel producers never contend on one name.
+            engine.store(&format!("{name}.p{partition}"), data.clone())?;
             Response::Ack
         }
         Request::Remove { name } => {

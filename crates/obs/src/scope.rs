@@ -88,6 +88,36 @@ pub fn enter(name: impl FnOnce() -> String) -> Option<Node> {
     })
 }
 
+/// A portable copy of the installed scope for handing spans to worker
+/// threads: the tracer, the site, and the current parent span id.
+///
+/// Partition-parallel kernels capture a snapshot on the coordinating
+/// thread (where the scope is installed) and use it to open
+/// `partition:{i}` spans from pool workers via [`Tracer::start`] —
+/// worker threads never install a full scope of their own.
+#[derive(Clone)]
+pub struct Snapshot {
+    /// The tracer the scope records into.
+    pub tracer: Tracer,
+    /// The site label spans are attributed to.
+    pub site: String,
+    /// The innermost open span, if any — the parent for worker spans.
+    pub parent: Option<u64>,
+}
+
+/// Capture the scope installed on this thread, or `None` when untraced.
+pub fn snapshot() -> Option<Snapshot> {
+    SCOPE.with(|s| {
+        let slot = s.borrow();
+        let st = slot.as_ref()?;
+        Some(Snapshot {
+            tracer: st.tracer.clone(),
+            site: st.site.clone(),
+            parent: st.parents.last().copied(),
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +155,26 @@ mod tests {
         assert_eq!(join.parent, None);
         assert_eq!(join.rows, Some(5));
         assert_eq!(join.site, "rel");
+    }
+
+    #[test]
+    fn snapshot_carries_tracer_site_and_parent() {
+        assert!(snapshot().is_none());
+        let t = Tracer::new(3);
+        {
+            let _scope = install(&t, "rel", None);
+            let _outer = enter(|| "op:join".into()).unwrap();
+            let snap = snapshot().unwrap();
+            assert_eq!(snap.site, "rel");
+            // A span started from the snapshot parents under the open node.
+            let guard = snap
+                .tracer
+                .start(snap.parent, || "partition:0".into(), &snap.site);
+            drop(guard);
+        }
+        let trace = t.finish();
+        let join = trace.spans_named("op:join")[0];
+        let part = trace.spans_named("partition:0")[0];
+        assert_eq!(part.parent, Some(join.id));
     }
 }

@@ -14,6 +14,9 @@ use bda_storage::{Chunk, Column, DataSet, RowsChunk, Schema, Value};
 
 use crate::aggregate::aggregate_exec;
 use crate::join::hash_join;
+use crate::parallel::{
+    merge_aggregate_pattern, merge_join_pattern, partitioned_aggregate, partitioned_hash_join,
+};
 use crate::sort::{distinct_exec, sort_exec};
 
 /// Result alias.
@@ -170,6 +173,22 @@ fn execute_node(
                 out_schema,
                 vec![Chunk::Rows(chunk.filter(&mask))],
             ))
+        }
+        // A bare Exchange is a planner marker with bag-identity
+        // semantics: the partition routing happens inside the matching
+        // Merge(op(Exchange..)) kernel, not here.
+        Plan::Exchange { input, .. } => execute(input, tables, state),
+        Plan::Merge { input } => {
+            if let Some((li, ri, on, join_type, parts)) = merge_join_pattern(input) {
+                let l = execute(li, tables, state)?;
+                let r = execute(ri, tables, state)?;
+                partitioned_hash_join(&l, &r, on, join_type, parts, out_schema)
+            } else if let Some((ei, group_by, aggs, parts)) = merge_aggregate_pattern(input) {
+                let in_ds = execute(ei, tables, state)?;
+                partitioned_aggregate(&in_ds, group_by, aggs, parts, out_schema)
+            } else {
+                execute(input, tables, state)
+            }
         }
         Plan::Iterate {
             init,

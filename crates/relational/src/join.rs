@@ -336,6 +336,109 @@ mod tests {
     }
 
     #[test]
+    fn join_inputs_spanning_multiple_chunks_match_contiguous() {
+        // The shape a partitioned producer hands downstream: the same
+        // rows as `left()` but split across three chunks with an empty
+        // chunk in the middle. Join results must not depend on layout.
+        let mut l = DataSet::from_columns(vec![
+            ("k", Column::from(vec![1i64, 2])),
+            ("l", Column::from(vec!["a", "b"])),
+        ])
+        .unwrap();
+        let empty = DataSet::from_rows(l.schema().clone(), &[]).unwrap();
+        for ch in empty.chunks() {
+            l.push_chunk(ch.clone());
+        }
+        let tail = DataSet::from_columns(vec![
+            ("k", Column::from(vec![2i64, 5])),
+            ("l", Column::from(vec!["c", "d"])),
+        ])
+        .unwrap();
+        l.push_chunk(tail.chunks()[0].clone());
+        assert!(l.same_bag(&left()).unwrap());
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let split = hash_join(
+                &l,
+                &right(),
+                &[("k".into(), "k".into())],
+                jt,
+                out_schema(jt),
+            )
+            .unwrap();
+            let contiguous = hash_join(
+                &left(),
+                &right(),
+                &[("k".into(), "k".into())],
+                jt,
+                out_schema(jt),
+            )
+            .unwrap();
+            assert!(
+                split.same_bag(&contiguous).unwrap(),
+                "{jt:?} join changed under multi-chunk layout"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sides_of_every_join_type() {
+        let empty = DataSet::from_rows(left().schema().clone(), &[]).unwrap();
+        let empty_r = DataSet::from_rows(right().schema().clone(), &[]).unwrap();
+        let on = [("k".to_string(), "k".to_string())];
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            // Empty left: nothing to probe with, whatever the type.
+            let out = hash_join(&empty, &right(), &on, jt, out_schema(jt)).unwrap();
+            assert_eq!(out.num_rows(), 0, "{jt:?} with empty left");
+        }
+        // Empty right: inner/semi drop everything, left pads everything,
+        // anti keeps everything.
+        for (jt, expect) in [
+            (JoinType::Inner, 0),
+            (JoinType::Left, left().num_rows()),
+            (JoinType::Semi, 0),
+            (JoinType::Anti, left().num_rows()),
+        ] {
+            let out = hash_join(&left(), &empty_r, &on, jt, out_schema(jt)).unwrap();
+            assert_eq!(out.num_rows(), expect, "{jt:?} with empty right");
+        }
+    }
+
+    #[test]
+    fn all_equal_key_skew_emits_the_full_product() {
+        // Every row in one hash bucket — the worst skew a hash
+        // partitioner can see: one partition holds everything, the rest
+        // are empty. The bucket must still emit the full product.
+        let n = 32usize;
+        let skew = |tag: &str| {
+            DataSet::from_columns(vec![
+                ("k", Column::from(vec![7i64; n])),
+                (tag, Column::from((0..n as i64).collect::<Vec<i64>>())),
+            ])
+            .unwrap()
+        };
+        let l = skew("l");
+        let r = skew("r");
+        let plan = Plan::scan("l", l.schema().clone()).join_as(
+            Plan::scan("r", r.schema().clone()),
+            vec![("k", "k")],
+            JoinType::Inner,
+        );
+        let schema = infer_schema(&plan).unwrap();
+        let out = hash_join(&l, &r, &[("k".into(), "k".into())], JoinType::Inner, schema).unwrap();
+        assert_eq!(out.num_rows(), n * n);
+    }
+
+    #[test]
     fn merge_join_agrees_with_hash_join() {
         let on = ("k".to_string(), "k".to_string());
         let h = hash_join(

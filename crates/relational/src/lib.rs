@@ -11,6 +11,7 @@
 pub mod aggregate;
 pub mod exec;
 pub mod join;
+pub mod parallel;
 pub mod sort;
 
 use bda_core::{CapabilitySet, CoreError, OpKind, Plan, Provider};
@@ -53,6 +54,10 @@ impl RelationalEngine {
             OpKind::TagDims,
             OpKind::UntagDims,
             OpKind::Iterate,
+            // Partition-parallel execution: advertising Exchange/Merge
+            // tells the planner this engine runs partitioned kernels.
+            OpKind::Exchange,
+            OpKind::Merge,
         ])
     }
 

@@ -182,6 +182,44 @@ fn plan_completes_correctly_under_faults_via_retry_and_failover() {
 }
 
 #[test]
+fn chaos_under_parallel_workers_still_converges() {
+    // The same crash + p = 0.3 chaos, but dispatched by the parallel
+    // scheduler with 4 workers and partition-parallel kernels: recovery
+    // semantics must hold per sub-fragment, and the answer must still be
+    // the reference evaluator's.
+    let mut fed = chaos_federation(true);
+    *fed.options_mut() = ExecOptions {
+        workers: 4,
+        ..recovering_options()
+    };
+    let plan = join_matmul_plan(&fed);
+    let (out, metrics) = fed
+        .run(&plan)
+        .expect("parallel recovery completes the plan despite a crash and p=0.3 transients");
+
+    let expected = evaluate(&plan, &oracle()).expect("reference evaluation");
+    assert!(
+        out.same_bag(&expected).unwrap(),
+        "parallel recovered result disagrees with the reference evaluator"
+    );
+    assert!(
+        metrics.failovers > 0,
+        "la1's crash forces failover under parallel dispatch: {metrics}"
+    );
+
+    // Staged intermediates are cleaned up on every provider here too.
+    for p in fed.registry().providers() {
+        for (name, _) in p.catalog() {
+            assert!(
+                !name.starts_with("__bda_frag_"),
+                "staged intermediate `{name}` leaked on `{}`",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn same_faults_without_recovery_fail() {
     let fed = chaos_federation(true);
     let plan = join_matmul_plan(&fed);

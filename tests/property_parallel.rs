@@ -1,0 +1,319 @@
+//! Differential and determinism properties for partition-parallel
+//! execution: every seeded random plan must produce the same bag of rows
+//! whether the federation runs it sequentially or with 2, 4, or 7
+//! workers (and with explicit `exchange`/`merge` markers at arbitrary
+//! partition counts), always agreeing with the reference evaluator. A
+//! maximally parallel run repeated with the same seed must be
+//! byte-identical after canonical ordering, with identical metrics.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use bda::core::reference::evaluate;
+use bda::core::{col, lit, AggExpr, AggFunc, Expr, JoinType, Plan, Provider};
+use bda::federation::{ExecOptions, Federation, Metrics};
+use bda::relational::RelationalEngine;
+use bda::storage::wire::encode_dataset;
+use bda::storage::{DataSet, DataType, Field, Row, Schema, Value};
+
+/// Every worker count the differential property sweeps: sequential, the
+/// even splits, and a prime that never divides the partition count.
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+// ---------------------------------------------------------------------------
+// generators (same shape as tests/property_equivalence.rs)
+// ---------------------------------------------------------------------------
+
+fn t_schema() -> Schema {
+    Schema::new(vec![
+        Field::value("k", DataType::Int64),
+        Field::value("v", DataType::Float64),
+        Field::value("s", DataType::Utf8),
+    ])
+    .unwrap()
+}
+
+prop_compose! {
+    fn arb_row()(
+        k in prop_oneof![2 => (-5i64..5).prop_map(Value::Int), 1 => Just(Value::Null)],
+        v in prop_oneof![2 => (-10i32..10).prop_map(|x| Value::Float(x as f64 / 2.0)), 1 => Just(Value::Null)],
+        s in prop_oneof![2 => "[a-c]{1,2}".prop_map(Value::from), 1 => Just(Value::Null)],
+    ) -> Row {
+        Row(vec![k, v, s])
+    }
+}
+
+prop_compose! {
+    fn arb_table()(rows in prop::collection::vec(arb_row(), 0..25)) -> DataSet {
+        DataSet::from_rows(t_schema(), &rows).unwrap()
+    }
+}
+
+/// Random boolean predicates over the `t` schema.
+fn arb_pred() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-5i64..5).prop_map(|c| col("k").gt(lit(c))),
+        (-5i64..5).prop_map(|c| col("k").le(lit(c))),
+        (-10i32..10).prop_map(|c| col("v").lt(lit(c as f64 / 2.0))),
+        "[a-c]".prop_map(|c| col("s").eq(lit(c.as_str()))),
+        Just(col("k").is_null()),
+        Just(col("v").is_null().not()),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Random schema-preserving pipelines, weighted toward the operators the
+/// parallel planner rewrites (joins) so most cases exercise the
+/// partitioned kernels, not just the identity path. `Limit` is excluded:
+/// it picks an arbitrary subset, which is exactly the nondeterminism this
+/// suite exists to rule out everywhere else.
+fn arb_pipeline() -> impl Strategy<Value = Plan> {
+    let scan = Just(Plan::scan("t", t_schema()));
+    scan.prop_recursive(4, 16, 2, |inner| {
+        prop_oneof![
+            2 => (inner.clone(), arb_pred()).prop_map(|(p, e)| p.select(e)),
+            1 => inner.clone().prop_map(|p| p.distinct()),
+            1 => inner.clone().prop_map(|p| p.sort_by(vec!["k", "s"])),
+            2 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            3 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.join_as(
+                b,
+                vec![("k", "k")],
+                JoinType::Semi
+            )),
+            2 => (inner.clone(), inner.clone()).prop_map(|(a, b)| a.join_as(
+                b,
+                vec![("k", "k")],
+                JoinType::Anti
+            )),
+            1 => inner.clone().prop_map(|p| p.project(vec![
+                ("k", col("k")),
+                ("v", col("v")),
+                ("s", col("s"))
+            ])),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------------
+// harness
+// ---------------------------------------------------------------------------
+
+fn federation_with(ds: &DataSet) -> Federation {
+    let rel = RelationalEngine::new("rel");
+    rel.store("t", ds.clone()).unwrap();
+    let mut fed = Federation::new();
+    fed.register(std::sync::Arc::new(rel));
+    fed
+}
+
+fn oracle_src(ds: &DataSet) -> HashMap<String, DataSet> {
+    let mut m = HashMap::new();
+    m.insert("t".to_string(), ds.clone());
+    m
+}
+
+/// Run `plan` through the federation with an explicit worker count —
+/// never via `BDA_WORKERS`, so tests stay isolated under a parallel test
+/// runner.
+fn run_with_workers(fed: &Federation, plan: &Plan, workers: usize) -> (DataSet, Metrics) {
+    let opts = ExecOptions {
+        workers,
+        ..Default::default()
+    };
+    fed.run_with(plan, &opts)
+        .unwrap_or_else(|e| panic!("workers={workers} failed on plan:\n{plan}\n{e}"))
+}
+
+/// Canonical bytes: sort rows into a total order, then encode. Two runs
+/// that produce the same bag yield identical bytes.
+fn canonical_bytes(ds: &DataSet) -> Vec<u8> {
+    let rows = ds.sorted_rows().unwrap();
+    encode_dataset(&DataSet::from_rows(ds.schema().clone(), &rows).unwrap())
+}
+
+/// The deterministic slice of [`Metrics`]: fragments, messages, plan
+/// bytes, real wire bytes, total transfer bytes, and the per-transfer
+/// `(from, to, bytes)` list — everything except wall-clock style
+/// measurements. Two identical runs must agree on all of it.
+type MetricsFingerprint = (
+    usize,
+    usize,
+    usize,
+    u64,
+    usize,
+    Vec<(String, String, usize)>,
+);
+
+fn metrics_fingerprint(m: &Metrics) -> MetricsFingerprint {
+    (
+        m.fragments,
+        m.messages,
+        m.plan_bytes,
+        m.real_wire_bytes,
+        m.transfers.iter().map(|t| t.bytes).sum(),
+        m.transfers
+            .iter()
+            .map(|t| (t.from.clone(), t.to.clone(), t.bytes))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The core differential property: for every random plan and table,
+    /// the result bag is invariant across the whole worker sweep and
+    /// matches the sequential reference evaluator.
+    #[test]
+    fn parallel_execution_matches_reference(ds in arb_table(), plan in arb_pipeline()) {
+        let fed = federation_with(&ds);
+        let expected = evaluate(&plan, &oracle_src(&ds)).unwrap();
+        for workers in WORKER_SWEEP {
+            let (out, _) = run_with_workers(&fed, &plan, workers);
+            prop_assert_eq!(out.schema(), expected.schema());
+            prop_assert!(
+                out.same_bag(&expected).unwrap(),
+                "workers={} disagrees with reference on plan:\n{}", workers, plan
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Explicit `exchange`/`merge` markers at arbitrary partition counts
+    /// are bag-identity regardless of how many workers run them — even
+    /// when `parts` exceeds, divides, or is coprime to the worker count.
+    #[test]
+    fn explicit_partition_markers_are_bag_identity(
+        ds in arb_table(),
+        plan in arb_pipeline(),
+        parts in 1usize..9,
+        keyed in any::<bool>(),
+    ) {
+        let key = if keyed { Some("k") } else { None };
+        let marked = plan.clone().exchange(parts, key).merge();
+        let fed = federation_with(&ds);
+        let expected = evaluate(&plan, &oracle_src(&ds)).unwrap();
+        for workers in [1, 4] {
+            let (out, _) = run_with_workers(&fed, &marked, workers);
+            prop_assert!(
+                out.same_bag(&expected).unwrap(),
+                "parts={} workers={} broke identity on plan:\n{}", parts, workers, marked
+            );
+        }
+    }
+
+    /// Grouped aggregation — the other partitioned relational kernel —
+    /// agrees with the reference across the worker sweep.
+    #[test]
+    fn parallel_grouped_aggregation_matches_reference(ds in arb_table()) {
+        let plan = Plan::scan("t", t_schema()).aggregate(
+            vec!["s"],
+            vec![
+                AggExpr::new(AggFunc::Sum, col("v"), "sv"),
+                AggExpr::count_star("n"),
+            ],
+        );
+        let fed = federation_with(&ds);
+        let expected = evaluate(&plan, &oracle_src(&ds)).unwrap();
+        for workers in WORKER_SWEEP {
+            let (out, _) = run_with_workers(&fed, &plan, workers);
+            prop_assert!(
+                out.same_bag(&expected).unwrap(),
+                "workers={} disagrees on grouped aggregation", workers
+            );
+        }
+    }
+
+    /// Determinism under maximum parallelism: the same plan run twice at
+    /// 7 workers yields byte-identical canonical encodings and identical
+    /// deterministic metrics — scheduling order must never leak into
+    /// results or accounting.
+    #[test]
+    fn maximum_parallelism_is_deterministic(ds in arb_table(), plan in arb_pipeline()) {
+        let fed = federation_with(&ds);
+        let (out_a, m_a) = run_with_workers(&fed, &plan, 7);
+        let (out_b, m_b) = run_with_workers(&fed, &plan, 7);
+        prop_assert_eq!(
+            canonical_bytes(&out_a),
+            canonical_bytes(&out_b),
+            "two identical runs differ on plan:\n{}", plan
+        );
+        prop_assert_eq!(out_a.num_rows(), out_b.num_rows());
+        prop_assert_eq!(
+            metrics_fingerprint(&m_a),
+            metrics_fingerprint(&m_b),
+            "metrics diverged between identical runs on plan:\n{}", plan
+        );
+        // And the parallel run's canonical bytes match the sequential
+        // ones. (Metrics legitimately differ from sequential: the marked
+        // plan ships more nodes and chunked transfers — only the *rows*
+        // must agree across modes; metrics must agree across reruns.)
+        let (seq, _) = run_with_workers(&fed, &plan, 1);
+        prop_assert_eq!(canonical_bytes(&seq), canonical_bytes(&out_a));
+    }
+}
+
+/// Degenerate partition shapes that property shrinking rarely lands on
+/// exactly: empty inputs, a single row, and total key skew (every row in
+/// one hash partition, the rest empty).
+#[test]
+fn degenerate_partition_shapes_survive_the_sweep() {
+    let empty = DataSet::from_rows(t_schema(), &[]).unwrap();
+    let single = DataSet::from_rows(
+        t_schema(),
+        &[Row(vec![
+            Value::Int(3),
+            Value::Float(1.5),
+            Value::from("a"),
+        ])],
+    )
+    .unwrap();
+    let skewed = DataSet::from_rows(
+        t_schema(),
+        &(0..64)
+            .map(|i| {
+                Row(vec![
+                    Value::Int(7),
+                    Value::Float(i as f64),
+                    Value::from("z"),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    for (label, ds) in [("empty", empty), ("single", single), ("skewed", skewed)] {
+        let fed = federation_with(&ds);
+        let scan = Plan::scan("t", t_schema());
+        let plans = [
+            scan.clone().join(scan.clone(), vec![("k", "k")]),
+            scan.clone()
+                .aggregate(vec!["k"], vec![AggExpr::new(AggFunc::Sum, col("v"), "sv")]),
+            scan.clone().exchange(5, Some("k")).merge(),
+            scan.exchange(3, None).merge(),
+        ];
+        for plan in &plans {
+            let expected = evaluate(plan, &oracle_src(&ds)).unwrap();
+            for workers in WORKER_SWEEP {
+                let (out, _) = run_with_workers(&fed, plan, workers);
+                assert!(
+                    out.same_bag(&expected).unwrap(),
+                    "{label} table, workers={workers} disagrees on plan:\n{plan}"
+                );
+            }
+        }
+    }
+}
