@@ -125,6 +125,62 @@ pub fn read_message<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>, u64), FrameError
     read_message_limited(r, MAX_MESSAGE_BYTES)
 }
 
+/// Try to parse one complete message from the front of `buf` without
+/// consuming from any stream — the incremental entry point the reactor's
+/// non-blocking read path uses (bytes arrive in arbitrary chunks; the
+/// caller keeps an accumulation buffer and drains `consumed` bytes on
+/// success).
+///
+/// * `Ok(Some((kind, payload, consumed)))` — a full message (all frames
+///   through the final one) is present in the first `consumed` bytes.
+/// * `Ok(None)` — the prefix is valid so far but incomplete; read more.
+/// * `Err(_)` — the prefix can never become a valid message (oversized
+///   frame, kind change mid-message, reserved flags, reassembly cap).
+pub fn parse_message(
+    buf: &[u8],
+    max_message_bytes: usize,
+) -> Result<Option<(u8, Vec<u8>, usize)>, FrameError> {
+    let mut off = 0usize;
+    let mut payload = Vec::new();
+    let mut first_kind: Option<u8> = None;
+    loop {
+        if buf.len() < off + HEADER_LEN {
+            return Ok(None);
+        }
+        let header = &buf[off..off + HEADER_LEN];
+        let kind = header[0];
+        let flags = header[1];
+        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+        if flags & !FLAG_MORE != 0 {
+            return Err(FrameError::BadFlags(flags));
+        }
+        if len as usize > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::OversizedFrame { len });
+        }
+        match first_kind {
+            None => first_kind = Some(kind),
+            Some(first) if first != kind => {
+                return Err(FrameError::KindMismatch { first, got: kind })
+            }
+            Some(_) => {}
+        }
+        if payload.len() + len as usize > max_message_bytes {
+            return Err(FrameError::OversizedMessage {
+                total: payload.len() + len as usize,
+            });
+        }
+        if buf.len() < off + HEADER_LEN + len as usize {
+            return Ok(None);
+        }
+        payload.extend_from_slice(&buf[off + HEADER_LEN..off + HEADER_LEN + len as usize]);
+        off += HEADER_LEN + len as usize;
+        if flags & FLAG_MORE == 0 {
+            let kind = first_kind.expect("first_kind set on first iteration");
+            return Ok(Some((kind, payload, off)));
+        }
+    }
+}
+
 /// [`read_message`] with an explicit reassembly cap instead of
 /// [`MAX_MESSAGE_BYTES`] — the 512 MiB production limit is untestable
 /// directly, so tests exercise the overflow path through this.
@@ -258,6 +314,81 @@ mod tests {
         wire.extend_from_slice(&[6, 0, 0, 0, 0, 0]);
         assert!(matches!(
             read_message(&mut wire.as_slice()),
+            Err(FrameError::KindMismatch { first: 5, got: 6 })
+        ));
+    }
+
+    #[test]
+    fn parse_message_handles_every_split_point() {
+        // A three-frame message presented one byte at a time: every
+        // prefix is "incomplete", never an error, and the full buffer
+        // parses to the original message with the exact consumed count.
+        let payload: Vec<u8> = (0..(2 * MAX_FRAME_PAYLOAD + 17))
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let mut wire = Vec::new();
+        write_message(&mut wire, 9, &payload).unwrap();
+        // Sampling every cut of a 2 MiB wire image is slow; probe the
+        // interesting region (frame boundaries) plus a stride elsewhere.
+        let boundary = HEADER_LEN + MAX_FRAME_PAYLOAD;
+        let mut cuts: Vec<usize> = (0..wire.len()).step_by(65_536).collect();
+        cuts.extend(boundary.saturating_sub(3)..boundary + 3);
+        cuts.extend(2 * boundary - 3..2 * boundary + 3);
+        for cut in cuts {
+            assert!(
+                parse_message(&wire[..cut], MAX_MESSAGE_BYTES)
+                    .unwrap()
+                    .is_none(),
+                "cut {cut} should be incomplete"
+            );
+        }
+        let (kind, got, consumed) = parse_message(&wire, MAX_MESSAGE_BYTES).unwrap().unwrap();
+        assert_eq!((kind, consumed), (9, wire.len()));
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn parse_message_leaves_trailing_bytes_unconsumed() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, 4, b"first").unwrap();
+        let first_len = wire.len();
+        write_message(&mut wire, 5, b"second").unwrap();
+        let (kind, payload, consumed) = parse_message(&wire, MAX_MESSAGE_BYTES).unwrap().unwrap();
+        assert_eq!(
+            (kind, payload.as_slice(), consumed),
+            (4, b"first".as_slice(), first_len)
+        );
+        let (kind, payload, _) = parse_message(&wire[consumed..], MAX_MESSAGE_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!((kind, payload.as_slice()), (5, b"second".as_slice()));
+    }
+
+    #[test]
+    fn parse_message_rejects_hopeless_prefixes_early() {
+        // Oversized frame header: rejected from the header alone, before
+        // any payload bytes arrive.
+        let mut wire = vec![1u8, 0];
+        wire.extend_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            parse_message(&wire, MAX_MESSAGE_BYTES),
+            Err(FrameError::OversizedFrame { .. })
+        ));
+        // Reassembly cap: tripped by headers alone too.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&[2, FLAG_MORE, 4, 0, 0, 0]);
+        wire.extend_from_slice(b"abcd");
+        wire.extend_from_slice(&[2, 0, 4, 0, 0, 0]);
+        assert!(matches!(
+            parse_message(&wire, 6),
+            Err(FrameError::OversizedMessage { .. })
+        ));
+        // Kind change mid-message.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&[5, FLAG_MORE, 0, 0, 0, 0]);
+        wire.extend_from_slice(&[6, 0, 0, 0, 0, 0]);
+        assert!(matches!(
+            parse_message(&wire, MAX_MESSAGE_BYTES),
             Err(FrameError::KindMismatch { first: 5, got: 6 })
         ));
     }

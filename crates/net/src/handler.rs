@@ -1,0 +1,408 @@
+//! The protocol-to-engine request handler, factored out of the
+//! thread-per-connection server so *any* serving core can mount it: the
+//! classic blocking server in [`crate::server`] and the sharded
+//! event-loop reactor (`bda-reactor`) both drive the same
+//! [`RequestHandler`], so request semantics, metrics, and structured
+//! logging are identical regardless of how connections are scheduled.
+//!
+//! A handler owns the engine, the metrics hub, and the optional request
+//! log. [`RequestHandler::handle_frame`] is the whole contract: decode a
+//! framed message, execute it, observe it, and return the response —
+//! errors become [`Response::Error`], never panics or I/O.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bda_core::Provider;
+use bda_obs::{MetricsHub, TraceContext, Tracer};
+
+use crate::frame::{read_message, write_message, HEADER_LEN, MAX_FRAME_PAYLOAD};
+use crate::proto::{
+    decode_request, encode_request, encode_response, CatalogEntry, Request, Response,
+};
+use crate::Result;
+
+/// Timeout for the outbound connection a push opens to a peer.
+pub(crate) const PUSH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Where the per-request log lines go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogSink {
+    /// Write to the server process's stderr.
+    Stderr,
+    /// Append to the file at this path (created if absent).
+    File(PathBuf),
+}
+
+/// Everything needed to answer protocol requests against one engine:
+/// the engine itself, the metrics registry every handled request is
+/// charged to, and the optional structured request log.
+pub struct RequestHandler {
+    engine: Arc<dyn Provider>,
+    metrics: MetricsHub,
+    log: Option<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl RequestHandler {
+    /// Build a handler over `engine`. `log`, when given, emits one
+    /// structured `key=value` line per request.
+    pub fn new(
+        engine: Arc<dyn Provider>,
+        metrics: MetricsHub,
+        log: Option<LogSink>,
+    ) -> std::io::Result<RequestHandler> {
+        let log: Option<Mutex<Box<dyn Write + Send>>> = match log {
+            None => None,
+            Some(LogSink::Stderr) => Some(Mutex::new(Box::new(std::io::stderr()))),
+            Some(LogSink::File(path)) => {
+                let f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?;
+                Some(Mutex::new(Box::new(f)))
+            }
+        };
+        Ok(RequestHandler {
+            engine,
+            metrics,
+            log,
+        })
+    }
+
+    /// The engine this handler serves.
+    pub fn engine(&self) -> &Arc<dyn Provider> {
+        &self.engine
+    }
+
+    /// The metrics hub requests are charged to (shared cells).
+    pub fn metrics(&self) -> MetricsHub {
+        self.metrics.clone()
+    }
+
+    /// Decode one framed message (`kind`, `payload`, already-counted
+    /// `req_bytes` off the wire), execute it, charge metrics and the
+    /// request log, and return the reply. Malformed or failing requests
+    /// become [`Response::Error`]; this never panics on network bytes.
+    pub fn handle_frame(&self, kind: u8, payload: &[u8], req_bytes: u64) -> Response {
+        let started = std::time::Instant::now();
+        let (label, traced, response) = match decode_request(kind, payload) {
+            Ok(req) => {
+                let resp = self
+                    .handle_request(&req)
+                    .unwrap_or_else(|e| Response::from_error(&e));
+                (request_kind(&req), is_traced(&req), resp)
+            }
+            Err(e) => ("malformed", false, Response::from_error(&e)),
+        };
+        self.observe(label, traced, started.elapsed(), req_bytes, &response);
+        response
+    }
+
+    /// Charge one handled request to the metrics registry and the log.
+    fn observe(&self, kind: &str, traced: bool, dur: Duration, req_bytes: u64, resp: &Response) {
+        let m = &self.metrics;
+        let (outcome, resp_bytes) = {
+            let (_, payload) = encode_response_size(resp);
+            (response_outcome(resp), payload)
+        };
+        m.counter_labeled(
+            "bda_net_requests_total",
+            &[("kind", kind)],
+            "Requests handled, by kind.",
+        )
+        .inc();
+        if outcome == "error" {
+            m.counter_labeled(
+                "bda_net_request_errors_total",
+                &[("kind", kind)],
+                "Requests answered with an error, by kind.",
+            )
+            .inc();
+            bda_obs::flight::global().record(self.engine.name(), || {
+                format!("request kind={kind} answered with an error")
+            });
+        }
+        m.histogram(
+            "bda_net_request_duration_seconds",
+            "Wall time to handle one request.",
+        )
+        .observe_ns(dur.as_nanos() as u64);
+        m.counter_labeled(
+            "bda_net_wire_bytes_total",
+            &[("direction", "received")],
+            "Framed bytes moved over this server's connections.",
+        )
+        .add(req_bytes);
+        m.counter_labeled(
+            "bda_net_wire_bytes_total",
+            &[("direction", "sent")],
+            "Framed bytes moved over this server's connections.",
+        )
+        .add(resp_bytes);
+        if let Some(log) = &self.log {
+            let mut w = log.lock().expect("request log poisoned");
+            let _ = writeln!(
+                w,
+                "server={} kind={} traced={} dur_us={} req_bytes={} resp_bytes={} outcome={}",
+                self.engine.name(),
+                kind,
+                traced,
+                dur.as_micros(),
+                req_bytes,
+                resp_bytes,
+                outcome,
+            )
+            .and_then(|_| w.flush());
+        }
+    }
+
+    fn handle_request(&self, req: &Request) -> Result<Response> {
+        let engine = self.engine.as_ref();
+        Ok(match req {
+            Request::Hello => Response::Hello {
+                name: engine.name().to_string(),
+                capabilities: engine.capabilities(),
+            },
+            Request::Execute { plan } => Response::DataSet(engine.execute(plan)?),
+            Request::ExecuteStore { name, plan } => {
+                let out = engine.execute(plan)?;
+                engine.store(name, out)?;
+                Response::Ack
+            }
+            Request::ExecutePush {
+                dest_addr,
+                dest_name,
+                plan,
+            } => {
+                let out = engine.execute(plan)?;
+                let bytes = push_to_peer(dest_addr, dest_name, out, &Tracer::disabled(), None)?;
+                Response::Pushed { bytes }
+            }
+            Request::Store { name, data } => {
+                engine.store(name, data.clone())?;
+                Response::Ack
+            }
+            Request::StorePart {
+                name,
+                partition,
+                data,
+            } => {
+                // Partition-tagged staging: each partition is addressable on
+                // its own, so parallel producers never contend on one name.
+                engine.store(&format!("{name}.p{partition}"), data.clone())?;
+                Response::Ack
+            }
+            Request::Remove { name } => {
+                engine.remove(name);
+                Response::Ack
+            }
+            Request::Catalog => Response::Catalog(
+                engine
+                    .catalog()
+                    .into_iter()
+                    .map(|(name, schema)| CatalogEntry {
+                        rows: engine.row_count_of(&name).map(|n| n as u64),
+                        name,
+                        schema,
+                    })
+                    .collect(),
+            ),
+            Request::Metrics => Response::Text(self.metrics.render()),
+            Request::Traced {
+                trace_id, inner, ..
+            } => {
+                // The client does the stitching: server-side spans go back
+                // rootless (in this server's own id/clock space) and the
+                // client remaps, anchors, and parents them. Errors still
+                // travel inside `Traced` so the spans survive the failure.
+                let tracer = Tracer::with_trace_id(*trace_id);
+                let resp = self
+                    .handle_traced(&tracer, inner)
+                    .unwrap_or_else(|e| Response::from_error(&e));
+                Response::Traced {
+                    spans: tracer.take_spans(),
+                    inner: Box::new(resp),
+                }
+            }
+            Request::Pipelined { tag, inner } => {
+                // The tag echoes back around whatever the inner request
+                // produced — including errors, so a pipelining client can
+                // always match a failure to the right in-flight call.
+                let resp = self
+                    .handle_request(inner)
+                    .unwrap_or_else(|e| Response::from_error(&e));
+                Response::Pipelined {
+                    tag: *tag,
+                    inner: Box::new(resp),
+                }
+            }
+        })
+    }
+
+    /// Handle the request inside a [`Request::Traced`] wrapper under a
+    /// `serve:<kind>` span, using the engine's traced entry points so its
+    /// per-operator spans land in the same trace.
+    fn handle_traced(&self, tracer: &Tracer, req: &Request) -> Result<Response> {
+        let engine = self.engine.as_ref();
+        let mut serve = tracer.start(
+            None,
+            || format!("serve:{}", request_kind(req)),
+            engine.name(),
+        );
+        let ctx = TraceContext {
+            trace_id: tracer.trace_id(),
+            parent_span: serve.id().unwrap_or(0),
+        };
+        let resp = match req {
+            Request::Execute { plan } => {
+                let anchor = tracer.now_ns();
+                let (out, spans) = engine.execute_traced(plan, &ctx)?;
+                tracer.absorb_remote(spans, serve.id(), anchor);
+                serve.set_rows(out.num_rows());
+                Response::DataSet(out)
+            }
+            Request::ExecuteStore { name, plan } => {
+                let anchor = tracer.now_ns();
+                let (out, spans) = engine.execute_traced(plan, &ctx)?;
+                tracer.absorb_remote(spans, serve.id(), anchor);
+                serve.set_rows(out.num_rows());
+                engine.store(name, out)?;
+                Response::Ack
+            }
+            Request::ExecutePush {
+                dest_addr,
+                dest_name,
+                plan,
+            } => {
+                let anchor = tracer.now_ns();
+                let (out, spans) = engine.execute_traced(plan, &ctx)?;
+                tracer.absorb_remote(spans, serve.id(), anchor);
+                serve.set_rows(out.num_rows());
+                let bytes = push_to_peer(dest_addr, dest_name, out, tracer, serve.id())?;
+                serve.set_bytes(bytes);
+                Response::Pushed { bytes }
+            }
+            // Control-plane work under the serve span, no deeper spans.
+            other => self.handle_request(other)?,
+        };
+        serve.finish();
+        Ok(resp)
+    }
+}
+
+/// The short request-kind label used in metrics and log lines.
+pub(crate) fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Hello => "hello",
+        Request::Execute { .. } => "execute",
+        Request::ExecuteStore { .. } => "execute-store",
+        Request::ExecutePush { .. } => "execute-push",
+        Request::Store { .. } => "store",
+        Request::StorePart { .. } => "store-part",
+        Request::Remove { .. } => "remove",
+        Request::Catalog => "catalog",
+        Request::Metrics => "metrics",
+        // Wrappers are labelled by the work they carry.
+        Request::Traced { inner, .. } => request_kind(inner),
+        Request::Pipelined { inner, .. } => request_kind(inner),
+    }
+}
+
+/// Whether a trace rides along with this request (looks through
+/// `Pipelined`).
+fn is_traced(req: &Request) -> bool {
+    match req {
+        Request::Traced { .. } => true,
+        Request::Pipelined { inner, .. } => is_traced(inner),
+        _ => false,
+    }
+}
+
+/// Wire size of a `len`-byte payload after framing (header per frame).
+pub(crate) fn framed_size(len: usize) -> u64 {
+    let frames = len.div_ceil(MAX_FRAME_PAYLOAD).max(1);
+    (len + frames * HEADER_LEN) as u64
+}
+
+/// Encoded-response size without keeping the encoding (the connection
+/// handler re-encodes; responses are encoded at most twice, and the log
+/// and metrics want the size before the fault hook may drop the reply).
+fn encode_response_size(resp: &Response) -> (u8, u64) {
+    let (kind, payload) = encode_response(resp);
+    (kind, framed_size(payload.len()))
+}
+
+/// The log/metrics outcome of a response (looks through the wrappers).
+fn response_outcome(resp: &Response) -> &'static str {
+    match resp {
+        Response::Error { .. } => "error",
+        Response::Traced { inner, .. } => response_outcome(inner),
+        Response::Pipelined { inner, .. } => response_outcome(inner),
+        _ => "ok",
+    }
+}
+
+/// The direct server-to-server hop: open a connection to the peer and
+/// store the dataset there, bypassing the application tier entirely.
+/// Returns the framed bytes sent to the peer. With an enabled `tracer`
+/// the store is wrapped in [`Request::Traced`] so the *peer's* spans
+/// come back and land under `parent` in this trace.
+fn push_to_peer(
+    dest_addr: &str,
+    dest_name: &str,
+    data: bda_storage::DataSet,
+    tracer: &Tracer,
+    parent: Option<u64>,
+) -> Result<u64> {
+    use bda_core::CoreError;
+    let net = |e: std::io::Error| CoreError::Net(format!("push to {dest_addr}: {e}"));
+    let addrs: Vec<SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(dest_addr)
+        .map_err(net)?
+        .collect();
+    let addr = addrs
+        .first()
+        .ok_or_else(|| CoreError::Net(format!("no address for peer {dest_addr}")))?;
+    let mut conn = TcpStream::connect_timeout(addr, PUSH_TIMEOUT).map_err(net)?;
+    conn.set_read_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
+    conn.set_write_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
+    let store = Request::Store {
+        name: dest_name.to_string(),
+        data,
+    };
+    let req = if tracer.is_enabled() {
+        Request::Traced {
+            trace_id: tracer.trace_id(),
+            parent_span: parent.unwrap_or(0),
+            inner: Box::new(store),
+        }
+    } else {
+        store
+    };
+    let anchor = tracer.now_ns();
+    let (kind, payload) = encode_request(&req);
+    let sent = write_message(&mut conn, kind, &payload).map_err(net)?;
+    conn.flush().map_err(net)?;
+    let (rkind, rpayload, _) =
+        read_message(&mut conn).map_err(|e| CoreError::Net(format!("push to {dest_addr}: {e}")))?;
+    let mut resp = crate::proto::decode_response(rkind, &rpayload)?;
+    if let Response::Traced { spans, inner } = resp {
+        tracer.absorb_remote(spans, parent, anchor);
+        resp = *inner;
+    }
+    match resp {
+        Response::Ack => Ok(sent),
+        Response::Error { msg, transient } if transient => Err(CoreError::transient(
+            CoreError::Net(format!("peer {dest_addr}: {msg}")),
+        )),
+        Response::Error { msg, .. } => Err(CoreError::Remote {
+            addr: dest_addr.to_string(),
+            msg,
+        }),
+        other => Err(CoreError::Net(format!(
+            "unexpected push response: {other:?}"
+        ))),
+    }
+}

@@ -24,6 +24,8 @@
 
 pub mod client;
 pub mod frame;
+pub mod handler;
+pub mod pipeline;
 pub mod proto;
 pub mod server;
 
@@ -31,6 +33,8 @@ pub use client::{jittered, RemoteOptions, RemoteProvider, RetryPolicy};
 pub use frame::{
     read_message_limited, FrameError, FLAG_MORE, HEADER_LEN, MAX_FRAME_PAYLOAD, MAX_MESSAGE_BYTES,
 };
+pub use handler::RequestHandler;
+pub use pipeline::{Pending, PipelinedClient};
 pub use proto::{CatalogEntry, Request, Response};
 pub use server::{
     serve, serve_with, serve_with_faults, LogSink, NetFaults, ServeOptions, ServerHandle,

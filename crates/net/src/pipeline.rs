@@ -1,0 +1,307 @@
+//! Client-side request pipelining: one connection, many in-flight
+//! requests, responses matched by tag.
+//!
+//! [`RemoteProvider`](crate::RemoteProvider) is strictly
+//! request/response — its throughput on one connection is bounded by
+//! round-trip latency. A [`PipelinedClient`] removes that bound: every
+//! request is wrapped in [`Request::Pipelined`] with a fresh tag and
+//! written immediately; a background reader thread demultiplexes
+//! [`Response::Pipelined`] replies to their waiting callers in whatever
+//! order the server finishes them. Any thread may send; sends interleave
+//! under a write lock at message granularity (frames of one message are
+//! never interleaved with another's).
+//!
+//! The tagged wrapper is understood by *both* serving cores — the
+//! thread-per-connection server answers serially, the `bda-reactor`
+//! event-loop core genuinely out of order — so the same client drives
+//! either.
+//!
+//! Failure model: if the connection dies (EOF, reset, malformed reply),
+//! every in-flight and future call fails with a `CoreError::Net`
+//! immediately — nothing hangs waiting on a tag that can never arrive.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use bda_core::CoreError;
+
+use crate::frame::{read_message, write_message};
+use crate::proto::{decode_response, encode_request, Request, Response};
+use crate::Result;
+
+/// Shared between callers and the reader thread: who is waiting on which
+/// tag, and — once the connection dies — why.
+struct Shared {
+    waiting: Mutex<HashMap<u64, mpsc::Sender<Result<Response>>>>,
+    dead: Mutex<Option<String>>,
+}
+
+impl Shared {
+    /// Mark the connection dead and fail every waiter.
+    fn die(&self, reason: String) {
+        let mut dead = self.dead.lock().expect("dead flag poisoned");
+        if dead.is_none() {
+            *dead = Some(reason.clone());
+        }
+        let reason = dead.clone().expect("just set");
+        drop(dead);
+        let mut waiting = self.waiting.lock().expect("waiting map poisoned");
+        for (_, tx) in waiting.drain() {
+            let _ = tx.send(Err(CoreError::Net(reason.clone())));
+        }
+    }
+
+    fn dead_reason(&self) -> Option<String> {
+        self.dead.lock().expect("dead flag poisoned").clone()
+    }
+}
+
+/// A pipelined protocol connection: many concurrent in-flight requests
+/// over one socket, matched by tag.
+pub struct PipelinedClient {
+    writer: Mutex<TcpStream>,
+    shared: Arc<Shared>,
+    next_tag: AtomicU64,
+    reader: Option<std::thread::JoinHandle<()>>,
+    /// Clone of the socket used to force-unblock the reader on drop.
+    stream: TcpStream,
+}
+
+/// One in-flight pipelined request; redeem it with [`Pending::wait`].
+pub struct Pending {
+    tag: u64,
+    rx: mpsc::Receiver<Result<Response>>,
+    shared: Arc<Shared>,
+}
+
+impl Pending {
+    /// The request's correlation tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Block until the response arrives or `timeout` passes. A timeout
+    /// abandons the tag: a late reply is discarded by the reader.
+    pub fn wait(self, timeout: Duration) -> Result<Response> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                self.shared
+                    .waiting
+                    .lock()
+                    .expect("waiting map poisoned")
+                    .remove(&self.tag);
+                Err(CoreError::transient(CoreError::Net(format!(
+                    "pipelined request tag {} timed out after {timeout:?}",
+                    self.tag
+                ))))
+            }
+        }
+    }
+}
+
+impl PipelinedClient {
+    /// Connect to a protocol server at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<PipelinedClient> {
+        PipelinedClient::connect_with(addr, Duration::from_secs(10))
+    }
+
+    /// [`PipelinedClient::connect`] with an explicit connect timeout.
+    /// Reads have no timeout — the reader thread parks until data or
+    /// EOF; liveness is the caller's per-request [`Pending::wait`].
+    pub fn connect_with(addr: &str, connect_timeout: Duration) -> Result<PipelinedClient> {
+        let net = |e: std::io::Error| CoreError::Net(format!("connect to {addr}: {e}"));
+        let addrs: Vec<std::net::SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(addr)
+            .map_err(net)?
+            .collect();
+        let sock = addrs
+            .first()
+            .ok_or_else(|| CoreError::Net(format!("no address for {addr}")))?;
+        let stream = TcpStream::connect_timeout(sock, connect_timeout).map_err(net)?;
+        stream.set_nodelay(true).map_err(net)?;
+        let shared = Arc::new(Shared {
+            waiting: Mutex::new(HashMap::new()),
+            dead: Mutex::new(None),
+        });
+        let reader_stream = stream.try_clone().map_err(net)?;
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name("bda-pipeline-reader".to_string())
+            .spawn(move || read_loop(reader_stream, reader_shared))
+            .map_err(net)?;
+        Ok(PipelinedClient {
+            writer: Mutex::new(stream.try_clone().map_err(net)?),
+            shared,
+            next_tag: AtomicU64::new(1),
+            reader: Some(reader),
+            stream,
+        })
+    }
+
+    /// Number of requests currently awaiting a response.
+    pub fn in_flight(&self) -> usize {
+        self.shared
+            .waiting
+            .lock()
+            .expect("waiting map poisoned")
+            .len()
+    }
+
+    /// Send `req` tagged and return a [`Pending`] handle immediately —
+    /// the pipelining primitive: issue many of these before waiting.
+    pub fn send(&self, req: &Request) -> Result<Pending> {
+        if let Some(reason) = self.shared.dead_reason() {
+            return Err(CoreError::Net(reason));
+        }
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .waiting
+            .lock()
+            .expect("waiting map poisoned")
+            .insert(tag, tx);
+        let wrapped = Request::Pipelined {
+            tag,
+            inner: Box::new(req.clone()),
+        };
+        let (kind, payload) = encode_request(&wrapped);
+        let outcome = {
+            let mut w = self.writer.lock().expect("writer poisoned");
+            write_message(&mut *w, kind, &payload).and_then(|_| w.flush())
+        };
+        if let Err(e) = outcome {
+            let reason = format!("pipelined write failed: {e}");
+            self.shared.die(reason.clone());
+            return Err(CoreError::Net(reason));
+        }
+        Ok(Pending {
+            tag,
+            rx,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Send `req` and block for its reply (still benefits from other
+    /// threads' requests sharing the connection).
+    pub fn call(&self, req: &Request, timeout: Duration) -> Result<Response> {
+        self.send(req)?.wait(timeout)
+    }
+}
+
+impl Drop for PipelinedClient {
+    fn drop(&mut self) {
+        // Shut the socket down so the parked reader sees EOF and exits.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The demultiplexer: read replies forever, delivering each to the tag's
+/// waiter. Any read or protocol error kills the connection and fails all
+/// waiters — a pipelined stream cannot be resynchronized after damage.
+fn read_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    loop {
+        let (kind, payload, _) = match read_message(&mut stream) {
+            Ok(got) => got,
+            Err(e) => {
+                shared.die(format!("pipelined connection lost: {e}"));
+                return;
+            }
+        };
+        match decode_response(kind, &payload) {
+            Ok(Response::Pipelined { tag, inner }) => {
+                let waiter = shared
+                    .waiting
+                    .lock()
+                    .expect("waiting map poisoned")
+                    .remove(&tag);
+                if let Some(tx) = waiter {
+                    // A dropped/timed-out waiter just discards the reply.
+                    let _ = tx.send(Ok(*inner));
+                }
+            }
+            Ok(other) => {
+                shared.die(format!(
+                    "pipelined stream returned an untagged response: {other:?}"
+                ));
+                return;
+            }
+            Err(e) => {
+                shared.die(format!("pipelined response decode failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_core::{Plan, Provider, ReferenceProvider};
+    use bda_storage::{Column, DataSet};
+    use std::sync::Arc;
+
+    fn sample() -> DataSet {
+        DataSet::from_columns(vec![
+            ("k", Column::from(vec![1i64, 2, 3, 4])),
+            ("v", Column::from(vec![1.0f64, 2.0, 3.0, 4.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn many_in_flight_requests_on_one_connection() {
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        engine.store("t", sample()).unwrap();
+        let server = crate::serve(engine, "127.0.0.1:0").unwrap();
+        let client = PipelinedClient::connect(&server.addr().to_string()).unwrap();
+
+        // Fire eight requests before reading any reply.
+        let plan = Plan::scan("t", sample().schema().clone());
+        let pending: Vec<Pending> = (0..8)
+            .map(|i| {
+                let req = if i % 2 == 0 {
+                    Request::Execute { plan: plan.clone() }
+                } else {
+                    Request::Catalog
+                };
+                client.send(&req).unwrap()
+            })
+            .collect();
+        assert!(client.in_flight() >= 1);
+        for (i, p) in pending.into_iter().enumerate() {
+            let resp = p.wait(Duration::from_secs(10)).unwrap();
+            if i % 2 == 0 {
+                assert!(matches!(resp, Response::DataSet(_)), "{resp:?}");
+            } else {
+                assert!(matches!(resp, Response::Catalog(_)), "{resp:?}");
+            }
+        }
+        assert_eq!(client.in_flight(), 0);
+    }
+
+    #[test]
+    fn server_death_fails_all_waiters_not_hangs() {
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        let mut server = crate::serve(engine, "127.0.0.1:0").unwrap();
+        let client = PipelinedClient::connect(&server.addr().to_string()).unwrap();
+        let p = client.send(&Request::Hello).unwrap();
+        // Consume the reply so the next send races server shutdown.
+        p.wait(Duration::from_secs(5)).unwrap();
+        server.shutdown();
+        // Whether the send itself fails or the wait does, nothing hangs.
+        if let Ok(p) = client.send(&Request::Hello) {
+            let err = p.wait(Duration::from_secs(5));
+            assert!(err.is_err(), "reply from a dead server?");
+        }
+        // Once dead, sends fail fast.
+        std::thread::sleep(Duration::from_millis(300));
+        assert!(client.send(&Request::Hello).is_err());
+    }
+}

@@ -97,6 +97,20 @@ pub enum Request {
         /// The request to handle.
         inner: Box<Request>,
     },
+    /// A tagged request on a pipelined connection: the client may have
+    /// many of these in flight on one socket, and the server matches its
+    /// reply by echoing `tag` in [`Response::Pipelined`]. Replies to
+    /// tagged requests may arrive in any order; `Pipelined` is always
+    /// the outermost wrapper (it may carry `Traced`, never another
+    /// `Pipelined`). The thread-per-connection server also understands
+    /// it (serially), so a pipelining client works against either
+    /// serving core.
+    Pipelined {
+        /// Client-chosen correlation tag, echoed back verbatim.
+        tag: u64,
+        /// The request to handle.
+        inner: Box<Request>,
+    },
 }
 
 /// A server-to-client message.
@@ -133,6 +147,15 @@ pub enum Response {
         /// The wrapped reply.
         inner: Box<Response>,
     },
+    /// The reply to a [`Request::Pipelined`]: the inner response tagged
+    /// with the request's correlation tag so the client can match it to
+    /// the right in-flight request regardless of arrival order.
+    Pipelined {
+        /// The request's tag, echoed verbatim.
+        tag: u64,
+        /// The wrapped reply.
+        inner: Box<Response>,
+    },
     /// The request failed server-side; the display string of the error
     /// plus whether the server considers it transient (safe to retry).
     Error {
@@ -164,6 +187,7 @@ const K_STORE_PART: u8 = 0x09;
 const K_CATALOG: u8 = 0x07;
 const K_METRICS: u8 = 0x08;
 const K_TRACED: u8 = 0x10;
+const K_PIPELINED: u8 = 0x11;
 const K_R_HELLO: u8 = 0x81;
 const K_R_DATASET: u8 = 0x82;
 const K_R_ACK: u8 = 0x83;
@@ -171,6 +195,7 @@ const K_R_PUSHED: u8 = 0x84;
 const K_R_CATALOG: u8 = 0x85;
 const K_R_TEXT: u8 = 0x86;
 const K_R_TRACED: u8 = 0x87;
+const K_R_PIPELINED: u8 = 0x88;
 const K_R_ERROR: u8 = 0xFF;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
@@ -269,8 +294,52 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             put_block(&mut buf, &inner_payload);
             K_TRACED
         }
+        Request::Pipelined { tag, inner } => {
+            buf.put_u64_le(*tag);
+            let (inner_kind, inner_payload) = encode_request(inner);
+            buf.put_u8(inner_kind);
+            put_block(&mut buf, &inner_payload);
+            K_PIPELINED
+        }
     };
     (kind, buf.to_vec())
+}
+
+/// Cheap peek at a [`Request::Pipelined`] wrapper: `(tag, inner kind)`
+/// without decoding the inner payload (which may embed a large dataset).
+/// The reactor's event loop uses this to classify and tag a request
+/// before any expensive decoding — and to address a shed reply — while
+/// full decoding happens on an executor worker. `None` when `kind` is
+/// not a pipelined request or the prefix is malformed.
+pub fn peek_pipelined(kind: u8, payload: &[u8]) -> Option<(u64, u8)> {
+    if kind != K_PIPELINED || payload.len() < 9 {
+        return None;
+    }
+    let tag = u64::from_le_bytes(payload[..8].try_into().expect("8-byte prefix"));
+    Some((tag, payload[8]))
+}
+
+/// Whether `kind` is the [`Request::Pipelined`] frame kind.
+pub fn is_pipelined_kind(kind: u8) -> bool {
+    kind == K_PIPELINED
+}
+
+/// Raw request kind bytes, for serving cores that must classify a
+/// message *before* decoding it (the reactor's admission control reads
+/// one byte to pick a priority queue; full decoding happens later on an
+/// executor worker).
+pub mod kind {
+    pub const HELLO: u8 = super::K_HELLO;
+    pub const EXECUTE: u8 = super::K_EXECUTE;
+    pub const EXECUTE_STORE: u8 = super::K_EXECUTE_STORE;
+    pub const EXECUTE_PUSH: u8 = super::K_EXECUTE_PUSH;
+    pub const STORE: u8 = super::K_STORE;
+    pub const STORE_PART: u8 = super::K_STORE_PART;
+    pub const REMOVE: u8 = super::K_REMOVE;
+    pub const CATALOG: u8 = super::K_CATALOG;
+    pub const METRICS: u8 = super::K_METRICS;
+    pub const TRACED: u8 = super::K_TRACED;
+    pub const PIPELINED: u8 = super::K_PIPELINED;
 }
 
 /// Decode a request from a frame kind and payload.
@@ -315,6 +384,18 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
             Request::Traced {
                 trace_id,
                 parent_span,
+                inner: Box::new(decode_request(inner_kind, inner_payload)?),
+            }
+        }
+        K_PIPELINED => {
+            let tag = r.u64("pipeline tag")?;
+            let inner_kind = r.u8("pipelined inner kind")?;
+            if inner_kind == K_PIPELINED {
+                return Err(corrupt("pipelined request must not nest"));
+            }
+            let inner_payload = read_block(&mut r, "pipelined inner payload")?;
+            Request::Pipelined {
+                tag,
                 inner: Box::new(decode_request(inner_kind, inner_payload)?),
             }
         }
@@ -373,6 +454,13 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             buf.put_u8(inner_kind);
             put_block(&mut buf, &inner_payload);
             K_R_TRACED
+        }
+        Response::Pipelined { tag, inner } => {
+            buf.put_u64_le(*tag);
+            let (inner_kind, inner_payload) = encode_response(inner);
+            buf.put_u8(inner_kind);
+            put_block(&mut buf, &inner_payload);
+            K_R_PIPELINED
         }
         Response::Error { msg, transient } => {
             buf.put_u8(u8::from(*transient));
@@ -441,6 +529,18 @@ pub fn decode_response(kind: u8, payload: &[u8]) -> Result<Response> {
             let inner_payload = read_block(&mut r, "traced inner payload")?;
             Response::Traced {
                 spans,
+                inner: Box::new(decode_response(inner_kind, inner_payload)?),
+            }
+        }
+        K_R_PIPELINED => {
+            let tag = r.u64("pipeline tag")?;
+            let inner_kind = r.u8("pipelined inner kind")?;
+            if inner_kind == K_R_PIPELINED {
+                return Err(corrupt("pipelined response must not nest"));
+            }
+            let inner_payload = read_block(&mut r, "pipelined inner payload")?;
+            Response::Pipelined {
+                tag,
                 inner: Box::new(decode_response(inner_kind, inner_payload)?),
             }
         }
@@ -563,6 +663,72 @@ mod tests {
             }),
         });
         assert!(decode_response(rkind, &rpayload).is_err());
+    }
+
+    #[test]
+    fn pipelined_messages_round_trip_and_never_nest() {
+        let ds = sample_dataset();
+        let plan = Plan::scan("t", ds.schema().clone()).limit(2);
+        request_round_trip(Request::Pipelined {
+            tag: 0xABCD_EF01_2345_6789,
+            inner: Box::new(Request::Execute { plan: plan.clone() }),
+        });
+        // Pipelined may carry Traced (outermost wrapper rule).
+        request_round_trip(Request::Pipelined {
+            tag: 7,
+            inner: Box::new(Request::Traced {
+                trace_id: 1,
+                parent_span: 0,
+                inner: Box::new(Request::Execute { plan }),
+            }),
+        });
+        response_round_trip(Response::Pipelined {
+            tag: 42,
+            inner: Box::new(Response::DataSet(ds)),
+        });
+        response_round_trip(Response::Pipelined {
+            tag: u64::MAX,
+            inner: Box::new(Response::Error {
+                msg: "server overloaded".into(),
+                transient: true,
+            }),
+        });
+        // Nesting is rejected on decode, both directions.
+        let (kind, payload) = encode_request(&Request::Pipelined {
+            tag: 1,
+            inner: Box::new(Request::Pipelined {
+                tag: 2,
+                inner: Box::new(Request::Catalog),
+            }),
+        });
+        assert!(decode_request(kind, &payload).is_err());
+        let (rkind, rpayload) = encode_response(&Response::Pipelined {
+            tag: 1,
+            inner: Box::new(Response::Pipelined {
+                tag: 2,
+                inner: Box::new(Response::Ack),
+            }),
+        });
+        assert!(decode_response(rkind, &rpayload).is_err());
+    }
+
+    #[test]
+    fn peek_pipelined_reads_tag_and_inner_kind_without_decoding() {
+        let (kind, payload) = encode_request(&Request::Pipelined {
+            tag: 0xFEED,
+            inner: Box::new(Request::Store {
+                name: "t".into(),
+                data: sample_dataset(),
+            }),
+        });
+        assert!(is_pipelined_kind(kind));
+        let (tag, inner_kind) = peek_pipelined(kind, &payload).unwrap();
+        assert_eq!(tag, 0xFEED);
+        assert_eq!(inner_kind, super::K_STORE);
+        // Not pipelined, or too short: no peek.
+        let (kind, payload) = encode_request(&Request::Catalog);
+        assert!(peek_pipelined(kind, &payload).is_none());
+        assert!(peek_pipelined(super::K_PIPELINED, &[0; 8]).is_none());
     }
 
     #[test]

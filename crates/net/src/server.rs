@@ -1,7 +1,9 @@
 //! The server side: wrap any `Provider` behind a TCP listener speaking
 //! the framed protocol. One OS thread accepts; one thread per
 //! connection serves requests until the peer hangs up or the server
-//! shuts down.
+//! shuts down. (The sharded event-loop alternative lives in
+//! `bda-reactor`; both cores mount the same [`RequestHandler`], so
+//! request semantics and observability are identical.)
 //!
 //! Observability (see DESIGN.md, "Observability"):
 //!
@@ -24,30 +26,26 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bda_core::Provider;
-use bda_obs::{MetricsHub, TraceContext, Tracer};
+use bda_obs::MetricsHub;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::frame::{read_message, write_message, HEADER_LEN, MAX_FRAME_PAYLOAD};
-use crate::proto::{
-    decode_request, encode_request, encode_response, CatalogEntry, Request, Response,
-};
-use crate::Result;
+use crate::frame::{read_message, write_message};
+use crate::handler::{RequestHandler, PUSH_TIMEOUT};
+use crate::proto::encode_response;
+
+pub use crate::handler::LogSink;
 
 /// How long a connection handler blocks in a read before re-checking the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
-
-/// Timeout for the outbound connection a push opens to a peer.
-const PUSH_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A running provider server; dropping it shuts the server down.
 pub struct ServerHandle {
@@ -79,15 +77,6 @@ impl NetFaults {
             truncate_rate: p,
         }
     }
-}
-
-/// Where the per-request log lines go.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LogSink {
-    /// Write to the server process's stderr.
-    Stderr,
-    /// Append to the file at this path (created if absent).
-    File(PathBuf),
 }
 
 /// Server configuration beyond the bind address.
@@ -131,14 +120,6 @@ impl FaultState {
     }
 }
 
-/// Everything a connection handler needs: the engine, the metrics
-/// registry, and the optional request log.
-struct ServerState {
-    engine: Arc<dyn Provider>,
-    metrics: MetricsHub,
-    log: Option<Mutex<Box<dyn Write + Send>>>,
-}
-
 /// Serve `engine` on `bind` (e.g. `"127.0.0.1:0"` for an ephemeral
 /// port). Returns once the listener is bound; requests are handled on
 /// background threads.
@@ -175,30 +156,19 @@ pub fn serve_with(
             faults,
         })
     });
-    let log: Option<Mutex<Box<dyn Write + Send>>> = match opts.log {
-        None => None,
-        Some(LogSink::Stderr) => Some(Mutex::new(Box::new(std::io::stderr()))),
-        Some(LogSink::File(path)) => {
-            let f = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)?;
-            Some(Mutex::new(Box::new(f)))
-        }
-    };
-    let state = Arc::new(ServerState {
+    let handler = Arc::new(RequestHandler::new(
         engine,
-        metrics: opts.metrics.unwrap_or_default(),
-        log,
-    });
-    let metrics = state.metrics.clone();
+        opts.metrics.unwrap_or_default(),
+        opts.log,
+    )?);
+    let metrics = handler.metrics();
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread = std::thread::Builder::new()
-        .name(format!("bda-served-{}", state.engine.name()))
-        .spawn(move || accept_loop(listener, state, accept_shutdown, faults))?;
+        .name(format!("bda-served-{}", handler.engine().name()))
+        .spawn(move || accept_loop(listener, handler, accept_shutdown, faults))?;
     Ok(ServerHandle {
         addr,
         metrics,
@@ -241,7 +211,7 @@ impl Drop for ServerHandle {
 
 fn accept_loop(
     listener: TcpListener,
-    state: Arc<ServerState>,
+    handler: Arc<RequestHandler>,
     shutdown: Arc<AtomicBool>,
     faults: Option<Arc<FaultState>>,
 ) {
@@ -254,12 +224,12 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let conn_state = Arc::clone(&state);
+        let conn_handler = Arc::clone(&handler);
         let conn_shutdown = Arc::clone(&shutdown);
         let conn_faults = faults.clone();
         if let Ok(h) = std::thread::Builder::new()
             .name("bda-served-conn".to_string())
-            .spawn(move || handle_connection(conn, conn_state, conn_shutdown, conn_faults))
+            .spawn(move || handle_connection(conn, conn_handler, conn_shutdown, conn_faults))
         {
             handlers.push(h);
         }
@@ -270,109 +240,9 @@ fn accept_loop(
     }
 }
 
-/// The short request-kind label used in metrics and log lines.
-fn request_kind(req: &Request) -> &'static str {
-    match req {
-        Request::Hello => "hello",
-        Request::Execute { .. } => "execute",
-        Request::ExecuteStore { .. } => "execute-store",
-        Request::ExecutePush { .. } => "execute-push",
-        Request::Store { .. } => "store",
-        Request::StorePart { .. } => "store-part",
-        Request::Remove { .. } => "remove",
-        Request::Catalog => "catalog",
-        Request::Metrics => "metrics",
-        // A traced wrapper is labelled by the work it carries.
-        Request::Traced { inner, .. } => request_kind(inner),
-    }
-}
-
-/// Wire size of a `len`-byte payload after framing (header per frame).
-fn framed_size(len: usize) -> u64 {
-    let frames = len.div_ceil(MAX_FRAME_PAYLOAD).max(1);
-    (len + frames * HEADER_LEN) as u64
-}
-
-impl ServerState {
-    /// Charge one handled request to the metrics registry and the log.
-    fn observe(&self, kind: &str, traced: bool, dur: Duration, req_bytes: u64, resp: &Response) {
-        let m = &self.metrics;
-        let (outcome, resp_bytes) = {
-            let (_, payload) = encode_response_size(resp);
-            (response_outcome(resp), payload)
-        };
-        m.counter_labeled(
-            "bda_net_requests_total",
-            &[("kind", kind)],
-            "Requests handled, by kind.",
-        )
-        .inc();
-        if outcome == "error" {
-            m.counter_labeled(
-                "bda_net_request_errors_total",
-                &[("kind", kind)],
-                "Requests answered with an error, by kind.",
-            )
-            .inc();
-            bda_obs::flight::global().record(self.engine.name(), || {
-                format!("request kind={kind} answered with an error")
-            });
-        }
-        m.histogram(
-            "bda_net_request_duration_seconds",
-            "Wall time to handle one request.",
-        )
-        .observe_ns(dur.as_nanos() as u64);
-        m.counter_labeled(
-            "bda_net_wire_bytes_total",
-            &[("direction", "received")],
-            "Framed bytes moved over this server's connections.",
-        )
-        .add(req_bytes);
-        m.counter_labeled(
-            "bda_net_wire_bytes_total",
-            &[("direction", "sent")],
-            "Framed bytes moved over this server's connections.",
-        )
-        .add(resp_bytes);
-        if let Some(log) = &self.log {
-            let mut w = log.lock().expect("request log poisoned");
-            let _ = writeln!(
-                w,
-                "server={} kind={} traced={} dur_us={} req_bytes={} resp_bytes={} outcome={}",
-                self.engine.name(),
-                kind,
-                traced,
-                dur.as_micros(),
-                req_bytes,
-                resp_bytes,
-                outcome,
-            )
-            .and_then(|_| w.flush());
-        }
-    }
-}
-
-/// Encoded-response size without keeping the encoding (the connection
-/// handler re-encodes; responses are encoded at most twice, and the log
-/// and metrics want the size before the fault hook may drop the reply).
-fn encode_response_size(resp: &Response) -> (u8, u64) {
-    let (kind, payload) = encode_response(resp);
-    (kind, framed_size(payload.len()))
-}
-
-/// The log/metrics outcome of a response (looks through `Traced`).
-fn response_outcome(resp: &Response) -> &'static str {
-    match resp {
-        Response::Error { .. } => "error",
-        Response::Traced { inner, .. } => response_outcome(inner),
-        _ => "ok",
-    }
-}
-
 fn handle_connection(
     mut conn: TcpStream,
-    state: Arc<ServerState>,
+    handler: Arc<RequestHandler>,
     shutdown: Arc<AtomicBool>,
     faults: Option<Arc<FaultState>>,
 ) {
@@ -406,20 +276,7 @@ fn handle_connection(
             // Peer hung up, stalled, or sent garbage: close.
             Err(_) => return,
         };
-        let started = std::time::Instant::now();
-        let (label, traced, response) = match decode_request(kind, &payload) {
-            Ok(req) => {
-                let resp =
-                    handle_request(&state, &req).unwrap_or_else(|e| Response::from_error(&e));
-                (
-                    request_kind(&req),
-                    matches!(req, Request::Traced { .. }),
-                    resp,
-                )
-            }
-            Err(e) => ("malformed", false, Response::from_error(&e)),
-        };
-        state.observe(label, traced, started.elapsed(), req_bytes, &response);
+        let response = handler.handle_frame(kind, &payload, req_bytes);
         let (rkind, rpayload) = encode_response(&response);
         match faults.as_ref().map(|f| f.decide()) {
             Some(FaultAction::Drop) => return, // close without replying
@@ -445,184 +302,34 @@ fn handle_connection(
     }
 }
 
-fn handle_request(state: &ServerState, req: &Request) -> Result<Response> {
-    let engine = state.engine.as_ref();
-    Ok(match req {
-        Request::Hello => Response::Hello {
-            name: engine.name().to_string(),
-            capabilities: engine.capabilities(),
-        },
-        Request::Execute { plan } => Response::DataSet(engine.execute(plan)?),
-        Request::ExecuteStore { name, plan } => {
-            let out = engine.execute(plan)?;
-            engine.store(name, out)?;
-            Response::Ack
-        }
-        Request::ExecutePush {
-            dest_addr,
-            dest_name,
-            plan,
-        } => {
-            let out = engine.execute(plan)?;
-            let bytes = push_to_peer(dest_addr, dest_name, out, &Tracer::disabled(), None)?;
-            Response::Pushed { bytes }
-        }
-        Request::Store { name, data } => {
-            engine.store(name, data.clone())?;
-            Response::Ack
-        }
-        Request::StorePart {
-            name,
-            partition,
-            data,
-        } => {
-            // Partition-tagged staging: each partition is addressable on
-            // its own, so parallel producers never contend on one name.
-            engine.store(&format!("{name}.p{partition}"), data.clone())?;
-            Response::Ack
-        }
-        Request::Remove { name } => {
-            engine.remove(name);
-            Response::Ack
-        }
-        Request::Catalog => Response::Catalog(
-            engine
-                .catalog()
-                .into_iter()
-                .map(|(name, schema)| CatalogEntry {
-                    rows: engine.row_count_of(&name).map(|n| n as u64),
-                    name,
-                    schema,
-                })
-                .collect(),
-        ),
-        Request::Metrics => Response::Text(state.metrics.render()),
-        Request::Traced {
-            trace_id, inner, ..
-        } => {
-            // The client does the stitching: server-side spans go back
-            // rootless (in this server's own id/clock space) and the
-            // client remaps, anchors, and parents them. Errors still
-            // travel inside `Traced` so the spans survive the failure.
-            let tracer = Tracer::with_trace_id(*trace_id);
-            let resp =
-                handle_traced(state, &tracer, inner).unwrap_or_else(|e| Response::from_error(&e));
-            Response::Traced {
-                spans: tracer.take_spans(),
-                inner: Box::new(resp),
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Request, Response};
+    use bda_core::ReferenceProvider;
+
+    #[test]
+    fn pipelined_requests_work_on_the_blocking_server_too() {
+        // The thread-per-connection core answers tagged requests serially
+        // but correctly: same handler, so a pipelining client can talk to
+        // either serving core.
+        let engine = Arc::new(ReferenceProvider::new("ref"));
+        let server = serve(engine, "127.0.0.1:0").unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let req = Request::Pipelined {
+            tag: 99,
+            inner: Box::new(Request::Hello),
+        };
+        let (kind, payload) = crate::proto::encode_request(&req);
+        write_message(&mut conn, kind, &payload).unwrap();
+        Write::flush(&mut conn).unwrap();
+        let (rkind, rpayload, _) = read_message(&mut conn).unwrap();
+        match crate::proto::decode_response(rkind, &rpayload).unwrap() {
+            Response::Pipelined { tag, inner } => {
+                assert_eq!(tag, 99);
+                assert!(matches!(*inner, Response::Hello { .. }));
             }
+            other => panic!("expected pipelined hello, got {other:?}"),
         }
-    })
-}
-
-/// Handle the request inside a [`Request::Traced`] wrapper under a
-/// `serve:<kind>` span, using the engine's traced entry points so its
-/// per-operator spans land in the same trace.
-fn handle_traced(state: &ServerState, tracer: &Tracer, req: &Request) -> Result<Response> {
-    let engine = state.engine.as_ref();
-    let mut serve = tracer.start(
-        None,
-        || format!("serve:{}", request_kind(req)),
-        engine.name(),
-    );
-    let ctx = TraceContext {
-        trace_id: tracer.trace_id(),
-        parent_span: serve.id().unwrap_or(0),
-    };
-    let resp = match req {
-        Request::Execute { plan } => {
-            let anchor = tracer.now_ns();
-            let (out, spans) = engine.execute_traced(plan, &ctx)?;
-            tracer.absorb_remote(spans, serve.id(), anchor);
-            serve.set_rows(out.num_rows());
-            Response::DataSet(out)
-        }
-        Request::ExecuteStore { name, plan } => {
-            let anchor = tracer.now_ns();
-            let (out, spans) = engine.execute_traced(plan, &ctx)?;
-            tracer.absorb_remote(spans, serve.id(), anchor);
-            serve.set_rows(out.num_rows());
-            engine.store(name, out)?;
-            Response::Ack
-        }
-        Request::ExecutePush {
-            dest_addr,
-            dest_name,
-            plan,
-        } => {
-            let anchor = tracer.now_ns();
-            let (out, spans) = engine.execute_traced(plan, &ctx)?;
-            tracer.absorb_remote(spans, serve.id(), anchor);
-            serve.set_rows(out.num_rows());
-            let bytes = push_to_peer(dest_addr, dest_name, out, tracer, serve.id())?;
-            serve.set_bytes(bytes);
-            Response::Pushed { bytes }
-        }
-        // Control-plane work under the serve span, no deeper spans.
-        other => handle_request(state, other)?,
-    };
-    serve.finish();
-    Ok(resp)
-}
-
-/// The direct server-to-server hop: open a connection to the peer and
-/// store the dataset there, bypassing the application tier entirely.
-/// Returns the framed bytes sent to the peer. With an enabled `tracer`
-/// the store is wrapped in [`Request::Traced`] so the *peer's* spans
-/// come back and land under `parent` in this trace.
-fn push_to_peer(
-    dest_addr: &str,
-    dest_name: &str,
-    data: bda_storage::DataSet,
-    tracer: &Tracer,
-    parent: Option<u64>,
-) -> Result<u64> {
-    use bda_core::CoreError;
-    let net = |e: std::io::Error| CoreError::Net(format!("push to {dest_addr}: {e}"));
-    let addrs: Vec<SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(dest_addr)
-        .map_err(net)?
-        .collect();
-    let addr = addrs
-        .first()
-        .ok_or_else(|| CoreError::Net(format!("no address for peer {dest_addr}")))?;
-    let mut conn = TcpStream::connect_timeout(addr, PUSH_TIMEOUT).map_err(net)?;
-    conn.set_read_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
-    conn.set_write_timeout(Some(PUSH_TIMEOUT)).map_err(net)?;
-    let store = Request::Store {
-        name: dest_name.to_string(),
-        data,
-    };
-    let req = if tracer.is_enabled() {
-        Request::Traced {
-            trace_id: tracer.trace_id(),
-            parent_span: parent.unwrap_or(0),
-            inner: Box::new(store),
-        }
-    } else {
-        store
-    };
-    let anchor = tracer.now_ns();
-    let (kind, payload) = encode_request(&req);
-    let sent = write_message(&mut conn, kind, &payload).map_err(net)?;
-    conn.flush().map_err(net)?;
-    let (rkind, rpayload, _) =
-        read_message(&mut conn).map_err(|e| CoreError::Net(format!("push to {dest_addr}: {e}")))?;
-    let mut resp = crate::proto::decode_response(rkind, &rpayload)?;
-    if let Response::Traced { spans, inner } = resp {
-        tracer.absorb_remote(spans, parent, anchor);
-        resp = *inner;
-    }
-    match resp {
-        Response::Ack => Ok(sent),
-        Response::Error { msg, transient } if transient => Err(CoreError::transient(
-            CoreError::Net(format!("peer {dest_addr}: {msg}")),
-        )),
-        Response::Error { msg, .. } => Err(CoreError::Remote {
-            addr: dest_addr.to_string(),
-            msg,
-        }),
-        other => Err(CoreError::Net(format!(
-            "unexpected push response: {other:?}"
-        ))),
     }
 }

@@ -71,6 +71,11 @@ pub struct OpsOptions {
     pub health: HealthSource,
     /// The tracker `/progress` renders.
     pub progress: ProgressTracker,
+    /// Fixed worker threads answering requests (min 1).
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before the server
+    /// starts answering `503` instead of queueing (min 1).
+    pub backlog: usize,
 }
 
 impl Default for OpsOptions {
@@ -79,6 +84,8 @@ impl Default for OpsOptions {
             metrics: MetricsHub::new(),
             health: Arc::new(Health::default),
             progress: crate::progress::global().clone(),
+            workers: 4,
+            backlog: 64,
         }
     }
 }
@@ -89,6 +96,7 @@ pub struct OpsHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl OpsHandle {
@@ -109,6 +117,11 @@ impl OpsHandle {
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
+        // The accept loop dropped its queue sender on exit, so the
+        // workers drain whatever was admitted and then hang up.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
 }
 
@@ -120,27 +133,66 @@ impl Drop for OpsHandle {
 
 /// Bind `bind` (e.g. `127.0.0.1:0`) and serve the ops routes until the
 /// returned handle shuts down.
+///
+/// Concurrency is bounded: a fixed pool of [`OpsOptions::workers`]
+/// threads answers requests from a queue of at most
+/// [`OpsOptions::backlog`] accepted connections. When the queue is full
+/// the accept loop answers `503` inline and closes — an overload of
+/// scrapes can never spawn unbounded threads or stall the serving port.
 pub fn serve_ops(bind: &str, options: OpsOptions) -> std::io::Result<OpsHandle> {
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_accept = Arc::clone(&stop);
+    let (queue, jobs) = std::sync::mpsc::sync_channel::<TcpStream>(options.backlog.max(1));
+    let jobs = Arc::new(std::sync::Mutex::new(jobs));
+    let workers = (0..options.workers.max(1))
+        .map(|i| {
+            let jobs = Arc::clone(&jobs);
+            let options = options.clone();
+            std::thread::Builder::new()
+                .name(format!("bda-ops-{i}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only to dequeue, not to serve.
+                    let job = jobs.lock().expect("ops queue poisoned").recv();
+                    match job {
+                        Ok(stream) => {
+                            let _ = handle_connection(stream, &options);
+                        }
+                        Err(_) => return, // queue closed: shutdown
+                    }
+                })
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
     let join = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop_accept.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            let options = options.clone();
-            std::thread::spawn(move || {
-                let _ = handle_connection(stream, &options);
-            });
+            use std::sync::mpsc::TrySendError;
+            if let Err(err) = queue.try_send(stream) {
+                match err {
+                    TrySendError::Full(stream) => {
+                        // Shed: a one-line refusal beats an unbounded
+                        // thread or a reader parked behind a full queue.
+                        let _ = respond(
+                            stream,
+                            "503 Service Unavailable",
+                            "text/plain; charset=utf-8",
+                            "ops server overloaded\n",
+                        );
+                    }
+                    TrySendError::Disconnected(_) => break,
+                }
+            }
         }
     });
     Ok(OpsHandle {
         addr,
         stop,
         join: Some(join),
+        workers,
     })
 }
 
@@ -324,6 +376,41 @@ mod tests {
         assert_eq!(status, "HTTP/1.1 200 OK");
         let (status, _) = http_get(h.addr(), "/traces/999999999");
         assert_eq!(status, "HTTP/1.1 404 Not Found");
+        h.shutdown();
+    }
+
+    #[test]
+    fn overload_is_shed_with_503_not_unbounded_threads() {
+        // One worker, queue of one. A stalled client pins the worker
+        // (the read timeout is seconds away); the next connection fills
+        // the queue; everything beyond that must get an inline 503.
+        let options = OpsOptions {
+            workers: 1,
+            backlog: 1,
+            ..OpsOptions::default()
+        };
+        let h = serve_ops("127.0.0.1:0", options).expect("bind");
+        // Pin the worker first, then fill the queue slot: the pause in
+        // between lets the worker dequeue stall1 before stall2 arrives,
+        // otherwise stall2's shed 503 frees the slot for the probe.
+        let stall1 = TcpStream::connect(h.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        let stall2 = TcpStream::connect(h.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        // Later connections are refused promptly rather than queued
+        // behind the stalled ones.
+        let deadline = std::time::Instant::now() + Duration::from_secs(4);
+        let mut shed = false;
+        while !shed && std::time::Instant::now() < deadline {
+            let mut probe = TcpStream::connect(h.addr()).unwrap();
+            write!(probe, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut raw = String::new();
+            let _ = probe.read_to_string(&mut raw);
+            shed = raw.starts_with("HTTP/1.1 503") && raw.contains("overloaded");
+        }
+        assert!(shed, "overload never produced an inline 503");
+        drop(stall1);
+        drop(stall2);
         h.shutdown();
     }
 

@@ -40,7 +40,7 @@ pub mod store;
 pub mod wire;
 
 pub use flight::FlightRecorder;
-pub use http::{serve_ops, Health, OpsHandle, OpsOptions};
+pub use http::{serve_ops, Health, HealthSource, OpsHandle, OpsOptions};
 pub use metrics::{Counter, Histogram, MetricsHub};
 pub use progress::{ProgressHandle, ProgressTracker, QueryProgress};
 pub use store::TraceStore;

@@ -120,6 +120,23 @@ impl Histogram {
         }
         Some(*BUCKET_BOUNDS_S.last().expect("bounds are non-empty"))
     }
+
+    /// Median latency in seconds ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency in seconds — the serving-bench tail
+    /// statistic: at a thousand in-flight requests, "one in a thousand"
+    /// is every batch, so saturation reports track p999 alongside p99.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
 }
 
 impl Default for Histogram {
@@ -566,5 +583,24 @@ mod tests {
         let h = Histogram::new();
         h.observe_ns(60_000_000_000); // 60s: beyond every finite bound
         assert_eq!(h.quantile(0.5), Some(10.0), "clamped to the last bound");
+    }
+
+    #[test]
+    fn tail_percentile_helpers_resolve_the_slow_outlier() {
+        let h = Histogram::new();
+        // 998 fast observations and two slow ones: p50/p99 sit in the
+        // fast bucket, p999 lands in the outliers'.
+        for _ in 0..998 {
+            h.observe_ns(150_000); // 0.15ms
+        }
+        h.observe_ns(2_000_000_000); // 2s
+        h.observe_ns(2_000_000_000);
+        let p50 = h.p50().expect("non-empty");
+        let p99 = h.p99().expect("non-empty");
+        let p999 = h.p999().expect("non-empty");
+        assert!(p50 <= 0.00025, "{p50}");
+        assert!(p99 <= 0.00025, "{p99}");
+        assert!(p999 > 1.0, "p999 must see the 2s outlier, got {p999}");
+        assert!(p50 <= p99 && p99 <= p999);
     }
 }

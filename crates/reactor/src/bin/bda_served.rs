@@ -18,6 +18,14 @@
 //! `GET /metrics` renders the same registry the protocol serves, plus
 //! `/healthz`, `/readyz`, `/progress`, `/flight`, and `/traces/<id>` —
 //! see README, "Operating bda-served".
+//!
+//! `--reactor` swaps the thread-per-connection core for the sharded
+//! event-loop core in `bda-reactor`: epoll readiness, request
+//! pipelining, admission control with priority queues, and load
+//! shedding. Same protocol, same request semantics, same metrics; in
+//! this mode `/readyz` reports 503 while the admission queues are
+//! saturated. `--shards`, `--workers`, `--queue`, `--per-tenant`,
+//! `--max-conns`, and `--max-inflight` tune it (0 = derive).
 
 use std::sync::Arc;
 
@@ -36,6 +44,13 @@ struct Args {
     demo: bool,
     log: Option<bda_net::LogSink>,
     http: Option<u16>,
+    reactor: bool,
+    shards: usize,
+    workers: usize,
+    queue: usize,
+    per_tenant: usize,
+    max_conns: usize,
+    max_inflight: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +60,13 @@ fn parse_args() -> Result<Args, String> {
     let mut demo = false;
     let mut log = None;
     let mut http = None;
+    let mut reactor = false;
+    let mut shards = 0usize;
+    let mut workers = 0usize;
+    let mut queue = 0usize;
+    let mut per_tenant = 0usize;
+    let mut max_conns = 0usize;
+    let mut max_inflight = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |what: &str| {
@@ -69,17 +91,40 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--http wants a port number, got `{raw}`"))?,
                 );
             }
+            "--reactor" => reactor = true,
+            "--shards" | "--workers" | "--queue" | "--per-tenant" | "--max-conns"
+            | "--max-inflight" => {
+                let raw = value(&arg)?;
+                let n = raw
+                    .parse::<usize>()
+                    .map_err(|_| format!("{arg} wants a number, got `{raw}`"))?;
+                match arg.as_str() {
+                    "--shards" => shards = n,
+                    "--workers" => workers = n,
+                    "--queue" => queue = n,
+                    "--per-tenant" => per_tenant = n,
+                    "--max-conns" => max_conns = n,
+                    _ => max_inflight = n,
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bda-served [--engine relational|array|linalg|graph|reference]\n\
                      \x20                 [--name NAME] [--listen HOST:PORT] [--demo]\n\
-                     \x20                 [--log PATH|stderr] [--http PORT]\n\
+                     \x20                 [--log PATH|stderr] [--http PORT] [--reactor]\n\
+                     \x20                 [--shards N] [--workers N] [--queue N]\n\
+                     \x20                 [--per-tenant N] [--max-conns N] [--max-inflight N]\n\
                      \n\
                      --log writes one structured line per request (kind, duration,\n\
                      bytes, outcome) to the given file, or to stderr.\n\
                      --http mounts the observability HTTP endpoint (/metrics,\n\
                      /healthz, /readyz, /progress, /flight, /traces/<id>) on\n\
-                     127.0.0.1:PORT; port 0 picks an ephemeral port."
+                     127.0.0.1:PORT; port 0 picks an ephemeral port.\n\
+                     --reactor serves on the sharded event-loop core (pipelining,\n\
+                     admission control, load shedding); the remaining flags tune\n\
+                     its shards, executor workers, per-class admission queue\n\
+                     capacity, per-tenant cap, connection cap, and per-connection\n\
+                     in-flight window (0 = derive a default)."
                 );
                 std::process::exit(0);
             }
@@ -94,6 +139,13 @@ fn parse_args() -> Result<Args, String> {
         demo,
         log,
         http,
+        reactor,
+        shards,
+        workers,
+        queue,
+        per_tenant,
+        max_conns,
+        max_inflight,
     })
 }
 
@@ -153,6 +205,69 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Mount the ops endpoint over whichever core is serving; the shared
+    // metrics hub means `GET /metrics` scrapes the same request counters
+    // the protocol updates. The handle must outlive the serve loop or
+    // the endpoint shuts down on drop.
+    let mount_ops =
+        |port: u16, metrics: bda_obs::MetricsHub, health: Option<bda_obs::HealthSource>| {
+            let options = bda_obs::OpsOptions {
+                metrics,
+                health: health.unwrap_or_else(|| Arc::new(bda_obs::Health::default)),
+                ..bda_obs::OpsOptions::default()
+            };
+            match bda_obs::serve_ops(&format!("127.0.0.1:{port}"), options) {
+                Ok(h) => {
+                    println!("bda-served: ops endpoint on {}", h.addr());
+                    h
+                }
+                Err(e) => {
+                    eprintln!("bda-served: ops bind 127.0.0.1:{port}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+    if args.reactor {
+        let mut admission = bda_reactor::AdmissionConfig::default();
+        if args.queue > 0 {
+            admission.queue_capacity = args.queue;
+        }
+        if args.per_tenant > 0 {
+            admission.per_tenant = args.per_tenant;
+        }
+        let mut opts = bda_reactor::ReactorOptions {
+            shards: args.shards,
+            workers: args.workers,
+            admission,
+            log: args.log.clone(),
+            ..bda_reactor::ReactorOptions::default()
+        };
+        if args.max_conns > 0 {
+            opts.max_connections = args.max_conns;
+        }
+        if args.max_inflight > 0 {
+            opts.max_inflight_per_conn = args.max_inflight;
+        }
+        let server = match bda_reactor::serve_reactor(Arc::clone(&engine), &args.listen, opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bda-served: bind {}: {e}", args.listen);
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "bda-served: `{}` ({}) listening on {} [reactor]",
+            args.name,
+            args.engine,
+            server.addr()
+        );
+        let _ops = args
+            .http
+            .map(|port| mount_ops(port, server.metrics(), Some(server.health_source())));
+        loop {
+            std::thread::park();
+        }
+    }
     let opts = bda_net::ServeOptions {
         log: args.log.clone(),
         ..bda_net::ServeOptions::default()
@@ -170,27 +285,9 @@ fn main() {
         args.engine,
         server.addr()
     );
-    // The ops endpoint shares the server's metrics hub, so `GET /metrics`
-    // scrapes the same request counters the protocol updates. The handle
-    // must outlive the serve loop or the endpoint shuts down on drop.
-    let _ops = args.http.map(|port| {
-        match bda_obs::serve_ops(
-            &format!("127.0.0.1:{port}"),
-            bda_obs::OpsOptions {
-                metrics: server.metrics(),
-                ..bda_obs::OpsOptions::default()
-            },
-        ) {
-            Ok(h) => {
-                println!("bda-served: ops endpoint on {}", h.addr());
-                h
-            }
-            Err(e) => {
-                eprintln!("bda-served: ops bind 127.0.0.1:{port}: {e}");
-                std::process::exit(1);
-            }
-        }
-    });
+    let _ops = args
+        .http
+        .map(|port| mount_ops(port, server.metrics(), None));
     // Serve until killed.
     loop {
         std::thread::park();

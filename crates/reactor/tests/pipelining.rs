@@ -1,0 +1,231 @@
+//! Adversarial framing and pipelining tests against the reactor core:
+//! byte-dribbling clients, interleaved tags, oversized frames, and
+//! slow-loris connections. The reactor parses incrementally off a
+//! readiness loop, so these are exactly the edges where it could differ
+//! from the blocking server — they must behave identically (or better:
+//! the loris is reaped instead of pinning a thread).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bda_core::{Plan, Provider, ReferenceProvider};
+use bda_net::frame::read_message;
+use bda_net::proto::{decode_response, encode_request};
+use bda_net::{PipelinedClient, Request, Response};
+use bda_reactor::{serve_reactor, ReactorHandle, ReactorOptions};
+use bda_storage::{Column, DataSet};
+
+fn sample() -> DataSet {
+    DataSet::from_columns(vec![
+        ("k", Column::from(vec![1i64, 2, 3, 4])),
+        ("v", Column::from(vec![1.0f64, 2.0, 3.0, 4.0])),
+    ])
+    .unwrap()
+}
+
+fn reactor_with(opts: ReactorOptions) -> ReactorHandle {
+    let engine = Arc::new(ReferenceProvider::new("ref"));
+    engine.store("t", sample()).unwrap();
+    serve_reactor(engine, "127.0.0.1:0", opts).unwrap()
+}
+
+fn wire_for(req: &Request) -> Vec<u8> {
+    let (kind, payload) = encode_request(req);
+    let mut wire = Vec::new();
+    bda_net::frame::write_message(&mut wire, kind, &payload).unwrap();
+    wire
+}
+
+#[test]
+fn requests_split_at_every_byte_still_parse() {
+    // A client that dribbles a request one byte at a time — every flush
+    // lands a partial frame at the reactor, including splits inside the
+    // 6-byte header. The incremental parser must reassemble exactly.
+    let server = reactor_with(ReactorOptions::default());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    let wire = wire_for(&Request::Catalog);
+    for chunk in wire.chunks(1) {
+        conn.write_all(chunk).unwrap();
+        conn.flush().unwrap();
+        // A pause every few bytes forces distinct reads server-side.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (kind, payload, _) = read_message(&mut conn).unwrap();
+    match decode_response(kind, &payload).unwrap() {
+        Response::Catalog(entries) => assert_eq!(entries.len(), 1),
+        other => panic!("expected catalog, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_messages_in_one_write_both_answer() {
+    // The opposite split: a single write carrying two complete framed
+    // messages back to back. The parser must consume both and the
+    // responses must release in order (both untagged).
+    let server = reactor_with(ReactorOptions::default());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    let mut batch = wire_for(&Request::Hello);
+    batch.extend_from_slice(&wire_for(&Request::Catalog));
+    conn.write_all(&batch).unwrap();
+    conn.flush().unwrap();
+    let (k1, p1, _) = read_message(&mut conn).unwrap();
+    assert!(matches!(
+        decode_response(k1, &p1).unwrap(),
+        Response::Hello { .. }
+    ));
+    let (k2, p2, _) = read_message(&mut conn).unwrap();
+    assert!(matches!(
+        decode_response(k2, &p2).unwrap(),
+        Response::Catalog(_)
+    ));
+}
+
+#[test]
+fn interleaved_tags_come_back_matched() {
+    // Many tagged requests of mixed cost racing through the worker
+    // pool: whatever order the responses arrive in, every tag must
+    // match its request's reply type, and every request must answer.
+    let server = reactor_with(ReactorOptions::default());
+    let client = PipelinedClient::connect(&server.addr().to_string()).unwrap();
+    let plan = Plan::scan("t", sample().schema().clone());
+    let pending: Vec<(usize, bda_net::pipeline::Pending)> = (0..48)
+        .map(|i| {
+            let req = match i % 3 {
+                0 => Request::Execute { plan: plan.clone() },
+                1 => Request::Hello,
+                _ => Request::Catalog,
+            };
+            (i, client.send(&req).unwrap())
+        })
+        .collect();
+    for (i, p) in pending {
+        let resp = p.wait(Duration::from_secs(30)).unwrap();
+        match i % 3 {
+            0 => assert!(matches!(resp, Response::DataSet(_)), "tag {i}: {resp:?}"),
+            1 => assert!(matches!(resp, Response::Hello { .. }), "tag {i}: {resp:?}"),
+            _ => assert!(matches!(resp, Response::Catalog(_)), "tag {i}: {resp:?}"),
+        }
+    }
+}
+
+#[test]
+fn pipelined_errors_carry_their_tag() {
+    // A failing request inside the pipeline must answer on its own tag
+    // and leave neighbors untouched.
+    let server = reactor_with(ReactorOptions::default());
+    let client = PipelinedClient::connect(&server.addr().to_string()).unwrap();
+    let good = client
+        .send(&Request::Execute {
+            plan: Plan::scan("t", sample().schema().clone()),
+        })
+        .unwrap();
+    let bad = client
+        .send(&Request::Execute {
+            plan: Plan::scan("missing", sample().schema().clone()),
+        })
+        .unwrap();
+    let good2 = client.send(&Request::Hello).unwrap();
+    assert!(matches!(
+        good.wait(Duration::from_secs(10)).unwrap(),
+        Response::DataSet(_)
+    ));
+    match bad.wait(Duration::from_secs(10)).unwrap() {
+        Response::Error { msg, .. } => assert!(msg.contains("missing"), "{msg}"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    assert!(matches!(
+        good2.wait(Duration::from_secs(10)).unwrap(),
+        Response::Hello { .. }
+    ));
+}
+
+#[test]
+fn oversized_frame_header_closes_the_connection() {
+    // A header declaring a frame larger than MAX_FRAME_PAYLOAD is
+    // hopeless — the reactor must drop the connection rather than
+    // buffer toward a bogus 200 MB length.
+    let server = reactor_with(ReactorOptions::default());
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    let mut header = Vec::new();
+    header.push(0x02); // kind: execute
+    header.push(0x00); // flags: final frame
+    header.extend_from_slice(&(200u32 * 1024 * 1024).to_le_bytes());
+    conn.write_all(&header).unwrap();
+    conn.flush().unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    // Either a clean EOF (Ok(0)) or a reset — never a hang, never data.
+    match conn.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("server answered an oversized frame with {n} bytes"),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+            panic!("server sat on an oversized frame instead of closing")
+        }
+        Err(_) => {}
+    }
+}
+
+#[test]
+fn slow_loris_is_reaped_by_the_stall_deadline() {
+    // Half a header, then silence. With a short stall timeout the
+    // reactor must close the connection; the blocking server would have
+    // pinned a thread on it until its own (much longer) read timeout.
+    let server = reactor_with(ReactorOptions {
+        stall_timeout: Duration::from_millis(400),
+        ..ReactorOptions::default()
+    });
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    conn.write_all(&[0x02, 0x00, 0x10]).unwrap(); // 3 of 6 header bytes
+    conn.flush().unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 16];
+    match conn.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("loris got {n} bytes of response"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "loris lingered {elapsed:?} — reaping did not engage"
+    );
+
+    // An *idle* connection (no partial message) must NOT be reaped:
+    // pooled clients park healthy connections far longer than any
+    // stall deadline.
+    let mut idle = TcpStream::connect(server.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(900)); // >> stall_timeout
+    let wire = wire_for(&Request::Hello);
+    idle.write_all(&wire).unwrap();
+    idle.flush().unwrap();
+    let (kind, payload, _) = read_message(&mut idle).unwrap();
+    assert!(matches!(
+        decode_response(kind, &payload).unwrap(),
+        Response::Hello { .. }
+    ));
+}
+
+#[test]
+fn deep_pipelining_is_paced_not_dropped() {
+    // Push far more requests than max_inflight_per_conn in one burst:
+    // backpressure pauses reading, but every request must eventually
+    // answer correctly — pacing, not dropping.
+    let server = reactor_with(ReactorOptions {
+        max_inflight_per_conn: 4,
+        ..ReactorOptions::default()
+    });
+    let client = PipelinedClient::connect(&server.addr().to_string()).unwrap();
+    let pending: Vec<_> = (0..64)
+        .map(|_| client.send(&Request::Catalog).unwrap())
+        .collect();
+    for p in pending {
+        assert!(matches!(
+            p.wait(Duration::from_secs(30)).unwrap(),
+            Response::Catalog(_)
+        ));
+    }
+}

@@ -19,9 +19,24 @@ impl Served {
         (served, addr)
     }
 
+    /// [`Served::launch`] on the reactor core.
+    fn launch_reactor(engine: &str, name: &str) -> (Served, String) {
+        let (served, addr, _) = Served::launch_full(engine, name, false, true);
+        (served, addr)
+    }
+
     /// [`Served::launch`], optionally with `--http 0`; the third return
     /// is the ops-endpoint address from the second banner line.
     fn launch_with(engine: &str, name: &str, http: bool) -> (Served, String, Option<String>) {
+        Served::launch_full(engine, name, http, false)
+    }
+
+    fn launch_full(
+        engine: &str,
+        name: &str,
+        http: bool,
+        reactor: bool,
+    ) -> (Served, String, Option<String>) {
         let mut args = vec![
             "--engine",
             engine,
@@ -33,6 +48,9 @@ impl Served {
         ];
         if http {
             args.extend(["--http", "0"]);
+        }
+        if reactor {
+            args.push("--reactor");
         }
         let mut child = Command::new(env!("CARGO_BIN_EXE_bda-served"))
             .args(&args)
@@ -50,7 +68,9 @@ impl Served {
             .rsplit("listening on ")
             .next()
             .expect("banner names the address")
-            .trim()
+            .split_whitespace()
+            .next()
+            .expect("address precedes any core tag")
             .to_string();
         let ops_addr = http.then(|| {
             let ops_banner = lines
@@ -124,6 +144,74 @@ fn two_server_processes_answer_queries_and_push_directly() {
         .execute(&Plan::scan("m_copy", rel.schema_of("m_copy").unwrap()))
         .unwrap();
     assert_eq!(copied.num_rows(), 6);
+}
+
+#[test]
+fn reactor_mode_serves_the_same_protocol_and_pushes_across_cores() {
+    // One process on each core: the reactor process and the classic
+    // thread-per-connection process must interoperate fully, including
+    // the direct server-to-server push in both directions.
+    let (_rel_proc, rel_addr) = Served::launch_reactor("relational", "rel");
+    let (_la_proc, la_addr) = Served::launch("linalg", "la");
+
+    let rel = RemoteProvider::connect(rel_addr).expect("connect to reactor process");
+    let la = RemoteProvider::connect(la_addr).expect("connect to la process");
+    assert_eq!(rel.name(), "rel");
+
+    let sales_schema = rel.schema_of("sales").expect("demo table present");
+    let out = rel
+        .execute(&Plan::scan("sales", sales_schema).select(col("v").gt(lit(15.0))))
+        .expect("remote filter against the reactor core");
+    assert_eq!(out.num_rows(), 3);
+
+    // Classic core pushes INTO the reactor core...
+    let m_schema = la.schema_of("m").expect("demo matrix present");
+    let pushed = la
+        .execute_push(&Plan::scan("m", m_schema), rel.addr(), "m_copy")
+        .expect("remote providers support push")
+        .expect("push into the reactor succeeds");
+    assert!(pushed > 0);
+    let copied = rel
+        .execute(&Plan::scan("m_copy", rel.schema_of("m_copy").unwrap()))
+        .unwrap();
+    assert_eq!(copied.num_rows(), 6);
+
+    // ...and the reactor core pushes back out.
+    let back = rel
+        .execute_push(
+            &Plan::scan("m_copy", rel.schema_of("m_copy").unwrap()),
+            la.addr(),
+            "m_back",
+        )
+        .expect("push supported")
+        .expect("push out of the reactor succeeds");
+    assert!(back > 0);
+    assert!(la.schema_of("m_back").is_some(), "pushed dataset landed");
+}
+
+#[test]
+fn reactor_http_readyz_reports_admission_state() {
+    let (_proc, addr, ops_addr) = Served::launch_full("relational", "rel", true, true);
+    let ops_addr = ops_addr.expect("--http announces the ops address");
+
+    let (status, body) = http_get(&ops_addr, "/readyz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("reactor: queued"), "{body}");
+
+    // Protocol traffic shows up in the shared hub.
+    let rel = RemoteProvider::connect(addr).expect("connect");
+    let sales_schema = rel.schema_of("sales").expect("demo table present");
+    rel.execute(&Plan::scan("sales", sales_schema)).unwrap();
+    let (status, metrics) = http_get(&ops_addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        metrics.contains("bda_net_requests_total{kind=\"execute\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("bda_reactor_connections_total"),
+        "{metrics}"
+    );
 }
 
 #[test]

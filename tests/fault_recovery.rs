@@ -16,13 +16,16 @@ use std::time::Duration;
 use bda::core::reference::evaluate;
 use bda::core::{Plan, Provider};
 use bda::federation::{
-    fault_seed_from_env, ExecOptions, FaultConfig, FaultyProvider, Federation, RecoveryPolicy,
+    fault_seed_from_env, BreakerState, ExecOptions, FaultConfig, FaultyProvider, Federation,
+    RecoveryPolicy, TransferMode,
 };
 use bda::lang::Query;
 use bda::linalg::LinAlgEngine;
 use bda::relational::RelationalEngine;
 use bda::storage::{Column, DataSet};
 use bda::workloads::random_matrix;
+use bda_net::{RemoteOptions, RemoteProvider, RetryPolicy};
+use bda_reactor::{serve_reactor, ReactorHandle, ReactorOptions};
 
 const DEFAULT_SEED: u64 = 0xBDA;
 
@@ -289,4 +292,155 @@ fn permanent_failure_leaves_a_flight_recorder_dump() {
 
     std::env::remove_var("BDA_FLIGHT_DIR");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos parity against the reactor serving core
+//
+// The same fault plan as `chaos_federation`, but every provider now lives
+// behind a real loopback TCP socket served by `serve_reactor` — the sharded
+// event-loop core — instead of running in-process. Retry, failover, and
+// circuit-breaker semantics are the executor's contract with *providers*;
+// changing the serving core underneath must not change any of it.
+// ---------------------------------------------------------------------------
+
+/// A `RemoteProvider` whose transport does NOT retry: every transient
+/// error surfaces to the federation executor, so the executor's own
+/// retry accounting stays comparable with the in-process chaos tests.
+fn connect_no_transport_retry(addr: String) -> RemoteProvider {
+    RemoteProvider::connect_with(
+        addr,
+        RemoteOptions {
+            retry: RetryPolicy {
+                attempts: 1,
+                initial_backoff: Duration::from_millis(1),
+            },
+            ..RemoteOptions::default()
+        },
+    )
+    .expect("connect to reactor server")
+}
+
+/// The chaos federation of [`chaos_federation`], rebuilt multi-process:
+/// each (possibly faulty) engine sits behind its own reactor server and
+/// registers through a `RemoteProvider`. The handles keep the servers
+/// alive for the duration of the test.
+fn reactor_chaos_federation(with_replica: bool) -> (Federation, Vec<ReactorHandle>) {
+    let seed = fault_seed_from_env(DEFAULT_SEED);
+    let la1 = LinAlgEngine::new("la1");
+    la1.store("a", random_matrix(8, 8, 1)).unwrap();
+    la1.store("b", random_matrix(8, 8, 2)).unwrap();
+    let la2 = LinAlgEngine::new("la2");
+    la2.store("a", random_matrix(8, 8, 1)).unwrap();
+    la2.store("b", random_matrix(8, 8, 2)).unwrap();
+    let rel = RelationalEngine::new("rel");
+    rel.store("lookup", lookup_table()).unwrap();
+
+    let mut servers = Vec::new();
+    let mut fed = Federation::new();
+    let crashed: Arc<dyn Provider> = Arc::new(FaultyProvider::new(
+        Arc::new(la1),
+        FaultConfig::crash_after(0),
+    ));
+    let s = serve_reactor(crashed, "127.0.0.1:0", ReactorOptions::default()).unwrap();
+    fed.register(Arc::new(connect_no_transport_retry(s.addr().to_string())));
+    servers.push(s);
+    if with_replica {
+        let s = serve_reactor(Arc::new(la2), "127.0.0.1:0", ReactorOptions::default()).unwrap();
+        fed.register(Arc::new(connect_no_transport_retry(s.addr().to_string())));
+        servers.push(s);
+    }
+    let flaky: Arc<dyn Provider> = Arc::new(FaultyProvider::new(
+        Arc::new(rel),
+        FaultConfig {
+            seed,
+            execute_error_rate: 0.3,
+            store_error_rate: 0.3,
+            fail_first: 1,
+            ..FaultConfig::default()
+        },
+    ));
+    let s = serve_reactor(flaky, "127.0.0.1:0", ReactorOptions::default()).unwrap();
+    fed.register(Arc::new(connect_no_transport_retry(s.addr().to_string())));
+    servers.push(s);
+    (fed, servers)
+}
+
+#[test]
+fn chaos_over_reactor_servers_recovers_via_retry_and_failover() {
+    let (mut fed, _servers) = reactor_chaos_federation(true);
+    *fed.options_mut() = ExecOptions {
+        // Server-to-server pushes route intermediates through the reactor
+        // cores directly, so shedding/transients on *that* path are
+        // exercised too.
+        transfer: TransferMode::RemoteTcp,
+        ..recovering_options()
+    };
+    let plan = join_matmul_plan(&fed);
+    let (out, metrics) = fed
+        .run(&plan)
+        .expect("recovery completes the plan over reactor-served providers");
+
+    let expected = evaluate(&plan, &oracle()).expect("reference evaluation");
+    assert!(
+        out.same_bag(&expected).unwrap(),
+        "recovered remote result disagrees with the reference evaluator"
+    );
+    assert!(
+        metrics.retries > 0,
+        "rel's transients must surface over the wire and force retries: {metrics}"
+    );
+    assert!(
+        metrics.failovers > 0,
+        "la1's crash must force failover onto la2 over the wire: {metrics}"
+    );
+
+    // Cleanup parity: nothing staged survives on any *server* either.
+    for p in fed.registry().providers() {
+        for (name, _) in p.catalog() {
+            assert!(
+                !name.starts_with("__bda_frag_"),
+                "staged intermediate `{name}` leaked on reactor-served `{}`",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_over_reactor_servers_without_replica_fails_the_same_way() {
+    let (fed, _servers) = reactor_chaos_federation(false);
+    let plan = join_matmul_plan(&fed);
+    let err = fed.run_with(&plan, &recovering_options()).unwrap_err();
+    // The crash message crosses the wire intact: same failure mode, same
+    // diagnosis as the in-process run.
+    assert!(err.to_string().contains("injected crash"), "{err}");
+}
+
+#[test]
+fn breaker_trips_on_a_crashed_reactor_site_exactly_as_in_process() {
+    // Only the crashed site holds the data: every run fails permanently,
+    // feeding the same per-provider breaker the in-process executor uses.
+    let (fed, _servers) = reactor_chaos_federation(false);
+    let plan = join_matmul_plan(&fed);
+    let threshold = fed.registry().health().config().failure_threshold;
+
+    let mut runs = 0;
+    while fed.registry().health().state("la1") != BreakerState::Open {
+        runs += 1;
+        assert!(
+            runs <= threshold + 2,
+            "breaker failed to trip after {runs} failing runs"
+        );
+        let err = fed.run_with(&plan, &recovering_options()).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+    }
+    assert_eq!(fed.registry().health().state("la1"), BreakerState::Open);
+    assert!(
+        fed.registry().health().trips() >= 1,
+        "trip counter must record the open"
+    );
+    // An open breaker rejects placement outright — the next run still
+    // fails (no eligible site), without needing la1 to answer at all.
+    assert!(fed.run_with(&plan, &recovering_options()).is_err());
 }
