@@ -1,0 +1,166 @@
+//! F9 — the price of durability (EXPERIMENTS.md).
+//!
+//! Measures what the write-ahead log costs on the ingest path and what
+//! it buys at boot:
+//!
+//! * **Ingest throughput** through the same `Provider::store` call
+//!   under three configurations — no durability (the pre-WAL baseline),
+//!   WAL with `--fsync never` (page-cache durability: survives process
+//!   kill), and WAL with `--fsync always` (survives power loss).
+//! * **Cold-start replay time** — reopening the fsynced directory and
+//!   replaying the full WAL, then again after a snapshot compacts the
+//!   log (recovery reads the snapshot plus an empty tail).
+//!
+//! ```text
+//! cargo run --release -p bda-bench --bin durability_bench [-- out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bda_core::{Provider, ReferenceProvider};
+use bda_durability::{DurableProvider, FsyncPolicy, Options};
+use bda_storage::{Column, DataSet};
+
+/// Datasets ingested per configuration.
+const DATASETS: usize = 192;
+/// Rows per dataset (one i64 + one f64 column ≈ 16 bytes/row).
+const ROWS: usize = 4096;
+
+fn dataset(i: usize) -> DataSet {
+    let base = i as i64;
+    DataSet::from_columns(vec![
+        (
+            "k",
+            Column::from((0..ROWS as i64).map(|r| base + r).collect::<Vec<i64>>()),
+        ),
+        (
+            "v",
+            Column::from((0..ROWS).map(|r| r as f64 * 0.5).collect::<Vec<f64>>()),
+        ),
+    ])
+    .unwrap()
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bda-f9-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Phase {
+    name: &'static str,
+    elapsed_s: f64,
+    stores_per_s: f64,
+    mib_per_s: f64,
+}
+
+/// Ingest [`DATASETS`] through `provider`, returning the phase record.
+fn ingest(name: &'static str, provider: &dyn Provider, payload_bytes: f64) -> Phase {
+    let start = Instant::now();
+    for i in 0..DATASETS {
+        provider.store(&format!("t{i}"), dataset(i)).unwrap();
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    Phase {
+        name,
+        elapsed_s,
+        stores_per_s: DATASETS as f64 / elapsed_s,
+        mib_per_s: payload_bytes * DATASETS as f64 / elapsed_s / (1 << 20) as f64,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_durability.json".to_string());
+    let payload_bytes = bda_storage::wire::encode_dataset(&dataset(0)).len() as f64;
+
+    // Baseline: the raw engine, no durability layer at all.
+    let baseline = ingest("off", &ReferenceProvider::new("ref"), payload_bytes);
+
+    // WAL without fsync: every store is logged, the OS flushes at will.
+    let nofsync_dir = tmp_dir("nofsync");
+    let nofsync = {
+        let inner: Arc<dyn Provider> = Arc::new(ReferenceProvider::new("ref"));
+        let opts = Options::new(&nofsync_dir).with_fsync(FsyncPolicy::Never);
+        let p = DurableProvider::open(inner, opts).unwrap();
+        ingest("wal_no_fsync", &p, payload_bytes)
+    };
+
+    // WAL with fsync-per-append: the full power-loss-safe configuration.
+    let fsync_dir = tmp_dir("fsync");
+    let fsync = {
+        let inner: Arc<dyn Provider> = Arc::new(ReferenceProvider::new("ref"));
+        let opts = Options::new(&fsync_dir).with_fsync(FsyncPolicy::Always);
+        let p = DurableProvider::open(inner, opts).unwrap();
+        ingest("wal_fsync", &p, payload_bytes)
+    };
+
+    // Cold start 1: replay the full WAL the fsync run left behind.
+    let start = Instant::now();
+    let replayed = {
+        let inner: Arc<dyn Provider> = Arc::new(ReferenceProvider::new("ref"));
+        DurableProvider::open(inner, Options::new(&fsync_dir)).unwrap()
+    };
+    let replay_wal_s = start.elapsed().as_secs_f64();
+    let wal_records = replayed.report().wal_records_replayed;
+    assert_eq!(replayed.report().datasets.len(), DATASETS);
+
+    // Cold start 2: snapshot, then recovery reads it plus an empty tail.
+    replayed.snapshot_now().unwrap();
+    drop(replayed);
+    let start = Instant::now();
+    let from_snap = {
+        let inner: Arc<dyn Provider> = Arc::new(ReferenceProvider::new("ref"));
+        DurableProvider::open(inner, Options::new(&fsync_dir)).unwrap()
+    };
+    let replay_snapshot_s = start.elapsed().as_secs_f64();
+    assert_eq!(from_snap.report().datasets.len(), DATASETS);
+    assert_eq!(from_snap.report().wal_records_replayed, 0);
+    drop(from_snap);
+
+    let phases = [&baseline, &nofsync, &fsync];
+    println!(
+        "F9: {} datasets x {} rows ({:.0} KiB payload each)",
+        DATASETS,
+        ROWS,
+        payload_bytes / 1024.0
+    );
+    for p in phases {
+        println!(
+            "  ingest {:<14} {:>8.3} s  {:>9.0} stores/s  {:>8.1} MiB/s",
+            p.name, p.elapsed_s, p.stores_per_s, p.mib_per_s
+        );
+    }
+    println!(
+        "  cold start: wal replay ({wal_records} records) {:.3} s; from snapshot {:.3} s",
+        replay_wal_s, replay_snapshot_s
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"durability-ingest (F9)\",\n");
+    json.push_str(&format!(
+        "  \"datasets\": {DATASETS}, \"rows_per_dataset\": {ROWS}, \"payload_bytes\": {payload_bytes},\n"
+    ));
+    json.push_str("  \"ingest\": {\n");
+    for (i, p) in phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"elapsed_s\": {:.4}, \"stores_per_s\": {:.0}, \"mib_per_s\": {:.1}}}{}\n",
+            p.name,
+            p.elapsed_s,
+            p.stores_per_s,
+            p.mib_per_s,
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"cold_start\": {{\"wal_records\": {wal_records}, \"replay_wal_s\": {replay_wal_s:.4}, \"replay_snapshot_s\": {replay_snapshot_s:.4}}}\n}}\n"
+    ));
+    std::fs::write(&out_path, json).unwrap();
+    println!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&nofsync_dir);
+    let _ = std::fs::remove_dir_all(&fsync_dir);
+}

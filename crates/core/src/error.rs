@@ -50,6 +50,12 @@ pub enum CoreError {
     /// above the transport layer). The fault-tolerance machinery retries
     /// these and treats everything else as permanent.
     Transient(Box<CoreError>),
+    /// The durability layer failed: a WAL append or fsync did not reach
+    /// disk, a snapshot could not be written, or recovery found
+    /// corruption it refuses to skip. Permanent — the mutation was *not*
+    /// acknowledged, and retrying against the same disk will fail the
+    /// same way (a replica with healthy storage is the recovery path).
+    Durability(String),
 }
 
 impl CoreError {
@@ -94,6 +100,7 @@ impl fmt::Display for CoreError {
             CoreError::Net(msg) => write!(f, "network error: {msg}"),
             CoreError::Remote { addr, msg } => write!(f, "remote `{addr}`: {msg}"),
             CoreError::Transient(inner) => write!(f, "transient: {inner}"),
+            CoreError::Durability(msg) => write!(f, "durability: {msg}"),
         }
     }
 }
@@ -134,6 +141,7 @@ mod tests {
         assert!(!CoreError::Plan("bad plan".into()).is_transient());
         assert!(!CoreError::UnknownDataset("t".into()).is_transient());
         assert!(!CoreError::Corrupt("bytes".into()).is_transient());
+        assert!(!CoreError::Durability("wal append failed".into()).is_transient());
         assert!(!CoreError::Remote {
             addr: "127.0.0.1:7401".into(),
             msg: "unknown dataset".into(),

@@ -1,0 +1,159 @@
+//! WAL record payloads: the logical mutations a provider acknowledges.
+//!
+//! A record is one committed mutation — a full-dataset store or a
+//! removal. Dataset bytes reuse the columnar wire codec
+//! ([`bda_storage::wire`]), so the on-disk format is the same `BDA1`
+//! encoding every inter-server transfer already speaks, and replay is
+//! exercised by the same decode paths the network is.
+//!
+//! Records are *idempotent by construction*: `Store` carries the whole
+//! dataset (not a diff) and `Remove` is a plain delete, so replaying a
+//! suffix of the log over a snapshot that already contains some of its
+//! effects converges to the same catalog.
+
+use bytes::{BufMut, BytesMut};
+
+use bda_storage::wire::{decode_dataset, encode_dataset, Reader};
+use bda_storage::{DataSet, StorageError};
+
+/// Result alias over storage errors (corruption is a [`StorageError`]).
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// One logical mutation, as logged.
+#[derive(Debug, Clone)]
+pub enum WalOp {
+    /// A full-dataset store under `name` (insert or replace).
+    Store {
+        /// Catalog name.
+        name: String,
+        /// The complete dataset.
+        data: DataSet,
+    },
+    /// Removal of `name` from the catalog.
+    Remove {
+        /// Catalog name.
+        name: String,
+    },
+}
+
+impl WalOp {
+    /// The catalog name this mutation touches.
+    pub fn name(&self) -> &str {
+        match self {
+            WalOp::Store { name, .. } | WalOp::Remove { name } => name,
+        }
+    }
+
+    /// Short label for metrics and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalOp::Store { .. } => "store",
+            WalOp::Remove { .. } => "remove",
+        }
+    }
+}
+
+const TAG_STORE: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+
+/// Encode one record payload (without the record header — the WAL frame
+/// adds length, checksum, and sequence number).
+pub fn encode_op(op: &WalOp) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match op {
+        WalOp::Store { name, data } => {
+            buf.put_u8(TAG_STORE);
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            let bytes = encode_dataset(data);
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(&bytes);
+        }
+        WalOp::Remove { name } => {
+            buf.put_u8(TAG_REMOVE);
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decode one record payload; the entire input must be consumed.
+pub fn decode_op(payload: &[u8]) -> Result<WalOp> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8("wal op tag")?;
+    let name = r.string("wal op name")?;
+    let op = match tag {
+        TAG_STORE => {
+            let n = r.u32("wal dataset length")? as usize;
+            let raw = r.bytes(n, "wal dataset bytes")?;
+            WalOp::Store {
+                name,
+                data: decode_dataset(raw)?,
+            }
+        }
+        TAG_REMOVE => WalOp::Remove { name },
+        t => return Err(StorageError::Corrupt(format!("bad wal op tag {t}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after wal op",
+            r.remaining()
+        )));
+    }
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_storage::Column;
+
+    fn sample() -> DataSet {
+        DataSet::from_columns(vec![
+            ("k", Column::from(vec![1i64, 2, 3])),
+            ("v", Column::from(vec![0.5f64, -1.0, f64::NAN])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let op = WalOp::Store {
+            name: "metrics.p3".into(),
+            data: sample(),
+        };
+        let bytes = encode_op(&op);
+        match decode_op(&bytes).unwrap() {
+            WalOp::Store { name, data } => {
+                assert_eq!(name, "metrics.p3");
+                assert!(data.same_bag(&sample()).unwrap());
+            }
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let bytes = encode_op(&WalOp::Remove { name: "t".into() });
+        match decode_op(&bytes).unwrap() {
+            WalOp::Remove { name } => assert_eq!(name, "t"),
+            other => panic!("expected remove, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let bytes = encode_op(&WalOp::Store {
+            name: "t".into(),
+            data: sample(),
+        });
+        for cut in [0, 1, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_op(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        let mut padded = bytes.clone();
+        padded.push(7);
+        assert!(decode_op(&padded).is_err(), "trailing bytes must fail");
+        assert!(decode_op(&[9]).is_err(), "bad tag must fail");
+    }
+}

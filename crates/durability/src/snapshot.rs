@@ -1,0 +1,318 @@
+//! Full-catalog snapshots: the compaction target of the WAL.
+//!
+//! A snapshot is one file holding every durable dataset a provider
+//! serves, together with the WAL sequence number it covers. Once a
+//! snapshot is on disk (written to a temp name, fsynced, renamed into
+//! place, directory fsynced), every WAL segment at or below its
+//! sequence number is garbage and gets deleted; recovery becomes
+//! "load newest snapshot, replay the WAL tail over it".
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [ 8 bytes magic "BDASNAP1" ][ u64 LE covered_seq ][ u32 LE count ]
+//! count × entries:
+//!   [ u32 LE name_len ][ name ][ u32 LE data_len ][ BDA1 dataset bytes ]
+//!   [ u32 LE crc32(name ‖ dataset bytes) ]
+//! ```
+//!
+//! Dataset bytes reuse the columnar `BDA1` wire codec. Each entry
+//! carries its own checksum; the entry count up front makes any
+//! truncation detectable. A snapshot that fails validation is **never**
+//! silently skipped: the newest snapshot is the only one recovery will
+//! accept, because falling back to an older one would resurrect deleted
+//! data and roll back acknowledged writes without telling anyone.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bda_core::CoreError;
+use bda_storage::wire::{decode_dataset, encode_dataset, Reader};
+use bda_storage::DataSet;
+
+use crate::crc::Hasher;
+use crate::faults::DiskFaults;
+use crate::Result;
+
+const SNAP_MAGIC: &[u8; 8] = b"BDASNAP1";
+
+fn dur_err(what: impl std::fmt::Display, e: std::io::Error) -> CoreError {
+    CoreError::Durability(format!("{what}: {e}"))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:020}.snap"))
+}
+
+/// A loaded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Highest WAL sequence number whose effects are included.
+    pub covered_seq: u64,
+    /// The full durable catalog at that point.
+    pub datasets: Vec<(String, DataSet)>,
+}
+
+/// Write the catalog as the snapshot covering `covered_seq`, atomically.
+/// Returns the number of bytes written.
+pub fn write_snapshot(
+    dir: &Path,
+    covered_seq: u64,
+    datasets: &[(String, DataSet)],
+    faults: &DiskFaults,
+) -> Result<u64> {
+    fs::create_dir_all(dir).map_err(|e| dur_err(format!("create {}", dir.display()), e))?;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SNAP_MAGIC);
+    buf.extend_from_slice(&covered_seq.to_le_bytes());
+    buf.extend_from_slice(&(datasets.len() as u32).to_le_bytes());
+    for (name, data) in datasets {
+        let bytes = encode_dataset(data);
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&bytes);
+        let mut h = Hasher::new();
+        h.update(name.as_bytes());
+        h.update(&bytes);
+        buf.extend_from_slice(&h.finish().to_le_bytes());
+    }
+    let tmp = dir.join(format!("snap-{covered_seq:020}.tmp"));
+    let final_path = snapshot_path(dir, covered_seq);
+    let mut file =
+        File::create(&tmp).map_err(|e| dur_err(format!("create {}", tmp.display()), e))?;
+    file.write_all(&buf)
+        .and_then(|_| file.sync_all())
+        .map_err(|e| dur_err(format!("write {}", tmp.display()), e))?;
+    drop(file);
+    fs::rename(&tmp, &final_path).map_err(|e| {
+        dur_err(
+            format!("rename {} -> {}", tmp.display(), final_path.display()),
+            e,
+        )
+    })?;
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| dur_err(format!("fsync dir {}", dir.display()), e))?;
+    if faults.truncate_snapshot {
+        // Injected misbehaving disk: the file loses its tail after the
+        // rename. Recovery must refuse it loudly.
+        let f = OpenOptions::new()
+            .write(true)
+            .open(&final_path)
+            .map_err(|e| dur_err(format!("open {}", final_path.display()), e))?;
+        f.set_len(buf.len() as u64 / 2)
+            .map_err(|e| dur_err(format!("truncate {}", final_path.display()), e))?;
+    }
+    Ok(buf.len() as u64)
+}
+
+/// List `(covered_seq, path)` of snapshots in `dir`, ascending.
+fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    let entries = fs::read_dir(dir).map_err(|e| dur_err(format!("read {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| dur_err("read snapshot dir entry", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Load the newest snapshot in `dir`, validating every checksum.
+/// `Ok(None)` when no snapshot exists; a corrupt newest snapshot is a
+/// loud error, never a silent fallback to an older file.
+pub fn load_latest(dir: &Path) -> Result<Option<Snapshot>> {
+    let Some((seq, path)) = list_snapshots(dir)?.pop() else {
+        return Ok(None);
+    };
+    let mut bytes = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| dur_err(format!("read {}", path.display()), e))?;
+    parse_snapshot(&bytes, seq).map(Some).map_err(|msg| {
+        CoreError::Durability(format!(
+            "snapshot {} is corrupt ({msg}); refusing to start from damaged state — \
+             restore the file or move it aside to rebuild from a replica",
+            path.display()
+        ))
+    })
+}
+
+fn parse_snapshot(bytes: &[u8], expect_seq: u64) -> std::result::Result<Snapshot, String> {
+    if bytes.len() < 20 {
+        return Err(format!(
+            "only {} bytes, shorter than the header",
+            bytes.len()
+        ));
+    }
+    if &bytes[..8] != SNAP_MAGIC {
+        return Err("bad magic".into());
+    }
+    let covered_seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    if covered_seq != expect_seq {
+        return Err(format!(
+            "file named for seq {expect_seq} claims seq {covered_seq}"
+        ));
+    }
+    let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let mut r = Reader::new(&bytes[20..]);
+    let mut datasets = Vec::with_capacity(count);
+    for i in 0..count {
+        let entry = (|| -> std::result::Result<(String, DataSet), String> {
+            let name = r.string("snapshot entry name").map_err(|e| e.to_string())?;
+            let n = r.u32("snapshot entry length").map_err(|e| e.to_string())? as usize;
+            let raw = r
+                .bytes(n, "snapshot entry bytes")
+                .map_err(|e| e.to_string())?
+                .to_vec();
+            let stored_crc = r.u32("snapshot entry crc").map_err(|e| e.to_string())?;
+            let mut h = Hasher::new();
+            h.update(name.as_bytes());
+            h.update(&raw);
+            if h.finish() != stored_crc {
+                return Err(format!("checksum mismatch on dataset {name:?}"));
+            }
+            let data = decode_dataset(&raw).map_err(|e| e.to_string())?;
+            Ok((name, data))
+        })()
+        .map_err(|e| format!("entry {i} of {count}: {e}"))?;
+        datasets.push(entry);
+    }
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes after last entry", r.remaining()));
+    }
+    Ok(Snapshot {
+        covered_seq,
+        datasets,
+    })
+}
+
+/// Delete all but the newest `keep` snapshots. Returns how many were
+/// removed.
+pub fn prune(dir: &Path, keep: usize) -> Result<usize> {
+    let snaps = list_snapshots(dir)?;
+    let mut removed = 0;
+    if snaps.len() > keep {
+        for (_, path) in &snaps[..snaps.len() - keep] {
+            fs::remove_file(path).map_err(|e| dur_err(format!("remove {}", path.display()), e))?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bda_storage::Column;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bda-snap-test-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ds(k: i64) -> DataSet {
+        DataSet::from_columns(vec![("k", Column::from(vec![k, k * 2]))]).unwrap()
+    }
+
+    #[test]
+    fn write_load_roundtrip_and_prune() {
+        let dir = tmp();
+        assert!(load_latest(&dir).unwrap().is_none());
+        let cat1 = vec![("a".to_string(), ds(1))];
+        write_snapshot(&dir, 3, &cat1, &DiskFaults::default()).unwrap();
+        let cat2 = vec![("a".to_string(), ds(1)), ("b".to_string(), ds(9))];
+        write_snapshot(&dir, 7, &cat2, &DiskFaults::default()).unwrap();
+        let snap = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(snap.covered_seq, 7);
+        assert_eq!(snap.datasets.len(), 2);
+        assert!(snap.datasets[1].1.same_bag(&ds(9)).unwrap());
+        assert_eq!(prune(&dir, 1).unwrap(), 1);
+        assert_eq!(list_snapshots(&dir).unwrap().len(), 1);
+        assert_eq!(load_latest(&dir).unwrap().unwrap().covered_seq, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_catalog_snapshot_roundtrips() {
+        let dir = tmp();
+        write_snapshot(&dir, 1, &[], &DiskFaults::default()).unwrap();
+        let snap = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(snap.covered_seq, 1);
+        assert!(snap.datasets.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_refused_loudly() {
+        let dir = tmp();
+        write_snapshot(
+            &dir,
+            2,
+            &[("a".to_string(), ds(4))],
+            &DiskFaults {
+                truncate_snapshot: true,
+                ..DiskFaults::default()
+            },
+        )
+        .unwrap();
+        let err = load_latest(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("refusing to start"), "{msg}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_entry_is_refused() {
+        let dir = tmp();
+        write_snapshot(&dir, 5, &[("a".to_string(), ds(4))], &DiskFaults::default()).unwrap();
+        let path = snapshot_path(&dir, 5);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = load_latest(&dir).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_corrupt_snapshot_shadows_older_good_one() {
+        // Policy: never silently fall back to an older snapshot.
+        let dir = tmp();
+        write_snapshot(&dir, 2, &[("a".to_string(), ds(1))], &DiskFaults::default()).unwrap();
+        write_snapshot(
+            &dir,
+            6,
+            &[("a".to_string(), ds(2))],
+            &DiskFaults {
+                truncate_snapshot: true,
+                ..DiskFaults::default()
+            },
+        )
+        .unwrap();
+        assert!(load_latest(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -22,6 +22,12 @@ use rand::{Rng, SeedableRng};
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
+// Disk faults (torn WAL appends, ENOSPC-style refusals, truncated
+// snapshots) live in `bda-durability`; re-exported here so chaos tests
+// configure the whole fault surface — provider, transport, disk — from
+// one module, all keyed off the same seed.
+pub use bda_durability::DiskFaults;
+
 /// Environment variable the chaos CI job sets to sweep fault seeds.
 pub const FAULT_SEED_ENV: &str = "BDA_FAULT_SEED";
 
@@ -32,6 +38,13 @@ pub fn fault_seed_from_env(default: u64) -> u64 {
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(default)
+}
+
+/// The disk-fault plan for the current chaos seed: `BDA_FAULT_SEED`
+/// (else `default`) picks deterministically among the three disk
+/// failure modes via [`DiskFaults::plan_from_seed`].
+pub fn disk_faults_from_env(default: u64) -> DiskFaults {
+    DiskFaults::plan_from_seed(fault_seed_from_env(default))
 }
 
 /// What to inject, and how often.
@@ -312,6 +325,23 @@ mod tests {
         assert!(f.store("u", ds).is_err());
         // ... but the control plane still answers (catalog is metadata).
         assert_eq!(f.catalog().len(), 1);
+    }
+
+    #[test]
+    fn disk_fault_plan_is_seed_deterministic() {
+        std::env::remove_var(FAULT_SEED_ENV);
+        assert_eq!(disk_faults_from_env(7), DiskFaults::plan_from_seed(7));
+    }
+
+    #[test]
+    fn durability_ephemeral_prefix_matches_staging_prefix() {
+        // The durability layer excludes staged fragments from WAL and
+        // snapshots by name prefix; if the planner's staging prefix ever
+        // drifts, staged intermediates would silently become durable.
+        assert_eq!(
+            bda_durability::DEFAULT_EPHEMERAL_PREFIX,
+            crate::planner::FRAG_PREFIX
+        );
     }
 
     #[test]

@@ -25,10 +25,13 @@ pub mod registry;
 pub use cluster::{Cluster, WireStats};
 pub use executor::{run_plan, run_plan_traced, ExecOptions, RecoveryPolicy, TransferMode};
 pub use explain::render_analyze;
-pub use fault::{fault_seed_from_env, FaultConfig, FaultyProvider, FAULT_SEED_ENV};
+pub use fault::{
+    disk_faults_from_env, fault_seed_from_env, DiskFaults, FaultConfig, FaultyProvider,
+    FAULT_SEED_ENV,
+};
 pub use metrics::{Metrics, NetConfig, TransferRecord};
 pub use optimize::{optimize, OptimizerConfig};
-pub use planner::{Fragment, Placement, Planner, APP_SITE};
+pub use planner::{Fragment, Placement, Planner, APP_SITE, FRAG_PREFIX};
 pub use registry::{
     translatability, BreakerConfig, BreakerState, HealthBoard, MaskedProvider, Registry,
     Translation,

@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bda_core::Provider;
+use bda_durability::{DurableProvider, RecoveryReport};
 use bda_obs::MetricsHub;
 
 use rand::rngs::StdRng;
@@ -53,6 +54,7 @@ pub struct ServerHandle {
     metrics: MetricsHub,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    durable: Option<Arc<DurableProvider>>,
 }
 
 /// Seeded transport-level fault injection for a server (chaos testing).
@@ -90,6 +92,12 @@ pub struct ServeOptions {
     /// the HTTP ops server (`bda-served --http`) passes the same hub so
     /// `GET /metrics` scrapes this server's request metrics.
     pub metrics: Option<MetricsHub>,
+    /// Make the served engine durable: recover prior state from this
+    /// data directory before binding, then WAL every acknowledged
+    /// mutation (including `StorePart` staging, which the durability
+    /// layer classifies by name). Disk-fault injection rides in
+    /// [`bda_durability::Options::faults`].
+    pub durability: Option<bda_durability::Options>,
 }
 
 /// The shared fault stream: one RNG across all of a server's connections
@@ -144,6 +152,27 @@ pub fn serve_with_faults(
     )
 }
 
+/// [`serve_with_faults`] plus a durable engine: recovers from the
+/// durability options' data directory, then injects *both* transport
+/// faults and the disk faults carried in `durability.faults` — the full
+/// chaos surface a provider must survive.
+pub fn serve_durable_with_faults(
+    engine: Arc<dyn Provider>,
+    bind: &str,
+    faults: NetFaults,
+    durability: bda_durability::Options,
+) -> std::io::Result<ServerHandle> {
+    serve_with(
+        engine,
+        bind,
+        ServeOptions {
+            faults: Some(faults),
+            durability: Some(durability),
+            ..ServeOptions::default()
+        },
+    )
+}
+
 /// [`serve`] with full [`ServeOptions`].
 pub fn serve_with(
     engine: Arc<dyn Provider>,
@@ -156,6 +185,18 @@ pub fn serve_with(
             faults,
         })
     });
+    // Recovery happens before the listener binds: a durable server is
+    // only reachable once it serves its recovered catalog.
+    let mut durable = None;
+    let engine: Arc<dyn Provider> = match opts.durability {
+        Some(durability) => {
+            let p =
+                Arc::new(DurableProvider::open(engine, durability).map_err(std::io::Error::other)?);
+            durable = Some(Arc::clone(&p));
+            p
+        }
+        None => engine,
+    };
     let handler = Arc::new(RequestHandler::new(
         engine,
         opts.metrics.unwrap_or_default(),
@@ -174,6 +215,7 @@ pub fn serve_with(
         metrics,
         shutdown,
         accept_thread: Some(accept_thread),
+        durable,
     })
 }
 
@@ -187,6 +229,18 @@ impl ServerHandle {
     /// handlers update). An HTTP ops server can render it directly.
     pub fn metrics(&self) -> MetricsHub {
         self.metrics.clone()
+    }
+
+    /// The durable wrapper, when the server was started with
+    /// [`ServeOptions::durability`] — gives access to change streams,
+    /// `snapshot_now`, and staged-dataset inspection.
+    pub fn durable(&self) -> Option<&Arc<DurableProvider>> {
+        self.durable.as_ref()
+    }
+
+    /// What recovery found when the server (re)started, when durable.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().map(|d| d.report())
     }
 
     /// Stop accepting, wake the accept thread, and join it. Connection

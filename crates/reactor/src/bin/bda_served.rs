@@ -26,8 +26,19 @@
 //! this mode `/readyz` reports 503 while the admission queues are
 //! saturated. `--shards`, `--workers`, `--queue`, `--per-tenant`,
 //! `--max-conns`, and `--max-inflight` tune it (0 = derive).
+//!
+//! `--data-dir <dir>` makes the served engine durable: prior state is
+//! recovered (newest snapshot + WAL tail) before the listener binds,
+//! every acknowledged mutation is write-ahead-logged, and a background
+//! thread compacts the log into snapshots. `--fsync always|never`
+//! picks the append sync policy (default `always`: acknowledged writes
+//! survive power loss, not just `kill -9`). While recovery replays,
+//! `/readyz` reports 503 with a `recovering` detail.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bda_durability::{DurableProvider, FsyncPolicy};
 
 use bda_array::ArrayEngine;
 use bda_core::{Provider, ReferenceProvider};
@@ -44,6 +55,8 @@ struct Args {
     demo: bool,
     log: Option<bda_net::LogSink>,
     http: Option<u16>,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
     reactor: bool,
     shards: usize,
     workers: usize,
@@ -60,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
     let mut demo = false;
     let mut log = None;
     let mut http = None;
+    let mut data_dir = None;
+    let mut fsync = FsyncPolicy::Always;
     let mut reactor = false;
     let mut shards = 0usize;
     let mut workers = 0usize;
@@ -91,6 +106,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--http wants a port number, got `{raw}`"))?,
                 );
             }
+            "--data-dir" => data_dir = Some(value("--data-dir")?),
+            "--fsync" => {
+                let raw = value("--fsync")?;
+                fsync = FsyncPolicy::parse(&raw)
+                    .ok_or_else(|| format!("--fsync wants `always` or `never`, got `{raw}`"))?;
+            }
             "--reactor" => reactor = true,
             "--shards" | "--workers" | "--queue" | "--per-tenant" | "--max-conns"
             | "--max-inflight" => {
@@ -111,7 +132,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: bda-served [--engine relational|array|linalg|graph|reference]\n\
                      \x20                 [--name NAME] [--listen HOST:PORT] [--demo]\n\
-                     \x20                 [--log PATH|stderr] [--http PORT] [--reactor]\n\
+                     \x20                 [--log PATH|stderr] [--http PORT]\n\
+                     \x20                 [--data-dir DIR] [--fsync always|never] [--reactor]\n\
                      \x20                 [--shards N] [--workers N] [--queue N]\n\
                      \x20                 [--per-tenant N] [--max-conns N] [--max-inflight N]\n\
                      \n\
@@ -120,6 +142,12 @@ fn parse_args() -> Result<Args, String> {
                      --http mounts the observability HTTP endpoint (/metrics,\n\
                      /healthz, /readyz, /progress, /flight, /traces/<id>) on\n\
                      127.0.0.1:PORT; port 0 picks an ephemeral port.\n\
+                     --data-dir makes the engine durable: prior state is recovered\n\
+                     from DIR before the listener binds, acknowledged mutations are\n\
+                     write-ahead-logged there, and snapshots compact the log.\n\
+                     --fsync picks the WAL sync policy: `always` (default; acked\n\
+                     writes survive power loss) or `never` (page cache only:\n\
+                     survives kill -9, not power loss).\n\
                      --reactor serves on the sharded event-loop core (pipelining,\n\
                      admission control, load shedding); the remaining flags tune\n\
                      its shards, executor workers, per-class admission queue\n\
@@ -139,6 +167,8 @@ fn parse_args() -> Result<Args, String> {
         demo,
         log,
         http,
+        data_dir,
+        fsync,
         reactor,
         shards,
         workers,
@@ -199,34 +229,107 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // One hub for everything: request counters, durability WAL/replay
+    // metrics, and the ops endpoint all share these cells.
+    let metrics = bda_obs::MetricsHub::new();
+
+    // Readiness is gated twice: not ready until recovery has replayed
+    // (durable mode), then delegated to the serving core's own health
+    // (the reactor reports saturation) once it is up.
+    let replay_done = Arc::new(AtomicBool::new(args.data_dir.is_none()));
+    let serving_health: Arc<Mutex<Option<bda_obs::HealthSource>>> = Arc::new(Mutex::new(None));
+    let gated_health: bda_obs::HealthSource = {
+        let replay_done = Arc::clone(&replay_done);
+        let serving_health = Arc::clone(&serving_health);
+        Arc::new(move || {
+            if !replay_done.load(Ordering::SeqCst) {
+                return bda_obs::Health {
+                    healthy: true,
+                    ready: false,
+                    detail: "recovering: replaying snapshot + wal".into(),
+                };
+            }
+            match &*serving_health.lock().expect("health lock poisoned") {
+                Some(h) => h(),
+                None => bda_obs::Health::default(),
+            }
+        })
+    };
+
+    // Mount the ops endpoint over whichever core is serving; the shared
+    // metrics hub means `GET /metrics` scrapes the same request counters
+    // the protocol updates. The handle must outlive the serve loop or
+    // the endpoint shuts down on drop.
+    let mount_ops = |port: u16, metrics: bda_obs::MetricsHub, health: bda_obs::HealthSource| {
+        let options = bda_obs::OpsOptions {
+            metrics,
+            health,
+            ..bda_obs::OpsOptions::default()
+        };
+        match bda_obs::serve_ops(&format!("127.0.0.1:{port}"), options) {
+            Ok(h) => {
+                println!("bda-served: ops endpoint on {}", h.addr());
+                h
+            }
+            Err(e) => {
+                eprintln!("bda-served: ops bind 127.0.0.1:{port}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    // Durable mode mounts the ops endpoint *before* recovery so
+    // `/readyz` observably holds 503 while the replay runs.
+    let mut ops = None;
+    if args.data_dir.is_some() {
+        if let Some(port) = args.http {
+            ops = Some(mount_ops(port, metrics.clone(), gated_health.clone()));
+        }
+    }
+
+    let mut durable: Option<Arc<DurableProvider>> = None;
+    let engine: Arc<dyn Provider> = match &args.data_dir {
+        Some(dir) => {
+            let options = bda_durability::Options::new(dir)
+                .with_fsync(args.fsync)
+                .with_metrics(metrics.clone());
+            match DurableProvider::open(engine, options) {
+                Ok(p) => {
+                    let p = Arc::new(p);
+                    let r = p.report();
+                    println!(
+                        "bda-served: recovered {} datasets (snapshot seq {}, {} wal records, \
+                         torn tail truncated: {}) from {dir} in {} ms",
+                        r.datasets.len(),
+                        r.snapshot_seq,
+                        r.wal_records_replayed,
+                        r.torn_tail_truncated,
+                        r.elapsed.as_millis()
+                    );
+                    durable = Some(Arc::clone(&p));
+                    p
+                }
+                Err(e) => {
+                    eprintln!("bda-served: recovery from {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => engine,
+    };
+    replay_done.store(true, Ordering::SeqCst);
+    // Keep the durable wrapper (and its snapshotter thread) alive for
+    // the life of the process.
+    let _durable = durable;
+
     if args.demo {
+        // Stored through the durable wrapper when one is mounted, so
+        // demo data survives restarts like any other ingest.
         if let Err(e) = demo_data(engine.as_ref()) {
             eprintln!("bda-served: demo data: {e}");
             std::process::exit(1);
         }
     }
-    // Mount the ops endpoint over whichever core is serving; the shared
-    // metrics hub means `GET /metrics` scrapes the same request counters
-    // the protocol updates. The handle must outlive the serve loop or
-    // the endpoint shuts down on drop.
-    let mount_ops =
-        |port: u16, metrics: bda_obs::MetricsHub, health: Option<bda_obs::HealthSource>| {
-            let options = bda_obs::OpsOptions {
-                metrics,
-                health: health.unwrap_or_else(|| Arc::new(bda_obs::Health::default)),
-                ..bda_obs::OpsOptions::default()
-            };
-            match bda_obs::serve_ops(&format!("127.0.0.1:{port}"), options) {
-                Ok(h) => {
-                    println!("bda-served: ops endpoint on {}", h.addr());
-                    h
-                }
-                Err(e) => {
-                    eprintln!("bda-served: ops bind 127.0.0.1:{port}: {e}");
-                    std::process::exit(1);
-                }
-            }
-        };
     if args.reactor {
         let mut admission = bda_reactor::AdmissionConfig::default();
         if args.queue > 0 {
@@ -240,6 +343,7 @@ fn main() {
             workers: args.workers,
             admission,
             log: args.log.clone(),
+            metrics: Some(metrics.clone()),
             ..bda_reactor::ReactorOptions::default()
         };
         if args.max_conns > 0 {
@@ -261,15 +365,18 @@ fn main() {
             args.engine,
             server.addr()
         );
-        let _ops = args
-            .http
-            .map(|port| mount_ops(port, server.metrics(), Some(server.health_source())));
+        *serving_health.lock().expect("health lock poisoned") = Some(server.health_source());
+        let _ops = ops.take().or_else(|| {
+            args.http
+                .map(|port| mount_ops(port, server.metrics(), gated_health))
+        });
         loop {
             std::thread::park();
         }
     }
     let opts = bda_net::ServeOptions {
         log: args.log.clone(),
+        metrics: Some(metrics.clone()),
         ..bda_net::ServeOptions::default()
     };
     let server = match bda_net::serve_with(Arc::clone(&engine), &args.listen, opts) {
@@ -285,9 +392,10 @@ fn main() {
         args.engine,
         server.addr()
     );
-    let _ops = args
-        .http
-        .map(|port| mount_ops(port, server.metrics(), None));
+    let _ops = ops.take().or_else(|| {
+        args.http
+            .map(|port| mount_ops(port, server.metrics(), gated_health))
+    });
     // Serve until killed.
     loop {
         std::thread::park();
