@@ -3,18 +3,19 @@
 //!
 //! ## Commit protocol
 //!
-//! `store`/`remove` apply to the wrapped engine **first** (so shape
-//! validation happens before anything touches disk), then append a WAL
-//! record and fsync per policy, then return. The acknowledgement the
-//! caller sees therefore implies the record is durable: *never
-//! ack-then-lose*. The failure window is the converse — a mutation that
-//! reached memory but whose append failed is reported as an error, may
-//! still be present until restart, and may become durable at the next
-//! snapshot; that is at-least-once, which the idempotent record design
-//! (full-dataset stores, plain removes) makes harmless on replay.
-//!
-//! Change-stream deltas are published under the same lock that orders
-//! WAL appends, so subscribers observe exactly the commit order.
+//! `store`/`remove` take the WAL lock, apply to the wrapped engine (so
+//! shape validation happens before anything touches disk), append a WAL
+//! record and fsync per policy, publish the change delta, and only then
+//! release the lock and return. Engine apply, log order, and change
+//! streams therefore always agree on which of two racing mutations won,
+//! and the acknowledgement the caller sees implies the record is
+//! durable: *never ack-then-lose*. The failure window is the converse —
+//! a mutation that reached memory but whose append failed is reported
+//! as an error (or, for `remove`, rescued by an immediate snapshot),
+//! may still be present until restart, and may become durable at the
+//! next snapshot; that is at-least-once, which the idempotent record
+//! design (full-dataset stores, plain removes) makes harmless on
+//! replay.
 //!
 //! ## Recovery sequence (on [`DurableProvider::open`])
 //!
@@ -76,8 +77,15 @@ struct Shared {
     options: Options,
     metrics: MetricsHub,
     changes: ChangeHub,
-    /// Orders commits: appends, delta publication, rotation.
+    /// Orders commits: engine apply, appends, delta publication,
+    /// rotation.
     wal: Mutex<Wal>,
+    /// Serializes whole snapshot cycles (background thread + public
+    /// API). Without it, two concurrent cycles could interleave so that
+    /// one deletes a segment whose records are covered only by the
+    /// other's snapshot — which may not be on disk yet. Never acquired
+    /// while holding the WAL lock.
+    snapshots: Mutex<()>,
     /// WAL bytes appended since the last snapshot (the snapshot trigger).
     bytes_since_snapshot: AtomicU64,
     /// Live ephemeral names and when they appeared, for TTL GC.
@@ -104,13 +112,16 @@ impl Shared {
 
     /// Compact the WAL into a snapshot and drop covered segments.
     fn snapshot_now(&self) -> Result<u64> {
+        // One snapshot cycle at a time: rotate, read, write, and drop
+        // must see a consistent segment layout end to end.
+        let _cycle = self.snapshots.lock().expect("snapshot lock poisoned");
         // Rotation is the cut point: everything at or below `covered`
         // will be represented by the snapshot. The WAL lock is released
         // while the catalog is read and written out — concurrent commits
         // land in the new segment, and because records are idempotent
         // full-dataset ops, replaying them over a snapshot that already
         // includes their effects converges.
-        let covered = self.wal.lock().expect("wal lock poisoned").rotate()?;
+        let (covered, new_index) = self.wal.lock().expect("wal lock poisoned").rotate()?;
         let datasets = self.durable_catalog()?;
         let bytes = snapshot::write_snapshot(
             &self.options.snapshot_dir(),
@@ -119,10 +130,12 @@ impl Shared {
             &self.options.faults,
         )?;
         snapshot::prune(&self.options.snapshot_dir(), self.options.keep_snapshots)?;
+        // Drop only below the index recorded at *our* rotation — the
+        // current index may already belong to a later cycle.
         self.wal
             .lock()
             .expect("wal lock poisoned")
-            .drop_segments_before_current()?;
+            .drop_segments_below(new_index)?;
         self.bytes_since_snapshot.store(0, Ordering::Relaxed);
         self.metrics
             .counter("bda_durability_snapshots_total", "Snapshots written.")
@@ -211,7 +224,12 @@ impl DurableProvider {
         }
 
         // 2. WAL replay.
-        let replayed = wal::replay_dir(&options.wal_dir())?;
+        let mut replayed = wal::replay_dir(&options.wal_dir())?;
+        // A snapshot proves sequences up to covered_seq were committed,
+        // even if the WAL tail no longer shows them (e.g. the log
+        // directory was lost while snapshots survived) — never let the
+        // writer re-issue a sequence number a snapshot already covers.
+        replayed.next_seq = replayed.next_seq.max(snapshot_seq + 1);
         let wal_records_replayed = replayed.records.len();
         for (_, op) in &replayed.records {
             let mut span = tracer.start(root.id(), || format!("recovery:{}", op.name()), &site);
@@ -275,6 +293,7 @@ impl DurableProvider {
             metrics,
             changes: ChangeHub::new(),
             wal: Mutex::new(wal),
+            snapshots: Mutex::new(()),
             bytes_since_snapshot: AtomicU64::new(0),
             staged: Mutex::new(HashMap::new()),
         });
@@ -402,30 +421,30 @@ impl Provider for DurableProvider {
                 .insert(name.to_string(), Instant::now());
             return Ok(());
         }
-        // Apply first (shape validation), then commit to the log. The
-        // ack below implies the record is on disk.
+        // Engine apply, WAL append, and delta publication all happen
+        // under the WAL lock: the lock order *is* the commit order, so
+        // live state, the log, and change streams can never disagree
+        // about which of two racing stores won. Apply still precedes
+        // append (shape validation — an engine that refuses the dataset
+        // must not leave a log record); the ack below implies the
+        // record is on disk.
+        let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
         self.shared.inner.store(name, data.clone())?;
         let op = WalOp::Store {
             name: name.to_string(),
             data,
         };
-        let seq = {
-            let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
-            let (seq, bytes) = wal.append(&op)?;
-            self.shared
-                .bytes_since_snapshot
-                .fetch_add(bytes, Ordering::Relaxed);
-            // Publish under the lock: subscribers see commit order.
-            self.shared.changes.publish(&Delta::from_op(seq, &op));
-            seq
-        };
-        let _ = seq;
+        let (seq, bytes) = wal.append(&op)?;
+        self.shared
+            .bytes_since_snapshot
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.shared.changes.publish(&Delta::from_op(seq, &op));
         Ok(())
     }
 
     fn remove(&self, name: &str) {
-        self.shared.inner.remove(name);
         if self.shared.is_ephemeral(name) {
+            self.shared.inner.remove(name);
             self.shared
                 .staged
                 .lock()
@@ -436,23 +455,46 @@ impl Provider for DurableProvider {
         let op = WalOp::Remove {
             name: name.to_string(),
         };
-        let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
-        match wal.append(&op) {
-            Ok((seq, bytes)) => {
-                self.shared
-                    .bytes_since_snapshot
-                    .fetch_add(bytes, Ordering::Relaxed);
-                self.shared.changes.publish(&Delta::from_op(seq, &op));
+        let append_failed = {
+            // Engine apply under the WAL lock, like store: apply order
+            // must match commit order.
+            let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
+            self.shared.inner.remove(name);
+            match wal.append(&op) {
+                Ok((seq, bytes)) => {
+                    self.shared
+                        .bytes_since_snapshot
+                        .fetch_add(bytes, Ordering::Relaxed);
+                    self.shared.changes.publish(&Delta::from_op(seq, &op));
+                    false
+                }
+                Err(_) => {
+                    // `remove` has no error channel (trait signature),
+                    // and the engine-side delete already happened — live
+                    // clients observe the dataset gone. Count the miss
+                    // so operators see it.
+                    self.shared
+                        .metrics
+                        .counter(
+                            "bda_durability_unlogged_removes_total",
+                            "Removes whose WAL append failed (made durable by a rescue snapshot).",
+                        )
+                        .inc();
+                    true
+                }
             }
-            Err(_) => {
-                // `remove` has no error channel (trait signature). The
-                // engine-side delete already happened; the next snapshot
-                // makes it durable. Count the miss so operators see it.
+        };
+        if append_failed {
+            // Make the unlogged delete durable *now* instead of waiting
+            // for the next scheduled snapshot: until one lands, a crash
+            // would resurrect a dataset clients already saw removed.
+            if let Err(e) = self.shared.snapshot_now() {
                 self.shared
                     .metrics
-                    .counter(
-                        "bda_durability_unlogged_removes_total",
-                        "Removes whose WAL append failed (made durable at next snapshot).",
+                    .counter_labeled(
+                        "bda_durability_snapshot_errors_total",
+                        &[("error", &e.to_string())],
+                        "Background snapshot attempts that failed.",
                     )
                     .inc();
             }
@@ -569,6 +611,61 @@ mod tests {
         assert_eq!(p.report().snapshot_datasets, 5);
         assert_eq!(p.report().wal_records_replayed, 1, "only the tail replays");
         assert_eq!(p.report().datasets.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_survives_snapshot_then_reopen_then_ingest() {
+        // snapshot -> restart -> ingest -> restart: the empty WAL tail
+        // after a snapshot must not reset the sequence, or the second
+        // restart refuses on a sequence jump and later snapshots sort
+        // below the pre-restart one.
+        let dir = tmp();
+        {
+            let p = open(&dir);
+            p.store("a", ds(1)).unwrap();
+            p.store("b", ds(2)).unwrap();
+            assert_eq!(p.snapshot_now().unwrap(), 2);
+        }
+        {
+            let p = open(&dir);
+            assert_eq!(p.report().snapshot_seq, 2);
+            p.store("c", ds(3)).unwrap();
+        }
+        let p = open(&dir);
+        assert_eq!(p.report().wal_records_replayed, 1);
+        assert_eq!(p.report().datasets, ["a", "b", "c"]);
+        // A fresh snapshot covers a *higher* sequence than the old one,
+        // so load_latest keeps picking the newest state.
+        assert_eq!(p.snapshot_now().unwrap(), 3);
+        drop(p);
+        let p = open(&dir);
+        assert_eq!(p.report().snapshot_seq, 3);
+        assert_eq!(p.report().datasets, ["a", "b", "c"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_remove_append_is_rescued_by_immediate_snapshot() {
+        let dir = tmp();
+        let mut options = Options::new(dir.clone());
+        options.faults = DiskFaults {
+            append_fail_after: Some(1),
+            ..DiskFaults::default()
+        };
+        {
+            let p = DurableProvider::open(Arc::new(ReferenceProvider::new("p")), options).unwrap();
+            p.store("gone", ds(1)).unwrap(); // spends the append budget
+            p.remove("gone"); // WAL append fails -> rescue snapshot
+        }
+        // Without the rescue, recovery replays the store and resurrects
+        // a dataset live clients already observed removed.
+        let p = open(&dir);
+        assert!(
+            p.report().datasets.is_empty(),
+            "unlogged remove survives restart: {:?}",
+            p.report().datasets
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -51,7 +51,11 @@ const SEG_HEADER: u64 = 16;
 /// Bytes of record header (len + crc + seq).
 const REC_HEADER: u64 = 16;
 /// How far past a failed record replay scans for a later valid record
-/// before concluding the failure is a tolerable torn tail.
+/// before concluding the failure is a tolerable torn tail. Records can
+/// be far larger than this window, so in addition to the byte-wise scan
+/// replay probes the boundary the failed record's own length field
+/// points at — a corrupted record followed by committed data is interior
+/// corruption no matter how large it is.
 const SCAN_WINDOW: u64 = 1 << 20;
 
 /// When the WAL writer calls `fdatasync`.
@@ -126,6 +130,13 @@ pub struct ReplayedWal {
     pub torn_tail: bool,
     /// Highest committed sequence number (0 when the log is empty).
     pub last_seq: u64,
+    /// Sequence number the next append must use. This is **not** always
+    /// `last_seq + 1`: after a snapshot rotates the log and drops the
+    /// covered segments, the surviving tail segment holds no records but
+    /// its header still carries the next sequence — losing it would
+    /// restart numbering at 1, making every later recovery refuse on a
+    /// sequence jump and every later snapshot sort below the old one.
+    pub next_seq: u64,
     /// Index of the newest segment (0 when none exist yet).
     pub(crate) last_segment_index: u64,
     /// Valid byte length of the newest segment (`None`: no segments).
@@ -187,10 +198,17 @@ fn read_segment(
                 pos = end;
             }
             RecordParse::SeqJump { reason } => return Err(corrupt(pos, &reason)),
-            RecordParse::Bad { reason } => {
+            RecordParse::Bad { reason, next_hint } => {
                 // Tail or interior? A checksum-valid record anywhere
                 // after the failure point means committed data follows.
-                if let Some(at) = scan_for_valid_record(&bytes, pos + 1) {
+                // The bounded scan catches shifted/garbled framing; the
+                // hint probe catches a corrupted record whose successor
+                // starts beyond the scan window (large payloads).
+                let later = scan_for_valid_record(&bytes, pos + 1).or_else(|| {
+                    next_hint
+                        .filter(|&at| matches!(parse_record(&bytes, at, 0), RecordParse::Ok { .. }))
+                });
+                if let Some(at) = later {
                     return Err(corrupt(
                         pos,
                         &format!("{reason}, but a valid record follows at offset {at}"),
@@ -214,9 +232,14 @@ enum RecordParse {
         op: WalOp,
         end: u64,
     },
-    /// Framing or checksum failure — a candidate torn tail.
+    /// Framing or checksum failure — a candidate torn tail. When the
+    /// record's length field was in bounds, `next_hint` is the offset
+    /// where the next record would start if that length is trusted;
+    /// replay probes it so a valid record past the scan window still
+    /// flags interior corruption.
     Bad {
         reason: String,
+        next_hint: Option<u64>,
     },
     /// Checksum-valid record with the wrong sequence number. The frame
     /// is intact, so a torn append cannot produce this; it can only be
@@ -234,6 +257,7 @@ fn parse_record(bytes: &[u8], pos: u64, expected: u64) -> RecordParse {
     if len - pos < REC_HEADER {
         return RecordParse::Bad {
             reason: format!("{} trailing bytes, less than a record header", len - pos),
+            next_hint: None,
         };
     }
     let p = pos as usize;
@@ -246,6 +270,7 @@ fn parse_record(bytes: &[u8], pos: u64, expected: u64) -> RecordParse {
                 "record claims {payload_len} payload bytes, only {} remain",
                 len - pos - REC_HEADER
             ),
+            next_hint: None,
         };
     }
     let payload = &bytes[p + 16..p + 16 + payload_len as usize];
@@ -255,6 +280,7 @@ fn parse_record(bytes: &[u8], pos: u64, expected: u64) -> RecordParse {
     if h.finish() != stored_crc {
         return RecordParse::Bad {
             reason: format!("checksum mismatch on record seq {seq}"),
+            next_hint: Some(pos + REC_HEADER + payload_len),
         };
     }
     if expected != 0 && seq != expected {
@@ -270,6 +296,7 @@ fn parse_record(bytes: &[u8], pos: u64, expected: u64) -> RecordParse {
         },
         Err(e) => RecordParse::Bad {
             reason: format!("checksummed payload failed to decode: {e}"),
+            next_hint: Some(pos + REC_HEADER + payload_len),
         },
     }
 }
@@ -297,6 +324,7 @@ pub fn replay_dir(dir: &Path) -> Result<ReplayedWal> {
         records: Vec::new(),
         torn_tail: false,
         last_seq: 0,
+        next_seq: 1,
         last_segment_index: 0,
         last_segment_valid_len: None,
     };
@@ -332,6 +360,10 @@ pub fn replay_dir(dir: &Path) -> Result<ReplayedWal> {
         replayed.last_segment_index = *index;
     }
     replayed.last_seq = replayed.records.last().map(|(s, _)| *s).unwrap_or(0);
+    // `expected_seq` carries the position even through record-less
+    // segments (read_segment seeds it from the segment header), so a
+    // freshly rotated, empty tail still yields the right next sequence.
+    replayed.next_seq = expected_seq.max(replayed.last_seq + 1);
     Ok(replayed)
 }
 
@@ -364,7 +396,7 @@ impl Wal {
         metrics: MetricsHub,
     ) -> Result<Wal> {
         fs::create_dir_all(dir).map_err(|e| dur_err(format!("create {}", dir.display()), e))?;
-        let next_seq = replayed.last_seq + 1;
+        let next_seq = replayed.next_seq;
         let (segment_index, file) = match replayed.last_segment_valid_len {
             Some(valid_len) if valid_len < SEG_HEADER => {
                 // The tear hit the segment header itself (a crash during
@@ -473,25 +505,30 @@ impl Wal {
         Ok((seq, rec.len() as u64))
     }
 
-    /// Start a fresh segment; subsequent appends land there. Returns the
-    /// highest sequence number covered by the *previous* segments — the
-    /// snapshot that triggers a rotation covers exactly those records.
-    pub fn rotate(&mut self) -> Result<u64> {
+    /// Start a fresh segment; subsequent appends land there. Returns
+    /// `(covered, new_index)`: the highest sequence number covered by
+    /// the *previous* segments — the snapshot that triggers a rotation
+    /// covers exactly those records — and the index of the new segment.
+    /// The caller must pass that recorded index to
+    /// [`Wal::drop_segments_below`], not re-read the current index: a
+    /// concurrent rotation may have advanced it past segments whose
+    /// covering snapshot is not on disk yet.
+    pub fn rotate(&mut self) -> Result<(u64, u64)> {
         self.file
             .sync_data()
             .map_err(|e| dur_err("wal fsync before rotate", e))?;
         let covered = self.next_seq - 1;
         self.segment_index += 1;
         self.file = create_segment(&self.dir, self.segment_index, self.next_seq)?;
-        Ok(covered)
+        Ok((covered, self.segment_index))
     }
 
-    /// Delete every segment older than the current one (their records
+    /// Delete every segment with an index below `index` (their records
     /// are covered by a durable snapshot).
-    pub fn drop_segments_before_current(&self) -> Result<usize> {
+    pub fn drop_segments_below(&self, index: u64) -> Result<usize> {
         let mut dropped = 0;
-        for (index, path) in list_segments(&self.dir)? {
-            if index < self.segment_index {
+        for (seg_index, path) in list_segments(&self.dir)? {
+            if seg_index < index {
                 fs::remove_file(&path)
                     .map_err(|e| dur_err(format!("remove {}", path.display()), e))?;
                 dropped += 1;
@@ -645,16 +682,78 @@ mod tests {
         let mut wal = open_empty(&dir);
         wal.append(&store("a", 1)).unwrap();
         wal.append(&store("b", 2)).unwrap();
-        let covered = wal.rotate().unwrap();
+        let (covered, new_index) = wal.rotate().unwrap();
         assert_eq!(covered, 2);
         wal.append(&store("c", 3)).unwrap();
-        assert_eq!(wal.drop_segments_before_current().unwrap(), 1);
+        assert_eq!(wal.drop_segments_below(new_index).unwrap(), 1);
         drop(wal);
         // Only the post-rotation record remains in the log.
         let replayed = replay_dir(&dir).unwrap();
         assert_eq!(replayed.records.len(), 1);
         assert_eq!(replayed.last_seq, 3);
         assert_eq!(replayed.records[0].0, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_tail_segment_preserves_next_seq_across_reopen() {
+        // snapshot -> restart -> ingest -> restart: the tail segment
+        // holds no records, but its header must carry the sequence
+        // forward or the next recovery refuses on a sequence jump.
+        let dir = tmp();
+        let mut wal = open_empty(&dir);
+        wal.append(&store("a", 1)).unwrap();
+        wal.append(&store("b", 2)).unwrap();
+        let (covered, new_index) = wal.rotate().unwrap();
+        assert_eq!(covered, 2);
+        wal.drop_segments_below(new_index).unwrap();
+        drop(wal);
+
+        let replayed = replay_dir(&dir).unwrap();
+        assert_eq!(replayed.last_seq, 0, "tail segment has no records");
+        assert_eq!(replayed.next_seq, 3, "segment header carries the seq");
+        let mut wal = Wal::open(
+            &dir,
+            &replayed,
+            FsyncPolicy::Always,
+            DiskFaults::default(),
+            MetricsHub::new(),
+        )
+        .unwrap();
+        assert_eq!(wal.append(&store("c", 3)).unwrap().0, 3);
+        drop(wal);
+
+        // The log replays cleanly — no SeqJump refusal on restart.
+        let replayed = replay_dir(&dir).unwrap();
+        assert_eq!(replayed.last_seq, 3);
+        assert_eq!(replayed.next_seq, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_beyond_scan_window_is_refused() {
+        // A corrupted record larger than SCAN_WINDOW: the next valid
+        // record starts past the byte-wise scan, so only the length-field
+        // boundary probe can tell interior corruption from a torn tail.
+        let dir = tmp();
+        let mut wal = open_empty(&dir);
+        let big: Vec<i64> = (0..200_000).collect(); // ~1.6 MiB payload
+        wal.append(&WalOp::Store {
+            name: "big".into(),
+            data: DataSet::from_columns(vec![("k", Column::from(big))]).unwrap(),
+        })
+        .unwrap();
+        wal.append(&store("small", 2)).unwrap();
+        drop(wal);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte early in the big record, > SCAN_WINDOW
+        // before the small record that follows it.
+        bytes[(SEG_HEADER + REC_HEADER) as usize + 64] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = replay_dir(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("interior corruption"), "{msg}");
         fs::remove_dir_all(&dir).unwrap();
     }
 
