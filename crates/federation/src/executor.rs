@@ -112,6 +112,22 @@ pub struct ExecOptions {
     /// `n` partitions. Defaults to the `BDA_WORKERS` environment
     /// variable (falling back to 1).
     pub workers: usize,
+    /// Consult the process-global [`bda_obs::profile::CostBook`] of
+    /// measured costs during planning (site assignment and
+    /// partition-count choices). Off by default — disabled calibration
+    /// produces plans byte-identical to the static planner. Defaults to
+    /// the `BDA_CALIBRATE` environment variable (`1`/`true`/`on`).
+    pub calibrate: bool,
+}
+
+/// Environment variable enabling measured-cost calibration by default.
+pub const CALIBRATE_ENV: &str = "BDA_CALIBRATE";
+
+fn calibrate_from_env() -> bool {
+    matches!(
+        std::env::var(CALIBRATE_ENV).ok().as_deref().map(str::trim),
+        Some("1") | Some("true") | Some("on")
+    )
 }
 
 impl Default for ExecOptions {
@@ -122,6 +138,7 @@ impl Default for ExecOptions {
             net: NetConfig::default(),
             recovery: RecoveryPolicy::default(),
             workers: pool::workers_from_env(),
+            calibrate: calibrate_from_env(),
         }
     }
 }
@@ -146,8 +163,12 @@ pub fn run_plan_traced(
     parent: Option<u64>,
 ) -> Result<(DataSet, Metrics)> {
     let optimized = optimize(plan, opts.optimizer);
+    let costs = opts
+        .calibrate
+        .then(|| bda_obs::profile::global_costs().clone());
     let placement = Planner::new(registry)
         .with_workers(opts.workers)
+        .with_costs(costs)
         .place(&optimized)?;
     execute_placement_traced(registry, &placement, opts, tracer, parent)
 }

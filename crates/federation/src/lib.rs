@@ -23,8 +23,10 @@ pub mod planner;
 pub mod registry;
 
 pub use cluster::{Cluster, WireStats};
-pub use executor::{run_plan, run_plan_traced, ExecOptions, RecoveryPolicy, TransferMode};
-pub use explain::render_analyze;
+pub use executor::{
+    run_plan, run_plan_traced, ExecOptions, RecoveryPolicy, TransferMode, CALIBRATE_ENV,
+};
+pub use explain::{render_analyze, render_analyze_with_costs};
 pub use fault::{
     disk_faults_from_env, fault_seed_from_env, DiskFaults, FaultConfig, FaultyProvider,
     FAULT_SEED_ENV,
@@ -110,9 +112,13 @@ impl Federation {
 
     /// Run a plan recording spans into `tracer` (pass
     /// [`bda_obs::Tracer::disabled`] for the untraced fast path). When
-    /// the tracer is enabled, the finished trace is also published to
-    /// the process-global [`bda_obs::store`] so the HTTP
-    /// `GET /traces/<id>` endpoint can serve it after completion.
+    /// the tracer is enabled, the finished trace is published to the
+    /// process-global [`bda_obs::store`] (for `GET /traces/<id>`), its
+    /// profile is distilled into the global query log (`GET /queries`)
+    /// and folded into the [`bda_obs::profile::CostBook`] — every traced
+    /// query recalibrates the measured cost model. A query the log
+    /// flags slow (wall > p99 × k) gets its trace pinned past ring
+    /// churn and a stamp in the flight recorder.
     pub fn run_traced(
         &self,
         plan: &Plan,
@@ -120,7 +126,24 @@ impl Federation {
     ) -> Result<(DataSet, Metrics), CoreError> {
         let result = run_plan_traced(&self.registry, plan, &self.options, tracer, None);
         if tracer.is_enabled() {
-            bda_obs::store::global().publish(tracer.finish());
+            let trace = tracer.finish();
+            let trace_id = trace.trace_id;
+            let profile = bda_obs::profile::QueryProfile::from_trace(&trace);
+            bda_obs::store::global().publish(trace);
+            if let Some(profile) = profile {
+                bda_obs::profile::global_costs().observe(&profile);
+                let wall_ms = profile.wall_ns as f64 / 1e6;
+                let outcome = bda_obs::profile::global_log().push(profile);
+                if outcome.slow {
+                    bda_obs::store::global().pin(trace_id);
+                    bda_obs::flight::global().record("app", || {
+                        format!(
+                            "slow-query trace={trace_id:#018x} wall_ms={wall_ms:.3} p99_ms={:.3}",
+                            outcome.p99_ns.unwrap_or(0) as f64 / 1e6
+                        )
+                    });
+                }
+            }
         }
         result
     }
@@ -186,10 +209,18 @@ impl Federation {
     /// the recorded span tree — per-node wall time, rows, bytes, and the
     /// provider that executed each operator — plus the run's metrics.
     /// The trace id comes from `seed` (overridable via `BDA_TRACE_SEED`).
+    /// The rendered report includes modeled-vs-measured per-operator
+    /// costs (the `== calibration ==` section): `run_traced` has just
+    /// folded this query into the global [`bda_obs::profile::CostBook`],
+    /// so drift between the model and this run is visible immediately.
     pub fn explain_analyze(&self, plan: &Plan, seed: u64) -> Result<String, CoreError> {
         let tracer = bda_obs::Tracer::new(bda_obs::trace_seed_from_env(seed));
         let (_, metrics) = self.run_traced(plan, &tracer)?;
-        Ok(render_analyze(&tracer.finish(), &metrics))
+        Ok(explain::render_analyze_with_costs(
+            &tracer.finish(),
+            &metrics,
+            Some(bda_obs::profile::global_costs()),
+        ))
     }
 
     /// Explain how a plan would execute: the optimized plan, the fragment
@@ -198,8 +229,13 @@ impl Federation {
     /// `exchange`/`merge` markers the parallel executor would run.
     pub fn explain(&self, plan: &Plan) -> Result<String, CoreError> {
         let optimized = optimize(plan, self.options.optimizer);
+        let costs = self
+            .options
+            .calibrate
+            .then(|| bda_obs::profile::global_costs().clone());
         let placement = Planner::new(&self.registry)
             .with_workers(self.options.workers)
+            .with_costs(costs)
             .place(&optimized)?;
         let mut out = String::new();
         out.push_str("== optimized plan ==\n");

@@ -14,6 +14,9 @@
 //! | `/progress`     | JSON of in-flight queries ([`progress`] module) |
 //! | `/traces/<id>`  | Chrome-trace JSON of a recent completed trace   |
 //! | `/flight`       | the flight recorder's current ring, as text     |
+//! | `/queries`      | JSON of the recent query-profile log            |
+//! | `/queries/slow` | the retained profiles flagged slow              |
+//! | `/calibration`  | the current [`profile::CostBook`] estimates     |
 //!
 //! This is deliberately *not* a general HTTP server: GET only, no
 //! keep-alive, no TLS, bounded header reads. That keeps `bda-obs` at
@@ -231,7 +234,25 @@ fn route(path: &str, options: &OpsOptions) -> (&'static str, &'static str, Strin
     const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
     const JSON: &str = "application/json";
     match path {
-        "/metrics" => ("200 OK", PROM, options.metrics.render()),
+        "/metrics" => {
+            // Depth/sample gauges are sampled at scrape time rather than
+            // maintained on the hot path — the scrape is the only reader.
+            options
+                .metrics
+                .gauge(
+                    "bda_profile_log_depth",
+                    "query profiles retained in the in-memory log",
+                )
+                .set(crate::profile::global_log().len() as f64);
+            options
+                .metrics
+                .gauge(
+                    "bda_costbook_samples",
+                    "query profiles folded into the calibration cost book",
+                )
+                .set(crate::profile::global_costs().samples() as f64);
+            ("200 OK", PROM, options.metrics.render())
+        }
         "/healthz" => {
             let h = (options.health)();
             if h.healthy {
@@ -250,6 +271,13 @@ fn route(path: &str, options: &OpsOptions) -> (&'static str, &'static str, Strin
         }
         "/progress" => ("200 OK", JSON, options.progress.render_json()),
         "/flight" => ("200 OK", TEXT, flight::global().render()),
+        "/queries" => ("200 OK", JSON, crate::profile::global_log().render_json()),
+        "/queries/slow" => (
+            "200 OK",
+            JSON,
+            crate::profile::global_log().render_slow_json(),
+        ),
+        "/calibration" => ("200 OK", JSON, crate::profile::global_costs().render_json()),
         _ => match path.strip_prefix("/traces/").and_then(parse_trace_id) {
             Some(id) => match store::global().chrome_json(id) {
                 Some(json) => ("200 OK", JSON, json),
@@ -318,6 +346,36 @@ mod tests {
         assert_eq!(body, "ok\n");
         let (status, _) = http_get(h.addr(), "/nope");
         assert_eq!(status, "HTTP/1.1 404 Not Found");
+        h.shutdown();
+    }
+
+    #[test]
+    fn profiling_routes_serve_the_global_log_and_costbook() {
+        let profile = crate::profile::QueryProfile {
+            trace_id: 0x51097,
+            wall_ns: 1234,
+            slow: false,
+            ops: vec![],
+            sites: vec![],
+        };
+        crate::profile::global_log().push(profile.clone());
+        crate::profile::global_costs().observe(&profile);
+        let h = serve_ops("127.0.0.1:0", OpsOptions::default()).expect("bind");
+        let (status, body) = http_get(h.addr(), "/queries");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(
+            body.contains("\"trace_id\":\"0x0000000000051097\""),
+            "{body}"
+        );
+        let (status, body) = http_get(h.addr(), "/queries/slow");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.starts_with("{\"queries\":["), "{body}");
+        let (status, body) = http_get(h.addr(), "/calibration");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(
+            body.contains("\"samples\":") && body.contains("\"ns_per_row\""),
+            "{body}"
+        );
         h.shutdown();
     }
 

@@ -25,15 +25,19 @@
 //! The *live* layer (this crate's newer half) turns those artifacts into
 //! an operator-facing surface: [`http`] is a dependency-free HTTP/1.1
 //! ops server (`/metrics`, `/healthz`, `/readyz`, `/progress`,
-//! `/traces/<id>`, `/flight`), [`progress`] tracks in-flight queries and
-//! flags straggler providers, [`store`] retains recent completed traces
-//! for `/traces/<id>`, and [`flight`] is the always-on crash flight
-//! recorder dumped when a query fails permanently.
+//! `/traces/<id>`, `/flight`, `/queries`, `/calibration`), [`progress`]
+//! tracks in-flight queries and flags straggler providers, [`store`]
+//! retains recent completed traces for `/traces/<id>`, [`flight`] is
+//! the always-on crash flight recorder dumped when a query fails
+//! permanently, and [`profile`] distills finished traces into query
+//! profiles feeding a persistent query log and the [`profile::CostBook`]
+//! calibration registry the planner consults.
 
 pub mod chrome;
 pub mod flight;
 pub mod http;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod scope;
 pub mod store;
@@ -41,7 +45,8 @@ pub mod wire;
 
 pub use flight::FlightRecorder;
 pub use http::{serve_ops, Health, HealthSource, OpsHandle, OpsOptions};
-pub use metrics::{Counter, Histogram, MetricsHub};
+pub use metrics::{Counter, Gauge, Histogram, MetricsHub};
+pub use profile::{CostBook, QueryLog, QueryProfile};
 pub use progress::{ProgressHandle, ProgressTracker, QueryProgress};
 pub use store::TraceStore;
 

@@ -48,10 +48,14 @@ const BUCKET_BOUNDS_S: &[f64] = &[
     5.0, 10.0,
 ];
 
-/// A latency histogram over fixed buckets ([`BUCKET_BOUNDS_S`]), fed in
-/// nanoseconds. Cloning shares the underlying cells.
+/// A latency histogram over fixed buckets ([`BUCKET_BOUNDS_S`]) plus a
+/// terminal overflow bucket, fed in nanoseconds. Cloning shares the
+/// underlying cells.
 #[derive(Clone)]
 pub struct Histogram {
+    /// One cell per finite bound, plus a final overflow cell for
+    /// observations beyond the last finite bound (rendered as the gap
+    /// between the last finite `_bucket` and `+Inf`).
     buckets: Arc<Vec<AtomicU64>>,
     count: Arc<AtomicU64>,
     sum_ns: Arc<AtomicU64>,
@@ -63,7 +67,7 @@ impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
             buckets: Arc::new(
-                (0..BUCKET_BOUNDS_S.len())
+                (0..BUCKET_BOUNDS_S.len() + 1)
                     .map(|_| AtomicU64::new(0))
                     .collect(),
             ),
@@ -72,15 +76,17 @@ impl Histogram {
         }
     }
 
-    /// Record one observation, in nanoseconds.
+    /// Record one observation, in nanoseconds. Observations beyond the
+    /// last finite bound land in the terminal overflow bucket, so every
+    /// observation is attributed to exactly one bucket — consistent with
+    /// the [`Histogram::quantile`] clamp contract.
     pub fn observe_ns(&self, ns: u64) {
         let s = ns as f64 / 1e9;
-        for (i, bound) in BUCKET_BOUNDS_S.iter().enumerate() {
-            if s <= *bound {
-                self.buckets[i].fetch_add(1, Ordering::Relaxed);
-                break;
-            }
-        }
+        let idx = BUCKET_BOUNDS_S
+            .iter()
+            .position(|bound| s <= *bound)
+            .unwrap_or(BUCKET_BOUNDS_S.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -145,8 +151,46 @@ impl Default for Histogram {
     }
 }
 
+/// A point-in-time value with set/add semantics (query-log depth,
+/// CostBook entry counts — things that go down as well as up, which a
+/// [`Counter`] mis-types). Stored as `f64` bits in an atomic; cloning
+/// shares the cell.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `d` (may be negative) to the gauge.
+    pub fn add(&self, d: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 enum Metric {
     Counter(Counter),
+    Gauge(Gauge),
     Histogram(Histogram),
 }
 
@@ -204,6 +248,34 @@ impl MetricsHub {
         self.counter(&series(family, labels), help)
     }
 
+    /// Get or register the gauge with this exact series name.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let name = sanitize_series(name);
+        let name = name.as_str();
+        let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
+        for m in metrics.iter() {
+            if m.name == name {
+                if let Metric::Gauge(g) = &m.metric {
+                    return g.clone();
+                }
+            }
+        }
+        let g = Gauge::default();
+        metrics.push(Registered {
+            family: family_of(name),
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Get or register the gauge `family{labels…}`, escaping every
+    /// label value.
+    pub fn gauge_labeled(&self, family: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        self.gauge(&series(family, labels), help)
+    }
+
     /// Get or register the histogram named `name` (unlabeled).
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
         let name = sanitize_series(name);
@@ -226,6 +298,19 @@ impl MetricsHub {
         h
     }
 
+    /// Get or register the histogram `family{labels…}`, escaping every
+    /// label value (mirrors [`MetricsHub::counter_labeled`]). The
+    /// renderer folds `le` into the label block so the exposition stays
+    /// well-formed.
+    pub fn histogram_labeled(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Histogram {
+        self.histogram(&series(family, labels), help)
+    }
+
     /// Render every metric in Prometheus text exposition format, sorted
     /// by family then series name (HELP/TYPE emitted once per family).
     pub fn render(&self) -> String {
@@ -243,6 +328,7 @@ impl MetricsHub {
                 out.push_str(&format!("# HELP {} {}\n", m.family, m.help));
                 let kind = match m.metric {
                     Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
                     Metric::Histogram(_) => "histogram",
                 };
                 out.push_str(&format!("# TYPE {} {}\n", m.family, kind));
@@ -252,27 +338,60 @@ impl MetricsHub {
                 Metric::Counter(c) => {
                     out.push_str(&format!("{} {}\n", m.name, c.get()));
                 }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{} {}\n", m.name, g.get()));
+                }
                 Metric::Histogram(h) => {
+                    // Histogram suffixes attach to the family, with any
+                    // labels carried over and `le` folded into the label
+                    // block: `fam_bucket{k="v",le="0.1"}`.
+                    let (labeled, plain) = suffixed_names(&m.name);
                     let mut cumulative = 0u64;
                     for (b, bound) in BUCKET_BOUNDS_S.iter().enumerate() {
                         cumulative += h.buckets[b].load(Ordering::Relaxed);
-                        out.push_str(&format!(
-                            "{}_bucket{{le=\"{}\"}} {}\n",
-                            m.name, bound, cumulative
-                        ));
+                        out.push_str(&format!("{} {}\n", labeled("bucket", bound), cumulative));
                     }
-                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", m.name, h.count()));
+                    out.push_str(&format!("{} {}\n", labeled("bucket", &"+Inf"), h.count()));
                     out.push_str(&format!(
-                        "{}_sum {}\n",
-                        m.name,
+                        "{} {}\n",
+                        plain("sum"),
                         h.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
                     ));
-                    out.push_str(&format!("{}_count {}\n", m.name, h.count()));
+                    out.push_str(&format!("{} {}\n", plain("count"), h.count()));
                 }
             }
         }
         out
     }
+}
+
+/// Suffix builders for histogram exposition lines: given the registered
+/// series name (`fam` or `fam{labels}`), `labeled(suffix, le)` yields
+/// `fam_suffix{labels,le="…"}` and `plain(suffix)` yields
+/// `fam_suffix{labels}` — so labeled histograms keep the suffix on the
+/// family where Prometheus expects it.
+fn suffixed_names(
+    name: &str,
+) -> (
+    impl Fn(&str, &dyn std::fmt::Display) -> String + '_,
+    impl Fn(&str) -> String + '_,
+) {
+    let (family, labels) = match name.find('{') {
+        Some(i) => {
+            let block = name[i + 1..].strip_suffix('}').unwrap_or(&name[i + 1..]);
+            (&name[..i], Some(block))
+        }
+        None => (name, None),
+    };
+    let labeled = move |suffix: &str, le: &dyn std::fmt::Display| match labels {
+        Some(l) => format!("{family}_{suffix}{{{l},le=\"{le}\"}}"),
+        None => format!("{family}_{suffix}{{le=\"{le}\"}}"),
+    };
+    let plain = move |suffix: &str| match labels {
+        Some(l) => format!("{family}_{suffix}{{{l}}}"),
+        None => format!("{family}_{suffix}"),
+    };
+    (labeled, plain)
 }
 
 /// The metric family: the series name up to the label block.
@@ -583,6 +702,117 @@ mod tests {
         let h = Histogram::new();
         h.observe_ns(60_000_000_000); // 60s: beyond every finite bound
         assert_eq!(h.quantile(0.5), Some(10.0), "clamped to the last bound");
+    }
+
+    #[test]
+    fn overflow_observations_land_in_the_terminal_bucket() {
+        let h = Histogram::new();
+        let last = *BUCKET_BOUNDS_S.last().unwrap();
+        h.observe_ns((last * 1e9) as u64); // exactly the last finite bound
+        h.observe_ns((last * 1e9) as u64 + 1_000); // just beyond it
+        let overflow = h.buckets[BUCKET_BOUNDS_S.len()].load(Ordering::Relaxed);
+        let last_finite = h.buckets[BUCKET_BOUNDS_S.len() - 1].load(Ordering::Relaxed);
+        assert_eq!(last_finite, 1, "boundary observation stays finite");
+        assert_eq!(overflow, 1, "past-the-bound observation is not dropped");
+        let bucketed: u64 = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucketed, h.count(), "every observation owns a bucket");
+        // Consistent with the quantile clamp: the overflow observation
+        // resolves to the last finite bound, never beyond it.
+        assert_eq!(h.quantile(1.0), Some(last));
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_renders_as_gauge_type() {
+        let hub = MetricsHub::new();
+        let g = hub.gauge("query_log_depth", "Profiles retained");
+        g.set(4.0);
+        g.add(2.5);
+        g.add(-1.5);
+        assert!((g.get() - 5.0).abs() < 1e-12);
+        let again = hub.gauge("query_log_depth", "Profiles retained");
+        assert!((again.get() - 5.0).abs() < 1e-12, "same series, same cell");
+        let text = hub.render();
+        assert!(text.contains("# TYPE query_log_depth gauge"), "{text}");
+        assert!(text.contains("query_log_depth 5\n"), "{text}");
+        hub.gauge_labeled("costbook_entries", &[("kind", "ns\nrow")], "Entries")
+            .set(3.0);
+        assert!(
+            hub.render()
+                .contains("costbook_entries{kind=\"ns\\nrow\"} 3"),
+            "labeled gauge escapes like counters do"
+        );
+    }
+
+    #[test]
+    fn histogram_labeled_folds_le_into_the_label_block() {
+        let hub = MetricsHub::new();
+        let h = hub.histogram_labeled("op_seconds", &[("class", "join\nx")], "Per-op latency");
+        h.observe_ns(50_000);
+        let text = hub.render();
+        assert!(
+            text.contains("op_seconds_bucket{class=\"join\\nx\",le=\"0.0001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("op_seconds_bucket{class=\"join\\nx\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("op_seconds_sum{class=\"join\\nx\"} 0.00005"),
+            "{text}"
+        );
+        assert!(
+            text.contains("op_seconds_count{class=\"join\\nx\"} 1"),
+            "{text}"
+        );
+        // Same family+labels resolves to the same cells.
+        let again = hub.histogram_labeled("op_seconds", &[("class", "join\nx")], "Per-op latency");
+        again.observe_ns(50_000);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn golden_exposition_render() {
+        let hub = MetricsHub::new();
+        hub.counter_labeled("requests_total", &[("kind", "z")], "Requests served")
+            .add(2);
+        hub.counter_labeled("requests_total", &[("kind", "a\nb")], "Requests served")
+            .inc();
+        hub.gauge("query_log_depth", "Profiles retained").set(3.0);
+        let h = hub.histogram("request_duration_seconds", "Request latency");
+        h.observe_ns(50_000); // le 0.0001
+        h.observe_ns(2_000_000); // le 0.0025
+        let expected = "\
+# HELP query_log_depth Profiles retained
+# TYPE query_log_depth gauge
+query_log_depth 3
+# HELP request_duration_seconds Request latency
+# TYPE request_duration_seconds histogram
+request_duration_seconds_bucket{le=\"0.0001\"} 1
+request_duration_seconds_bucket{le=\"0.00025\"} 1
+request_duration_seconds_bucket{le=\"0.0005\"} 1
+request_duration_seconds_bucket{le=\"0.001\"} 1
+request_duration_seconds_bucket{le=\"0.0025\"} 2
+request_duration_seconds_bucket{le=\"0.005\"} 2
+request_duration_seconds_bucket{le=\"0.01\"} 2
+request_duration_seconds_bucket{le=\"0.025\"} 2
+request_duration_seconds_bucket{le=\"0.05\"} 2
+request_duration_seconds_bucket{le=\"0.1\"} 2
+request_duration_seconds_bucket{le=\"0.25\"} 2
+request_duration_seconds_bucket{le=\"0.5\"} 2
+request_duration_seconds_bucket{le=\"1\"} 2
+request_duration_seconds_bucket{le=\"2.5\"} 2
+request_duration_seconds_bucket{le=\"5\"} 2
+request_duration_seconds_bucket{le=\"10\"} 2
+request_duration_seconds_bucket{le=\"+Inf\"} 2
+request_duration_seconds_sum 0.00205
+request_duration_seconds_count 2
+# HELP requests_total Requests served
+# TYPE requests_total counter
+requests_total{kind=\"a\\nb\"} 1
+requests_total{kind=\"z\"} 2
+";
+        assert_eq!(hub.render(), expected);
     }
 
     #[test]

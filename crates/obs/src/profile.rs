@@ -1,0 +1,927 @@
+//! Query profiling and measured-cost calibration.
+//!
+//! A [`QueryProfile`] distills a finished span tree ([`crate::Trace`])
+//! into the numbers an operator — or the planner — actually consumes:
+//! per operator class, how many rows and bytes went through and how
+//! long they took; per site, fragment wall times, transfer throughput,
+//! and how often execution had to retry or fail over. Profiles live in
+//! a bounded in-memory [`QueryLog`] ring and are optionally persisted
+//! as JSONL (one profile per line) so the log survives restarts
+//! alongside the durability subsystem's WAL.
+//!
+//! On top of the profiles sits the [`CostBook`]: a seeded,
+//! deterministic EWMA registry of ns/row per operator class, ns/byte
+//! per site link, and per-site fixed dispatch cost. The federation
+//! planner consults it (when explicitly enabled) for site assignment
+//! and partition-count choices and recalibrates it after every traced
+//! query — the measured feedback loop ROADMAP O3 asks for. With
+//! calibration disabled the book is never consulted and plans are
+//! byte-identical to the static path.
+//!
+//! Everything here is hand-rolled JSON in and out (the workspace has no
+//! serde); rendering follows the `/progress` idiom, and the JSONL
+//! loader is lenient — a line it cannot parse is skipped, never fatal.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::chrome::escape;
+use crate::metrics::Histogram;
+use crate::Trace;
+
+/// Environment variable naming a directory for JSONL profile
+/// persistence. When set, the process-global [`QueryLog`] loads the
+/// existing log on first touch and appends every new profile.
+pub const PROFILE_DIR_ENV: &str = "BDA_PROFILE_DIR";
+
+/// File name of the JSONL query log inside the profile directory.
+pub const PROFILE_FILE: &str = "profiles.jsonl";
+
+/// Profiles retained in the in-memory query-log ring.
+pub const DEFAULT_QUERIES_KEPT: usize = 64;
+
+/// Slow-query detection needs at least this many prior walls before the
+/// p99 estimate is trusted.
+const SLOW_MIN_SAMPLES: u64 = 8;
+
+/// A query is slow when its wall time exceeds p99 × this factor.
+const SLOW_FACTOR: f64 = 4.0;
+
+/// EWMA smoothing factor for [`CostBook`] estimates: high enough to
+/// track a provider that turns slow within a handful of queries, low
+/// enough not to chase one noisy sample.
+pub const EWMA_ALPHA: f64 = 0.3;
+
+/// Aggregate cost of one operator class within a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Operator class, e.g. `join`, `matmul` (the `op:` span suffix).
+    pub class: String,
+    /// Number of operator spans of this class.
+    pub count: u64,
+    /// Rows produced, summed (spans without cardinality count 0).
+    pub rows: u64,
+    /// Bytes moved, summed (spans without a payload count 0).
+    pub bytes: u64,
+    /// Wall time, summed, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Aggregate cost of one site within a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// Provider name (or `app` for the application tier).
+    pub site: String,
+    /// Fragments dispatched to this site.
+    pub fragments: u64,
+    /// Fragment wall time, summed, in nanoseconds.
+    pub fragment_wall_ns: u64,
+    /// Bytes moved to or from this site (transfers and reships).
+    pub transfer_bytes: u64,
+    /// Transfer wall time, summed, in nanoseconds.
+    pub transfer_wall_ns: u64,
+    /// Retry attempts recorded against this site's fragments.
+    pub retries: u64,
+    /// Failovers away from this site.
+    pub failovers: u64,
+}
+
+/// A per-query profile record distilled from the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Trace id of the query this profile was distilled from.
+    pub trace_id: u64,
+    /// End-to-end wall time in nanoseconds (root `query` span).
+    pub wall_ns: u64,
+    /// Flagged slow by the query log (wall > p99 × k at push time).
+    pub slow: bool,
+    /// Per-operator-class aggregates, sorted by class.
+    pub ops: Vec<OpProfile>,
+    /// Per-site aggregates, sorted by site.
+    pub sites: Vec<SiteProfile>,
+}
+
+impl QueryProfile {
+    /// Distill a finished trace into a profile. `None` for an empty
+    /// trace (a disabled tracer's `finish()`).
+    pub fn from_trace(trace: &Trace) -> Option<QueryProfile> {
+        if trace.spans.is_empty() {
+            return None;
+        }
+        // Wall time: the root `query` span when present, otherwise the
+        // extent of the recorded spans.
+        let wall_ns = trace
+            .spans
+            .iter()
+            .find(|s| s.parent.is_none() && s.name == "query")
+            .map(|s| s.duration_ns())
+            .unwrap_or_else(|| {
+                let start = trace.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+                let end = trace.spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+                end.saturating_sub(start)
+            });
+        let mut ops: BTreeMap<&str, OpProfile> = BTreeMap::new();
+        let mut sites: BTreeMap<&str, SiteProfile> = BTreeMap::new();
+        for span in &trace.spans {
+            if let Some(class) = span.name.strip_prefix("op:") {
+                let op = ops.entry(class).or_insert_with(|| OpProfile {
+                    class: class.to_string(),
+                    count: 0,
+                    rows: 0,
+                    bytes: 0,
+                    wall_ns: 0,
+                });
+                op.count += 1;
+                op.rows += span.rows.unwrap_or(0);
+                op.bytes += span.bytes.unwrap_or(0);
+                op.wall_ns += span.duration_ns();
+                continue;
+            }
+            let site = sites
+                .entry(span.site.as_str())
+                .or_insert_with(|| SiteProfile {
+                    site: span.site.clone(),
+                    fragments: 0,
+                    fragment_wall_ns: 0,
+                    transfer_bytes: 0,
+                    transfer_wall_ns: 0,
+                    retries: 0,
+                    failovers: 0,
+                });
+            if span.name.starts_with("fragment:") {
+                site.fragments += 1;
+                site.fragment_wall_ns += span.duration_ns();
+                for ev in &span.events {
+                    if ev.label.starts_with("retry:") {
+                        site.retries += 1;
+                    } else if ev.label.starts_with("failover:") {
+                        site.failovers += 1;
+                    }
+                }
+            } else if span.name.starts_with("transfer:") || span.name.starts_with("reship:") {
+                site.transfer_bytes += span.bytes.unwrap_or(0);
+                site.transfer_wall_ns += span.duration_ns();
+            }
+        }
+        // Drop sites that contributed nothing measurable (e.g. the app
+        // tier when it only held the root span).
+        sites.retain(|_, s| {
+            s.fragments > 0 || s.transfer_bytes > 0 || s.transfer_wall_ns > 0 || s.retries > 0
+        });
+        Some(QueryProfile {
+            trace_id: trace.trace_id,
+            wall_ns,
+            slow: false,
+            ops: ops.into_values().collect(),
+            sites: sites.into_values().collect(),
+        })
+    }
+
+    /// Render as a single JSON line (the JSONL persistence format and
+    /// the `/queries` element shape).
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"trace_id\":\"{:#018x}\",\"wall_ns\":{},\"slow\":{},\"ops\":[",
+            self.trace_id, self.wall_ns, self.slow
+        ));
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"count\":{},\"rows\":{},\"bytes\":{},\"wall_ns\":{}}}",
+                escape(&op.class),
+                op.count,
+                op.rows,
+                op.bytes,
+                op.wall_ns
+            ));
+        }
+        out.push_str("],\"sites\":[");
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"site\":\"{}\",\"fragments\":{},\"fragment_wall_ns\":{},\
+                 \"transfer_bytes\":{},\"transfer_wall_ns\":{},\"retries\":{},\"failovers\":{}}}",
+                escape(&s.site),
+                s.fragments,
+                s.fragment_wall_ns,
+                s.transfer_bytes,
+                s.transfer_wall_ns,
+                s.retries,
+                s.failovers
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse one JSONL line produced by [`QueryProfile::render_json`].
+    /// Lenient: `None` for anything malformed (the loader skips it).
+    pub fn parse_json(line: &str) -> Option<QueryProfile> {
+        let fields = object_fields(line)?;
+        let trace_id = raw_of(&fields, "trace_id")
+            .and_then(parse_string)
+            .and_then(|s| u64::from_str_radix(s.strip_prefix("0x")?, 16).ok())?;
+        let wall_ns = raw_of(&fields, "wall_ns").and_then(parse_u64)?;
+        let slow = raw_of(&fields, "slow").and_then(parse_bool)?;
+        let mut ops = Vec::new();
+        for obj in array_objects(raw_of(&fields, "ops")?)? {
+            let f = object_fields(obj)?;
+            ops.push(OpProfile {
+                class: raw_of(&f, "class").and_then(parse_string)?,
+                count: raw_of(&f, "count").and_then(parse_u64)?,
+                rows: raw_of(&f, "rows").and_then(parse_u64)?,
+                bytes: raw_of(&f, "bytes").and_then(parse_u64)?,
+                wall_ns: raw_of(&f, "wall_ns").and_then(parse_u64)?,
+            });
+        }
+        let mut sites = Vec::new();
+        for obj in array_objects(raw_of(&fields, "sites")?)? {
+            let f = object_fields(obj)?;
+            sites.push(SiteProfile {
+                site: raw_of(&f, "site").and_then(parse_string)?,
+                fragments: raw_of(&f, "fragments").and_then(parse_u64)?,
+                fragment_wall_ns: raw_of(&f, "fragment_wall_ns").and_then(parse_u64)?,
+                transfer_bytes: raw_of(&f, "transfer_bytes").and_then(parse_u64)?,
+                transfer_wall_ns: raw_of(&f, "transfer_wall_ns").and_then(parse_u64)?,
+                retries: raw_of(&f, "retries").and_then(parse_u64)?,
+                failovers: raw_of(&f, "failovers").and_then(parse_u64)?,
+            });
+        }
+        Some(QueryProfile {
+            trace_id,
+            wall_ns,
+            slow,
+            ops,
+            sites,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON scanning (enough for our own output, strings included).
+
+/// Split a JSON object into top-level `(key, raw value)` pairs.
+fn object_fields(s: &str) -> Option<Vec<(String, &str)>> {
+    let s = s.trim();
+    let b = s.as_bytes();
+    if b.first() != Some(&b'{') || b.last() != Some(&b'}') {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut i = 1;
+    loop {
+        i = skip_ws(b, i);
+        if i >= b.len() {
+            return None;
+        }
+        if b[i] == b'}' {
+            return Some(out);
+        }
+        let (key, after) = scan_string(b, i)?;
+        i = skip_ws(b, after);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(b, i + 1);
+        let end = scan_value(b, i)?;
+        out.push((key, s.get(i..end)?));
+        i = skip_ws(b, end);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {}
+            _ => return None,
+        }
+    }
+}
+
+/// The raw value of `key`, if present.
+fn raw_of<'a>(fields: &[(String, &'a str)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+/// Split a raw `[…]` array value into its top-level objects.
+fn array_objects(raw: &str) -> Option<Vec<&str>> {
+    let raw = raw.trim();
+    let b = raw.as_bytes();
+    if b.first() != Some(&b'[') || b.last() != Some(&b']') {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut i = 1;
+    loop {
+        i = skip_ws(b, i);
+        if i >= b.len() {
+            return None;
+        }
+        if b[i] == b']' {
+            return Some(out);
+        }
+        let end = scan_value(b, i)?;
+        out.push(raw.get(i..end)?);
+        i = skip_ws(b, end);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b']') => {}
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Scan a `"…"` string starting at `i`; return (decoded, index past the
+/// closing quote). Decodes the escapes [`crate::chrome::escape`] emits.
+fn scan_string(b: &[u8], i: usize) -> Option<(String, usize)> {
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = i + 1;
+    loop {
+        match *b.get(i)? {
+            b'"' => return Some((out, i + 1)),
+            b'\\' => {
+                match *b.get(i + 1)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(b.get(i + 2..i + 6)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 6;
+                        continue;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            c => {
+                // Copy the full UTF-8 sequence starting here.
+                let len = utf8_len(c);
+                out.push_str(std::str::from_utf8(b.get(i..i + len)?).ok()?);
+                i += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Index one past the raw JSON value starting at `i` (string, number,
+/// bool, or bracketed aggregate — nesting and strings respected).
+fn scan_value(b: &[u8], i: usize) -> Option<usize> {
+    match *b.get(i)? {
+        b'"' => scan_string(b, i).map(|(_, end)| end),
+        b'[' | b'{' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < b.len() {
+                match b[j] {
+                    b'"' => j = scan_string(b, j)?.1,
+                    b'[' | b'{' => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    b']' | b'}' => {
+                        depth -= 1;
+                        j += 1;
+                        if depth == 0 {
+                            return Some(j);
+                        }
+                    }
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            let mut j = i;
+            while j < b.len() && !matches!(b[j], b',' | b']' | b'}') {
+                j += 1;
+            }
+            (j > i).then_some(j)
+        }
+    }
+}
+
+fn parse_string(raw: &str) -> Option<String> {
+    scan_string(raw.trim().as_bytes(), 0).map(|(s, _)| s)
+}
+
+fn parse_u64(raw: &str) -> Option<u64> {
+    raw.trim().parse().ok()
+}
+
+fn parse_bool(raw: &str) -> Option<bool> {
+    match raw.trim() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query log.
+
+/// What [`QueryLog::push`] decided about a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The profile was flagged slow (wall > p99 × k with enough history).
+    pub slow: bool,
+    /// The p99 wall estimate (ns) the decision was made against, when
+    /// enough history existed.
+    pub p99_ns: Option<u64>,
+}
+
+struct LogInner {
+    entries: VecDeque<QueryProfile>,
+    /// Wall-time history backing the slow-query p99 estimate (bounded
+    /// buckets, so unbounded history costs nothing).
+    walls: Histogram,
+    /// JSONL file appended on every push, once persistence is enabled.
+    persist: Option<PathBuf>,
+}
+
+/// A bounded ring of recent query profiles with optional JSONL
+/// persistence and p99-based slow-query flagging.
+pub struct QueryLog {
+    inner: Mutex<LogInner>,
+    capacity: usize,
+}
+
+impl QueryLog {
+    /// An in-memory log holding [`DEFAULT_QUERIES_KEPT`] profiles.
+    pub fn new() -> QueryLog {
+        QueryLog::with_capacity(DEFAULT_QUERIES_KEPT)
+    }
+
+    /// An in-memory log holding up to `capacity` profiles.
+    pub fn with_capacity(capacity: usize) -> QueryLog {
+        QueryLog {
+            inner: Mutex::new(LogInner {
+                entries: VecDeque::new(),
+                walls: Histogram::new(),
+                persist: None,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enable JSONL persistence under `dir`: load whatever
+    /// `profiles.jsonl` already holds (lenient — bad lines skipped)
+    /// into the ring and wall history, then append every future push.
+    /// Returns how many profiles were recovered.
+    pub fn init_persistence(&self, dir: &Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(PROFILE_FILE);
+        let mut recovered = 0usize;
+        let mut inner = self.inner.lock().expect("query log lock poisoned");
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                if let Some(profile) = QueryProfile::parse_json(line) {
+                    inner.walls.observe_ns(profile.wall_ns);
+                    inner.entries.push_back(profile);
+                    while inner.entries.len() > self.capacity {
+                        inner.entries.pop_front();
+                    }
+                    recovered += 1;
+                }
+            }
+        }
+        inner.persist = Some(path);
+        Ok(recovered)
+    }
+
+    /// Record a profile: decide slowness against the current p99, fold
+    /// its wall into the history, append to the JSONL log (best
+    /// effort), and retain it in the ring. Returns the decision.
+    pub fn push(&self, mut profile: QueryProfile) -> PushOutcome {
+        let mut inner = self.inner.lock().expect("query log lock poisoned");
+        let p99 = if inner.walls.count() >= SLOW_MIN_SAMPLES {
+            inner.walls.p99()
+        } else {
+            None
+        };
+        let slow = p99.is_some_and(|p| profile.wall_ns as f64 / 1e9 > p * SLOW_FACTOR);
+        profile.slow = slow;
+        inner.walls.observe_ns(profile.wall_ns);
+        if let Some(path) = inner.persist.clone() {
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{}", profile.render_json()));
+        }
+        inner.entries.push_back(profile);
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_front();
+        }
+        PushOutcome {
+            slow,
+            p99_ns: p99.map(|s| (s * 1e9) as u64),
+        }
+    }
+
+    /// Profiles currently retained, oldest first.
+    pub fn snapshot(&self) -> Vec<QueryProfile> {
+        let inner = self.inner.lock().expect("query log lock poisoned");
+        inner.entries.iter().cloned().collect()
+    }
+
+    /// Retained profiles flagged slow, oldest first.
+    pub fn slow_snapshot(&self) -> Vec<QueryProfile> {
+        self.snapshot().into_iter().filter(|p| p.slow).collect()
+    }
+
+    /// Number of retained profiles.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("query log lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current p99 wall estimate in nanoseconds, once enough history.
+    pub fn p99_ns(&self) -> Option<u64> {
+        let inner = self.inner.lock().expect("query log lock poisoned");
+        if inner.walls.count() >= SLOW_MIN_SAMPLES {
+            inner.walls.p99().map(|s| (s * 1e9) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The retained log as a JSON document (`GET /queries`).
+    pub fn render_json(&self) -> String {
+        render_queries(&self.snapshot())
+    }
+
+    /// The retained slow queries as a JSON document (`GET /queries/slow`).
+    pub fn render_slow_json(&self) -> String {
+        render_queries(&self.slow_snapshot())
+    }
+}
+
+impl Default for QueryLog {
+    fn default() -> Self {
+        QueryLog::new()
+    }
+}
+
+fn render_queries(profiles: &[QueryProfile]) -> String {
+    let body: Vec<String> = profiles.iter().map(|p| p.render_json()).collect();
+    format!("{{\"queries\":[{}]}}\n", body.join(","))
+}
+
+/// The process-global query log. On first touch, honours
+/// [`PROFILE_DIR_ENV`] by loading and enabling JSONL persistence.
+pub fn global_log() -> &'static QueryLog {
+    static LOG: OnceLock<QueryLog> = OnceLock::new();
+    LOG.get_or_init(|| {
+        let log = QueryLog::new();
+        if let Ok(dir) = std::env::var(PROFILE_DIR_ENV) {
+            if !dir.trim().is_empty() {
+                let _ = log.init_persistence(Path::new(&dir));
+            }
+        }
+        log
+    })
+}
+
+// ---------------------------------------------------------------------
+// Cost calibration.
+
+struct BookInner {
+    seed: u64,
+    samples: u64,
+    /// ns per output row, per operator class.
+    ns_per_row: BTreeMap<String, f64>,
+    /// ns per transferred byte, per site link.
+    ns_per_byte: BTreeMap<String, f64>,
+    /// Fixed per-fragment dispatch cost (ns), per site.
+    dispatch_ns: BTreeMap<String, f64>,
+}
+
+/// Seeded, deterministic EWMA cost estimates recalibrated from query
+/// profiles. Cloning shares the underlying registry (the planner holds
+/// a clone of the process-global book).
+#[derive(Clone)]
+pub struct CostBook {
+    inner: Arc<Mutex<BookInner>>,
+}
+
+impl CostBook {
+    /// A fresh book. The seed is provenance recorded in dumps: two
+    /// books built with the same seed and fed the same profiles render
+    /// byte-identically.
+    pub fn new(seed: u64) -> CostBook {
+        CostBook {
+            inner: Arc::new(Mutex::new(BookInner {
+                seed,
+                samples: 0,
+                ns_per_row: BTreeMap::new(),
+                ns_per_byte: BTreeMap::new(),
+                dispatch_ns: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Fold a query profile into the estimates (EWMA, first sample
+    /// initializes).
+    pub fn observe(&self, profile: &QueryProfile) {
+        let mut inner = self.inner.lock().expect("cost book lock poisoned");
+        inner.samples += 1;
+        for op in &profile.ops {
+            let obs = op.wall_ns as f64 / op.rows.max(1) as f64;
+            fold(&mut inner.ns_per_row, &op.class, obs);
+        }
+        for site in &profile.sites {
+            if site.fragments > 0 {
+                let obs = site.fragment_wall_ns as f64 / site.fragments as f64;
+                fold(&mut inner.dispatch_ns, &site.site, obs);
+            }
+            if site.transfer_bytes > 0 {
+                let obs = site.transfer_wall_ns as f64 / site.transfer_bytes as f64;
+                fold(&mut inner.ns_per_byte, &site.site, obs);
+            }
+        }
+    }
+
+    /// Estimated ns per output row for an operator class.
+    pub fn ns_per_row(&self, class: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("cost book lock poisoned")
+            .ns_per_row
+            .get(class)
+            .copied()
+    }
+
+    /// Estimated ns per transferred byte for a site link.
+    pub fn ns_per_byte(&self, site: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("cost book lock poisoned")
+            .ns_per_byte
+            .get(site)
+            .copied()
+    }
+
+    /// Estimated fixed dispatch cost (ns) for a fragment at a site.
+    pub fn dispatch_ns(&self, site: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("cost book lock poisoned")
+            .dispatch_ns
+            .get(site)
+            .copied()
+    }
+
+    /// How many profiles have been folded in.
+    pub fn samples(&self) -> u64 {
+        self.inner.lock().expect("cost book lock poisoned").samples
+    }
+
+    /// The seed this book was built with.
+    pub fn seed(&self) -> u64 {
+        self.inner.lock().expect("cost book lock poisoned").seed
+    }
+
+    /// Render the book as a JSON document (`GET /calibration`). Keys
+    /// are sorted (BTreeMap) and floats fixed to 3 decimals, so equal
+    /// books render byte-identically.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("cost book lock poisoned");
+        let table = |m: &BTreeMap<String, f64>| -> String {
+            let body: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{:.3}", escape(k), v))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        };
+        format!(
+            "{{\"seed\":{},\"samples\":{},\"ns_per_row\":{},\"ns_per_byte\":{},\"dispatch_ns\":{}}}\n",
+            inner.seed,
+            inner.samples,
+            table(&inner.ns_per_row),
+            table(&inner.ns_per_byte),
+            table(&inner.dispatch_ns),
+        )
+    }
+}
+
+fn fold(map: &mut BTreeMap<String, f64>, key: &str, obs: f64) {
+    match map.get_mut(key) {
+        Some(prev) => *prev = EWMA_ALPHA * obs + (1.0 - EWMA_ALPHA) * *prev,
+        None => {
+            map.insert(key.to_string(), obs);
+        }
+    }
+}
+
+/// The process-global cost book, seeded from [`crate::TRACE_SEED_ENV`]
+/// when set (0 otherwise).
+pub fn global_costs() -> &'static CostBook {
+    static BOOK: OnceLock<CostBook> = OnceLock::new();
+    BOOK.get_or_init(|| {
+        let seed = std::env::var(crate::TRACE_SEED_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        CostBook::new(seed)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Span, SpanEvent};
+
+    fn span(id: u64, parent: Option<u64>, name: &str, site: &str, dur: u64) -> Span {
+        Span {
+            id,
+            parent,
+            name: name.to_string(),
+            site: site.to_string(),
+            start_ns: 0,
+            end_ns: dur,
+            rows: None,
+            bytes: None,
+            events: Vec::new(),
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut root = span(1, None, "query", "app", 10_000);
+        root.events.clear();
+        let mut frag = span(2, Some(1), "fragment:0", "rel", 6_000);
+        frag.events.push(SpanEvent {
+            at_ns: 100,
+            label: "retry:execute@rel attempt 2".into(),
+        });
+        frag.events.push(SpanEvent {
+            at_ns: 200,
+            label: "failover:rel2".into(),
+        });
+        let mut join = span(3, Some(2), "op:join", "rel", 4_000);
+        join.rows = Some(100);
+        let mut xfer = span(4, Some(1), "transfer:result", "rel", 2_000);
+        xfer.bytes = Some(1_000);
+        Trace {
+            trace_id: 0xBDA,
+            spans: vec![root, frag, join, xfer],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn from_trace_distills_ops_sites_retries_and_wall() {
+        let p = QueryProfile::from_trace(&sample_trace()).unwrap();
+        assert_eq!(p.trace_id, 0xBDA);
+        assert_eq!(p.wall_ns, 10_000, "wall from the root query span");
+        assert_eq!(p.ops.len(), 1);
+        let op = &p.ops[0];
+        assert_eq!(
+            (op.class.as_str(), op.count, op.rows, op.wall_ns),
+            ("join", 1, 100, 4_000)
+        );
+        assert_eq!(p.sites.len(), 1, "app tier with no fragments is dropped");
+        let s = &p.sites[0];
+        assert_eq!(s.site, "rel");
+        assert_eq!(s.fragments, 1);
+        assert_eq!(s.fragment_wall_ns, 6_000);
+        assert_eq!(s.transfer_bytes, 1_000);
+        assert_eq!(s.transfer_wall_ns, 2_000);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.failovers, 1);
+        assert!(QueryProfile::from_trace(&Trace::default()).is_none());
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let mut p = QueryProfile::from_trace(&sample_trace()).unwrap();
+        p.slow = true;
+        p.ops[0].class = "join \"odd\"\nname".into();
+        let line = p.render_json();
+        assert!(!line.contains('\n'), "one profile per line");
+        let back = QueryProfile::parse_json(&line).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(QueryProfile::parse_json("not json"), None);
+        assert_eq!(QueryProfile::parse_json("{\"wall_ns\":1}"), None);
+    }
+
+    #[test]
+    fn query_log_flags_slow_against_p99_and_bounds_the_ring() {
+        let log = QueryLog::with_capacity(4);
+        let profile = |wall: u64| QueryProfile {
+            trace_id: wall,
+            wall_ns: wall,
+            slow: false,
+            ops: vec![],
+            sites: vec![],
+        };
+        // Not enough history yet: a huge wall is not flagged.
+        for _ in 0..7 {
+            assert!(!log.push(profile(50_000)).slow);
+        }
+        assert!(
+            !log.push(profile(60_000_000_000)).slow,
+            "eighth push still lacks 8 prior samples"
+        );
+        // Now p99 exists (dominated by the 50µs cluster... and one 60s
+        // outlier that clamps to 10s). Push walls against it.
+        let out = log.push(profile(50_000));
+        assert!(!out.slow);
+        assert!(out.p99_ns.is_some());
+        // Far beyond p99 × 4 (p99 ≤ 10s clamped): 60s is flagged.
+        let out = log.push(profile(60_000_000_000));
+        assert!(out.slow, "p99={:?}", out.p99_ns);
+        assert_eq!(log.len(), 4, "ring stays bounded");
+        assert_eq!(log.slow_snapshot().len(), 1);
+        assert!(log.render_slow_json().contains("\"slow\":true"));
+    }
+
+    #[test]
+    fn persistence_round_trips_across_logs() {
+        let dir = std::env::temp_dir().join(format!("bda-profile-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = QueryLog::new();
+        assert_eq!(log.init_persistence(&dir).unwrap(), 0);
+        let mut p = QueryProfile::from_trace(&sample_trace()).unwrap();
+        log.push(p.clone());
+        p.trace_id = 0xFEED;
+        log.push(p);
+        // A reloaded log sees both profiles and keeps appending.
+        let reloaded = QueryLog::new();
+        assert_eq!(reloaded.init_persistence(&dir).unwrap(), 2);
+        let snap = reloaded.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].trace_id, 0xBDA);
+        assert_eq!(snap[1].trace_id, 0xFEED);
+        assert!(reloaded.render_json().contains("0x000000000000feed"));
+        // Corrupt trailing line (a torn write) is skipped, not fatal.
+        let path = dir.join(PROFILE_FILE);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"trace_id\":\"0x12\",\"wall_");
+        std::fs::write(&path, content).unwrap();
+        let torn = QueryLog::new();
+        assert_eq!(torn.init_persistence(&dir).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cost_book_ewma_is_deterministic_and_sorted() {
+        let book = CostBook::new(42);
+        assert_eq!(book.samples(), 0);
+        assert_eq!(book.ns_per_row("join"), None);
+        let p = QueryProfile::from_trace(&sample_trace()).unwrap();
+        book.observe(&p);
+        // First observation initializes: 4000ns / 100 rows.
+        assert_eq!(book.ns_per_row("join"), Some(40.0));
+        assert_eq!(book.dispatch_ns("rel"), Some(6_000.0));
+        assert_eq!(book.ns_per_byte("rel"), Some(2.0));
+        // Second observation folds with α=0.3.
+        book.observe(&p);
+        assert!((book.ns_per_row("join").unwrap() - 40.0).abs() < 1e-9);
+        let mut faster = p.clone();
+        faster.ops[0].wall_ns = 2_000; // 20 ns/row observed
+        book.observe(&faster);
+        let expected = 0.3 * 20.0 + 0.7 * 40.0;
+        assert!((book.ns_per_row("join").unwrap() - expected).abs() < 1e-9);
+        // Dumps are deterministic: same seed, same profiles, same bytes.
+        let twin = CostBook::new(42);
+        twin.observe(&p);
+        twin.observe(&p);
+        twin.observe(&faster);
+        assert_eq!(book.render_json(), twin.render_json());
+        assert!(book.render_json().contains("\"seed\":42"));
+    }
+}

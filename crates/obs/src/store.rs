@@ -11,11 +11,19 @@ use crate::Trace;
 /// Traces kept before the oldest is evicted.
 pub const DEFAULT_TRACES_KEPT: usize = 16;
 
+/// Pinned traces (slow queries) kept in their own bounded ring, safe
+/// from the main ring's churn.
+pub const DEFAULT_PINNED_KEPT: usize = 8;
+
 /// Bounded FIFO of completed traces. Publishing the same trace id again
-/// replaces the old copy (a re-run supersedes its predecessor).
+/// replaces the old copy (a re-run supersedes its predecessor). Traces
+/// worth keeping past normal churn — slow queries flagged by the query
+/// log — can be [`TraceStore::pin`]ned into a separate bounded ring.
 pub struct TraceStore {
     traces: Mutex<VecDeque<Trace>>,
+    pinned: Mutex<VecDeque<Trace>>,
     capacity: usize,
+    pinned_capacity: usize,
 }
 
 impl TraceStore {
@@ -23,7 +31,9 @@ impl TraceStore {
     pub fn with_capacity(capacity: usize) -> TraceStore {
         TraceStore {
             traces: Mutex::new(VecDeque::new()),
+            pinned: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
+            pinned_capacity: DEFAULT_PINNED_KEPT,
         }
     }
 
@@ -33,6 +43,15 @@ impl TraceStore {
         if trace.spans.is_empty() {
             return;
         }
+        {
+            // A re-run of a pinned trace supersedes the pinned copy in
+            // place; it never duplicates into the main ring.
+            let mut pinned = self.pinned.lock().expect("trace store lock poisoned");
+            if let Some(t) = pinned.iter_mut().find(|t| t.trace_id == trace.trace_id) {
+                *t = trace;
+                return;
+            }
+        }
         let mut traces = self.traces.lock().expect("trace store lock poisoned");
         traces.retain(|t| t.trace_id != trace.trace_id);
         traces.push_back(trace);
@@ -41,8 +60,54 @@ impl TraceStore {
         }
     }
 
-    /// The stored trace with this id, if still retained.
+    /// Move the trace with this id from the main ring into the pinned
+    /// ring (bounded FIFO of its own), so slow-query evidence survives
+    /// the churn of subsequent queries. Returns whether the id was
+    /// found anywhere (already-pinned ids report `true`).
+    pub fn pin(&self, trace_id: u64) -> bool {
+        let mut pinned = self.pinned.lock().expect("trace store lock poisoned");
+        if pinned.iter().any(|t| t.trace_id == trace_id) {
+            return true;
+        }
+        let from_ring = {
+            let mut traces = self.traces.lock().expect("trace store lock poisoned");
+            let at = traces.iter().position(|t| t.trace_id == trace_id);
+            at.and_then(|i| traces.remove(i))
+        };
+        match from_ring {
+            Some(trace) => {
+                pinned.push_back(trace);
+                while pinned.len() > self.pinned_capacity {
+                    pinned.pop_front();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of pinned traces, oldest first.
+    pub fn pinned_ids(&self) -> Vec<u64> {
+        self.pinned
+            .lock()
+            .expect("trace store lock poisoned")
+            .iter()
+            .map(|t| t.trace_id)
+            .collect()
+    }
+
+    /// The stored trace with this id, if still retained (pinned traces
+    /// are checked first).
     pub fn get(&self, trace_id: u64) -> Option<Trace> {
+        if let Some(t) = self
+            .pinned
+            .lock()
+            .expect("trace store lock poisoned")
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+        {
+            return Some(t.clone());
+        }
         self.traces
             .lock()
             .expect("trace store lock poisoned")
@@ -104,6 +169,29 @@ mod tests {
             s.publish(trace_with_id(id));
         }
         assert_eq!(s.ids(), vec![2, 3], "oldest evicted");
+    }
+
+    #[test]
+    fn pinned_traces_survive_ring_churn() {
+        let s = TraceStore::with_capacity(2);
+        s.publish(trace_with_id(1));
+        assert!(s.pin(1), "present in the ring");
+        assert!(!s.pin(99), "unknown id");
+        assert_eq!(s.ids(), Vec::<u64>::new(), "pin moves out of the ring");
+        assert_eq!(s.pinned_ids(), vec![1]);
+        // Churn far past the ring capacity: the pinned trace survives.
+        for id in 10..20 {
+            s.publish(trace_with_id(id));
+        }
+        assert!(s.get(1).is_some(), "pinned trace outlives eviction");
+        assert!(s.pin(1), "re-pinning an already pinned id is idempotent");
+        // Republishing a pinned id updates the pinned copy in place.
+        let t = Tracer::with_trace_id(1);
+        t.start(None, || "rerun".into(), "app").finish();
+        s.publish(t.finish());
+        assert_eq!(s.pinned_ids(), vec![1]);
+        assert!(s.chrome_json(1).unwrap().contains("rerun"));
+        assert!(!s.ids().contains(&1));
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //! `--http <port>` additionally mounts the plain-HTTP observability
 //! endpoint on `127.0.0.1:<port>` (`0` picks an ephemeral port):
 //! `GET /metrics` renders the same registry the protocol serves, plus
-//! `/healthz`, `/readyz`, `/progress`, `/flight`, and `/traces/<id>` —
-//! see README, "Operating bda-served".
+//! `/healthz`, `/readyz`, `/progress`, `/flight`, `/traces/<id>`,
+//! `/queries`, `/queries/slow`, and `/calibration` — see README,
+//! "Operating bda-served". When `BDA_PROFILE_DIR` is set (or, failing
+//! that, when `--data-dir` is given — `<dir>/profiles` is used), the
+//! query-profile log behind `/queries` persists as JSONL and is
+//! recovered on restart.
 //!
 //! `--reactor` swaps the thread-per-connection core for the sharded
 //! event-loop core in `bda-reactor`: epoll readiness, request
@@ -140,8 +144,11 @@ fn parse_args() -> Result<Args, String> {
                      --log writes one structured line per request (kind, duration,\n\
                      bytes, outcome) to the given file, or to stderr.\n\
                      --http mounts the observability HTTP endpoint (/metrics,\n\
-                     /healthz, /readyz, /progress, /flight, /traces/<id>) on\n\
-                     127.0.0.1:PORT; port 0 picks an ephemeral port.\n\
+                     /healthz, /readyz, /progress, /flight, /traces/<id>,\n\
+                     /queries, /queries/slow, /calibration) on 127.0.0.1:PORT;\n\
+                     port 0 picks an ephemeral port. The query-profile log\n\
+                     persists under BDA_PROFILE_DIR (or <data-dir>/profiles)\n\
+                     and is recovered on restart.\n\
                      --data-dir makes the engine durable: prior state is recovered\n\
                      from DIR before the listener binds, acknowledged mutations are\n\
                      write-ahead-logged there, and snapshots compact the log.\n\
@@ -229,6 +236,28 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // The query-profile log persists under an explicit BDA_PROFILE_DIR,
+    // or under `<data-dir>/profiles` when the engine is durable. Setting
+    // the env var before the log's first touch routes both cases through
+    // the global log's own initialisation, so profiles recorded by a
+    // previous process are served again after restart.
+    let profile_dir = std::env::var(bda_obs::profile::PROFILE_DIR_ENV)
+        .ok()
+        .filter(|d| !d.trim().is_empty())
+        .or_else(|| {
+            args.data_dir.as_ref().map(|d| {
+                std::path::Path::new(d)
+                    .join("profiles")
+                    .display()
+                    .to_string()
+            })
+        });
+    if let Some(dir) = profile_dir {
+        std::env::set_var(bda_obs::profile::PROFILE_DIR_ENV, &dir);
+        let recovered = bda_obs::profile::global_log().len();
+        println!("bda-served: profile log persists to {dir} ({recovered} profiles recovered)");
+    }
+
     // One hub for everything: request counters, durability WAL/replay
     // metrics, and the ops endpoint all share these cells.
     let metrics = bda_obs::MetricsHub::new();
