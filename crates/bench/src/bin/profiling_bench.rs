@@ -212,6 +212,7 @@ fn synthetic_profiles(seed: u64, n: u64) -> Vec<QueryProfile> {
             let site = sites[(next() % sites.len() as u64) as usize];
             QueryProfile {
                 trace_id: seed ^ i,
+                tenant: String::new(),
                 wall_ns: 1_000_000 + next() % 50_000_000,
                 slow: false,
                 ops: vec![OpProfile {

@@ -336,6 +336,7 @@ fn main() {
 
     let mut phases: Vec<PhaseReport> = Vec::new();
     let mut post_flood_s = None;
+    let mut failed_scrape = false;
 
     if let Some(addr) = addr {
         // External mode: the serving smoke against a live `--reactor`.
@@ -375,6 +376,7 @@ fn main() {
             admission: AdmissionConfig {
                 queue_capacity: 4 * conns.max(256),
                 per_tenant: 4 * conns.max(256),
+                fair_share: false,
             },
             max_connections: 4 * conns.max(256),
             ..ReactorOptions::default()
@@ -409,6 +411,7 @@ fn main() {
             admission: AdmissionConfig {
                 queue_capacity: 16,
                 per_tenant: 16,
+                fair_share: false,
             },
             max_connections: 4 * conns.max(256),
             ..ReactorOptions::default()
@@ -432,11 +435,26 @@ fn main() {
         let remote = RemoteProvider::connect(overload_server.addr().to_string()).unwrap();
         remote.execute(&plan).expect("post-flood request succeeds");
         post_flood_s = Some(t.elapsed().as_secs_f64());
+
+        // Every shed the clients counted must also appear in the
+        // reason/priority-labeled admission counter the operators see.
+        if overload.shed > 0 {
+            let scrape = overload_server.metrics().render();
+            let labeled = scrape.contains("bda_admission_shed_total{reason=\"")
+                && scrape.contains("priority=\"");
+            if !labeled {
+                eprintln!(
+                    "FAIL reactor_overload: sheds happened but \
+                     bda_admission_shed_total{{reason,priority}} is missing from /metrics"
+                );
+                failed_scrape = true;
+            }
+        }
         phases.push(overload);
     }
 
     // ---- verdicts ----
-    let mut failed = false;
+    let mut failed = failed_scrape;
     for p in &phases {
         println!(
             "{:>18}: {} conns, {} reqs in {:.2}s = {:.0} qps  p50 {:.1}us p99 {:.1}us p999 {:.1}us  (ok {}, shed {}, app-err {}, proto-err {}, hangs {})",

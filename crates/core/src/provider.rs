@@ -205,6 +205,14 @@ pub trait Provider: Send + Sync {
         self.execute_push(plan, peer_addr, dest_name)
             .map(|r| r.map(|bytes| (bytes, Vec::new())))
     }
+
+    /// This provider's own Prometheus exposition, if it serves one. The
+    /// fleet view (`/cluster/metrics`) pulls every registered provider's
+    /// exposition and merges them under per-instance labels; in-process
+    /// providers have no server of their own and return `None`.
+    fn metrics_text(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A provider backed by the reference evaluator: supports the entire

@@ -383,6 +383,7 @@ mod tests {
         let book = CostBook::new(7);
         book.observe(&QueryProfile {
             trace_id: 1,
+            tenant: String::new(),
             wall_ns: 400,
             slow: false,
             ops: vec![OpProfile {
@@ -433,6 +434,7 @@ mod tests {
         let book = CostBook::new(7);
         book.observe(&QueryProfile {
             trace_id: 1,
+            tenant: String::new(),
             wall_ns: 1_500_000,
             slow: false,
             ops: vec![OpProfile {

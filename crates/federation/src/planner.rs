@@ -682,6 +682,7 @@ mod tests {
     fn site_profile(site: &str, fragment_wall_ns: u64) -> bda_obs::profile::QueryProfile {
         bda_obs::profile::QueryProfile {
             trace_id: 1,
+            tenant: String::new(),
             wall_ns: fragment_wall_ns,
             slow: false,
             ops: vec![],
@@ -758,6 +759,7 @@ mod tests {
 
         let op_profile = |wall_ns: u64| bda_obs::profile::QueryProfile {
             trace_id: 2,
+            tenant: String::new(),
             wall_ns,
             slow: false,
             ops: vec![bda_obs::profile::OpProfile {

@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use bda_core::Provider;
+use bda_obs::meter::UsageBook;
 use bda_obs::{MetricsHub, TraceContext, Tracer};
 
 use crate::frame::{read_message, write_message, HEADER_LEN, MAX_FRAME_PAYLOAD};
@@ -44,6 +45,7 @@ pub struct RequestHandler {
     engine: Arc<dyn Provider>,
     metrics: MetricsHub,
     log: Option<Mutex<Box<dyn Write + Send>>>,
+    usage: Option<UsageBook>,
 }
 
 impl RequestHandler {
@@ -69,7 +71,15 @@ impl RequestHandler {
             engine,
             metrics,
             log,
+            usage: None,
         })
+    }
+
+    /// Attach a [`UsageBook`] so every handled request's wall time and
+    /// wire bytes are charged to its tenant (in memory — the book
+    /// persists at query grain, not per request).
+    pub fn set_usage(&mut self, usage: UsageBook) {
+        self.usage = Some(usage);
     }
 
     /// The engine this handler serves.
@@ -87,22 +97,66 @@ impl RequestHandler {
     /// request log, and return the reply. Malformed or failing requests
     /// become [`Response::Error`]; this never panics on network bytes.
     pub fn handle_frame(&self, kind: u8, payload: &[u8], req_bytes: u64) -> Response {
+        self.handle_frame_as(kind, payload, req_bytes, "-")
+    }
+
+    /// [`RequestHandler::handle_frame`] with an explicit fallback tenant
+    /// identity — the connection's peer address, typically — charged
+    /// when the request itself carries no [`Request::Tenant`] tag.
+    pub fn handle_frame_as(
+        &self,
+        kind: u8,
+        payload: &[u8],
+        req_bytes: u64,
+        fallback_tenant: &str,
+    ) -> Response {
         let started = std::time::Instant::now();
-        let (label, traced, response) = match decode_request(kind, payload) {
+        let (label, traced, tenant, query, response) = match decode_request(kind, payload) {
             Ok(req) => {
                 let resp = self
                     .handle_request(&req)
                     .unwrap_or_else(|e| Response::from_error(&e));
-                (request_kind(&req), is_traced(&req), resp)
+                let tenant = tenant_of(&req).unwrap_or(fallback_tenant).to_string();
+                (
+                    request_kind(&req),
+                    is_traced(&req),
+                    tenant,
+                    trace_id_of(&req),
+                    resp,
+                )
             }
-            Err(e) => ("malformed", false, Response::from_error(&e)),
+            Err(e) => (
+                "malformed",
+                false,
+                fallback_tenant.to_string(),
+                None,
+                Response::from_error(&e),
+            ),
         };
-        self.observe(label, traced, started.elapsed(), req_bytes, &response);
+        self.observe(
+            label,
+            traced,
+            &tenant,
+            query,
+            started.elapsed(),
+            req_bytes,
+            &response,
+        );
         response
     }
 
     /// Charge one handled request to the metrics registry and the log.
-    fn observe(&self, kind: &str, traced: bool, dur: Duration, req_bytes: u64, resp: &Response) {
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
+        &self,
+        kind: &str,
+        traced: bool,
+        tenant: &str,
+        query: Option<u64>,
+        dur: Duration,
+        req_bytes: u64,
+        resp: &Response,
+    ) {
         let m = &self.metrics;
         let (outcome, resp_bytes) = {
             let (_, payload) = encode_response_size(resp);
@@ -122,7 +176,7 @@ impl RequestHandler {
             )
             .inc();
             bda_obs::flight::global().record(self.engine.name(), || {
-                format!("request kind={kind} answered with an error")
+                format!("request kind={kind} tenant={tenant} answered with an error")
             });
         }
         m.histogram(
@@ -142,14 +196,35 @@ impl RequestHandler {
             "Framed bytes moved over this server's connections.",
         )
         .add(resp_bytes);
+        m.counter_labeled(
+            "bda_net_tenant_requests_total",
+            &[("tenant", tenant)],
+            "Requests handled, by tenant identity.",
+        )
+        .inc();
+        m.counter_labeled(
+            "bda_net_tenant_wire_bytes_total",
+            &[("tenant", tenant)],
+            "Framed bytes moved (both directions), by tenant identity.",
+        )
+        .add(req_bytes + resp_bytes);
+        if let Some(book) = &self.usage {
+            book.charge_io(tenant, dur.as_nanos() as u64, req_bytes + resp_bytes);
+        }
         if let Some(log) = &self.log {
             let mut w = log.lock().expect("request log poisoned");
+            let query = match query {
+                Some(id) => format!("{id:#018x}"),
+                None => "-".to_string(),
+            };
             let _ = writeln!(
                 w,
-                "server={} kind={} traced={} dur_us={} req_bytes={} resp_bytes={} outcome={}",
+                "server={} kind={} traced={} tenant={} query={} dur_us={} req_bytes={} resp_bytes={} outcome={}",
                 self.engine.name(),
                 kind,
                 traced,
+                tenant,
+                query,
                 dur.as_micros(),
                 req_bytes,
                 resp_bytes,
@@ -160,6 +235,10 @@ impl RequestHandler {
     }
 
     fn handle_request(&self, req: &Request) -> Result<Response> {
+        self.handle_request_as(req, None)
+    }
+
+    fn handle_request_as(&self, req: &Request, tenant: Option<&str>) -> Result<Response> {
         let engine = self.engine.as_ref();
         Ok(match req {
             Request::Hello => Response::Hello {
@@ -220,7 +299,7 @@ impl RequestHandler {
                 // travel inside `Traced` so the spans survive the failure.
                 let tracer = Tracer::with_trace_id(*trace_id);
                 let resp = self
-                    .handle_traced(&tracer, inner)
+                    .handle_traced(&tracer, inner, tenant)
                     .unwrap_or_else(|e| Response::from_error(&e));
                 Response::Traced {
                     spans: tracer.take_spans(),
@@ -232,12 +311,19 @@ impl RequestHandler {
                 // produced — including errors, so a pipelining client can
                 // always match a failure to the right in-flight call.
                 let resp = self
-                    .handle_request(inner)
+                    .handle_request_as(inner, tenant)
                     .unwrap_or_else(|e| Response::from_error(&e));
                 Response::Pipelined {
                     tag: *tag,
                     inner: Box::new(resp),
                 }
+            }
+            Request::Tenant { tenant, inner } => {
+                // The reply is the inner reply — there is no tenant
+                // response wrapper. The identity rides down so a traced
+                // request stamps it on its serve span.
+                self.handle_request_as(inner, Some(tenant))
+                    .unwrap_or_else(|e| Response::from_error(&e))
             }
         })
     }
@@ -245,13 +331,23 @@ impl RequestHandler {
     /// Handle the request inside a [`Request::Traced`] wrapper under a
     /// `serve:<kind>` span, using the engine's traced entry points so its
     /// per-operator spans land in the same trace.
-    fn handle_traced(&self, tracer: &Tracer, req: &Request) -> Result<Response> {
+    fn handle_traced(
+        &self,
+        tracer: &Tracer,
+        req: &Request,
+        tenant: Option<&str>,
+    ) -> Result<Response> {
         let engine = self.engine.as_ref();
         let mut serve = tracer.start(
             None,
             || format!("serve:{}", request_kind(req)),
             engine.name(),
         );
+        if let Some(tenant) = tenant {
+            // Stamp the identity into the span tree so flight dumps,
+            // traces, and profiles join on the same key.
+            serve.event(|| format!("tenant:{tenant}"));
+        }
         let ctx = TraceContext {
             trace_id: tracer.trace_id(),
             parent_span: serve.id().unwrap_or(0),
@@ -308,16 +404,39 @@ pub(crate) fn request_kind(req: &Request) -> &'static str {
         // Wrappers are labelled by the work they carry.
         Request::Traced { inner, .. } => request_kind(inner),
         Request::Pipelined { inner, .. } => request_kind(inner),
+        Request::Tenant { inner, .. } => request_kind(inner),
     }
 }
 
-/// Whether a trace rides along with this request (looks through
-/// `Pipelined`).
+/// Whether a trace rides along with this request (looks through the
+/// `Pipelined` and `Tenant` wrappers).
 fn is_traced(req: &Request) -> bool {
     match req {
         Request::Traced { .. } => true,
         Request::Pipelined { inner, .. } => is_traced(inner),
+        Request::Tenant { inner, .. } => is_traced(inner),
         _ => false,
+    }
+}
+
+/// The tenant identity a request carries, when tagged (looks through
+/// `Pipelined`; `Tenant` never rides inside `Traced`).
+fn tenant_of(req: &Request) -> Option<&str> {
+    match req {
+        Request::Tenant { tenant, .. } => Some(tenant),
+        Request::Pipelined { inner, .. } => tenant_of(inner),
+        _ => None,
+    }
+}
+
+/// The trace id a request carries, when traced (looks through the
+/// wrappers) — the `query=` key log lines and profiles join on.
+fn trace_id_of(req: &Request) -> Option<u64> {
+    match req {
+        Request::Traced { trace_id, .. } => Some(*trace_id),
+        Request::Pipelined { inner, .. } => trace_id_of(inner),
+        Request::Tenant { inner, .. } => trace_id_of(inner),
+        _ => None,
     }
 }
 

@@ -101,13 +101,28 @@ pub enum Request {
     /// many of these in flight on one socket, and the server matches its
     /// reply by echoing `tag` in [`Response::Pipelined`]. Replies to
     /// tagged requests may arrive in any order; `Pipelined` is always
-    /// the outermost wrapper (it may carry `Traced`, never another
-    /// `Pipelined`). The thread-per-connection server also understands
-    /// it (serially), so a pipelining client works against either
-    /// serving core.
+    /// the outermost wrapper (it may carry `Tenant` or `Traced`, never
+    /// another `Pipelined`). The thread-per-connection server also
+    /// understands it (serially), so a pipelining client works against
+    /// either serving core.
     Pipelined {
         /// Client-chosen correlation tag, echoed back verbatim.
         tag: u64,
+        /// The request to handle.
+        inner: Box<Request>,
+    },
+    /// A request tagged with the tenant identity it should be charged
+    /// to. Servers that meter usage attribute this request's cost to
+    /// `tenant` instead of the connection's peer address (the default
+    /// for untagged requests, preserving old↔new compatibility).
+    ///
+    /// Wrapper nesting order is fixed: `Pipelined` is always outermost,
+    /// `Tenant` may carry `Traced`, and none of the wrappers nests
+    /// itself. The reply is the inner request's reply — there is no
+    /// tenant response wrapper to echo.
+    Tenant {
+        /// Tenant identity the request is charged to.
+        tenant: String,
         /// The request to handle.
         inner: Box<Request>,
     },
@@ -188,6 +203,7 @@ const K_CATALOG: u8 = 0x07;
 const K_METRICS: u8 = 0x08;
 const K_TRACED: u8 = 0x10;
 const K_PIPELINED: u8 = 0x11;
+const K_TENANT: u8 = 0x12;
 const K_R_HELLO: u8 = 0x81;
 const K_R_DATASET: u8 = 0x82;
 const K_R_ACK: u8 = 0x83;
@@ -301,6 +317,13 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             put_block(&mut buf, &inner_payload);
             K_PIPELINED
         }
+        Request::Tenant { tenant, inner } => {
+            put_string(&mut buf, tenant);
+            let (inner_kind, inner_payload) = encode_request(inner);
+            buf.put_u8(inner_kind);
+            put_block(&mut buf, &inner_payload);
+            K_TENANT
+        }
     };
     (kind, buf.to_vec())
 }
@@ -324,6 +347,91 @@ pub fn is_pipelined_kind(kind: u8) -> bool {
     kind == K_PIPELINED
 }
 
+/// Encode a [`Request::Tenant`] wrapper around an *already-encoded*
+/// request, so a client tagging every outgoing message never clones the
+/// inner payload (which may embed a large dataset).
+pub fn encode_tenant_wrapped(tenant: &str, inner_kind: u8, inner_payload: &[u8]) -> (u8, Vec<u8>) {
+    let mut buf = BytesMut::new();
+    put_string(&mut buf, tenant);
+    buf.put_u8(inner_kind);
+    put_block(&mut buf, inner_payload);
+    (K_TENANT, buf.to_vec())
+}
+
+/// What a cheap prefix scan of a request frame reveals: the pipelining
+/// tag (when the outermost wrapper is [`Request::Pipelined`] and its
+/// prefix is well formed), the innermost *classification* kind looking
+/// through `Pipelined` and `Tenant` wrappers, and the tenant tag when
+/// one is present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramePeek {
+    /// Pipelining correlation tag, when the frame is a well-formed
+    /// pipelined wrapper.
+    pub tag: Option<u64>,
+    /// The request kind after looking through `Pipelined` and `Tenant`
+    /// wrappers — what admission control should classify on. Falls back
+    /// to the outermost kind when a wrapper prefix is malformed (full
+    /// decoding later reports the error in order).
+    pub kind: u8,
+    /// Tenant identity, when the frame carries a tenant tag with a
+    /// well-formed UTF-8 prefix.
+    pub tenant: Option<String>,
+}
+
+/// Cheap peek at a request frame's wrappers without decoding the inner
+/// payload (which may embed a large dataset). The reactor's event loop
+/// uses this to classify, tag, and *attribute* a request before any
+/// expensive decoding — and to address a shed reply — while full
+/// decoding happens on an executor worker. Malformed wrapper prefixes
+/// degrade gracefully: the peek stops looking through and reports what
+/// it has, and the decode on the worker produces the error reply.
+pub fn peek_frame(kind: u8, payload: &[u8]) -> FramePeek {
+    let mut peek = FramePeek {
+        tag: None,
+        kind,
+        tenant: None,
+    };
+    let mut payload = payload;
+    if kind == K_PIPELINED {
+        // Layout: tag u64 | inner kind u8 | u32 block len | inner payload.
+        let Some((tag, inner_kind)) = peek_pipelined(kind, payload) else {
+            return peek;
+        };
+        if payload.len() < 13 {
+            return peek;
+        }
+        peek.tag = Some(tag);
+        peek.kind = inner_kind;
+        let len = u32::from_le_bytes(payload[9..13].try_into().expect("4-byte len")) as usize;
+        let Some(inner) = 13usize
+            .checked_add(len)
+            .and_then(|end| payload.get(13..end))
+        else {
+            return peek;
+        };
+        payload = inner;
+    }
+    if peek.kind == K_TENANT {
+        // Layout: u32 len | UTF-8 tenant | inner kind u8 | …
+        if payload.len() < 4 {
+            return peek;
+        }
+        let len = u32::from_le_bytes(payload[..4].try_into().expect("4-byte len")) as usize;
+        let Some(raw) = payload.get(4..4 + len) else {
+            return peek;
+        };
+        let Ok(tenant) = std::str::from_utf8(raw) else {
+            return peek;
+        };
+        let Some(&inner_kind) = payload.get(4 + len) else {
+            return peek;
+        };
+        peek.tenant = Some(tenant.to_string());
+        peek.kind = inner_kind;
+    }
+    peek
+}
+
 /// Raw request kind bytes, for serving cores that must classify a
 /// message *before* decoding it (the reactor's admission control reads
 /// one byte to pick a priority queue; full decoding happens later on an
@@ -340,6 +448,7 @@ pub mod kind {
     pub const METRICS: u8 = super::K_METRICS;
     pub const TRACED: u8 = super::K_TRACED;
     pub const PIPELINED: u8 = super::K_PIPELINED;
+    pub const TENANT: u8 = super::K_TENANT;
 }
 
 /// Decode a request from a frame kind and payload.
@@ -380,6 +489,9 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
             if inner_kind == K_TRACED {
                 return Err(corrupt("traced request must not nest"));
             }
+            if inner_kind == K_TENANT {
+                return Err(corrupt("tenant tag must wrap traced, not nest inside it"));
+            }
             let inner_payload = read_block(&mut r, "traced inner payload")?;
             Request::Traced {
                 trace_id,
@@ -396,6 +508,21 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
             let inner_payload = read_block(&mut r, "pipelined inner payload")?;
             Request::Pipelined {
                 tag,
+                inner: Box::new(decode_request(inner_kind, inner_payload)?),
+            }
+        }
+        K_TENANT => {
+            let tenant = r.string("tenant id")?;
+            let inner_kind = r.u8("tenant inner kind")?;
+            if inner_kind == K_TENANT {
+                return Err(corrupt("tenant tag must not nest"));
+            }
+            if inner_kind == K_PIPELINED {
+                return Err(corrupt("pipelined must be the outermost wrapper"));
+            }
+            let inner_payload = read_block(&mut r, "tenant inner payload")?;
+            Request::Tenant {
+                tenant,
                 inner: Box::new(decode_request(inner_kind, inner_payload)?),
             }
         }
@@ -710,6 +837,138 @@ mod tests {
             }),
         });
         assert!(decode_response(rkind, &rpayload).is_err());
+    }
+
+    #[test]
+    fn tenant_messages_round_trip_and_respect_nesting_rules() {
+        let ds = sample_dataset();
+        let plan = Plan::scan("t", ds.schema().clone()).limit(2);
+        // Tenant wrapping a plain request.
+        request_round_trip(Request::Tenant {
+            tenant: "acme".into(),
+            inner: Box::new(Request::Execute { plan: plan.clone() }),
+        });
+        // Tenant may carry Traced.
+        request_round_trip(Request::Tenant {
+            tenant: "10.0.0.7".into(),
+            inner: Box::new(Request::Traced {
+                trace_id: 0xBDA,
+                parent_span: 1,
+                inner: Box::new(Request::Catalog),
+            }),
+        });
+        // Pipelined may carry Tenant (outermost wrapper rule).
+        request_round_trip(Request::Pipelined {
+            tag: 9,
+            inner: Box::new(Request::Tenant {
+                tenant: "acme".into(),
+                inner: Box::new(Request::Execute { plan }),
+            }),
+        });
+        // Tenant never nests itself.
+        let (kind, payload) = encode_request(&Request::Tenant {
+            tenant: "a".into(),
+            inner: Box::new(Request::Tenant {
+                tenant: "b".into(),
+                inner: Box::new(Request::Catalog),
+            }),
+        });
+        assert!(decode_request(kind, &payload).is_err());
+        // Tenant must wrap Traced, not nest inside it.
+        let (kind, payload) = encode_request(&Request::Traced {
+            trace_id: 1,
+            parent_span: 0,
+            inner: Box::new(Request::Tenant {
+                tenant: "a".into(),
+                inner: Box::new(Request::Catalog),
+            }),
+        });
+        assert!(decode_request(kind, &payload).is_err());
+        // Pipelined must stay outermost: Tenant{Pipelined} is rejected.
+        let (kind, payload) = encode_request(&Request::Tenant {
+            tenant: "a".into(),
+            inner: Box::new(Request::Pipelined {
+                tag: 1,
+                inner: Box::new(Request::Catalog),
+            }),
+        });
+        assert!(decode_request(kind, &payload).is_err());
+    }
+
+    #[test]
+    fn tenant_truncation_never_panics() {
+        let (kind, payload) = encode_request(&Request::Tenant {
+            tenant: "acme".into(),
+            inner: Box::new(Request::Store {
+                name: "t".into(),
+                data: sample_dataset(),
+            }),
+        });
+        for cut in 0..payload.len() {
+            assert!(decode_request(kind, &payload[..cut]).is_err(), "cut {cut}");
+            // The peek must also survive every truncation.
+            let _ = peek_frame(kind, &payload[..cut]);
+        }
+    }
+
+    #[test]
+    fn peek_frame_sees_through_wrappers() {
+        // Plain request: nothing but the kind.
+        let (kind, payload) = encode_request(&Request::Catalog);
+        let peek = peek_frame(kind, &payload);
+        assert_eq!(
+            peek,
+            FramePeek {
+                tag: None,
+                kind: super::K_CATALOG,
+                tenant: None
+            }
+        );
+
+        // Tenant-tagged request.
+        let (kind, payload) = encode_request(&Request::Tenant {
+            tenant: "acme".into(),
+            inner: Box::new(Request::Store {
+                name: "t".into(),
+                data: sample_dataset(),
+            }),
+        });
+        let peek = peek_frame(kind, &payload);
+        assert_eq!(peek.tag, None);
+        assert_eq!(peek.kind, super::K_STORE);
+        assert_eq!(peek.tenant.as_deref(), Some("acme"));
+
+        // Pipelined{Tenant{Traced{Execute}}}: tag, tenant, and the
+        // classification kind is the traced wrapper (ops-visible as a
+        // traced request, same as peek_pipelined reported before).
+        let ds = sample_dataset();
+        let plan = Plan::scan("t", ds.schema().clone()).limit(2);
+        let (kind, payload) = encode_request(&Request::Pipelined {
+            tag: 0xFEED,
+            inner: Box::new(Request::Tenant {
+                tenant: "acme".into(),
+                inner: Box::new(Request::Traced {
+                    trace_id: 7,
+                    parent_span: 0,
+                    inner: Box::new(Request::Execute { plan }),
+                }),
+            }),
+        });
+        let peek = peek_frame(kind, &payload);
+        assert_eq!(peek.tag, Some(0xFEED));
+        assert_eq!(peek.kind, super::K_TRACED);
+        assert_eq!(peek.tenant.as_deref(), Some("acme"));
+
+        // Malformed pipelined prefix: graceful fallback to the outer kind.
+        let peek = peek_frame(super::K_PIPELINED, &[0; 8]);
+        assert_eq!(
+            peek,
+            FramePeek {
+                tag: None,
+                kind: super::K_PIPELINED,
+                tenant: None
+            }
+        );
     }
 
     #[test]

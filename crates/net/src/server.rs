@@ -98,6 +98,9 @@ pub struct ServeOptions {
     /// layer classifies by name). Disk-fault injection rides in
     /// [`bda_durability::Options::faults`].
     pub durability: Option<bda_durability::Options>,
+    /// Usage book charged per request (tenant-tagged or peer-attributed)
+    /// when metering is enabled.
+    pub usage: Option<bda_obs::UsageBook>,
 }
 
 /// The shared fault stream: one RNG across all of a server's connections
@@ -197,11 +200,11 @@ pub fn serve_with(
         }
         None => engine,
     };
-    let handler = Arc::new(RequestHandler::new(
-        engine,
-        opts.metrics.unwrap_or_default(),
-        opts.log,
-    )?);
+    let mut handler = RequestHandler::new(engine, opts.metrics.unwrap_or_default(), opts.log)?;
+    if let Some(usage) = opts.usage {
+        handler.set_usage(usage);
+    }
+    let handler = Arc::new(handler);
     let metrics = handler.metrics();
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
@@ -301,6 +304,13 @@ fn handle_connection(
     faults: Option<Arc<FaultState>>,
 ) {
     let _ = conn.set_nodelay(true);
+    // Untagged requests are attributed to the peer address — the
+    // pre-tenant behaviour, and still the right default for peers that
+    // never learned the tenant wrapper.
+    let fallback_tenant = conn
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "-".to_string());
     while !shutdown.load(Ordering::SeqCst) {
         // Idle phase: peek (non-consuming) with a short timeout so the
         // shutdown flag is observed promptly and a timeout can never
@@ -330,7 +340,7 @@ fn handle_connection(
             // Peer hung up, stalled, or sent garbage: close.
             Err(_) => return,
         };
-        let response = handler.handle_frame(kind, &payload, req_bytes);
+        let response = handler.handle_frame_as(kind, &payload, req_bytes, &fallback_tenant);
         let (rkind, rpayload) = encode_response(&response);
         match faults.as_ref().map(|f| f.decide()) {
             Some(FaultAction::Drop) => return, // close without replying

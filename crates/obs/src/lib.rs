@@ -36,6 +36,7 @@
 pub mod chrome;
 pub mod flight;
 pub mod http;
+pub mod meter;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
@@ -44,7 +45,8 @@ pub mod store;
 pub mod wire;
 
 pub use flight::FlightRecorder;
-pub use http::{serve_ops, Health, HealthSource, OpsHandle, OpsOptions};
+pub use http::{serve_ops, ClusterSource, Health, HealthSource, OpsHandle, OpsOptions};
+pub use meter::{TenantUsage, UsageBook};
 pub use metrics::{Counter, Gauge, Histogram, MetricsHub};
 pub use profile::{CostBook, QueryLog, QueryProfile};
 pub use progress::{ProgressHandle, ProgressTracker, QueryProgress};

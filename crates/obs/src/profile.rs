@@ -93,6 +93,9 @@ pub struct SiteProfile {
 pub struct QueryProfile {
     /// Trace id of the query this profile was distilled from.
     pub trace_id: u64,
+    /// Tenant identity the query is charged to (empty when unknown —
+    /// profiles persisted before metering existed load as empty).
+    pub tenant: String,
     /// End-to-end wall time in nanoseconds (root `query` span).
     pub wall_ns: u64,
     /// Flagged slow by the query log (wall > p99 × k at push time).
@@ -172,6 +175,7 @@ impl QueryProfile {
         });
         Some(QueryProfile {
             trace_id: trace.trace_id,
+            tenant: String::new(),
             wall_ns,
             slow: false,
             ops: ops.into_values().collect(),
@@ -184,8 +188,11 @@ impl QueryProfile {
     pub fn render_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str(&format!(
-            "{{\"trace_id\":\"{:#018x}\",\"wall_ns\":{},\"slow\":{},\"ops\":[",
-            self.trace_id, self.wall_ns, self.slow
+            "{{\"trace_id\":\"{:#018x}\",\"tenant\":\"{}\",\"wall_ns\":{},\"slow\":{},\"ops\":[",
+            self.trace_id,
+            escape(&self.tenant),
+            self.wall_ns,
+            self.slow
         ));
         for (i, op) in self.ops.iter().enumerate() {
             if i > 0 {
@@ -228,6 +235,10 @@ impl QueryProfile {
         let trace_id = raw_of(&fields, "trace_id")
             .and_then(parse_string)
             .and_then(|s| u64::from_str_radix(s.strip_prefix("0x")?, 16).ok())?;
+        // Lenient: lines persisted before metering carry no tenant.
+        let tenant = raw_of(&fields, "tenant")
+            .and_then(parse_string)
+            .unwrap_or_default();
         let wall_ns = raw_of(&fields, "wall_ns").and_then(parse_u64)?;
         let slow = raw_of(&fields, "slow").and_then(parse_bool)?;
         let mut ops = Vec::new();
@@ -256,6 +267,7 @@ impl QueryProfile {
         }
         Some(QueryProfile {
             trace_id,
+            tenant,
             wall_ns,
             slow,
             ops,
@@ -266,9 +278,10 @@ impl QueryProfile {
 
 // ---------------------------------------------------------------------
 // Minimal JSON scanning (enough for our own output, strings included).
+// Shared with `crate::meter`, whose usage records persist the same way.
 
 /// Split a JSON object into top-level `(key, raw value)` pairs.
-fn object_fields(s: &str) -> Option<Vec<(String, &str)>> {
+pub(crate) fn object_fields(s: &str) -> Option<Vec<(String, &str)>> {
     let s = s.trim();
     let b = s.as_bytes();
     if b.first() != Some(&b'{') || b.last() != Some(&b'}') {
@@ -302,7 +315,7 @@ fn object_fields(s: &str) -> Option<Vec<(String, &str)>> {
 }
 
 /// The raw value of `key`, if present.
-fn raw_of<'a>(fields: &[(String, &'a str)], key: &str) -> Option<&'a str> {
+pub(crate) fn raw_of<'a>(fields: &[(String, &'a str)], key: &str) -> Option<&'a str> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
 }
 
@@ -426,11 +439,11 @@ fn scan_value(b: &[u8], i: usize) -> Option<usize> {
     }
 }
 
-fn parse_string(raw: &str) -> Option<String> {
+pub(crate) fn parse_string(raw: &str) -> Option<String> {
     scan_string(raw.trim().as_bytes(), 0).map(|(s, _)| s)
 }
 
-fn parse_u64(raw: &str) -> Option<u64> {
+pub(crate) fn parse_u64(raw: &str) -> Option<u64> {
     raw.trim().parse().ok()
 }
 
@@ -581,12 +594,32 @@ impl QueryLog {
 
     /// The retained log as a JSON document (`GET /queries`).
     pub fn render_json(&self) -> String {
-        render_queries(&self.snapshot())
+        self.render_json_for(None)
     }
 
     /// The retained slow queries as a JSON document (`GET /queries/slow`).
     pub fn render_slow_json(&self) -> String {
-        render_queries(&self.slow_snapshot())
+        self.render_slow_json_for(None)
+    }
+
+    /// `GET /queries?tenant=<id>`: the retained log, optionally filtered
+    /// to one tenant's queries.
+    pub fn render_json_for(&self, tenant: Option<&str>) -> String {
+        let mut profiles = self.snapshot();
+        if let Some(t) = tenant {
+            profiles.retain(|p| p.tenant == t);
+        }
+        render_queries(&profiles)
+    }
+
+    /// `GET /queries/slow?tenant=<id>`: slow queries, optionally
+    /// filtered to one tenant.
+    pub fn render_slow_json_for(&self, tenant: Option<&str>) -> String {
+        let mut profiles = self.slow_snapshot();
+        if let Some(t) = tenant {
+            profiles.retain(|p| p.tenant == t);
+        }
+        render_queries(&profiles)
     }
 }
 
@@ -839,10 +872,43 @@ mod tests {
     }
 
     #[test]
+    fn tenant_survives_json_and_old_lines_load_without_one() {
+        let mut p = QueryProfile::from_trace(&sample_trace()).unwrap();
+        p.tenant = "acme \"corp\"".into();
+        let line = p.render_json();
+        assert_eq!(QueryProfile::parse_json(&line).unwrap(), p);
+        // A pre-metering line (no tenant key) still loads, as empty.
+        let old = line.replace("\"tenant\":\"acme \\\"corp\\\"\",", "");
+        assert!(!old.contains("tenant"));
+        let back = QueryProfile::parse_json(&old).unwrap();
+        assert_eq!(back.tenant, "");
+        assert_eq!(back.trace_id, p.trace_id);
+    }
+
+    #[test]
+    fn query_log_filters_by_tenant() {
+        let log = QueryLog::new();
+        let mut p = QueryProfile::from_trace(&sample_trace()).unwrap();
+        p.tenant = "acme".into();
+        log.push(p.clone());
+        p.trace_id = 0xFEED;
+        p.tenant = "umbrella".into();
+        log.push(p);
+        let acme = log.render_json_for(Some("acme"));
+        assert!(acme.contains("\"tenant\":\"acme\""));
+        assert!(!acme.contains("umbrella"));
+        let none = log.render_json_for(Some("nobody"));
+        assert_eq!(none, "{\"queries\":[]}\n");
+        // No filter: both.
+        assert!(log.render_json().contains("umbrella"));
+    }
+
+    #[test]
     fn query_log_flags_slow_against_p99_and_bounds_the_ring() {
         let log = QueryLog::with_capacity(4);
         let profile = |wall: u64| QueryProfile {
             trace_id: wall,
+            tenant: String::new(),
             wall_ns: wall,
             slow: false,
             ops: vec![],

@@ -30,6 +30,8 @@
 pub mod admission;
 mod server;
 mod shard;
+pub mod slo;
 
 pub use admission::{classify, Admission, AdmissionConfig, Priority, QueueDepths, ShedReason};
 pub use server::{serve_reactor, ReactorHandle, ReactorOptions, Saturation};
+pub use slo::{SloMonitor, SloTargets};

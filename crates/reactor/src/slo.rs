@@ -1,0 +1,173 @@
+//! Per-priority-class latency SLOs with burn-rate gauges.
+//!
+//! Each admission class carries a latency target (time from admission
+//! to the worker finishing the request) and the monitor tracks, per
+//! class, an exponentially weighted fraction of requests that *missed*
+//! the target. The exported gauge is the **burn rate** — that breach
+//! fraction divided by the class error budget — so `1.0` reads "missing
+//! exactly as often as the budget allows", above it the budget is
+//! burning down, and an operator can alert on the same threshold for
+//! every class regardless of its absolute target.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use bda_obs::MetricsHub;
+
+use crate::admission::Priority;
+
+/// How much one observation moves the breach EWMA; small enough to
+/// smooth bursts, large enough that a sustained regression shows within
+/// a few dozen requests.
+const ALPHA: f64 = 0.05;
+
+/// Latency targets per admission class, plus the shared error budget
+/// (the fraction of requests allowed to miss their target before the
+/// burn rate crosses `1.0`).
+#[derive(Debug, Clone, Copy)]
+pub struct SloTargets {
+    /// Ops traffic (health, catalog, metrics): fast or broken.
+    pub ops: Duration,
+    /// Interactive queries someone is waiting on.
+    pub interactive: Duration,
+    /// Bulk data movement; generous by design.
+    pub bulk: Duration,
+    /// Allowed breach fraction, in `(0, 1]`.
+    pub budget: f64,
+}
+
+impl Default for SloTargets {
+    fn default() -> Self {
+        SloTargets {
+            ops: Duration::from_millis(50),
+            interactive: Duration::from_secs(1),
+            bulk: Duration::from_secs(5),
+            budget: 0.05,
+        }
+    }
+}
+
+impl SloTargets {
+    /// The target for one admission class.
+    pub fn target(&self, priority: Priority) -> Duration {
+        match priority {
+            Priority::Ops => self.ops,
+            Priority::Interactive => self.interactive,
+            Priority::Bulk => self.bulk,
+        }
+    }
+}
+
+/// Tracks breach EWMAs per class and exports
+/// `bda_slo_burn_rate{class}` gauges through the shared hub.
+pub struct SloMonitor {
+    targets: SloTargets,
+    metrics: MetricsHub,
+    ewma: Mutex<[f64; 3]>,
+}
+
+impl SloMonitor {
+    pub fn new(targets: SloTargets, metrics: MetricsHub) -> SloMonitor {
+        let budget = targets.budget.clamp(f64::MIN_POSITIVE, 1.0);
+        let monitor = SloMonitor {
+            targets: SloTargets { budget, ..targets },
+            metrics,
+            ewma: Mutex::new([0.0; 3]),
+        };
+        // Register the gauges up front so the series exist (at zero)
+        // before the first request, keeping dashboards gap-free.
+        for class in [Priority::Ops, Priority::Interactive, Priority::Bulk] {
+            monitor.gauge(class).set(0.0);
+        }
+        monitor
+    }
+
+    /// The configured targets.
+    pub fn targets(&self) -> SloTargets {
+        self.targets
+    }
+
+    /// Record one finished request: `elapsed` is admission-to-completion
+    /// latency for a job of class `priority`.
+    pub fn observe(&self, priority: Priority, elapsed: Duration) {
+        let breach = if elapsed > self.targets.target(priority) {
+            1.0
+        } else {
+            0.0
+        };
+        let burn = {
+            let mut ewma = self.ewma.lock().expect("slo ewma poisoned");
+            let cell = &mut ewma[priority as usize];
+            *cell = ALPHA * breach + (1.0 - ALPHA) * *cell;
+            *cell / self.targets.budget
+        };
+        self.gauge(priority).set(burn);
+    }
+
+    /// The current burn rate for one class.
+    pub fn burn_rate(&self, priority: Priority) -> f64 {
+        let ewma = self.ewma.lock().expect("slo ewma poisoned");
+        ewma[priority as usize] / self.targets.budget
+    }
+
+    fn gauge(&self, priority: Priority) -> bda_obs::metrics::Gauge {
+        self.metrics.gauge_labeled(
+            "bda_slo_burn_rate",
+            &[("class", priority.label())],
+            "Breach-fraction EWMA over the class error budget; above 1.0 the latency SLO is burning.",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> SloMonitor {
+        SloMonitor::new(SloTargets::default(), MetricsHub::new())
+    }
+
+    #[test]
+    fn within_target_keeps_burn_at_zero() {
+        let m = monitor();
+        for _ in 0..32 {
+            m.observe(Priority::Interactive, Duration::from_millis(5));
+        }
+        assert_eq!(m.burn_rate(Priority::Interactive), 0.0);
+    }
+
+    #[test]
+    fn sustained_breaches_push_burn_past_one() {
+        let m = monitor();
+        for _ in 0..256 {
+            m.observe(Priority::Ops, Duration::from_millis(500));
+        }
+        assert!(m.burn_rate(Priority::Ops) > 1.0);
+        // Other classes are untouched.
+        assert_eq!(m.burn_rate(Priority::Bulk), 0.0);
+    }
+
+    #[test]
+    fn gauges_exist_before_any_observation() {
+        let hub = MetricsHub::new();
+        let _m = SloMonitor::new(SloTargets::default(), hub.clone());
+        let text = hub.render();
+        assert!(
+            text.contains("bda_slo_burn_rate{class=\"interactive\"} 0"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn recovery_decays_the_burn_rate() {
+        let m = monitor();
+        for _ in 0..64 {
+            m.observe(Priority::Interactive, Duration::from_secs(3));
+        }
+        let peak = m.burn_rate(Priority::Interactive);
+        for _ in 0..64 {
+            m.observe(Priority::Interactive, Duration::from_millis(1));
+        }
+        assert!(m.burn_rate(Priority::Interactive) < peak / 2.0);
+    }
+}

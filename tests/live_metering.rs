@@ -1,0 +1,189 @@
+//! Acceptance test for tenant-aware metering and the fleet view
+//! (ISSUE 9): a three-process federation — the app tier plus two
+//! engines behind real loopback TCP servers — runs queries on behalf of
+//! named tenants while an HTTP observer checks that:
+//!
+//! * `/tenants` and `/tenants/<id>` serve the usage book with each
+//!   tenant's charges (deterministic counts under a fixed seed),
+//! * requests tagged on the wire (`Request::Tenant`) are attributed to
+//!   the tag, not the peer address, down in the serving tier,
+//! * `/cluster/metrics` merges the app tier's exposition with every
+//!   registered provider's own `/metrics`-equivalent, pulled over
+//!   `Request::Metrics` at scrape time and labeled per instance.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use bda::core::{col, lit, Provider};
+use bda::federation::Federation;
+use bda::lang::Query;
+use bda::relational::RelationalEngine;
+use bda::storage::{Column, DataSet};
+use bda_net::{serve_with, RemoteProvider, ServeOptions};
+
+/// Minimal HTTP GET over loopback; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to ops endpoint");
+    conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: bda\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parse `"field":<digits>` out of a JSON snippet.
+fn field_u64(slice: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let at = slice
+        .find(&key)
+        .unwrap_or_else(|| panic!("missing `{field}` in {slice}"));
+    slice[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+fn sample() -> DataSet {
+    DataSet::from_columns(vec![
+        ("k", Column::from(vec![1i64, 2, 3, 4, 5, 6, 7, 8])),
+        (
+            "v",
+            Column::from(vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]),
+        ),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn tenants_are_charged_and_the_fleet_view_merges() {
+    bda::obs::meter::set_enabled(true);
+
+    // Two server "processes" on real sockets, both charging the same
+    // (process-global) usage book a real deployment's `--meter` mounts.
+    let usage = bda::obs::meter::global_usage().clone();
+    let rel = RelationalEngine::new("rel");
+    rel.store("t", sample()).unwrap();
+    let aux = RelationalEngine::new("aux");
+    aux.store("side", sample()).unwrap();
+    let server_rel = serve_with(
+        Arc::new(rel),
+        "127.0.0.1:0",
+        ServeOptions {
+            usage: Some(usage.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let server_aux = serve_with(
+        Arc::new(aux),
+        "127.0.0.1:0",
+        ServeOptions {
+            usage: Some(usage.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+
+    let mut fed = Federation::new();
+    fed.register(Arc::new(
+        RemoteProvider::connect(server_rel.addr().to_string()).unwrap(),
+    ));
+    fed.register(Arc::new(
+        RemoteProvider::connect(server_aux.addr().to_string()).unwrap(),
+    ));
+    let ops = fed
+        .serve_ops("127.0.0.1:0", server_rel.metrics())
+        .expect("ops endpoint binds");
+
+    // Run queries on behalf of two tenants: two for acme, one for zeta.
+    let q = Query::scan("t", fed.registry().schema_of("t").unwrap()).where_(col("k").gt(lit(2i64)));
+    for (tenant, runs) in [("acme", 2u64), ("zeta", 1u64)] {
+        for i in 0..runs {
+            let tracer = bda::obs::Tracer::new(0xBDA0 + i);
+            let (out, _) = fed
+                .run_traced_as(q.plan(), &tracer, tenant)
+                .expect("tenant query");
+            assert_eq!(out.num_rows(), 6);
+        }
+    }
+
+    // /tenants lists both tenants with deterministic query counts.
+    let (status, body) = http_get(ops.addr(), "/tenants");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"tenant\":\"acme\""), "{body}");
+    assert!(body.contains("\"tenant\":\"zeta\""), "{body}");
+
+    // /tenants/<id> serves one tenant's charges: exactly the queries we
+    // ran, with CPU time and rows attributed.
+    let (status, acme) = http_get(ops.addr(), "/tenants/acme");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(field_u64(&acme, "queries"), 2, "{acme}");
+    assert!(field_u64(&acme, "cpu_ns") > 0, "{acme}");
+    let (_, zeta) = http_get(ops.addr(), "/tenants/zeta");
+    assert_eq!(field_u64(&zeta, "queries"), 1, "{zeta}");
+
+    // Unknown tenants 404 rather than inventing an empty record.
+    let (status, _) = http_get(ops.addr(), "/tenants/nobody");
+    assert!(status.contains("404"), "{status}");
+
+    // A client tagging its requests on the wire is attributed by tag in
+    // the *serving* tier: the server's own registry grows per-tenant
+    // series and the shared usage book charges the tagged identity.
+    let mut direct = RemoteProvider::connect(server_rel.addr().to_string()).unwrap();
+    direct.set_tenant("wire-acme");
+    let schema = direct.catalog()[0].1.clone();
+    let out = direct.execute(&bda::core::Plan::scan("t", schema)).unwrap();
+    assert_eq!(out.num_rows(), 8);
+    let server_text = direct.metrics_text().unwrap();
+    assert!(
+        server_text.contains("bda_net_tenant_requests_total{tenant=\"wire-acme\"}"),
+        "{server_text}"
+    );
+    let wire_acme = usage.usage_of("wire-acme").expect("wire tag charged");
+    assert!(
+        wire_acme.cpu_ns > 0 && wire_acme.wire_bytes > 0,
+        "{wire_acme:?}"
+    );
+
+    // Untagged traffic keeps the pre-tenant attribution: the loopback
+    // peer address has per-tenant series of its own.
+    assert!(
+        server_text.contains("bda_net_tenant_requests_total{tenant=\"127.0.0.1\"}"),
+        "{server_text}"
+    );
+
+    // /cluster/metrics merges app + both providers, each sample labeled
+    // with its instance, HELP/TYPE headers deduplicated fleet-wide.
+    let (status, fleet) = http_get(ops.addr(), "/cluster/metrics");
+    assert!(status.contains("200"), "{status}");
+    for instance in ["app", "rel", "aux"] {
+        assert!(
+            fleet.contains(&format!("instance=\"{instance}\"")),
+            "missing instance {instance}: {fleet}"
+        );
+    }
+    assert!(
+        fleet.contains("bda_net_requests_total{instance=\"rel\",kind=\"execute\"}"),
+        "{fleet}"
+    );
+    assert_eq!(
+        fleet
+            .matches("# TYPE bda_net_requests_total counter")
+            .count(),
+        1,
+        "HELP/TYPE must merge to one header per family: {fleet}"
+    );
+
+    // The query log narrows to one tenant with `?tenant=`.
+    let (status, filtered) = http_get(ops.addr(), "/queries?tenant=acme");
+    assert!(status.contains("200"), "{status}");
+    assert!(filtered.contains("\"tenant\":\"acme\""), "{filtered}");
+    assert!(!filtered.contains("\"tenant\":\"zeta\""), "{filtered}");
+}
