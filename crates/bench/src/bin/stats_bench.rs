@@ -1,0 +1,126 @@
+//! F11: statistics-driven skipping pays for itself on selective queries.
+//!
+//! One relational engine holds a ~1M-row table clustered into 256
+//! chunks (chunk `c` holds keys `c*4096 .. (c+1)*4096`). A point query
+//! on the key column runs three ways over identical data:
+//!
+//! - **off**: statistics disabled — every chunk is scanned.
+//! - **zone**: zone maps on — chunks whose `[min, max]` cannot contain
+//!   the key are skipped before any row is touched.
+//! - **index**: zone maps plus a hash secondary index on the key —
+//!   candidate rows come straight from the index.
+//!
+//! Zone-map skipping must come out at least 10x faster than stats-off
+//! or the binary exits 1 (the CI gate for the ablation). Results land
+//! in `BENCH_stats.json`.
+//!
+//! ```text
+//! cargo run --release -p bda-bench --bin stats_bench
+//! ```
+
+use std::time::Instant;
+
+use bda_core::{col, lit, Plan, Provider};
+use bda_relational::RelationalEngine;
+use bda_storage::{Column, DataSet, IndexKind};
+
+const CHUNKS: usize = 256;
+const CHUNK_ROWS: usize = 4096;
+const REPS: usize = 9;
+const SPEEDUP_FLOOR: f64 = 10.0;
+
+fn median_of(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Build the clustered table: keys ascend chunk by chunk, so every
+/// chunk's zone map covers a disjoint key range and a point predicate
+/// can disprove all but one.
+fn clustered_table() -> DataSet {
+    let chunk = |c: usize| {
+        let base = (c * CHUNK_ROWS) as i64;
+        let keys: Vec<i64> = (0..CHUNK_ROWS as i64).map(|i| base + i).collect();
+        let vals: Vec<f64> = keys.iter().map(|k| (*k % 97) as f64 * 0.5).collect();
+        DataSet::from_columns(vec![("k", Column::from(keys)), ("v", Column::from(vals))]).unwrap()
+    };
+    let mut ds = chunk(0);
+    for c in 1..CHUNKS {
+        ds.push_chunk(chunk(c).chunks()[0].clone());
+    }
+    ds
+}
+
+fn timed(engine: &RelationalEngine, plan: &Plan) -> f64 {
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let s = Instant::now();
+        let out = engine.execute(plan).expect("selective query");
+        times.push(s.elapsed().as_secs_f64());
+        assert_eq!(out.num_rows(), 1, "point query must hit exactly one row");
+    }
+    median_of(times) * 1e3
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_stats.json".to_string());
+
+    let engine = RelationalEngine::new("rel");
+    let table = clustered_table();
+    let rows = table.num_rows();
+    engine.store("t", table).expect("store clustered table");
+
+    // A key deep in the table: the stats-off scan pays for every chunk
+    // before and after it.
+    let target = ((CHUNKS / 2) * CHUNK_ROWS + 17) as i64;
+    let plan = Plan::scan("t", engine.schema_of("t").unwrap()).select(col("k").eq(lit(target)));
+
+    engine.set_stats_enabled(false);
+    let off_ms = timed(&engine, &plan);
+
+    engine.set_stats_enabled(true);
+    let zone_ms = timed(&engine, &plan);
+
+    engine
+        .build_index("t", "k", IndexKind::Hash)
+        .expect("build hash index");
+    let index_ms = timed(&engine, &plan);
+
+    let zone_speedup = off_ms / zone_ms;
+    let index_speedup = off_ms / index_ms;
+
+    println!("F11 stats bench (rows={rows}, chunks={CHUNKS}, {REPS} reps, median):");
+    println!("  stats off:          {off_ms:>10.3} ms");
+    println!("  zone maps:          {zone_ms:>10.3} ms  ({zone_speedup:.1}x)");
+    println!("  zone + hash index:  {index_ms:>10.3} ms  ({index_speedup:.1}x)");
+    println!("  floor:              {SPEEDUP_FLOOR}x");
+
+    let json = format!(
+        "{{\"experiment\":\"F11\",\"rows\":{rows},\"chunks\":{CHUNKS},\"reps\":{REPS},\
+         \"off_ms\":{off_ms:.3},\"zone_ms\":{zone_ms:.3},\"index_ms\":{index_ms:.3},\
+         \"zone_speedup\":{zone_speedup:.2},\"index_speedup\":{index_speedup:.2},\
+         \"floor\":{SPEEDUP_FLOOR}}}\n"
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("stats_bench: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote {out}");
+
+    if zone_speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: zone-map skipping speedup {zone_speedup:.2}x is under the \
+             {SPEEDUP_FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+    if index_speedup < zone_speedup * 0.5 {
+        eprintln!(
+            "FAIL: the index path ({index_ms:.3} ms) lost more than half the zone-map \
+             win ({zone_ms:.3} ms) — index lowering has regressed"
+        );
+        std::process::exit(1);
+    }
+}

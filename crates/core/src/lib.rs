@@ -42,6 +42,7 @@ pub mod partition;
 pub mod plan;
 pub mod pool;
 pub mod provider;
+pub mod pruning;
 pub mod recognize;
 pub mod reference;
 
@@ -52,6 +53,7 @@ pub use infer::infer_schema;
 pub use partition::Partitioner;
 pub use plan::{GraphOp, JoinType, OpKind, Plan};
 pub use provider::{CapabilitySet, Provider, ReferenceProvider};
+pub use pruning::{stats_from_env, STATS_ENV};
 
 /// Crate-wide result alias.
 pub type Result<T, E = CoreError> = std::result::Result<T, E>;

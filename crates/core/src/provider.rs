@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bda_storage::{DataSet, Schema};
+use bda_storage::{DataSet, IndexKind, IndexSpec, Schema, TableStats};
 
 use crate::error::CoreError;
 use crate::plan::{OpKind, Plan};
@@ -149,6 +149,40 @@ pub trait Provider: Send + Sync {
     /// data-locality heuristic; `None` means "no statistics".
     fn row_count_of(&self, name: &str) -> Option<usize> {
         let _ = name;
+        None
+    }
+
+    /// Table-level statistics (row count, per-column zone maps and NDV
+    /// estimates) for a named dataset. `None` means the provider keeps
+    /// no statistics; planners must fall back to [`Provider::row_count_of`]
+    /// or heuristics.
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        let _ = name;
+        None
+    }
+
+    /// Build (or rebuild) a secondary index of `kind` on `column` of the
+    /// named dataset. Providers without index support return an error;
+    /// callers treat that as "lower onto a scan instead".
+    fn build_index(&self, dataset: &str, column: &str, kind: IndexKind) -> Result<()> {
+        Err(CoreError::Unsupported {
+            provider: self.name().to_string(),
+            op: format!("secondary indexes ({} on {dataset}.{column})", kind.name()),
+        })
+    }
+
+    /// The secondary indexes currently built on a named dataset.
+    fn index_specs(&self, dataset: &str) -> Vec<IndexSpec> {
+        let _ = dataset;
+        Vec::new()
+    }
+
+    /// A deterministic fingerprint of the index on `dataset.column`, if
+    /// one exists. Two indexes over identical data built by identical
+    /// specs fingerprint identically — the recovery tests compare a
+    /// post-crash rebuild against a from-scratch build through this.
+    fn index_fingerprint(&self, dataset: &str, column: &str) -> Option<u64> {
+        let _ = (dataset, column);
         None
     }
 

@@ -40,18 +40,21 @@ pub enum Change {
 }
 
 impl Delta {
-    pub(crate) fn from_op(seq: u64, op: &WalOp) -> Delta {
+    /// `None` for ops that do not change dataset contents (index
+    /// builds): change streams carry data, not metadata.
+    pub(crate) fn from_op(seq: u64, op: &WalOp) -> Option<Delta> {
         match op {
-            WalOp::Store { name, data } => Delta {
+            WalOp::Store { name, data } => Some(Delta {
                 seq,
                 name: name.clone(),
                 change: Change::Stored(data.clone()),
-            },
-            WalOp::Remove { name } => Delta {
+            }),
+            WalOp::Remove { name } => Some(Delta {
                 seq,
                 name: name.clone(),
                 change: Change::Removed,
-            },
+            }),
+            WalOp::BuildIndex { .. } => None,
         }
     }
 }
@@ -166,9 +169,9 @@ mod tests {
         let hub = ChangeHub::new();
         let a = hub.subscribe("a");
         let all = hub.subscribe_all();
-        hub.publish(&Delta::from_op(1, &op("a", 1)));
-        hub.publish(&Delta::from_op(2, &op("b", 2)));
-        hub.publish(&Delta::from_op(3, &WalOp::Remove { name: "a".into() }));
+        hub.publish(&Delta::from_op(1, &op("a", 1)).unwrap());
+        hub.publish(&Delta::from_op(2, &op("b", 2)).unwrap());
+        hub.publish(&Delta::from_op(3, &WalOp::Remove { name: "a".into() }).unwrap());
         let got: Vec<u64> = a.drain().iter().map(|d| d.seq).collect();
         assert_eq!(got, [1, 3]);
         assert!(a.try_next().is_none());
@@ -182,7 +185,7 @@ mod tests {
         let s = hub.subscribe_all();
         assert_eq!(hub.subscriber_count(), 1);
         drop(s);
-        hub.publish(&Delta::from_op(1, &op("a", 1)));
+        hub.publish(&Delta::from_op(1, &op("a", 1)).unwrap());
         assert_eq!(hub.subscriber_count(), 0);
     }
 
@@ -191,7 +194,7 @@ mod tests {
         let hub = ChangeHub::new();
         let s = hub.subscribe_all();
         assert!(s.next_timeout(Duration::from_millis(10)).is_none());
-        hub.publish(&Delta::from_op(1, &op("a", 1)));
+        hub.publish(&Delta::from_op(1, &op("a", 1)).unwrap());
         assert_eq!(s.next_timeout(Duration::from_millis(10)).unwrap().seq, 1);
     }
 
@@ -199,7 +202,7 @@ mod tests {
     fn stored_delta_carries_the_dataset() {
         let hub = ChangeHub::new();
         let s = hub.subscribe("t");
-        hub.publish(&Delta::from_op(5, &op("t", 42)));
+        hub.publish(&Delta::from_op(5, &op("t", 42)).unwrap());
         let d = s.try_next().unwrap();
         assert_eq!(d.name, "t");
         match d.change {

@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use bda_core::{CapabilitySet, CoreError, Plan, Provider};
 use bda_obs::{MetricsHub, Tracer};
-use bda_storage::{DataSet, Schema};
+use bda_storage::{DataSet, IndexKind, Schema};
 
 use crate::changes::{ChangeHub, ChangeStream, Delta};
 use crate::record::WalOp;
@@ -123,10 +123,20 @@ impl Shared {
         // includes their effects converges.
         let (covered, new_index) = self.wal.lock().expect("wal lock poisoned").rotate()?;
         let datasets = self.durable_catalog()?;
+        // Index *specs* ride along in the snapshot trailer so recovery
+        // can rebuild without replaying the original BuildIndex record
+        // (which the rotation above just retired).
+        let mut indexes = Vec::new();
+        for (name, _) in &datasets {
+            for spec in self.inner.index_specs(name) {
+                indexes.push((name.clone(), spec));
+            }
+        }
         let bytes = snapshot::write_snapshot(
             &self.options.snapshot_dir(),
             covered,
             &datasets,
+            &indexes,
             &self.options.faults,
         )?;
         snapshot::prune(&self.options.snapshot_dir(), self.options.keep_snapshots)?;
@@ -221,6 +231,12 @@ impl DurableProvider {
                 inner.store(&name, data)?;
                 span.finish();
             }
+            // Rebuild snapshotted index specs from the recovered data;
+            // the bytes are deterministic, so this matches the
+            // pre-crash index exactly.
+            for (name, spec) in s.indexes {
+                inner.build_index(&name, &spec.column, spec.kind)?;
+            }
         }
 
         // 2. WAL replay.
@@ -239,6 +255,9 @@ impl DurableProvider {
                     inner.store(name, data.clone())?;
                 }
                 WalOp::Remove { name } => inner.remove(name),
+                WalOp::BuildIndex { name, column, kind } => {
+                    inner.build_index(name, column, *kind)?;
+                }
             }
             span.finish();
         }
@@ -438,7 +457,9 @@ impl Provider for DurableProvider {
         self.shared
             .bytes_since_snapshot
             .fetch_add(bytes, Ordering::Relaxed);
-        self.shared.changes.publish(&Delta::from_op(seq, &op));
+        if let Some(d) = Delta::from_op(seq, &op) {
+            self.shared.changes.publish(&d);
+        }
         Ok(())
     }
 
@@ -465,7 +486,9 @@ impl Provider for DurableProvider {
                     self.shared
                         .bytes_since_snapshot
                         .fetch_add(bytes, Ordering::Relaxed);
-                    self.shared.changes.publish(&Delta::from_op(seq, &op));
+                    if let Some(d) = Delta::from_op(seq, &op) {
+                        self.shared.changes.publish(&d);
+                    }
                     false
                 }
                 Err(_) => {
@@ -503,6 +526,39 @@ impl Provider for DurableProvider {
 
     fn schema_of(&self, name: &str) -> Option<Schema> {
         self.shared.inner.schema_of(name)
+    }
+
+    fn table_stats(&self, name: &str) -> Option<bda_storage::TableStats> {
+        self.shared.inner.table_stats(name)
+    }
+
+    fn build_index(&self, dataset: &str, column: &str, kind: IndexKind) -> Result<()> {
+        if self.shared.is_ephemeral(dataset) {
+            return self.shared.inner.build_index(dataset, column, kind);
+        }
+        // Same commit protocol as `store`: apply under the WAL lock,
+        // then log the spec (not the bytes — replay rebuilds). No delta:
+        // change streams carry data, and an index changes none.
+        let mut wal = self.shared.wal.lock().expect("wal lock poisoned");
+        self.shared.inner.build_index(dataset, column, kind)?;
+        let op = WalOp::BuildIndex {
+            name: dataset.to_string(),
+            column: column.to_string(),
+            kind,
+        };
+        let (_, bytes) = wal.append(&op)?;
+        self.shared
+            .bytes_since_snapshot
+            .fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn index_specs(&self, dataset: &str) -> Vec<bda_storage::IndexSpec> {
+        self.shared.inner.index_specs(dataset)
+    }
+
+    fn index_fingerprint(&self, dataset: &str, column: &str) -> Option<u64> {
+        self.shared.inner.index_fingerprint(dataset, column)
     }
 
     fn row_count_of(&self, name: &str) -> Option<usize> {
@@ -591,6 +647,53 @@ mod tests {
             .execute(&Plan::scan("a", p.schema_of("a").unwrap()))
             .unwrap();
         assert!(got.same_bag(&ds(3)).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn indexes_survive_reopen_via_wal_and_snapshot() {
+        use bda_relational::RelationalEngine;
+        let dir = tmp();
+        let data = DataSet::from_columns(vec![
+            ("k", Column::from(vec![3i64, 1, 2, 1, 3])),
+            ("v", Column::from(vec![0.5f64, -1.0, 2.5, 0.0, 9.0])),
+        ])
+        .unwrap();
+        // From-scratch build on an identical engine: the fingerprint the
+        // recovered index must reproduce.
+        let oracle = RelationalEngine::new("oracle");
+        oracle.store("t", data.clone()).unwrap();
+        oracle.build_index("t", "k", IndexKind::Hash).unwrap();
+        oracle.build_index("t", "v", IndexKind::Sorted).unwrap();
+        let want_k = oracle.index_fingerprint("t", "k").unwrap();
+        let want_v = oracle.index_fingerprint("t", "v").unwrap();
+
+        let reopen = |dir: &std::path::Path| {
+            DurableProvider::open(Arc::new(RelationalEngine::new("p")), Options::new(dir)).unwrap()
+        };
+        {
+            let p = reopen(&dir);
+            p.store("t", data.clone()).unwrap();
+            p.build_index("t", "k", IndexKind::Hash).unwrap();
+            p.build_index("t", "v", IndexKind::Sorted).unwrap();
+        }
+        // WAL-replay path: the BuildIndex records rebuild both indexes.
+        {
+            let p = reopen(&dir);
+            let mut specs = p.index_specs("t");
+            specs.sort_by(|a, b| a.column.cmp(&b.column));
+            assert_eq!(specs.len(), 2, "both specs must survive replay");
+            assert_eq!(p.index_fingerprint("t", "k"), Some(want_k));
+            assert_eq!(p.index_fingerprint("t", "v"), Some(want_v));
+            // Compact: specs must move into the snapshot trailer.
+            p.snapshot_now().unwrap();
+        }
+        // Snapshot path: the WAL was compacted away, so the trailer is
+        // the only record of the specs.
+        let p = reopen(&dir);
+        assert_eq!(p.report().wal_records_replayed, 0);
+        assert_eq!(p.index_fingerprint("t", "k"), Some(want_k));
+        assert_eq!(p.index_fingerprint("t", "v"), Some(want_v));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -14,7 +14,7 @@
 use bytes::{BufMut, BytesMut};
 
 use bda_storage::wire::{decode_dataset, encode_dataset, Reader};
-use bda_storage::{DataSet, StorageError};
+use bda_storage::{DataSet, IndexKind, StorageError};
 
 /// Result alias over storage errors (corruption is a [`StorageError`]).
 pub type Result<T> = std::result::Result<T, StorageError>;
@@ -34,13 +34,27 @@ pub enum WalOp {
         /// Catalog name.
         name: String,
     },
+    /// A secondary-index build on `name.column`. The log carries the
+    /// *spec*, not the index bytes — indexes are deterministic functions
+    /// of the dataset, so replay rebuilds them from the recovered data
+    /// (and the kill-9 fingerprint test holds the rebuild to that).
+    BuildIndex {
+        /// Catalog name of the indexed dataset.
+        name: String,
+        /// Indexed column.
+        column: String,
+        /// Hash or sorted.
+        kind: IndexKind,
+    },
 }
 
 impl WalOp {
     /// The catalog name this mutation touches.
     pub fn name(&self) -> &str {
         match self {
-            WalOp::Store { name, .. } | WalOp::Remove { name } => name,
+            WalOp::Store { name, .. } | WalOp::Remove { name } | WalOp::BuildIndex { name, .. } => {
+                name
+            }
         }
     }
 
@@ -49,12 +63,14 @@ impl WalOp {
         match self {
             WalOp::Store { .. } => "store",
             WalOp::Remove { .. } => "remove",
+            WalOp::BuildIndex { .. } => "build-index",
         }
     }
 }
 
 const TAG_STORE: u8 = 1;
 const TAG_REMOVE: u8 = 2;
+const TAG_BUILD_INDEX: u8 = 3;
 
 /// Encode one record payload (without the record header — the WAL frame
 /// adds length, checksum, and sequence number).
@@ -73,6 +89,14 @@ pub fn encode_op(op: &WalOp) -> Vec<u8> {
             buf.put_u8(TAG_REMOVE);
             buf.put_u32_le(name.len() as u32);
             buf.put_slice(name.as_bytes());
+        }
+        WalOp::BuildIndex { name, column, kind } => {
+            buf.put_u8(TAG_BUILD_INDEX);
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u8(kind.as_u8());
+            buf.put_u32_le(column.len() as u32);
+            buf.put_slice(column.as_bytes());
         }
     }
     buf.to_vec()
@@ -93,6 +117,13 @@ pub fn decode_op(payload: &[u8]) -> Result<WalOp> {
             }
         }
         TAG_REMOVE => WalOp::Remove { name },
+        TAG_BUILD_INDEX => {
+            let kind_byte = r.u8("wal index kind")?;
+            let kind = IndexKind::from_u8(kind_byte)
+                .ok_or_else(|| StorageError::Corrupt(format!("bad index kind {kind_byte}")))?;
+            let column = r.string("wal index column")?;
+            WalOp::BuildIndex { name, column, kind }
+        }
         t => return Err(StorageError::Corrupt(format!("bad wal op tag {t}"))),
     };
     if r.remaining() != 0 {
@@ -140,6 +171,27 @@ mod tests {
             WalOp::Remove { name } => assert_eq!(name, "t"),
             other => panic!("expected remove, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn build_index_roundtrip() {
+        let bytes = encode_op(&WalOp::BuildIndex {
+            name: "t".into(),
+            column: "k".into(),
+            kind: IndexKind::Sorted,
+        });
+        match decode_op(&bytes).unwrap() {
+            WalOp::BuildIndex { name, column, kind } => {
+                assert_eq!(name, "t");
+                assert_eq!(column, "k");
+                assert_eq!(kind, IndexKind::Sorted);
+            }
+            other => panic!("expected build-index, got {other:?}"),
+        }
+        // A bad kind byte is corruption, not a silent default.
+        let mut bad = bytes.clone();
+        bad[6] = 0xEE;
+        assert!(decode_op(&bad).is_err());
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! silently skipped: the newest snapshot is the only one recovery will
 //! accept, because falling back to an older one would resurrect deleted
 //! data and roll back acknowledged writes without telling anyone.
+//!
+//! After the entries an optional **index trailer** records the secondary
+//! index specs in force at snapshot time (`[u32 LE count]` then per spec
+//! `[u32 LE name_len][name][u8 kind][u32 LE column_len][column]`).
+//! Recovery rebuilds the indexes from the recovered datasets — the
+//! trailer carries specs, not index bytes, because an index is a
+//! deterministic function of its dataset. Snapshots written before the
+//! trailer existed simply end after the last entry and load with no
+//! specs.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
@@ -29,7 +38,7 @@ use std::path::{Path, PathBuf};
 
 use bda_core::CoreError;
 use bda_storage::wire::{decode_dataset, encode_dataset, Reader};
-use bda_storage::DataSet;
+use bda_storage::{DataSet, IndexKind, IndexSpec};
 
 use crate::crc::Hasher;
 use crate::faults::DiskFaults;
@@ -52,14 +61,19 @@ pub struct Snapshot {
     pub covered_seq: u64,
     /// The full durable catalog at that point.
     pub datasets: Vec<(String, DataSet)>,
+    /// Secondary-index specs in force at snapshot time, `(dataset,
+    /// spec)`. Empty for snapshots written before the trailer existed.
+    pub indexes: Vec<(String, IndexSpec)>,
 }
 
-/// Write the catalog as the snapshot covering `covered_seq`, atomically.
-/// Returns the number of bytes written.
+/// Write the catalog as the snapshot covering `covered_seq`, atomically,
+/// with the current secondary-index specs in the trailer. Returns the
+/// number of bytes written.
 pub fn write_snapshot(
     dir: &Path,
     covered_seq: u64,
     datasets: &[(String, DataSet)],
+    indexes: &[(String, IndexSpec)],
     faults: &DiskFaults,
 ) -> Result<u64> {
     fs::create_dir_all(dir).map_err(|e| dur_err(format!("create {}", dir.display()), e))?;
@@ -77,6 +91,14 @@ pub fn write_snapshot(
         h.update(name.as_bytes());
         h.update(&bytes);
         buf.extend_from_slice(&h.finish().to_le_bytes());
+    }
+    buf.extend_from_slice(&(indexes.len() as u32).to_le_bytes());
+    for (name, spec) in indexes {
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.push(spec.kind.as_u8());
+        buf.extend_from_slice(&(spec.column.len() as u32).to_le_bytes());
+        buf.extend_from_slice(spec.column.as_bytes());
     }
     let tmp = dir.join(format!("snap-{covered_seq:020}.tmp"));
     let final_path = snapshot_path(dir, covered_seq);
@@ -191,12 +213,30 @@ fn parse_snapshot(bytes: &[u8], expect_seq: u64) -> std::result::Result<Snapshot
         .map_err(|e| format!("entry {i} of {count}: {e}"))?;
         datasets.push(entry);
     }
+    // Optional index trailer; pre-trailer snapshots end right here.
+    let mut indexes = Vec::new();
+    if r.remaining() != 0 {
+        let n = r.u32("snapshot index count").map_err(|e| e.to_string())? as usize;
+        for i in 0..n {
+            let entry = (|| -> std::result::Result<(String, IndexSpec), String> {
+                let name = r.string("snapshot index dataset").map_err(|e| e.to_string())?;
+                let kind_byte = r.u8("snapshot index kind").map_err(|e| e.to_string())?;
+                let kind = IndexKind::from_u8(kind_byte)
+                    .ok_or_else(|| format!("bad index kind {kind_byte}"))?;
+                let column = r.string("snapshot index column").map_err(|e| e.to_string())?;
+                Ok((name, IndexSpec { column, kind }))
+            })()
+            .map_err(|e| format!("index spec {i} of {n}: {e}"))?;
+            indexes.push(entry);
+        }
+    }
     if r.remaining() != 0 {
         return Err(format!("{} trailing bytes after last entry", r.remaining()));
     }
     Ok(Snapshot {
         covered_seq,
         datasets,
+        indexes,
     })
 }
 
@@ -241,9 +281,9 @@ mod tests {
         let dir = tmp();
         assert!(load_latest(&dir).unwrap().is_none());
         let cat1 = vec![("a".to_string(), ds(1))];
-        write_snapshot(&dir, 3, &cat1, &DiskFaults::default()).unwrap();
+        write_snapshot(&dir, 3, &cat1, &[], &DiskFaults::default()).unwrap();
         let cat2 = vec![("a".to_string(), ds(1)), ("b".to_string(), ds(9))];
-        write_snapshot(&dir, 7, &cat2, &DiskFaults::default()).unwrap();
+        write_snapshot(&dir, 7, &cat2, &[], &DiskFaults::default()).unwrap();
         let snap = load_latest(&dir).unwrap().unwrap();
         assert_eq!(snap.covered_seq, 7);
         assert_eq!(snap.datasets.len(), 2);
@@ -257,10 +297,61 @@ mod tests {
     #[test]
     fn empty_catalog_snapshot_roundtrips() {
         let dir = tmp();
-        write_snapshot(&dir, 1, &[], &DiskFaults::default()).unwrap();
+        write_snapshot(&dir, 1, &[], &[], &DiskFaults::default()).unwrap();
         let snap = load_latest(&dir).unwrap().unwrap();
         assert_eq!(snap.covered_seq, 1);
         assert!(snap.datasets.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_specs_roundtrip_through_the_trailer() {
+        let dir = tmp();
+        let specs = vec![
+            (
+                "a".to_string(),
+                IndexSpec {
+                    column: "k".into(),
+                    kind: IndexKind::Hash,
+                },
+            ),
+            (
+                "a".to_string(),
+                IndexSpec {
+                    column: "v".into(),
+                    kind: IndexKind::Sorted,
+                },
+            ),
+        ];
+        write_snapshot(
+            &dir,
+            4,
+            &[("a".to_string(), ds(1))],
+            &specs,
+            &DiskFaults::default(),
+        )
+        .unwrap();
+        let snap = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(snap.indexes.len(), 2);
+        assert_eq!(snap.indexes[0].1.column, "k");
+        assert_eq!(snap.indexes[0].1.kind, IndexKind::Hash);
+        assert_eq!(snap.indexes[1].1.kind, IndexKind::Sorted);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_trailer_snapshot_loads_with_no_specs() {
+        // A file ending right after the last entry (the format before the
+        // index trailer) must still load.
+        let dir = tmp();
+        write_snapshot(&dir, 9, &[("a".to_string(), ds(2))], &[], &DiskFaults::default()).unwrap();
+        let path = snapshot_path(&dir, 9);
+        let bytes = fs::read(&path).unwrap();
+        // Strip the empty trailer (its u32 count).
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let snap = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(snap.datasets.len(), 1);
+        assert!(snap.indexes.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -270,8 +361,7 @@ mod tests {
         write_snapshot(
             &dir,
             2,
-            &[("a".to_string(), ds(4))],
-            &DiskFaults {
+            &[("a".to_string(), ds(4))], &[], &DiskFaults {
                 truncate_snapshot: true,
                 ..DiskFaults::default()
             },
@@ -286,7 +376,7 @@ mod tests {
     #[test]
     fn bit_flip_in_entry_is_refused() {
         let dir = tmp();
-        write_snapshot(&dir, 5, &[("a".to_string(), ds(4))], &DiskFaults::default()).unwrap();
+        write_snapshot(&dir, 5, &[("a".to_string(), ds(4))], &[], &DiskFaults::default()).unwrap();
         let path = snapshot_path(&dir, 5);
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
@@ -301,12 +391,11 @@ mod tests {
     fn newer_corrupt_snapshot_shadows_older_good_one() {
         // Policy: never silently fall back to an older snapshot.
         let dir = tmp();
-        write_snapshot(&dir, 2, &[("a".to_string(), ds(1))], &DiskFaults::default()).unwrap();
+        write_snapshot(&dir, 2, &[("a".to_string(), ds(1))], &[], &DiskFaults::default()).unwrap();
         write_snapshot(
             &dir,
             6,
-            &[("a".to_string(), ds(2))],
-            &DiskFaults {
+            &[("a".to_string(), ds(2))], &[], &DiskFaults {
                 truncate_snapshot: true,
                 ..DiskFaults::default()
             },

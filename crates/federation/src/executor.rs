@@ -24,7 +24,7 @@ use bda_storage::wire::encode_dataset;
 use bda_storage::{DataSet, Row, Value};
 
 use crate::metrics::{Metrics, NetConfig};
-use crate::optimize::{optimize, OptimizerConfig};
+use crate::optimize::{optimize_with_stats, OptimizerConfig};
 use crate::planner::{Fragment, Placement, Planner, APP_SITE, FRAG_PREFIX};
 use crate::registry::Registry;
 
@@ -162,13 +162,23 @@ pub fn run_plan_traced(
     tracer: &Tracer,
     parent: Option<u64>,
 ) -> Result<(DataSet, Metrics)> {
-    let optimized = optimize(plan, opts.optimizer);
+    let (optimized, fragments_pruned) =
+        optimize_with_stats(plan, opts.optimizer, &|name| registry.table_stats(name));
+    if fragments_pruned > 0 {
+        // A dedicated span (rather than an event on `parent`, which is
+        // `None` for top-level queries) so `EXPLAIN ANALYZE`'s pruning
+        // section sees statistics-disproved fragments.
+        let mut s = tracer.start(parent, || "optimize".into(), "app");
+        s.event(|| format!("pruning: {fragments_pruned} fragment(s) eliminated by table stats"));
+        s.finish();
+    }
     let costs = opts
         .calibrate
         .then(|| bda_obs::profile::global_costs().clone());
     let placement = Planner::new(registry)
         .with_workers(opts.workers)
         .with_costs(costs)
+        .with_stats(opts.optimizer.use_stats)
         .place(&optimized)?;
     execute_placement_traced(registry, &placement, opts, tracer, parent)
 }

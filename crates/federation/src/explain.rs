@@ -55,6 +55,7 @@ pub fn render_analyze_with_costs(
     }
     render_convergence(trace, &mut out);
     render_parallelism(trace, &mut out);
+    render_pruning(trace, &mut out);
     if let Some(book) = costs {
         render_calibration(trace, book, &mut out);
     }
@@ -190,6 +191,31 @@ fn render_parallelism(trace: &Trace, out: &mut String) {
             parent.duration_ns() as f64 / 1e6,
             sum_ns as f64 / wall_ns as f64,
         ));
+    }
+}
+
+/// The statistics-pruning section: every `pruning:` event any span
+/// recorded — zone-map chunk skips, index lowerings, and whole fragments
+/// disproved by table statistics — one line per event, stamped with the
+/// site that did the skipping. Omitted entirely when nothing was pruned
+/// (statistics off, or no skippable work).
+fn render_pruning(trace: &Trace, out: &mut String) {
+    let mut lines: Vec<(u64, u64, u64, String)> = Vec::new();
+    for s in &trace.spans {
+        for e in &s.events {
+            if let Some(rest) = e.label.strip_prefix("pruning: ") {
+                lines.push((s.start_ns, s.id, e.at_ns, format!("{rest} @ {}", s.site)));
+            }
+        }
+    }
+    if lines.is_empty() {
+        return;
+    }
+    lines.sort();
+    out.push_str("== pruning ==\n");
+    for (_, _, _, line) in lines {
+        out.push_str(&line);
+        out.push('\n');
     }
 }
 
@@ -462,6 +488,88 @@ mod tests {
             .unwrap_or_else(|| panic!("no select row:\n{table}"));
         assert!(select_line.contains("+0.0%"), "{select_line}");
         assert!(!select_line.ends_with('!'), "{select_line}");
+    }
+
+    #[test]
+    fn pruning_section_is_pinned() {
+        // Golden: the `== pruning ==` section renders one line per
+        // `pruning:` event in (span start, span id, event time) order,
+        // each stamped with the pruning site.
+        let mut opt = span(3, Some(1), "optimize", "app", 5);
+        opt.events.push(SpanEvent {
+            at_ns: 6,
+            label: "pruning: 1 fragment(s) eliminated by table stats".into(),
+        });
+        let mut op = span(2, Some(1), "op:select", "rel", 10);
+        op.events.push(SpanEvent {
+            at_ns: 20,
+            label: "pruning: zone-map t chunks 3/4".into(),
+        });
+        op.events.push(SpanEvent {
+            at_ns: 30,
+            label: "pruning: index t.k (hash) candidates 2/100".into(),
+        });
+        let trace = Trace {
+            trace_id: 0xBDA,
+            spans: vec![span(1, None, "query", "app", 0), opt, op],
+            dropped: 0,
+        };
+        let s = render_analyze(&trace, &Metrics::default());
+        let section = &s[position_of(&s, "== pruning ==")..position_of(&s, "== metrics ==")];
+        assert_eq!(
+            section,
+            "== pruning ==\n\
+             1 fragment(s) eliminated by table stats @ app\n\
+             zone-map t chunks 3/4 @ rel\n\
+             index t.k (hash) candidates 2/100 @ rel\n"
+        );
+
+        // No pruning events: no section.
+        let quiet = Trace {
+            trace_id: 1,
+            spans: vec![span(1, None, "query", "app", 0)],
+            dropped: 0,
+        };
+        let plain = render_analyze(&quiet, &Metrics::default());
+        assert!(!plain.contains("== pruning =="), "{plain}");
+    }
+
+    #[test]
+    fn calibration_table_is_pinned() {
+        use bda_obs::profile::{OpProfile, QueryProfile};
+        // Golden: the exact table layout (column widths, drift format,
+        // the `!` flag) for one modeled class.
+        let book = CostBook::new(7);
+        book.observe(&QueryProfile {
+            trace_id: 1,
+            tenant: String::new(),
+            wall_ns: 400,
+            slow: false,
+            ops: vec![OpProfile {
+                class: "select".into(),
+                count: 1,
+                rows: 4,
+                bytes: 0,
+                wall_ns: 400,
+            }],
+            sites: Vec::new(),
+        });
+        let trace = Trace {
+            trace_id: 0xBDA,
+            spans: vec![
+                span(1, None, "query", "app", 0),
+                span(2, Some(1), "op:select", "rel", 10),
+            ],
+            dropped: 0,
+        };
+        let s = render_analyze_with_costs(&trace, &Metrics::default(), Some(&book));
+        let table = &s[position_of(&s, "== calibration ==")..position_of(&s, "== metrics ==")];
+        assert_eq!(
+            table,
+            "== calibration ==\n\
+             operator     rows       measured_ns/row  modeled_ns/row   drift\n\
+             select       4          375000.0         100.0            +374900.0% !\n"
+        );
     }
 
     #[test]

@@ -280,9 +280,15 @@ impl Federation {
     /// Explain how a plan would execute: the optimized plan, the fragment
     /// placement, and per-fragment details — without running anything.
     /// With `options.workers > 1`, the printed fragments carry the
-    /// `exchange`/`merge` markers the parallel executor would run.
+    /// `exchange`/`merge` markers the parallel executor would run. With
+    /// statistics enabled (the default), fragments disproved by table
+    /// statistics show up as empty `values` leaves and hash-exchange
+    /// partition counts are capped at the key's distinct-value estimate.
     pub fn explain(&self, plan: &Plan) -> Result<String, CoreError> {
-        let optimized = optimize(plan, self.options.optimizer);
+        let (optimized, pruned) =
+            optimize::optimize_with_stats(plan, self.options.optimizer, &|name| {
+                self.registry.table_stats(name)
+            });
         let costs = self
             .options
             .calibrate
@@ -290,8 +296,14 @@ impl Federation {
         let placement = Planner::new(&self.registry)
             .with_workers(self.options.workers)
             .with_costs(costs)
+            .with_stats(self.options.optimizer.use_stats)
             .place(&optimized)?;
         let mut out = String::new();
+        if pruned > 0 {
+            out.push_str(&format!(
+                "== pruning ==\n{pruned} fragment(s) eliminated by table statistics\n"
+            ));
+        }
         out.push_str("== optimized plan ==\n");
         out.push_str(&optimized.to_string());
         out.push_str("\n== placement ==\n");
@@ -413,9 +425,16 @@ mod tests {
         let sequential = fed.explain(&plan).unwrap();
         assert!(!sequential.contains("exchange"), "{sequential}");
         fed.options_mut().workers = 4;
+        // Statistics on (the default): `k` has two distinct values, so
+        // the hash exchange is capped at two partitions.
+        fed.options_mut().optimizer.use_stats = true;
         let parallel = fed.explain(&plan).unwrap();
-        assert!(parallel.contains("exchange x4 hash(k)"), "{parallel}");
+        assert!(parallel.contains("exchange x2 hash(k)"), "{parallel}");
         assert!(parallel.contains("merge"), "{parallel}");
+        // Statistics off: the static worker count stands.
+        fed.options_mut().optimizer.use_stats = false;
+        let plain = fed.explain(&plan).unwrap();
+        assert!(plain.contains("exchange x4 hash(k)"), "{plain}");
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //! Every pass is semantics-preserving; the crate's property tests compare
 //! optimized and unoptimized plans on the reference evaluator.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use bda_core::eval::eval_row;
 use bda_core::infer::infer_schema;
+use bda_core::pruning::{analyze, may_match_all};
 use bda_core::{lit, Expr, JoinType, Plan};
-use bda_storage::{Row, Schema};
+use bda_storage::{Row, Schema, TableStats};
 
 /// Which passes to run (all on by default; the ablation bench toggles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +34,9 @@ pub struct OptimizerConfig {
     pub prune_projects: bool,
     /// Run intent recognition.
     pub recognize_intents: bool,
+    /// Consult table statistics to eliminate fragments whose zone maps
+    /// disprove a selection. Defaults to [`bda_core::stats_from_env`].
+    pub use_stats: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -41,6 +46,7 @@ impl Default for OptimizerConfig {
             pushdown: true,
             prune_projects: true,
             recognize_intents: true,
+            use_stats: bda_core::stats_from_env(),
         }
     }
 }
@@ -53,16 +59,38 @@ impl OptimizerConfig {
             pushdown: false,
             prune_projects: false,
             recognize_intents: false,
+            use_stats: false,
         }
     }
 }
 
-/// Optimize a plan under the given configuration.
+/// Optimize a plan under the given configuration, without table
+/// statistics (equivalent to [`optimize_with_stats`] with a source that
+/// knows nothing).
 pub fn optimize(plan: &Plan, config: OptimizerConfig) -> Plan {
+    optimize_with_stats(plan, config, &|_| None).0
+}
+
+/// Optimize a plan, consulting `stats` (dataset name → table statistics)
+/// for fragment elimination when `config.use_stats` is on: a selection
+/// directly over a scan whose merged zone maps disprove one conjunct is
+/// replaced by an empty `Values` — the whole fragment (and any transfer
+/// it implied) disappears from the plan. Returns the optimized plan and
+/// how many fragments were eliminated.
+///
+/// The same error-faithfulness gate as scan-time pruning applies:
+/// elimination only happens when `bda_core::pruning::analyze` proves the
+/// whole predicate total over the scan schema.
+pub fn optimize_with_stats(
+    plan: &Plan,
+    config: OptimizerConfig,
+    stats: &dyn Fn(&str) -> Option<TableStats>,
+) -> (Plan, usize) {
     let mut cur = plan.clone();
     if config.recognize_intents {
         cur = bda_core::recognize::recognize_all(&cur);
     }
+    let pruned = Cell::new(0usize);
     // Iterate the rewrite passes to a (bounded) fixpoint.
     for _ in 0..8 {
         let mut next = cur.clone();
@@ -75,12 +103,46 @@ pub fn optimize(plan: &Plan, config: OptimizerConfig) -> Plan {
         if config.prune_projects {
             next = next.transform_up(&prune_project_step);
         }
+        if config.use_stats {
+            next = next.transform_up(&|node| prune_fragment_step(node, stats, &pruned));
+        }
         if next == cur {
             break;
         }
         cur = next;
     }
-    cur
+    (cur, pruned.get())
+}
+
+/// Replace `select(scan(t), p)` by an empty `Values` when `t`'s table
+/// statistics disprove `p`.
+fn prune_fragment_step(
+    node: Plan,
+    stats: &dyn Fn(&str) -> Option<TableStats>,
+    pruned: &Cell<usize>,
+) -> Plan {
+    let Plan::Select { input, predicate } = &node else {
+        return node;
+    };
+    let Plan::Scan { dataset, schema } = input.as_ref() else {
+        return node;
+    };
+    let Some(tests) = analyze(predicate, schema) else {
+        return node;
+    };
+    let table = stats(dataset);
+    let zone_of = |name: &str| table.as_ref().and_then(|t| t.column(name));
+    // Guard against stale statistics claiming fewer rows than exist:
+    // only a disproof over the *whole* table eliminates the fragment.
+    if may_match_all(&tests, zone_of) {
+        return node;
+    }
+    pruned.set(pruned.get() + 1);
+    bda_obs::prune::record_fragment_pruned();
+    Plan::Values {
+        schema: schema.clone(),
+        rows: Vec::new(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +690,39 @@ mod tests {
             other => panic!("expected join, got {other}"),
         }
         assert_equivalent(&p);
+    }
+
+    #[test]
+    fn stats_disprove_selection_fragment() {
+        let stats_of =
+            |name: &str| (name == "t").then(|| TableStats::of(&src()["t"]).unwrap());
+        let cfg = OptimizerConfig {
+            use_stats: true,
+            ..OptimizerConfig::default()
+        };
+        // k ranges 1..=4; k > 100 is disproved by the merged zone map.
+        let p = Plan::scan("t", t_schema()).select(col("k").gt(lit(100i64)));
+        let (o, n) = optimize_with_stats(&p, cfg, &stats_of);
+        assert_eq!(n, 1);
+        assert!(
+            matches!(&o, Plan::Values { rows, .. } if rows.is_empty()),
+            "{o}"
+        );
+        // A satisfiable predicate is untouched.
+        let p2 = Plan::scan("t", t_schema()).select(col("k").gt(lit(2i64)));
+        let (o2, n2) = optimize_with_stats(&p2, cfg, &stats_of);
+        assert_eq!(n2, 0);
+        assert_eq!(o2, p2);
+        // No statistics for the table: nothing is eliminated.
+        let (o3, n3) = optimize_with_stats(&p, cfg, &|_| None);
+        assert_eq!(n3, 0);
+        assert_eq!(o3, p);
+        // use_stats off: identical plan even with statistics available.
+        let off = OptimizerConfig {
+            use_stats: false,
+            ..cfg
+        };
+        assert_eq!(optimize_with_stats(&p, off, &stats_of).1, 0);
     }
 
     #[test]

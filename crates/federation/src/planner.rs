@@ -104,6 +104,10 @@ pub struct Planner<'a> {
     /// choice on the static heuristics, byte-identical to the
     /// pre-calibration planner.
     costs: Option<CostBook>,
+    /// Consult provider table statistics (column NDV estimates) when
+    /// choosing hash-exchange partition counts. Off by default so the
+    /// bare planner stays byte-identical to the pre-statistics one.
+    use_stats: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -113,7 +117,17 @@ impl<'a> Planner<'a> {
             registry,
             workers: 1,
             costs: None,
+            use_stats: false,
         }
+    }
+
+    /// Cap hash-exchange partition counts at the key column's distinct
+    /// value estimate (partitions beyond the NDV sit empty). With `false`
+    /// or when no holder publishes statistics for the key, the static
+    /// worker count stands.
+    pub fn with_stats(mut self, on: bool) -> Planner<'a> {
+        self.use_stats = on;
+        self
     }
 
     /// Consult a [`CostBook`] of measured costs for site assignment
@@ -175,11 +189,29 @@ impl<'a> Planner<'a> {
                     && self.site_runs_partitioned(&f.site)
                     && self.worth_partitioning(&f.plan)
                 {
-                    f.plan = parallelize_fragment(&f.plan, self.workers);
+                    f.plan = parallelize_fragment_with(&f.plan, self.workers, &|input, key| {
+                        self.ndv_of(input, key)
+                    });
                 }
             }
         }
         Ok(Placement { fragments })
+    }
+
+    /// The distinct-value estimate for `key` over the base datasets a
+    /// subtree scans, from whichever provider publishes table statistics
+    /// for one of them. `None` when stats are off for this planner, the
+    /// subtree scans only staged intermediates, or no holder has an
+    /// estimate — the caller then keeps the static partition count.
+    fn ndv_of(&self, input: &Plan, key: &str) -> Option<usize> {
+        if !self.use_stats {
+            return None;
+        }
+        input.scanned_datasets().iter().find_map(|d| {
+            self.registry
+                .table_stats(d)
+                .and_then(|s| s.column(key).map(|z| z.distinct))
+        })
     }
 
     /// Does the provider at `site` advertise partition-parallel execution
@@ -454,8 +486,27 @@ fn staged_inputs(plan: &Plan) -> Vec<usize> {
 /// partitioning on their keys; matmul and elementwise get contiguous block
 /// splits. Already-marked operators are left alone, so re-planning an
 /// iterating body never double-wraps.
+#[cfg(test)]
 fn parallelize_fragment(plan: &Plan, parts: usize) -> Plan {
+    parallelize_fragment_with(plan, parts, &|_, _| None)
+}
+
+/// [`parallelize_fragment`] with a statistics hook: `ndv(input, key)`
+/// returns the distinct-value estimate for a hash key over `input`'s base
+/// scans, and hash exchanges are capped at `min(workers, max(1, ndv))` —
+/// partitions beyond the key's cardinality would sit empty while still
+/// paying the Exchange/Merge plumbing. Block splits (matmul, elementwise)
+/// are row-range based and always use the full worker count.
+fn parallelize_fragment_with(
+    plan: &Plan,
+    parts: usize,
+    ndv: &dyn Fn(&Plan, &str) -> Option<usize>,
+) -> Plan {
     let is_exchange = |p: &Plan| matches!(p, Plan::Exchange { .. });
+    let capped = |estimate: Option<usize>| match estimate {
+        Some(n) => parts.min(n.max(1)),
+        None => parts,
+    };
     plan.transform_up(&|node| match node {
         Plan::Join {
             left,
@@ -468,6 +519,16 @@ fn parallelize_fragment(plan: &Plan, parts: usize) -> Plan {
                 Some((l, r)) => (Some(l.clone()), Some(r.clone())),
                 None => (None, None),
             };
+            // Both sides of a hash join must agree on the partition
+            // count; the richer side's NDV bounds the useful number.
+            let estimate = match (&lkey, &rkey) {
+                (Some(l), Some(r)) => match (ndv(&left, l), ndv(&right, r)) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (one, other) => one.or(other),
+                },
+                _ => None,
+            };
+            let parts = capped(estimate);
             Plan::Merge {
                 input: Box::new(Plan::Join {
                     left: Box::new(Plan::Exchange {
@@ -491,6 +552,7 @@ fn parallelize_fragment(plan: &Plan, parts: usize) -> Plan {
             group_by,
             aggs,
         } if !group_by.is_empty() && !is_exchange(&input) => {
+            let parts = capped(ndv(&input, &group_by[0]));
             let key = Some(group_by[0].clone());
             Plan::Merge {
                 input: Box::new(Plan::Aggregate {
@@ -837,6 +899,41 @@ mod tests {
         }
         walk(&par.root().plan, &mut seen_parts);
         assert!(seen_parts.iter().all(|p| *p == 4), "{seen_parts:?}");
+    }
+
+    #[test]
+    fn stats_cap_hash_partitions_at_key_cardinality() {
+        let r = registry();
+        let schema = r.schema_of("sales").unwrap();
+        let scan = Plan::scan("sales", schema);
+        // `k` holds two distinct values, so four-way hash partitioning
+        // would leave half the partitions empty.
+        let plan = scan
+            .clone()
+            .join(scan, vec![("k", "k")])
+            .aggregate(vec!["k"], vec![bda_core::AggExpr::count_star("n")]);
+        fn exchange_parts(p: &Plan, out: &mut Vec<usize>) {
+            if let Plan::Exchange { parts, .. } = p {
+                out.push(*parts);
+            }
+            for c in p.children() {
+                exchange_parts(c, out);
+            }
+        }
+        let plain = Planner::new(&r).with_workers(4).place(&plan).unwrap();
+        let mut parts = Vec::new();
+        exchange_parts(&plain.root().plan, &mut parts);
+        assert!(parts.iter().all(|p| *p == 4), "{parts:?}");
+
+        let capped = Planner::new(&r)
+            .with_workers(4)
+            .with_stats(true)
+            .place(&plan)
+            .unwrap();
+        parts.clear();
+        exchange_parts(&capped.root().plan, &mut parts);
+        assert_eq!(parts.len(), 3, "two join inputs + one aggregate input");
+        assert!(parts.iter().all(|p| *p == 2), "NDV caps parts: {parts:?}");
     }
 
     #[test]

@@ -290,6 +290,15 @@ impl Registry {
             .collect()
     }
 
+    /// Table statistics for a dataset from the first provider that both
+    /// holds it and keeps statistics.
+    pub fn table_stats(&self, dataset: &str) -> Option<bda_storage::TableStats> {
+        self.providers
+            .iter()
+            .filter(|p| p.schema_of(dataset).is_some())
+            .find_map(|p| p.table_stats(dataset))
+    }
+
     /// The union of all capability sets.
     pub fn combined_capabilities(&self) -> CapabilitySet {
         let mut set = CapabilitySet::new();
@@ -481,6 +490,27 @@ impl Provider for MaskedProvider {
 
     fn row_count_of(&self, name: &str) -> Option<usize> {
         self.inner.row_count_of(name)
+    }
+
+    fn table_stats(&self, name: &str) -> Option<bda_storage::TableStats> {
+        self.inner.table_stats(name)
+    }
+
+    fn build_index(
+        &self,
+        dataset: &str,
+        column: &str,
+        kind: bda_storage::IndexKind,
+    ) -> Result<()> {
+        self.inner.build_index(dataset, column, kind)
+    }
+
+    fn index_specs(&self, dataset: &str) -> Vec<bda_storage::IndexSpec> {
+        self.inner.index_specs(dataset)
+    }
+
+    fn index_fingerprint(&self, dataset: &str, column: &str) -> Option<u64> {
+        self.inner.index_fingerprint(dataset, column)
     }
 
     fn endpoint(&self) -> Option<String> {

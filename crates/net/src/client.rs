@@ -172,6 +172,27 @@ impl RemoteProvider {
         }
     }
 
+    /// The server's index listing for `dataset`, parsed from the
+    /// `column kind fingerprint` text lines of [`Request::IndexInfo`].
+    /// Empty on transport errors or servers predating the request kind.
+    fn index_lines(&self, dataset: &str) -> Vec<(String, String, String)> {
+        let Ok(Response::Text(text)) = self.request(&Request::IndexInfo {
+            name: dataset.to_string(),
+        }) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let mut parts = line.split_whitespace();
+                Some((
+                    parts.next()?.to_string(),
+                    parts.next()?.to_string(),
+                    parts.next()?.to_string(),
+                ))
+            })
+            .collect()
+    }
+
     /// Issue `inner` wrapped in [`Request::Traced`]: the server handles
     /// it while recording spans and sends them back. Returns the inner
     /// response plus those spans, still in the *server's* clock and id
@@ -381,6 +402,36 @@ impl Provider for RemoteProvider {
             .find(|e| e.name == name)
             .and_then(|e| e.rows)
             .map(|n| n as usize)
+    }
+
+    fn build_index(&self, dataset: &str, column: &str, kind: bda_storage::IndexKind) -> Result<()> {
+        match self.request(&Request::BuildIndex {
+            name: dataset.to_string(),
+            column: column.to_string(),
+            kind,
+        })? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("BuildIndex", &other)),
+        }
+    }
+
+    fn index_specs(&self, dataset: &str) -> Vec<bda_storage::IndexSpec> {
+        self.index_lines(dataset)
+            .into_iter()
+            .filter_map(|(column, kind, _)| {
+                Some(bda_storage::IndexSpec {
+                    column,
+                    kind: bda_storage::IndexKind::parse(&kind)?,
+                })
+            })
+            .collect()
+    }
+
+    fn index_fingerprint(&self, dataset: &str, column: &str) -> Option<u64> {
+        self.index_lines(dataset)
+            .into_iter()
+            .find(|(c, _, _)| c == column)
+            .and_then(|(_, _, fp)| u64::from_str_radix(&fp, 16).ok())
     }
 
     fn endpoint(&self) -> Option<String> {

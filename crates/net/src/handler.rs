@@ -278,6 +278,23 @@ impl RequestHandler {
                 engine.remove(name);
                 Response::Ack
             }
+            Request::BuildIndex { name, column, kind } => {
+                engine.build_index(name, column, *kind)?;
+                Response::Ack
+            }
+            Request::IndexInfo { name } => {
+                // One `column kind fingerprint` line per index; plain
+                // text so old clients (which never send 0x14) need no
+                // new response kind.
+                let mut out = String::new();
+                for spec in engine.index_specs(name) {
+                    let fp = engine
+                        .index_fingerprint(name, &spec.column)
+                        .unwrap_or_default();
+                    out.push_str(&format!("{} {} {fp:016x}\n", spec.column, spec.kind.name()));
+                }
+                Response::Text(out)
+            }
             Request::Catalog => Response::Catalog(
                 engine
                     .catalog()
@@ -399,6 +416,8 @@ pub(crate) fn request_kind(req: &Request) -> &'static str {
         Request::Store { .. } => "store",
         Request::StorePart { .. } => "store-part",
         Request::Remove { .. } => "remove",
+        Request::BuildIndex { .. } => "build-index",
+        Request::IndexInfo { .. } => "index-info",
         Request::Catalog => "catalog",
         Request::Metrics => "metrics",
         // Wrappers are labelled by the work they carry.

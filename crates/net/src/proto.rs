@@ -80,6 +80,24 @@ pub enum Request {
         /// Name to drop.
         name: String,
     },
+    /// Build (or rebuild) a secondary index on a dataset column.
+    BuildIndex {
+        /// Dataset to index.
+        name: String,
+        /// Column to index.
+        column: String,
+        /// Hash or sorted, as [`bda_storage::IndexKind`] wire bytes.
+        kind: bda_storage::IndexKind,
+    },
+    /// List the secondary indexes on a dataset. The reply is
+    /// [`Response::Text`] with one `column kind fingerprint` line per
+    /// index (fingerprints in lowercase hex), so recovery tests can
+    /// compare a post-crash rebuild against a from-scratch build without
+    /// shipping index bytes.
+    IndexInfo {
+        /// Dataset to describe.
+        name: String,
+    },
     /// List the server's datasets with schemas and row counts.
     Catalog,
     /// Fetch the server's metrics registry rendered in Prometheus text
@@ -204,6 +222,8 @@ const K_METRICS: u8 = 0x08;
 const K_TRACED: u8 = 0x10;
 const K_PIPELINED: u8 = 0x11;
 const K_TENANT: u8 = 0x12;
+const K_BUILD_INDEX: u8 = 0x13;
+const K_INDEX_INFO: u8 = 0x14;
 const K_R_HELLO: u8 = 0x81;
 const K_R_DATASET: u8 = 0x82;
 const K_R_ACK: u8 = 0x83;
@@ -295,6 +315,16 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
         Request::Remove { name } => {
             put_string(&mut buf, name);
             K_REMOVE
+        }
+        Request::BuildIndex { name, column, kind } => {
+            put_string(&mut buf, name);
+            put_string(&mut buf, column);
+            buf.put_u8(kind.as_u8());
+            K_BUILD_INDEX
+        }
+        Request::IndexInfo { name } => {
+            put_string(&mut buf, name);
+            K_INDEX_INFO
         }
         Request::Catalog => K_CATALOG,
         Request::Metrics => K_METRICS,
@@ -449,6 +479,8 @@ pub mod kind {
     pub const TRACED: u8 = super::K_TRACED;
     pub const PIPELINED: u8 = super::K_PIPELINED;
     pub const TENANT: u8 = super::K_TENANT;
+    pub const BUILD_INDEX: u8 = super::K_BUILD_INDEX;
+    pub const INDEX_INFO: u8 = super::K_INDEX_INFO;
 }
 
 /// Decode a request from a frame kind and payload.
@@ -479,6 +511,17 @@ pub fn decode_request(kind: u8, payload: &[u8]) -> Result<Request> {
         },
         K_REMOVE => Request::Remove {
             name: r.string("remove name")?,
+        },
+        K_BUILD_INDEX => {
+            let name = r.string("build-index name")?;
+            let column = r.string("build-index column")?;
+            let kind_byte = r.u8("build-index kind")?;
+            let kind = bda_storage::IndexKind::from_u8(kind_byte)
+                .ok_or_else(|| corrupt(format!("bad index kind {kind_byte}")))?;
+            Request::BuildIndex { name, column, kind }
+        }
+        K_INDEX_INFO => Request::IndexInfo {
+            name: r.string("index-info name")?,
         },
         K_CATALOG => Request::Catalog,
         K_METRICS => Request::Metrics,
@@ -738,6 +781,25 @@ mod tests {
         request_round_trip(Request::Remove { name: "t".into() });
         request_round_trip(Request::Catalog);
         request_round_trip(Request::Metrics);
+        request_round_trip(Request::BuildIndex {
+            name: "t".into(),
+            column: "k".into(),
+            kind: bda_storage::IndexKind::Hash,
+        });
+        request_round_trip(Request::BuildIndex {
+            name: "t".into(),
+            column: "v".into(),
+            kind: bda_storage::IndexKind::Sorted,
+        });
+        request_round_trip(Request::IndexInfo { name: "t".into() });
+        // A bad index-kind byte is corruption, not a silent default.
+        let (kind, mut payload) = encode_request(&Request::BuildIndex {
+            name: "t".into(),
+            column: "k".into(),
+            kind: bda_storage::IndexKind::Hash,
+        });
+        *payload.last_mut().unwrap() = 0xEE;
+        assert!(decode_request(kind, &payload).is_err());
     }
 
     #[test]

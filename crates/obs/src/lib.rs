@@ -40,6 +40,7 @@ pub mod meter;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
+pub mod prune;
 pub mod scope;
 pub mod store;
 pub mod wire;

@@ -61,6 +61,12 @@ impl Node {
     pub fn rows(&mut self, rows: usize) {
         self.guard.set_rows(rows);
     }
+
+    /// Record a timestamped event inside the node's span (e.g. a
+    /// pruning decision). The label closure never runs untraced.
+    pub fn event(&mut self, label: impl FnOnce() -> String) {
+        self.guard.event(label);
+    }
 }
 
 impl Drop for Node {

@@ -43,10 +43,21 @@ fn launch_durable(
     fsync: &str,
     http: bool,
 ) -> (Served, String, String, Option<String>) {
+    launch_durable_engine(dir, fsync, http, "reference")
+}
+
+/// [`launch_durable`] with an explicit engine (the index-recovery test
+/// needs `relational`, the only engine with secondary indexes).
+fn launch_durable_engine(
+    dir: &std::path::Path,
+    fsync: &str,
+    http: bool,
+    engine: &str,
+) -> (Served, String, String, Option<String>) {
     let dir = dir.to_string_lossy().to_string();
     let mut args = vec![
         "--engine",
-        "reference",
+        engine,
         "--name",
         "dur",
         "--listen",
@@ -192,6 +203,65 @@ fn kill_nine_mid_ingest_then_restart_recovers_every_acked_store() {
     for &i in &acked_hot {
         assert_recovered(&remote, &format!("hot{i}"), i);
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn kill_nine_rebuilds_indexes_byte_for_byte() {
+    // Secondary indexes built before a SIGKILL must come back after
+    // restart *identical* to a from-scratch build over the same data —
+    // the WAL logs the spec, recovery rebuilds, and the deterministic
+    // fingerprint is the byte-for-byte witness.
+    use bda_storage::IndexKind;
+    let dir = tmp_dir();
+    let data = DataSet::from_columns(vec![
+        ("k", Column::from(vec![5i64, 2, 9, 2, 5, 7])),
+        ("v", Column::from(vec![1.5f64, -2.0, 0.0, 3.25, -2.0, 8.0])),
+    ])
+    .unwrap();
+    {
+        let (server, addr, _, _) = launch_durable_engine(&dir, "always", false, "relational");
+        let remote = RemoteProvider::connect(addr).expect("connect");
+        remote.store("t", data.clone()).unwrap();
+        remote.build_index("t", "k", IndexKind::Hash).unwrap();
+        remote.build_index("t", "v", IndexKind::Sorted).unwrap();
+        // Both indexes are visible and fingerprinted before the crash.
+        assert_eq!(remote.index_specs("t").len(), 2);
+        let mut server = server;
+        server.0.kill().expect("SIGKILL bda-served");
+        server.0.wait().expect("reap");
+    }
+
+    // A from-scratch build on a *fresh* server over the same data: the
+    // oracle fingerprints the recovered indexes must reproduce.
+    let (want_k, want_v) = {
+        let oracle_dir = tmp_dir();
+        let (_server, addr, _, _) =
+            launch_durable_engine(&oracle_dir, "always", false, "relational");
+        let remote = RemoteProvider::connect(addr).expect("connect oracle");
+        remote.store("t", data).unwrap();
+        remote.build_index("t", "k", IndexKind::Hash).unwrap();
+        remote.build_index("t", "v", IndexKind::Sorted).unwrap();
+        let fps = (
+            remote.index_fingerprint("t", "k").unwrap(),
+            remote.index_fingerprint("t", "v").unwrap(),
+        );
+        std::fs::remove_dir_all(&oracle_dir).unwrap();
+        fps
+    };
+
+    // Restart over the crashed directory: specs and fingerprints match
+    // the from-scratch build exactly.
+    let (_server, addr, recovered, _) = launch_durable_engine(&dir, "always", false, "relational");
+    assert!(recovered.contains("recovered"), "{recovered}");
+    let remote = RemoteProvider::connect(addr).expect("connect after restart");
+    let mut specs = remote.index_specs("t");
+    specs.sort_by(|a, b| a.column.cmp(&b.column));
+    assert_eq!(specs.len(), 2, "both index specs must survive kill -9");
+    assert_eq!((specs[0].column.as_str(), specs[0].kind), ("k", IndexKind::Hash));
+    assert_eq!((specs[1].column.as_str(), specs[1].kind), ("v", IndexKind::Sorted));
+    assert_eq!(remote.index_fingerprint("t", "k"), Some(want_k));
+    assert_eq!(remote.index_fingerprint("t", "v"), Some(want_v));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

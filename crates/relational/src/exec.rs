@@ -71,6 +71,15 @@ fn execute_node(
             .ok_or_else(|| CoreError::Plan("iter_state outside of iterate".into())),
         Plan::Select { input, predicate } => {
             let in_ds = execute(input, tables, state)?;
+            // Statistics fast path: a selection directly over a stored
+            // table can consult the table's zone maps and indexes. Any
+            // mismatch (no metadata installed, unrecognized predicate,
+            // stale snapshot) falls through to the plain path below.
+            if let Plan::Scan { dataset, .. } = &**input {
+                if let Some(out) = pruned_select(dataset, &in_ds, predicate, &out_schema)? {
+                    return Ok(out);
+                }
+            }
             let in_schema = in_ds.schema().clone();
             let chunk = in_ds.to_rows_chunk()?;
             let mask_col = eval_chunk(predicate, &in_schema, &chunk)?;
@@ -211,6 +220,131 @@ fn execute_node(
             provider: "relational".into(),
             op: other.op_kind().name().into(),
         }),
+    }
+}
+
+/// Statistics-driven selection over a stored table: serve the predicate
+/// from a secondary index when one covers a comparison conjunct, else
+/// skip chunks whose zone maps disprove a conjunct. Returns `Ok(None)`
+/// whenever the fast path does not apply — including when *every* chunk
+/// survives zone checks, since the plain path then does identical work.
+///
+/// Soundness: `pruning::analyze` only recognizes predicates it can
+/// prove total over the schema (so skipping rows cannot suppress an
+/// evaluation error), zone maps and the evaluator share one total
+/// order, and index candidates are re-filtered with the full predicate
+/// (indexes promise completeness, not exactness). Candidate positions
+/// are re-sorted ascending so output *order* matches the plain filter
+/// path exactly, not just the output bag.
+fn pruned_select(
+    dataset: &str,
+    in_ds: &DataSet,
+    predicate: &bda_core::Expr,
+    out_schema: &Schema,
+) -> Result<Option<DataSet>> {
+    use bda_core::pruning::{analyze, may_match_all, Test};
+
+    let Some(meta) = crate::meta::lookup(dataset) else {
+        return Ok(None);
+    };
+    let schema = in_ds.schema();
+    // Stale-snapshot guard: metadata raced a concurrent store.
+    if meta.stats.row_count != in_ds.num_rows() || meta.chunks.len() != in_ds.chunks().len() {
+        return Ok(None);
+    }
+    let Some(tests) = analyze(predicate, schema) else {
+        return Ok(None);
+    };
+
+    // Index path: the first comparison conjunct a built index can serve.
+    for t in &tests {
+        let Test::Cmp { column, op, lit } = t else {
+            continue;
+        };
+        let Some(idx) = meta.indexes.get(column.as_str()) else {
+            continue;
+        };
+        if idx.rows() != in_ds.num_rows() {
+            continue;
+        }
+        let Some(mut positions) = idx.lookup(*op, lit) else {
+            continue;
+        };
+        positions.sort_unstable();
+        // Materialize only the chunks that hold a candidate position —
+        // the whole point of the index is to never touch the rest.
+        let candidate_count = positions.len();
+        let mut candidates = RowsChunk::empty(schema);
+        let mut remaining = positions.iter().map(|&p| p as usize).peekable();
+        let mut base = 0usize;
+        for ch in in_ds.chunks() {
+            let end = base + ch.len();
+            let mut local = Vec::new();
+            while let Some(&p) = remaining.peek() {
+                if p >= end {
+                    break;
+                }
+                local.push(p - base);
+                remaining.next();
+            }
+            if !local.is_empty() {
+                candidates.extend(&ch.to_rows(schema)?.take(&local))?;
+            }
+            base = end;
+        }
+        let mask_col = eval_chunk(predicate, schema, &candidates)?;
+        let mask = truth_mask(&mask_col)?;
+        let filtered = candidates.filter(&mask);
+        bda_obs::prune::record_index_hit();
+        prune_event(|| {
+            format!(
+                "pruning: index {dataset}.{column} ({}) candidates {}/{}",
+                idx.spec().kind.name(),
+                candidate_count,
+                in_ds.num_rows()
+            )
+        });
+        return Ok(Some(DataSet::new(
+            out_schema.clone(),
+            vec![Chunk::Rows(filtered)],
+        )));
+    }
+
+    // Zone-map path: drop chunks where some conjunct cannot hold.
+    let considered = meta.chunks.len();
+    let survivors: Vec<usize> = (0..considered)
+        .filter(|&ci| {
+            let cs = &meta.chunks[ci];
+            may_match_all(&tests, |name: &str| {
+                schema.index_of(name).ok().and_then(|i| cs.columns.get(i))
+            })
+        })
+        .collect();
+    let pruned = considered - survivors.len();
+    bda_obs::prune::record_chunks(considered as u64, pruned as u64);
+    if pruned == 0 {
+        return Ok(None);
+    }
+    let mut kept = RowsChunk::empty(schema);
+    for ci in survivors {
+        kept.extend(&in_ds.chunks()[ci].to_rows(schema)?)?;
+    }
+    let mask_col = eval_chunk(predicate, schema, &kept)?;
+    let mask = truth_mask(&mask_col)?;
+    let filtered = kept.filter(&mask);
+    prune_event(|| format!("pruning: zone-map {dataset} chunks {pruned}/{considered}"));
+    Ok(Some(DataSet::new(
+        out_schema.clone(),
+        vec![Chunk::Rows(filtered)],
+    )))
+}
+
+/// Attach a pruning decision to the enclosing operator span (the
+/// `== pruning ==` EXPLAIN ANALYZE section aggregates these). Inert
+/// when untraced: the label closure never runs.
+fn prune_event(label: impl FnOnce() -> String) {
+    if let Some(s) = bda_obs::scope::snapshot() {
+        s.tracer.event(s.parent, label);
     }
 }
 

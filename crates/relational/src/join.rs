@@ -48,6 +48,40 @@ pub fn hash_join(
         .map(|(_, b)| Ok(r_chunk.column(rs.index_of(b)?)))
         .collect::<std::result::Result<_, bda_storage::StorageError>>()?;
 
+    // Statistics-driven build-side choice (inner joins only): the hash
+    // table is the expensive part, so build it on the smaller input and
+    // probe with the larger. Pairs are re-sorted into the canonical
+    // left-major order afterwards, so the result is byte-identical to
+    // the build-on-right path — bag *and* order.
+    if join_type == JoinType::Inner && !on.is_empty() && l_chunk.len() < r_chunk.len() {
+        let mut table: HashMap<Row, Vec<usize>> = HashMap::new();
+        for i in 0..l_chunk.len() {
+            if let Some(k) = key_at(&l_cols, i) {
+                table.entry(k).or_default().push(i);
+            }
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for j in 0..r_chunk.len() {
+            if let Some(idxs) = key_at(&r_cols, j).and_then(|k| table.get(&k)) {
+                for &i in idxs {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        let (l_take, r_take) = pairs.into_iter().unzip();
+        return assemble(
+            &l_chunk,
+            &r_chunk,
+            &rs,
+            join_type,
+            out_schema,
+            l_take,
+            r_take,
+            Vec::new(),
+        );
+    }
+
     // Build side: right.
     let mut table: HashMap<Row, Vec<usize>> = HashMap::new();
     if on.is_empty() {

@@ -11,18 +11,28 @@
 pub mod aggregate;
 pub mod exec;
 pub mod join;
+pub mod meta;
 pub mod parallel;
 pub mod sort;
 
 use bda_core::{CapabilitySet, CoreError, OpKind, Plan, Provider};
-use bda_storage::{DataSet, Schema};
+use bda_storage::{DataSet, IndexKind, IndexSpec, Schema, TableStats};
+use meta::{MetaMap, TableMeta};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// The relational engine.
 pub struct RelationalEngine {
     name: String,
     tables: RwLock<BTreeMap<String, DataSet>>,
+    /// Load-time metadata per table (zone maps, table stats, indexes).
+    metas: RwLock<MetaMap>,
+    /// Gates *use* of statistics at query time (metadata is always
+    /// maintained, so flipping this is purely a planner/executor switch
+    /// — the knob the differential harness and F11 ablation turn).
+    stats_enabled: AtomicBool,
 }
 
 impl RelationalEngine {
@@ -31,6 +41,38 @@ impl RelationalEngine {
         RelationalEngine {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
+            metas: RwLock::new(Arc::new(BTreeMap::new())),
+            stats_enabled: AtomicBool::new(bda_core::stats_from_env()),
+        }
+    }
+
+    /// Enable or disable statistics-driven execution (zone-map pruning
+    /// and index lowering) for this engine.
+    pub fn set_stats_enabled(&self, on: bool) {
+        self.stats_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is statistics-driven execution on?
+    pub fn stats_enabled(&self) -> bool {
+        self.stats_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Recompute one table's metadata and publish a fresh snapshot.
+    fn publish_meta(&self, name: &str, data: &DataSet, specs: &[IndexSpec]) -> Result<(), CoreError> {
+        let computed = Arc::new(TableMeta::compute(data, specs)?);
+        let mut metas = self.metas.write();
+        let mut next = (**metas).clone();
+        next.insert(name.to_string(), computed);
+        *metas = Arc::new(next);
+        Ok(())
+    }
+
+    fn drop_meta(&self, name: &str) {
+        let mut metas = self.metas.write();
+        if metas.contains_key(name) {
+            let mut next = (**metas).clone();
+            next.remove(name);
+            *metas = Arc::new(next);
         }
     }
 
@@ -97,16 +139,72 @@ impl Provider for RelationalEngine {
             });
         }
         let tables = self.tables.read();
+        // Statistics reach the recursive executor through a thread-local
+        // snapshot; when disabled nothing is installed and every scan
+        // takes the plain path.
+        let _meta_scope = self
+            .stats_enabled()
+            .then(|| meta::install(self.metas.read().clone()));
         exec::execute(plan, &tables, None)
     }
 
     fn store(&self, name: &str, data: DataSet) -> Result<(), CoreError> {
+        // Load-time statistics: recompute the table's metadata on every
+        // store, carrying existing index specs across the re-store.
+        let specs = self
+            .metas
+            .read()
+            .get(name)
+            .map(|m| m.specs())
+            .unwrap_or_default();
+        self.publish_meta(name, &data, &specs)?;
         self.tables.write().insert(name.to_string(), data);
         Ok(())
     }
 
     fn remove(&self, name: &str) {
         self.tables.write().remove(name);
+        self.drop_meta(name);
+    }
+
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.metas.read().get(name).map(|m| m.stats.clone())
+    }
+
+    fn build_index(&self, dataset: &str, column: &str, kind: IndexKind) -> Result<(), CoreError> {
+        let tables = self.tables.read();
+        let ds = tables
+            .get(dataset)
+            .ok_or_else(|| CoreError::UnknownDataset(dataset.to_string()))?;
+        ds.schema().index_of(column)?;
+        let mut specs: Vec<IndexSpec> = self
+            .metas
+            .read()
+            .get(dataset)
+            .map(|m| m.specs())
+            .unwrap_or_default();
+        specs.retain(|s| s.column != column);
+        specs.push(IndexSpec {
+            column: column.to_string(),
+            kind,
+        });
+        self.publish_meta(dataset, ds, &specs)
+    }
+
+    fn index_specs(&self, dataset: &str) -> Vec<IndexSpec> {
+        self.metas
+            .read()
+            .get(dataset)
+            .map(|m| m.specs())
+            .unwrap_or_default()
+    }
+
+    fn index_fingerprint(&self, dataset: &str, column: &str) -> Option<u64> {
+        self.metas
+            .read()
+            .get(dataset)
+            .and_then(|m| m.indexes.get(column))
+            .map(|i| i.fingerprint())
     }
 
     fn row_count_of(&self, name: &str) -> Option<usize> {
@@ -168,6 +266,61 @@ mod tests {
         let plan = Plan::scan("m", m.schema().clone()).matmul(Plan::scan("m", m.schema().clone()));
         let err = e.execute(&plan).unwrap_err();
         assert!(matches!(err, CoreError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn table_stats_follow_store_and_remove() {
+        let e = engine_with_sales();
+        let stats = e.table_stats("sales").unwrap();
+        assert_eq!(stats.row_count, 3);
+        assert_eq!(
+            stats.column("amount").unwrap().max,
+            Some(bda_storage::Value::Int(30))
+        );
+        e.remove("sales");
+        assert!(e.table_stats("sales").is_none());
+    }
+
+    #[test]
+    fn build_index_survives_restore_and_fingerprints_deterministically() {
+        let e = engine_with_sales();
+        e.build_index("sales", "amount", IndexKind::Sorted).unwrap();
+        assert_eq!(e.index_specs("sales").len(), 1);
+        let before = e.index_fingerprint("sales", "amount").unwrap();
+        // Re-storing the same data rebuilds the index to the same shape.
+        let ds = e.table("sales").unwrap();
+        e.store("sales", ds).unwrap();
+        assert_eq!(e.index_fingerprint("sales", "amount"), Some(before));
+        // Unknown dataset / column are loud.
+        assert!(e.build_index("nope", "amount", IndexKind::Hash).is_err());
+        assert!(e.build_index("sales", "nope", IndexKind::Hash).is_err());
+        assert!(e.index_fingerprint("sales", "region").is_none());
+    }
+
+    #[test]
+    fn pruned_execution_matches_plain_execution() {
+        let e = engine_with_sales();
+        // Multi-chunk table so zone maps have something to skip.
+        let mut ds = DataSet::from_columns(vec![("k", Column::from(vec![1i64, 2, 3]))]).unwrap();
+        let hi = DataSet::from_columns(vec![("k", Column::from(vec![100i64, 200]))]).unwrap();
+        ds.push_chunk(hi.chunks()[0].clone());
+        e.store("t", ds).unwrap();
+        let plan =
+            Plan::scan("t", e.schema_of("t").unwrap()).select(col("k").gt(lit(50i64)));
+        e.set_stats_enabled(true);
+        let pruned = e.execute(&plan).unwrap();
+        e.set_stats_enabled(false);
+        let plain = e.execute(&plan).unwrap();
+        assert_eq!(
+            pruned.normalized_rows().unwrap(),
+            plain.normalized_rows().unwrap()
+        );
+        assert_eq!(pruned.num_rows(), 2);
+        // Index path agrees too.
+        e.set_stats_enabled(true);
+        e.build_index("t", "k", IndexKind::Hash).unwrap();
+        let eq_plan = Plan::scan("t", e.schema_of("t").unwrap()).select(col("k").eq(lit(200i64)));
+        assert_eq!(e.execute(&eq_plan).unwrap().num_rows(), 1);
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub mod column;
 pub mod dataset;
 pub mod dense;
 pub mod error;
+pub mod index;
 pub mod row;
 pub mod schema;
+pub mod stats;
 pub mod types;
 pub mod value;
 pub mod wire;
@@ -45,7 +47,9 @@ pub use column::Column;
 pub use dataset::DataSet;
 pub use dense::{DenseChunk, DimBox};
 pub use error::StorageError;
+pub use index::{IndexKind, IndexSpec, SecondaryIndex};
 pub use row::Row;
+pub use stats::{ChunkStats, CmpOp, TableStats, ZoneMap};
 pub use schema::{Field, Role, Schema};
 pub use types::DataType;
 pub use value::Value;

@@ -50,8 +50,16 @@ fn arb_pred() -> impl Strategy<Value = Expr> {
         (-5i64..5).prop_map(|c| col("k").le(lit(c))),
         (-10i32..10).prop_map(|c| col("v").lt(lit(c as f64 / 2.0))),
         "[a-c]".prop_map(|c| col("s").eq(lit(c.as_str()))),
+        // Every comparison shape on the null-bearing columns: SQL
+        // three-valued logic makes null-vs-literal the easiest place
+        // for an engine and the reference to quietly disagree.
+        (-5i64..5).prop_map(|c| col("k").eq(lit(c))),
+        (-5i64..5).prop_map(|c| col("k").ge(lit(c))),
+        (-10i32..10).prop_map(|c| col("v").ge(lit(c as f64 / 2.0))),
+        "[a-c]".prop_map(|c| col("s").le(lit(c.as_str()))),
         Just(col("k").is_null()),
         Just(col("v").is_null().not()),
+        Just(col("s").is_null()),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![

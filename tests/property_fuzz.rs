@@ -84,6 +84,81 @@ proptest! {
         }
     }
 
+    /// Plans whose selects compare *null-bearing* columns against
+    /// literals — the shapes the statistics layer lowers onto zone maps
+    /// and indexes — survive arbitrary bitflips without panicking, and
+    /// a clean round trip is exact.
+    #[test]
+    fn bitflips_in_comparison_predicate_plans_never_panic(
+        threshold in -5i64..5,
+        flip_at in 0usize..512,
+        flip_bit in 0u8..8,
+        op in 0u8..5,
+    ) {
+        let schema = Schema::new(vec![
+            Field::value("k", DataType::Int64),
+            Field::value("v", DataType::Float64),
+        ])
+        .unwrap();
+        let pred = match op {
+            0 => col("k").eq(lit(threshold)),
+            1 => col("k").lt(lit(threshold)),
+            2 => col("k").ge(lit(threshold)),
+            3 => col("v").gt(lit(threshold as f64 / 2.0)).and(col("k").is_null().not()),
+            _ => col("k").le(lit(threshold)).and(col("v").is_null()),
+        };
+        let plan = Plan::scan("t", schema).select(pred);
+        let clean = encode_plan(&plan);
+        prop_assert_eq!(&decode_plan(&clean).unwrap(), &plan);
+        let mut bytes = clean;
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+        }
+        if let Ok(p) = decode_plan(&bytes) {
+            let _ = bda::core::infer_schema(&p);
+        }
+    }
+
+    /// Datasets with null slots round-trip exactly and survive bitflips:
+    /// a corrupted validity bitmap must decode to `Err` or a readable
+    /// dataset, never UB.
+    #[test]
+    fn bitflips_in_null_bearing_datasets_never_panic(
+        flip_at in 0usize..512,
+        flip_bit in 0u8..8,
+    ) {
+        use bda::storage::Value;
+        let ds = DataSet::from_columns(vec![
+            (
+                "k",
+                Column::from_values(
+                    DataType::Int64,
+                    &[Value::Int(1), Value::Null, Value::Int(3)],
+                )
+                .unwrap(),
+            ),
+            (
+                "v",
+                Column::from_values(
+                    DataType::Float64,
+                    &[Value::Null, Value::Float(f64::NAN), Value::Float(0.5)],
+                )
+                .unwrap(),
+            ),
+        ])
+        .unwrap();
+        let clean = encode_dataset(&ds);
+        let back = decode_dataset(&clean).unwrap();
+        prop_assert!(back.same_bag(&ds).unwrap());
+        let mut bytes = clean;
+        if flip_at < bytes.len() {
+            bytes[flip_at] ^= 1 << flip_bit;
+        }
+        if let Ok(ds) = decode_dataset(&bytes) {
+            let _ = ds.rows();
+        }
+    }
+
     #[test]
     fn truncations_of_valid_messages_fail_cleanly(cut in 0usize..400) {
         let plan_bytes = encode_plan(&sample_plan());
